@@ -1,0 +1,368 @@
+// Benchmarks regenerating every figure and reported number of the paper's
+// evaluation, plus the ablations DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints its experiment's table/figure once (the same rows
+// or series the paper reports) and then times the experiment.
+package cqm_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cqm/internal/eval"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSetup *eval.Setup
+	benchErr   error
+	printOnce  sync.Map
+)
+
+func canonical(b *testing.B) *eval.Setup {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSetup, benchErr = eval.NewSetup(eval.SetupConfig{Seed: eval.DefaultSeed})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSetup
+}
+
+// printExperiment emits an experiment's rendering exactly once per run.
+func printExperiment(key, output string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Print("\n" + output)
+	}
+}
+
+// BenchmarkFig5QualityScatter regenerates Figure 5: the quality measure
+// for the 24-point test set with right (o) and wrong (+) markers and group
+// means (E1).
+func BenchmarkFig5QualityScatter(b *testing.B) {
+	s := canonical(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *eval.Fig5Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.Figure5(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printExperiment("fig5", res.Render())
+}
+
+// BenchmarkFig6Densities regenerates Figure 6: the right/wrong Gaussian
+// densities with the optimal threshold at their intersection (E2).
+func BenchmarkFig6Densities(b *testing.B) {
+	s := canonical(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *eval.Fig6Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.Figure6(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printExperiment("fig6", res.Render())
+}
+
+// BenchmarkProbabilityTable regenerates the §3.2 probability numbers (E3):
+// threshold s and the four median-cut probabilities, paper vs measured.
+func BenchmarkProbabilityTable(b *testing.B) {
+	s := canonical(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows []eval.ProbabilityRow
+	for i := 0; i < b.N; i++ {
+		rows = eval.ProbabilityTable(s)
+	}
+	b.StopTimer()
+	printExperiment("prob", eval.RenderProbabilityTable(rows))
+}
+
+// BenchmarkImprovement33 regenerates the headline result (E4): filtering
+// at the optimal threshold discards ~33 % of classifications — the wrong
+// ones — improving the application's decision accordingly.
+func BenchmarkImprovement33(b *testing.B) {
+	s := canonical(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *eval.ImprovementResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.ImprovementExperiment(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printExperiment("improvement", res.Render())
+}
+
+// BenchmarkBlackBoxAgnostic regenerates E5: the CQM as an add-on over four
+// different classifier types. One iteration builds four full pipelines.
+func BenchmarkBlackBoxAgnostic(b *testing.B) {
+	b.ReportAllocs()
+	var rows []eval.AgnosticRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.AgnosticismSweep(eval.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printExperiment("agnostic", eval.RenderAgnostic(rows))
+}
+
+// BenchmarkThresholdBalance regenerates E6a: the optimal threshold as a
+// function of the training set's right/wrong balance (paper: balanced →
+// s ≈ 0.5).
+func BenchmarkThresholdBalance(b *testing.B) {
+	b.ReportAllocs()
+	var rows []eval.BalanceRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.ThresholdBalanceSweep(eval.DefaultSeed, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printExperiment("balance", eval.RenderBalance(rows))
+}
+
+// BenchmarkTestSizeSeparability regenerates E6b: separability vs test-set
+// size (paper: "For a large set of data the odds … are worse").
+func BenchmarkTestSizeSeparability(b *testing.B) {
+	b.ReportAllocs()
+	var rows []eval.SizeRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.TestSizeSweep(eval.DefaultSeed, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printExperiment("sizes", eval.RenderSizes(rows))
+}
+
+// BenchmarkAwareOfficeCamera regenerates E7: the whiteboard camera's
+// snapshot precision with and without CQM filtering over a lossy network.
+func BenchmarkAwareOfficeCamera(b *testing.B) {
+	s := canonical(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *eval.CameraResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.CameraExperiment(s, eval.CameraConfig{Seed: eval.DefaultSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printExperiment("camera", res.Render())
+}
+
+// BenchmarkAblationHybrid compares the full construction pipeline against
+// clustering+LSE without ANFIS tuning.
+func BenchmarkAblationHybrid(b *testing.B) {
+	b.ReportAllocs()
+	var rows []eval.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.AblationHybrid(eval.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printExperiment("abl-hybrid", eval.RenderAblation("Ablation — hybrid learning", rows))
+}
+
+// BenchmarkAblationConsequent compares linear (paper) vs constant TSK
+// consequents.
+func BenchmarkAblationConsequent(b *testing.B) {
+	b.ReportAllocs()
+	var rows []eval.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.AblationConsequents(eval.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printExperiment("abl-consequent", eval.RenderAblation("Ablation — consequent order", rows))
+}
+
+// BenchmarkAblationClustering compares subtractive (paper) vs mountain vs
+// FCM rule extraction.
+func BenchmarkAblationClustering(b *testing.B) {
+	b.ReportAllocs()
+	var rows []eval.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.AblationClustering(eval.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printExperiment("abl-clustering", eval.RenderAblation("Ablation — clustering method", rows))
+}
+
+// BenchmarkAblationDensity compares the Gaussian-MLE threshold (paper)
+// against a kernel-density threshold.
+func BenchmarkAblationDensity(b *testing.B) {
+	b.ReportAllocs()
+	var rows []eval.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.AblationDensity(eval.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printExperiment("abl-density", eval.RenderAblation("Ablation — density model", rows))
+}
+
+// BenchmarkAblationNormalization compares the normalized measure (paper's
+// L with ε) against raw clamped scores.
+func BenchmarkAblationNormalization(b *testing.B) {
+	b.ReportAllocs()
+	var rows []eval.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.AblationNormalization(eval.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printExperiment("abl-normalization", eval.RenderAblation("Ablation — normalization", rows))
+}
+
+// BenchmarkOutlookPrediction regenerates E8: the §5 context-prediction
+// extension — quality-trend monitoring anticipating context changes.
+func BenchmarkOutlookPrediction(b *testing.B) {
+	b.ReportAllocs()
+	var out string
+	for i := 0; i < b.N; i++ {
+		res, err := eval.PredictionExperiment(eval.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = res.Render()
+	}
+	b.StopTimer()
+	printExperiment("predict", out)
+}
+
+// BenchmarkOutlookFusion regenerates E9: the §5 fusion extension —
+// quality-weighted consensus across appliances vs blind majority voting.
+func BenchmarkOutlookFusion(b *testing.B) {
+	b.ReportAllocs()
+	var out string
+	for i := 0; i < b.N; i++ {
+		res, err := eval.FusionExperiment(eval.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = res.Render()
+	}
+	b.StopTimer()
+	printExperiment("fusion", out)
+}
+
+// BenchmarkNoiseRobustness sweeps the sensor-noise level to show the
+// CQM's ranking survives substrate degradation.
+func BenchmarkNoiseRobustness(b *testing.B) {
+	b.ReportAllocs()
+	var rows []eval.NoiseRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.NoiseRobustnessSweep(eval.DefaultSeed, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printExperiment("noise", eval.RenderNoise(rows))
+}
+
+// BenchmarkThresholdConfidence bootstraps the optimal threshold's
+// sampling uncertainty on the 24-point evaluation set.
+func BenchmarkThresholdConfidence(b *testing.B) {
+	s := canonical(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *eval.ConfidenceResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.ThresholdConfidence(s, 500, 0.95)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printExperiment("confidence", res.Render())
+}
+
+// BenchmarkCrossValidation runs the 5-fold cross-validation of the whole
+// quality pipeline.
+func BenchmarkCrossValidation(b *testing.B) {
+	b.ReportAllocs()
+	var res *eval.CrossValResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.CrossValidate(eval.DefaultSeed, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printExperiment("crossval", res.Render())
+}
+
+// BenchmarkCueAblation compares cue sets (the paper's stddev triple vs
+// richer pipelines) across the rebuilt stack.
+func BenchmarkCueAblation(b *testing.B) {
+	b.ReportAllocs()
+	var rows []eval.CueRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = eval.CueAblation(eval.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printExperiment("cues", eval.RenderCues(rows))
+}
+
+// BenchmarkPipelineEndToEnd times the full paper pipeline: data
+// generation, classifier training, quality-FIS construction, statistical
+// analysis, and test-set draw.
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.NewSetup(eval.SetupConfig{Seed: eval.DefaultSeed}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Command awareoffice runs the distributed AwareOffice simulation with a
+// configurable network: an AwarePen publishes quality-annotated context
+// events over a lossy Particle RF medium, and two whiteboard cameras — one
+// trusting everything, one CQM-filtered — are scored against the true
+// end-of-writing moments.
+//
+// Usage:
+//
+//	awareoffice [-seed N] [-sessions N] [-loss P] [-ber P] [-latency S] [-jitter S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"cqm/internal/awareoffice"
+	"cqm/internal/classify"
+	"cqm/internal/core"
+	"cqm/internal/dataset"
+	"cqm/internal/sensor"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	sessions := flag.Int("sessions", 6, "number of office sessions")
+	loss := flag.Float64("loss", 0.05, "packet loss probability")
+	ber := flag.Float64("ber", 0, "physical bit error rate (frames failing CRC are dropped)")
+	latency := flag.Float64("latency", 0.02, "base one-way delay in seconds")
+	jitter := flag.Float64("jitter", 0.03, "uniform extra delay bound in seconds")
+	flag.Parse()
+
+	if err := run(*seed, *sessions, *loss, *ber, *latency, *jitter); err != nil {
+		fmt.Fprintln(os.Stderr, "awareoffice:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, sessions int, loss, ber, latency, jitter float64) error {
+	clf, measure, threshold, err := trainStack(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recognition stack ready: threshold s = %.3f\n", threshold)
+
+	sim := awareoffice.NewSimulation(seed + 10)
+	link := awareoffice.Link{Latency: latency, Jitter: jitter, Loss: loss, BitErrorRate: ber}
+	bus, err := awareoffice.NewBus(sim, link)
+	if err != nil {
+		return err
+	}
+	plain := &awareoffice.Camera{Name: "camera-plain"}
+	plain.Attach(bus)
+	filtered := &awareoffice.Camera{Name: "camera-cqm", UseQuality: true, MinQuality: threshold}
+	filtered.Attach(bus)
+	pen := &awareoffice.Pen{Classifier: clf, Measure: measure}
+	pen.Attach(bus)
+
+	styles := []sensor.Style{
+		sensor.DefaultStyle(),
+		{Amplitude: 1.6, Tempo: 1.2, Irregularity: 0.6},
+	}
+	rng := rand.New(rand.NewSource(seed + 11))
+	var truths []float64
+	offset := 0.0
+	for i := 0; i < sessions; i++ {
+		readings, err := sensor.OfficeSession(styles[i%len(styles)]).Run(rng)
+		if err != nil {
+			return fmt.Errorf("session %d: %w", i, err)
+		}
+		for k := range readings {
+			readings[k].T += offset
+		}
+		if _, err := pen.Feed(sim, readings); err != nil {
+			return fmt.Errorf("feeding session %d: %w", i, err)
+		}
+		truths = append(truths, awareoffice.EndOfWritingTimes(readings)...)
+		offset = readings[len(readings)-1].T + 2
+	}
+	sim.Run(offset + 5)
+
+	published, delivered, dropped := bus.Stats()
+	fmt.Printf("network: %d published, %d delivered, %d lost, %d CRC-dropped\n",
+		published, delivered, dropped, bus.Corrupted())
+	fmt.Printf("true end-of-writing moments: %d\n\n", len(truths))
+	scoreP := awareoffice.ScoreSnapshots(plain.Snapshots(), truths, 2.5)
+	scoreF := awareoffice.ScoreSnapshots(filtered.Snapshots(), truths, 2.5)
+	fmt.Printf("%-14s %5s %9s %10s %8s\n", "camera", "hits", "spurious", "precision", "recall")
+	fmt.Printf("%-14s %5d %9d %10.3f %8.3f\n",
+		"plain", scoreP.Hits, scoreP.Spurious, scoreP.Precision(), scoreP.Recall())
+	fmt.Printf("%-14s %5d %9d %10.3f %8.3f  (ignored %d events)\n",
+		"cqm-filtered", scoreF.Hits, scoreF.Spurious, scoreF.Precision(), scoreF.Recall(), filtered.Ignored())
+	return nil
+}
+
+func trainStack(seed int64) (classify.Classifier, *core.Measure, float64, error) {
+	clean, err := dataset.Generate(dataset.GenerateConfig{
+		Scenarios: []*sensor.Scenario{{Segments: []sensor.Segment{
+			{Context: sensor.ContextLying, Duration: 12},
+			{Context: sensor.ContextWriting, Duration: 12},
+			{Context: sensor.ContextPlaying, Duration: 12},
+		}}},
+		WindowSize: 100,
+		Seed:       seed,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	clf, err := (&classify.TSKTrainer{}).Train(clean)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	mixed, err := dataset.Generate(dataset.GenerateConfig{
+		Scenarios: []*sensor.Scenario{
+			sensor.OfficeSession(sensor.DefaultStyle()),
+			sensor.OfficeSession(sensor.Style{Amplitude: 2.6, Tempo: 1.4, Irregularity: 0.9}),
+			sensor.OfficeSession(sensor.Style{Amplitude: 1.6, Tempo: 1.2, Irregularity: 0.6}),
+			sensor.OfficeSession(sensor.DefaultStyle()),
+		},
+		WindowSize: 100,
+		WindowStep: 50,
+		Seed:       seed + 1,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	obs, err := core.Observe(clf, mixed)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	measure, err := core.Build(obs, nil, core.BuildConfig{})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	analysis, err := core.Analyze(measure, obs)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return clf, measure, analysis.Threshold, nil
+}

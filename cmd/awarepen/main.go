@@ -1,0 +1,162 @@
+// Command awarepen simulates the AwarePen appliance live: it trains the
+// recognition stack, streams a scripted office session through the pen,
+// and prints every context event with its quality annotation and the
+// filter's decision — the paper's Figure 4 pipeline in motion.
+//
+// Usage:
+//
+//	awarepen [-seed N] [-style nominal|wild|light] [-threshold -1]
+//
+// A negative threshold uses the statistically optimal one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"cqm/internal/classify"
+	"cqm/internal/core"
+	"cqm/internal/dataset"
+	"cqm/internal/feature"
+	"cqm/internal/sensor"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	styleName := flag.String("style", "wild", "user style: nominal, wild, light")
+	threshold := flag.Float64("threshold", -1, "acceptance threshold (negative = optimal)")
+	flag.Parse()
+
+	if err := run(*seed, *styleName, *threshold); err != nil {
+		fmt.Fprintln(os.Stderr, "awarepen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, styleName string, threshold float64) error {
+	style, err := styleFor(styleName)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("training the AwarePen recognition stack …")
+	clean, err := dataset.Generate(dataset.GenerateConfig{
+		Scenarios: []*sensor.Scenario{{Segments: []sensor.Segment{
+			{Context: sensor.ContextLying, Duration: 12},
+			{Context: sensor.ContextWriting, Duration: 12},
+			{Context: sensor.ContextPlaying, Duration: 12},
+		}}},
+		WindowSize: 100,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	clf, err := (&classify.TSKTrainer{}).Train(clean)
+	if err != nil {
+		return err
+	}
+	mixed, err := dataset.Generate(dataset.GenerateConfig{
+		Scenarios: []*sensor.Scenario{
+			sensor.OfficeSession(sensor.DefaultStyle()),
+			sensor.OfficeSession(sensor.Style{Amplitude: 2.6, Tempo: 1.4, Irregularity: 0.9}),
+			sensor.OfficeSession(sensor.Style{Amplitude: 1.6, Tempo: 1.2, Irregularity: 0.6}),
+			sensor.OfficeSession(sensor.DefaultStyle()),
+		},
+		WindowSize: 100,
+		WindowStep: 50,
+		Seed:       seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+	obs, err := core.Observe(clf, mixed)
+	if err != nil {
+		return err
+	}
+	measure, err := core.Build(obs, nil, core.BuildConfig{})
+	if err != nil {
+		return err
+	}
+	if threshold < 0 {
+		analysis, err := core.Analyze(measure, obs)
+		if err != nil {
+			return err
+		}
+		threshold = analysis.Threshold
+	}
+	filter, err := core.NewFilter(measure, threshold)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("quality FIS ready: %d rules, threshold s = %.3f\n\n", measure.Rules(), threshold)
+
+	// Live session.
+	rng := rand.New(rand.NewSource(seed + 2))
+	readings, err := sensor.OfficeSession(style).Run(rng)
+	if err != nil {
+		return err
+	}
+	windows, err := (feature.Windower{Size: 100}).Slide(readings)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-10s %-10s %-8s %-8s %s\n", "t [s]", "truth", "classified", "q", "decision", "cues (stddev x/y/z)")
+	correctAccepted, accepted, correctTotal := 0, 0, 0
+	for _, w := range windows {
+		class, err := clf.Classify(w.Cues)
+		if err != nil {
+			return err
+		}
+		d, err := filter.Decide(w.Cues, class)
+		if err != nil {
+			return err
+		}
+		decision := "ACCEPT"
+		if !d.Accepted {
+			decision = "discard"
+		}
+		qStr := fmt.Sprintf("%.3f", d.Quality)
+		if d.Epsilon {
+			qStr = "ε"
+		}
+		mark := " "
+		if class != w.Truth {
+			mark = "✗"
+		}
+		fmt.Printf("%-8.1f %-10s %-10s %-8s %-8s %.3f/%.3f/%.3f %s\n",
+			w.End, w.Truth, class, qStr, decision, w.Cues[0], w.Cues[1], w.Cues[2], mark)
+		if class == w.Truth {
+			correctTotal++
+		}
+		if d.Accepted {
+			accepted++
+			if class == w.Truth {
+				correctAccepted++
+			}
+		}
+	}
+	fmt.Printf("\nsession: %d windows, raw accuracy %.2f", len(windows),
+		float64(correctTotal)/float64(len(windows)))
+	if accepted > 0 {
+		fmt.Printf(", accepted accuracy %.2f (%d accepted)",
+			float64(correctAccepted)/float64(accepted), accepted)
+	}
+	fmt.Println()
+	return nil
+}
+
+func styleFor(name string) (sensor.Style, error) {
+	switch name {
+	case "nominal":
+		return sensor.DefaultStyle(), nil
+	case "wild":
+		return sensor.Style{Amplitude: 1.6, Tempo: 1.2, Irregularity: 0.6}, nil
+	case "light":
+		return sensor.Style{Amplitude: 0.5, Tempo: 0.8, Irregularity: 0.5}, nil
+	default:
+		return sensor.Style{}, fmt.Errorf("unknown style %q", name)
+	}
+}

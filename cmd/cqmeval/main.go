@@ -1,0 +1,185 @@
+// Command cqmeval reproduces the paper's evaluation end to end: it builds
+// the canonical pipeline on the synthetic AwarePen substrate and prints
+// the requested experiment (or all of them).
+//
+// Usage:
+//
+//	cqmeval [-seed N] [-experiment fig5|fig6|probs|improvement|agnostic|balance|sizes|camera|ablations|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cqm/internal/eval"
+)
+
+func main() {
+	seed := flag.Int64("seed", eval.DefaultSeed, "random seed for the evaluation pipeline")
+	experiment := flag.String("experiment", "all", "experiment to run: fig5, fig6, probs, improvement, agnostic, balance, sizes, camera, predict, fusion, confidence, crossval, cues, noise, ablations, all")
+	report := flag.Bool("report", false, "write the consolidated report (all experiments, DESIGN.md order) to stdout")
+	flag.Parse()
+
+	if *report {
+		if err := eval.WriteReport(os.Stdout, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "cqmeval:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*seed, *experiment); err != nil {
+		fmt.Fprintln(os.Stderr, "cqmeval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, experiment string) error {
+	needsSetup := map[string]bool{
+		"fig5": true, "fig6": true, "probs": true,
+		"improvement": true, "camera": true, "confidence": true, "all": true,
+	}
+	var setup *eval.Setup
+	if needsSetup[experiment] {
+		var err error
+		setup, err = eval.NewSetup(eval.SetupConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+	}
+
+	all := experiment == "all"
+	ran := false
+	if all || experiment == "fig5" {
+		res, err := eval.Figure5(setup)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		ran = true
+	}
+	if all || experiment == "fig6" {
+		res, err := eval.Figure6(setup)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		ran = true
+	}
+	if all || experiment == "probs" {
+		fmt.Print(eval.RenderProbabilityTable(eval.ProbabilityTable(setup)))
+		ran = true
+	}
+	if all || experiment == "improvement" {
+		res, err := eval.ImprovementExperiment(setup)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		ran = true
+	}
+	if all || experiment == "agnostic" {
+		rows, err := eval.AgnosticismSweep(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderAgnostic(rows))
+		ran = true
+	}
+	if all || experiment == "balance" {
+		rows, err := eval.ThresholdBalanceSweep(seed, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderBalance(rows))
+		ran = true
+	}
+	if all || experiment == "sizes" {
+		rows, err := eval.TestSizeSweep(seed, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderSizes(rows))
+		ran = true
+	}
+	if all || experiment == "camera" {
+		res, err := eval.CameraExperiment(setup, eval.CameraConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		ran = true
+	}
+	if all || experiment == "predict" {
+		res, err := eval.PredictionExperiment(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		ran = true
+	}
+	if all || experiment == "fusion" {
+		res, err := eval.FusionExperiment(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		ran = true
+	}
+	if all || experiment == "confidence" {
+		res, err := eval.ThresholdConfidence(setup, 500, 0.95)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		ran = true
+	}
+	if all || experiment == "cues" {
+		rows, err := eval.CueAblation(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderCues(rows))
+		ran = true
+	}
+	if all || experiment == "crossval" {
+		res, err := eval.CrossValidate(seed, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		ran = true
+	}
+	if all || experiment == "noise" {
+		rows, err := eval.NoiseRobustnessSweep(seed, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderNoise(rows))
+		ran = true
+	}
+	if all || experiment == "ablations" {
+		ablations := []struct {
+			title string
+			fn    func(int64) ([]eval.AblationRow, error)
+		}{
+			{"Ablation — hybrid learning", eval.AblationHybrid},
+			{"Ablation — consequent order", eval.AblationConsequents},
+			{"Ablation — clustering method", eval.AblationClustering},
+			{"Ablation — density model", eval.AblationDensity},
+			{"Ablation — normalization", eval.AblationNormalization},
+		}
+		for _, a := range ablations {
+			rows, err := a.fn(seed)
+			if err != nil {
+				return fmt.Errorf("%s: %w", a.title, err)
+			}
+			fmt.Print(eval.RenderAblation(a.title, rows))
+		}
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}

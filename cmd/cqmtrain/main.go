@@ -1,0 +1,196 @@
+// Command cqmtrain trains the full CQM stack — context classifier and
+// quality FIS — from generated or CSV data and writes the models and
+// datasets to disk.
+//
+// Usage:
+//
+//	cqmtrain [-seed N] [-data file.csv] [-out dir] [-classifier tsk|knn|bayes|centroid]
+//
+// Without -data a mixed AwareOffice workload is generated from the seed
+// and saved alongside the models, so a later run can retrain from the
+// exact same data.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cqm/internal/classify"
+	"cqm/internal/core"
+	"cqm/internal/dataset"
+	"cqm/internal/sensor"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "seed for data generation")
+	dataPath := flag.String("data", "", "labelled cue CSV (default: generate from seed)")
+	outDir := flag.String("out", "cqm-models", "output directory")
+	clfKind := flag.String("classifier", "tsk", "classifier: tsk, knn, bayes, centroid")
+	flag.Parse()
+
+	if err := run(*seed, *dataPath, *outDir, *clfKind); err != nil {
+		fmt.Fprintln(os.Stderr, "cqmtrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, dataPath, outDir, clfKind string) error {
+	set, err := loadOrGenerate(seed, dataPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %d samples, classes %v\n", set.Len(), set.Counts())
+
+	trainer, err := trainerFor(clfKind)
+	if err != nil {
+		return err
+	}
+	set.Shuffle(seed)
+	trainSet, checkSet, testSet, err := set.Split(0.6, 0.2)
+	if err != nil {
+		return err
+	}
+	// The classifier trains on transition-free windows (the paper's pen is
+	// pre-trained on clean recordings); the quality FIS then observes it
+	// on everything, transitions included.
+	pureTrain := &dataset.Set{}
+	for _, smp := range trainSet.Samples {
+		if smp.Pure {
+			pureTrain.Append(smp)
+		}
+	}
+	if pureTrain.Len() == 0 {
+		pureTrain = trainSet
+	}
+	clf, err := trainer.Train(pureTrain)
+	if err != nil {
+		return fmt.Errorf("training classifier: %w", err)
+	}
+	acc, err := classify.Accuracy(clf, testSet)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("classifier: %s, test accuracy %.3f\n", clf.Name(), acc)
+
+	trainObs, err := core.Observe(clf, trainSet)
+	if err != nil {
+		return err
+	}
+	checkObs, err := core.Observe(clf, checkSet)
+	if err != nil {
+		return err
+	}
+	testObs, err := core.Observe(clf, testSet)
+	if err != nil {
+		return err
+	}
+	measure, err := core.Build(trainObs, checkObs, core.BuildConfig{})
+	if err != nil {
+		return fmt.Errorf("building quality measure: %w", err)
+	}
+	analysis, err := core.Analyze(measure, testObs)
+	if err != nil {
+		return fmt.Errorf("analyzing: %w", err)
+	}
+	fmt.Printf("quality FIS: %d rules over %d inputs\n", measure.Rules(), measure.Inputs())
+	fmt.Printf("densities: wrong N(%.3f, %.3f), right N(%.3f, %.3f)\n",
+		analysis.Wrong.Mu, analysis.Wrong.Sigma, analysis.Right.Mu, analysis.Right.Sigma)
+	fmt.Printf("optimal threshold s = %.4f\n", analysis.Threshold)
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	clfData, err := classify.MarshalClassifier(clf)
+	if err != nil {
+		return fmt.Errorf("serializing classifier: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "classifier.json"), clfData, 0o644); err != nil {
+		return err
+	}
+	// Verify the persisted classifier behaves identically before trusting
+	// the artifacts.
+	reloaded, err := classify.UnmarshalClassifier(clfData)
+	if err != nil {
+		return fmt.Errorf("reloading classifier: %w", err)
+	}
+	reAcc, err := classify.Accuracy(reloaded, testSet)
+	if err != nil {
+		return err
+	}
+	if reAcc != acc {
+		return fmt.Errorf("reloaded classifier accuracy %v differs from %v", reAcc, acc)
+	}
+	if err := writeJSON(filepath.Join(outDir, "measure.json"), measure); err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(outDir, "analysis.json"), analysis); err != nil {
+		return err
+	}
+	if dataPath == "" {
+		f, err := os.Create(filepath.Join(outDir, "dataset.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := set.WriteCSV(f); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("models written to %s\n", outDir)
+	return nil
+}
+
+func loadOrGenerate(seed int64, dataPath string) (*dataset.Set, error) {
+	if dataPath != "" {
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dataset.ReadCSV(f)
+	}
+	styles := []sensor.Style{
+		sensor.DefaultStyle(),
+		{Amplitude: 2.6, Tempo: 1.4, Irregularity: 0.9},
+		{Amplitude: 0.5, Tempo: 0.8, Irregularity: 0.5},
+		{Amplitude: 1.6, Tempo: 1.2, Irregularity: 0.6},
+		sensor.DefaultStyle(),
+		{Amplitude: 2.2, Tempo: 1.2, Irregularity: 0.8},
+	}
+	scenarios := make([]*sensor.Scenario, len(styles))
+	for i, st := range styles {
+		scenarios[i] = sensor.OfficeSession(st)
+	}
+	return dataset.Generate(dataset.GenerateConfig{
+		Scenarios:  scenarios,
+		WindowSize: 100,
+		WindowStep: 50,
+		Seed:       seed,
+	})
+}
+
+func trainerFor(kind string) (classify.Trainer, error) {
+	switch kind {
+	case "tsk":
+		return &classify.TSKTrainer{}, nil
+	case "knn":
+		return &classify.KNNTrainer{}, nil
+	case "bayes":
+		return &classify.NaiveBayesTrainer{}, nil
+	case "centroid":
+		return classify.NearestCentroidTrainer{}, nil
+	default:
+		return nil, fmt.Errorf("unknown classifier %q", kind)
+	}
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding %s: %w", path, err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,160 @@
+// Command tracetool records, inspects and converts AwarePen sensor
+// traces — the data-management workflow around the binary trace format.
+//
+// Usage:
+//
+//	tracetool record -out session.trace [-seed N] [-style nominal|wild|light] [-scenario office]
+//	tracetool info   -in session.trace
+//	tracetool csv    -in session.trace [-window 100]
+//
+// `record` captures a simulated session, `info` prints a summary, and
+// `csv` windows the trace into labelled stddev cues on stdout (the input
+// format cqmtrain accepts with -data).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"cqm/internal/dataset"
+	"cqm/internal/feature"
+	"cqm/internal/sensor"
+	"cqm/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fail(fmt.Errorf("usage: tracetool record|info|csv [flags]"))
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "info":
+		err = info(os.Args[2:])
+	case "csv":
+		err = toCSV(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracetool:", err)
+	os.Exit(1)
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("out", "session.trace", "output trace file")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	styleName := fs.String("style", "nominal", "user style: nominal, wild, light")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	style, err := styleFor(*styleName)
+	if err != nil {
+		return err
+	}
+	readings, err := sensor.OfficeSession(style).Run(rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Write(f, readings); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d readings (%.1f s) to %s\n",
+		len(readings), readings[len(readings)-1].T, *out)
+	return nil
+}
+
+func info(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "trace file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	readings, err := load(*in)
+	if err != nil {
+		return err
+	}
+	counts := make(map[sensor.Context]int)
+	for _, r := range readings {
+		counts[r.Truth]++
+	}
+	fmt.Printf("%d readings over %.2f s\n", len(readings), readings[len(readings)-1].T-readings[0].T)
+	for _, c := range sensor.AllContexts() {
+		if n := counts[c]; n > 0 {
+			fmt.Printf("  %-8s %6d readings (%.1f s)\n", c, n, float64(n)*0.01)
+		}
+	}
+	fmt.Printf("end-of-writing moments at: %v\n", endOfWriting(readings))
+	return nil
+}
+
+func endOfWriting(readings []sensor.Reading) []float64 {
+	var out []float64
+	for i := 1; i < len(readings); i++ {
+		if readings[i-1].Truth == sensor.ContextWriting && readings[i].Truth != sensor.ContextWriting {
+			out = append(out, readings[i].T)
+		}
+	}
+	return out
+}
+
+func toCSV(args []string) error {
+	fs := flag.NewFlagSet("csv", flag.ExitOnError)
+	in := fs.String("in", "", "trace file")
+	window := fs.Int("window", 100, "readings per cue window")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	readings, err := load(*in)
+	if err != nil {
+		return err
+	}
+	windows, err := (feature.Windower{Size: *window}).Slide(readings)
+	if err != nil {
+		return err
+	}
+	set := &dataset.Set{}
+	for _, w := range windows {
+		set.Append(dataset.Sample{Cues: w.Cues, Truth: w.Truth, Pure: w.Pure})
+	}
+	return set.WriteCSV(os.Stdout)
+}
+
+func load(path string) ([]sensor.Reading, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -in")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+func styleFor(name string) (sensor.Style, error) {
+	switch name {
+	case "nominal":
+		return sensor.DefaultStyle(), nil
+	case "wild":
+		return sensor.Style{Amplitude: 2.6, Tempo: 1.4, Irregularity: 0.9}, nil
+	case "light":
+		return sensor.Style{Amplitude: 0.5, Tempo: 0.8, Irregularity: 0.5}, nil
+	default:
+		return sensor.Style{}, fmt.Errorf("unknown style %q", name)
+	}
+}

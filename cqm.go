@@ -1,0 +1,187 @@
+// Package cqm is the public API of the Context Quality Measure library — a
+// faithful reproduction of "Using a Context Quality Measure for Improving
+// Smart Appliances" (Berchtold, Decker, Riedel, Zimmer, Beigl; ICDCS
+// Workshops 2007).
+//
+// The CQM is a real-time quality value q ∈ [0,1] attached to every context
+// classification by a second TSK fuzzy inference system that treats the
+// classifier as a black box. Appliances use q to discard untrustworthy
+// classifications; the paper's AwarePen discards 33 % of classifications —
+// exactly the wrong ones — this way.
+//
+// # Quick start
+//
+//	set, _ := cqm.GenerateDataset(cqm.GenerateConfig{
+//	    Scenarios: []*cqm.Scenario{cqm.OfficeSession(cqm.DefaultStyle())},
+//	    Seed:      1,
+//	})
+//	clf, _ := (&cqm.TSKTrainer{}).Train(set)
+//	obs, _ := cqm.Observe(clf, set)
+//	measure, _ := cqm.BuildMeasure(obs, nil, cqm.MeasureConfig{})
+//	analysis, _ := cqm.Analyze(measure, obs)
+//	filter, _ := cqm.NewFilter(measure, analysis.Threshold)
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package cqm
+
+import (
+	"cqm/internal/classify"
+	"cqm/internal/core"
+	"cqm/internal/dataset"
+	"cqm/internal/fusion"
+	"cqm/internal/predict"
+	"cqm/internal/sensor"
+)
+
+// Re-exported context types (the AwarePen's classes).
+type (
+	// Context is a context class of a smart appliance.
+	Context = sensor.Context
+	// Style is a user's movement style for the simulated sensing.
+	Style = sensor.Style
+	// Scenario scripts a simulated recording session.
+	Scenario = sensor.Scenario
+	// Segment is one phase of a scenario.
+	Segment = sensor.Segment
+	// Reading is one labelled accelerometer sample.
+	Reading = sensor.Reading
+	// Accelerometer simulates the ADXL-style 3-axis sensor.
+	Accelerometer = sensor.Accelerometer
+)
+
+// The AwarePen's contexts.
+const (
+	ContextUnknown = sensor.ContextUnknown
+	ContextLying   = sensor.ContextLying
+	ContextWriting = sensor.ContextWriting
+	ContextPlaying = sensor.ContextPlaying
+)
+
+// Re-exported sensing helpers.
+var (
+	// AllContexts lists the recognizable contexts.
+	AllContexts = sensor.AllContexts
+	// DefaultStyle is the nominal user.
+	DefaultStyle = sensor.DefaultStyle
+	// OfficeSession scripts the paper's canonical whiteboard session.
+	OfficeSession = sensor.OfficeSession
+)
+
+// Re-exported dataset types.
+type (
+	// Sample is one labelled cue vector.
+	Sample = dataset.Sample
+	// Dataset is an ordered labelled sample collection.
+	Dataset = dataset.Set
+	// GenerateConfig parameterizes scenario-driven generation.
+	GenerateConfig = dataset.GenerateConfig
+)
+
+// GenerateDataset runs scripted scenarios into a labelled cue set.
+var GenerateDataset = dataset.Generate
+
+// Re-exported classification layer (the black boxes the CQM wraps).
+type (
+	// Classifier assigns cue vectors to contexts.
+	Classifier = classify.Classifier
+	// Trainer fits a Classifier to a labelled set.
+	Trainer = classify.Trainer
+	// TSKTrainer builds the AwarePen's TSK-FIS classifier.
+	TSKTrainer = classify.TSKTrainer
+	// KNNTrainer builds a k-nearest-neighbour baseline.
+	KNNTrainer = classify.KNNTrainer
+	// NaiveBayesTrainer builds a Gaussian naive-Bayes baseline.
+	NaiveBayesTrainer = classify.NaiveBayesTrainer
+	// NearestCentroidTrainer builds the simplest baseline.
+	NearestCentroidTrainer = classify.NearestCentroidTrainer
+)
+
+// Classifier evaluation and persistence.
+var (
+	// ClassifierAccuracy evaluates a classifier on a labelled set.
+	ClassifierAccuracy = classify.Accuracy
+	// MarshalClassifier serializes any classifier of this library.
+	MarshalClassifier = classify.MarshalClassifier
+	// UnmarshalClassifier restores a serialized classifier.
+	UnmarshalClassifier = classify.UnmarshalClassifier
+)
+
+// Re-exported CQM core — the paper's contribution.
+type (
+	// Measure is the Context Quality Measure.
+	Measure = core.Measure
+	// MeasureConfig parameterizes the automated FIS construction.
+	MeasureConfig = core.BuildConfig
+	// Observation is one classified sample with secondary knowledge.
+	Observation = core.Observation
+	// Analysis is the §2.3 statistical analysis.
+	Analysis = core.Analysis
+	// Filter applies the quality threshold to classifications.
+	Filter = core.Filter
+	// AdaptiveFilter tracks a drifting threshold from labelled feedback.
+	AdaptiveFilter = core.AdaptiveFilter
+	// AdaptiveConfig parameterizes the adaptive filter.
+	AdaptiveConfig = core.AdaptiveConfig
+	// Decision is one filtering outcome.
+	Decision = core.Decision
+	// FilterStats is the batch filtering account.
+	FilterStats = core.FilterStats
+)
+
+// Core pipeline functions.
+var (
+	// Observe runs a black-box classifier over a labelled set.
+	Observe = core.Observe
+	// BuildMeasure constructs the quality FIS from observations.
+	BuildMeasure = core.Build
+	// Analyze fits the right/wrong densities and optimal threshold.
+	Analyze = core.Analyze
+	// NewFilter builds the acceptance filter at a threshold.
+	NewFilter = core.NewFilter
+	// NewAdaptiveFilter builds a filter whose threshold follows feedback.
+	NewAdaptiveFilter = core.NewAdaptiveFilter
+	// Normalize is the paper's normalization function L.
+	Normalize = core.Normalize
+	// IsEpsilon reports the ε error state.
+	IsEpsilon = core.IsEpsilon
+)
+
+// ErrEpsilon is the normalization error state ε.
+var ErrEpsilon = core.ErrEpsilon
+
+// AugmentObservations builds the exhaustive counterfactual training set
+// used by the context-prediction extension.
+var AugmentObservations = core.AugmentObservations
+
+// Re-exported outlook extensions (paper §5): context prediction and
+// quality-weighted fusion.
+type (
+	// PredictConfig parameterizes the quality-trend monitor.
+	PredictConfig = predict.Config
+	// PredictMonitor tracks per-class quality trends to anticipate
+	// context changes.
+	PredictMonitor = predict.Monitor
+	// FusionReport is one appliance's context report.
+	FusionReport = fusion.Report
+	// FusionStrategy selects how reports are fused.
+	FusionStrategy = fusion.Strategy
+	// FusionConsensus is a fused outcome.
+	FusionConsensus = fusion.Consensus
+	// RoomAggregator maps fused contexts onto higher-level room states.
+	RoomAggregator = fusion.Aggregator
+)
+
+// Fusion strategies.
+const (
+	FusionMajorityVote    = fusion.MajorityVote
+	FusionQualityWeighted = fusion.QualityWeighted
+	FusionBestQuality     = fusion.BestQuality
+)
+
+// Outlook-extension constructors.
+var (
+	// NewPredictMonitor builds a context-change monitor over a measure.
+	NewPredictMonitor = predict.NewMonitor
+	// Fuse combines appliance reports under a strategy.
+	Fuse = fusion.Fuse
+)

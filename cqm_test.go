@@ -1,0 +1,83 @@
+package cqm_test
+
+import (
+	"testing"
+
+	"cqm"
+)
+
+// TestFacadeEndToEnd drives the public API exactly the way the README's
+// quick start does: generate data, train a classifier, observe it, build
+// the quality measure, analyze, and filter.
+func TestFacadeEndToEnd(t *testing.T) {
+	set, err := cqm.GenerateDataset(cqm.GenerateConfig{
+		Scenarios: []*cqm.Scenario{
+			cqm.OfficeSession(cqm.DefaultStyle()),
+			cqm.OfficeSession(cqm.Style{Amplitude: 2.6, Tempo: 1.4, Irregularity: 0.9}),
+			cqm.OfficeSession(cqm.DefaultStyle()),
+			cqm.OfficeSession(cqm.Style{Amplitude: 2.2, Tempo: 1.2, Irregularity: 0.8}),
+		},
+		WindowSize: 100,
+		WindowStep: 50,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := (&cqm.TSKTrainer{}).Train(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := cqm.ClassifierAccuracy(clf, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.5 {
+		t.Fatalf("classifier accuracy %v implausibly low", acc)
+	}
+	obs, err := cqm.Observe(clf, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure, err := cqm.BuildMeasure(obs, nil, cqm.MeasureConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis, err := cqm.Analyze(measure, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analysis.Threshold <= 0 || analysis.Threshold >= 1 {
+		t.Fatalf("threshold %v outside (0,1)", analysis.Threshold)
+	}
+	filter, err := cqm.NewFilter(measure, analysis.Threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := filter.Run(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.AcceptedAccuracy() < stats.RawAccuracy() {
+		t.Errorf("filtering reduced accuracy: %v -> %v",
+			stats.RawAccuracy(), stats.AcceptedAccuracy())
+	}
+}
+
+func TestFacadeNormalize(t *testing.T) {
+	if q, err := cqm.Normalize(1.2); err != nil || q != 0.8 {
+		t.Errorf("Normalize(1.2) = %v, %v", q, err)
+	}
+	if _, err := cqm.Normalize(7); !cqm.IsEpsilon(err) {
+		t.Errorf("Normalize(7) err = %v, want ε", err)
+	}
+}
+
+func TestFacadeContexts(t *testing.T) {
+	if len(cqm.AllContexts()) != 3 {
+		t.Error("AllContexts should list 3 classes")
+	}
+	if cqm.ContextWriting.String() != "writing" {
+		t.Error("context naming broken")
+	}
+}

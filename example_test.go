@@ -1,0 +1,46 @@
+package cqm_test
+
+import (
+	"fmt"
+
+	"cqm"
+)
+
+// The normalization function L folds slightly-out-of-range FIS outputs
+// back into [0,1] and maps everything else to the ε error state.
+func ExampleNormalize() {
+	q, _ := cqm.Normalize(1.2) // overshoot past the designated 1
+	fmt.Printf("%.1f\n", q)
+	_, err := cqm.Normalize(3.0) // uninterpretable
+	fmt.Println(cqm.IsEpsilon(err))
+	// Output:
+	// 0.8
+	// true
+}
+
+// Quality-weighted fusion believes the trustworthy source even when the
+// majority disagrees.
+func ExampleFuse() {
+	reports := []cqm.FusionReport{
+		{Source: "pen-1", Class: cqm.ContextPlaying, Quality: 0.15, HasQuality: true},
+		{Source: "pen-2", Class: cqm.ContextPlaying, Quality: 0.15, HasQuality: true},
+		{Source: "pen-3", Class: cqm.ContextWriting, Quality: 0.95, HasQuality: true},
+	}
+	majority, _ := cqm.Fuse(reports, cqm.FusionMajorityVote)
+	weighted, _ := cqm.Fuse(reports, cqm.FusionQualityWeighted)
+	fmt.Println(majority.Class, weighted.Class)
+	// Output:
+	// playing writing
+}
+
+// Contexts carry stable numeric identifiers — the c component of the
+// quality FIS input v_Q.
+func ExampleContext() {
+	for _, c := range cqm.AllContexts() {
+		fmt.Println(c.ID(), c)
+	}
+	// Output:
+	// 1 lying
+	// 2 writing
+	// 3 playing
+}

@@ -1,0 +1,128 @@
+// AwarePen example: the full recognition pipeline of the paper's Figure 4,
+// window by window — sensors → stddev cues → TSK classification → quality
+// measure → normalized CQM — on a session the classifier was never
+// trained for (an erratic user, with context transitions).
+//
+// Run with:
+//
+//	go run ./examples/awarepen
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cqm"
+	"cqm/internal/classify"
+	"cqm/internal/core"
+	"cqm/internal/dataset"
+	"cqm/internal/feature"
+	"cqm/internal/sensor"
+)
+
+func main() {
+	// Train the classifier on the nominal user only — the paper's
+	// pre-trained AwarePen.
+	clean, err := cqm.GenerateDataset(cqm.GenerateConfig{
+		Scenarios: []*cqm.Scenario{{Segments: []cqm.Segment{
+			{Context: cqm.ContextLying, Duration: 12},
+			{Context: cqm.ContextWriting, Duration: 12},
+			{Context: cqm.ContextPlaying, Duration: 12},
+		}}},
+		WindowSize: 100,
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	clf, err := (&classify.TSKTrainer{}).Train(clean)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the quality measure from mixed sessions with transitions and
+	// off-style users — where the classifier actually errs.
+	mixed, err := dataset.Generate(dataset.GenerateConfig{
+		Scenarios: []*sensor.Scenario{
+			sensor.OfficeSession(sensor.DefaultStyle()),
+			sensor.OfficeSession(sensor.Style{Amplitude: 2.6, Tempo: 1.4, Irregularity: 0.9}),
+			sensor.OfficeSession(sensor.Style{Amplitude: 1.6, Tempo: 1.2, Irregularity: 0.6}),
+			sensor.OfficeSession(sensor.DefaultStyle()),
+		},
+		WindowSize: 100,
+		WindowStep: 50,
+		Seed:       8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs, err := core.Observe(clf, mixed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measure, err := core.Build(obs, nil, core.BuildConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, err := core.Analyze(measure, obs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline ready: %d-rule quality FIS, threshold s = %.3f\n\n",
+		measure.Rules(), analysis.Threshold)
+
+	// Stream a fresh erratic-user session through the pipeline.
+	rng := rand.New(rand.NewSource(9))
+	session := sensor.OfficeSession(sensor.Style{Amplitude: 1.6, Tempo: 1.2, Irregularity: 0.6})
+	readings, err := session.Run(rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	windows, err := (feature.Windower{Size: 100}).Slide(readings)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %-9s %-9s %-7s %s\n", "t[s]", "truth", "class", "CQM", "verdict")
+	var kept, keptRight, total, right int
+	for _, w := range windows {
+		class, err := clf.Classify(w.Cues)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total++
+		if class == w.Truth {
+			right++
+		}
+		q, err := measure.Score(w.Cues, class)
+		verdict := "accept"
+		switch {
+		case err != nil && core.IsEpsilon(err):
+			verdict = "discard (ε)"
+		case err != nil:
+			log.Fatal(err)
+		case q <= analysis.Threshold:
+			verdict = "discard"
+		default:
+			kept++
+			if class == w.Truth {
+				keptRight++
+			}
+		}
+		qs := "  ε  "
+		if err == nil {
+			qs = fmt.Sprintf("%.3f", q)
+		}
+		fmt.Printf("%-6.1f %-9s %-9s %-7s %s\n", w.End, w.Truth, class, qs, verdict)
+	}
+	fmt.Printf("\nraw accuracy %.2f → filtered accuracy %.2f (%d of %d windows kept)\n",
+		float64(right)/float64(total), float64(keptRight)/float64(max(kept, 1)), kept, total)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,180 @@
+// Outlook example: the two extensions sketched in the paper's §5 outlook,
+// running on the public API.
+//
+//  1. Context prediction — the quality measure scores the live cue window
+//     against *every* class; a rising alternative signals that "a context
+//     classification changes in direction to another context" before the
+//     classifier flips.
+//  2. Fusion — three pens observe the same room; quality-weighted voting
+//     beats blind majority because the CQM says which reports to believe.
+//
+// Run with:
+//
+//	go run ./examples/outlook
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cqm"
+	"cqm/internal/feature"
+)
+
+func main() {
+	clf, measure := trainStack()
+
+	fmt.Println("— context prediction —")
+	prediction(clf, measure)
+	fmt.Println("\n— quality-weighted fusion —")
+	fusionDemo(clf, measure)
+}
+
+// trainStack builds the classifier and an augmented quality measure whose
+// counterfactual scores are calibrated (needed for prediction).
+func trainStack() (cqm.Classifier, *cqm.Measure) {
+	clean, err := cqm.GenerateDataset(cqm.GenerateConfig{
+		Scenarios: []*cqm.Scenario{{Segments: []cqm.Segment{
+			{Context: cqm.ContextLying, Duration: 12},
+			{Context: cqm.ContextWriting, Duration: 12},
+			{Context: cqm.ContextPlaying, Duration: 12},
+		}}},
+		WindowSize: 100,
+		Seed:       31,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	clf, err := (&cqm.TSKTrainer{}).Train(clean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mixed, err := cqm.GenerateDataset(cqm.GenerateConfig{
+		Scenarios: []*cqm.Scenario{
+			cqm.OfficeSession(cqm.DefaultStyle()),
+			cqm.OfficeSession(cqm.Style{Amplitude: 2.6, Tempo: 1.4, Irregularity: 0.9}),
+			cqm.OfficeSession(cqm.Style{Amplitude: 1.6, Tempo: 1.2, Irregularity: 0.6}),
+			cqm.OfficeSession(cqm.DefaultStyle()),
+		},
+		WindowSize: 100,
+		WindowStep: 50,
+		Seed:       32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	augmented, err := cqm.AugmentObservations(mixed, cqm.AllContexts())
+	if err != nil {
+		log.Fatal(err)
+	}
+	measure, err := cqm.BuildMeasure(augmented, nil, cqm.MeasureConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return clf, measure
+}
+
+// prediction streams a session with a slow writing→playing transition and
+// prints the per-class quality trends around it.
+func prediction(clf cqm.Classifier, measure *cqm.Measure) {
+	monitor, err := cqm.NewPredictMonitor(measure, cqm.AllContexts(), cqm.PredictConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(33))
+	scenario := &cqm.Scenario{
+		Segments: []cqm.Segment{
+			{Context: cqm.ContextWriting, Duration: 8},
+			{Context: cqm.ContextPlaying, Duration: 8},
+		},
+		Transition: 1.5,
+	}
+	readings, err := scenario.Run(rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	windows, err := (feature.Windower{Size: 100, Step: 25}).Slide(readings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s %-9s %-9s %-22s %s\n", "t[s]", "truth", "class", "q(lie)/q(write)/q(play)", "signal")
+	for _, w := range windows {
+		class, err := clf.Classify(w.Cues)
+		if err != nil {
+			log.Fatal(err)
+		}
+		step, err := monitor.Observe(w.Cues, class)
+		if err != nil {
+			log.Fatal(err)
+		}
+		signal := ""
+		if step.ChangeIndicated {
+			signal = "→ drifting toward " + step.Predicted.String()
+		}
+		fmt.Printf("%-6.2f %-9s %-9s %.2f / %.2f / %.2f       %s\n",
+			w.End, w.Truth, class,
+			step.Qualities[cqm.ContextLying],
+			step.Qualities[cqm.ContextWriting],
+			step.Qualities[cqm.ContextPlaying],
+			signal)
+	}
+}
+
+// fusionDemo fuses three pens with different user styles.
+func fusionDemo(clf cqm.Classifier, measure *cqm.Measure) {
+	styles := []cqm.Style{
+		cqm.DefaultStyle(),
+		{Amplitude: 1.6, Tempo: 1.2, Irregularity: 0.6},
+		{Amplitude: 2.6, Tempo: 1.4, Irregularity: 0.9},
+	}
+	rng := rand.New(rand.NewSource(34))
+	var sources [][]feature.Window
+	for _, style := range styles {
+		scenario := &cqm.Scenario{
+			Segments: []cqm.Segment{
+				{Context: cqm.ContextWriting, Duration: 10},
+				{Context: cqm.ContextPlaying, Duration: 6},
+				{Context: cqm.ContextLying, Duration: 6},
+			},
+			Style: style,
+		}
+		readings, err := scenario.Run(rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		windows, err := (feature.Windower{Size: 100}).Slide(readings)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sources = append(sources, windows)
+	}
+	n := len(sources[0])
+	majCorrect, qwCorrect := 0, 0
+	for w := 0; w < n; w++ {
+		truth := sources[0][w].Truth
+		var reports []cqm.FusionReport
+		for si, windows := range sources {
+			win := windows[w]
+			class, err := clf.Classify(win.Cues)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep := cqm.FusionReport{Source: fmt.Sprintf("pen-%d", si+1), Class: class}
+			if q, err := measure.Score(win.Cues, class); err == nil {
+				rep.Quality = q
+				rep.HasQuality = true
+			}
+			reports = append(reports, rep)
+		}
+		if c, err := cqm.Fuse(reports, cqm.FusionMajorityVote); err == nil && c.Class == truth {
+			majCorrect++
+		}
+		if c, err := cqm.Fuse(reports, cqm.FusionQualityWeighted); err == nil && c.Class == truth {
+			qwCorrect++
+		}
+	}
+	fmt.Printf("fused %d windows from %d pens\n", n, len(sources))
+	fmt.Printf("majority vote     accuracy %.3f\n", float64(majCorrect)/float64(n))
+	fmt.Printf("quality weighted  accuracy %.3f\n", float64(qwCorrect)/float64(n))
+}

@@ -1,0 +1,84 @@
+// Quickstart: the minimal CQM walkthrough using only the public API.
+//
+//  1. Simulate labelled AwarePen data.
+//  2. Train the context classifier (a black box from the CQM's view).
+//  3. Build the Context Quality Measure over its classifications.
+//  4. Derive the optimal threshold and filter a fresh session.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cqm"
+)
+
+func main() {
+	// 1. Labelled data from simulated whiteboard sessions: a nominal user
+	// and an erratic one whose writing resembles playing.
+	set, err := cqm.GenerateDataset(cqm.GenerateConfig{
+		Scenarios: []*cqm.Scenario{
+			cqm.OfficeSession(cqm.DefaultStyle()),
+			cqm.OfficeSession(cqm.Style{Amplitude: 2.6, Tempo: 1.4, Irregularity: 0.9}),
+			cqm.OfficeSession(cqm.DefaultStyle()),
+			cqm.OfficeSession(cqm.Style{Amplitude: 2.2, Tempo: 1.2, Irregularity: 0.8}),
+		},
+		WindowSize: 100,
+		WindowStep: 50,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d labelled windows\n", set.Len())
+
+	// 2. The AwarePen's own classifier: a TSK-FIS over stddev cues.
+	clf, err := (&cqm.TSKTrainer{}).Train(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := cqm.ClassifierAccuracy(clf, set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classifier %q accuracy: %.3f\n", clf.Name(), acc)
+
+	// 3. Observe the classifier and build the quality measure. The CQM
+	// only ever sees (cues in, class out) — the classifier stays a black
+	// box.
+	obs, err := cqm.Observe(clf, set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measure, err := cqm.BuildMeasure(obs, nil, cqm.MeasureConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("quality FIS: %d rules over %d inputs (cues + class)\n",
+		measure.Rules(), measure.Inputs())
+
+	// 4. Statistical analysis: densities, optimal threshold, filter.
+	analysis, err := cqm.Analyze(measure, obs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("right density N(%.3f, %.3f), wrong density N(%.3f, %.3f)\n",
+		analysis.Right.Mu, analysis.Right.Sigma, analysis.Wrong.Mu, analysis.Wrong.Sigma)
+	fmt.Printf("optimal threshold s = %.3f\n", analysis.Threshold)
+
+	filter, err := cqm.NewFilter(measure, analysis.Threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := filter.Run(obs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("filtering: %d/%d discarded (%.1f%%), accuracy %.3f → %.3f\n",
+		stats.Discarded, stats.Total, 100*stats.DiscardRate(),
+		stats.RawAccuracy(), stats.AcceptedAccuracy())
+}

@@ -1,0 +1,3 @@
+module cqm
+
+go 1.22

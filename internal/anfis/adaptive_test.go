@@ -1,0 +1,75 @@
+package anfis
+
+import (
+	"testing"
+
+	"cqm/internal/cluster"
+)
+
+func TestAdaptiveRateChangesStepSize(t *testing.T) {
+	train := sineData(60, 70, 0.02)
+	sys, err := Build(train, BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := Train(sys, train, nil, Config{
+		Epochs:       60,
+		LearningRate: 0.05,
+		AdaptiveRate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.LearningRates) != len(hist.TrainRMSE) {
+		t.Fatalf("rate history %d entries vs %d errors",
+			len(hist.LearningRates), len(hist.TrainRMSE))
+	}
+	changed := false
+	for i := 1; i < len(hist.LearningRates); i++ {
+		if hist.LearningRates[i] != hist.LearningRates[0] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("adaptive rate never adapted over 60 epochs")
+	}
+}
+
+func TestAdaptiveRateDoesNotHurtFit(t *testing.T) {
+	train := sineData(60, 71, 0.02)
+	base, err := Build(train, BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := base.Clone()
+	adaptive := base.Clone()
+	if _, err := Train(fixed, train, nil, Config{Epochs: 40, LearningRate: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(adaptive, train, nil, Config{Epochs: 40, LearningRate: 0.05, AdaptiveRate: true}); err != nil {
+		t.Fatal(err)
+	}
+	fixedErr := RMSE(fixed, train)
+	adaptiveErr := RMSE(adaptive, train)
+	if adaptiveErr > fixedErr*1.5+1e-9 {
+		t.Errorf("adaptive rate much worse: %v vs fixed %v", adaptiveErr, fixedErr)
+	}
+}
+
+func TestFixedRateHistoryIsConstant(t *testing.T) {
+	train := sineData(30, 72, 0.02)
+	sys, err := Build(train, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := Train(sys, train, nil, Config{Epochs: 10, LearningRate: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range hist.LearningRates {
+		if r != 0.03 {
+			t.Fatalf("fixed-rate training recorded rate %v", r)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package anfis
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cqm/internal/cluster"
+	"cqm/internal/fuzzy"
+	"cqm/internal/regress"
+)
+
+// sineData samples y = sin(x) over [0, 2π].
+func sineData(n int, seed int64, noise float64) *Data {
+	r := rand.New(rand.NewSource(seed))
+	d := &Data{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := 2 * math.Pi * float64(i) / float64(n-1)
+		d.X[i] = []float64{x}
+		d.Y[i] = math.Sin(x) + noise*r.NormFloat64()
+	}
+	return d
+}
+
+func TestDataValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		d    Data
+		n    int
+		want error
+	}{
+		{"empty", Data{}, 0, ErrEmptyData},
+		{"length mismatch", Data{X: [][]float64{{1}}, Y: []float64{1, 2}}, 0, ErrMismatch},
+		{"ragged", Data{X: [][]float64{{1}, {1, 2}}, Y: []float64{1, 2}}, 0, ErrMismatch},
+		{"wrong arity", Data{X: [][]float64{{1}}, Y: []float64{1}}, 2, ErrMismatch},
+		{"ok", Data{X: [][]float64{{1}}, Y: []float64{1}}, 1, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.d.Validate(tt.n)
+			if tt.want == nil && err != nil {
+				t.Errorf("err = %v, want nil", err)
+			}
+			if tt.want != nil && !errors.Is(err, tt.want) {
+				t.Errorf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestBuildLinearTargetIsExact(t *testing.T) {
+	// A linear target is representable exactly by TSK linear consequents,
+	// whatever the rule partition: the initial LSE fit must nail it.
+	r := rand.New(rand.NewSource(1))
+	d := &Data{}
+	for i := 0; i < 60; i++ {
+		x1, x2 := r.Float64(), r.Float64()
+		d.X = append(d.X, []float64{x1, x2})
+		d.Y = append(d.Y, 2*x1-3*x2+0.5)
+	}
+	sys, err := Build(d, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse := RMSE(sys, d); rmse > 1e-6 {
+		t.Errorf("RMSE = %v, want ~0 for linear target", rmse)
+	}
+}
+
+func TestBuildSineApproximation(t *testing.T) {
+	d := sineData(80, 2, 0)
+	sys, err := Build(d, BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumRules() < 2 {
+		t.Fatalf("only %d rules for a sine", sys.NumRules())
+	}
+	if rmse := RMSE(sys, d); rmse > 0.1 {
+		t.Errorf("sine RMSE = %v, want < 0.1", rmse)
+	}
+}
+
+func TestBuildEmptyData(t *testing.T) {
+	if _, err := Build(&Data{}, BuildConfig{}); !errors.Is(err, ErrEmptyData) {
+		t.Errorf("err = %v, want ErrEmptyData", err)
+	}
+}
+
+func TestFitConsequentsRecoverLinear(t *testing.T) {
+	// One wide rule over 1D data: the consequent must become y = 2x + 1.
+	sys, err := fuzzy.NewTSK(1, []fuzzy.Rule{{
+		Antecedent: []fuzzy.Gaussian{{Mu: 0.5, Sigma: 10}},
+		Coeffs:     []float64{0, 0},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Data{}
+	for i := 0; i < 20; i++ {
+		x := float64(i) / 19
+		d.X = append(d.X, []float64{x})
+		d.Y = append(d.Y, 2*x+1)
+	}
+	if err := FitConsequents(sys, d, regress.MethodSVD); err != nil {
+		t.Fatal(err)
+	}
+	rule := sys.Rule(0)
+	if math.Abs(rule.Coeffs[0]-2) > 1e-8 || math.Abs(rule.Coeffs[1]-1) > 1e-8 {
+		t.Errorf("Coeffs = %v, want [2 1]", rule.Coeffs)
+	}
+}
+
+func TestFitConsequentsArityMismatch(t *testing.T) {
+	sys, _ := fuzzy.NewTSK(2, []fuzzy.Rule{{
+		Antecedent: []fuzzy.Gaussian{{Mu: 0, Sigma: 1}, {Mu: 0, Sigma: 1}},
+		Coeffs:     []float64{0, 0, 0},
+	}})
+	d := &Data{X: [][]float64{{1}}, Y: []float64{1}}
+	if err := FitConsequents(sys, d, 0); !errors.Is(err, ErrMismatch) {
+		t.Errorf("err = %v, want ErrMismatch", err)
+	}
+}
+
+func TestBackwardPassGradientMatchesNumerical(t *testing.T) {
+	// Verify the analytic gradients of the backward pass against central
+	// finite differences of the batch loss L = ½ Σ (S(v)−y)².
+	d := sineData(15, 3, 0)
+	sys, err := fuzzy.NewTSK(1, []fuzzy.Rule{
+		{Antecedent: []fuzzy.Gaussian{{Mu: 1, Sigma: 1.2}}, Coeffs: []float64{0.3, 0.2}},
+		{Antecedent: []fuzzy.Gaussian{{Mu: 4, Sigma: 1.5}}, Coeffs: []float64{-0.4, 0.1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := func(s *fuzzy.TSK) float64 {
+		var l float64
+		for i, v := range d.X {
+			out, err := s.Eval(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := out - d.Y[i]
+			l += 0.5 * e * e
+		}
+		return l
+	}
+	const lr = 1e-6 // tiny step so the update ≈ −lr/count·∇L
+	before := sys.Clone()
+	backwardPass(sys, d, Config{LearningRate: lr, MinSigma: 1e-9}.withDefaults())
+	count := float64(d.Len())
+	const h = 1e-6
+	for j := 0; j < sys.NumRules(); j++ {
+		ruleBefore := before.Rule(j)
+		ruleAfter := sys.Rule(j)
+		// Analytic gradient recovered from the parameter delta.
+		gradMu := -(ruleAfter.Antecedent[0].Mu - ruleBefore.Antecedent[0].Mu) * count / lr
+		gradSigma := -(ruleAfter.Antecedent[0].Sigma - ruleBefore.Antecedent[0].Sigma) * count / lr
+		// Numerical gradients.
+		perturb := func(dMu, dSigma float64) float64 {
+			cp := before.Clone()
+			r := cp.Rule(j)
+			r.Antecedent[0].Mu += dMu
+			r.Antecedent[0].Sigma += dSigma
+			if err := cp.SetRule(j, r); err != nil {
+				t.Fatal(err)
+			}
+			return loss(cp)
+		}
+		numMu := (perturb(h, 0) - perturb(-h, 0)) / (2 * h)
+		numSigma := (perturb(0, h) - perturb(0, -h)) / (2 * h)
+		if math.Abs(gradMu-numMu) > 1e-3*math.Max(1, math.Abs(numMu)) {
+			t.Errorf("rule %d: gradMu = %v, numerical %v", j, gradMu, numMu)
+		}
+		if math.Abs(gradSigma-numSigma) > 1e-3*math.Max(1, math.Abs(numSigma)) {
+			t.Errorf("rule %d: gradSigma = %v, numerical %v", j, gradSigma, numSigma)
+		}
+	}
+}
+
+func TestTrainImprovesSineFit(t *testing.T) {
+	train := sineData(60, 4, 0.02)
+	sys, err := Build(train, BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := RMSE(sys, train)
+	hist, err := Train(sys, train, nil, Config{Epochs: 40, LearningRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := RMSE(sys, train)
+	if after > before+1e-12 {
+		t.Errorf("training worsened RMSE: %v -> %v", before, after)
+	}
+	if len(hist.TrainRMSE) == 0 {
+		t.Error("no training history recorded")
+	}
+	if hist.Reason == "" {
+		t.Error("no stop reason recorded")
+	}
+	if hist.BestEpoch < 0 || hist.BestEpoch >= len(hist.TrainRMSE) {
+		t.Errorf("BestEpoch %d out of range", hist.BestEpoch)
+	}
+}
+
+func TestTrainRollsBackToBestCheckEpoch(t *testing.T) {
+	// A destructive learning rate degrades the system quickly; the
+	// check-set stopping rule must both stop early and roll back so the
+	// final system is the best one seen.
+	train := sineData(40, 5, 0.05)
+	check := sineData(25, 6, 0.05)
+	sys, err := Build(train, BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := Train(sys, train, check, Config{Epochs: 200, LearningRate: 8, Patience: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.CheckRMSE) == 0 {
+		t.Fatal("no check history")
+	}
+	finalCheck := RMSE(sys, check)
+	bestSeen := hist.CheckRMSE[0]
+	for _, e := range hist.CheckRMSE {
+		if e < bestSeen {
+			bestSeen = e
+		}
+	}
+	if finalCheck > bestSeen+1e-9 {
+		t.Errorf("rollback failed: final check RMSE %v, best seen %v", finalCheck, bestSeen)
+	}
+}
+
+func TestTrainStopsOnCheckDegradation(t *testing.T) {
+	// Noisy data with a fine rule partition overfits quickly: the check
+	// error must degrade and stop training well before the epoch budget.
+	train := sineData(40, 7, 0.15)
+	check := sineData(25, 8, 0.15)
+	sys, err := Build(train, BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := Train(sys, train, check, Config{Epochs: 500, LearningRate: 2, Patience: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Reason != StopCheckDegraded {
+		t.Errorf("Reason = %q after %d epochs, want check degradation",
+			hist.Reason, len(hist.TrainRMSE))
+	}
+}
+
+func TestTrainValidatesInputs(t *testing.T) {
+	sys, _ := fuzzy.NewTSK(1, []fuzzy.Rule{{
+		Antecedent: []fuzzy.Gaussian{{Mu: 0, Sigma: 1}},
+		Coeffs:     []float64{0, 0},
+	}})
+	if _, err := Train(sys, &Data{}, nil, Config{}); err == nil {
+		t.Error("empty train set accepted")
+	}
+	good := &Data{X: [][]float64{{1}}, Y: []float64{1}}
+	badCheck := &Data{X: [][]float64{{1, 2}}, Y: []float64{1}}
+	if _, err := Train(sys, good, badCheck, Config{}); err == nil {
+		t.Error("bad check set accepted")
+	}
+	if _, err := Train(sys, good, nil, Config{LearningRate: -1}); err == nil {
+		t.Error("negative learning rate accepted")
+	}
+}
+
+func TestRMSEPenalizesNoActivation(t *testing.T) {
+	sys, _ := fuzzy.NewTSK(1, []fuzzy.Rule{{
+		Antecedent: []fuzzy.Gaussian{{Mu: 0, Sigma: 1e-3}},
+		Coeffs:     []float64{0, 0},
+	}})
+	d := &Data{X: [][]float64{{1e9}}, Y: []float64{0}}
+	if got := RMSE(sys, d); got != 1 {
+		t.Errorf("RMSE = %v, want 1 (worst case) for dead input", got)
+	}
+	if got := RMSE(sys, &Data{}); got != 0 {
+		t.Errorf("RMSE of empty data = %v, want 0", got)
+	}
+}
+
+func TestSigmaFloorHolds(t *testing.T) {
+	train := sineData(30, 9, 0)
+	sys, err := Build(train, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const floor = 0.05
+	if _, err := Train(sys, train, nil, Config{Epochs: 50, LearningRate: 10, MinSigma: floor}); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < sys.NumRules(); j++ {
+		for _, mf := range sys.Rule(j).Antecedent {
+			if mf.Sigma < floor {
+				t.Errorf("sigma %v fell below the floor %v", mf.Sigma, floor)
+			}
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	d := sineData(100, 1, 0.01)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(d, BuildConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainEpoch(b *testing.B) {
+	d := sineData(100, 1, 0.01)
+	sys, err := Build(d, BuildConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := sys.Clone()
+		if _, err := Train(cp, d, nil, Config{Epochs: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

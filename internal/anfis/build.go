@@ -1,0 +1,191 @@
+package anfis
+
+import (
+	"fmt"
+
+	"cqm/internal/cluster"
+	"cqm/internal/fuzzy"
+	"cqm/internal/regress"
+)
+
+// BuildConfig parameterizes structure identification (paper §2.2.1–2.2.2).
+type BuildConfig struct {
+	// Clustering configures the subtractive clustering that determines the
+	// number of rules and the initial membership functions. The zero value
+	// uses Chiu's defaults.
+	Clustering cluster.SubtractiveConfig
+	// LSMethod selects the least-squares solver for the initial consequent
+	// fit; the zero value is the paper's SVD.
+	LSMethod regress.Method
+	// ConstantConsequents fits zero-order (constant) consequents instead
+	// of the paper's first-order linear ones — the ablation behind the
+	// paper's remark that "the linear functional consequence is used,
+	// since the results … are better".
+	ConstantConsequents bool
+}
+
+// Build performs automated FIS construction: subtractive clustering over
+// the input rows determines m rules whose Gaussian antecedents are centered
+// on the cluster centers with genfis2 widths, then a global least-squares
+// fit (SVD) determines the linear consequents against the targets.
+func Build(data *Data, cfg BuildConfig) (*fuzzy.TSK, error) {
+	if err := data.Validate(0); err != nil {
+		return nil, err
+	}
+	res, err := cluster.Subtractive(data.X, cfg.Clustering)
+	if err != nil {
+		return nil, fmt.Errorf("anfis: structure identification: %w", err)
+	}
+	return BuildFromCenters(data, res.Centers, res.Sigmas, cfg)
+}
+
+// BuildFromCenters assembles a TSK system with one rule per externally
+// supplied cluster center (mountain clustering, FCM, k-means — the
+// clustering ablation) and fits the consequents by least squares. sigmas
+// gives the per-dimension Gaussian widths; a single-element slice is
+// broadcast across dimensions.
+func BuildFromCenters(data *Data, centers [][]float64, sigmas []float64, cfg BuildConfig) (*fuzzy.TSK, error) {
+	if err := data.Validate(0); err != nil {
+		return nil, err
+	}
+	if len(centers) == 0 {
+		return nil, ErrNoRules
+	}
+	n := len(data.X[0])
+	sigmaAt := func(i int) float64 {
+		if len(sigmas) == 1 {
+			return sigmas[0]
+		}
+		if i < len(sigmas) {
+			return sigmas[i]
+		}
+		return 0
+	}
+	rules := make([]fuzzy.Rule, len(centers))
+	for j, center := range centers {
+		if len(center) != n {
+			return nil, fmt.Errorf("%w: center %d has %d dims, want %d", ErrMismatch, j, len(center), n)
+		}
+		ante := make([]fuzzy.Gaussian, n)
+		for i := 0; i < n; i++ {
+			s := sigmaAt(i)
+			if s <= 0 {
+				return nil, fmt.Errorf("%w: sigma %v for dimension %d", ErrMismatch, s, i)
+			}
+			ante[i] = fuzzy.Gaussian{Mu: center[i], Sigma: s}
+		}
+		rules[j] = fuzzy.Rule{
+			Antecedent: ante,
+			Coeffs:     make([]float64, n+1), // filled by the consequent fit
+		}
+	}
+	sys, err := fuzzy.NewTSK(n, rules)
+	if err != nil {
+		return nil, fmt.Errorf("anfis: assembling initial FIS: %w", err)
+	}
+	if cfg.ConstantConsequents {
+		err = FitConstantConsequents(sys, data, cfg.LSMethod)
+	} else {
+		err = FitConsequents(sys, data, cfg.LSMethod)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("anfis: initial consequent fit: %w", err)
+	}
+	return sys, nil
+}
+
+// FitConsequents performs the ANFIS forward pass: with the membership
+// functions fixed, the TSK output is linear in the consequent coefficients
+//
+//	S(v) = Σ_j ŵ_j(v)·(a_j·v + b_j),  ŵ_j = w_j / Σ_k w_k,
+//
+// so one global least-squares solve over rows
+// [ŵ_1·v, ŵ_1, …, ŵ_m·v, ŵ_m] fits all m·(n+1) coefficients at once.
+// Samples that activate no rule are skipped (they carry no gradient and no
+// linear information).
+func FitConsequents(sys *fuzzy.TSK, data *Data, method regress.Method) error {
+	if err := data.Validate(sys.Inputs()); err != nil {
+		return err
+	}
+	n := sys.Inputs()
+	m := sys.NumRules()
+	cols := m * (n + 1)
+	rows := make([][]float64, 0, data.Len())
+	targets := make([]float64, 0, data.Len())
+	for i, v := range data.X {
+		detail, err := sys.EvalDetail(v)
+		if err != nil {
+			// No rule fired for this sample: skip it.
+			continue
+		}
+		row := make([]float64, cols)
+		for j := 0; j < m; j++ {
+			wn := detail.Weights[j] / detail.WeightSum
+			base := j * (n + 1)
+			for k := 0; k < n; k++ {
+				row[base+k] = wn * v[k]
+			}
+			row[base+n] = wn
+		}
+		rows = append(rows, row)
+		targets = append(targets, data.Y[i])
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("%w: no sample activates any rule", ErrEmptyData)
+	}
+	w, err := regress.LeastSquares(rows, targets, method)
+	if err != nil {
+		return fmt.Errorf("anfis: consequent least squares: %w", err)
+	}
+	for j := 0; j < m; j++ {
+		rule := sys.Rule(j)
+		copy(rule.Coeffs, w[j*(n+1):(j+1)*(n+1)])
+		if err := sys.SetRule(j, rule); err != nil {
+			return fmt.Errorf("anfis: writing consequents of rule %d: %w", j, err)
+		}
+	}
+	return nil
+}
+
+// FitConstantConsequents fits zero-order consequents: each rule gets only
+// a constant term, so the design matrix has one column per rule holding
+// the normalized firing strength. Linear coefficients are zeroed.
+func FitConstantConsequents(sys *fuzzy.TSK, data *Data, method regress.Method) error {
+	if err := data.Validate(sys.Inputs()); err != nil {
+		return err
+	}
+	n := sys.Inputs()
+	m := sys.NumRules()
+	rows := make([][]float64, 0, data.Len())
+	targets := make([]float64, 0, data.Len())
+	for i, v := range data.X {
+		detail, err := sys.EvalDetail(v)
+		if err != nil {
+			continue
+		}
+		row := make([]float64, m)
+		for j := 0; j < m; j++ {
+			row[j] = detail.Weights[j] / detail.WeightSum
+		}
+		rows = append(rows, row)
+		targets = append(targets, data.Y[i])
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("%w: no sample activates any rule", ErrEmptyData)
+	}
+	w, err := regress.LeastSquares(rows, targets, method)
+	if err != nil {
+		return fmt.Errorf("anfis: constant consequent least squares: %w", err)
+	}
+	for j := 0; j < m; j++ {
+		rule := sys.Rule(j)
+		for k := 0; k < n; k++ {
+			rule.Coeffs[k] = 0
+		}
+		rule.Coeffs[n] = w[j]
+		if err := sys.SetRule(j, rule); err != nil {
+			return fmt.Errorf("anfis: writing constant consequent of rule %d: %w", j, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package anfis
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cqm/internal/cluster"
+)
+
+func TestBuildFromCentersMatchesSubtractiveBuild(t *testing.T) {
+	d := sineData(60, 20, 0)
+	res, err := cluster.Subtractive(d.X, cluster.SubtractiveConfig{Radius: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Build(d, BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCenters, err := BuildFromCenters(d, res.Centers, res.Sigmas, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.NumRules() != viaCenters.NumRules() {
+		t.Fatalf("rule counts differ: %d vs %d", direct.NumRules(), viaCenters.NumRules())
+	}
+	for _, x := range d.X[:10] {
+		a, _ := direct.Eval(x)
+		b, _ := viaCenters.Eval(x)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("outputs differ at %v: %v vs %v", x, a, b)
+		}
+	}
+}
+
+func TestBuildFromCentersBroadcastSigma(t *testing.T) {
+	d := sineData(40, 21, 0)
+	centers := [][]float64{{1}, {3}, {5}}
+	sys, err := BuildFromCenters(d, centers, []float64{0.8}, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumRules() != 3 {
+		t.Fatalf("rules = %d", sys.NumRules())
+	}
+	for j := 0; j < 3; j++ {
+		if got := sys.Rule(j).Antecedent[0].Sigma; got != 0.8 {
+			t.Errorf("rule %d sigma = %v", j, got)
+		}
+	}
+}
+
+func TestBuildFromCentersErrors(t *testing.T) {
+	d := sineData(20, 22, 0)
+	if _, err := BuildFromCenters(d, nil, []float64{1}, BuildConfig{}); !errors.Is(err, ErrNoRules) {
+		t.Errorf("no centers: %v", err)
+	}
+	if _, err := BuildFromCenters(d, [][]float64{{1, 2}}, []float64{1}, BuildConfig{}); !errors.Is(err, ErrMismatch) {
+		t.Errorf("dim mismatch: %v", err)
+	}
+	if _, err := BuildFromCenters(d, [][]float64{{1}}, []float64{0}, BuildConfig{}); !errors.Is(err, ErrMismatch) {
+		t.Errorf("zero sigma: %v", err)
+	}
+}
+
+func TestConstantConsequentsAreConstant(t *testing.T) {
+	d := sineData(60, 23, 0)
+	sys, err := Build(d, BuildConfig{
+		Clustering:          cluster.SubtractiveConfig{Radius: 0.3},
+		ConstantConsequents: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < sys.NumRules(); j++ {
+		r := sys.Rule(j)
+		for k := 0; k < sys.Inputs(); k++ {
+			if r.Coeffs[k] != 0 {
+				t.Fatalf("rule %d has non-zero linear coefficient %v", j, r.Coeffs[k])
+			}
+		}
+	}
+}
+
+func TestLinearBeatsConstantOnSine(t *testing.T) {
+	// The paper prefers linear consequents "since the results … are
+	// better": with the same rule structure, the linear fit must reach a
+	// lower (or equal) training RMSE than the constant fit.
+	d := sineData(80, 24, 0)
+	cfg := cluster.SubtractiveConfig{Radius: 0.5}
+	linear, err := Build(d, BuildConfig{Clustering: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	constant, err := Build(d, BuildConfig{Clustering: cfg, ConstantConsequents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RMSE(linear, d) > RMSE(constant, d)+1e-12 {
+		t.Errorf("linear RMSE %v worse than constant %v", RMSE(linear, d), RMSE(constant, d))
+	}
+}
+
+func TestTrainWithConstantConsequentsKeepsThemConstant(t *testing.T) {
+	d := sineData(50, 25, 0.02)
+	sys, err := Build(d, BuildConfig{ConstantConsequents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(sys, d, nil, Config{Epochs: 10, ConstantConsequents: true}); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < sys.NumRules(); j++ {
+		r := sys.Rule(j)
+		for k := 0; k < sys.Inputs(); k++ {
+			if r.Coeffs[k] != 0 {
+				t.Fatalf("training reintroduced linear coefficients: rule %d", j)
+			}
+		}
+	}
+}

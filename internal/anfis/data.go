@@ -1,0 +1,47 @@
+package anfis
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Data is a supervised training set: input rows X with targets Y running
+// in parallel.
+type Data struct {
+	X [][]float64
+	Y []float64
+}
+
+// Data and configuration errors.
+var (
+	// ErrEmptyData reports an operation over an empty data set.
+	ErrEmptyData = errors.New("anfis: empty data set")
+	// ErrMismatch reports X and Y of differing lengths or ragged X rows.
+	ErrMismatch = errors.New("anfis: data shape mismatch")
+	// ErrNoRules reports structure identification that yielded no rules.
+	ErrNoRules = errors.New("anfis: no rules identified")
+)
+
+// Validate checks the data set's internal consistency and, when n > 0,
+// that every row has n features.
+func (d *Data) Validate(n int) error {
+	if len(d.X) == 0 {
+		return ErrEmptyData
+	}
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("%w: %d inputs vs %d targets", ErrMismatch, len(d.X), len(d.Y))
+	}
+	dim := len(d.X[0])
+	if n > 0 && dim != n {
+		return fmt.Errorf("%w: rows have %d features, want %d", ErrMismatch, dim, n)
+	}
+	for i, row := range d.X {
+		if len(row) != dim {
+			return fmt.Errorf("%w: row %d has %d features, want %d", ErrMismatch, i, len(row), dim)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of samples.
+func (d *Data) Len() int { return len(d.X) }

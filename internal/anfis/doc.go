@@ -1,0 +1,20 @@
+// Package anfis implements the Adaptive-Network-based Fuzzy Inference
+// System (Jang 1993) used by the CQM paper (§2.2.3–§2.2.4) to tune the
+// automatically constructed quality TSK-FIS.
+//
+// The pipeline matches the paper exactly:
+//
+//  1. Structure identification: subtractive clustering proposes one rule
+//     per cluster with Gaussian membership functions centered on the
+//     cluster (Build).
+//  2. Least squares: with the membership functions fixed, the system
+//     output is linear in the consequent coefficients, so they are fitted
+//     globally by an SVD-backed least-squares solve (FitConsequents — the
+//     forward pass).
+//  3. Hybrid learning (Train): each epoch backpropagates the output error
+//     to the Gaussian layer with gradient descent (backward pass), then
+//     re-runs the least-squares fit with the adapted membership functions
+//     (forward pass). Training stops "when a degradation of the error for
+//     a different check data set is continuously observed", keeping the
+//     parameters from the best check-set epoch.
+package anfis

@@ -1,0 +1,119 @@
+package anfis
+
+import (
+	"fmt"
+	"sort"
+
+	"cqm/internal/fuzzy"
+	"cqm/internal/regress"
+)
+
+// PruneConfig parameterizes rule-base pruning.
+type PruneConfig struct {
+	// MinActivationShare drops rules whose share of the total firing
+	// strength over the data set falls below this fraction. Default 0.01.
+	MinActivationShare float64
+	// MaxRMSEGrowth aborts the prune (returning the original system) when
+	// the training RMSE would grow by more than this factor. Default 1.2.
+	MaxRMSEGrowth float64
+	// LSMethod selects the consequent re-fit solver; zero value is SVD.
+	LSMethod regress.Method
+}
+
+func (c PruneConfig) withDefaults() PruneConfig {
+	if c.MinActivationShare == 0 {
+		c.MinActivationShare = 0.01
+	}
+	if c.MaxRMSEGrowth == 0 {
+		c.MaxRMSEGrowth = 1.2
+	}
+	return c
+}
+
+// PruneResult reports what pruning did.
+type PruneResult struct {
+	// Before and After are the rule counts.
+	Before, After int
+	// RMSEBefore and RMSEAfter are the training errors.
+	RMSEBefore, RMSEAfter float64
+	// Pruned reports whether the pruned system was adopted (false when
+	// the RMSE guard rejected it).
+	Pruned bool
+}
+
+// Prune removes rules that barely ever fire over the data set — dead
+// weight from over-eager clustering — and re-fits the remaining
+// consequents. The Particle node the AwarePen runs on has a few kB of
+// RAM; every rule costs 2·(n+1) parameters, so small rule bases matter.
+//
+// The system is modified in place only when the pruned variant's training
+// RMSE stays within MaxRMSEGrowth of the original.
+func Prune(sys *fuzzy.TSK, data *Data, cfg PruneConfig) (*PruneResult, error) {
+	cfg = cfg.withDefaults()
+	if err := data.Validate(sys.Inputs()); err != nil {
+		return nil, err
+	}
+	m := sys.NumRules()
+	res := &PruneResult{Before: m, After: m, RMSEBefore: RMSE(sys, data), RMSEAfter: RMSE(sys, data)}
+	if m <= 1 {
+		return res, nil
+	}
+
+	// Accumulate each rule's share of the total firing strength.
+	shares := make([]float64, m)
+	var total float64
+	for _, v := range data.X {
+		detail, err := sys.EvalDetail(v)
+		if err != nil {
+			continue
+		}
+		for j, w := range detail.Weights {
+			shares[j] += w
+			total += w
+		}
+	}
+	if total == 0 {
+		return res, nil
+	}
+	keep := make([]int, 0, m)
+	for j := range shares {
+		if shares[j]/total >= cfg.MinActivationShare {
+			keep = append(keep, j)
+		}
+	}
+	if len(keep) == m {
+		return res, nil
+	}
+	if len(keep) == 0 {
+		// Keep at least the strongest rule.
+		best := 0
+		for j := 1; j < m; j++ {
+			if shares[j] > shares[best] {
+				best = j
+			}
+		}
+		keep = []int{best}
+	}
+	sort.Ints(keep)
+	rules := make([]fuzzy.Rule, len(keep))
+	for i, j := range keep {
+		rules[i] = sys.Rule(j)
+	}
+	pruned, err := fuzzy.NewTSK(sys.Inputs(), rules)
+	if err != nil {
+		return nil, fmt.Errorf("anfis: assembling pruned system: %w", err)
+	}
+	if err := FitConsequents(pruned, data, cfg.LSMethod); err != nil {
+		return nil, fmt.Errorf("anfis: re-fitting pruned consequents: %w", err)
+	}
+	prunedRMSE := RMSE(pruned, data)
+	if prunedRMSE > res.RMSEBefore*cfg.MaxRMSEGrowth {
+		// Guard: pruning would hurt too much; keep the original.
+		return res, nil
+	}
+	*sys = *pruned
+	res.After = len(keep)
+	res.RMSEAfter = prunedRMSE
+	res.Pruned = true
+	return res, nil
+}

@@ -1,0 +1,114 @@
+package anfis
+
+import (
+	"testing"
+
+	"cqm/internal/fuzzy"
+)
+
+// deadRuleSystem builds a system where one rule sits far outside the data
+// and never fires.
+func deadRuleSystem(t *testing.T) (*fuzzy.TSK, *Data) {
+	t.Helper()
+	d := sineData(50, 80, 0)
+	sys, err := fuzzy.NewTSK(1, []fuzzy.Rule{
+		{Antecedent: []fuzzy.Gaussian{{Mu: 1.5, Sigma: 1.5}}, Coeffs: []float64{0, 0}},
+		{Antecedent: []fuzzy.Gaussian{{Mu: 4.7, Sigma: 1.5}}, Coeffs: []float64{0, 0}},
+		{Antecedent: []fuzzy.Gaussian{{Mu: 1e6, Sigma: 0.5}}, Coeffs: []float64{0, 0}}, // dead
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FitConsequents(sys, d, 0); err != nil {
+		t.Fatal(err)
+	}
+	return sys, d
+}
+
+func TestPruneRemovesDeadRule(t *testing.T) {
+	sys, d := deadRuleSystem(t)
+	res, err := Prune(sys, d, PruneConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pruned {
+		t.Fatal("dead rule not pruned")
+	}
+	if res.Before != 3 || res.After != 2 {
+		t.Errorf("rules %d -> %d, want 3 -> 2", res.Before, res.After)
+	}
+	if sys.NumRules() != 2 {
+		t.Errorf("system has %d rules after prune", sys.NumRules())
+	}
+	if res.RMSEAfter > res.RMSEBefore*1.2+1e-12 {
+		t.Errorf("prune hurt RMSE: %v -> %v", res.RMSEBefore, res.RMSEAfter)
+	}
+}
+
+func TestPruneKeepsLiveRules(t *testing.T) {
+	// A freshly built system has no dead rules: pruning is a no-op.
+	d := sineData(60, 81, 0)
+	sys, err := Build(d, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sys.NumRules()
+	res, err := Prune(sys, d, PruneConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pruned {
+		t.Errorf("healthy system pruned: %d -> %d", res.Before, res.After)
+	}
+	if sys.NumRules() != before {
+		t.Error("no-op prune changed the system")
+	}
+}
+
+func TestPruneGuardRejectsHarmfulPrune(t *testing.T) {
+	// With an absurd activation threshold every rule would be pruned to
+	// one; the RMSE guard must refuse when that destroys the fit.
+	d := sineData(60, 82, 0)
+	sys, err := Build(d, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumRules() < 2 {
+		t.Skip("build produced a single rule")
+	}
+	before := sys.NumRules()
+	res, err := Prune(sys, d, PruneConfig{MinActivationShare: 0.9, MaxRMSEGrowth: 1.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pruned && sys.NumRules() < before && res.RMSEAfter > res.RMSEBefore*1.01 {
+		t.Error("guard allowed a harmful prune")
+	}
+	if !res.Pruned && sys.NumRules() != before {
+		t.Error("rejected prune still modified the system")
+	}
+}
+
+func TestPruneSingleRuleNoop(t *testing.T) {
+	d := sineData(20, 83, 0)
+	sys, err := fuzzy.NewTSK(1, []fuzzy.Rule{
+		{Antecedent: []fuzzy.Gaussian{{Mu: 3, Sigma: 2}}, Coeffs: []float64{0.1, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Prune(sys, d, PruneConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pruned || res.After != 1 {
+		t.Errorf("single-rule prune: %+v", res)
+	}
+}
+
+func TestPruneValidatesData(t *testing.T) {
+	sys, _ := deadRuleSystem(t)
+	if _, err := Prune(sys, &Data{}, PruneConfig{}); err == nil {
+		t.Error("empty data accepted")
+	}
+}

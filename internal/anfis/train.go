@@ -1,0 +1,276 @@
+package anfis
+
+import (
+	"fmt"
+	"math"
+
+	"cqm/internal/fuzzy"
+	"cqm/internal/regress"
+)
+
+// StopReason explains why hybrid learning ended.
+type StopReason string
+
+// Stop reasons recorded in the training history.
+const (
+	// StopEpochs: the epoch budget ran out.
+	StopEpochs StopReason = "epoch budget exhausted"
+	// StopCheckDegraded: the check-set error degraded for Patience
+	// consecutive epochs (the paper's stopping rule).
+	StopCheckDegraded StopReason = "check error degraded"
+	// StopConverged: the training error improvement fell below Tol.
+	StopConverged StopReason = "training error converged"
+)
+
+// Config parameterizes hybrid learning (paper §2.2.4).
+type Config struct {
+	// Epochs bounds the number of hybrid iterations. Default 100.
+	Epochs int
+	// LearningRate is the gradient-descent step size of the backward pass.
+	// Default 0.02.
+	LearningRate float64
+	// MinSigma floors the Gaussian widths so membership functions cannot
+	// collapse. Default 1e-4.
+	MinSigma float64
+	// Patience is the number of consecutive check-error degradations that
+	// stops training. Default 5.
+	Patience int
+	// Tol stops training when the train RMSE improves by less than Tol
+	// between epochs. Default 1e-9.
+	Tol float64
+	// LSMethod selects the forward-pass solver; zero value is SVD.
+	LSMethod regress.Method
+	// ConstantConsequents makes the forward pass fit zero-order
+	// consequents, matching a system built with the same option.
+	ConstantConsequents bool
+	// AdaptiveRate enables Jang's step-size heuristic: after four
+	// consecutive training-error decreases the learning rate grows by
+	// RateGrow; after two decrease/increase oscillations it shrinks by
+	// RateShrink.
+	AdaptiveRate bool
+	// RateGrow is the multiplicative increase factor. Default 1.1.
+	RateGrow float64
+	// RateShrink is the multiplicative decrease factor. Default 0.9.
+	RateShrink float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epochs == 0 {
+		c.Epochs = 100
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.02
+	}
+	if c.MinSigma == 0 {
+		c.MinSigma = 1e-4
+	}
+	if c.Patience == 0 {
+		c.Patience = 5
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-9
+	}
+	if c.RateGrow == 0 {
+		c.RateGrow = 1.1
+	}
+	if c.RateShrink == 0 {
+		c.RateShrink = 0.9
+	}
+	return c
+}
+
+// History records per-epoch errors and the stopping decision.
+type History struct {
+	// TrainRMSE[k] is the training RMSE after epoch k.
+	TrainRMSE []float64
+	// CheckRMSE[k] is the check-set RMSE after epoch k (empty without a
+	// check set).
+	CheckRMSE []float64
+	// BestEpoch is the epoch whose parameters were kept (lowest check
+	// RMSE; lowest train RMSE when no check set is given).
+	BestEpoch int
+	// Reason explains why training stopped.
+	Reason StopReason
+	// LearningRates records the per-epoch step size (constant unless
+	// AdaptiveRate is enabled).
+	LearningRates []float64
+}
+
+// Train runs hybrid learning on sys in place: per epoch a backward
+// gradient pass adapts every Gaussian (µ, σ) and a forward pass re-fits
+// the consequents by least squares. check may be nil; with a check set the
+// system is rolled back to the epoch with the lowest check error.
+func Train(sys *fuzzy.TSK, train, check *Data, cfg Config) (*History, error) {
+	cfg = cfg.withDefaults()
+	if cfg.LearningRate < 0 || cfg.Epochs < 0 || cfg.Patience < 1 {
+		return nil, fmt.Errorf("anfis: invalid config %+v", cfg)
+	}
+	if err := train.Validate(sys.Inputs()); err != nil {
+		return nil, fmt.Errorf("anfis: train set: %w", err)
+	}
+	if check != nil {
+		if err := check.Validate(sys.Inputs()); err != nil {
+			return nil, fmt.Errorf("anfis: check set: %w", err)
+		}
+	}
+
+	hist := &History{}
+	best := sys.Clone()
+	bestErr := math.Inf(1)
+	degraded := 0
+	prevTrain := math.Inf(1)
+
+	forward := FitConsequents
+	if cfg.ConstantConsequents {
+		forward = FitConstantConsequents
+	}
+	rate := cfg.LearningRate
+	decreases := 0 // consecutive training-error decreases
+	swings := 0    // consecutive decrease/increase alternations
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		stepCfg := cfg
+		stepCfg.LearningRate = rate
+		backwardPass(sys, train, stepCfg)
+		if err := forward(sys, train, cfg.LSMethod); err != nil {
+			return nil, fmt.Errorf("anfis: forward pass at epoch %d: %w", epoch, err)
+		}
+
+		trainErr := RMSE(sys, train)
+		hist.TrainRMSE = append(hist.TrainRMSE, trainErr)
+		hist.LearningRates = append(hist.LearningRates, rate)
+		if cfg.AdaptiveRate && epoch > 0 {
+			prev := hist.TrainRMSE[epoch-1]
+			if trainErr < prev {
+				decreases++
+				if swings > 0 {
+					swings++
+				}
+			} else {
+				decreases = 0
+				swings++
+			}
+			// Jang's heuristic: sustained progress → larger steps;
+			// oscillation → smaller steps.
+			if decreases >= 4 {
+				rate *= cfg.RateGrow
+				decreases = 0
+			}
+			if swings >= 4 {
+				rate *= cfg.RateShrink
+				swings = 0
+			}
+		}
+
+		scoreErr := trainErr
+		if check != nil {
+			checkErr := RMSE(sys, check)
+			hist.CheckRMSE = append(hist.CheckRMSE, checkErr)
+			scoreErr = checkErr
+		}
+		if scoreErr < bestErr {
+			bestErr = scoreErr
+			best = sys.Clone()
+			hist.BestEpoch = epoch
+			degraded = 0
+		} else {
+			degraded++
+			if check != nil && degraded >= cfg.Patience {
+				hist.Reason = StopCheckDegraded
+				break
+			}
+		}
+		if math.Abs(prevTrain-trainErr) < cfg.Tol {
+			hist.Reason = StopConverged
+			break
+		}
+		prevTrain = trainErr
+	}
+	if hist.Reason == "" {
+		hist.Reason = StopEpochs
+	}
+	// Roll back to the best snapshot.
+	*sys = *best
+	return hist, nil
+}
+
+// backwardPass performs one batch gradient-descent step on every Gaussian
+// membership parameter. For the Gaussian antecedents the chain rule gives,
+// per sample with error e = S(v) − y and normalized context:
+//
+//	∂E/∂µ_ij = e · (f_j − S)/Σw · w_j · (v_i − µ_ij)/σ_ij²
+//	∂E/∂σ_ij = e · (f_j − S)/Σw · w_j · (v_i − µ_ij)²/σ_ij³
+//
+// The w_j·GradF/F terms are folded analytically so vanishing membership
+// degrees cause no division by zero.
+func backwardPass(sys *fuzzy.TSK, train *Data, cfg Config) {
+	n := sys.Inputs()
+	m := sys.NumRules()
+	gradMu := make([][]float64, m)
+	gradSigma := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		gradMu[j] = make([]float64, n)
+		gradSigma[j] = make([]float64, n)
+	}
+	rules := make([]fuzzy.Rule, m)
+	for j := 0; j < m; j++ {
+		rules[j] = sys.Rule(j)
+	}
+
+	count := 0
+	for idx, v := range train.X {
+		detail, err := sys.EvalDetail(v)
+		if err != nil {
+			continue // sample fires no rule: no gradient
+		}
+		count++
+		e := detail.Output - train.Y[idx]
+		for j := 0; j < m; j++ {
+			common := e * (detail.Consequents[j] - detail.Output) / detail.WeightSum * detail.Weights[j]
+			for i := 0; i < n; i++ {
+				mf := rules[j].Antecedent[i]
+				d := v[i] - mf.Mu
+				s2 := mf.Sigma * mf.Sigma
+				gradMu[j][i] += common * d / s2
+				gradSigma[j][i] += common * d * d / (s2 * mf.Sigma)
+			}
+		}
+	}
+	if count == 0 {
+		return
+	}
+	scale := cfg.LearningRate / float64(count)
+	for j := 0; j < m; j++ {
+		for i := 0; i < n; i++ {
+			rules[j].Antecedent[i].Mu -= scale * gradMu[j][i]
+			sigma := rules[j].Antecedent[i].Sigma - scale*gradSigma[j][i]
+			if sigma < cfg.MinSigma {
+				sigma = cfg.MinSigma
+			}
+			rules[j].Antecedent[i].Sigma = sigma
+		}
+		// SetRule validates; the sigma floor guarantees success.
+		if err := sys.SetRule(j, rules[j]); err != nil {
+			panic(fmt.Sprintf("anfis: internal rule update failed: %v", err))
+		}
+	}
+}
+
+// RMSE returns the root-mean-square error of the system over the data.
+// Samples that activate no rule contribute the worst-case error of 1 so
+// degenerate systems are penalized rather than hidden.
+func RMSE(sys *fuzzy.TSK, data *Data) float64 {
+	if data.Len() == 0 {
+		return 0
+	}
+	var ss float64
+	for i, v := range data.X {
+		out, err := sys.Eval(v)
+		if err != nil {
+			ss += 1
+			continue
+		}
+		d := out - data.Y[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(data.Len()))
+}

@@ -1,0 +1,311 @@
+package awareoffice
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"cqm/internal/classify"
+	"cqm/internal/core"
+	"cqm/internal/dataset"
+	"cqm/internal/sensor"
+)
+
+// pipeline bundles a trained classifier and quality measure for the
+// appliance tests.
+type pipeline struct {
+	clf     classify.Classifier
+	measure *core.Measure
+}
+
+// trainPipeline builds the AwarePen recognition stack on synthetic data.
+func trainPipeline(t testing.TB, seed int64) *pipeline {
+	t.Helper()
+	clean, err := dataset.Generate(dataset.GenerateConfig{
+		Scenarios: []*sensor.Scenario{{
+			Segments: []sensor.Segment{
+				{Context: sensor.ContextLying, Duration: 10},
+				{Context: sensor.ContextWriting, Duration: 10},
+				{Context: sensor.ContextPlaying, Duration: 10},
+			},
+		}},
+		WindowSize: 100,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := (&classify.TSKTrainer{}).Train(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wild := sensor.Style{Amplitude: 2.6, Tempo: 1.4, Irregularity: 0.9}
+	mixed, err := dataset.Generate(dataset.GenerateConfig{
+		Scenarios: []*sensor.Scenario{
+			sensor.OfficeSession(sensor.DefaultStyle()),
+			sensor.OfficeSession(wild),
+			sensor.OfficeSession(sensor.DefaultStyle()),
+		},
+		WindowSize: 100,
+		WindowStep: 50,
+		Seed:       seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := core.Observe(clf, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure, err := core.Build(obs, nil, core.BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &pipeline{clf: clf, measure: measure}
+}
+
+func TestPenPublishesClassifiedWindows(t *testing.T) {
+	p := trainPipeline(t, 40)
+	sim := NewSimulation(1)
+	bus, err := NewBus(sim, Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	bus.Subscribe("listener", func(ev Event) { events = append(events, ev) })
+
+	pen := &Pen{Classifier: p.clf, Measure: p.measure}
+	pen.Attach(bus)
+	readings, err := sensor.OfficeSession(sensor.DefaultStyle()).Run(rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduled, err := pen.Feed(sim, readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheduled != 26 {
+		t.Errorf("scheduled %d events, want 26", scheduled)
+	}
+	sim.Run(30)
+	if len(events) == 0 {
+		t.Fatal("no events delivered")
+	}
+	withQuality := 0
+	for _, ev := range events {
+		if ev.Source != "awarepen" {
+			t.Errorf("source = %q", ev.Source)
+		}
+		if ev.Context == sensor.ContextUnknown {
+			t.Error("published unknown context")
+		}
+		if ev.HasQuality {
+			withQuality++
+			if ev.Quality < 0 || ev.Quality > 1 {
+				t.Errorf("quality %v outside [0,1]", ev.Quality)
+			}
+		}
+	}
+	if withQuality == 0 {
+		t.Error("no event carried a quality annotation")
+	}
+}
+
+func TestPenWithoutMeasurePublishesLegacyEvents(t *testing.T) {
+	p := trainPipeline(t, 41)
+	sim := NewSimulation(1)
+	bus, err := NewBus(sim, Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	bus.Subscribe("listener", func(ev Event) { events = append(events, ev) })
+	pen := &Pen{Classifier: p.clf} // no Measure
+	pen.Attach(bus)
+	readings, err := sensor.OfficeSession(sensor.DefaultStyle()).Run(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pen.Feed(sim, readings); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(30)
+	for _, ev := range events {
+		if ev.HasQuality {
+			t.Fatal("legacy pen published quality")
+		}
+	}
+}
+
+func TestPenErrors(t *testing.T) {
+	pen := &Pen{}
+	sim := NewSimulation(1)
+	if _, err := pen.Feed(sim, nil); !errors.Is(err, ErrNotWired) {
+		t.Errorf("unwired: %v", err)
+	}
+	bus, err := NewBus(sim, Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pen.Attach(bus)
+	if _, err := pen.Feed(sim, nil); err == nil {
+		t.Error("pen without classifier accepted")
+	}
+}
+
+func TestCameraTakesSnapshotAtEndOfWriting(t *testing.T) {
+	p := trainPipeline(t, 42)
+	sim := NewSimulation(5)
+	bus, err := NewBus(sim, Link{Latency: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := &Camera{}
+	cam.Attach(bus)
+	pen := &Pen{Classifier: p.clf, Measure: p.measure}
+	pen.Attach(bus)
+
+	readings, err := sensor.OfficeSession(sensor.DefaultStyle()).Run(rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pen.Feed(sim, readings); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(30)
+
+	snaps := cam.Snapshots()
+	if len(snaps) == 0 {
+		t.Fatal("camera never fired")
+	}
+	truths := EndOfWritingTimes(readings)
+	if len(truths) != 2 {
+		t.Fatalf("scenario has %d end-of-writing moments, want 2", len(truths))
+	}
+	score := ScoreSnapshots(snaps, truths, 1.5)
+	if score.Recall() < 0.5 {
+		t.Errorf("recall = %v, want >= 0.5", score.Recall())
+	}
+}
+
+func TestCameraQualityFilterIgnoresLowQuality(t *testing.T) {
+	p := trainPipeline(t, 43)
+	sim := NewSimulation(7)
+	bus, err := NewBus(sim, Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := &Camera{UseQuality: true, MinQuality: 0.99}
+	cam.Attach(bus)
+	pen := &Pen{Classifier: p.clf, Measure: p.measure}
+	pen.Attach(bus)
+	wild := sensor.Style{Amplitude: 2.6, Tempo: 1.4, Irregularity: 0.9}
+	readings, err := sensor.OfficeSession(wild).Run(rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pen.Feed(sim, readings); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(30)
+	if cam.Ignored() == 0 {
+		t.Error("an extreme threshold ignored nothing")
+	}
+}
+
+func TestCameraSuppressesDuplicates(t *testing.T) {
+	sim := NewSimulation(9)
+	bus, err := NewBus(sim, Link{Duplicate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := &Camera{}
+	cam.Attach(bus)
+	// A writing phase followed by lying: two logical events, each
+	// duplicated by the link.
+	_ = bus.Publish(Event{Source: "pen", Context: sensor.ContextWriting, Seq: 0, Sent: 0})
+	sim.Run(0.1)
+	_ = bus.Publish(Event{Source: "pen", Context: sensor.ContextLying, Seq: 1, Sent: 0.1})
+	sim.Run(1)
+	if got := len(cam.Snapshots()); got != 1 {
+		t.Errorf("snapshots = %d, want 1 (duplicates suppressed)", got)
+	}
+	if cam.Duplicates() != 2 {
+		t.Errorf("duplicates = %d, want 2", cam.Duplicates())
+	}
+}
+
+func TestCameraDebounce(t *testing.T) {
+	sim := NewSimulation(10)
+	bus, err := NewBus(sim, Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := &Camera{DebounceWindows: 2}
+	cam.Attach(bus)
+	publish := func(seq int, c sensor.Context) {
+		_ = bus.Publish(Event{Source: "pen", Context: c, Seq: seq, Sent: sim.Now()})
+		sim.Run(sim.Now() + 0.1)
+	}
+	// Enter writing (twice to pass debounce), then one spurious playing
+	// event, then writing again: no snapshot, the glitch was debounced.
+	publish(0, sensor.ContextWriting)
+	publish(1, sensor.ContextWriting)
+	publish(2, sensor.ContextPlaying)
+	publish(3, sensor.ContextWriting)
+	publish(4, sensor.ContextWriting)
+	if got := len(cam.Snapshots()); got != 0 {
+		t.Errorf("debounced camera took %d snapshots, want 0", got)
+	}
+	// A real transition (two agreeing events) fires.
+	publish(5, sensor.ContextLying)
+	publish(6, sensor.ContextLying)
+	if got := len(cam.Snapshots()); got != 1 {
+		t.Errorf("snapshots = %d, want 1", got)
+	}
+}
+
+func TestScoreSnapshots(t *testing.T) {
+	snaps := []Snapshot{{At: 10}, {At: 20}, {At: 35}}
+	truths := []float64{10.2, 19.5}
+	score := ScoreSnapshots(snaps, truths, 1.0)
+	if score.Hits != 2 || score.Spurious != 1 || score.Truths != 2 {
+		t.Errorf("score = %+v", score)
+	}
+	if score.Precision() != 2.0/3.0 {
+		t.Errorf("Precision = %v", score.Precision())
+	}
+	if score.Recall() != 1 {
+		t.Errorf("Recall = %v", score.Recall())
+	}
+	var zero SnapshotScore
+	if zero.Precision() != 0 || zero.Recall() != 0 {
+		t.Error("zero score rates should be 0")
+	}
+}
+
+func TestScoreSnapshotsEachTruthCountsOnce(t *testing.T) {
+	snaps := []Snapshot{{At: 10}, {At: 10.1}, {At: 10.2}}
+	truths := []float64{10}
+	score := ScoreSnapshots(snaps, truths, 1.0)
+	if score.Hits != 1 || score.Spurious != 2 {
+		t.Errorf("score = %+v, want 1 hit 2 spurious", score)
+	}
+}
+
+func TestEndOfWritingTimes(t *testing.T) {
+	readings := []sensor.Reading{
+		{T: 0, Truth: sensor.ContextWriting},
+		{T: 1, Truth: sensor.ContextWriting},
+		{T: 2, Truth: sensor.ContextPlaying},
+		{T: 3, Truth: sensor.ContextWriting},
+		{T: 4, Truth: sensor.ContextLying},
+	}
+	got := EndOfWritingTimes(readings)
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Errorf("got %v, want [2 4]", got)
+	}
+	if EndOfWritingTimes(nil) != nil {
+		t.Error("nil readings should give nil")
+	}
+}

@@ -1,0 +1,103 @@
+package awareoffice
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cqm/internal/sensor"
+)
+
+func TestBitErrorCleanChannelPreservesEvents(t *testing.T) {
+	sim := NewSimulation(20)
+	bus, err := NewBus(sim, Link{BitErrorRate: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	bus.Subscribe("camera", func(ev Event) { got = append(got, ev) })
+	sent := Event{
+		Source:     "awarepen",
+		Context:    sensor.ContextWriting,
+		Quality:    0.8112,
+		HasQuality: true,
+		Sent:       1.25,
+		Seq:        42,
+	}
+	_ = bus.Publish(sent)
+	sim.Run(1)
+	if len(got) != 1 {
+		t.Fatalf("delivered %d events", len(got))
+	}
+	ev := got[0]
+	if ev.Source != sent.Source || ev.Context != sent.Context || ev.Seq != sent.Seq {
+		t.Errorf("wire round trip changed event: %+v", ev)
+	}
+	if !ev.HasQuality || math.Abs(ev.Quality-sent.Quality) > 1e-4 {
+		t.Errorf("quality %v -> %v beyond wire resolution", sent.Quality, ev.Quality)
+	}
+	if math.Abs(ev.Sent-sent.Sent) > 1e-3 {
+		t.Errorf("send time %v -> %v", sent.Sent, ev.Sent)
+	}
+}
+
+func TestBitErrorNoisyChannelDropsCorrupted(t *testing.T) {
+	sim := NewSimulation(21)
+	// ~1% per bit over a 176-bit frame: most frames corrupt.
+	bus, err := NewBus(sim, Link{BitErrorRate: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	bus.Subscribe("camera", func(Event) { got++ })
+	const n = 300
+	for i := 0; i < n; i++ {
+		_ = bus.Publish(Event{Source: "pen", Context: sensor.ContextLying, Seq: i})
+	}
+	sim.Run(1)
+	if bus.Corrupted() == 0 {
+		t.Fatal("noisy channel corrupted nothing")
+	}
+	if got+bus.Corrupted() != n {
+		t.Errorf("accounting broken: %d delivered + %d corrupted != %d", got, bus.Corrupted(), n)
+	}
+	// P(clean frame) = 0.99^176 ≈ 0.17.
+	if got == 0 || got > n/2 {
+		t.Errorf("delivered %d of %d; expected a heavily corrupted channel", got, n)
+	}
+}
+
+func TestBitErrorNeverDeliversGarbage(t *testing.T) {
+	// Whatever the corruption, every delivered event must carry a valid
+	// context and an in-range quality: the CRC guards semantic integrity.
+	sim := NewSimulation(22)
+	bus, err := NewBus(sim, Link{BitErrorRate: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Subscribe("camera", func(ev Event) {
+		if ev.HasQuality && (ev.Quality < 0 || ev.Quality > 1) {
+			t.Errorf("garbage quality delivered: %v", ev.Quality)
+		}
+	})
+	for i := 0; i < 500; i++ {
+		_ = bus.Publish(Event{
+			Source:     "pen",
+			Context:    sensor.ContextPlaying,
+			Quality:    0.9,
+			HasQuality: true,
+			Seq:        i,
+		})
+	}
+	sim.Run(1)
+}
+
+func TestBitErrorRateValidation(t *testing.T) {
+	sim := NewSimulation(23)
+	if _, err := NewBus(sim, Link{BitErrorRate: -0.1}); !errors.Is(err, ErrBadLink) {
+		t.Errorf("negative BER: %v", err)
+	}
+	if _, err := NewBus(sim, Link{BitErrorRate: 1.5}); !errors.Is(err, ErrBadLink) {
+		t.Errorf("BER > 1: %v", err)
+	}
+}

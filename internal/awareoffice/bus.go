@@ -1,0 +1,200 @@
+package awareoffice
+
+import (
+	"fmt"
+
+	"cqm/internal/particle"
+	"cqm/internal/sensor"
+)
+
+// Event is one context broadcast: an appliance announces the context it
+// recognized, optionally annotated with the CQM quality value — the
+// interconnection the paper proposes so receivers can judge how much to
+// trust the classification.
+type Event struct {
+	// Source is the publishing appliance's name.
+	Source string
+	// Context is the recognized context class.
+	Context sensor.Context
+	// Quality is the CQM q for this classification; valid when HasQuality.
+	Quality float64
+	// HasQuality distinguishes annotated events from legacy ones; an
+	// ε-state classification is published with HasQuality=false.
+	HasQuality bool
+	// Sent is the virtual time the event was published.
+	Sent float64
+	// Seq is the publisher's sequence number (detects duplicates).
+	Seq int
+}
+
+// Link models one directed network path: constant latency plus uniform
+// jitter, independent loss and duplication probabilities, and an optional
+// physical bit-error rate applied to the AwareCon wire encoding.
+type Link struct {
+	// Latency is the base one-way delay in seconds.
+	Latency float64
+	// Jitter adds uniform [0, Jitter) extra delay per delivery.
+	Jitter float64
+	// Loss is the probability a delivery is dropped.
+	Loss float64
+	// Duplicate is the probability a delivery arrives twice.
+	Duplicate float64
+	// BitErrorRate is the per-bit corruption probability of the radio
+	// medium. When positive, every delivery is serialized into a Particle
+	// frame (internal/particle), each bit flipped independently with this
+	// probability, and decoded by the receiver; frames failing the CRC
+	// are dropped, exactly like real hardware.
+	BitErrorRate float64
+}
+
+func (l Link) validate() error {
+	switch {
+	case l.Latency < 0 || l.Jitter < 0:
+		return fmt.Errorf("%w: latency %v jitter %v", ErrBadLink, l.Latency, l.Jitter)
+	case l.Loss < 0 || l.Loss > 1:
+		return fmt.Errorf("%w: loss %v", ErrBadLink, l.Loss)
+	case l.Duplicate < 0 || l.Duplicate > 1:
+		return fmt.Errorf("%w: duplicate %v", ErrBadLink, l.Duplicate)
+	case l.BitErrorRate < 0 || l.BitErrorRate > 1:
+		return fmt.Errorf("%w: bit error rate %v", ErrBadLink, l.BitErrorRate)
+	default:
+		return nil
+	}
+}
+
+// Bus is the context broadcast medium: publish fans every event out to all
+// subscribers over their links, applying loss, duplication, and delay in
+// virtual time.
+type Bus struct {
+	sim         *Simulation
+	defaultLink Link
+	subscribers []subscription
+	links       map[string]Link // per-subscriber override
+	published   int
+	delivered   int
+	dropped     int
+	corrupted   int
+}
+
+type subscription struct {
+	name    string
+	handler func(Event)
+}
+
+// NewBus returns a bus over the simulation with the given default link.
+func NewBus(sim *Simulation, defaultLink Link) (*Bus, error) {
+	if err := defaultLink.validate(); err != nil {
+		return nil, err
+	}
+	return &Bus{
+		sim:         sim,
+		defaultLink: defaultLink,
+		links:       make(map[string]Link),
+	}, nil
+}
+
+// Subscribe registers a handler under the subscriber's name. Handlers run
+// in virtual time when deliveries arrive.
+func (b *Bus) Subscribe(name string, handler func(Event)) {
+	b.subscribers = append(b.subscribers, subscription{name: name, handler: handler})
+}
+
+// SetLink overrides the link used for deliveries to one subscriber —
+// degrade or partition a single appliance. A loss of 1 is a partition.
+func (b *Bus) SetLink(subscriber string, link Link) error {
+	if err := link.validate(); err != nil {
+		return err
+	}
+	b.links[subscriber] = link
+	return nil
+}
+
+// Publish broadcasts the event to every subscriber except its source.
+func (b *Bus) Publish(ev Event) error {
+	b.published++
+	for _, sub := range b.subscribers {
+		if sub.name == ev.Source {
+			continue
+		}
+		link := b.defaultLink
+		if l, ok := b.links[sub.name]; ok {
+			link = l
+		}
+		deliveries := 1
+		if b.sim.rng.Float64() < link.Loss {
+			b.dropped++
+			continue
+		}
+		if b.sim.rng.Float64() < link.Duplicate {
+			deliveries = 2
+		}
+		for d := 0; d < deliveries; d++ {
+			event := ev
+			if link.BitErrorRate > 0 {
+				decoded, ok := b.transmit(ev, link.BitErrorRate)
+				if !ok {
+					b.corrupted++
+					continue
+				}
+				event = decoded
+			}
+			delay := link.Latency
+			if link.Jitter > 0 {
+				delay += link.Jitter * b.sim.rng.Float64()
+			}
+			handler := sub.handler
+			b.delivered++
+			if err := b.sim.Schedule(b.sim.Now()+delay, func() {
+				handler(event)
+			}); err != nil {
+				return fmt.Errorf("awareoffice: scheduling delivery to %s: %w", sub.name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// transmit runs the event through the Particle wire encoding with random
+// bit corruption; ok is false when the receiver's CRC check rejects the
+// frame.
+func (b *Bus) transmit(ev Event, ber float64) (Event, bool) {
+	pkt := particle.ContextPacket{
+		Type:       particle.TypeContext,
+		Node:       particle.NodeIDFromString(ev.Source),
+		Seq:        uint16(ev.Seq),
+		SentMillis: uint32(ev.Sent * 1000),
+		ClassID:    byte(ev.Context.ID()),
+		Quality:    ev.Quality,
+		HasQuality: ev.HasQuality,
+	}
+	frame, err := particle.Encode(pkt)
+	if err != nil {
+		return Event{}, false
+	}
+	for bit := 0; bit < len(frame)*8; bit++ {
+		if b.sim.rng.Float64() < ber {
+			frame = particle.FlipBit(frame, bit)
+		}
+	}
+	decoded, err := particle.Decode(frame)
+	if err != nil {
+		return Event{}, false
+	}
+	out := Event{
+		Source:     decoded.Node.String(),
+		Context:    sensor.ContextByID(int(decoded.ClassID)),
+		Quality:    decoded.Quality,
+		HasQuality: decoded.HasQuality,
+		Sent:       float64(decoded.SentMillis) / 1000,
+		Seq:        int(decoded.Seq),
+	}
+	return out, true
+}
+
+// Corrupted returns the number of deliveries dropped by CRC failure.
+func (b *Bus) Corrupted() int { return b.corrupted }
+
+// Stats returns the published/delivered/dropped counters.
+func (b *Bus) Stats() (published, delivered, dropped int) {
+	return b.published, b.delivered, b.dropped
+}

@@ -1,0 +1,177 @@
+package awareoffice
+
+import (
+	"math"
+
+	"cqm/internal/sensor"
+)
+
+// Snapshot is one picture the camera took.
+type Snapshot struct {
+	// At is the virtual time of the shutter.
+	At float64
+	// TriggeredBy is the context event that ended the writing session.
+	TriggeredBy Event
+}
+
+// Camera is the whiteboard camera appliance from the paper's motivation:
+// it "takes a picture copy of the content when a writing session was
+// over". It watches the pen's context events and fires when a writing
+// phase transitions into a non-writing one.
+//
+// With UseQuality set, events carrying a quality at or below MinQuality —
+// and events carrying no quality at all — are ignored, which is precisely
+// the CQM integration the paper proposes for improving the camera's
+// decision.
+type Camera struct {
+	// Name identifies the camera on the bus. Default "whiteboard-camera".
+	Name string
+	// UseQuality enables CQM filtering of incoming events.
+	UseQuality bool
+	// MinQuality is the acceptance threshold s when UseQuality is set.
+	MinQuality float64
+	// DebounceWindows is the number of consecutive agreeing events needed
+	// before the camera believes a context switch. Default 1 (trust every
+	// event); 2 reproduces a cautious appliance.
+	DebounceWindows int
+
+	current   sensor.Context
+	pending   sensor.Context
+	pendCount int
+	writing   bool
+	snapshots []Snapshot
+	ignored   int
+	seen      map[int]struct{}
+	duplicate int
+}
+
+// Attach subscribes the camera to the bus.
+func (c *Camera) Attach(bus *Bus) {
+	bus.Subscribe(c.name(), c.handle)
+}
+
+// handle consumes one context event.
+func (c *Camera) handle(ev Event) {
+	if c.seen == nil {
+		c.seen = make(map[int]struct{})
+	}
+	// Duplicate suppression by publisher sequence number.
+	if _, dup := c.seen[ev.Seq]; dup {
+		c.duplicate++
+		return
+	}
+	c.seen[ev.Seq] = struct{}{}
+
+	if c.UseQuality {
+		if !ev.HasQuality || ev.Quality <= c.MinQuality {
+			c.ignored++
+			return
+		}
+	}
+
+	debounce := c.DebounceWindows
+	if debounce < 1 {
+		debounce = 1
+	}
+	if ev.Context != c.pending {
+		c.pending = ev.Context
+		c.pendCount = 0
+	}
+	c.pendCount++
+	if c.pendCount < debounce {
+		return
+	}
+	next := c.pending
+	if next == c.current {
+		return
+	}
+	// Believed context switch.
+	if c.writing && next != sensor.ContextWriting {
+		c.snapshots = append(c.snapshots, Snapshot{At: ev.Sent, TriggeredBy: ev})
+	}
+	c.current = next
+	c.writing = next == sensor.ContextWriting
+}
+
+// Snapshots returns the pictures taken so far.
+func (c *Camera) Snapshots() []Snapshot {
+	out := make([]Snapshot, len(c.snapshots))
+	copy(out, c.snapshots)
+	return out
+}
+
+// Ignored returns the number of events rejected by the quality filter.
+func (c *Camera) Ignored() int { return c.ignored }
+
+// Duplicates returns the number of duplicate deliveries suppressed.
+func (c *Camera) Duplicates() int { return c.duplicate }
+
+func (c *Camera) name() string {
+	if c.Name == "" {
+		return "whiteboard-camera"
+	}
+	return c.Name
+}
+
+// SnapshotScore compares taken snapshots against the true end-of-writing
+// times of a scenario. A snapshot within tolerance of a truth is a hit;
+// the rest are spurious. Each truth counts at most once.
+type SnapshotScore struct {
+	Truths   int
+	Hits     int
+	Spurious int
+}
+
+// Precision returns hits / (hits + spurious), or 0 with no snapshots.
+func (s SnapshotScore) Precision() float64 {
+	total := s.Hits + s.Spurious
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Recall returns hits / truths, or 0 with no truths.
+func (s SnapshotScore) Recall() float64 {
+	if s.Truths == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Truths)
+}
+
+// ScoreSnapshots matches snapshots to true end-of-writing times.
+func ScoreSnapshots(snaps []Snapshot, truths []float64, tolerance float64) SnapshotScore {
+	score := SnapshotScore{Truths: len(truths)}
+	used := make([]bool, len(truths))
+	for _, snap := range snaps {
+		matched := false
+		for i, truth := range truths {
+			if used[i] {
+				continue
+			}
+			if math.Abs(snap.At-truth) <= tolerance {
+				used[i] = true
+				matched = true
+				break
+			}
+		}
+		if matched {
+			score.Hits++
+		} else {
+			score.Spurious++
+		}
+	}
+	return score
+}
+
+// EndOfWritingTimes extracts the true end-of-writing instants from a
+// labelled recording: times where ground truth leaves ContextWriting.
+func EndOfWritingTimes(readings []sensor.Reading) []float64 {
+	var out []float64
+	for i := 1; i < len(readings); i++ {
+		if readings[i-1].Truth == sensor.ContextWriting && readings[i].Truth != sensor.ContextWriting {
+			out = append(out, readings[i].T)
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package awareoffice
+
+import (
+	"cqm/internal/fusion"
+	"cqm/internal/sensor"
+)
+
+// DoorDisplay is the AwareOffice's room-state display: it subscribes to
+// every pen's context events, keeps the freshest report per source, fuses
+// them (quality-weighted by default), and aggregates the fused stream into
+// a higher-level room state — the §5 "higher level context processor"
+// living directly on the distributed bus.
+type DoorDisplay struct {
+	// Name identifies the display on the bus. Default "door-display".
+	Name string
+	// Strategy selects the fusion rule; zero value = quality-weighted.
+	Strategy fusion.Strategy
+	// StaleAfter drops a source's report when it is older than this many
+	// seconds of virtual time. Default 3.
+	StaleAfter float64
+	// Aggregator maps fused contexts to room states; its zero value uses
+	// the fusion defaults.
+	Aggregator fusion.Aggregator
+
+	sim     *Simulation
+	latest  map[string]Event
+	history []fusion.RoomState
+	fused   int
+}
+
+// Attach subscribes the display to the bus and keeps the simulation for
+// staleness checks.
+func (d *DoorDisplay) Attach(sim *Simulation, bus *Bus) {
+	d.sim = sim
+	bus.Subscribe(d.name(), d.handle)
+}
+
+func (d *DoorDisplay) name() string {
+	if d.Name == "" {
+		return "door-display"
+	}
+	return d.Name
+}
+
+// handle stores the report and refreshes the fused room state.
+func (d *DoorDisplay) handle(ev Event) {
+	if d.latest == nil {
+		d.latest = make(map[string]Event)
+	}
+	if ev.Context == sensor.ContextUnknown {
+		return
+	}
+	d.latest[ev.Source] = ev
+
+	strategy := d.Strategy
+	if strategy == 0 {
+		strategy = fusion.QualityWeighted
+	}
+	stale := d.StaleAfter
+	if stale == 0 {
+		stale = 3
+	}
+	reports := make([]fusion.Report, 0, len(d.latest))
+	now := 0.0
+	if d.sim != nil {
+		now = d.sim.Now()
+	}
+	for src, e := range d.latest {
+		if d.sim != nil && now-e.Sent > stale {
+			delete(d.latest, src)
+			continue
+		}
+		reports = append(reports, fusion.Report{
+			Source:     src,
+			Class:      e.Context,
+			Quality:    e.Quality,
+			HasQuality: e.HasQuality,
+		})
+	}
+	consensus, err := fusion.Fuse(reports, strategy)
+	if err != nil {
+		return
+	}
+	d.fused++
+	d.history = append(d.history, d.Aggregator.Observe(consensus.Class))
+}
+
+// State returns the currently displayed room state.
+func (d *DoorDisplay) State() fusion.RoomState {
+	return d.Aggregator.State()
+}
+
+// History returns the displayed room state after every fused update.
+func (d *DoorDisplay) History() []fusion.RoomState {
+	out := make([]fusion.RoomState, len(d.history))
+	copy(out, d.history)
+	return out
+}
+
+// Fusions returns the number of successful fusion updates.
+func (d *DoorDisplay) Fusions() int { return d.fused }
+
+// ActiveSources returns the number of sources with a fresh report.
+func (d *DoorDisplay) ActiveSources() int { return len(d.latest) }

@@ -1,0 +1,110 @@
+package awareoffice
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqm/internal/fusion"
+	"cqm/internal/sensor"
+)
+
+func TestDoorDisplayFusesMultiplePens(t *testing.T) {
+	p := trainPipeline(t, 45)
+	sim := NewSimulation(1)
+	bus, err := NewBus(sim, Link{Latency: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	display := &DoorDisplay{}
+	display.Attach(sim, bus)
+
+	rng := rand.New(rand.NewSource(2))
+	styles := []sensor.Style{
+		sensor.DefaultStyle(),
+		{Amplitude: 1.6, Tempo: 1.2, Irregularity: 0.6},
+	}
+	for i, style := range styles {
+		pen := &Pen{
+			Name:       "pen-" + string(rune('a'+i)),
+			Classifier: p.clf,
+			Measure:    p.measure,
+		}
+		pen.Attach(bus)
+		readings, err := (&sensor.Scenario{
+			Segments: []sensor.Segment{
+				{Context: sensor.ContextWriting, Duration: 10},
+				{Context: sensor.ContextLying, Duration: 6},
+			},
+			Style: style,
+		}).Run(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pen.Feed(sim, readings); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run(20)
+
+	if display.Fusions() == 0 {
+		t.Fatal("display never fused")
+	}
+	history := display.History()
+	// The room must pass through a working session and end idle.
+	sawSession := false
+	for _, s := range history {
+		if s == fusion.RoomSession {
+			sawSession = true
+		}
+	}
+	if !sawSession {
+		t.Error("display never showed a session")
+	}
+	if display.State() != fusion.RoomIdle {
+		t.Errorf("final state = %v, want idle", display.State())
+	}
+}
+
+func TestDoorDisplayDropsStaleSources(t *testing.T) {
+	sim := NewSimulation(3)
+	bus, err := NewBus(sim, Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	display := &DoorDisplay{StaleAfter: 1.0}
+	display.Attach(sim, bus)
+
+	// Two sources report; then only one keeps reporting. The silent
+	// source must age out of the fusion set.
+	_ = bus.Publish(Event{Source: "pen-a", Context: sensor.ContextWriting, Sent: 0, Seq: 0, Quality: 0.9, HasQuality: true})
+	_ = bus.Publish(Event{Source: "pen-b", Context: sensor.ContextPlaying, Sent: 0, Seq: 1, Quality: 0.9, HasQuality: true})
+	sim.Run(0.1)
+	if display.ActiveSources() != 2 {
+		t.Fatalf("active = %d, want 2", display.ActiveSources())
+	}
+	// Advance virtual time well past staleness, then one fresh report.
+	if err := sim.Schedule(5, func() {
+		_ = bus.Publish(Event{Source: "pen-a", Context: sensor.ContextWriting, Sent: 5, Seq: 2, Quality: 0.9, HasQuality: true})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(6)
+	if display.ActiveSources() != 1 {
+		t.Errorf("active = %d, want 1 (pen-b stale)", display.ActiveSources())
+	}
+}
+
+func TestDoorDisplayIgnoresUnknownContext(t *testing.T) {
+	sim := NewSimulation(4)
+	bus, err := NewBus(sim, Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	display := &DoorDisplay{}
+	display.Attach(sim, bus)
+	_ = bus.Publish(Event{Source: "pen", Context: sensor.ContextUnknown, Seq: 0})
+	sim.Run(1)
+	if display.Fusions() != 0 {
+		t.Error("unknown-context event triggered a fusion")
+	}
+}

@@ -1,0 +1,21 @@
+// Package awareoffice simulates the distributed Ubicomp environment the
+// paper's motivation is set in (§1, §3): smart appliances exchanging
+// context events over an unreliable wireless medium.
+//
+// The environment is a deterministic discrete-event simulation — virtual
+// time, a scheduling queue, and seeded randomness — rather than goroutines
+// and wall clocks, so every experiment is reproducible bit for bit.
+//
+// Components:
+//
+//   - Simulation: the virtual clock and event queue.
+//   - Bus: the context broadcast medium with per-link latency, jitter,
+//     loss, and duplication (the Particle RF network stand-in).
+//   - Pen: the AwarePen appliance — windows its accelerometer stream,
+//     classifies each window, scores it with the CQM, and publishes
+//     context events.
+//   - Camera: the whiteboard camera appliance — watches the pen's context
+//     and photographs the board when a writing session ends. With a
+//     quality threshold it ignores low-quality context events; the E7
+//     experiment compares its snapshot precision with and without the CQM.
+package awareoffice

@@ -1,0 +1,97 @@
+package awareoffice
+
+import (
+	"testing"
+
+	"cqm/internal/sensor"
+)
+
+// TestPartitionAndHeal simulates a camera losing connectivity mid-session
+// and recovering: events during the partition are lost, but the camera
+// resumes correct operation afterwards without duplicate confusion.
+func TestPartitionAndHeal(t *testing.T) {
+	sim := NewSimulation(30)
+	bus, err := NewBus(sim, Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := &Camera{}
+	cam.Attach(bus)
+
+	publish := func(at float64, seq int, c sensor.Context) {
+		if err := sim.Schedule(at, func() {
+			_ = bus.Publish(Event{Source: "pen", Context: c, Seq: seq, Sent: at})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Phase 1: a writing session, delivered.
+	publish(1, 0, sensor.ContextWriting)
+	publish(2, 1, sensor.ContextWriting)
+	// Partition the camera before the session ends.
+	if err := sim.Schedule(2.5, func() {
+		if err := bus.SetLink("whiteboard-camera", Link{Loss: 1}); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The end-of-writing happens during the partition: the event is lost,
+	// so this snapshot opportunity is missed.
+	publish(3, 2, sensor.ContextLying)
+	// Heal the partition.
+	if err := sim.Schedule(4, func() {
+		if err := bus.SetLink("whiteboard-camera", Link{}); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 2 after healing: a full writing session with a visible end.
+	publish(5, 3, sensor.ContextWriting)
+	publish(6, 4, sensor.ContextWriting)
+	publish(7, 5, sensor.ContextLying)
+	sim.Run(10)
+
+	snaps := cam.Snapshots()
+	// Exactly one snapshot: the partition ate the first end-of-writing,
+	// the healed link delivered the second.
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots = %d, want 1 (one missed during partition)", len(snaps))
+	}
+	if snaps[0].TriggeredBy.Seq != 5 {
+		t.Errorf("snapshot triggered by seq %d, want 5", snaps[0].TriggeredBy.Seq)
+	}
+	_, _, dropped := bus.Stats()
+	if dropped == 0 {
+		t.Error("partition dropped nothing")
+	}
+}
+
+// TestPartitionOnlyAffectsTargetSubscriber verifies per-subscriber link
+// overrides: a second camera keeps receiving during the partition.
+func TestPartitionOnlyAffectsTargetSubscriber(t *testing.T) {
+	sim := NewSimulation(31)
+	bus, err := NewBus(sim, Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Camera{Name: "cam-a"}
+	a.Attach(bus)
+	b := &Camera{Name: "cam-b"}
+	b.Attach(bus)
+	if err := bus.SetLink("cam-a", Link{Loss: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_ = bus.Publish(Event{Source: "pen", Context: sensor.ContextWriting, Seq: 0, Sent: 0})
+	sim.Run(0.5)
+	_ = bus.Publish(Event{Source: "pen", Context: sensor.ContextLying, Seq: 1, Sent: 0.5})
+	sim.Run(2)
+	if len(a.Snapshots()) != 0 {
+		t.Error("partitioned camera fired")
+	}
+	if len(b.Snapshots()) != 1 {
+		t.Errorf("healthy camera snapshots = %d, want 1", len(b.Snapshots()))
+	}
+}

@@ -1,0 +1,111 @@
+package awareoffice
+
+import (
+	"errors"
+	"fmt"
+
+	"cqm/internal/classify"
+	"cqm/internal/core"
+	"cqm/internal/feature"
+	"cqm/internal/sensor"
+)
+
+// Appliance errors.
+var (
+	// ErrNotWired reports an appliance used before Attach.
+	ErrNotWired = errors.New("awareoffice: appliance not attached to a bus")
+)
+
+// Pen is the AwarePen appliance: it windows its accelerometer stream,
+// classifies every window, scores the classification with the CQM, and
+// publishes the result as a context event at the window's end time.
+type Pen struct {
+	// Name identifies the pen on the bus. Default "awarepen".
+	Name string
+	// Classifier is the pen's context recognition — any black box.
+	Classifier classify.Classifier
+	// Measure optionally annotates events with quality values; nil
+	// publishes legacy events without quality.
+	Measure *core.Measure
+	// WindowSize is the readings per classification window. Default 100.
+	WindowSize int
+	// Windower pipeline; nil uses the paper's per-axis stddev cues.
+	Pipeline *feature.Pipeline
+
+	bus *Bus
+	seq int
+}
+
+// Attach wires the pen to a bus.
+func (p *Pen) Attach(bus *Bus) {
+	p.bus = bus
+}
+
+// Feed schedules the classification and publication of the recording:
+// each window produces one context event at the window's end time.
+// It returns the number of scheduled events.
+func (p *Pen) Feed(sim *Simulation, readings []sensor.Reading) (int, error) {
+	if p.bus == nil {
+		return 0, ErrNotWired
+	}
+	if p.Classifier == nil {
+		return 0, fmt.Errorf("awareoffice: pen %q has no classifier", p.name())
+	}
+	size := p.WindowSize
+	if size == 0 {
+		size = 100
+	}
+	windows, err := (feature.Windower{Size: size, Pipeline: p.Pipeline}).Slide(readings)
+	if err != nil {
+		return 0, fmt.Errorf("awareoffice: windowing pen stream: %w", err)
+	}
+	scheduled := 0
+	for _, w := range windows {
+		w := w
+		at := w.End
+		if at < sim.Now() {
+			at = sim.Now()
+		}
+		if err := sim.Schedule(at, func() {
+			p.classifyAndPublish(w)
+		}); err != nil {
+			return scheduled, fmt.Errorf("awareoffice: scheduling window: %w", err)
+		}
+		scheduled++
+	}
+	return scheduled, nil
+}
+
+// classifyAndPublish runs the pen's recognition pipeline for one window.
+func (p *Pen) classifyAndPublish(w feature.Window) {
+	class, err := p.Classifier.Classify(w.Cues)
+	if err != nil || class == sensor.ContextUnknown {
+		// Out-of-range cues: the appliance stays silent, like a node whose
+		// recognizer produced nothing publishable.
+		return
+	}
+	ev := Event{
+		Source:  p.name(),
+		Context: class,
+		Sent:    w.End,
+		Seq:     p.seq,
+	}
+	p.seq++
+	if p.Measure != nil {
+		if q, err := p.Measure.Score(w.Cues, class); err == nil {
+			ev.Quality = q
+			ev.HasQuality = true
+		}
+		// ε state: publish without quality; receivers decide what to do
+		// with unannotated events.
+	}
+	// Publish errors cannot occur here: delivery times are >= now.
+	_ = p.bus.Publish(ev)
+}
+
+func (p *Pen) name() string {
+	if p.Name == "" {
+		return "awarepen"
+	}
+	return p.Name
+}

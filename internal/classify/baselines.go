@@ -1,0 +1,278 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cqm/internal/dataset"
+	"cqm/internal/mat"
+	"cqm/internal/sensor"
+)
+
+// KNN is a k-nearest-neighbour classifier over Euclidean cue distance.
+// It serves as one of the black boxes for the classifier-agnosticism
+// experiment: the CQM never sees inside it.
+type KNN struct {
+	k       int
+	dim     int
+	cues    [][]float64
+	labels  []sensor.Context
+	trained bool
+}
+
+// Compile-time interface check.
+var _ Classifier = (*KNN)(nil)
+
+// Name returns "knn".
+func (k *KNN) Name() string { return "knn" }
+
+// Classify votes among the k nearest training samples; ties break toward
+// the smaller class identifier for determinism.
+func (k *KNN) Classify(cues []float64) (sensor.Context, error) {
+	if !k.trained {
+		return sensor.ContextUnknown, ErrUntrained
+	}
+	if len(cues) != k.dim {
+		return sensor.ContextUnknown, fmt.Errorf("%w: %d cues, want %d", ErrBadInput, len(cues), k.dim)
+	}
+	type neigh struct {
+		d     float64
+		label sensor.Context
+	}
+	neighbours := make([]neigh, len(k.cues))
+	for i, c := range k.cues {
+		neighbours[i] = neigh{d: mat.SquaredDistance(cues, c), label: k.labels[i]}
+	}
+	sort.Slice(neighbours, func(i, j int) bool {
+		if neighbours[i].d != neighbours[j].d {
+			return neighbours[i].d < neighbours[j].d
+		}
+		return neighbours[i].label < neighbours[j].label
+	})
+	votes := make(map[sensor.Context]int)
+	limit := k.k
+	if limit > len(neighbours) {
+		limit = len(neighbours)
+	}
+	for _, n := range neighbours[:limit] {
+		votes[n.label]++
+	}
+	best := sensor.ContextUnknown
+	bestVotes := -1
+	for _, c := range sensor.AllContexts() {
+		if v := votes[c]; v > bestVotes {
+			best, bestVotes = c, v
+		}
+	}
+	return best, nil
+}
+
+// KNNTrainer fits a KNN classifier.
+type KNNTrainer struct {
+	// K is the neighbourhood size. Default 5.
+	K int
+}
+
+// Compile-time interface check.
+var _ Trainer = (*KNNTrainer)(nil)
+
+// Train memorizes the training set.
+func (tr *KNNTrainer) Train(set *dataset.Set) (Classifier, error) {
+	dim, err := validateTrainingSet(set)
+	if err != nil {
+		return nil, err
+	}
+	k := tr.K
+	if k == 0 {
+		k = 5
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k=%d", ErrBadInput, k)
+	}
+	clone := set.Clone()
+	labels := make([]sensor.Context, clone.Len())
+	for i, smp := range clone.Samples {
+		labels[i] = smp.Truth
+	}
+	return &KNN{k: k, dim: dim, cues: clone.Cues(), labels: labels, trained: true}, nil
+}
+
+// NaiveBayes is a Gaussian naive-Bayes classifier: per class and cue
+// dimension a normal density, combined under the independence assumption.
+type NaiveBayes struct {
+	dim     int
+	classes []sensor.Context
+	priors  map[sensor.Context]float64
+	mu      map[sensor.Context][]float64
+	sigma   map[sensor.Context][]float64
+	trained bool
+}
+
+// Compile-time interface check.
+var _ Classifier = (*NaiveBayes)(nil)
+
+// Name returns "naive-bayes".
+func (nb *NaiveBayes) Name() string { return "naive-bayes" }
+
+// Classify returns the class with maximum log-posterior.
+func (nb *NaiveBayes) Classify(cues []float64) (sensor.Context, error) {
+	if !nb.trained {
+		return sensor.ContextUnknown, ErrUntrained
+	}
+	if len(cues) != nb.dim {
+		return sensor.ContextUnknown, fmt.Errorf("%w: %d cues, want %d", ErrBadInput, len(cues), nb.dim)
+	}
+	best := sensor.ContextUnknown
+	bestLL := math.Inf(-1)
+	for _, c := range nb.classes {
+		ll := math.Log(nb.priors[c])
+		for j, x := range cues {
+			s := nb.sigma[c][j]
+			d := x - nb.mu[c][j]
+			ll += -0.5*d*d/(s*s) - math.Log(s)
+		}
+		if ll > bestLL {
+			best, bestLL = c, ll
+		}
+	}
+	return best, nil
+}
+
+// NaiveBayesTrainer fits per-class Gaussians with a variance floor.
+type NaiveBayesTrainer struct {
+	// MinSigma floors the per-dimension standard deviations. Default 1e-4.
+	MinSigma float64
+}
+
+// Compile-time interface check.
+var _ Trainer = (*NaiveBayesTrainer)(nil)
+
+// Train estimates class priors and per-dimension Gaussian parameters.
+func (tr *NaiveBayesTrainer) Train(set *dataset.Set) (Classifier, error) {
+	dim, err := validateTrainingSet(set)
+	if err != nil {
+		return nil, err
+	}
+	floor := tr.MinSigma
+	if floor == 0 {
+		floor = 1e-4
+	}
+	byClass := make(map[sensor.Context][][]float64)
+	for _, smp := range set.Samples {
+		byClass[smp.Truth] = append(byClass[smp.Truth], smp.Cues)
+	}
+	delete(byClass, sensor.ContextUnknown)
+	nb := &NaiveBayes{
+		dim:     dim,
+		priors:  make(map[sensor.Context]float64),
+		mu:      make(map[sensor.Context][]float64),
+		sigma:   make(map[sensor.Context][]float64),
+		trained: true,
+	}
+	total := 0
+	for _, rows := range byClass {
+		total += len(rows)
+	}
+	for c, rows := range byClass {
+		nb.classes = append(nb.classes, c)
+		nb.priors[c] = float64(len(rows)) / float64(total)
+		mu := make([]float64, dim)
+		sigma := make([]float64, dim)
+		for _, row := range rows {
+			for j, v := range row {
+				mu[j] += v
+			}
+		}
+		for j := range mu {
+			mu[j] /= float64(len(rows))
+		}
+		for _, row := range rows {
+			for j, v := range row {
+				d := v - mu[j]
+				sigma[j] += d * d
+			}
+		}
+		for j := range sigma {
+			sigma[j] = math.Sqrt(sigma[j] / float64(len(rows)))
+			if sigma[j] < floor {
+				sigma[j] = floor
+			}
+		}
+		nb.mu[c] = mu
+		nb.sigma[c] = sigma
+	}
+	sort.Slice(nb.classes, func(i, j int) bool { return nb.classes[i] < nb.classes[j] })
+	return nb, nil
+}
+
+// NearestCentroid classifies to the class whose training-cue centroid is
+// closest — the simplest possible baseline.
+type NearestCentroid struct {
+	dim       int
+	classes   []sensor.Context
+	centroids map[sensor.Context][]float64
+	trained   bool
+}
+
+// Compile-time interface check.
+var _ Classifier = (*NearestCentroid)(nil)
+
+// Name returns "nearest-centroid".
+func (nc *NearestCentroid) Name() string { return "nearest-centroid" }
+
+// Classify returns the class of the nearest centroid.
+func (nc *NearestCentroid) Classify(cues []float64) (sensor.Context, error) {
+	if !nc.trained {
+		return sensor.ContextUnknown, ErrUntrained
+	}
+	if len(cues) != nc.dim {
+		return sensor.ContextUnknown, fmt.Errorf("%w: %d cues, want %d", ErrBadInput, len(cues), nc.dim)
+	}
+	best := sensor.ContextUnknown
+	bestD := math.Inf(1)
+	for _, c := range nc.classes {
+		if d := mat.SquaredDistance(cues, nc.centroids[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, nil
+}
+
+// NearestCentroidTrainer fits class centroids.
+type NearestCentroidTrainer struct{}
+
+// Compile-time interface check.
+var _ Trainer = (*NearestCentroidTrainer)(nil)
+
+// Train computes the per-class cue centroids.
+func (NearestCentroidTrainer) Train(set *dataset.Set) (Classifier, error) {
+	dim, err := validateTrainingSet(set)
+	if err != nil {
+		return nil, err
+	}
+	sums := make(map[sensor.Context][]float64)
+	counts := make(map[sensor.Context]int)
+	for _, smp := range set.Samples {
+		if smp.Truth == sensor.ContextUnknown {
+			continue
+		}
+		if sums[smp.Truth] == nil {
+			sums[smp.Truth] = make([]float64, dim)
+		}
+		for j, v := range smp.Cues {
+			sums[smp.Truth][j] += v
+		}
+		counts[smp.Truth]++
+	}
+	nc := &NearestCentroid{dim: dim, centroids: make(map[sensor.Context][]float64), trained: true}
+	for c, sum := range sums {
+		for j := range sum {
+			sum[j] /= float64(counts[c])
+		}
+		nc.centroids[c] = sum
+		nc.classes = append(nc.classes, c)
+	}
+	sort.Slice(nc.classes, func(i, j int) bool { return nc.classes[i] < nc.classes[j] })
+	return nc, nil
+}

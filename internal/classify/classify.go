@@ -1,0 +1,89 @@
+// Package classify provides the context-classification layer the CQM
+// wraps. The quality system treats whatever produced the class as a black
+// box (paper §2: "We consider the context algorithm as a black-box where
+// our context system could be added to"), so this package defines the
+// Classifier interface and several interchangeable implementations:
+//
+//   - TSK: the AwarePen's own classifier — a TSK-FIS mapping the three
+//     per-axis standard deviation cues onto a continuous class value that
+//     is rounded to the nearest class identifier (paper §3.1).
+//   - KNN, NaiveBayes, NearestCentroid: standard baselines used by the
+//     classifier-agnosticism experiment (E5).
+package classify
+
+import (
+	"errors"
+	"fmt"
+
+	"cqm/internal/dataset"
+	"cqm/internal/sensor"
+)
+
+// Classification errors.
+var (
+	// ErrUntrained reports classification before training.
+	ErrUntrained = errors.New("classify: classifier is not trained")
+	// ErrBadInput reports a cue vector of the wrong dimension.
+	ErrBadInput = errors.New("classify: bad input")
+	// ErrNoClasses reports training data without class labels.
+	ErrNoClasses = errors.New("classify: no classes in training data")
+)
+
+// Classifier assigns a cue vector to a context class. Implementations are
+// deterministic after training so the quality pipeline can be reproduced.
+type Classifier interface {
+	// Classify returns the context for the cue vector.
+	Classify(cues []float64) (sensor.Context, error)
+	// Name identifies the algorithm in reports.
+	Name() string
+}
+
+// Trainer fits a Classifier to a labelled set.
+type Trainer interface {
+	// Train returns a classifier fitted to the set.
+	Train(set *dataset.Set) (Classifier, error)
+}
+
+// Accuracy evaluates a classifier on a labelled set and returns the
+// fraction of correct classifications.
+func Accuracy(c Classifier, set *dataset.Set) (float64, error) {
+	if set.Len() == 0 {
+		return 0, dataset.ErrEmpty
+	}
+	correct := 0
+	for _, smp := range set.Samples {
+		got, err := c.Classify(smp.Cues)
+		if err != nil {
+			return 0, fmt.Errorf("classify: evaluating %s: %w", c.Name(), err)
+		}
+		if got == smp.Truth {
+			correct++
+		}
+	}
+	return float64(correct) / float64(set.Len()), nil
+}
+
+// validateTrainingSet performs the shared training-set checks and returns
+// the cue dimensionality.
+func validateTrainingSet(set *dataset.Set) (int, error) {
+	if set == nil || set.Len() == 0 {
+		return 0, dataset.ErrEmpty
+	}
+	dim := len(set.Samples[0].Cues)
+	if dim == 0 {
+		return 0, fmt.Errorf("%w: zero-dimensional cues", ErrBadInput)
+	}
+	seen := false
+	for i, smp := range set.Samples {
+		if len(smp.Cues) != dim {
+			return 0, fmt.Errorf("%w: sample %d has %d cues, want %d", ErrBadInput, i, len(smp.Cues), dim)
+		}
+		if smp.Truth != sensor.ContextUnknown {
+			seen = true
+		}
+	}
+	if !seen {
+		return 0, ErrNoClasses
+	}
+	return dim, nil
+}

@@ -1,0 +1,294 @@
+package classify
+
+import (
+	"errors"
+	"testing"
+
+	"cqm/internal/anfis"
+	"cqm/internal/dataset"
+	"cqm/internal/fuzzy"
+	"cqm/internal/sensor"
+)
+
+// awarePenData generates a labelled AwarePen cue set for training tests.
+func awarePenData(t testing.TB, seed int64) *dataset.Set {
+	t.Helper()
+	scenarios := []*sensor.Scenario{
+		sensor.OfficeSession(sensor.DefaultStyle()),
+		sensor.OfficeSession(sensor.Style{Amplitude: 1.2, Tempo: 0.9, Irregularity: 0.3}),
+		{
+			Segments: []sensor.Segment{
+				{Context: sensor.ContextLying, Duration: 6},
+				{Context: sensor.ContextPlaying, Duration: 6},
+				{Context: sensor.ContextWriting, Duration: 6},
+			},
+		},
+	}
+	set, err := dataset.Generate(dataset.GenerateConfig{
+		Scenarios:  scenarios,
+		WindowSize: 100,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// pureOnly filters the set down to transition-free windows.
+func pureOnly(set *dataset.Set) *dataset.Set {
+	out := &dataset.Set{}
+	for _, smp := range set.Samples {
+		if smp.Pure {
+			out.Append(smp)
+		}
+	}
+	return out
+}
+
+func TestTSKTrainerAccuracyOnPureWindows(t *testing.T) {
+	set := awarePenData(t, 31)
+	tr := &TSKTrainer{}
+	c, err := tr.Train(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(c, pureOnly(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Errorf("TSK accuracy on pure windows = %v, want >= 0.85", acc)
+	}
+}
+
+func TestTSKClassesSorted(t *testing.T) {
+	set := awarePenData(t, 32)
+	c, err := (&TSKTrainer{}).Train(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsk := c.(*TSK)
+	classes := tsk.Classes()
+	if len(classes) != 3 {
+		t.Fatalf("classes = %v", classes)
+	}
+	for i := 1; i < len(classes); i++ {
+		if classes[i] <= classes[i-1] {
+			t.Errorf("classes not sorted: %v", classes)
+		}
+	}
+	if tsk.System() == nil {
+		t.Error("System() returned nil")
+	}
+}
+
+func TestTSKHybridRefinementDoesNotHurt(t *testing.T) {
+	set := awarePenData(t, 33)
+	pure := pureOnly(set)
+	plain, err := (&TSKTrainer{}).Train(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := (&TSKTrainer{Hybrid: true, HybridConfig: anfis.Config{Epochs: 15}}).Train(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accPlain, err := Accuracy(plain, pure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accRefined, err := Accuracy(refined, pure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accRefined < accPlain-0.1 {
+		t.Errorf("hybrid refinement collapsed accuracy: %v -> %v", accPlain, accRefined)
+	}
+}
+
+func TestTSKUnknownOnNoActivation(t *testing.T) {
+	sys, err := fuzzy.NewTSK(1, []fuzzy.Rule{{
+		Antecedent: []fuzzy.Gaussian{{Mu: 0, Sigma: 1e-3}},
+		Coeffs:     []float64{0, 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &TSK{sys: sys, classes: []sensor.Context{sensor.ContextLying}}
+	got, err := c.Classify([]float64{1e9})
+	if err != nil {
+		t.Fatalf("no-activation should not error: %v", err)
+	}
+	if got != sensor.ContextUnknown {
+		t.Errorf("got %v, want unknown", got)
+	}
+}
+
+func TestTSKUntrained(t *testing.T) {
+	var c TSK
+	if _, err := c.Classify([]float64{1}); !errors.Is(err, ErrUntrained) {
+		t.Errorf("err = %v, want ErrUntrained", err)
+	}
+}
+
+func TestBaselineAccuracies(t *testing.T) {
+	set := awarePenData(t, 34)
+	pure := pureOnly(set)
+	trainers := []struct {
+		name string
+		tr   Trainer
+		min  float64
+	}{
+		{"knn", &KNNTrainer{K: 3}, 0.9},
+		{"naive-bayes", &NaiveBayesTrainer{}, 0.85},
+		{"nearest-centroid", NearestCentroidTrainer{}, 0.7},
+	}
+	for _, tt := range trainers {
+		t.Run(tt.name, func(t *testing.T) {
+			c, err := tt.tr.Train(set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Name() == "" {
+				t.Error("empty Name")
+			}
+			acc, err := Accuracy(c, pure)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if acc < tt.min {
+				t.Errorf("accuracy = %v, want >= %v", acc, tt.min)
+			}
+		})
+	}
+}
+
+func TestClassifiersRejectWrongDim(t *testing.T) {
+	set := awarePenData(t, 35)
+	for _, tr := range []Trainer{&KNNTrainer{}, &NaiveBayesTrainer{}, NearestCentroidTrainer{}} {
+		c, err := tr.Train(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Classify([]float64{1}); !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s: err = %v, want ErrBadInput", c.Name(), err)
+		}
+	}
+}
+
+func TestClassifiersUntrained(t *testing.T) {
+	classifiers := []Classifier{&KNN{}, &NaiveBayes{}, &NearestCentroid{}}
+	for _, c := range classifiers {
+		if _, err := c.Classify([]float64{1, 2, 3}); !errors.Is(err, ErrUntrained) {
+			t.Errorf("%s: err = %v, want ErrUntrained", c.Name(), err)
+		}
+	}
+}
+
+func TestTrainersRejectBadSets(t *testing.T) {
+	trainers := []Trainer{&TSKTrainer{}, &KNNTrainer{}, &NaiveBayesTrainer{}, NearestCentroidTrainer{}}
+	empty := &dataset.Set{}
+	ragged := &dataset.Set{}
+	ragged.Append(
+		dataset.Sample{Cues: []float64{1}, Truth: sensor.ContextLying},
+		dataset.Sample{Cues: []float64{1, 2}, Truth: sensor.ContextWriting},
+	)
+	unlabelled := &dataset.Set{}
+	unlabelled.Append(dataset.Sample{Cues: []float64{1}, Truth: sensor.ContextUnknown})
+	for _, tr := range trainers {
+		if _, err := tr.Train(empty); !errors.Is(err, dataset.ErrEmpty) {
+			t.Errorf("%T empty: %v", tr, err)
+		}
+		if _, err := tr.Train(ragged); !errors.Is(err, ErrBadInput) {
+			t.Errorf("%T ragged: %v", tr, err)
+		}
+		if _, err := tr.Train(unlabelled); !errors.Is(err, ErrNoClasses) {
+			t.Errorf("%T unlabelled: %v", tr, err)
+		}
+	}
+}
+
+func TestKNNDeterministicTieBreak(t *testing.T) {
+	set := &dataset.Set{}
+	// Two equidistant neighbours with different labels; k=2 ties 1:1 and
+	// must deterministically pick the smaller class identifier.
+	set.Append(
+		dataset.Sample{Cues: []float64{-1}, Truth: sensor.ContextPlaying},
+		dataset.Sample{Cues: []float64{1}, Truth: sensor.ContextLying},
+	)
+	c, err := (&KNNTrainer{K: 2}).Train(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Classify([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sensor.ContextLying {
+		t.Errorf("tie broke to %v, want lying (smaller identifier)", got)
+	}
+}
+
+func TestKNNDoesNotAliasTrainingSet(t *testing.T) {
+	set := &dataset.Set{}
+	set.Append(
+		dataset.Sample{Cues: []float64{0}, Truth: sensor.ContextLying},
+		dataset.Sample{Cues: []float64{5}, Truth: sensor.ContextPlaying},
+	)
+	c, err := (&KNNTrainer{K: 1}).Train(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Samples[0].Cues[0] = 100 // mutate after training
+	got, err := c.Classify([]float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sensor.ContextLying {
+		t.Errorf("training mutation leaked into classifier: got %v", got)
+	}
+}
+
+func TestNaiveBayesPriorsFavorFrequentClass(t *testing.T) {
+	set := &dataset.Set{}
+	// Same distribution for both classes but very different priors.
+	for i := 0; i < 19; i++ {
+		set.Append(dataset.Sample{Cues: []float64{0.5}, Truth: sensor.ContextWriting})
+	}
+	set.Append(dataset.Sample{Cues: []float64{0.5}, Truth: sensor.ContextPlaying})
+	c, err := (&NaiveBayesTrainer{}).Train(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Classify([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sensor.ContextWriting {
+		t.Errorf("got %v, want the 19:1 prior class", got)
+	}
+}
+
+func TestAccuracyEmptySet(t *testing.T) {
+	c := &NearestCentroid{dim: 1, trained: true}
+	if _, err := Accuracy(c, &dataset.Set{}); !errors.Is(err, dataset.ErrEmpty) {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func BenchmarkTSKClassify(b *testing.B) {
+	set := awarePenData(b, 36)
+	c, err := (&TSKTrainer{}).Train(set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cues := set.Samples[0].Cues
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Classify(cues); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

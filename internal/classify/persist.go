@@ -1,0 +1,386 @@
+package classify
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"cqm/internal/fuzzy"
+	"cqm/internal/sensor"
+)
+
+// ErrUnknownKind reports deserialization of an unrecognized classifier.
+var ErrUnknownKind = errors.New("classify: unknown classifier kind")
+
+// envelope wraps any serialized classifier with its kind tag.
+type envelope struct {
+	Kind  string          `json:"kind"`
+	Model json.RawMessage `json:"model"`
+}
+
+// MarshalClassifier serializes any classifier produced by this package
+// into a self-describing JSON envelope.
+func MarshalClassifier(c Classifier) ([]byte, error) {
+	var (
+		model any
+		err   error
+	)
+	switch t := c.(type) {
+	case *TSK:
+		model, err = t.dto()
+	case *KNN:
+		model, err = t.dto()
+	case *NaiveBayes:
+		model, err = t.dto()
+	case *NearestCentroid:
+		model, err = t.dto()
+	case *DecisionTree:
+		model, err = t.dto()
+	case *Softmax:
+		model, err = t.dto()
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknownKind, c)
+	}
+	if err != nil {
+		return nil, err
+	}
+	raw, err := json.Marshal(model)
+	if err != nil {
+		return nil, fmt.Errorf("classify: encoding %s: %w", c.Name(), err)
+	}
+	return json.Marshal(envelope{Kind: c.Name(), Model: raw})
+}
+
+// UnmarshalClassifier restores a classifier from its envelope.
+func UnmarshalClassifier(data []byte) (Classifier, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("classify: decoding envelope: %w", err)
+	}
+	switch env.Kind {
+	case "tsk-fis":
+		return tskFromJSON(env.Model)
+	case "knn":
+		return knnFromJSON(env.Model)
+	case "naive-bayes":
+		return naiveBayesFromJSON(env.Model)
+	case "nearest-centroid":
+		return centroidFromJSON(env.Model)
+	case "decision-tree":
+		return treeFromJSON(env.Model)
+	case "softmax":
+		return softmaxFromJSON(env.Model)
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, env.Kind)
+	}
+}
+
+// --- TSK ---
+
+type tskDTO struct {
+	System  *fuzzy.TSK `json:"system"`
+	Classes []int      `json:"classes"`
+}
+
+func (t *TSK) dto() (any, error) {
+	if t.sys == nil {
+		return nil, ErrUntrained
+	}
+	classes := make([]int, len(t.classes))
+	for i, c := range t.classes {
+		classes[i] = c.ID()
+	}
+	return tskDTO{System: t.sys, Classes: classes}, nil
+}
+
+func tskFromJSON(raw json.RawMessage) (*TSK, error) {
+	var dto tskDTO
+	if err := json.Unmarshal(raw, &dto); err != nil {
+		return nil, fmt.Errorf("classify: decoding tsk: %w", err)
+	}
+	if dto.System == nil || len(dto.Classes) == 0 {
+		return nil, fmt.Errorf("classify: tsk model incomplete")
+	}
+	classes := make([]sensor.Context, len(dto.Classes))
+	for i, id := range dto.Classes {
+		classes[i] = sensor.ContextByID(id)
+		if classes[i] == sensor.ContextUnknown {
+			return nil, fmt.Errorf("classify: tsk class id %d unknown", id)
+		}
+	}
+	return &TSK{sys: dto.System, classes: classes}, nil
+}
+
+// --- KNN ---
+
+type knnDTO struct {
+	K      int         `json:"k"`
+	Dim    int         `json:"dim"`
+	Cues   [][]float64 `json:"cues"`
+	Labels []int       `json:"labels"`
+}
+
+func (k *KNN) dto() (any, error) {
+	if !k.trained {
+		return nil, ErrUntrained
+	}
+	labels := make([]int, len(k.labels))
+	for i, l := range k.labels {
+		labels[i] = l.ID()
+	}
+	return knnDTO{K: k.k, Dim: k.dim, Cues: k.cues, Labels: labels}, nil
+}
+
+func knnFromJSON(raw json.RawMessage) (*KNN, error) {
+	var dto knnDTO
+	if err := json.Unmarshal(raw, &dto); err != nil {
+		return nil, fmt.Errorf("classify: decoding knn: %w", err)
+	}
+	if dto.K < 1 || dto.Dim < 1 || len(dto.Cues) != len(dto.Labels) || len(dto.Cues) == 0 {
+		return nil, fmt.Errorf("classify: knn model incomplete")
+	}
+	labels := make([]sensor.Context, len(dto.Labels))
+	for i, id := range dto.Labels {
+		labels[i] = sensor.ContextByID(id)
+	}
+	return &KNN{k: dto.K, dim: dto.Dim, cues: dto.Cues, labels: labels, trained: true}, nil
+}
+
+// --- NaiveBayes ---
+
+type naiveBayesDTO struct {
+	Dim     int               `json:"dim"`
+	Classes []int             `json:"classes"`
+	Priors  map[int]float64   `json:"priors"`
+	Mu      map[int][]float64 `json:"mu"`
+	Sigma   map[int][]float64 `json:"sigma"`
+}
+
+func (nb *NaiveBayes) dto() (any, error) {
+	if !nb.trained {
+		return nil, ErrUntrained
+	}
+	dto := naiveBayesDTO{
+		Dim:    nb.dim,
+		Priors: make(map[int]float64, len(nb.priors)),
+		Mu:     make(map[int][]float64, len(nb.mu)),
+		Sigma:  make(map[int][]float64, len(nb.sigma)),
+	}
+	for _, c := range nb.classes {
+		dto.Classes = append(dto.Classes, c.ID())
+		dto.Priors[c.ID()] = nb.priors[c]
+		dto.Mu[c.ID()] = nb.mu[c]
+		dto.Sigma[c.ID()] = nb.sigma[c]
+	}
+	return dto, nil
+}
+
+func naiveBayesFromJSON(raw json.RawMessage) (*NaiveBayes, error) {
+	var dto naiveBayesDTO
+	if err := json.Unmarshal(raw, &dto); err != nil {
+		return nil, fmt.Errorf("classify: decoding naive-bayes: %w", err)
+	}
+	if dto.Dim < 1 || len(dto.Classes) == 0 {
+		return nil, fmt.Errorf("classify: naive-bayes model incomplete")
+	}
+	nb := &NaiveBayes{
+		dim:     dto.Dim,
+		priors:  make(map[sensor.Context]float64, len(dto.Classes)),
+		mu:      make(map[sensor.Context][]float64, len(dto.Classes)),
+		sigma:   make(map[sensor.Context][]float64, len(dto.Classes)),
+		trained: true,
+	}
+	for _, id := range dto.Classes {
+		c := sensor.ContextByID(id)
+		if len(dto.Mu[id]) != dto.Dim || len(dto.Sigma[id]) != dto.Dim {
+			return nil, fmt.Errorf("classify: naive-bayes class %d parameters incomplete", id)
+		}
+		nb.classes = append(nb.classes, c)
+		nb.priors[c] = dto.Priors[id]
+		nb.mu[c] = dto.Mu[id]
+		nb.sigma[c] = dto.Sigma[id]
+	}
+	return nb, nil
+}
+
+// --- NearestCentroid ---
+
+type centroidDTO struct {
+	Dim       int               `json:"dim"`
+	Centroids map[int][]float64 `json:"centroids"`
+}
+
+func (nc *NearestCentroid) dto() (any, error) {
+	if !nc.trained {
+		return nil, ErrUntrained
+	}
+	dto := centroidDTO{Dim: nc.dim, Centroids: make(map[int][]float64, len(nc.centroids))}
+	for c, v := range nc.centroids {
+		dto.Centroids[c.ID()] = v
+	}
+	return dto, nil
+}
+
+func centroidFromJSON(raw json.RawMessage) (*NearestCentroid, error) {
+	var dto centroidDTO
+	if err := json.Unmarshal(raw, &dto); err != nil {
+		return nil, fmt.Errorf("classify: decoding nearest-centroid: %w", err)
+	}
+	if dto.Dim < 1 || len(dto.Centroids) == 0 {
+		return nil, fmt.Errorf("classify: nearest-centroid model incomplete")
+	}
+	nc := &NearestCentroid{
+		dim:       dto.Dim,
+		centroids: make(map[sensor.Context][]float64, len(dto.Centroids)),
+		trained:   true,
+	}
+	for id, v := range dto.Centroids {
+		c := sensor.ContextByID(id)
+		if len(v) != dto.Dim {
+			return nil, fmt.Errorf("classify: centroid for class %d has %d dims, want %d", id, len(v), dto.Dim)
+		}
+		nc.centroids[c] = v
+		nc.classes = append(nc.classes, c)
+	}
+	sortContexts(nc.classes)
+	return nc, nil
+}
+
+// --- DecisionTree ---
+
+type treeNodeDTO struct {
+	Feature   int          `json:"feature,omitempty"`
+	Threshold float64      `json:"threshold,omitempty"`
+	Left      *treeNodeDTO `json:"left,omitempty"`
+	Right     *treeNodeDTO `json:"right,omitempty"`
+	Class     int          `json:"class,omitempty"`
+	Leaf      bool         `json:"leaf"`
+}
+
+type treeDTO struct {
+	Dim  int          `json:"dim"`
+	Root *treeNodeDTO `json:"root"`
+}
+
+func (dt *DecisionTree) dto() (any, error) {
+	if !dt.trained {
+		return nil, ErrUntrained
+	}
+	return treeDTO{Dim: dt.dim, Root: nodeToDTO(dt.root)}, nil
+}
+
+func nodeToDTO(n *treeNode) *treeNodeDTO {
+	if n == nil {
+		return nil
+	}
+	return &treeNodeDTO{
+		Feature:   n.feature,
+		Threshold: n.threshold,
+		Left:      nodeToDTO(n.left),
+		Right:     nodeToDTO(n.right),
+		Class:     int(n.class),
+		Leaf:      n.leaf,
+	}
+}
+
+func treeFromJSON(raw json.RawMessage) (*DecisionTree, error) {
+	var dto treeDTO
+	if err := json.Unmarshal(raw, &dto); err != nil {
+		return nil, fmt.Errorf("classify: decoding decision-tree: %w", err)
+	}
+	if dto.Dim < 1 || dto.Root == nil {
+		return nil, fmt.Errorf("classify: decision-tree model incomplete")
+	}
+	root, err := nodeFromDTO(dto.Root, dto.Dim)
+	if err != nil {
+		return nil, err
+	}
+	return &DecisionTree{root: root, dim: dto.Dim, trained: true}, nil
+}
+
+func nodeFromDTO(d *treeNodeDTO, dim int) (*treeNode, error) {
+	if d.Leaf {
+		return &treeNode{leaf: true, class: sensor.Context(d.Class)}, nil
+	}
+	if d.Left == nil || d.Right == nil {
+		return nil, fmt.Errorf("classify: split node missing children")
+	}
+	if d.Feature < 0 || d.Feature >= dim {
+		return nil, fmt.Errorf("classify: split feature %d outside [0,%d)", d.Feature, dim)
+	}
+	left, err := nodeFromDTO(d.Left, dim)
+	if err != nil {
+		return nil, err
+	}
+	right, err := nodeFromDTO(d.Right, dim)
+	if err != nil {
+		return nil, err
+	}
+	return &treeNode{feature: d.Feature, threshold: d.Threshold, left: left, right: right}, nil
+}
+
+// --- Softmax ---
+
+type softmaxDTO struct {
+	Dim     int         `json:"dim"`
+	Classes []int       `json:"classes"`
+	Weights [][]float64 `json:"weights"`
+	Mean    []float64   `json:"mean"`
+	Scale   []float64   `json:"scale"`
+}
+
+func (s *Softmax) dto() (any, error) {
+	if !s.trained {
+		return nil, ErrUntrained
+	}
+	classes := make([]int, len(s.classes))
+	for i, c := range s.classes {
+		classes[i] = c.ID()
+	}
+	return softmaxDTO{
+		Dim:     s.dim,
+		Classes: classes,
+		Weights: s.weights,
+		Mean:    s.mean,
+		Scale:   s.scale,
+	}, nil
+}
+
+func softmaxFromJSON(raw json.RawMessage) (*Softmax, error) {
+	var dto softmaxDTO
+	if err := json.Unmarshal(raw, &dto); err != nil {
+		return nil, fmt.Errorf("classify: decoding softmax: %w", err)
+	}
+	if dto.Dim < 1 || len(dto.Classes) == 0 ||
+		len(dto.Weights) != len(dto.Classes) ||
+		len(dto.Mean) != dto.Dim || len(dto.Scale) != dto.Dim {
+		return nil, fmt.Errorf("classify: softmax model incomplete")
+	}
+	for k, w := range dto.Weights {
+		if len(w) != dto.Dim+1 {
+			return nil, fmt.Errorf("classify: softmax class %d weight vector has %d entries, want %d",
+				k, len(w), dto.Dim+1)
+		}
+	}
+	classes := make([]sensor.Context, len(dto.Classes))
+	for i, id := range dto.Classes {
+		classes[i] = sensor.ContextByID(id)
+	}
+	return &Softmax{
+		dim:     dto.Dim,
+		classes: classes,
+		weights: dto.Weights,
+		mean:    dto.Mean,
+		scale:   dto.Scale,
+		trained: true,
+	}, nil
+}
+
+// sortContexts orders classes by identifier.
+func sortContexts(cs []sensor.Context) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j] < cs[j-1]; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package classify
+
+import (
+	"errors"
+	"testing"
+
+	"cqm/internal/anfis"
+	"cqm/internal/sensor"
+)
+
+func TestClassifierPersistenceRoundTrip(t *testing.T) {
+	set := awarePenData(t, 70)
+	trainers := []Trainer{
+		&TSKTrainer{Hybrid: true, HybridConfig: anfis.Config{Epochs: 5}},
+		&KNNTrainer{K: 3},
+		&NaiveBayesTrainer{},
+		NearestCentroidTrainer{},
+		&DecisionTreeTrainer{},
+		&SoftmaxTrainer{Epochs: 80},
+	}
+	for _, tr := range trainers {
+		orig, err := tr.Train(set)
+		if err != nil {
+			t.Fatalf("%T: %v", tr, err)
+		}
+		data, err := MarshalClassifier(orig)
+		if err != nil {
+			t.Fatalf("%s marshal: %v", orig.Name(), err)
+		}
+		back, err := UnmarshalClassifier(data)
+		if err != nil {
+			t.Fatalf("%s unmarshal: %v", orig.Name(), err)
+		}
+		if back.Name() != orig.Name() {
+			t.Fatalf("kind changed: %s -> %s", orig.Name(), back.Name())
+		}
+		// Behavioural equivalence over the whole data set.
+		for i, smp := range set.Samples {
+			a, errA := orig.Classify(smp.Cues)
+			b, errB := back.Classify(smp.Cues)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("%s: error divergence at %d: %v vs %v", orig.Name(), i, errA, errB)
+			}
+			if a != b {
+				t.Fatalf("%s: sample %d classified %v vs %v after round trip", orig.Name(), i, a, b)
+			}
+		}
+	}
+}
+
+func TestMarshalUntrained(t *testing.T) {
+	for _, c := range []Classifier{&TSK{}, &KNN{}, &NaiveBayes{}, &NearestCentroid{}, &DecisionTree{}, &Softmax{}} {
+		if _, err := MarshalClassifier(c); !errors.Is(err, ErrUntrained) {
+			t.Errorf("%T: err = %v, want ErrUntrained", c, err)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"garbage", `{nope`},
+		{"unknown kind", `{"kind":"svm","model":{}}`},
+		{"tsk incomplete", `{"kind":"tsk-fis","model":{}}`},
+		{"knn incomplete", `{"kind":"knn","model":{"k":0}}`},
+		{"bayes incomplete", `{"kind":"naive-bayes","model":{"dim":0}}`},
+		{"centroid incomplete", `{"kind":"nearest-centroid","model":{"dim":1}}`},
+		{"tree incomplete", `{"kind":"decision-tree","model":{"dim":1}}`},
+		{"tree bad feature", `{"kind":"decision-tree","model":{"dim":1,"root":{"leaf":false,"feature":5,"left":{"leaf":true,"class":1},"right":{"leaf":true,"class":2}}}}`},
+		{"softmax incomplete", `{"kind":"softmax","model":{"dim":2,"classes":[1],"weights":[[1]],"mean":[0,0],"scale":[1,1]}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := UnmarshalClassifier([]byte(tc.data)); err == nil {
+				t.Error("accepted")
+			}
+		})
+	}
+}
+
+// foreignClassifier satisfies Classifier but is not one of this package's
+// serializable types.
+type foreignClassifier struct{}
+
+func (foreignClassifier) Classify([]float64) (sensor.Context, error) {
+	return sensor.ContextLying, nil
+}
+
+func (foreignClassifier) Name() string { return "foreign" }
+
+func TestMarshalForeignClassifier(t *testing.T) {
+	if _, err := MarshalClassifier(foreignClassifier{}); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("err = %v, want ErrUnknownKind", err)
+	}
+}

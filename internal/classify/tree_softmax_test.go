@@ -1,0 +1,224 @@
+package classify
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cqm/internal/dataset"
+	"cqm/internal/sensor"
+)
+
+func TestDecisionTreeAccuracy(t *testing.T) {
+	set := awarePenData(t, 50)
+	c, err := (&DecisionTreeTrainer{}).Train(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(c, pureOnly(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("tree accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestDecisionTreeDepthBound(t *testing.T) {
+	set := awarePenData(t, 51)
+	c, err := (&DecisionTreeTrainer{MaxDepth: 2}).Train(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := c.(*DecisionTree)
+	if d := tree.Depth(); d > 2 {
+		t.Errorf("depth %d exceeds bound 2", d)
+	}
+}
+
+func TestDecisionTreePureLeaf(t *testing.T) {
+	// Single-class data: the root must be a pure leaf.
+	set := &dataset.Set{}
+	for i := 0; i < 10; i++ {
+		set.Append(dataset.Sample{Cues: []float64{float64(i)}, Truth: sensor.ContextLying})
+	}
+	c, err := (&DecisionTreeTrainer{}).Train(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := c.(*DecisionTree)
+	if tree.Depth() != 1 {
+		t.Errorf("pure data grew depth %d, want 1", tree.Depth())
+	}
+	got, err := c.Classify([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sensor.ContextLying {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestDecisionTreeSeparatesSyntheticSplit(t *testing.T) {
+	// A 1-D threshold problem the tree must nail exactly.
+	set := &dataset.Set{}
+	for i := 0; i < 20; i++ {
+		truth := sensor.ContextLying
+		x := float64(i)
+		if i >= 10 {
+			truth = sensor.ContextPlaying
+		}
+		set.Append(dataset.Sample{Cues: []float64{x}, Truth: truth})
+	}
+	c, err := (&DecisionTreeTrainer{}).Train(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		want := sensor.ContextLying
+		if i >= 10 {
+			want = sensor.ContextPlaying
+		}
+		got, err := c.Classify([]float64{float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("x=%d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestDecisionTreeErrors(t *testing.T) {
+	var dt DecisionTree
+	if _, err := dt.Classify([]float64{1}); !errors.Is(err, ErrUntrained) {
+		t.Errorf("untrained: %v", err)
+	}
+	set := awarePenData(t, 52)
+	c, err := (&DecisionTreeTrainer{}).Train(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Classify([]float64{1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("wrong dim: %v", err)
+	}
+	if _, err := (&DecisionTreeTrainer{MaxDepth: -1}).Train(set); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad depth: %v", err)
+	}
+}
+
+func TestSoftmaxAccuracy(t *testing.T) {
+	set := awarePenData(t, 53)
+	c, err := (&SoftmaxTrainer{}).Train(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(c, pureOnly(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Errorf("softmax accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+func TestSoftmaxProbabilitiesSumToOne(t *testing.T) {
+	set := awarePenData(t, 54)
+	c, err := (&SoftmaxTrainer{}).Train(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := c.(*Softmax)
+	for _, smp := range set.Samples[:20] {
+		probs, err := sm.Probabilities(smp.Cues)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, p := range probs {
+			if p < 0 || p > 1 {
+				t.Fatalf("probability %v out of range", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+		// The argmax probability must match Classify.
+		got, err := sm.Classify(smp.Cues)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cls, p := range probs {
+			if p > probs[got]+1e-12 {
+				t.Fatalf("Classify picked %v but %v has higher probability", got, cls)
+			}
+		}
+	}
+}
+
+func TestSoftmaxErrors(t *testing.T) {
+	var sm Softmax
+	if _, err := sm.Classify([]float64{1}); !errors.Is(err, ErrUntrained) {
+		t.Errorf("untrained: %v", err)
+	}
+	if _, err := sm.Probabilities([]float64{1}); !errors.Is(err, ErrUntrained) {
+		t.Errorf("untrained probs: %v", err)
+	}
+	set := awarePenData(t, 55)
+	c, err := (&SoftmaxTrainer{Epochs: 10}).Train(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Classify([]float64{1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("wrong dim: %v", err)
+	}
+	if _, err := (&SoftmaxTrainer{LearningRate: -1}).Train(set); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad lr: %v", err)
+	}
+}
+
+func TestSoftmaxDeterministic(t *testing.T) {
+	set := awarePenData(t, 56)
+	a, err := (&SoftmaxTrainer{Epochs: 50}).Train(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&SoftmaxTrainer{Epochs: 50}).Train(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, smp := range set.Samples[:10] {
+		ca, _ := a.Classify(smp.Cues)
+		cb, _ := b.Classify(smp.Cues)
+		if ca != cb {
+			t.Fatal("softmax training not deterministic")
+		}
+	}
+}
+
+func TestNewBaselinesConstantFeatureSafe(t *testing.T) {
+	// A constant cue dimension must not blow up standardization or split
+	// search.
+	set := &dataset.Set{}
+	for i := 0; i < 12; i++ {
+		truth := sensor.ContextLying
+		if i%2 == 0 {
+			truth = sensor.ContextWriting
+		}
+		set.Append(dataset.Sample{Cues: []float64{5, float64(i % 2)}, Truth: truth})
+	}
+	for _, tr := range []Trainer{&SoftmaxTrainer{Epochs: 50}, &DecisionTreeTrainer{}} {
+		c, err := tr.Train(set)
+		if err != nil {
+			t.Fatalf("%T: %v", tr, err)
+		}
+		got, err := c.Classify([]float64{5, 0})
+		if err != nil {
+			t.Fatalf("%T classify: %v", tr, err)
+		}
+		if got != sensor.ContextWriting {
+			t.Errorf("%T: got %v, want writing", tr, got)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeansConfig parameterizes Lloyd's algorithm with k-means++ seeding.
+type KMeansConfig struct {
+	// K is the number of clusters; required.
+	K int
+	// MaxIter bounds the Lloyd iterations. Default 100.
+	MaxIter int
+	// Seed drives the deterministic k-means++ initialization.
+	Seed int64
+	// Tol stops iteration when no center moves more than Tol. Default 1e-9.
+	Tol float64
+}
+
+func (c KMeansConfig) withDefaults() KMeansConfig {
+	if c.MaxIter == 0 {
+		c.MaxIter = 100
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-9
+	}
+	return c
+}
+
+// KMeansResult describes the clustering found.
+type KMeansResult struct {
+	Centers    [][]float64
+	Assignment []int // data row → center index
+	Inertia    float64
+	Iterations int
+}
+
+// KMeans runs Lloyd's algorithm with k-means++ initialization. It returns
+// ErrBadParam when K exceeds the number of points or is non-positive.
+func KMeans(data [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
+	cfg = cfg.withDefaults()
+	if len(data) == 0 {
+		return nil, ErrNoData
+	}
+	if cfg.K <= 0 || cfg.K > len(data) {
+		return nil, fmt.Errorf("%w: k=%d for %d points", ErrBadParam, cfg.K, len(data))
+	}
+	dims := len(data[0])
+	for i, row := range data {
+		if len(row) != dims {
+			return nil, fmt.Errorf("%w: row %d has %d dims, want %d", ErrRagged, i, len(row), dims)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centers := kppInit(data, cfg.K, rng)
+	assign := make([]int, len(data))
+
+	var iter int
+	for iter = 0; iter < cfg.MaxIter; iter++ {
+		// Assignment step.
+		for i, p := range data {
+			best, bestD := 0, math.Inf(1)
+			for k, c := range centers {
+				if d := sqDist(p, c); d < bestD {
+					best, bestD = k, d
+				}
+			}
+			assign[i] = best
+		}
+		// Update step.
+		sums := make([][]float64, cfg.K)
+		counts := make([]int, cfg.K)
+		for k := range sums {
+			sums[k] = make([]float64, dims)
+		}
+		for i, p := range data {
+			k := assign[i]
+			counts[k]++
+			for d, v := range p {
+				sums[k][d] += v
+			}
+		}
+		var moved float64
+		for k := range centers {
+			if counts[k] == 0 {
+				// Re-seed an empty cluster at the farthest point from its
+				// center to keep K clusters alive.
+				far, farD := 0, -1.0
+				for i, p := range data {
+					if d := sqDist(p, centers[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(sums[k], data[far])
+				counts[k] = 1
+			}
+			for d := range sums[k] {
+				sums[k][d] /= float64(counts[k])
+			}
+			if d := math.Sqrt(sqDist(sums[k], centers[k])); d > moved {
+				moved = d
+			}
+			centers[k] = sums[k]
+		}
+		if moved <= cfg.Tol {
+			iter++
+			break
+		}
+	}
+
+	var inertia float64
+	for i, p := range data {
+		inertia += sqDist(p, centers[assign[i]])
+	}
+	return &KMeansResult{
+		Centers:    centers,
+		Assignment: assign,
+		Inertia:    inertia,
+		Iterations: iter,
+	}, nil
+}
+
+// kppInit performs k-means++ seeding: the first center is uniform, each
+// subsequent one is drawn with probability proportional to its squared
+// distance from the nearest existing center.
+func kppInit(data [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centers := make([][]float64, 0, k)
+	first := data[rng.Intn(len(data))]
+	centers = append(centers, cloneRow(first))
+	d2 := make([]float64, len(data))
+	for len(centers) < k {
+		var total float64
+		for i, p := range data {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All points coincide with centers: duplicate arbitrarily.
+			centers = append(centers, cloneRow(data[rng.Intn(len(data))]))
+			continue
+		}
+		target := rng.Float64() * total
+		var acc float64
+		pick := len(data) - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, cloneRow(data[pick]))
+	}
+	return centers
+}
+
+func cloneRow(r []float64) []float64 {
+	out := make([]float64, len(r))
+	copy(out, r)
+	return out
+}

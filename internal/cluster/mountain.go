@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// MountainConfig parameterizes Yager–Filev mountain clustering. The paper
+// considered it "suitable, but highly dependent on the grid structure" and
+// chose subtractive clustering instead; it is implemented here for the
+// ablation experiment that reproduces that judgement.
+type MountainConfig struct {
+	// GridPerDim is the number of grid vertices per dimension. Default 10.
+	// The total grid is GridPerDim^dims vertices, so high-dimensional use
+	// is intentionally painful — that is the point the paper makes.
+	GridPerDim int
+	// Sigma is the mountain-function width in normalized units. Default 0.1.
+	Sigma float64
+	// Beta is the destruction width used when flattening an accepted peak.
+	// Default 1.5·Sigma.
+	Beta float64
+	// StopRatio ends the search when the next peak falls below
+	// StopRatio times the first peak. Default 0.2.
+	StopRatio float64
+	// MaxClusters optionally caps the number of peaks; 0 means no cap.
+	MaxClusters int
+	// MaxDims rejects data whose dimensionality would make the grid
+	// explode. Default 6.
+	MaxDims int
+}
+
+func (c MountainConfig) withDefaults() MountainConfig {
+	if c.GridPerDim == 0 {
+		c.GridPerDim = 10
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 0.1
+	}
+	if c.Beta == 0 {
+		c.Beta = 1.5 * c.Sigma
+	}
+	if c.StopRatio == 0 {
+		c.StopRatio = 0.2
+	}
+	if c.MaxDims == 0 {
+		c.MaxDims = 6
+	}
+	return c
+}
+
+func (c MountainConfig) validate() error {
+	switch {
+	case c.GridPerDim < 2:
+		return fmt.Errorf("%w: grid per dim %d", ErrBadParam, c.GridPerDim)
+	case c.Sigma <= 0:
+		return fmt.Errorf("%w: sigma %v", ErrBadParam, c.Sigma)
+	case c.Beta <= 0:
+		return fmt.Errorf("%w: beta %v", ErrBadParam, c.Beta)
+	case c.StopRatio <= 0 || c.StopRatio >= 1:
+		return fmt.Errorf("%w: stop ratio %v", ErrBadParam, c.StopRatio)
+	case c.MaxClusters < 0:
+		return fmt.Errorf("%w: max clusters %d", ErrBadParam, c.MaxClusters)
+	default:
+		return nil
+	}
+}
+
+// MountainResult describes the grid peaks selected as cluster centers.
+type MountainResult struct {
+	// Centers are peak locations in the original space. Unlike subtractive
+	// clustering the centers are grid vertices, not data points.
+	Centers [][]float64
+	// Heights are the mountain-function values at selection time.
+	Heights []float64
+}
+
+// Mountain runs mountain clustering: it builds a regular grid over the
+// normalized data, computes the mountain function
+// M(v) = Σ_j exp(−‖v−x_j‖²/(2σ²)) at every vertex, then repeatedly selects
+// the highest vertex and subtracts its mountain.
+func Mountain(data [][]float64, cfg MountainConfig) (*MountainResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	b, err := newBounds(data)
+	if err != nil {
+		return nil, err
+	}
+	dims := len(data[0])
+	if dims > cfg.MaxDims {
+		return nil, fmt.Errorf("%w: %d dims exceed grid limit %d", ErrBadParam, dims, cfg.MaxDims)
+	}
+	norm := b.normalize(data)
+
+	total := 1
+	for d := 0; d < dims; d++ {
+		total *= cfg.GridPerDim
+	}
+	// Vertex coordinates from the flat index.
+	vertex := func(idx int) []float64 {
+		v := make([]float64, dims)
+		for d := 0; d < dims; d++ {
+			v[d] = float64(idx%cfg.GridPerDim) / float64(cfg.GridPerDim-1)
+			idx /= cfg.GridPerDim
+		}
+		return v
+	}
+
+	twoSigmaSq := 2 * cfg.Sigma * cfg.Sigma
+	heights := make([]float64, total)
+	vertices := make([][]float64, total)
+	for i := 0; i < total; i++ {
+		v := vertex(i)
+		vertices[i] = v
+		var h float64
+		for _, x := range norm {
+			h += math.Exp(-sqDist(v, x) / twoSigmaSq)
+		}
+		heights[i] = h
+	}
+
+	twoBetaSq := 2 * cfg.Beta * cfg.Beta
+	var (
+		centers [][]float64
+		peaks   []float64
+	)
+	var firstPeak float64
+	for {
+		if cfg.MaxClusters > 0 && len(centers) >= cfg.MaxClusters {
+			break
+		}
+		best := 0
+		for i := 1; i < total; i++ {
+			if heights[i] > heights[best] {
+				best = i
+			}
+		}
+		h := heights[best]
+		if h <= 0 {
+			break
+		}
+		if len(centers) == 0 {
+			firstPeak = h
+		} else if h < cfg.StopRatio*firstPeak {
+			break
+		}
+		centers = append(centers, b.denormalize(vertices[best]))
+		peaks = append(peaks, h)
+		for i := 0; i < total; i++ {
+			heights[i] -= h * math.Exp(-sqDist(vertices[i], vertices[best])/twoBetaSq)
+			if heights[i] < 0 {
+				heights[i] = 0
+			}
+		}
+	}
+	if len(centers) == 0 {
+		return nil, fmt.Errorf("%w: no mountain peak found", ErrNoData)
+	}
+	return &MountainResult{Centers: centers, Heights: peaks}, nil
+}

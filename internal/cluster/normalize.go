@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Clustering errors shared by the algorithms in this package.
+var (
+	// ErrNoData reports clustering over an empty data set.
+	ErrNoData = errors.New("cluster: no data")
+	// ErrRagged reports rows of differing dimensionality.
+	ErrRagged = errors.New("cluster: ragged data rows")
+	// ErrBadParam reports an out-of-range algorithm parameter.
+	ErrBadParam = errors.New("cluster: invalid parameter")
+)
+
+// bounds holds per-dimension min/max used to map data into the unit
+// hypercube and back.
+type bounds struct {
+	min, span []float64 // span is max−min, floored at a tiny epsilon
+}
+
+// newBounds scans the data once and records per-dimension ranges.
+func newBounds(data [][]float64) (*bounds, error) {
+	if len(data) == 0 {
+		return nil, ErrNoData
+	}
+	dim := len(data[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("%w: zero-dimensional rows", ErrRagged)
+	}
+	b := &bounds{
+		min:  make([]float64, dim),
+		span: make([]float64, dim),
+	}
+	max := make([]float64, dim)
+	copy(b.min, data[0])
+	copy(max, data[0])
+	for i, row := range data {
+		if len(row) != dim {
+			return nil, fmt.Errorf("%w: row %d has %d dims, want %d", ErrRagged, i, len(row), dim)
+		}
+		for j, v := range row {
+			if v < b.min[j] {
+				b.min[j] = v
+			}
+			if v > max[j] {
+				max[j] = v
+			}
+		}
+	}
+	const minSpan = 1e-12
+	for j := range b.span {
+		b.span[j] = max[j] - b.min[j]
+		if b.span[j] < minSpan {
+			b.span[j] = minSpan
+		}
+	}
+	return b, nil
+}
+
+// normalize maps every row into the unit hypercube (copies; the input is
+// untouched).
+func (b *bounds) normalize(data [][]float64) [][]float64 {
+	out := make([][]float64, len(data))
+	for i, row := range data {
+		nr := make([]float64, len(row))
+		for j, v := range row {
+			nr[j] = (v - b.min[j]) / b.span[j]
+		}
+		out[i] = nr
+	}
+	return out
+}
+
+// denormalize maps a unit-hypercube point back to the original space.
+func (b *bounds) denormalize(p []float64) []float64 {
+	out := make([]float64, len(p))
+	for j, v := range p {
+		out[j] = v*b.span[j] + b.min[j]
+	}
+	return out
+}
+
+// Span returns the per-dimension data ranges (max−min); the FIS builder
+// uses these to convert the neighbourhood radius into per-dimension
+// Gaussian sigmas.
+func (b *bounds) Span() []float64 {
+	out := make([]float64, len(b.span))
+	copy(out, b.span)
+	return out
+}

@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// SubtractiveConfig parameterizes Chiu's subtractive clustering. The
+// defaults follow Chiu (1997), the reference the paper cites for "good
+// cluster determination".
+type SubtractiveConfig struct {
+	// Radius is the cluster neighbourhood radius r_a in normalized units
+	// (each dimension scaled into [0,1]). Default 0.5.
+	Radius float64
+	// SquashFactor scales r_a into the penalty radius r_b = squash·r_a
+	// that suppresses potential around accepted centers. Default 1.25.
+	SquashFactor float64
+	// AcceptRatio: a candidate whose remaining potential exceeds
+	// AcceptRatio times the first center's potential is accepted outright.
+	// Default 0.5.
+	AcceptRatio float64
+	// RejectRatio: a candidate below RejectRatio times the first potential
+	// ends the search. Candidates in between are accepted only if they are
+	// far enough from existing centers (Chiu's grey-zone criterion).
+	// Default 0.15.
+	RejectRatio float64
+	// MaxClusters optionally caps the number of centers; 0 means no cap.
+	MaxClusters int
+}
+
+// withDefaults fills zero fields with Chiu's recommended values.
+func (c SubtractiveConfig) withDefaults() SubtractiveConfig {
+	if c.Radius == 0 {
+		c.Radius = 0.5
+	}
+	if c.SquashFactor == 0 {
+		c.SquashFactor = 1.25
+	}
+	if c.AcceptRatio == 0 {
+		c.AcceptRatio = 0.5
+	}
+	if c.RejectRatio == 0 {
+		c.RejectRatio = 0.15
+	}
+	return c
+}
+
+func (c SubtractiveConfig) validate() error {
+	switch {
+	case c.Radius <= 0 || c.Radius > 10:
+		return fmt.Errorf("%w: radius %v", ErrBadParam, c.Radius)
+	case c.SquashFactor <= 0:
+		return fmt.Errorf("%w: squash factor %v", ErrBadParam, c.SquashFactor)
+	case c.AcceptRatio <= 0 || c.AcceptRatio > 1:
+		return fmt.Errorf("%w: accept ratio %v", ErrBadParam, c.AcceptRatio)
+	case c.RejectRatio < 0 || c.RejectRatio > c.AcceptRatio:
+		return fmt.Errorf("%w: reject ratio %v (accept %v)", ErrBadParam, c.RejectRatio, c.AcceptRatio)
+	case c.MaxClusters < 0:
+		return fmt.Errorf("%w: max clusters %v", ErrBadParam, c.MaxClusters)
+	default:
+		return nil
+	}
+}
+
+// SubtractiveResult describes the clusters found.
+type SubtractiveResult struct {
+	// Centers are the cluster centers in the original (unnormalized) space.
+	Centers [][]float64
+	// Potentials are the (normalized-space) potentials at selection time,
+	// in selection order; Potentials[0] is the global maximum P₁*.
+	Potentials []float64
+	// Sigmas are per-dimension Gaussian widths derived from the radius:
+	// σ_j = r_a · span_j / √8 (the genfis2 convention), suitable as the
+	// initial membership-function widths for one TSK rule per cluster.
+	Sigmas []float64
+}
+
+// Subtractive runs Chiu's subtractive clustering over data (rows are
+// points). Every data point is a candidate center: the potential of point
+// i is P_i = Σ_j exp(−α‖x_i−x_j‖²) with α = 4/r_a², computed in the unit
+// hypercube. After selecting a center its neighbourhood potential is
+// subtracted with β = 4/r_b².
+func Subtractive(data [][]float64, cfg SubtractiveConfig) (*SubtractiveResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	b, err := newBounds(data)
+	if err != nil {
+		return nil, err
+	}
+	norm := b.normalize(data)
+	n := len(norm)
+
+	alpha := 4 / (cfg.Radius * cfg.Radius)
+	rb := cfg.SquashFactor * cfg.Radius
+	beta := 4 / (rb * rb)
+
+	// Initial potentials.
+	pot := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var p float64
+		for j := 0; j < n; j++ {
+			p += math.Exp(-alpha * sqDist(norm[i], norm[j]))
+		}
+		pot[i] = p
+	}
+
+	var (
+		centersNorm [][]float64
+		potentials  []float64
+	)
+	firstPot := 0.0
+	for {
+		if cfg.MaxClusters > 0 && len(centersNorm) >= cfg.MaxClusters {
+			break
+		}
+		// Highest remaining potential.
+		best := 0
+		for i := 1; i < n; i++ {
+			if pot[i] > pot[best] {
+				best = i
+			}
+		}
+		p := pot[best]
+		if len(centersNorm) == 0 {
+			if p <= 0 {
+				break
+			}
+			firstPot = p
+		} else {
+			if p <= 0 {
+				// Exhausted potential everywhere (possible when
+				// RejectRatio is 0): nothing left worth selecting.
+				goto done
+			}
+			switch {
+			case p > cfg.AcceptRatio*firstPot:
+				// Accept outright.
+			case p < cfg.RejectRatio*firstPot:
+				// Too weak: stop searching.
+				pot[best] = 0
+				goto done
+			default:
+				// Grey zone: accept only when the candidate trades
+				// potential for distance (Chiu: d_min/r_a + P/P₁ ≥ 1).
+				dmin := math.Inf(1)
+				for _, c := range centersNorm {
+					if d := math.Sqrt(sqDist(norm[best], c)); d < dmin {
+						dmin = d
+					}
+				}
+				if dmin/cfg.Radius+p/firstPot < 1 {
+					// Reject this point and retry with the next best.
+					pot[best] = 0
+					continue
+				}
+			}
+		}
+		center := make([]float64, len(norm[best]))
+		copy(center, norm[best])
+		centersNorm = append(centersNorm, center)
+		potentials = append(potentials, p)
+		// Subtract the accepted center's influence.
+		for i := 0; i < n; i++ {
+			pot[i] -= p * math.Exp(-beta*sqDist(norm[i], center))
+			if pot[i] < 0 {
+				pot[i] = 0
+			}
+		}
+	}
+done:
+	if len(centersNorm) == 0 {
+		return nil, fmt.Errorf("%w: no cluster center found", ErrNoData)
+	}
+	res := &SubtractiveResult{
+		Centers:    make([][]float64, len(centersNorm)),
+		Potentials: potentials,
+		Sigmas:     make([]float64, len(b.span)),
+	}
+	for i, c := range centersNorm {
+		res.Centers[i] = b.denormalize(c)
+	}
+	span := b.Span()
+	for j := range res.Sigmas {
+		res.Sigmas[j] = cfg.Radius * span[j] / math.Sqrt(8)
+	}
+	return res, nil
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

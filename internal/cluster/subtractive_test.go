@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// threeBlobs generates three well-separated Gaussian blobs in 2D.
+func threeBlobs(seed int64, perBlob int) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	centers := [][]float64{{0, 0}, {5, 5}, {0, 5}}
+	var data [][]float64
+	for _, c := range centers {
+		for i := 0; i < perBlob; i++ {
+			data = append(data, []float64{
+				c[0] + 0.3*r.NormFloat64(),
+				c[1] + 0.3*r.NormFloat64(),
+			})
+		}
+	}
+	return data
+}
+
+func TestSubtractiveFindsThreeBlobs(t *testing.T) {
+	data := threeBlobs(1, 40)
+	res, err := Subtractive(data, SubtractiveConfig{Radius: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 3 {
+		t.Fatalf("found %d centers, want 3: %v", len(res.Centers), res.Centers)
+	}
+	// Each true blob center has a found center nearby.
+	for _, truth := range [][]float64{{0, 0}, {5, 5}, {0, 5}} {
+		best := math.Inf(1)
+		for _, c := range res.Centers {
+			if d := math.Sqrt(sqDist(truth, c)); d < best {
+				best = d
+			}
+		}
+		if best > 0.8 {
+			t.Errorf("no center near %v (closest %.2f away)", truth, best)
+		}
+	}
+}
+
+func TestSubtractivePotentialsDescending(t *testing.T) {
+	data := threeBlobs(2, 30)
+	res, err := Subtractive(data, SubtractiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Potentials); i++ {
+		if res.Potentials[i] > res.Potentials[i-1]+1e-9 {
+			t.Errorf("potentials not descending: %v", res.Potentials)
+		}
+	}
+}
+
+func TestSubtractiveCentersAreDataPoints(t *testing.T) {
+	data := threeBlobs(3, 20)
+	res, err := Subtractive(data, SubtractiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Centers {
+		found := false
+		for _, p := range data {
+			if sqDist(c, p) < 1e-18 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("center %v is not a data point", c)
+		}
+	}
+}
+
+func TestSubtractiveRadiusControlsGranularity(t *testing.T) {
+	data := threeBlobs(4, 30)
+	fine, err := Subtractive(data, SubtractiveConfig{Radius: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := Subtractive(data, SubtractiveConfig{Radius: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fine.Centers) < len(coarse.Centers) {
+		t.Errorf("fine radius gave %d centers, coarse %d; want fine >= coarse",
+			len(fine.Centers), len(coarse.Centers))
+	}
+}
+
+func TestSubtractiveMaxClusters(t *testing.T) {
+	data := threeBlobs(5, 30)
+	res, err := Subtractive(data, SubtractiveConfig{Radius: 0.2, MaxClusters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 2 {
+		t.Errorf("got %d centers, want capped at 2", len(res.Centers))
+	}
+}
+
+func TestSubtractiveSigmasMatchGenfis2(t *testing.T) {
+	// σ_j = r_a·span_j/√8 for each dimension.
+	data := [][]float64{{0, 0}, {1, 10}, {0.5, 5}}
+	res, err := Subtractive(data, SubtractiveConfig{Radius: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantX := 0.5 * 1.0 / math.Sqrt(8)
+	wantY := 0.5 * 10.0 / math.Sqrt(8)
+	if math.Abs(res.Sigmas[0]-wantX) > 1e-12 || math.Abs(res.Sigmas[1]-wantY) > 1e-12 {
+		t.Errorf("Sigmas = %v, want [%v %v]", res.Sigmas, wantX, wantY)
+	}
+}
+
+func TestSubtractiveSinglePoint(t *testing.T) {
+	res, err := Subtractive([][]float64{{1, 2}}, SubtractiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 1 || res.Centers[0][0] != 1 || res.Centers[0][1] != 2 {
+		t.Errorf("Centers = %v", res.Centers)
+	}
+}
+
+func TestSubtractiveIdenticalPoints(t *testing.T) {
+	data := [][]float64{{3, 3}, {3, 3}, {3, 3}, {3, 3}}
+	res, err := Subtractive(data, SubtractiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 1 {
+		t.Errorf("identical points gave %d centers, want 1", len(res.Centers))
+	}
+}
+
+func TestSubtractiveErrors(t *testing.T) {
+	if _, err := Subtractive(nil, SubtractiveConfig{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := Subtractive([][]float64{{1}, {1, 2}}, SubtractiveConfig{}); !errors.Is(err, ErrRagged) {
+		t.Errorf("ragged: %v", err)
+	}
+	bad := []SubtractiveConfig{
+		{Radius: -1},
+		{SquashFactor: -1},
+		{AcceptRatio: 2},
+		{AcceptRatio: 0.2, RejectRatio: 0.5},
+		{MaxClusters: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Subtractive([][]float64{{1}, {2}}, cfg); !errors.Is(err, ErrBadParam) {
+			t.Errorf("bad config %d: %v", i, err)
+		}
+	}
+}
+
+func TestSubtractiveDeterministic(t *testing.T) {
+	data := threeBlobs(6, 25)
+	a, err := Subtractive(data, SubtractiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Subtractive(data, SubtractiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Centers) != len(b.Centers) {
+		t.Fatal("non-deterministic center count")
+	}
+	for i := range a.Centers {
+		if sqDist(a.Centers[i], b.Centers[i]) != 0 {
+			t.Fatal("non-deterministic centers")
+		}
+	}
+}
+
+func TestSubtractiveCentersWithinDataRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(40)
+		data := make([][]float64, n)
+		for i := range data {
+			data[i] = []float64{r.NormFloat64() * 3, r.NormFloat64() * 3}
+		}
+		res, err := Subtractive(data, SubtractiveConfig{})
+		if err != nil {
+			return false
+		}
+		b, _ := newBounds(data)
+		for _, c := range res.Centers {
+			for j, v := range c {
+				if v < b.min[j]-1e-9 || v > b.min[j]+b.span[j]+1e-9 {
+					return false
+				}
+			}
+		}
+		return len(res.Centers) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"cqm/internal/sensor"
+	"cqm/internal/stat"
+)
+
+// AdaptiveFilter is an online variant of Filter: besides filtering, it
+// re-estimates the right/wrong quality densities from labelled feedback
+// (exponentially weighted, so drift is tracked) and moves the threshold to
+// their current intersection. A deployed appliance occasionally learns
+// whether a classification was actually right — a user correcting the
+// system, a cross-checking second sensor — and should not keep running on
+// the threshold of a months-old calibration session.
+type AdaptiveFilter struct {
+	measure *Measure
+	right   *stat.Decayed
+	wrong   *stat.Decayed
+	thresh  float64
+	updates int
+}
+
+// AdaptiveConfig parameterizes the online threshold tracker.
+type AdaptiveConfig struct {
+	// InitialThreshold seeds the filter (usually Analysis.Threshold).
+	InitialThreshold float64
+	// Lambda is the per-feedback retention factor of the density
+	// estimates; default 0.98 (a memory of roughly 50 feedbacks).
+	Lambda float64
+}
+
+// NewAdaptiveFilter wraps the measure with an adapting threshold.
+func NewAdaptiveFilter(m *Measure, cfg AdaptiveConfig) (*AdaptiveFilter, error) {
+	if m == nil || m.sys == nil {
+		return nil, ErrUnbuilt
+	}
+	if cfg.InitialThreshold < 0 || cfg.InitialThreshold > 1 {
+		return nil, fmt.Errorf("core: initial threshold %v outside [0,1]", cfg.InitialThreshold)
+	}
+	lambda := cfg.Lambda
+	if lambda == 0 {
+		lambda = 0.98
+	}
+	if lambda <= 0 || lambda > 1 {
+		return nil, fmt.Errorf("core: lambda %v outside (0,1]", lambda)
+	}
+	return &AdaptiveFilter{
+		measure: m,
+		right:   stat.NewDecayed(lambda),
+		wrong:   stat.NewDecayed(lambda),
+		thresh:  cfg.InitialThreshold,
+	}, nil
+}
+
+// Threshold returns the current acceptance threshold.
+func (f *AdaptiveFilter) Threshold() float64 { return f.thresh }
+
+// Updates returns the number of threshold re-estimations performed.
+func (f *AdaptiveFilter) Updates() int { return f.updates }
+
+// Decide scores and filters one classification at the current threshold.
+func (f *AdaptiveFilter) Decide(cues []float64, class sensor.Context) (Decision, error) {
+	q, err := f.measure.Score(cues, class)
+	if err != nil {
+		if IsEpsilon(err) {
+			return Decision{Accepted: false, Epsilon: true}, nil
+		}
+		return Decision{}, err
+	}
+	return Decision{Accepted: q > f.thresh, Quality: q}, nil
+}
+
+// Feedback folds one labelled outcome into the density estimates and, once
+// both densities have enough weight, moves the threshold to their current
+// intersection. ε-state scores are ignored (they are filtered regardless
+// of the threshold).
+func (f *AdaptiveFilter) Feedback(cues []float64, class sensor.Context, wasCorrect bool) error {
+	q, err := f.measure.Score(cues, class)
+	if err != nil {
+		if IsEpsilon(err) {
+			return nil
+		}
+		return err
+	}
+	if wasCorrect {
+		f.right.Add(q)
+	} else {
+		f.wrong.Add(q)
+	}
+	// Re-estimate once both sides carry meaningful weight.
+	const minWeight = 3
+	if f.right.Weight() < minWeight || f.wrong.Weight() < minWeight {
+		return nil
+	}
+	gr, err := f.right.Gaussian()
+	if err != nil {
+		return nil
+	}
+	gw, err := f.wrong.Gaussian()
+	if err != nil {
+		return nil
+	}
+	if gr.Mu <= gw.Mu {
+		// The world currently looks inverted (right scoring below
+		// wrong); keep the old threshold rather than flip the filter.
+		return nil
+	}
+	s, err := stat.Intersect(gw, gr, 0, 1)
+	if err != nil {
+		s = 0.5 * (gw.Mu + gr.Mu)
+	}
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	f.thresh = s
+	f.updates++
+	return nil
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cqm/internal/sensor"
+	"cqm/internal/stat"
+)
+
+func TestMeasureFromSystem(t *testing.T) {
+	f := buildFixture(t, 1700)
+	m := MeasureFromSystem(f.measure.System())
+	o := f.testObs[0]
+	a, errA := f.measure.Score(o.Cues, o.Class)
+	b, errB := m.Score(o.Cues, o.Class)
+	if (errA == nil) != (errB == nil) || (errA == nil && a != b) {
+		t.Errorf("wrapped system scores differently: %v/%v vs %v/%v", a, errA, b, errB)
+	}
+}
+
+func TestThresholdFromDensitiesFallbacks(t *testing.T) {
+	// Equal-variance densities intersect at the midpoint inside [0,1].
+	a, err := thresholdFromDensities(
+		stat.Gaussian{Mu: 0.2, Sigma: 0.1},
+		stat.Gaussian{Mu: 0.8, Sigma: 0.1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-0.5) > 1e-9 {
+		t.Errorf("midpoint threshold = %v", a)
+	}
+	// Crossing outside [0,1] but inside [-1,2]: the widened bracket finds
+	// it.
+	b, err := thresholdFromDensities(
+		stat.Gaussian{Mu: -0.6, Sigma: 0.2},
+		stat.Gaussian{Mu: -0.1, Sigma: 0.2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b > 0 || b < -1 {
+		t.Errorf("widened-bracket threshold = %v", b)
+	}
+	// Identical densities never cross: midpoint fallback.
+	c, err := thresholdFromDensities(
+		stat.Gaussian{Mu: 0.5, Sigma: 0.1},
+		stat.Gaussian{Mu: 0.5, Sigma: 0.1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0.5 {
+		t.Errorf("identical-density fallback = %v", c)
+	}
+}
+
+func TestAdaptiveFilterValidation(t *testing.T) {
+	f := buildFixture(t, 1300)
+	if _, err := NewAdaptiveFilter(nil, AdaptiveConfig{}); !errors.Is(err, ErrUnbuilt) {
+		t.Errorf("nil measure: %v", err)
+	}
+	if _, err := NewAdaptiveFilter(f.measure, AdaptiveConfig{InitialThreshold: 2}); err == nil {
+		t.Error("bad threshold accepted")
+	}
+	if _, err := NewAdaptiveFilter(f.measure, AdaptiveConfig{Lambda: -1}); err == nil {
+		t.Error("bad lambda accepted")
+	}
+}
+
+func TestAdaptiveFilterConvergesToBatchThreshold(t *testing.T) {
+	// Seeded with a wrong threshold and fed labelled outcomes, the
+	// adaptive filter must move toward the batch-analyzed threshold.
+	f := buildFixture(t, 1400)
+	batch, err := Analyze(f.measure, f.testObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, err := NewAdaptiveFilter(f.measure, AdaptiveConfig{InitialThreshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed the test observations repeatedly as labelled feedback.
+	for round := 0; round < 3; round++ {
+		for _, o := range f.testObs {
+			if err := af.Feedback(o.Cues, o.Class, o.Correct); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if af.Updates() == 0 {
+		t.Fatal("threshold never re-estimated")
+	}
+	if math.Abs(af.Threshold()-batch.Threshold) > 0.25 {
+		t.Errorf("adaptive threshold %v far from batch %v", af.Threshold(), batch.Threshold)
+	}
+	// The adapted filter must actually filter: accepted accuracy above
+	// raw on the same observations.
+	var accepted, acceptedRight, right int
+	for _, o := range f.testObs {
+		d, err := af.Decide(o.Cues, o.Class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Correct {
+			right++
+		}
+		if d.Accepted {
+			accepted++
+			if o.Correct {
+				acceptedRight++
+			}
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("adapted filter accepts nothing")
+	}
+	rawAcc := float64(right) / float64(len(f.testObs))
+	filtAcc := float64(acceptedRight) / float64(accepted)
+	if filtAcc < rawAcc {
+		t.Errorf("adaptive filtering reduced accuracy: %v -> %v", rawAcc, filtAcc)
+	}
+}
+
+func TestAdaptiveFilterTracksDrift(t *testing.T) {
+	// When feedback shifts (wrong classifications suddenly score higher),
+	// the threshold must move up to keep rejecting them.
+	f := buildFixture(t, 1500)
+	af, err := NewAdaptiveFilter(f.measure, AdaptiveConfig{InitialThreshold: 0.5, Lambda: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, wrong := SplitByCorrectness(f.testObs)
+	if len(right) < 3 || len(wrong) < 3 {
+		t.Skip("fixture lacks both outcomes")
+	}
+	for round := 0; round < 5; round++ {
+		for _, o := range right {
+			if err := af.Feedback(o.Cues, o.Class, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, o := range wrong {
+			if err := af.Feedback(o.Cues, o.Class, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := af.Threshold()
+	// Drift: present previously-right-scoring observations as wrong; the
+	// wrong density climbs, pushing the threshold up.
+	for round := 0; round < 10; round++ {
+		for _, o := range right {
+			if err := af.Feedback(o.Cues, o.Class, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if af.Threshold() <= before {
+		t.Errorf("threshold did not rise under drift: %v -> %v", before, af.Threshold())
+	}
+}
+
+func TestAdaptiveFilterEpsilonFeedbackIgnored(t *testing.T) {
+	f := buildFixture(t, 1600)
+	af, err := NewAdaptiveFilter(f.measure, AdaptiveConfig{InitialThreshold: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := af.Feedback([]float64{1e9, 1e9, 1e9}, sensor.ContextWriting, true); err != nil {
+		t.Fatalf("ε feedback errored: %v", err)
+	}
+	if af.Updates() != 0 {
+		t.Error("ε feedback triggered an update")
+	}
+	d, err := af.Decide([]float64{1e9, 1e9, 1e9}, sensor.ContextWriting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Epsilon || d.Accepted {
+		t.Errorf("ε decision = %+v", d)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"cqm/internal/stat"
+)
+
+// Analysis is the statistical layer of §2.3: MLE Gaussian densities for
+// the quality values of right and wrong classifications, the optimal
+// threshold at their intersection, and the four probabilities derived from
+// the Gaussian median cuts.
+type Analysis struct {
+	// Right and Wrong are the MLE densities φ of the q values of correct
+	// and incorrect classifications.
+	Right, Wrong stat.Gaussian
+	// Threshold is the optimal s at the intersection of the densities.
+	Threshold float64
+	// The four probabilities of §2.3.3, computed from the Gaussian median
+	// cuts exactly as the paper defines them:
+	//
+	//	PRightAccept = P(c = right | q > s) = Φ̄_r(s) − Φ̄_w(s)
+	//	PWrongReject = P(c = wrong | q < s) = Φ_w(s) − Φ_r(s)
+	//	PWrongAccept = P(c = wrong | q > s) = Φ̄_w(s)
+	//	PRightReject = P(c = right | q < s) = Φ_r(s)
+	//
+	// The first two are identical for every s (both equal Φ_w − Φ_r), the
+	// identity the paper reports as holding "at this optimum".
+	PRightAccept float64
+	PWrongReject float64
+	PWrongAccept float64
+	PRightReject float64
+	// Separable reports whether the observed q values of right and wrong
+	// classifications do not overlap at all (the paper's 24-point test set
+	// is fully separable).
+	Separable bool
+	// EpsilonCount is the number of observations that fell into the ε
+	// state and were excluded from the density estimation.
+	EpsilonCount int
+	// QRight and QWrong are the scored quality values per group (kept for
+	// figure rendering).
+	QRight, QWrong []float64
+}
+
+// Analyze scores the observations with the measure and performs the §2.3
+// statistical analysis. The observations must contain both right and wrong
+// classifications; ε-state scores are excluded from the densities but
+// counted.
+func Analyze(m *Measure, obs []Observation) (*Analysis, error) {
+	qs, correct, epsilon, err := m.ScoreObservations(obs)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{EpsilonCount: len(epsilon)}
+	for i, q := range qs {
+		if correct[i] {
+			a.QRight = append(a.QRight, q)
+		} else {
+			a.QWrong = append(a.QWrong, q)
+		}
+	}
+	if len(a.QRight) == 0 || len(a.QWrong) == 0 {
+		return nil, fmt.Errorf("%w: %d right, %d wrong", ErrOneSided, len(a.QRight), len(a.QWrong))
+	}
+	a.Right, err = stat.FitGaussianMLE(a.QRight)
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting right density: %w", err)
+	}
+	a.Wrong, err = stat.FitGaussianMLE(a.QWrong)
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting wrong density: %w", err)
+	}
+
+	a.Threshold, err = thresholdFromDensities(a.Wrong, a.Right)
+	if err != nil {
+		return nil, err
+	}
+
+	// Median cuts (§2.3.3).
+	rightAbove := a.Right.UpperTail(a.Threshold)
+	wrongAbove := a.Wrong.UpperTail(a.Threshold)
+	rightBelow := a.Right.CDF(a.Threshold)
+	wrongBelow := a.Wrong.CDF(a.Threshold)
+	a.PRightAccept = rightAbove - wrongAbove
+	a.PWrongReject = wrongBelow - rightBelow
+	a.PWrongAccept = wrongAbove
+	a.PRightReject = rightBelow
+
+	minRight, _ := stat.MinMax(a.QRight)
+	_, maxWrong := stat.MinMax(a.QWrong)
+	a.Separable = maxWrong < minRight
+	return a, nil
+}
+
+// thresholdFromDensities places s at the intersection of the wrong and
+// right densities (§2.3.2), searching first inside [0,1], then in a wider
+// bracket, and finally falling back to the midpoint of the means when the
+// densities never cross (e.g. almost-identical spreads far apart).
+func thresholdFromDensities(wrong, right stat.Gaussian) (float64, error) {
+	s, err := stat.Intersect(wrong, right, 0, 1)
+	if err == nil {
+		return s, nil
+	}
+	if !errors.Is(err, stat.ErrNoIntersection) {
+		return 0, fmt.Errorf("core: threshold determination: %w", err)
+	}
+	s, err = stat.Intersect(wrong, right, -1, 2)
+	if err == nil {
+		return s, nil
+	}
+	if !errors.Is(err, stat.ErrNoIntersection) {
+		return 0, fmt.Errorf("core: threshold determination: %w", err)
+	}
+	return 0.5 * (wrong.Mu + right.Mu), nil
+}

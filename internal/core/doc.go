@@ -1,0 +1,30 @@
+// Package core implements the paper's primary contribution: the Context
+// Quality Measure (CQM), a real-time quality value q ∈ [0,1] for every
+// context classification, produced by a second TSK fuzzy inference system
+// that treats the classifier as a black box.
+//
+// # Architecture (paper §2)
+//
+// The quality system sees exactly two things: the cue vector v_C the
+// classifier consumed and the class identifier c it produced. Their
+// concatenation v_Q = (v_1, …, v_n, c) is the input of the quality FIS
+// S̃_Q, whose designated output is 1 for a correct classification and 0
+// for a wrong one. S̃_Q is constructed automatically (§2.2): subtractive
+// clustering for structure, SVD least squares for the linear consequents,
+// ANFIS hybrid learning with check-set early stopping for refinement.
+//
+// Because the automated construction cannot eliminate the training error,
+// S̃_Q's raw output leaks outside [0,1]; the normalization L (§2.1.3) folds
+// values in [−0.5, 0) and (1, 1.5] back into the interval and maps
+// everything else to the error state ε (ErrEpsilon). The residual distance
+// from {0,1} is the point: q does not just say right/wrong, it says *how*
+// right or wrong.
+//
+// The statistical layer (§2.3) fits maximum-likelihood Gaussians to the q
+// values of right and wrong classifications on a second labelled set,
+// places the decision threshold s at the intersection of the two
+// densities, and derives the four acceptance/rejection probabilities from
+// Gaussian median cuts. A Filter built from the threshold lets an
+// appliance discard low-quality classifications — the paper's AwarePen
+// discards 33 % of classifications (all of the wrong ones) this way.
+package core

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"cqm/internal/sensor"
+)
+
+// Filter is the application-side decision layer: accept a classification
+// when its quality measure exceeds the threshold, discard it otherwise.
+// ε-state classifications are always discarded.
+type Filter struct {
+	measure   *Measure
+	threshold float64
+}
+
+// NewFilter returns a filter over the measure with the given threshold
+// (usually Analysis.Threshold).
+func NewFilter(m *Measure, threshold float64) (*Filter, error) {
+	if m == nil || m.sys == nil {
+		return nil, ErrUnbuilt
+	}
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("core: threshold %v outside [0,1]", threshold)
+	}
+	return &Filter{measure: m, threshold: threshold}, nil
+}
+
+// Threshold returns the acceptance threshold s.
+func (f *Filter) Threshold() float64 { return f.threshold }
+
+// Decision is the outcome of filtering one classification.
+type Decision struct {
+	// Accepted reports whether the classification passed the filter.
+	Accepted bool
+	// Quality is the CQM q; meaningful only when Epsilon is false.
+	Quality float64
+	// Epsilon reports that the measure fell into the ε error state (the
+	// classification is discarded).
+	Epsilon bool
+}
+
+// Decide scores one classification and applies the threshold.
+func (f *Filter) Decide(cues []float64, class sensor.Context) (Decision, error) {
+	q, err := f.measure.Score(cues, class)
+	if err != nil {
+		if IsEpsilon(err) {
+			return Decision{Accepted: false, Epsilon: true}, nil
+		}
+		return Decision{}, err
+	}
+	return Decision{Accepted: q > f.threshold, Quality: q}, nil
+}
+
+// FilterStats summarizes filtering a batch of observations with secondary
+// knowledge — the accounting behind the paper's "discard 33 % of the
+// classifications, which equals all wrong contextual classifications".
+type FilterStats struct {
+	Total          int
+	Accepted       int
+	Discarded      int
+	Epsilon        int
+	AcceptedRight  int
+	AcceptedWrong  int
+	DiscardedRight int
+	DiscardedWrong int
+}
+
+// Run filters every observation and tallies the outcomes against the
+// secondary knowledge.
+func (f *Filter) Run(obs []Observation) (FilterStats, error) {
+	if len(obs) == 0 {
+		return FilterStats{}, ErrNoObservations
+	}
+	var s FilterStats
+	for i, o := range obs {
+		d, err := f.Decide(o.Cues, o.Class)
+		if err != nil {
+			return FilterStats{}, fmt.Errorf("core: filtering observation %d: %w", i, err)
+		}
+		s.Total++
+		if d.Epsilon {
+			s.Epsilon++
+		}
+		switch {
+		case d.Accepted && o.Correct:
+			s.Accepted++
+			s.AcceptedRight++
+		case d.Accepted && !o.Correct:
+			s.Accepted++
+			s.AcceptedWrong++
+		case !d.Accepted && o.Correct:
+			s.Discarded++
+			s.DiscardedRight++
+		default:
+			s.Discarded++
+			s.DiscardedWrong++
+		}
+	}
+	return s, nil
+}
+
+// DiscardRate returns the fraction of classifications discarded — 0.33 in
+// the paper's evaluation.
+func (s FilterStats) DiscardRate() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Discarded) / float64(s.Total)
+}
+
+// AcceptedAccuracy returns the accuracy among accepted classifications —
+// the downstream appliance's effective accuracy after filtering.
+func (s FilterStats) AcceptedAccuracy() float64 {
+	if s.Accepted == 0 {
+		return 0
+	}
+	return float64(s.AcceptedRight) / float64(s.Accepted)
+}
+
+// RawAccuracy returns the accuracy before filtering.
+func (s FilterStats) RawAccuracy() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.AcceptedRight+s.DiscardedRight) / float64(s.Total)
+}
+
+// Improvement returns the accuracy gained by filtering (accepted accuracy
+// minus raw accuracy) — the paper's headline "improving the decision of
+// the application by 33 %" corresponds to discarding exactly the wrong
+// third of classifications.
+func (s FilterStats) Improvement() float64 {
+	return s.AcceptedAccuracy() - s.RawAccuracy()
+}

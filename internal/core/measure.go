@@ -1,0 +1,194 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cqm/internal/anfis"
+	"cqm/internal/cluster"
+	"cqm/internal/fuzzy"
+	"cqm/internal/sensor"
+)
+
+// Measure is the Context Quality Measure: the normalized quality FIS S_Q.
+// Build one with Build; score classifications with Score.
+type Measure struct {
+	sys *fuzzy.TSK
+}
+
+// MeasureFromSystem wraps an externally constructed quality FIS (ablation
+// experiments build systems from alternative clusterings). The system must
+// map v_Q = (cues…, c) to the designated 0/1 output.
+func MeasureFromSystem(sys *fuzzy.TSK) *Measure {
+	return &Measure{sys: sys}
+}
+
+// BuildConfig parameterizes the automated construction of the quality FIS
+// (paper §2.2).
+type BuildConfig struct {
+	// Clustering configures the subtractive clustering over the v_Q
+	// vectors; the zero value uses Chiu's defaults.
+	Clustering cluster.SubtractiveConfig
+	// Hybrid configures the ANFIS hybrid-learning refinement; the zero
+	// value uses the anfis defaults.
+	Hybrid anfis.Config
+	// SkipHybrid disables the ANFIS refinement, leaving the
+	// clustering+least-squares system — the ablation the paper's pipeline
+	// implies (construction alone vs construction + tuning).
+	SkipHybrid bool
+	// ConstantConsequents uses zero-order consequents instead of the
+	// paper's linear ones (ablation for the §2.1.2 remark that linear
+	// consequents give better reliability results).
+	ConstantConsequents bool
+}
+
+// Build constructs the quality FIS from observations with secondary
+// knowledge. The designated output is 1 for correct and 0 for wrong
+// classifications; check drives the hybrid-learning early stop and may be
+// nil (then a tail of train is split off automatically, mirroring the
+// paper's separate check set).
+func Build(train, check []Observation, cfg BuildConfig) (*Measure, error) {
+	if len(train) == 0 {
+		return nil, ErrNoObservations
+	}
+	if check == nil {
+		// Hold out the final quarter as the check set.
+		cut := len(train) * 3 / 4
+		if cut < 1 {
+			cut = 1
+		}
+		if cut < len(train) {
+			check = train[cut:]
+			train = train[:cut]
+		}
+	}
+	trainData := observationsToData(train)
+	checkData := observationsToData(check)
+
+	sys, err := anfis.Build(trainData, anfis.BuildConfig{
+		Clustering:          cfg.Clustering,
+		ConstantConsequents: cfg.ConstantConsequents,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: constructing quality FIS: %w", err)
+	}
+	if !cfg.SkipHybrid {
+		var checkArg *anfis.Data
+		if checkData.Len() > 0 {
+			checkArg = checkData
+		}
+		hybrid := cfg.Hybrid
+		hybrid.ConstantConsequents = cfg.ConstantConsequents
+		if _, err := anfis.Train(sys, trainData, checkArg, hybrid); err != nil {
+			return nil, fmt.Errorf("core: hybrid learning: %w", err)
+		}
+	}
+	return &Measure{sys: sys}, nil
+}
+
+// observationsToData converts observations into the (v_Q, designated
+// output) pairs the ANFIS layer trains on.
+func observationsToData(obs []Observation) *anfis.Data {
+	d := &anfis.Data{
+		X: make([][]float64, len(obs)),
+		Y: make([]float64, len(obs)),
+	}
+	for i, o := range obs {
+		d.X[i] = qualityInput(o.Cues, o.Class)
+		if o.Correct {
+			d.Y[i] = 1
+		}
+	}
+	return d
+}
+
+// Score returns the CQM q ∈ [0,1] for one classification: the quality FIS
+// evaluated at v_Q = (cues, c), normalized by L. It returns ErrEpsilon
+// when the raw output falls outside the normalizable range and
+// fuzzy.ErrNoActivation (wrapped in ErrEpsilon) when no rule fires —
+// either way the caller should treat the classification as unusable.
+func (m *Measure) Score(cues []float64, class sensor.Context) (float64, error) {
+	if m == nil || m.sys == nil {
+		return 0, ErrUnbuilt
+	}
+	raw, err := m.RawScore(cues, class)
+	if err != nil {
+		return 0, err
+	}
+	return Normalize(raw)
+}
+
+// RawScore returns the un-normalized FIS output S̃_Q(v_Q); exposed for the
+// normalization ablation. A no-activation input is reported as ErrEpsilon.
+func (m *Measure) RawScore(cues []float64, class sensor.Context) (float64, error) {
+	if m == nil || m.sys == nil {
+		return 0, ErrUnbuilt
+	}
+	raw, err := m.sys.Eval(qualityInput(cues, class))
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrEpsilon, err)
+	}
+	return raw, nil
+}
+
+// ScoreObservations scores a batch, returning the q values for the
+// observations that normalize cleanly, the indices that fell into the ε
+// state, and the correctness labels aligned with the q values.
+func (m *Measure) ScoreObservations(obs []Observation) (qs []float64, correct []bool, epsilon []int, err error) {
+	if m == nil || m.sys == nil {
+		return nil, nil, nil, ErrUnbuilt
+	}
+	if len(obs) == 0 {
+		return nil, nil, nil, ErrNoObservations
+	}
+	for i, o := range obs {
+		q, err := m.Score(o.Cues, o.Class)
+		if err != nil {
+			if IsEpsilon(err) {
+				epsilon = append(epsilon, i)
+				continue
+			}
+			return nil, nil, nil, fmt.Errorf("core: scoring observation %d: %w", i, err)
+		}
+		qs = append(qs, q)
+		correct = append(correct, o.Correct)
+	}
+	return qs, correct, epsilon, nil
+}
+
+// Rules returns the number of rules in the quality FIS.
+func (m *Measure) Rules() int {
+	if m == nil || m.sys == nil {
+		return 0
+	}
+	return m.sys.NumRules()
+}
+
+// Inputs returns the dimensionality of v_Q the measure expects (cues + 1).
+func (m *Measure) Inputs() int {
+	if m == nil || m.sys == nil {
+		return 0
+	}
+	return m.sys.Inputs()
+}
+
+// System exposes the underlying fuzzy system for inspection.
+func (m *Measure) System() *fuzzy.TSK { return m.sys }
+
+// MarshalJSON serializes the measure (its quality FIS).
+func (m *Measure) MarshalJSON() ([]byte, error) {
+	if m.sys == nil {
+		return nil, ErrUnbuilt
+	}
+	return json.Marshal(m.sys)
+}
+
+// UnmarshalJSON restores a serialized measure.
+func (m *Measure) UnmarshalJSON(data []byte) error {
+	var sys fuzzy.TSK
+	if err := json.Unmarshal(data, &sys); err != nil {
+		return fmt.Errorf("core: decoding measure: %w", err)
+	}
+	m.sys = &sys
+	return nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeTable(t *testing.T) {
+	tests := []struct {
+		name    string
+		x       float64
+		want    float64
+		epsilon bool
+	}{
+		{"interior", 0.7, 0.7, false},
+		{"zero", 0, 0, false},
+		{"one", 1, 1, false},
+		{"slightly below zero", -0.2, 0.2, false},
+		{"lower fold limit", -0.5, 0.5, false},
+		{"slightly above one", 1.2, 0.8, false},
+		{"upper fold limit", 1.5, 0.5, false},
+		{"below epsilon limit", -0.51, 0, true},
+		{"above epsilon limit", 1.51, 0, true},
+		{"far negative", -3, 0, true},
+		{"far positive", 9, 0, true},
+		{"nan", math.NaN(), 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Normalize(tt.x)
+			if tt.epsilon {
+				if !IsEpsilon(err) {
+					t.Fatalf("err = %v, want ε state", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Normalize(%v) = %v, want %v", tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNormalizeLiteralMatchesPaperFormula(t *testing.T) {
+	// On (1, 1.5] the literal formula returns 1−x (negative); the
+	// production Normalize folds symmetrically to 2−x.
+	lit, err := NormalizeLiteral(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lit-(-0.2)) > 1e-12 {
+		t.Errorf("NormalizeLiteral(1.2) = %v, want -0.2", lit)
+	}
+	// All other branches agree with Normalize.
+	for _, x := range []float64{-0.4, 0, 0.3, 1, -0.6, 1.6} {
+		a, errA := Normalize(x)
+		b, errB := NormalizeLiteral(x)
+		if IsEpsilon(errA) != IsEpsilon(errB) {
+			t.Errorf("ε disagreement at %v", x)
+			continue
+		}
+		if errA == nil && a != b {
+			t.Errorf("branch disagreement at %v: %v vs %v", x, a, b)
+		}
+	}
+}
+
+func TestNormalizeRangeProperty(t *testing.T) {
+	// Every non-ε result lies in [0,1]; ε occurs exactly outside
+	// [−0.5, 1.5].
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			_, err := Normalize(x)
+			return IsEpsilon(err)
+		}
+		got, err := Normalize(x)
+		inRange := x >= -0.5 && x <= 1.5
+		if !inRange {
+			return IsEpsilon(err)
+		}
+		return err == nil && got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeContinuityAtBoundaries(t *testing.T) {
+	// L is continuous at 0 and 1 (the folds meet the identity branch).
+	const h = 1e-9
+	lo, err := Normalize(-h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo-h) > 1e-12 {
+		t.Errorf("left fold at 0 discontinuous: %v", lo)
+	}
+	hi, err := Normalize(1 + h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hi-(1-h)) > 1e-12 {
+		t.Errorf("right fold at 1 discontinuous: %v", hi)
+	}
+}

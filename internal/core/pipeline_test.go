@@ -1,0 +1,405 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"cqm/internal/classify"
+	"cqm/internal/dataset"
+	"cqm/internal/sensor"
+	"cqm/internal/stat"
+)
+
+// fixture holds a fully assembled CQM pipeline for integration tests.
+type fixture struct {
+	clf      classify.Classifier
+	trainObs []Observation
+	checkObs []Observation
+	testObs  []Observation
+	measure  *Measure
+}
+
+// buildFixture assembles the paper's pipeline on synthetic AwarePen data:
+// classifier trained on clean recordings; quality FIS trained on a mixed
+// stream with transitions and off-style users, which produces genuinely
+// right and wrong classifications.
+func buildFixture(t testing.TB, seed int64) *fixture {
+	t.Helper()
+	clean, err := dataset.Generate(dataset.GenerateConfig{
+		Scenarios: []*sensor.Scenario{
+			{
+				Segments: []sensor.Segment{
+					{Context: sensor.ContextLying, Duration: 10},
+					{Context: sensor.ContextWriting, Duration: 10},
+					{Context: sensor.ContextPlaying, Duration: 10},
+				},
+			},
+		},
+		WindowSize: 100,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := (&classify.TSKTrainer{}).Train(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The quality sets come from harder sessions: office workflows with
+	// transitions plus an off-style user whose writing resembles playing.
+	wild := sensor.Style{Amplitude: 2.6, Tempo: 1.4, Irregularity: 0.9}
+	mixed, err := dataset.Generate(dataset.GenerateConfig{
+		Scenarios: []*sensor.Scenario{
+			sensor.OfficeSession(sensor.DefaultStyle()),
+			sensor.OfficeSession(wild),
+			sensor.OfficeSession(sensor.Style{Amplitude: 0.5, Tempo: 0.8, Irregularity: 0.5}),
+			sensor.OfficeSession(wild),
+			sensor.OfficeSession(sensor.DefaultStyle()),
+			sensor.OfficeSession(wild),
+		},
+		WindowSize: 100,
+		WindowStep: 50,
+		Seed:       seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed.Shuffle(seed + 2)
+	trainSet, checkSet, testSet, err := mixed.Split(0.6, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := &fixture{clf: clf}
+	if f.trainObs, err = Observe(clf, trainSet); err != nil {
+		t.Fatal(err)
+	}
+	if f.checkObs, err = Observe(clf, checkSet); err != nil {
+		t.Fatal(err)
+	}
+	if f.testObs, err = Observe(clf, testSet); err != nil {
+		t.Fatal(err)
+	}
+	if f.measure, err = Build(f.trainObs, f.checkObs, BuildConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestObserveRecordsCorrectness(t *testing.T) {
+	f := buildFixture(t, 100)
+	right, wrong := SplitByCorrectness(f.trainObs)
+	if len(right) == 0 || len(wrong) == 0 {
+		t.Fatalf("fixture degenerate: %d right, %d wrong", len(right), len(wrong))
+	}
+	// The classifier should be mostly right but meaningfully wrong.
+	frac := float64(len(wrong)) / float64(len(f.trainObs))
+	if frac < 0.03 || frac > 0.6 {
+		t.Errorf("wrong fraction = %v, want a realistic error rate", frac)
+	}
+}
+
+func TestAugmentObservations(t *testing.T) {
+	set := &dataset.Set{}
+	set.Append(
+		dataset.Sample{Cues: []float64{0.1, 0.2, 0.3}, Truth: sensor.ContextWriting, Pure: true},
+		dataset.Sample{Cues: []float64{0.9, 0.8, 0.7}, Truth: sensor.ContextPlaying},
+	)
+	obs, err := AugmentObservations(set, sensor.AllContexts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 6 {
+		t.Fatalf("augmented %d observations, want 6 (2 samples x 3 classes)", len(obs))
+	}
+	correct := 0
+	for _, o := range obs {
+		if o.Correct {
+			correct++
+		}
+	}
+	if correct != 2 {
+		t.Errorf("%d correct pairings, want exactly one per sample", correct)
+	}
+	// The augmented cues must not alias the sample storage.
+	obs[0].Cues[0] = 99
+	if set.Samples[0].Cues[0] == 99 {
+		t.Error("augmentation aliases sample cues")
+	}
+	if _, err := AugmentObservations(&dataset.Set{}, sensor.AllContexts()); !errors.Is(err, ErrNoObservations) {
+		t.Errorf("empty set: %v", err)
+	}
+	if _, err := AugmentObservations(set, nil); !errors.Is(err, ErrNoObservations) {
+		t.Errorf("no classes: %v", err)
+	}
+}
+
+func TestObserveErrors(t *testing.T) {
+	if _, err := Observe(nil, &dataset.Set{}); !errors.Is(err, ErrNoObservations) {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestMeasureScoresSeparateRightFromWrong(t *testing.T) {
+	f := buildFixture(t, 200)
+	qs, correct, _, err := f.measure.ScoreObservations(f.testObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) < 10 {
+		t.Fatalf("only %d scored observations", len(qs))
+	}
+	// The CQM must rank right above wrong classifications: AUC well above
+	// chance.
+	auc := stat.AUC(stat.ROC(qs, correct))
+	if auc < 0.75 {
+		t.Errorf("quality AUC = %v, want >= 0.75", auc)
+	}
+}
+
+func TestMeasureInputsAndRules(t *testing.T) {
+	f := buildFixture(t, 300)
+	if f.measure.Inputs() != 4 {
+		t.Errorf("Inputs = %d, want 4 (3 cues + class)", f.measure.Inputs())
+	}
+	if f.measure.Rules() < 1 {
+		t.Error("no rules in the quality FIS")
+	}
+	if f.measure.System() == nil {
+		t.Error("System() nil")
+	}
+}
+
+func TestBuildAutoCheckSplit(t *testing.T) {
+	f := buildFixture(t, 400)
+	// Passing nil check must still build (auto-split).
+	m, err := Build(f.trainObs, nil, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rules() == 0 {
+		t.Error("auto-check build produced no rules")
+	}
+}
+
+func TestBuildSkipHybrid(t *testing.T) {
+	f := buildFixture(t, 500)
+	m, err := Build(f.trainObs, f.checkObs, BuildConfig{SkipHybrid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, correct, _, err := m.ScoreObservations(f.testObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := stat.AUC(stat.ROC(qs, correct)); auc < 0.6 {
+		t.Errorf("construction-only AUC = %v, want above chance", auc)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, nil, BuildConfig{}); !errors.Is(err, ErrNoObservations) {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestMeasureUnbuiltErrors(t *testing.T) {
+	var m *Measure
+	if _, err := m.Score([]float64{1}, sensor.ContextLying); !errors.Is(err, ErrUnbuilt) {
+		t.Errorf("nil measure Score: %v", err)
+	}
+	var m2 Measure
+	if _, err := m2.RawScore([]float64{1}, sensor.ContextLying); !errors.Is(err, ErrUnbuilt) {
+		t.Errorf("zero measure RawScore: %v", err)
+	}
+	if _, _, _, err := m2.ScoreObservations(nil); !errors.Is(err, ErrUnbuilt) {
+		t.Errorf("zero measure ScoreObservations: %v", err)
+	}
+	if m2.Rules() != 0 || m2.Inputs() != 0 {
+		t.Error("zero measure should report 0 rules and inputs")
+	}
+}
+
+func TestMeasureJSONRoundTrip(t *testing.T) {
+	f := buildFixture(t, 600)
+	data, err := json.Marshal(f.measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Measure
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range f.testObs[:5] {
+		a, errA := f.measure.Score(o.Cues, o.Class)
+		b, errB := back.Score(o.Cues, o.Class)
+		if IsEpsilon(errA) != IsEpsilon(errB) {
+			t.Fatal("ε disagreement after round trip")
+		}
+		if errA == nil && a != b {
+			t.Fatalf("score differs after round trip: %v vs %v", a, b)
+		}
+	}
+	var m Measure
+	if _, err := json.Marshal(&m); !errors.Is(err, ErrUnbuilt) {
+		t.Errorf("marshal unbuilt: %v", err)
+	}
+}
+
+func TestAnalyzeProducesPaperShape(t *testing.T) {
+	f := buildFixture(t, 700)
+	a, err := Analyze(f.measure, f.testObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Right density above wrong density.
+	if a.Right.Mu <= a.Wrong.Mu {
+		t.Errorf("right mean %v not above wrong mean %v", a.Right.Mu, a.Wrong.Mu)
+	}
+	// Threshold between the means and inside [0,1].
+	if a.Threshold <= a.Wrong.Mu || a.Threshold >= a.Right.Mu {
+		t.Errorf("threshold %v not between means (%v, %v)", a.Threshold, a.Wrong.Mu, a.Right.Mu)
+	}
+	if a.Threshold < 0 || a.Threshold > 1 {
+		t.Errorf("threshold %v outside [0,1]", a.Threshold)
+	}
+	// The identity the paper reports: P(right|q>s) == P(wrong|q<s).
+	if diff := a.PRightAccept - a.PWrongReject; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("median-cut identity violated: %v vs %v", a.PRightAccept, a.PWrongReject)
+	}
+	// True decisions dominate false ones.
+	if a.PRightAccept < 0.5 {
+		t.Errorf("PRightAccept = %v, want > 0.5", a.PRightAccept)
+	}
+	if a.PWrongAccept > 0.3 {
+		t.Errorf("PWrongAccept = %v, want small", a.PWrongAccept)
+	}
+	if a.PRightReject > 0.4 {
+		t.Errorf("PRightReject = %v, want small", a.PRightReject)
+	}
+}
+
+func TestAnalyzeOneSided(t *testing.T) {
+	f := buildFixture(t, 800)
+	right, _ := SplitByCorrectness(f.testObs)
+	if _, err := Analyze(f.measure, right); !errors.Is(err, ErrOneSided) {
+		t.Errorf("all-right: %v", err)
+	}
+}
+
+func TestFilterImprovesAcceptedAccuracy(t *testing.T) {
+	f := buildFixture(t, 900)
+	a, err := Analyze(f.measure, f.checkObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter, err := NewFilter(f.measure, a.Threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := filter.Run(f.testObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total != len(f.testObs) {
+		t.Fatalf("stats.Total = %d", stats.Total)
+	}
+	if stats.Accepted+stats.Discarded != stats.Total {
+		t.Error("accept/discard accounting broken")
+	}
+	if stats.AcceptedAccuracy() <= stats.RawAccuracy() {
+		t.Errorf("filtering did not improve accuracy: raw %v, accepted %v",
+			stats.RawAccuracy(), stats.AcceptedAccuracy())
+	}
+	if stats.Improvement() <= 0 {
+		t.Errorf("Improvement = %v, want > 0", stats.Improvement())
+	}
+}
+
+func TestFilterDecideAndValidation(t *testing.T) {
+	f := buildFixture(t, 1000)
+	if _, err := NewFilter(nil, 0.5); !errors.Is(err, ErrUnbuilt) {
+		t.Errorf("nil measure: %v", err)
+	}
+	if _, err := NewFilter(f.measure, 1.5); err == nil {
+		t.Error("out-of-range threshold accepted")
+	}
+	filter, err := NewFilter(f.measure, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filter.Threshold() != 0.8 {
+		t.Error("Threshold() wrong")
+	}
+	o := f.testObs[0]
+	d, err := filter.Decide(o.Cues, o.Class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Epsilon && (d.Quality < 0 || d.Quality > 1) {
+		t.Errorf("quality %v outside [0,1]", d.Quality)
+	}
+	// Far-out-of-range cues must land in the ε state, not error.
+	dFar, err := filter.Decide([]float64{1e9, 1e9, 1e9}, sensor.ContextWriting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dFar.Epsilon || dFar.Accepted {
+		t.Errorf("far input: %+v, want discarded ε", dFar)
+	}
+	if _, err := filter.Run(nil); !errors.Is(err, ErrNoObservations) {
+		t.Errorf("empty run: %v", err)
+	}
+}
+
+func TestFilterStatsArithmetic(t *testing.T) {
+	s := FilterStats{
+		Total: 24, Accepted: 16, Discarded: 8,
+		AcceptedRight: 16, AcceptedWrong: 0,
+		DiscardedRight: 0, DiscardedWrong: 8,
+	}
+	if got := s.DiscardRate(); got != 1.0/3.0 {
+		t.Errorf("DiscardRate = %v, want 1/3", got)
+	}
+	if got := s.AcceptedAccuracy(); got != 1 {
+		t.Errorf("AcceptedAccuracy = %v, want 1", got)
+	}
+	if got := s.RawAccuracy(); got != 2.0/3.0 {
+		t.Errorf("RawAccuracy = %v, want 2/3", got)
+	}
+	if got := s.Improvement(); got < 1.0/3.0-1e-12 || got > 1.0/3.0+1e-12 {
+		t.Errorf("Improvement = %v, want 1/3", got)
+	}
+	var zero FilterStats
+	if zero.DiscardRate() != 0 || zero.AcceptedAccuracy() != 0 || zero.RawAccuracy() != 0 {
+		t.Error("zero stats should report 0 rates")
+	}
+}
+
+func BenchmarkMeasureScore(b *testing.B) {
+	f := buildFixture(b, 1100)
+	o := f.testObs[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.measure.Score(o.Cues, o.Class); err != nil && !IsEpsilon(err) {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildMeasure(b *testing.B) {
+	f := buildFixture(b, 1200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A short hybrid phase keeps the benchmark affordable.
+		cfg := BuildConfig{}
+		cfg.Hybrid.Epochs = 5
+		if _, err := Build(f.trainObs, f.checkObs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"cqm/internal/sensor"
+)
+
+// WriteCSV writes the set with a header row. Columns: cue_0..cue_{n−1},
+// class (numeric identifier), pure (0/1).
+func (s *Set) WriteCSV(w io.Writer) error {
+	if s.Len() == 0 {
+		return ErrEmpty
+	}
+	cw := csv.NewWriter(w)
+	n := len(s.Samples[0].Cues)
+	header := make([]string, 0, n+2)
+	for i := 0; i < n; i++ {
+		header = append(header, "cue_"+strconv.Itoa(i))
+	}
+	header = append(header, "class", "pure")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing header: %w", err)
+	}
+	row := make([]string, n+2)
+	for idx, smp := range s.Samples {
+		if len(smp.Cues) != n {
+			return fmt.Errorf("dataset: sample %d has %d cues, want %d", idx, len(smp.Cues), n)
+		}
+		for i, c := range smp.Cues {
+			row[i] = strconv.FormatFloat(c, 'g', -1, 64)
+		}
+		row[n] = strconv.Itoa(smp.Truth.ID())
+		pure := "0"
+		if smp.Pure {
+			pure = "1"
+		}
+		row[n+1] = pure
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing sample %d: %w", idx, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("dataset: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a set written by WriteCSV.
+func ReadCSV(r io.Reader) (*Set, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, ErrEmpty
+	}
+	header := records[0]
+	if len(header) < 3 {
+		return nil, fmt.Errorf("dataset: header has %d columns, want >= 3", len(header))
+	}
+	n := len(header) - 2
+	out := &Set{}
+	for lineNo, rec := range records[1:] {
+		if len(rec) != n+2 {
+			return nil, fmt.Errorf("dataset: line %d has %d columns, want %d", lineNo+2, len(rec), n+2)
+		}
+		cues := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v, err := strconv.ParseFloat(rec[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d cue %d: %w", lineNo+2, i, err)
+			}
+			cues[i] = v
+		}
+		classID, err := strconv.Atoi(rec[n])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d class: %w", lineNo+2, err)
+		}
+		out.Append(Sample{
+			Cues:  cues,
+			Truth: sensor.ContextByID(classID),
+			Pure:  rec[n+1] == "1",
+		})
+	}
+	return out, nil
+}

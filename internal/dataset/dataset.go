@@ -1,0 +1,196 @@
+// Package dataset manages the labelled cue-vector sets the CQM pipeline
+// trains and evaluates on: generation from scripted sensing scenarios,
+// deterministic shuffling and splitting, and CSV persistence.
+//
+// The paper works with three labelled sets: a training set for the
+// automated FIS construction, a check set for the hybrid-learning early
+// stop, and a test set (24 points in the paper's evaluation) for the
+// statistical analysis. Generate and Split reproduce that structure from
+// seeded simulations.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"cqm/internal/feature"
+	"cqm/internal/sensor"
+)
+
+// Dataset errors.
+var (
+	// ErrEmpty reports an operation over an empty data set.
+	ErrEmpty = errors.New("dataset: empty data set")
+	// ErrBadSplit reports invalid split fractions.
+	ErrBadSplit = errors.New("dataset: invalid split fractions")
+)
+
+// Sample is one labelled observation.
+type Sample struct {
+	// Cues is the extracted cue vector (the classifier's input v_C).
+	Cues []float64
+	// Truth is the ground-truth context.
+	Truth sensor.Context
+	// Pure reports whether the source window was transition-free.
+	Pure bool
+}
+
+// Set is an ordered collection of samples.
+type Set struct {
+	Samples []Sample
+}
+
+// Len returns the number of samples.
+func (s *Set) Len() int { return len(s.Samples) }
+
+// Append adds samples to the set.
+func (s *Set) Append(samples ...Sample) {
+	s.Samples = append(s.Samples, samples...)
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	out := &Set{Samples: make([]Sample, len(s.Samples))}
+	for i, smp := range s.Samples {
+		cues := make([]float64, len(smp.Cues))
+		copy(cues, smp.Cues)
+		out.Samples[i] = Sample{Cues: cues, Truth: smp.Truth, Pure: smp.Pure}
+	}
+	return out
+}
+
+// Shuffle permutes the samples in place with the given seed.
+func (s *Set) Shuffle(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(s.Samples), func(i, j int) {
+		s.Samples[i], s.Samples[j] = s.Samples[j], s.Samples[i]
+	})
+}
+
+// Counts returns the number of samples per ground-truth context.
+func (s *Set) Counts() map[sensor.Context]int {
+	out := make(map[sensor.Context]int)
+	for _, smp := range s.Samples {
+		out[smp.Truth]++
+	}
+	return out
+}
+
+// Cues returns all cue vectors as a matrix (rows alias the samples).
+func (s *Set) Cues() [][]float64 {
+	out := make([][]float64, len(s.Samples))
+	for i, smp := range s.Samples {
+		out[i] = smp.Cues
+	}
+	return out
+}
+
+// Labels returns all ground-truth class identifiers.
+func (s *Set) Labels() []int {
+	out := make([]int, len(s.Samples))
+	for i, smp := range s.Samples {
+		out[i] = smp.Truth.ID()
+	}
+	return out
+}
+
+// Split cuts the set into train/check/test subsets by fraction. The
+// fractions must be positive and sum to at most 1; the test subset takes
+// the remainder. Order is preserved — shuffle first for random splits.
+func (s *Set) Split(trainFrac, checkFrac float64) (train, check, test *Set, err error) {
+	if s.Len() == 0 {
+		return nil, nil, nil, ErrEmpty
+	}
+	if trainFrac <= 0 || checkFrac < 0 || trainFrac+checkFrac >= 1 {
+		return nil, nil, nil, fmt.Errorf("%w: train %v + check %v", ErrBadSplit, trainFrac, checkFrac)
+	}
+	n := s.Len()
+	nTrain := int(float64(n) * trainFrac)
+	nCheck := int(float64(n) * checkFrac)
+	if nTrain == 0 || n-nTrain-nCheck == 0 {
+		return nil, nil, nil, fmt.Errorf("%w: %d samples leave an empty subset", ErrBadSplit, n)
+	}
+	train = &Set{Samples: append([]Sample(nil), s.Samples[:nTrain]...)}
+	check = &Set{Samples: append([]Sample(nil), s.Samples[nTrain:nTrain+nCheck]...)}
+	test = &Set{Samples: append([]Sample(nil), s.Samples[nTrain+nCheck:]...)}
+	return train, check, test, nil
+}
+
+// Fold is one train/test partition of a k-fold split.
+type Fold struct {
+	Train, Test *Set
+}
+
+// KFold partitions the set into k folds after a seeded shuffle of a copy
+// (the receiver is untouched). Every sample appears in exactly one test
+// fold; fold sizes differ by at most one.
+func (s *Set) KFold(k int, seed int64) ([]Fold, error) {
+	if s.Len() == 0 {
+		return nil, ErrEmpty
+	}
+	if k < 2 || k > s.Len() {
+		return nil, fmt.Errorf("%w: k=%d for %d samples", ErrBadSplit, k, s.Len())
+	}
+	shuffled := s.Clone()
+	shuffled.Shuffle(seed)
+	folds := make([]Fold, k)
+	n := shuffled.Len()
+	for i := 0; i < k; i++ {
+		lo := i * n / k
+		hi := (i + 1) * n / k
+		test := &Set{Samples: append([]Sample(nil), shuffled.Samples[lo:hi]...)}
+		train := &Set{Samples: make([]Sample, 0, n-(hi-lo))}
+		train.Samples = append(train.Samples, shuffled.Samples[:lo]...)
+		train.Samples = append(train.Samples, shuffled.Samples[hi:]...)
+		folds[i] = Fold{Train: train, Test: test}
+	}
+	return folds, nil
+}
+
+// GenerateConfig parameterizes scenario-driven data generation.
+type GenerateConfig struct {
+	// Scenarios are run in order; each contributes its windows.
+	Scenarios []*sensor.Scenario
+	// WindowSize is the number of readings per cue window. Default 100
+	// (one second at the default rate).
+	WindowSize int
+	// WindowStep is the hop between windows. Default: WindowSize.
+	WindowStep int
+	// Pipeline extracts cues; nil uses the paper's per-axis stddev.
+	Pipeline *feature.Pipeline
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Generate runs every scenario and windows the recordings into one
+// labelled set.
+func Generate(cfg GenerateConfig) (*Set, error) {
+	if len(cfg.Scenarios) == 0 {
+		return nil, fmt.Errorf("%w: no scenarios", ErrEmpty)
+	}
+	size := cfg.WindowSize
+	if size == 0 {
+		size = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	windower := feature.Windower{Size: size, Step: cfg.WindowStep, Pipeline: cfg.Pipeline}
+	out := &Set{}
+	for i, sc := range cfg.Scenarios {
+		readings, err := sc.Run(rng)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: scenario %d: %w", i, err)
+		}
+		windows, err := windower.Slide(readings)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: scenario %d: %w", i, err)
+		}
+		for _, w := range windows {
+			out.Append(Sample{Cues: w.Cues, Truth: w.Truth, Pure: w.Pure})
+		}
+	}
+	if out.Len() == 0 {
+		return nil, fmt.Errorf("%w: scenarios too short for window size %d", ErrEmpty, size)
+	}
+	return out, nil
+}

@@ -1,0 +1,284 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cqm/internal/sensor"
+)
+
+// smallSet builds a deterministic labelled set for unit tests.
+func smallSet(n int) *Set {
+	s := &Set{}
+	contexts := sensor.AllContexts()
+	for i := 0; i < n; i++ {
+		s.Append(Sample{
+			Cues:  []float64{float64(i), float64(i) * 0.5, 1},
+			Truth: contexts[i%3],
+			Pure:  i%4 != 0,
+		})
+	}
+	return s
+}
+
+func TestSetBasics(t *testing.T) {
+	s := smallSet(9)
+	if s.Len() != 9 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	counts := s.Counts()
+	for _, c := range sensor.AllContexts() {
+		if counts[c] != 3 {
+			t.Errorf("count[%v] = %d, want 3", c, counts[c])
+		}
+	}
+	if got := s.Labels(); got[0] != sensor.ContextLying.ID() {
+		t.Errorf("Labels[0] = %d", got[0])
+	}
+	if got := s.Cues(); len(got) != 9 || len(got[0]) != 3 {
+		t.Error("Cues shape wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := smallSet(3)
+	c := s.Clone()
+	c.Samples[0].Cues[0] = 999
+	c.Samples[0].Truth = sensor.ContextPlaying
+	if s.Samples[0].Cues[0] == 999 {
+		t.Error("Clone shares cue storage")
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	a := smallSet(20)
+	b := smallSet(20)
+	a.Shuffle(42)
+	b.Shuffle(42)
+	for i := range a.Samples {
+		if a.Samples[i].Cues[0] != b.Samples[i].Cues[0] {
+			t.Fatal("same seed shuffled differently")
+		}
+	}
+	c := smallSet(20)
+	c.Shuffle(43)
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i].Cues[0] != c.Samples[i].Cues[0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical shuffle")
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	s := smallSet(100)
+	train, check, test, err := s.Split(0.6, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 60 || check.Len() != 20 || test.Len() != 20 {
+		t.Errorf("split sizes %d/%d/%d", train.Len(), check.Len(), test.Len())
+	}
+	// Order preserved.
+	if train.Samples[0].Cues[0] != 0 || test.Samples[0].Cues[0] != 80 {
+		t.Error("split did not preserve order")
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	s := smallSet(10)
+	if _, _, _, err := (&Set{}).Split(0.5, 0.2); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: %v", err)
+	}
+	for _, tc := range [][2]float64{{0, 0.2}, {0.9, 0.2}, {-0.1, 0.5}, {0.5, -0.1}} {
+		if _, _, _, err := s.Split(tc[0], tc[1]); !errors.Is(err, ErrBadSplit) {
+			t.Errorf("split(%v,%v): %v", tc[0], tc[1], err)
+		}
+	}
+	tiny := smallSet(2)
+	if _, _, _, err := tiny.Split(0.1, 0.1); !errors.Is(err, ErrBadSplit) {
+		t.Errorf("tiny: %v", err)
+	}
+}
+
+func TestSplitPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 20 + int(uint64(seed)%80)
+		s := smallSet(n)
+		s.Shuffle(seed)
+		train, check, test, err := s.Split(0.5, 0.25)
+		if err != nil {
+			return false
+		}
+		return train.Len()+check.Len()+test.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKFoldPartition(t *testing.T) {
+	s := smallSet(23) // deliberately not divisible by k
+	folds, err := s.KFold(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("%d folds", len(folds))
+	}
+	seen := make(map[float64]int)
+	for _, f := range folds {
+		if f.Train.Len()+f.Test.Len() != 23 {
+			t.Fatalf("fold sizes %d + %d != 23", f.Train.Len(), f.Test.Len())
+		}
+		for _, smp := range f.Test.Samples {
+			seen[smp.Cues[0]]++
+		}
+	}
+	if len(seen) != 23 {
+		t.Fatalf("test folds cover %d distinct samples, want 23", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("sample %v appears in %d test folds", id, n)
+		}
+	}
+	// Original untouched.
+	if s.Samples[0].Cues[0] != 0 {
+		t.Error("KFold mutated the receiver")
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	s := smallSet(4)
+	if _, err := (&Set{}).KFold(2, 1); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := s.KFold(1, 1); !errors.Is(err, ErrBadSplit) {
+		t.Errorf("k=1: %v", err)
+	}
+	if _, err := s.KFold(5, 1); !errors.Is(err, ErrBadSplit) {
+		t.Errorf("k>n: %v", err)
+	}
+}
+
+func TestGenerateFromScenarios(t *testing.T) {
+	set, err := Generate(GenerateConfig{
+		Scenarios: []*sensor.Scenario{
+			sensor.OfficeSession(sensor.DefaultStyle()),
+		},
+		WindowSize: 100,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 26 s at 100 Hz → 2600 readings → 26 windows.
+	if set.Len() != 26 {
+		t.Errorf("Len = %d, want 26", set.Len())
+	}
+	counts := set.Counts()
+	for _, c := range sensor.AllContexts() {
+		if counts[c] == 0 {
+			t.Errorf("context %v missing from generated set", c)
+		}
+	}
+	impure := 0
+	for _, smp := range set.Samples {
+		if len(smp.Cues) != 3 {
+			t.Fatalf("cue dim %d", len(smp.Cues))
+		}
+		if !smp.Pure {
+			impure++
+		}
+	}
+	if impure == 0 {
+		t.Error("no transition windows generated — ambiguity missing")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenerateConfig{
+		Scenarios: []*sensor.Scenario{sensor.OfficeSession(sensor.Style{})},
+		Seed:      9,
+	}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Samples {
+		for j := range a.Samples[i].Cues {
+			if a.Samples[i].Cues[j] != b.Samples[i].Cues[j] {
+				t.Fatal("same seed generated different cues")
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GenerateConfig{}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("no scenarios: %v", err)
+	}
+	short := &sensor.Scenario{Segments: []sensor.Segment{{Context: sensor.ContextLying, Duration: 0.1}}}
+	if _, err := Generate(GenerateConfig{Scenarios: []*sensor.Scenario{short}, WindowSize: 1000}); err == nil {
+		t.Error("scenario shorter than a window accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := smallSet(12)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() {
+		t.Fatalf("round trip lost samples: %d vs %d", back.Len(), s.Len())
+	}
+	for i := range s.Samples {
+		a, b := s.Samples[i], back.Samples[i]
+		if a.Truth != b.Truth || a.Pure != b.Pure {
+			t.Fatalf("sample %d labels differ: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Cues {
+			if a.Cues[j] != b.Cues[j] {
+				t.Fatalf("sample %d cue %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if err := (&Set{}).WriteCSV(&bytes.Buffer{}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty write: %v", err)
+	}
+	if _, err := ReadCSV(strings.NewReader("")); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty read: %v", err)
+	}
+	if _, err := ReadCSV(strings.NewReader("cue_0,class,pure\nnotanumber,1,1\n")); err == nil {
+		t.Error("bad cue accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("cue_0,class,pure\n0.5,xyz,1\n")); err == nil {
+		t.Error("bad class accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Error("too-narrow header accepted")
+	}
+}

@@ -1,0 +1,367 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"cqm/internal/anfis"
+	"cqm/internal/cluster"
+	"cqm/internal/core"
+	"cqm/internal/stat"
+)
+
+// AblationRow is one variant's outcome: how well its quality measure ranks
+// right above wrong classifications on the test set, and the filtered
+// improvement at the analysis threshold.
+type AblationRow struct {
+	Variant     string
+	Rules       int
+	AUC         float64
+	Improvement float64
+}
+
+// scoreVariant evaluates a quality measure built by a variant against the
+// setup's test set.
+func scoreVariant(name string, m *core.Measure, s *Setup) (AblationRow, error) {
+	qs, correct, _, err := m.ScoreObservations(s.TestObs)
+	if err != nil {
+		return AblationRow{}, fmt.Errorf("eval: %s: %w", name, err)
+	}
+	row := AblationRow{Variant: name, Rules: m.Rules(), AUC: stat.AUC(stat.ROC(qs, correct))}
+	a, err := core.Analyze(m, s.TestObs)
+	if err != nil {
+		return AblationRow{}, fmt.Errorf("eval: %s analysis: %w", name, err)
+	}
+	filter, err := core.NewFilter(m, clampThreshold(a.Threshold))
+	if err != nil {
+		return AblationRow{}, fmt.Errorf("eval: %s filter: %w", name, err)
+	}
+	stats, err := filter.Run(s.TestObs)
+	if err != nil {
+		return AblationRow{}, fmt.Errorf("eval: %s filtering: %w", name, err)
+	}
+	row.Improvement = stats.Improvement()
+	return row, nil
+}
+
+func clampThreshold(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// AblationHybrid compares the full pipeline against construction-only
+// (clustering + least squares, no ANFIS tuning).
+func AblationHybrid(seed int64) ([]AblationRow, error) {
+	full, err := NewSetup(SetupConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, 0, 2)
+	row, err := scoreVariant("clustering+LSE+ANFIS (paper)", full.Measure, full)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+	lseOnly, err := core.Build(full.TrainObs, full.CheckObs, core.BuildConfig{SkipHybrid: true})
+	if err != nil {
+		return nil, err
+	}
+	row, err = scoreVariant("clustering+LSE only", lseOnly, full)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+	return rows, nil
+}
+
+// AblationConsequents compares linear (paper) against constant TSK
+// consequents — §2.1.2: "the linear functional consequence is used, since
+// the results for the reliability determination are better".
+func AblationConsequents(seed int64) ([]AblationRow, error) {
+	s, err := NewSetup(SetupConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, 0, 2)
+	row, err := scoreVariant("linear consequents (paper)", s.Measure, s)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+	constant, err := core.Build(s.TrainObs, s.CheckObs, core.BuildConfig{ConstantConsequents: true})
+	if err != nil {
+		return nil, err
+	}
+	row, err = scoreVariant("constant consequents", constant, s)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+	return rows, nil
+}
+
+// AblationClustering compares rule extraction by subtractive clustering
+// (paper) against mountain clustering and FCM centers feeding the same
+// LSE+ANFIS pipeline — §2.2.1's design choice.
+func AblationClustering(seed int64) ([]AblationRow, error) {
+	s, err := NewSetup(SetupConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, 0, 3)
+	row, err := scoreVariant("subtractive (paper)", s.Measure, s)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+
+	data := observationsData(s.TrainObs)
+	// Mountain clustering: grid over the 4-dimensional v_Q space.
+	if mRes, err := cluster.Mountain(data.X, cluster.MountainConfig{GridPerDim: 5, Sigma: 0.25}); err == nil {
+		if row, err := variantFromCenters("mountain", mRes.Centers, data, s); err == nil {
+			rows = append(rows, row)
+		} else {
+			rows = append(rows, AblationRow{Variant: "mountain (failed: " + err.Error() + ")"})
+		}
+	} else {
+		rows = append(rows, AblationRow{Variant: "mountain (failed: " + err.Error() + ")"})
+	}
+	// FCM with the paper-default rule count from subtractive clustering.
+	c := s.Measure.Rules()
+	if c < 2 {
+		c = 2
+	}
+	fRes, err := cluster.FCM(data.X, cluster.FCMConfig{C: c, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	row, err = variantFromCenters("fcm", fRes.Centers, data, s)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+	return rows, nil
+}
+
+// variantFromCenters builds a quality measure from externally supplied
+// cluster centers and scores it.
+func variantFromCenters(name string, centers [][]float64, data *anfis.Data, s *Setup) (AblationRow, error) {
+	sigmas := sigmasForData(data)
+	sys, err := anfis.BuildFromCenters(data, centers, sigmas, anfis.BuildConfig{})
+	if err != nil {
+		return AblationRow{}, fmt.Errorf("eval: %s build: %w", name, err)
+	}
+	if _, err := anfis.Train(sys, data, observationsData(s.CheckObs), anfis.Config{}); err != nil {
+		return AblationRow{}, fmt.Errorf("eval: %s train: %w", name, err)
+	}
+	m := core.MeasureFromSystem(sys)
+	return scoreVariant(name, m, s)
+}
+
+// sigmasForData derives genfis2-style per-dimension widths from the data
+// range (radius 0.5).
+func sigmasForData(d *anfis.Data) []float64 {
+	if len(d.X) == 0 {
+		return nil
+	}
+	dim := len(d.X[0])
+	min := make([]float64, dim)
+	max := make([]float64, dim)
+	copy(min, d.X[0])
+	copy(max, d.X[0])
+	for _, row := range d.X {
+		for j, v := range row {
+			if v < min[j] {
+				min[j] = v
+			}
+			if v > max[j] {
+				max[j] = v
+			}
+		}
+	}
+	out := make([]float64, dim)
+	for j := range out {
+		span := max[j] - min[j]
+		if span < 1e-9 {
+			span = 1e-9
+		}
+		out[j] = 0.5 * span / 2.8284271247461903 // r·span/√8
+	}
+	return out
+}
+
+// observationsData converts observations to ANFIS training data with the
+// designated 0/1 output.
+func observationsData(obs []core.Observation) *anfis.Data {
+	d := &anfis.Data{X: make([][]float64, len(obs)), Y: make([]float64, len(obs))}
+	for i, o := range obs {
+		v := make([]float64, len(o.Cues)+1)
+		copy(v, o.Cues)
+		v[len(o.Cues)] = float64(o.Class.ID())
+		d.X[i] = v
+		if o.Correct {
+			d.Y[i] = 1
+		}
+	}
+	return d
+}
+
+// AblationDensity compares the paper's Gaussian-MLE threshold (§2.3)
+// against a non-parametric kernel-density threshold on the same quality
+// scores: how much does the normality assumption matter?
+func AblationDensity(seed int64) ([]AblationRow, error) {
+	s, err := NewSetup(SetupConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	qs, correct, _, err := s.Measure.ScoreObservations(s.TestObs)
+	if err != nil {
+		return nil, err
+	}
+	auc := stat.AUC(stat.ROC(qs, correct))
+	var qRight, qWrong []float64
+	for i, q := range qs {
+		if correct[i] {
+			qRight = append(qRight, q)
+		} else {
+			qWrong = append(qWrong, q)
+		}
+	}
+
+	improvementAt := func(thr float64) float64 {
+		var accepted, acceptedRight, totalRight int
+		for i, q := range qs {
+			if correct[i] {
+				totalRight++
+			}
+			if q > thr {
+				accepted++
+				if correct[i] {
+					acceptedRight++
+				}
+			}
+		}
+		if accepted == 0 {
+			return 0
+		}
+		return float64(acceptedRight)/float64(accepted) - float64(totalRight)/float64(len(qs))
+	}
+
+	rows := []AblationRow{{
+		Variant:     "Gaussian MLE threshold (paper)",
+		Rules:       s.Measure.Rules(),
+		AUC:         auc,
+		Improvement: improvementAt(s.Analysis.Threshold),
+	}}
+
+	kWrong, err := stat.NewKDE(qWrong, 0)
+	if err != nil {
+		return nil, fmt.Errorf("eval: KDE wrong: %w", err)
+	}
+	kRight, err := stat.NewKDE(qRight, 0)
+	if err != nil {
+		return nil, fmt.Errorf("eval: KDE right: %w", err)
+	}
+	thr, err := stat.CrossPDFs(kWrong.PDF, kRight.PDF, 0, 1)
+	if err != nil {
+		// No crossing inside [0,1]: fall back to the midpoint between the
+		// group means, same as the Gaussian path's fallback.
+		thr = 0.5 * (stat.Mean(qWrong) + stat.Mean(qRight))
+	}
+	rows = append(rows, AblationRow{
+		Variant:     "KDE threshold",
+		Rules:       s.Measure.Rules(),
+		AUC:         auc,
+		Improvement: improvementAt(thr),
+	})
+	return rows, nil
+}
+
+// AblationNormalization compares the normalized measure (paper) against
+// raw clamped scores — does the L function earn its keep?
+func AblationNormalization(seed int64) ([]AblationRow, error) {
+	s, err := NewSetup(SetupConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, 0, 2)
+	row, err := scoreVariant("normalized L (paper)", s.Measure, s)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+
+	// Raw variant: clamp instead of fold+ε, with its own MLE threshold.
+	var qs []float64
+	var correct []bool
+	var qRight, qWrong []float64
+	for _, o := range s.TestObs {
+		raw, err := s.Measure.RawScore(o.Cues, o.Class)
+		if err != nil {
+			continue
+		}
+		q := clampThreshold(raw)
+		qs = append(qs, q)
+		correct = append(correct, o.Correct)
+		if o.Correct {
+			qRight = append(qRight, q)
+		} else {
+			qWrong = append(qWrong, q)
+		}
+	}
+	rawRow := AblationRow{
+		Variant: "raw clamped (no L)",
+		Rules:   s.Measure.Rules(),
+		AUC:     stat.AUC(stat.ROC(qs, correct)),
+	}
+	rawRow.Improvement = rawImprovement(qs, correct, qRight, qWrong)
+	rows = append(rows, rawRow)
+	return rows, nil
+}
+
+// rawImprovement reruns the §2.3 analysis on raw clamped scores and
+// reports the filtered-minus-raw accuracy at the resulting threshold.
+func rawImprovement(qs []float64, correct []bool, qRight, qWrong []float64) float64 {
+	right, errR := stat.FitGaussianMLE(qRight)
+	wrong, errW := stat.FitGaussianMLE(qWrong)
+	if errR != nil || errW != nil {
+		return 0
+	}
+	thr, err := stat.Intersect(wrong, right, 0, 1)
+	if err != nil {
+		thr = 0.5 * (wrong.Mu + right.Mu)
+	}
+	var total, accepted, acceptedRight, totalRight int
+	for i, q := range qs {
+		total++
+		if correct[i] {
+			totalRight++
+		}
+		if q > thr {
+			accepted++
+			if correct[i] {
+				acceptedRight++
+			}
+		}
+	}
+	if total == 0 || accepted == 0 {
+		return 0
+	}
+	return float64(acceptedRight)/float64(accepted) - float64(totalRight)/float64(total)
+}
+
+// RenderAblation renders any ablation table.
+func RenderAblation(title string, rows []AblationRow) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	fmt.Fprintf(&sb, "  %-30s %6s %8s %12s\n", "variant", "rules", "AUC", "improvement")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-30s %6d %8.3f %12.3f\n", r.Variant, r.Rules, r.AUC, r.Improvement)
+	}
+	return sb.String()
+}

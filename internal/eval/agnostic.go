@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"cqm/internal/classify"
+	"cqm/internal/stat"
+)
+
+// AgnosticRow is the E5 result for one black-box classifier.
+type AgnosticRow struct {
+	Classifier string
+	// RawAccuracy is the classifier's unfiltered test accuracy.
+	RawAccuracy float64
+	// AUC measures how well the CQM ranks right above wrong
+	// classifications for this classifier.
+	AUC float64
+	// Threshold is the optimal s for this classifier's quality densities.
+	Threshold float64
+	// Improvement is the filtered-minus-raw accuracy gain.
+	Improvement float64
+	// DiscardRate is the fraction of classifications discarded at s.
+	DiscardRate float64
+}
+
+// AgnosticismSweep runs the full CQM pipeline over several classifier
+// types (E5): the paper's central claim is that the quality system is "an
+// add-on for any context recognition system", so the gain must not depend
+// on the classifier being a TSK-FIS.
+func AgnosticismSweep(seed int64) ([]AgnosticRow, error) {
+	trainers := []struct {
+		name string
+		tr   classify.Trainer
+	}{
+		{"tsk-fis", &classify.TSKTrainer{}},
+		{"knn", &classify.KNNTrainer{K: 5}},
+		{"naive-bayes", &classify.NaiveBayesTrainer{}},
+		{"nearest-centroid", classify.NearestCentroidTrainer{}},
+		{"decision-tree", &classify.DecisionTreeTrainer{}},
+		{"softmax", &classify.SoftmaxTrainer{}},
+	}
+	rows := make([]AgnosticRow, 0, len(trainers))
+	for _, t := range trainers {
+		setup, err := NewSetup(SetupConfig{Seed: seed, Trainer: t.tr})
+		if err != nil {
+			return nil, fmt.Errorf("eval: agnosticism %s: %w", t.name, err)
+		}
+		row, err := agnosticRow(t.name, setup)
+		if err != nil {
+			return nil, fmt.Errorf("eval: agnosticism %s: %w", t.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func agnosticRow(name string, setup *Setup) (AgnosticRow, error) {
+	qs, correct, _, err := setup.Measure.ScoreObservations(setup.TestObs)
+	if err != nil {
+		return AgnosticRow{}, err
+	}
+	imp, err := ImprovementExperiment(setup)
+	if err != nil {
+		return AgnosticRow{}, err
+	}
+	return AgnosticRow{
+		Classifier:  name,
+		RawAccuracy: imp.Stats.RawAccuracy(),
+		AUC:         stat.AUC(stat.ROC(qs, correct)),
+		Threshold:   setup.Analysis.Threshold,
+		Improvement: imp.Stats.Improvement(),
+		DiscardRate: imp.Stats.DiscardRate(),
+	}, nil
+}
+
+// RenderAgnostic renders the E5 table.
+func RenderAgnostic(rows []AgnosticRow) string {
+	var sb strings.Builder
+	sb.WriteString("E5 — CQM as a black-box add-on across classifiers\n")
+	fmt.Fprintf(&sb, "  %-18s %8s %8s %10s %12s %9s\n",
+		"classifier", "raw acc", "AUC", "threshold", "improvement", "discard")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-18s %8.3f %8.3f %10.3f %12.3f %8.1f%%\n",
+			r.Classifier, r.RawAccuracy, r.AUC, r.Threshold, r.Improvement, 100*r.DiscardRate)
+	}
+	return sb.String()
+}

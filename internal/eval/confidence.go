@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"cqm/internal/stat"
+)
+
+// ConfidenceResult quantifies the sampling uncertainty of the paper's
+// headline quantities on the 24-point evaluation set via bootstrap
+// resampling — a 24-point sample pins the threshold down only loosely,
+// which is worth knowing before deploying s on an appliance.
+type ConfidenceResult struct {
+	// Threshold is the point estimate and its interval.
+	Threshold float64
+	ThreshCI  stat.Interval
+	// DiscardRate is the point estimate and interval of the discard rate
+	// at the resample-specific optimal threshold.
+	DiscardRate float64
+	DiscardCI   stat.Interval
+}
+
+// ThresholdConfidence bootstraps the optimal threshold and the discard
+// rate over the canonical test set's quality scores.
+func ThresholdConfidence(s *Setup, resamples int, level float64) (*ConfidenceResult, error) {
+	if resamples == 0 {
+		resamples = 500
+	}
+	if level == 0 {
+		level = 0.95
+	}
+	qs, correct, _, err := s.Measure.ScoreObservations(s.TestObs)
+	if err != nil {
+		return nil, err
+	}
+
+	thresholdStat := func(q []float64, lab []bool) (float64, error) {
+		return thresholdOf(q, lab)
+	}
+	discardStat := func(q []float64, lab []bool) (float64, error) {
+		thr, err := thresholdOf(q, lab)
+		if err != nil {
+			return 0, err
+		}
+		discarded := 0
+		for _, v := range q {
+			if v <= thr {
+				discarded++
+			}
+		}
+		return float64(discarded) / float64(len(q)), nil
+	}
+
+	res := &ConfidenceResult{Threshold: s.Analysis.Threshold}
+	if res.ThreshCI, err = stat.BootstrapPaired(qs, correct, thresholdStat, resamples, level, s.Config.Seed+100); err != nil {
+		return nil, fmt.Errorf("eval: bootstrapping threshold: %w", err)
+	}
+	imp, err := ImprovementExperiment(s)
+	if err != nil {
+		return nil, err
+	}
+	res.DiscardRate = imp.Stats.DiscardRate()
+	if res.DiscardCI, err = stat.BootstrapPaired(qs, correct, discardStat, resamples, level, s.Config.Seed+101); err != nil {
+		return nil, fmt.Errorf("eval: bootstrapping discard rate: %w", err)
+	}
+	return res, nil
+}
+
+// thresholdOf reruns the §2.3 analysis on one (scores, labels) resample.
+func thresholdOf(q []float64, lab []bool) (float64, error) {
+	var right, wrong []float64
+	for i, v := range q {
+		if lab[i] {
+			right = append(right, v)
+		} else {
+			wrong = append(wrong, v)
+		}
+	}
+	if len(right) == 0 || len(wrong) == 0 {
+		return 0, stat.ErrNoData
+	}
+	gr, err := stat.FitGaussianMLE(right)
+	if err != nil {
+		return 0, err
+	}
+	gw, err := stat.FitGaussianMLE(wrong)
+	if err != nil {
+		return 0, err
+	}
+	s, err := stat.Intersect(gw, gr, 0, 1)
+	if err != nil {
+		return 0.5 * (gw.Mu + gr.Mu), nil
+	}
+	return s, nil
+}
+
+// Render summarizes the bootstrap analysis.
+func (r *ConfidenceResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Bootstrap confidence — how much does a 24-point evaluation pin down?\n")
+	fmt.Fprintf(&sb, "  threshold s    %.3f, %2.0f%% CI [%.3f, %.3f] (width %.3f)\n",
+		r.Threshold, 100*r.ThreshCI.Level, r.ThreshCI.Lo, r.ThreshCI.Hi, r.ThreshCI.Width())
+	fmt.Fprintf(&sb, "  discard rate   %.3f, %2.0f%% CI [%.3f, %.3f]\n",
+		r.DiscardRate, 100*r.DiscardCI.Level, r.DiscardCI.Lo, r.DiscardCI.Hi)
+	return sb.String()
+}

@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"cqm/internal/core"
+	"cqm/internal/dataset"
+	"cqm/internal/stat"
+)
+
+// CrossValResult summarizes a k-fold cross-validation of the entire CQM
+// pipeline: per fold, the quality FIS is built on the training fold's
+// observations and evaluated on the held-out fold.
+type CrossValResult struct {
+	Folds int
+	// AUCs, Thresholds and Improvements per fold.
+	AUCs         []float64
+	Thresholds   []float64
+	Improvements []float64
+}
+
+// MeanStd returns the mean and population standard deviation of xs.
+func meanStd(xs []float64) (float64, float64) {
+	return stat.Mean(xs), stat.PopStdDev(xs)
+}
+
+// CrossValidate runs k-fold cross-validation of the quality pipeline: the
+// classifier is trained once on clean data (the paper's pre-trained pen),
+// then for every fold the quality FIS is built from the training fold and
+// analyzed on the test fold. Unlike the single 24-point evaluation, this
+// uses every observation exactly once for testing.
+func CrossValidate(seed int64, k int) (*CrossValResult, error) {
+	if k == 0 {
+		k = 5
+	}
+	base, err := NewSetup(SetupConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild the mixed observation pool as a dataset-shaped structure:
+	// fold over all observations the setup produced.
+	all := append(append(append([]core.Observation(nil), base.TrainObs...), base.CheckObs...), base.PoolObs...)
+	obsSet := observationsAsSet(all)
+	folds, err := obsSet.KFold(k, seed+50)
+	if err != nil {
+		return nil, err
+	}
+	res := &CrossValResult{Folds: k}
+	for i, fold := range folds {
+		trainObs := setAsObservations(fold.Train)
+		testObs := setAsObservations(fold.Test)
+		m, err := core.Build(trainObs, nil, base.Config.Build)
+		if err != nil {
+			return nil, fmt.Errorf("eval: fold %d build: %w", i, err)
+		}
+		a, err := core.Analyze(m, testObs)
+		if err != nil {
+			// A fold without both right and wrong test observations
+			// cannot be analyzed; skip it rather than fail the run.
+			if errors.Is(err, core.ErrOneSided) {
+				continue
+			}
+			return nil, fmt.Errorf("eval: fold %d analyze: %w", i, err)
+		}
+		qs, correct, _, err := m.ScoreObservations(testObs)
+		if err != nil {
+			return nil, err
+		}
+		filter, err := core.NewFilter(m, clampThreshold(a.Threshold))
+		if err != nil {
+			return nil, err
+		}
+		stats, err := filter.Run(testObs)
+		if err != nil {
+			return nil, err
+		}
+		res.AUCs = append(res.AUCs, stat.AUC(stat.ROC(qs, correct)))
+		res.Thresholds = append(res.Thresholds, a.Threshold)
+		res.Improvements = append(res.Improvements, stats.Improvement())
+	}
+	if len(res.AUCs) == 0 {
+		return nil, core.ErrOneSided
+	}
+	return res, nil
+}
+
+// observationsAsSet wraps observations as dataset samples so KFold can
+// partition them. The sample's Truth encodes correctness via the original
+// class (unused downstream); cues keep (v_C, class, correct) packed so
+// setAsObservations can reverse the mapping losslessly.
+func observationsAsSet(obs []core.Observation) *dataset.Set {
+	s := &dataset.Set{}
+	for _, o := range obs {
+		cues := make([]float64, len(o.Cues)+2)
+		copy(cues, o.Cues)
+		cues[len(o.Cues)] = float64(o.Class.ID())
+		if o.Correct {
+			cues[len(o.Cues)+1] = 1
+		}
+		s.Append(dataset.Sample{Cues: cues, Truth: o.Class, Pure: o.Pure})
+	}
+	return s
+}
+
+// setAsObservations reverses observationsAsSet.
+func setAsObservations(s *dataset.Set) []core.Observation {
+	out := make([]core.Observation, 0, s.Len())
+	for _, smp := range s.Samples {
+		n := len(smp.Cues) - 2
+		cues := make([]float64, n)
+		copy(cues, smp.Cues[:n])
+		out = append(out, core.Observation{
+			Cues:    cues,
+			Class:   smp.Truth,
+			Correct: smp.Cues[n+1] == 1,
+			Pure:    smp.Pure,
+		})
+	}
+	return out
+}
+
+// Render summarizes the cross-validation.
+func (r *CrossValResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Cross-validation — quality pipeline over k folds\n")
+	aucM, aucS := meanStd(r.AUCs)
+	thrM, thrS := meanStd(r.Thresholds)
+	impM, impS := meanStd(r.Improvements)
+	fmt.Fprintf(&sb, "  folds analyzed   %d of %d\n", len(r.AUCs), r.Folds)
+	fmt.Fprintf(&sb, "  AUC              %.3f ± %.3f\n", aucM, aucS)
+	fmt.Fprintf(&sb, "  threshold        %.3f ± %.3f\n", thrM, thrS)
+	fmt.Fprintf(&sb, "  improvement      %.3f ± %.3f\n", impM, impS)
+	if math.IsNaN(aucM) {
+		sb.WriteString("  (insufficient folds)\n")
+	}
+	return sb.String()
+}

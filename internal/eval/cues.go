@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"cqm/internal/classify"
+	"cqm/internal/core"
+	"cqm/internal/dataset"
+	"cqm/internal/feature"
+	"cqm/internal/sensor"
+	"cqm/internal/stat"
+)
+
+// CueRow is one cue set's outcome.
+type CueRow struct {
+	Cues        string
+	Dim         int
+	RawAccuracy float64
+	AUC         float64
+	Improvement float64
+}
+
+// CueAblation compares cue sets: the paper's three per-axis standard
+// deviations against richer pipelines. For each cue set the whole stack —
+// classifier, quality FIS, threshold, filter — is rebuilt on data
+// extracted with that pipeline.
+func CueAblation(seed int64) ([]CueRow, error) {
+	variants := []struct {
+		name string
+		pipe *feature.Pipeline
+	}{
+		{"stddev (paper)", feature.NewPipeline(feature.StdDev{})},
+		{"stddev+domfreq", feature.NewPipeline(feature.StdDev{}, feature.DominantFreq{})},
+		{"stddev+rms+range", feature.NewPipeline(feature.StdDev{}, feature.RMS{}, feature.Range{})},
+		{"all cues", feature.NewPipeline(feature.StdDev{}, feature.Mean{}, feature.RMS{}, feature.Range{}, feature.ZeroCross{}, feature.DominantFreq{})},
+	}
+	rows := make([]CueRow, 0, len(variants))
+	for _, v := range variants {
+		row, err := cueVariant(seed, v.name, v.pipe)
+		if err != nil {
+			return nil, fmt.Errorf("eval: cue set %s: %w", v.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// cueVariant runs the full pipeline with one cue set.
+func cueVariant(seed int64, name string, pipe *feature.Pipeline) (CueRow, error) {
+	clean, err := dataset.Generate(dataset.GenerateConfig{
+		Scenarios: []*sensor.Scenario{{Segments: []sensor.Segment{
+			{Context: sensor.ContextLying, Duration: 12},
+			{Context: sensor.ContextWriting, Duration: 12},
+			{Context: sensor.ContextPlaying, Duration: 12},
+		}}},
+		WindowSize: 100,
+		Pipeline:   pipe,
+		Seed:       seed,
+	})
+	if err != nil {
+		return CueRow{}, err
+	}
+	clf, err := (&classify.TSKTrainer{}).Train(clean)
+	if err != nil {
+		return CueRow{}, err
+	}
+	mixedScenarios := evaluationScenarios(1)
+	mixed, err := dataset.Generate(dataset.GenerateConfig{
+		Scenarios:  mixedScenarios,
+		WindowSize: 100,
+		WindowStep: 50,
+		Pipeline:   pipe,
+		Seed:       seed + 1,
+	})
+	if err != nil {
+		return CueRow{}, err
+	}
+	mixed.Shuffle(seed + 2)
+	trainSet, checkSet, testSet, err := mixed.Split(0.5, 0.2)
+	if err != nil {
+		return CueRow{}, err
+	}
+	trainObs, err := core.Observe(clf, trainSet)
+	if err != nil {
+		return CueRow{}, err
+	}
+	checkObs, err := core.Observe(clf, checkSet)
+	if err != nil {
+		return CueRow{}, err
+	}
+	testObs, err := core.Observe(clf, testSet)
+	if err != nil {
+		return CueRow{}, err
+	}
+	m, err := core.Build(trainObs, checkObs, core.BuildConfig{})
+	if err != nil {
+		return CueRow{}, err
+	}
+	a, err := core.Analyze(m, testObs)
+	if err != nil {
+		return CueRow{}, err
+	}
+	qs, correct, _, err := m.ScoreObservations(testObs)
+	if err != nil {
+		return CueRow{}, err
+	}
+	filter, err := core.NewFilter(m, clampThreshold(a.Threshold))
+	if err != nil {
+		return CueRow{}, err
+	}
+	stats, err := filter.Run(testObs)
+	if err != nil {
+		return CueRow{}, err
+	}
+	return CueRow{
+		Cues:        name,
+		Dim:         pipe.Dim(),
+		RawAccuracy: stats.RawAccuracy(),
+		AUC:         stat.AUC(stat.ROC(qs, correct)),
+		Improvement: stats.Improvement(),
+	}, nil
+}
+
+// RenderCues renders the cue-ablation table.
+func RenderCues(rows []CueRow) string {
+	var sb strings.Builder
+	sb.WriteString("Cue ablation — classifier and CQM vs cue set\n")
+	fmt.Fprintf(&sb, "  %-20s %5s %9s %8s %12s\n", "cue set", "dim", "raw acc", "AUC", "improvement")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-20s %5d %9.3f %8.3f %12.3f\n", r.Cues, r.Dim, r.RawAccuracy, r.AUC, r.Improvement)
+	}
+	return sb.String()
+}

@@ -1,0 +1,21 @@
+// Package eval regenerates the paper's evaluation: every figure, every
+// reported number, and the ablations justifying the design choices.
+//
+// Experiment index (see DESIGN.md §4 for the full mapping):
+//
+//	E1 / Fig. 5  — Figure5: quality measures for the 24-point test set
+//	E2 / Fig. 6  — Figure6: right/wrong Gaussian densities and threshold s
+//	E3 / §3.2    — ProbabilityTable: the four median-cut probabilities
+//	E4 / §3.2    — ImprovementExperiment: the 33 % discard headline
+//	E5 / §2      — AgnosticismSweep: CQM over four different classifiers
+//	E6 / §3.2    — ThresholdBalanceSweep & TestSizeSweep
+//	E7 / §1      — CameraExperiment: whiteboard camera with/without CQM
+//	Ablations    — clustering method, hybrid learning, consequent order,
+//	               normalization
+//
+// All experiments run on the synthetic AwarePen substrate (DESIGN.md §2)
+// from a fixed seed, so results are reproducible bit for bit. The paper's
+// absolute numbers came from 24 hand-collected physical data points; ours
+// come from the simulator, so EXPERIMENTS.md compares shapes (who wins,
+// where the threshold falls, what gets discarded), not decimals.
+package eval

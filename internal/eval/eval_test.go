@@ -1,0 +1,348 @@
+package eval
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"cqm/internal/core"
+)
+
+// The canonical setup is expensive; build it once per test binary.
+var (
+	setupOnce sync.Once
+	setupVal  *Setup
+	setupErr  error
+)
+
+func canonicalSetup(t testing.TB) *Setup {
+	t.Helper()
+	setupOnce.Do(func() {
+		setupVal, setupErr = NewSetup(SetupConfig{Seed: DefaultSeed})
+	})
+	if setupErr != nil {
+		t.Fatal(setupErr)
+	}
+	return setupVal
+}
+
+func TestNewSetupShape(t *testing.T) {
+	s := canonicalSetup(t)
+	if len(s.TestObs) != 24 {
+		t.Fatalf("test set has %d points, want 24", len(s.TestObs))
+	}
+	right, wrong := core.SplitByCorrectness(s.TestObs)
+	if len(right) != 16 || len(wrong) != 8 {
+		t.Fatalf("test set %d right / %d wrong, want 16/8", len(right), len(wrong))
+	}
+	if s.Analysis == nil || s.Measure == nil || s.Classifier == nil {
+		t.Fatal("setup incomplete")
+	}
+	if len(s.TrainObs) == 0 || len(s.CheckObs) == 0 || len(s.PoolObs) == 0 {
+		t.Fatal("observation sets empty")
+	}
+}
+
+func TestNewSetupDeterministic(t *testing.T) {
+	a, err := NewSetup(SetupConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSetup(SetupConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Analysis.Threshold != b.Analysis.Threshold {
+		t.Errorf("thresholds differ: %v vs %v", a.Analysis.Threshold, b.Analysis.Threshold)
+	}
+	if len(a.TestObs) != len(b.TestObs) {
+		t.Error("test sets differ")
+	}
+}
+
+func TestNewSetupValidation(t *testing.T) {
+	if _, err := NewSetup(SetupConfig{Seed: 1, TestRight: -1, TestWrong: 8}); err == nil {
+		t.Error("negative test size accepted")
+	}
+}
+
+func TestFigure5MatchesPaperShape(t *testing.T) {
+	s := canonicalSetup(t)
+	f5, err := Figure5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f5.Points)+f5.Epsilon != 24 {
+		t.Fatalf("%d points + %d ε, want 24", len(f5.Points), f5.Epsilon)
+	}
+	// Paper shape: right mean high, wrong mean low, well apart.
+	if f5.MeanRight < 0.8 {
+		t.Errorf("mean(right) = %v, want high", f5.MeanRight)
+	}
+	if f5.MeanWrong > 0.5 {
+		t.Errorf("mean(wrong) = %v, want low", f5.MeanWrong)
+	}
+	if f5.MeanRight-f5.MeanWrong < 0.4 {
+		t.Errorf("means not separated: %v vs %v", f5.MeanRight, f5.MeanWrong)
+	}
+	render := f5.Render()
+	for _, want := range []string{"o", "+", "Figure 5", "mean(right)"} {
+		if !strings.Contains(render, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFigure6MatchesPaperShape(t *testing.T) {
+	s := canonicalSetup(t)
+	f6, err := Figure6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f6.Right.Mu <= f6.Wrong.Mu {
+		t.Errorf("right mean %v below wrong mean %v", f6.Right.Mu, f6.Wrong.Mu)
+	}
+	if f6.Threshold <= f6.Wrong.Mu || f6.Threshold >= f6.Right.Mu {
+		t.Errorf("threshold %v not between the means", f6.Threshold)
+	}
+	// Paper: threshold closer to the high end than the midpoint (s = 0.81)
+	// because the training set has far more right than wrong samples.
+	if f6.Threshold < 0.55 {
+		t.Errorf("threshold %v, want paper-like (> 0.55)", f6.Threshold)
+	}
+	render := f6.Render()
+	for _, want := range []string{"#", "*", "|", "s ="} {
+		if !strings.Contains(render, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestProbabilityTable(t *testing.T) {
+	s := canonicalSetup(t)
+	rows := ProbabilityTable(s)
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	var ta, tr float64
+	for _, r := range rows {
+		switch r.Name {
+		case "P(right | q > s)":
+			ta = r.Measured
+		case "P(wrong | q < s)":
+			tr = r.Measured
+		}
+	}
+	if ta != tr {
+		t.Errorf("median-cut identity broken: %v vs %v", ta, tr)
+	}
+	if ta < 0.8 {
+		t.Errorf("P(right|q>s) = %v, want >= 0.8 (paper 0.8112)", ta)
+	}
+	if out := RenderProbabilityTable(rows); !strings.Contains(out, "threshold s") {
+		t.Error("render missing threshold row")
+	}
+}
+
+func TestImprovementMatchesHeadline(t *testing.T) {
+	s := canonicalSetup(t)
+	imp, err := ImprovementExperiment(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline: a third of the classifications discarded, all
+	// of them wrong, improving the application's decision by 33 %.
+	if rate := imp.Stats.DiscardRate(); rate < 0.25 || rate > 0.45 {
+		t.Errorf("discard rate = %v, want ~1/3", rate)
+	}
+	if imp.Stats.DiscardedWrong < 7 {
+		t.Errorf("discarded %d of 8 wrong, want >= 7", imp.Stats.DiscardedWrong)
+	}
+	if imp.Stats.Improvement() < 0.2 {
+		t.Errorf("improvement = %v, want >= 0.2 (paper 0.33)", imp.Stats.Improvement())
+	}
+	if !imp.Separable {
+		t.Error("canonical test set not separable (paper: fully separable)")
+	}
+	if out := imp.Render(); !strings.Contains(out, "discarded") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestThresholdBalanceSweep(t *testing.T) {
+	rows, err := ThresholdBalanceSweep(DefaultSeed, []float64{0.1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Paper: balanced training → s ≈ 0.5; skewed-right training → s high.
+	sSkewed, sBalanced := rows[0].Threshold, rows[1].Threshold
+	if sBalanced > sSkewed {
+		t.Errorf("balanced threshold %v above skewed %v", sBalanced, sSkewed)
+	}
+	if sBalanced < 0.25 || sBalanced > 0.75 {
+		t.Errorf("balanced threshold = %v, want ≈ 0.5", sBalanced)
+	}
+	if _, err := ThresholdBalanceSweep(DefaultSeed, []float64{1.5}); err == nil {
+		t.Error("bad fraction accepted")
+	}
+	if out := RenderBalance(rows); !strings.Contains(out, "wrong fraction") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTestSizeSweep(t *testing.T) {
+	rows, err := TestSizeSweep(DefaultSeed, []int{24, 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.AUC < 0.7 {
+			t.Errorf("size %d AUC = %v, want >= 0.7", r.TestSize, r.AUC)
+		}
+	}
+	// Paper: "For a large set of data the odds for separating the data are
+	// worse" — the false-accept probability must not improve with size.
+	if rows[1].PWrongAccept+1e-9 < rows[0].PWrongAccept {
+		t.Errorf("larger set separated better: FA %v -> %v",
+			rows[0].PWrongAccept, rows[1].PWrongAccept)
+	}
+	if _, err := TestSizeSweep(DefaultSeed, []int{3}); err == nil {
+		t.Error("absurd size accepted")
+	}
+	if out := RenderSizes(rows); !strings.Contains(out, "separable") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestCameraExperiment(t *testing.T) {
+	s := canonicalSetup(t)
+	res, err := CameraExperiment(s, CameraConfig{Seed: DefaultSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truths == 0 {
+		t.Fatal("no end-of-writing truths")
+	}
+	// The CQM-filtered camera must not be less precise than the trusting
+	// one, and must actually filter something.
+	if res.With.Precision() < res.Without.Precision() {
+		t.Errorf("filtered precision %v below plain %v",
+			res.With.Precision(), res.Without.Precision())
+	}
+	if res.With.Spurious > res.Without.Spurious {
+		t.Errorf("filtered camera fired more spuriously: %d vs %d",
+			res.With.Spurious, res.Without.Spurious)
+	}
+	if res.IgnoredEvents == 0 {
+		t.Error("filter ignored nothing")
+	}
+	if res.With.Recall() == 0 {
+		t.Error("filtered camera never fired")
+	}
+	if out := res.Render(); !strings.Contains(out, "cqm-filtered") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAgnosticismSweep(t *testing.T) {
+	rows, err := AgnosticismSweep(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		// The add-on claim: whatever the classifier, the CQM ranks right
+		// above wrong classifications far better than chance.
+		if r.AUC < 0.7 {
+			t.Errorf("%s: AUC = %v, want >= 0.7", r.Classifier, r.AUC)
+		}
+		if r.Improvement <= 0 {
+			t.Errorf("%s: improvement = %v, want > 0", r.Classifier, r.Improvement)
+		}
+	}
+	if out := RenderAgnostic(rows); !strings.Contains(out, "tsk-fis") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	t.Run("hybrid", func(t *testing.T) {
+		rows, err := AblationHybrid(DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("%d rows", len(rows))
+		}
+		if rows[0].AUC < rows[1].AUC-0.1 {
+			t.Errorf("full pipeline AUC %v well below LSE-only %v", rows[0].AUC, rows[1].AUC)
+		}
+	})
+	t.Run("consequents", func(t *testing.T) {
+		rows, err := AblationConsequents(DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The paper's claim: linear consequents are better for the
+		// reliability determination.
+		if rows[0].AUC+1e-9 < rows[1].AUC {
+			t.Errorf("linear AUC %v below constant %v", rows[0].AUC, rows[1].AUC)
+		}
+	})
+	t.Run("clustering", func(t *testing.T) {
+		rows, err := AblationClustering(DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) < 3 {
+			t.Fatalf("%d rows", len(rows))
+		}
+		if rows[0].AUC < 0.9 {
+			t.Errorf("subtractive AUC = %v", rows[0].AUC)
+		}
+	})
+	t.Run("density", func(t *testing.T) {
+		rows, err := AblationDensity(DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("%d rows", len(rows))
+		}
+		// On fully separable data both density models should earn the
+		// full improvement.
+		for _, r := range rows {
+			if r.Improvement < 0.2 {
+				t.Errorf("%s: improvement %v", r.Variant, r.Improvement)
+			}
+		}
+	})
+	t.Run("normalization", func(t *testing.T) {
+		rows, err := AblationNormalization(DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("%d rows", len(rows))
+		}
+		if out := RenderAblation("x", rows); !strings.Contains(out, "raw clamped") {
+			t.Error("render incomplete")
+		}
+	})
+}
+
+func TestDrawTestSetInsufficient(t *testing.T) {
+	s := canonicalSetup(t)
+	if _, err := drawTestSet(s.Measure, s.PoolObs[:2], 100, 100); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("err = %v, want ErrInsufficient", err)
+	}
+}

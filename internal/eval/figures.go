@@ -1,0 +1,204 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"cqm/internal/core"
+	"cqm/internal/stat"
+)
+
+// Fig5Point is one sample of Figure 5: a test-set quality measure with its
+// actual rightness.
+type Fig5Point struct {
+	Index   int
+	Quality float64
+	Correct bool
+}
+
+// Fig5Result reproduces Figure 5: the quality measure for every test-set
+// point (o right, + wrong) with the statistical mean per group.
+type Fig5Result struct {
+	Points    []Fig5Point
+	MeanRight float64
+	MeanWrong float64
+	Epsilon   int
+}
+
+// Figure5 scores the setup's test set point by point.
+func Figure5(s *Setup) (*Fig5Result, error) {
+	qs, correct, eps, err := s.Measure.ScoreObservations(s.TestObs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{Epsilon: len(eps)}
+	var right, wrong []float64
+	for i, q := range qs {
+		res.Points = append(res.Points, Fig5Point{Index: i + 1, Quality: q, Correct: correct[i]})
+		if correct[i] {
+			right = append(right, q)
+		} else {
+			wrong = append(wrong, q)
+		}
+	}
+	res.MeanRight = stat.Mean(right)
+	res.MeanWrong = stat.Mean(wrong)
+	return res, nil
+}
+
+// Render draws the figure as an ASCII scatter: sample index on the X axis,
+// quality on the Y axis, with the group means as dashed lines.
+func (r *Fig5Result) Render() string {
+	const rows = 21
+	var sb strings.Builder
+	sb.WriteString("Figure 5 — quality measure per test sample (o right, + wrong; -- group means)\n")
+	rowOf := func(q float64) int {
+		row := int(q*float64(rows-1) + 0.5)
+		if row < 0 {
+			row = 0
+		}
+		if row > rows-1 {
+			row = rows - 1
+		}
+		return rows - 1 - row
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", len(r.Points)*3+1))
+	}
+	markRow := func(q float64, mark byte) {
+		row := rowOf(q)
+		for c := range grid[row] {
+			if grid[row][c] == ' ' && c%2 == 0 {
+				grid[row][c] = mark
+			}
+		}
+	}
+	markRow(r.MeanRight, '-')
+	markRow(r.MeanWrong, '-')
+	for i, p := range r.Points {
+		mark := byte('o')
+		if !p.Correct {
+			mark = '+'
+		}
+		grid[rowOf(p.Quality)][i*3+1] = mark
+	}
+	for i, line := range grid {
+		q := 1 - float64(i)/float64(rows-1)
+		fmt.Fprintf(&sb, "%4.2f |%s\n", q, string(line))
+	}
+	fmt.Fprintf(&sb, "      mean(right)=%.4f  mean(wrong)=%.4f  ε=%d\n",
+		r.MeanRight, r.MeanWrong, r.Epsilon)
+	return sb.String()
+}
+
+// Fig6Result reproduces Figure 6: the Gaussian density functions for right
+// and wrong classified data with the threshold at their intersection.
+type Fig6Result struct {
+	Right, Wrong stat.Gaussian
+	Threshold    float64
+	Analysis     *core.Analysis
+}
+
+// Figure6 extracts the densities and threshold from the setup's analysis.
+func Figure6(s *Setup) (*Fig6Result, error) {
+	if s.Analysis == nil {
+		return nil, core.ErrNoObservations
+	}
+	return &Fig6Result{
+		Right:     s.Analysis.Right,
+		Wrong:     s.Analysis.Wrong,
+		Threshold: s.Analysis.Threshold,
+		Analysis:  s.Analysis,
+	}, nil
+}
+
+// Render draws both densities over q ∈ [0,1] with the threshold column
+// marked (| column), wrong density as '#', right density as '*'.
+func (r *Fig6Result) Render() string {
+	const cols = 61
+	const rows = 16
+	var sb strings.Builder
+	sb.WriteString("Figure 6 — density functions for right (*) and wrong (#) classifications, threshold (|)\n")
+	maxD := 0.0
+	rightD := make([]float64, cols)
+	wrongD := make([]float64, cols)
+	for c := 0; c < cols; c++ {
+		q := float64(c) / float64(cols-1)
+		rightD[c] = r.Right.PDF(q)
+		wrongD[c] = r.Wrong.PDF(q)
+		if rightD[c] > maxD {
+			maxD = rightD[c]
+		}
+		if wrongD[c] > maxD {
+			maxD = wrongD[c]
+		}
+	}
+	if maxD == 0 {
+		maxD = 1
+	}
+	thrCol := int(r.Threshold*float64(cols-1) + 0.5)
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+		if thrCol >= 0 && thrCol < cols {
+			grid[i][thrCol] = '|'
+		}
+	}
+	put := func(c int, d float64, mark byte) {
+		row := rows - 1 - int(d/maxD*float64(rows-1)+0.5)
+		if row < 0 {
+			row = 0
+		}
+		if row > rows-1 {
+			row = rows - 1
+		}
+		if grid[row][c] == ' ' || grid[row][c] == '|' {
+			grid[row][c] = mark
+		}
+	}
+	for c := 0; c < cols; c++ {
+		put(c, wrongD[c], '#')
+		put(c, rightD[c], '*')
+	}
+	for _, line := range grid {
+		sb.WriteString("  ")
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("  0.0" + strings.Repeat(" ", cols-10) + "1.0\n")
+	fmt.Fprintf(&sb, "  wrong: N(%.4f, %.4f)  right: N(%.4f, %.4f)  s = %.4f\n",
+		r.Wrong.Mu, r.Wrong.Sigma, r.Right.Mu, r.Right.Sigma, r.Threshold)
+	return sb.String()
+}
+
+// ProbabilityRow is one line of the §3.2 probability table.
+type ProbabilityRow struct {
+	Name     string
+	Paper    float64
+	Measured float64
+}
+
+// ProbabilityTable compares the paper's reported §3.2 numbers against the
+// measured ones (E3).
+func ProbabilityTable(s *Setup) []ProbabilityRow {
+	a := s.Analysis
+	return []ProbabilityRow{
+		{Name: "threshold s", Paper: 0.81, Measured: a.Threshold},
+		{Name: "P(right | q > s)", Paper: 0.8112, Measured: a.PRightAccept},
+		{Name: "P(wrong | q < s)", Paper: 0.8112, Measured: a.PWrongReject},
+		{Name: "P(wrong | q > s)", Paper: 0.0217, Measured: a.PWrongAccept},
+		{Name: "P(right | q < s)", Paper: 0.0846, Measured: a.PRightReject},
+	}
+}
+
+// RenderProbabilityTable renders the E3 table.
+func RenderProbabilityTable(rows []ProbabilityRow) string {
+	var sb strings.Builder
+	sb.WriteString("E3 — probabilities (paper §3.2 vs measured)\n")
+	fmt.Fprintf(&sb, "  %-20s %10s %10s\n", "quantity", "paper", "measured")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-20s %10.4f %10.4f\n", r.Name, r.Paper, r.Measured)
+	}
+	return sb.String()
+}

@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"cqm/internal/stat"
+)
+
+// NoiseRow is one point of the noise-robustness sweep.
+type NoiseRow struct {
+	// Sigma is the accelerometer white-noise level in g.
+	Sigma float64
+	// RawAccuracy is the classifier's unfiltered test accuracy.
+	RawAccuracy float64
+	// AUC measures the quality ranking under this noise level.
+	AUC float64
+	// Improvement is the filtered-minus-raw accuracy gain at the optimal
+	// threshold.
+	Improvement float64
+}
+
+// NoiseRobustnessSweep rebuilds the whole pipeline at increasing sensor
+// noise. The paper's hardware fixed this knob; the sweep shows the CQM's
+// value is not an artifact of one noise level — the measure keeps ranking
+// right above wrong classifications as the substrate degrades.
+func NoiseRobustnessSweep(seed int64, sigmas []float64) ([]NoiseRow, error) {
+	if len(sigmas) == 0 {
+		sigmas = []float64{0.005, 0.02, 0.05, 0.1}
+	}
+	rows := make([]NoiseRow, 0, len(sigmas))
+	for _, sigma := range sigmas {
+		if sigma <= 0 {
+			return nil, fmt.Errorf("eval: noise sigma %v must be positive", sigma)
+		}
+		setup, err := NewSetup(SetupConfig{Seed: seed, NoiseSigma: sigma})
+		if err != nil {
+			return nil, fmt.Errorf("eval: noise %v: %w", sigma, err)
+		}
+		qs, correct, _, err := setup.Measure.ScoreObservations(setup.TestObs)
+		if err != nil {
+			return nil, err
+		}
+		imp, err := ImprovementExperiment(setup)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, NoiseRow{
+			Sigma:       sigma,
+			RawAccuracy: imp.Stats.RawAccuracy(),
+			AUC:         stat.AUC(stat.ROC(qs, correct)),
+			Improvement: imp.Stats.Improvement(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderNoise renders the sweep table.
+func RenderNoise(rows []NoiseRow) string {
+	var sb strings.Builder
+	sb.WriteString("Noise robustness — CQM vs accelerometer noise level\n")
+	fmt.Fprintf(&sb, "  %-12s %9s %8s %12s\n", "noise [g]", "raw acc", "AUC", "improvement")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-12.3f %9.3f %8.3f %12.3f\n", r.Sigma, r.RawAccuracy, r.AUC, r.Improvement)
+	}
+	return sb.String()
+}

@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cqm/internal/core"
+	"cqm/internal/dataset"
+	"cqm/internal/fusion"
+	"cqm/internal/predict"
+	"cqm/internal/sensor"
+)
+
+// PredictionExperiment runs the paper's §5 context-prediction extension
+// (E8): a quality measure built from counterfactually augmented
+// observations monitors the per-class quality trends of a session with
+// slow transitions, and must anticipate context changes without alarming
+// during stable phases.
+func PredictionExperiment(seed int64) (*predict.Outcome, error) {
+	s, err := NewSetup(SetupConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	// The prediction measure needs calibrated counterfactual scores:
+	// rebuild it from augmented observations of the same mixed workload.
+	mixed, err := dataset.Generate(dataset.GenerateConfig{
+		Scenarios:  evaluationScenarios(1),
+		WindowSize: s.Config.WindowSize,
+		WindowStep: s.Config.WindowSize / 2,
+		Seed:       seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	augmented, err := core.AugmentObservations(mixed, sensor.AllContexts())
+	if err != nil {
+		return nil, err
+	}
+	measure, err := core.Build(augmented, nil, core.BuildConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("eval: building augmented measure: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(seed + 2))
+	scenario := &sensor.Scenario{
+		Segments: []sensor.Segment{
+			{Context: sensor.ContextWriting, Duration: 8},
+			{Context: sensor.ContextPlaying, Duration: 8},
+			{Context: sensor.ContextWriting, Duration: 8},
+			{Context: sensor.ContextLying, Duration: 8},
+		},
+		Transition: 1.5,
+	}
+	readings, err := scenario.Run(rng)
+	if err != nil {
+		return nil, err
+	}
+	return predict.RunExperiment(s.Classifier, measure, readings, s.Config.WindowSize, predict.Config{})
+}
+
+// FusionExperiment runs the paper's §5 fusion extension (E9): several
+// appliances with different user styles observe the same room; the
+// quality-weighted fuser must beat quality-blind majority voting.
+func FusionExperiment(seed int64) (*fusion.Result, error) {
+	s, err := NewSetup(SetupConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return fusion.RunExperiment(s.Classifier, s.Measure, fusion.ExperimentConfig{Seed: seed + 3})
+}

@@ -1,0 +1,175 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"cqm/internal/fusion"
+)
+
+func TestPredictionExperiment(t *testing.T) {
+	out, err := PredictionExperiment(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Transitions != 3 {
+		t.Fatalf("transitions = %d, want 3", out.Transitions)
+	}
+	if out.Anticipated == 0 {
+		t.Error("no transition anticipated")
+	}
+	// Stable phases must stay quiet: the indicator is useless if it cries
+	// wolf all session long.
+	if rate := out.FalseAlarmRate(); rate > 0.2 {
+		t.Errorf("false-alarm rate %v, want <= 0.2", rate)
+	}
+	if !strings.Contains(out.Render(), "anticipated") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report is slow")
+	}
+	var sb strings.Builder
+	if err := WriteReport(&sb, DefaultSeed); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"E1 — Figure 5", "E2 — Figure 6", "E3 — probabilities",
+		"E4 — improvement", "E5 — classifier agnosticism",
+		"E7 — whiteboard camera", "E8 — context prediction",
+		"E9 — fusion", "Extensions", "Ablations",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing section %q", want)
+		}
+	}
+}
+
+func TestCueAblation(t *testing.T) {
+	rows, err := CueAblation(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Cues != "stddev (paper)" || rows[0].Dim != 3 {
+		t.Errorf("first row should be the paper's cue set: %+v", rows[0])
+	}
+	for _, r := range rows {
+		// Whatever the cue set does to the classifier, the quality
+		// measure must keep ranking right above wrong.
+		if r.AUC < 0.85 {
+			t.Errorf("%s: AUC %v", r.Cues, r.AUC)
+		}
+		if r.Improvement < 0 {
+			t.Errorf("%s: negative improvement %v", r.Cues, r.Improvement)
+		}
+	}
+	if !strings.Contains(RenderCues(rows), "stddev") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	res, err := CrossValidate(DefaultSeed, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AUCs) < 3 {
+		t.Fatalf("only %d folds analyzed", len(res.AUCs))
+	}
+	for i, auc := range res.AUCs {
+		if auc < 0.8 {
+			t.Errorf("fold %d AUC = %v", i, auc)
+		}
+		if res.Improvements[i] <= 0 {
+			t.Errorf("fold %d improvement = %v", i, res.Improvements[i])
+		}
+	}
+	if !strings.Contains(res.Render(), "AUC") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestThresholdConfidence(t *testing.T) {
+	s := canonicalSetup(t)
+	res, err := ThresholdConfidence(s, 200, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ThreshCI.Contains(res.Threshold) {
+		t.Errorf("CI [%v, %v] excludes the point estimate %v",
+			res.ThreshCI.Lo, res.ThreshCI.Hi, res.Threshold)
+	}
+	if res.ThreshCI.Width() <= 0 || res.ThreshCI.Width() > 1 {
+		t.Errorf("threshold CI width %v implausible", res.ThreshCI.Width())
+	}
+	if res.DiscardCI.Lo < 0 || res.DiscardCI.Hi > 1 {
+		t.Errorf("discard CI [%v, %v] outside [0,1]", res.DiscardCI.Lo, res.DiscardCI.Hi)
+	}
+	if !strings.Contains(res.Render(), "CI") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestNoiseRobustnessSweep(t *testing.T) {
+	rows, err := NoiseRobustnessSweep(DefaultSeed, []float64{0.005, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.AUC < 0.85 {
+			t.Errorf("noise %v: AUC %v, want the measure to keep ranking", r.Sigma, r.AUC)
+		}
+		if r.Improvement <= 0 {
+			t.Errorf("noise %v: improvement %v", r.Sigma, r.Improvement)
+		}
+	}
+	if _, err := NoiseRobustnessSweep(DefaultSeed, []float64{-1}); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if !strings.Contains(RenderNoise(rows), "noise") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFusionExperiment(t *testing.T) {
+	res, err := FusionExperiment(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var majority, weighted float64
+	for _, s := range res.Strategies {
+		switch s.Strategy {
+		case fusion.MajorityVote:
+			majority = s.Accuracy
+		case fusion.QualityWeighted:
+			weighted = s.Accuracy
+		}
+	}
+	if weighted < majority {
+		t.Errorf("quality-weighted %.3f lost to majority %.3f", weighted, majority)
+	}
+	if weighted < 0.8 {
+		t.Errorf("quality-weighted accuracy %.3f too low", weighted)
+	}
+	// The best individual source should not beat the weighted consensus
+	// by much — fusing must not destroy information.
+	bestSource := 0.0
+	for _, acc := range res.PerSource {
+		if acc > bestSource {
+			bestSource = acc
+		}
+	}
+	if weighted < bestSource-0.1 {
+		t.Errorf("fusion %.3f far below best source %.3f", weighted, bestSource)
+	}
+}

@@ -1,0 +1,136 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteReport runs the complete evaluation at the given seed and writes
+// one consolidated plain-text report: every figure, table, sweep,
+// extension, and ablation in DESIGN.md §4 order. This is the single
+// artifact a reviewer reads next to the paper.
+func WriteReport(w io.Writer, seed int64) error {
+	setup, err := NewSetup(SetupConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	section := func(title string) {
+		fmt.Fprintf(w, "\n%s\n%s\n", title, underline(len(title)))
+	}
+
+	fmt.Fprintf(w, "CQM evaluation report (seed %d)\n", seed)
+	fmt.Fprintf(w, "Paper: Using a Context Quality Measure for Improving Smart Appliances (ICDCS WS 2007)\n")
+
+	section("E1 — Figure 5")
+	f5, err := Figure5(setup)
+	if err != nil {
+		return err
+	}
+	io.WriteString(w, f5.Render())
+
+	section("E2 — Figure 6")
+	f6, err := Figure6(setup)
+	if err != nil {
+		return err
+	}
+	io.WriteString(w, f6.Render())
+
+	section("E3 — probabilities")
+	io.WriteString(w, RenderProbabilityTable(ProbabilityTable(setup)))
+
+	section("E4 — improvement headline")
+	imp, err := ImprovementExperiment(setup)
+	if err != nil {
+		return err
+	}
+	io.WriteString(w, imp.Render())
+
+	section("E5 — classifier agnosticism")
+	ag, err := AgnosticismSweep(seed)
+	if err != nil {
+		return err
+	}
+	io.WriteString(w, RenderAgnostic(ag))
+
+	section("E6 — balance and size sweeps")
+	bal, err := ThresholdBalanceSweep(seed, nil)
+	if err != nil {
+		return err
+	}
+	io.WriteString(w, RenderBalance(bal))
+	sz, err := TestSizeSweep(seed, nil)
+	if err != nil {
+		return err
+	}
+	io.WriteString(w, RenderSizes(sz))
+
+	section("E7 — whiteboard camera")
+	cam, err := CameraExperiment(setup, CameraConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	io.WriteString(w, cam.Render())
+
+	section("E8 — context prediction (outlook)")
+	pred, err := PredictionExperiment(seed)
+	if err != nil {
+		return err
+	}
+	io.WriteString(w, pred.Render())
+
+	section("E9 — fusion (outlook)")
+	fus, err := FusionExperiment(seed)
+	if err != nil {
+		return err
+	}
+	io.WriteString(w, fus.Render())
+
+	section("Extensions")
+	conf, err := ThresholdConfidence(setup, 500, 0.95)
+	if err != nil {
+		return err
+	}
+	io.WriteString(w, conf.Render())
+	cv, err := CrossValidate(seed, 5)
+	if err != nil {
+		return err
+	}
+	io.WriteString(w, cv.Render())
+	noise, err := NoiseRobustnessSweep(seed, nil)
+	if err != nil {
+		return err
+	}
+	io.WriteString(w, RenderNoise(noise))
+	cues, err := CueAblation(seed)
+	if err != nil {
+		return err
+	}
+	io.WriteString(w, RenderCues(cues))
+
+	section("Ablations")
+	for _, a := range []struct {
+		title string
+		fn    func(int64) ([]AblationRow, error)
+	}{
+		{"Hybrid learning", AblationHybrid},
+		{"Consequent order", AblationConsequents},
+		{"Clustering method", AblationClustering},
+		{"Density model", AblationDensity},
+		{"Normalization", AblationNormalization},
+	} {
+		rows, err := a.fn(seed)
+		if err != nil {
+			return fmt.Errorf("eval: report %s: %w", a.title, err)
+		}
+		io.WriteString(w, RenderAblation(a.title, rows))
+	}
+	return nil
+}
+
+func underline(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '='
+	}
+	return string(out)
+}

@@ -1,0 +1,155 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"cqm/internal/core"
+	"cqm/internal/stat"
+)
+
+// BalanceRow is one point of the E6 class-balance sweep.
+type BalanceRow struct {
+	// WrongFraction is the fraction of wrong classifications in the
+	// quality training set.
+	WrongFraction float64
+	// Threshold is the resulting optimal s.
+	Threshold float64
+}
+
+// ThresholdBalanceSweep rebuilds the quality FIS with training sets of
+// varying right/wrong balance and reports the optimal threshold (E6). The
+// paper remarks: "If the training set has equal amount of right and wrong
+// samples the measure would lead to a threshold s ≈ 0.5"; with mostly
+// right samples the threshold sits high (0.81 in the paper).
+func ThresholdBalanceSweep(seed int64, fractions []float64) ([]BalanceRow, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	}
+	base, err := NewSetup(SetupConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	right, wrong := core.SplitByCorrectness(append(base.TrainObs, base.CheckObs...))
+	rows := make([]BalanceRow, 0, len(fractions))
+	for _, f := range fractions {
+		if f <= 0 || f >= 1 {
+			return nil, fmt.Errorf("eval: wrong fraction %v outside (0,1)", f)
+		}
+		train, err := rebalance(right, wrong, f)
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.Build(train, nil, base.Config.Build)
+		if err != nil {
+			return nil, fmt.Errorf("eval: rebuilding at fraction %v: %w", f, err)
+		}
+		// Analyze on a balanced-out test view drawn from the same pool.
+		a, err := core.Analyze(m, base.TestObs)
+		if err != nil {
+			return nil, fmt.Errorf("eval: analyzing at fraction %v: %w", f, err)
+		}
+		rows = append(rows, BalanceRow{WrongFraction: f, Threshold: a.Threshold})
+	}
+	return rows, nil
+}
+
+// rebalance builds a training set with the requested wrong fraction,
+// limited by the available samples.
+func rebalance(right, wrong []core.Observation, wrongFrac float64) ([]core.Observation, error) {
+	if len(right) == 0 || len(wrong) == 0 {
+		return nil, core.ErrOneSided
+	}
+	// Choose counts n_w = f·n, n_r = (1−f)·n maximizing n within bounds.
+	nFromWrong := float64(len(wrong)) / wrongFrac
+	nFromRight := float64(len(right)) / (1 - wrongFrac)
+	n := nFromWrong
+	if nFromRight < n {
+		n = nFromRight
+	}
+	nw := int(wrongFrac * n)
+	nr := int((1 - wrongFrac) * n)
+	if nw < 1 || nr < 1 {
+		return nil, fmt.Errorf("%w: rebalance to %v impossible with %d right, %d wrong",
+			ErrInsufficient, wrongFrac, len(right), len(wrong))
+	}
+	// Proportional interleave so every prefix (and thus the automatic
+	// check split) keeps roughly the requested balance.
+	out := make([]core.Observation, 0, nw+nr)
+	ri, wi := 0, 0
+	for ri < nr || wi < nw {
+		// Emit whichever group is furthest behind its quota.
+		rBehind := float64(ri)/float64(nr) <= float64(wi)/float64(nw)
+		if (rBehind && ri < nr) || wi >= nw {
+			out = append(out, right[ri])
+			ri++
+		} else {
+			out = append(out, wrong[wi])
+			wi++
+		}
+	}
+	return out, nil
+}
+
+// RenderBalance renders the E6 balance table.
+func RenderBalance(rows []BalanceRow) string {
+	var sb strings.Builder
+	sb.WriteString("E6a — threshold vs training-set balance (paper: balanced → s ≈ 0.5)\n")
+	fmt.Fprintf(&sb, "  %-16s %10s\n", "wrong fraction", "threshold")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-16.2f %10.3f\n", r.WrongFraction, r.Threshold)
+	}
+	return sb.String()
+}
+
+// SizeRow is one point of the E6 test-size sweep.
+type SizeRow struct {
+	TestSize     int
+	Separable    bool
+	AUC          float64
+	PWrongAccept float64
+}
+
+// TestSizeSweep grows the evaluation set and reports separability (E6):
+// the paper warns "For a large set of data the odds for separating the
+// data are worse" — perfect separation on 24 points does not survive
+// hundreds.
+func TestSizeSweep(seed int64, sizes []int) ([]SizeRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{24, 48, 96, 192}
+	}
+	rows := make([]SizeRow, 0, len(sizes))
+	for _, n := range sizes {
+		if n < 6 {
+			return nil, fmt.Errorf("eval: test size %d too small", n)
+		}
+		wrong := n / 3
+		right := n - wrong
+		setup, err := NewSetup(SetupConfig{Seed: seed, TestRight: right, TestWrong: wrong})
+		if err != nil {
+			return nil, fmt.Errorf("eval: size %d: %w", n, err)
+		}
+		qs, correct, _, err := setup.Measure.ScoreObservations(setup.TestObs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SizeRow{
+			TestSize:     n,
+			Separable:    setup.Analysis.Separable,
+			AUC:          stat.AUC(stat.ROC(qs, correct)),
+			PWrongAccept: setup.Analysis.PWrongAccept,
+		})
+	}
+	return rows, nil
+}
+
+// RenderSizes renders the E6 size table.
+func RenderSizes(rows []SizeRow) string {
+	var sb strings.Builder
+	sb.WriteString("E6b — separability vs test-set size (paper: larger sets separate worse)\n")
+	fmt.Fprintf(&sb, "  %-10s %11s %8s %14s\n", "test size", "separable", "AUC", "P(wrong|q>s)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-10d %11v %8.3f %14.4f\n", r.TestSize, r.Separable, r.AUC, r.PWrongAccept)
+	}
+	return sb.String()
+}

@@ -1,0 +1,258 @@
+package feature
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cqm/internal/sensor"
+)
+
+// constantWindow builds a window of identical readings.
+func constantWindow(n int, x, y, z float64, truth sensor.Context) []sensor.Reading {
+	out := make([]sensor.Reading, n)
+	for i := range out {
+		out[i] = sensor.Reading{
+			T:     float64(i) * 0.01,
+			Accel: sensor.Accel{X: x, Y: y, Z: z},
+			Truth: truth,
+		}
+	}
+	return out
+}
+
+func TestStdDevExtractor(t *testing.T) {
+	// Alternating ±1 on X has population stddev 1; constant axes have 0.
+	w := make([]sensor.Reading, 10)
+	for i := range w {
+		x := 1.0
+		if i%2 == 1 {
+			x = -1
+		}
+		w[i] = sensor.Reading{Accel: sensor.Accel{X: x, Y: 2, Z: 3}}
+	}
+	cues, err := StdDev{}.Extract(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cues[0]-1) > 1e-12 || cues[1] != 0 || cues[2] != 0 {
+		t.Errorf("cues = %v, want [1 0 0]", cues)
+	}
+}
+
+func TestMeanExtractor(t *testing.T) {
+	cues, err := Mean{}.Extract(constantWindow(5, 0.1, 0.2, 1.0, sensor.ContextLying))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.1, 0.2, 1.0}
+	for i := range want {
+		if math.Abs(cues[i]-want[i]) > 1e-12 {
+			t.Errorf("cues = %v, want %v", cues, want)
+			break
+		}
+	}
+}
+
+func TestRMSExtractor(t *testing.T) {
+	cues, err := RMS{}.Extract(constantWindow(5, 3, 0, 4, sensor.ContextLying))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cues[0]-3) > 1e-12 || cues[1] != 0 || math.Abs(cues[2]-4) > 1e-12 {
+		t.Errorf("cues = %v, want [3 0 4]", cues)
+	}
+}
+
+func TestRangeExtractor(t *testing.T) {
+	w := []sensor.Reading{
+		{Accel: sensor.Accel{X: -1, Y: 0, Z: 1}},
+		{Accel: sensor.Accel{X: 3, Y: 0, Z: 2}},
+	}
+	cues, err := Range{}.Extract(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cues[0] != 4 || cues[1] != 0 || cues[2] != 1 {
+		t.Errorf("cues = %v, want [4 0 1]", cues)
+	}
+}
+
+func TestZeroCrossExtractor(t *testing.T) {
+	w := make([]sensor.Reading, 8)
+	for i := range w {
+		x := 1.0
+		if i%2 == 1 {
+			x = -1
+		}
+		w[i] = sensor.Reading{Accel: sensor.Accel{X: x}}
+	}
+	cues, err := ZeroCross{}.Extract(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 crossings over 8 samples.
+	if math.Abs(cues[0]-7.0/8.0) > 1e-12 {
+		t.Errorf("cues[0] = %v, want 0.875", cues[0])
+	}
+}
+
+func TestExtractorNames(t *testing.T) {
+	want := map[string]Extractor{
+		"stddev":    StdDev{},
+		"mean":      Mean{},
+		"rms":       RMS{},
+		"range":     Range{},
+		"zerocross": ZeroCross{},
+		"domfreq":   DominantFreq{},
+	}
+	for name, e := range want {
+		if e.Name() != name {
+			t.Errorf("%T.Name() = %q, want %q", e, e.Name(), name)
+		}
+	}
+}
+
+func TestExtractorsRejectEmpty(t *testing.T) {
+	for _, e := range []Extractor{StdDev{}, Mean{}, RMS{}, Range{}, ZeroCross{}} {
+		if _, err := e.Extract(nil); !errors.Is(err, ErrEmptyWindow) {
+			t.Errorf("%s: err = %v, want ErrEmptyWindow", e.Name(), err)
+		}
+	}
+}
+
+func TestPipelineDefaultsToStdDev(t *testing.T) {
+	p := NewPipeline()
+	if p.Dim() != 3 {
+		t.Fatalf("Dim = %d, want 3", p.Dim())
+	}
+	cues, err := p.Cues(constantWindow(4, 1, 1, 1, sensor.ContextLying))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cues) != 3 {
+		t.Fatalf("len(cues) = %d", len(cues))
+	}
+}
+
+func TestPipelineConcatenates(t *testing.T) {
+	p := NewPipeline(StdDev{}, Mean{}, RMS{})
+	if p.Dim() != 9 {
+		t.Fatalf("Dim = %d, want 9", p.Dim())
+	}
+	cues, err := p.Cues(constantWindow(4, 0.5, 0, 0, sensor.ContextLying))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cues) != 9 {
+		t.Fatalf("len(cues) = %d, want 9", len(cues))
+	}
+	// StdDev of constants is 0; Mean X is 0.5; RMS X is 0.5.
+	if cues[0] != 0 || cues[3] != 0.5 || cues[6] != 0.5 {
+		t.Errorf("cues = %v", cues)
+	}
+}
+
+func TestWindowerSlideNonOverlapping(t *testing.T) {
+	readings := constantWindow(100, 1, 2, 3, sensor.ContextWriting)
+	windows, err := Windower{Size: 25}.Slide(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 4 {
+		t.Fatalf("got %d windows, want 4", len(windows))
+	}
+	for _, w := range windows {
+		if w.Truth != sensor.ContextWriting || !w.Pure {
+			t.Errorf("window %+v mislabelled", w)
+		}
+		if len(w.Cues) != 3 {
+			t.Errorf("cue dim %d", len(w.Cues))
+		}
+	}
+}
+
+func TestWindowerSlideOverlapping(t *testing.T) {
+	readings := constantWindow(100, 1, 2, 3, sensor.ContextWriting)
+	windows, err := Windower{Size: 50, Step: 25}.Slide(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starts at 0, 25, 50 → 3 windows.
+	if len(windows) != 3 {
+		t.Fatalf("got %d windows, want 3", len(windows))
+	}
+}
+
+func TestWindowerDropsPartialTail(t *testing.T) {
+	readings := constantWindow(30, 1, 2, 3, sensor.ContextLying)
+	windows, err := Windower{Size: 20}.Slide(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 1 {
+		t.Errorf("got %d windows, want 1 (tail dropped)", len(windows))
+	}
+}
+
+func TestWindowerImpureAndMajority(t *testing.T) {
+	a := constantWindow(30, 0, 0, 1, sensor.ContextWriting)
+	b := constantWindow(10, 1, 1, 1, sensor.ContextPlaying)
+	for i := range b {
+		b[i].T = 0.3 + float64(i)*0.01
+	}
+	readings := append(a, b...)
+	windows, err := Windower{Size: 40}.Slide(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 1 {
+		t.Fatalf("got %d windows", len(windows))
+	}
+	w := windows[0]
+	if w.Pure {
+		t.Error("window spanning a transition reported pure")
+	}
+	if w.Truth != sensor.ContextWriting {
+		t.Errorf("majority truth = %v, want writing (30 vs 10)", w.Truth)
+	}
+}
+
+func TestWindowerValidation(t *testing.T) {
+	readings := constantWindow(10, 0, 0, 1, sensor.ContextLying)
+	if _, err := (Windower{Size: 1}).Slide(readings); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("size 1: %v", err)
+	}
+	if _, err := (Windower{Size: 4, Step: -1}).Slide(readings); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("negative step: %v", err)
+	}
+}
+
+func TestEndToEndCuesSeparateContexts(t *testing.T) {
+	// Integration with the sensor package: windows from different contexts
+	// produce separable stddev cues.
+	rng := rand.New(rand.NewSource(21))
+	var acc sensor.Accelerometer
+	var all []sensor.Reading
+	for _, c := range sensor.AllContexts() {
+		r, err := acc.Record(sensor.NewModel(c, sensor.DefaultStyle()), c, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, r...)
+	}
+	windows, err := Windower{Size: 100}.Slide(all[:400])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lyingMax := 0.0
+	for _, w := range windows {
+		if w.Truth == sensor.ContextLying && w.Cues[0] > lyingMax {
+			lyingMax = w.Cues[0]
+		}
+	}
+	if lyingMax > 0.05 {
+		t.Errorf("lying stddev cue %v unexpectedly energetic", lyingMax)
+	}
+}

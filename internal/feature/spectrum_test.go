@@ -1,0 +1,121 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cqm/internal/sensor"
+)
+
+// sineWindow builds a window carrying a pure tone on the X axis.
+func sineWindow(freq, sampleRate float64, n int) []sensor.Reading {
+	out := make([]sensor.Reading, n)
+	for i := range out {
+		t := float64(i) / sampleRate
+		out[i] = sensor.Reading{
+			T:     t,
+			Accel: sensor.Accel{X: math.Sin(2 * math.Pi * freq * t), Z: 1},
+		}
+	}
+	return out
+}
+
+func TestDominantFreqRecoversTone(t *testing.T) {
+	for _, freq := range []float64{1.0, 3.0, 5.0, 8.0} {
+		w := sineWindow(freq, 100, 100)
+		cues, err := DominantFreq{}.Extract(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bin resolution at 100 samples over 1 s is 1 Hz.
+		if math.Abs(cues[0]-freq) > 1.01 {
+			t.Errorf("tone %v Hz detected as %v Hz", freq, cues[0])
+		}
+	}
+}
+
+func TestDominantFreqIgnoresDC(t *testing.T) {
+	// Constant gravity on Z must not register as a "frequency".
+	w := sineWindow(4, 100, 100)
+	cues, err := DominantFreq{}.Extract(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cues[2] > 3 {
+		t.Errorf("static axis dominant frequency = %v, want low", cues[2])
+	}
+}
+
+func TestDominantFreqSeparatesWritingFromPlaying(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	var acc sensor.Accelerometer
+	writing, err := acc.Record(sensor.NewWriting(sensor.DefaultStyle()), sensor.ContextWriting, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	playing, err := acc.Record(sensor.NewPlaying(sensor.DefaultStyle()), sensor.ContextPlaying, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqOf := func(readings []sensor.Reading) float64 {
+		windows, err := (Windower{Size: 200, Pipeline: NewPipeline(DominantFreq{})}).Slide(readings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		n := 0
+		for _, w := range windows {
+			if w.Cues[0] > 0 {
+				sum += w.Cues[0]
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	fWrite := freqOf(writing)
+	fPlay := freqOf(playing)
+	if fWrite <= fPlay {
+		t.Errorf("writing dominant freq %v not above playing %v", fWrite, fPlay)
+	}
+}
+
+func TestDominantFreqEdgeCases(t *testing.T) {
+	if _, err := (DominantFreq{}).Extract(nil); err == nil {
+		t.Error("empty window accepted")
+	}
+	// Tiny windows degrade to zeros rather than erroring.
+	cues, err := DominantFreq{}.Extract(sineWindow(5, 100, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cues[0] != 0 {
+		t.Errorf("tiny window freq = %v, want 0", cues[0])
+	}
+	// Zero-duration window (identical timestamps).
+	w := []sensor.Reading{{T: 1}, {T: 1}, {T: 1}, {T: 1}}
+	cues, err = DominantFreq{}.Extract(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cues[0] != 0 {
+		t.Errorf("degenerate window freq = %v", cues[0])
+	}
+}
+
+func TestPipelineWithFrequencyCues(t *testing.T) {
+	p := NewPipeline(StdDev{}, DominantFreq{})
+	if p.Dim() != 6 {
+		t.Fatalf("Dim = %d", p.Dim())
+	}
+	cues, err := p.Cues(sineWindow(5, 100, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cues) != 6 {
+		t.Fatalf("len = %d", len(cues))
+	}
+}

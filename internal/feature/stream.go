@@ -1,0 +1,86 @@
+package feature
+
+import (
+	"fmt"
+
+	"cqm/internal/sensor"
+)
+
+// Streamer is the online counterpart of Windower: readings are pushed one
+// at a time — the way a real appliance consumes its sensor — and complete
+// windows are emitted as they fill. The zero value is not usable; build
+// one with NewStreamer.
+type Streamer struct {
+	size     int
+	step     int
+	pipeline *Pipeline
+	buf      []sensor.Reading
+	skip     int // readings to discard before refilling (step > size)
+	emitted  int
+}
+
+// NewStreamer returns a streaming windower emitting one window per step
+// readings once size readings are buffered. step == 0 means step == size
+// (non-overlapping). The pipeline may be nil for the paper's stddev cues.
+func NewStreamer(size, step int, pipeline *Pipeline) (*Streamer, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("%w: size %d", ErrBadWindow, size)
+	}
+	if step == 0 {
+		step = size
+	}
+	if step < 1 {
+		return nil, fmt.Errorf("%w: step %d", ErrBadWindow, step)
+	}
+	if pipeline == nil {
+		pipeline = NewPipeline()
+	}
+	return &Streamer{size: size, step: step, pipeline: pipeline}, nil
+}
+
+// Push appends one reading; when it completes a window, the extracted
+// window is returned with ok == true.
+func (s *Streamer) Push(r sensor.Reading) (Window, bool, error) {
+	if s.skip > 0 {
+		s.skip--
+		return Window{}, false, nil
+	}
+	s.buf = append(s.buf, r)
+	if len(s.buf) < s.size {
+		return Window{}, false, nil
+	}
+	chunk := s.buf[len(s.buf)-s.size:]
+	cues, err := s.pipeline.Cues(chunk)
+	if err != nil {
+		return Window{}, false, err
+	}
+	w := Window{
+		Start: chunk[0].T,
+		End:   chunk[len(chunk)-1].T,
+		Cues:  cues,
+		Truth: majorityTruth(chunk),
+		Pure:  isPure(chunk),
+	}
+	// Slide forward by step: keep the tail the next window reuses, or —
+	// when the hop exceeds the window — discard the gap readings.
+	if s.step >= s.size {
+		s.skip = s.step - s.size
+		s.buf = s.buf[:0]
+	} else {
+		keep := s.size - s.step
+		s.buf = append(s.buf[:0], s.buf[len(s.buf)-keep:]...)
+	}
+	s.emitted++
+	return w, true, nil
+}
+
+// Emitted returns the number of windows produced so far.
+func (s *Streamer) Emitted() int { return s.emitted }
+
+// Reset drops buffered readings (e.g. after a sensing gap).
+func (s *Streamer) Reset() {
+	s.buf = s.buf[:0]
+}
+
+// Pending returns the number of buffered readings awaiting a full window.
+func (s *Streamer) Pending() int { return len(s.buf) }

@@ -1,0 +1,147 @@
+package feature
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cqm/internal/sensor"
+)
+
+func TestStreamerMatchesBatchWindower(t *testing.T) {
+	// Online and batch extraction over the same stream must agree exactly
+	// for every (size, step) combination, including step > size.
+	rng := rand.New(rand.NewSource(30))
+	var acc sensor.Accelerometer
+	readings, err := acc.Record(sensor.NewWriting(sensor.DefaultStyle()), sensor.ContextWriting, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ size, step int }{
+		{100, 0}, {100, 50}, {64, 16}, {50, 75}, {30, 30},
+	} {
+		batch, err := (Windower{Size: tc.size, Step: tc.step}).Slide(readings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamer, err := NewStreamer(tc.size, tc.step, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var online []Window
+		for _, r := range readings {
+			w, ok, err := streamer.Push(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				online = append(online, w)
+			}
+		}
+		if len(online) != len(batch) {
+			t.Fatalf("size=%d step=%d: %d online vs %d batch windows",
+				tc.size, tc.step, len(online), len(batch))
+		}
+		for i := range batch {
+			if online[i].Start != batch[i].Start || online[i].End != batch[i].End {
+				t.Fatalf("window %d spans differ: %v-%v vs %v-%v",
+					i, online[i].Start, online[i].End, batch[i].Start, batch[i].End)
+			}
+			for j := range batch[i].Cues {
+				if online[i].Cues[j] != batch[i].Cues[j] {
+					t.Fatalf("window %d cue %d differs", i, j)
+				}
+			}
+			if online[i].Truth != batch[i].Truth || online[i].Pure != batch[i].Pure {
+				t.Fatalf("window %d labels differ", i)
+			}
+		}
+		if streamer.Emitted() != len(batch) {
+			t.Errorf("Emitted = %d, want %d", streamer.Emitted(), len(batch))
+		}
+	}
+}
+
+func TestStreamerValidation(t *testing.T) {
+	if _, err := NewStreamer(1, 0, nil); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("size 1: %v", err)
+	}
+	if _, err := NewStreamer(10, -1, nil); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("negative step: %v", err)
+	}
+}
+
+func TestStreamerReset(t *testing.T) {
+	s, err := NewStreamer(4, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok, err := s.Push(sensor.Reading{T: float64(i)}); err != nil || ok {
+			t.Fatalf("premature window at %d (ok=%v err=%v)", i, ok, err)
+		}
+	}
+	if s.Pending() != 3 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	s.Reset()
+	if s.Pending() != 0 {
+		t.Error("Reset kept readings")
+	}
+	// After a reset the window restarts from scratch.
+	for i := 0; i < 4; i++ {
+		w, ok, err := s.Push(sensor.Reading{T: 10 + float64(i), Truth: sensor.ContextLying})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (i == 3) != ok {
+			t.Fatalf("push %d ok=%v", i, ok)
+		}
+		if ok && w.Start != 10 {
+			t.Errorf("window start = %v, want 10", w.Start)
+		}
+	}
+}
+
+func TestStreamerEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		size := 2 + r.Intn(20)
+		step := 1 + r.Intn(30)
+		n := size + r.Intn(100)
+		readings := make([]sensor.Reading, n)
+		for i := range readings {
+			readings[i] = sensor.Reading{
+				T:     float64(i),
+				Accel: sensor.Accel{X: r.NormFloat64(), Y: r.NormFloat64(), Z: r.NormFloat64()},
+				Truth: sensor.ContextLying,
+			}
+		}
+		batch, err := (Windower{Size: size, Step: step}).Slide(readings)
+		if err != nil {
+			return false
+		}
+		s, err := NewStreamer(size, step, nil)
+		if err != nil {
+			return false
+		}
+		count := 0
+		for _, rd := range readings {
+			w, ok, err := s.Push(rd)
+			if err != nil {
+				return false
+			}
+			if ok {
+				if count >= len(batch) || w.Start != batch[count].Start {
+					return false
+				}
+				count++
+			}
+		}
+		return count == len(batch)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

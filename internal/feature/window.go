@@ -1,0 +1,93 @@
+package feature
+
+import (
+	"fmt"
+
+	"cqm/internal/sensor"
+)
+
+// Window is one extracted observation: the cue vector of a reading window
+// together with its ground-truth labelling.
+type Window struct {
+	// Start and End are the window's time span in seconds.
+	Start, End float64
+	// Cues is the extracted cue vector.
+	Cues []float64
+	// Truth is the majority ground-truth context within the window.
+	Truth sensor.Context
+	// Pure reports whether every reading in the window shares the same
+	// ground truth. Impure windows span a context transition — the hard
+	// cases the quality measure exists for.
+	Pure bool
+}
+
+// Windower slides fixed-size windows over a recording and extracts cues.
+type Windower struct {
+	// Size is the number of readings per window. Required.
+	Size int
+	// Step is the hop between window starts; Step == Size gives
+	// non-overlapping windows. Default: Size (no overlap).
+	Step int
+	// Pipeline extracts the cues; nil defaults to the paper's StdDev.
+	Pipeline *Pipeline
+}
+
+// Slide extracts windows over the readings. Trailing readings that do not
+// fill a window are dropped (the online system would wait for more data).
+func (w Windower) Slide(readings []sensor.Reading) ([]Window, error) {
+	if w.Size < 2 {
+		return nil, fmt.Errorf("%w: size %d", ErrBadWindow, w.Size)
+	}
+	step := w.Step
+	if step == 0 {
+		step = w.Size
+	}
+	if step < 1 {
+		return nil, fmt.Errorf("%w: step %d", ErrBadWindow, step)
+	}
+	pipe := w.Pipeline
+	if pipe == nil {
+		pipe = NewPipeline()
+	}
+	var out []Window
+	for start := 0; start+w.Size <= len(readings); start += step {
+		chunk := readings[start : start+w.Size]
+		cues, err := pipe.Cues(chunk)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Window{
+			Start: chunk[0].T,
+			End:   chunk[len(chunk)-1].T,
+			Cues:  cues,
+			Truth: majorityTruth(chunk),
+			Pure:  isPure(chunk),
+		})
+	}
+	return out, nil
+}
+
+// majorityTruth returns the most frequent ground-truth context.
+func majorityTruth(chunk []sensor.Reading) sensor.Context {
+	counts := make(map[sensor.Context]int, 3)
+	for _, r := range chunk {
+		counts[r.Truth]++
+	}
+	best := chunk[0].Truth
+	for c, n := range counts {
+		if n > counts[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// isPure reports whether all readings share one ground truth.
+func isPure(chunk []sensor.Reading) bool {
+	for _, r := range chunk[1:] {
+		if r.Truth != chunk[0].Truth {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,207 @@
+package fusion
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cqm/internal/classify"
+	"cqm/internal/core"
+	"cqm/internal/feature"
+	"cqm/internal/sensor"
+)
+
+// ExperimentConfig parameterizes the multi-appliance fusion experiment.
+type ExperimentConfig struct {
+	// Seed drives the simulated recordings.
+	Seed int64
+	// Styles gives one user style per simulated appliance; appliances
+	// with off-nominal styles misclassify more, which is what the fuser
+	// must cope with. Default: one nominal, one borderline, one erratic.
+	Styles []sensor.Style
+	// WindowSize is the readings per classification window. Default 100.
+	WindowSize int
+}
+
+func (c ExperimentConfig) withDefaults() ExperimentConfig {
+	if len(c.Styles) == 0 {
+		c.Styles = []sensor.Style{
+			sensor.DefaultStyle(),
+			{Amplitude: 1.6, Tempo: 1.2, Irregularity: 0.6},
+			{Amplitude: 2.6, Tempo: 1.4, Irregularity: 0.9},
+		}
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = 100
+	}
+	return c
+}
+
+// StrategyResult is one strategy's consensus accuracy.
+type StrategyResult struct {
+	Strategy Strategy
+	Accuracy float64
+}
+
+// Result summarizes the fusion experiment.
+type Result struct {
+	// Windows is the number of fused decision points.
+	Windows int
+	// PerSource is each appliance's individual accuracy.
+	PerSource map[string]float64
+	// Strategies lists consensus accuracy per fusion strategy.
+	Strategies []StrategyResult
+	// RoomAccuracy is the higher-level aggregation accuracy (room state
+	// derived from quality-weighted consensus vs true room state).
+	RoomAccuracy float64
+}
+
+// Render summarizes the experiment.
+func (r *Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Fusion — higher-level context from multiple appliances (paper §5 outlook)\n")
+	fmt.Fprintf(&sb, "  fused windows %d\n", r.Windows)
+	for name, acc := range r.PerSource {
+		fmt.Fprintf(&sb, "  source %-22s accuracy %.3f\n", name, acc)
+	}
+	for _, s := range r.Strategies {
+		fmt.Fprintf(&sb, "  fusion %-22s accuracy %.3f\n", s.Strategy, s.Accuracy)
+	}
+	fmt.Fprintf(&sb, "  room-state aggregation        accuracy %.3f\n", r.RoomAccuracy)
+	return sb.String()
+}
+
+// RunExperiment simulates several appliances observing the same room
+// session — each with its own user style, hence its own error profile —
+// and fuses their per-window reports under every strategy. All appliances
+// share the classifier and quality measure (the same pre-trained AwarePen
+// firmware on every pen).
+func RunExperiment(
+	clf classify.Classifier,
+	measure *core.Measure,
+	cfg ExperimentConfig,
+) (*Result, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// One shared room script; each appliance observes it with its own
+	// style and sensor noise.
+	scenario := func(style sensor.Style) *sensor.Scenario {
+		return &sensor.Scenario{
+			Segments: []sensor.Segment{
+				{Context: sensor.ContextLying, Duration: 6},
+				{Context: sensor.ContextWriting, Duration: 10},
+				{Context: sensor.ContextPlaying, Duration: 6},
+				{Context: sensor.ContextWriting, Duration: 10},
+				{Context: sensor.ContextLying, Duration: 6},
+			},
+			Style: style,
+		}
+	}
+
+	type sourceData struct {
+		name    string
+		windows []feature.Window
+	}
+	sources := make([]sourceData, len(cfg.Styles))
+	for i, style := range cfg.Styles {
+		readings, err := scenario(style).Run(rng)
+		if err != nil {
+			return nil, fmt.Errorf("fusion: recording source %d: %w", i, err)
+		}
+		windows, err := (feature.Windower{Size: cfg.WindowSize}).Slide(readings)
+		if err != nil {
+			return nil, fmt.Errorf("fusion: windowing source %d: %w", i, err)
+		}
+		sources[i] = sourceData{name: fmt.Sprintf("pen-%d(amp=%.1f)", i+1, styleAmp(style)), windows: windows}
+	}
+	n := len(sources[0].windows)
+	for _, s := range sources[1:] {
+		if len(s.windows) < n {
+			n = len(s.windows)
+		}
+	}
+	if n == 0 {
+		return nil, ErrNoReports
+	}
+
+	res := &Result{
+		Windows:   n,
+		PerSource: make(map[string]float64, len(sources)),
+	}
+	srcCorrect := make([]int, len(sources))
+	strategies := []Strategy{MajorityVote, QualityWeighted, BestQuality}
+	stratCorrect := make([]int, len(strategies))
+	var agg Aggregator
+	roomCorrect := 0
+
+	for w := 0; w < n; w++ {
+		truth := sources[0].windows[w].Truth
+		reports := make([]Report, 0, len(sources))
+		for si, src := range sources {
+			win := src.windows[w]
+			class, err := clf.Classify(win.Cues)
+			if err != nil {
+				return nil, fmt.Errorf("fusion: classifying %s window %d: %w", src.name, w, err)
+			}
+			if class == win.Truth {
+				srcCorrect[si]++
+			}
+			rep := Report{Source: src.name, Class: class}
+			if q, err := measure.Score(win.Cues, class); err == nil {
+				rep.Quality = q
+				rep.HasQuality = true
+			}
+			reports = append(reports, rep)
+		}
+		for sti, strategy := range strategies {
+			consensus, err := Fuse(reports, strategy)
+			if err != nil {
+				return nil, fmt.Errorf("fusion: %v at window %d: %w", strategy, w, err)
+			}
+			if consensus.Class == truth {
+				stratCorrect[sti]++
+			}
+			if strategy == QualityWeighted {
+				state := agg.Observe(consensus.Class)
+				if state == trueRoomState(truth) {
+					roomCorrect++
+				}
+			}
+		}
+	}
+
+	for si, src := range sources {
+		res.PerSource[src.name] = float64(srcCorrect[si]) / float64(n)
+	}
+	for sti, strategy := range strategies {
+		res.Strategies = append(res.Strategies, StrategyResult{
+			Strategy: strategy,
+			Accuracy: float64(stratCorrect[sti]) / float64(n),
+		})
+	}
+	res.RoomAccuracy = float64(roomCorrect) / float64(n)
+	return res, nil
+}
+
+func styleAmp(s sensor.Style) float64 {
+	if s.Amplitude == 0 {
+		return 1
+	}
+	return s.Amplitude
+}
+
+// trueRoomState maps a ground-truth pen context onto the room state it
+// implies in the shared script.
+func trueRoomState(c sensor.Context) RoomState {
+	switch c {
+	case sensor.ContextWriting:
+		return RoomSession
+	case sensor.ContextPlaying:
+		return RoomBreak
+	case sensor.ContextLying:
+		return RoomIdle
+	default:
+		return RoomUnknown
+	}
+}

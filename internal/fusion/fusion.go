@@ -1,0 +1,168 @@
+// Package fusion implements the second item of the paper's outlook (§5):
+// "Our research will also look into how to support fusion and aggregation
+// for higher level contexts … In order to process reasonable output,
+// higher level context processors require a quality measure to decide
+// which of the simpler context information to believe."
+//
+// A Fuser combines the context reports of several appliances observing the
+// same situation into one consensus. Three strategies are provided; the
+// experiments show that weighting each report by its CQM beats both
+// quality-blind majority voting and trusting the single best source,
+// because the measure tells the fuser exactly which reports to discount.
+//
+// On top of the per-window consensus, an Aggregator maps a history of
+// fused contexts onto higher-level room states (idle, working session,
+// break) — the "higher level contexts that may be able to classify complex
+// situations" the paper envisions.
+package fusion
+
+import (
+	"errors"
+	"fmt"
+
+	"cqm/internal/sensor"
+)
+
+// Fusion errors.
+var (
+	// ErrNoReports reports fusion over an empty report set.
+	ErrNoReports = errors.New("fusion: no reports")
+	// ErrUnknownStrategy reports an unsupported fusion strategy.
+	ErrUnknownStrategy = errors.New("fusion: unknown strategy")
+)
+
+// Report is one low-level context report from an appliance.
+type Report struct {
+	// Source names the reporting appliance.
+	Source string
+	// Class is the context the appliance recognized.
+	Class sensor.Context
+	// Quality is the CQM q of the classification; valid when HasQuality.
+	Quality float64
+	// HasQuality marks reports carrying a quality annotation. Reports
+	// without one (legacy appliances, ε states) are treated as minimally
+	// trustworthy by quality-aware strategies.
+	HasQuality bool
+}
+
+// Strategy selects how reports are combined.
+type Strategy int
+
+// Fusion strategies.
+const (
+	// MajorityVote counts one vote per report, ignoring quality — the
+	// quality-blind baseline.
+	MajorityVote Strategy = iota + 1
+	// QualityWeighted weights each report's vote by its quality measure;
+	// unannotated reports contribute a small floor weight.
+	QualityWeighted
+	// BestQuality adopts the single report with the highest quality.
+	BestQuality
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case MajorityVote:
+		return "majority-vote"
+	case QualityWeighted:
+		return "quality-weighted"
+	case BestQuality:
+		return "best-quality"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// floorWeight is the vote weight of reports without a quality annotation
+// under quality-aware strategies: trusted a little, never fully.
+const floorWeight = 0.1
+
+// Consensus is the fused outcome.
+type Consensus struct {
+	// Class is the fused context.
+	Class sensor.Context
+	// Confidence aggregates the supporting weight behind Class as a
+	// fraction of the total weight (1 = unanimous).
+	Confidence float64
+	// Supporters is the number of reports voting for Class.
+	Supporters int
+}
+
+// Fuse combines the reports under the strategy. Reports with
+// ContextUnknown are skipped; if nothing remains, ErrNoReports is
+// returned.
+func Fuse(reports []Report, strategy Strategy) (Consensus, error) {
+	usable := reports[:0:0]
+	for _, r := range reports {
+		if r.Class != sensor.ContextUnknown {
+			usable = append(usable, r)
+		}
+	}
+	if len(usable) == 0 {
+		return Consensus{}, ErrNoReports
+	}
+	switch strategy {
+	case MajorityVote:
+		return voteFuse(usable, func(Report) float64 { return 1 }), nil
+	case QualityWeighted:
+		return voteFuse(usable, func(r Report) float64 {
+			if !r.HasQuality {
+				return floorWeight
+			}
+			if r.Quality < floorWeight {
+				return floorWeight
+			}
+			return r.Quality
+		}), nil
+	case BestQuality:
+		best := usable[0]
+		for _, r := range usable[1:] {
+			if weightOf(r) > weightOf(best) {
+				best = r
+			}
+		}
+		count := 0
+		for _, r := range usable {
+			if r.Class == best.Class {
+				count++
+			}
+		}
+		return Consensus{Class: best.Class, Confidence: weightOf(best), Supporters: count}, nil
+	default:
+		return Consensus{}, fmt.Errorf("%w: %v", ErrUnknownStrategy, strategy)
+	}
+}
+
+func weightOf(r Report) float64 {
+	if !r.HasQuality {
+		return floorWeight
+	}
+	return r.Quality
+}
+
+// voteFuse tallies weighted votes per class; ties break toward the
+// smaller class identifier for determinism.
+func voteFuse(reports []Report, weight func(Report) float64) Consensus {
+	votes := make(map[sensor.Context]float64, 3)
+	counts := make(map[sensor.Context]int, 3)
+	var total float64
+	for _, r := range reports {
+		w := weight(r)
+		votes[r.Class] += w
+		counts[r.Class]++
+		total += w
+	}
+	best := sensor.ContextUnknown
+	bestW := -1.0
+	for _, c := range sensor.AllContexts() {
+		if w, ok := votes[c]; ok && w > bestW {
+			best, bestW = c, w
+		}
+	}
+	conf := 0.0
+	if total > 0 {
+		conf = bestW / total
+	}
+	return Consensus{Class: best, Confidence: conf, Supporters: counts[best]}
+}

@@ -1,0 +1,256 @@
+package fusion
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"cqm/internal/classify"
+	"cqm/internal/core"
+	"cqm/internal/dataset"
+	"cqm/internal/sensor"
+)
+
+func TestFuseMajorityVote(t *testing.T) {
+	reports := []Report{
+		{Source: "a", Class: sensor.ContextWriting},
+		{Source: "b", Class: sensor.ContextWriting},
+		{Source: "c", Class: sensor.ContextPlaying},
+	}
+	c, err := Fuse(reports, MajorityVote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class != sensor.ContextWriting || c.Supporters != 2 {
+		t.Errorf("consensus = %+v", c)
+	}
+	if math.Abs(c.Confidence-2.0/3.0) > 1e-12 {
+		t.Errorf("confidence = %v, want 2/3", c.Confidence)
+	}
+}
+
+func TestFuseQualityWeightedOverridesMajority(t *testing.T) {
+	// Two confident-sounding but low-quality reports against one
+	// high-quality report: the quality-weighted fuser believes the
+	// trustworthy source; the majority fuser does not.
+	reports := []Report{
+		{Source: "bad1", Class: sensor.ContextPlaying, Quality: 0.1, HasQuality: true},
+		{Source: "bad2", Class: sensor.ContextPlaying, Quality: 0.1, HasQuality: true},
+		{Source: "good", Class: sensor.ContextWriting, Quality: 0.95, HasQuality: true},
+	}
+	maj, err := Fuse(reports, MajorityVote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maj.Class != sensor.ContextPlaying {
+		t.Fatalf("majority = %v, want playing", maj.Class)
+	}
+	qw, err := Fuse(reports, QualityWeighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qw.Class != sensor.ContextWriting {
+		t.Errorf("quality-weighted = %v, want writing", qw.Class)
+	}
+}
+
+func TestFuseBestQuality(t *testing.T) {
+	reports := []Report{
+		{Source: "a", Class: sensor.ContextLying, Quality: 0.6, HasQuality: true},
+		{Source: "b", Class: sensor.ContextWriting, Quality: 0.9, HasQuality: true},
+		{Source: "c", Class: sensor.ContextLying, Quality: 0.7, HasQuality: true},
+	}
+	c, err := Fuse(reports, BestQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class != sensor.ContextWriting {
+		t.Errorf("best-quality = %v, want writing", c.Class)
+	}
+	if c.Confidence != 0.9 {
+		t.Errorf("confidence = %v, want 0.9", c.Confidence)
+	}
+}
+
+func TestFuseUnannotatedReportsGetFloorWeight(t *testing.T) {
+	reports := []Report{
+		{Source: "legacy", Class: sensor.ContextPlaying}, // no quality
+		{Source: "modern", Class: sensor.ContextWriting, Quality: 0.9, HasQuality: true},
+	}
+	c, err := Fuse(reports, QualityWeighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class != sensor.ContextWriting {
+		t.Errorf("fused = %v, want the annotated report to win", c.Class)
+	}
+}
+
+func TestFuseSkipsUnknownAndErrors(t *testing.T) {
+	reports := []Report{
+		{Source: "a", Class: sensor.ContextUnknown},
+	}
+	if _, err := Fuse(reports, MajorityVote); !errors.Is(err, ErrNoReports) {
+		t.Errorf("all-unknown: %v", err)
+	}
+	if _, err := Fuse(nil, MajorityVote); !errors.Is(err, ErrNoReports) {
+		t.Errorf("empty: %v", err)
+	}
+	good := []Report{{Source: "a", Class: sensor.ContextLying}}
+	if _, err := Fuse(good, Strategy(99)); !errors.Is(err, ErrUnknownStrategy) {
+		t.Errorf("unknown strategy: %v", err)
+	}
+}
+
+func TestFuseTieBreaksDeterministically(t *testing.T) {
+	reports := []Report{
+		{Source: "a", Class: sensor.ContextPlaying},
+		{Source: "b", Class: sensor.ContextLying},
+	}
+	c, err := Fuse(reports, MajorityVote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class != sensor.ContextLying {
+		t.Errorf("tie broke to %v, want lying (smaller identifier)", c.Class)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for _, s := range []Strategy{MajorityVote, QualityWeighted, BestQuality, Strategy(42)} {
+		if s.String() == "" {
+			t.Errorf("empty name for %d", int(s))
+		}
+	}
+}
+
+func TestAggregatorHysteresis(t *testing.T) {
+	var a Aggregator
+	a.History = 4
+	// Sustained writing establishes a session.
+	for i := 0; i < 4; i++ {
+		a.Observe(sensor.ContextWriting)
+	}
+	if a.State() != RoomSession {
+		t.Fatalf("state = %v, want session", a.State())
+	}
+	// One playing flicker does not flip the state.
+	if got := a.Observe(sensor.ContextPlaying); got != RoomSession {
+		t.Errorf("one flicker flipped the state to %v", got)
+	}
+	// Sustained playing does.
+	for i := 0; i < 4; i++ {
+		a.Observe(sensor.ContextPlaying)
+	}
+	if a.State() != RoomBreak {
+		t.Errorf("state = %v, want break", a.State())
+	}
+	a.Reset()
+	if a.State() != RoomUnknown {
+		t.Error("reset did not clear state")
+	}
+}
+
+func TestRoomStateString(t *testing.T) {
+	for _, s := range []RoomState{RoomIdle, RoomSession, RoomBreak, RoomUnknown, RoomState(42)} {
+		if s.String() == "" {
+			t.Errorf("empty name for %d", int(s))
+		}
+	}
+}
+
+// fusionStack trains a shared classifier + measure for the experiment.
+func fusionStack(t testing.TB, seed int64) (classify.Classifier, *core.Measure) {
+	t.Helper()
+	clean, err := dataset.Generate(dataset.GenerateConfig{
+		Scenarios: []*sensor.Scenario{{Segments: []sensor.Segment{
+			{Context: sensor.ContextLying, Duration: 10},
+			{Context: sensor.ContextWriting, Duration: 10},
+			{Context: sensor.ContextPlaying, Duration: 10},
+		}}},
+		WindowSize: 100,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := (&classify.TSKTrainer{}).Train(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := dataset.Generate(dataset.GenerateConfig{
+		Scenarios: []*sensor.Scenario{
+			sensor.OfficeSession(sensor.DefaultStyle()),
+			sensor.OfficeSession(sensor.Style{Amplitude: 2.6, Tempo: 1.4, Irregularity: 0.9}),
+			sensor.OfficeSession(sensor.Style{Amplitude: 1.6, Tempo: 1.2, Irregularity: 0.6}),
+			sensor.OfficeSession(sensor.DefaultStyle()),
+		},
+		WindowSize: 100,
+		WindowStep: 50,
+		Seed:       seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := core.Observe(clf, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure, err := core.Build(obs, nil, core.BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clf, measure
+}
+
+func TestRunExperimentQualityWeightingWins(t *testing.T) {
+	clf, measure := fusionStack(t, 90)
+	res, err := RunExperiment(clf, measure, ExperimentConfig{Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows == 0 {
+		t.Fatal("no fused windows")
+	}
+	var majority, weighted float64
+	for _, s := range res.Strategies {
+		switch s.Strategy {
+		case MajorityVote:
+			majority = s.Accuracy
+		case QualityWeighted:
+			weighted = s.Accuracy
+		}
+	}
+	// The paper's point: the quality measure tells the fuser which
+	// reports to believe, so weighting must not lose to blind voting.
+	if weighted < majority {
+		t.Errorf("quality-weighted %.3f below majority %.3f", weighted, majority)
+	}
+	if weighted < 0.7 {
+		t.Errorf("quality-weighted accuracy %.3f implausibly low", weighted)
+	}
+	if res.RoomAccuracy < 0.5 {
+		t.Errorf("room aggregation accuracy %.3f too low", res.RoomAccuracy)
+	}
+	if out := res.Render(); !strings.Contains(out, "quality-weighted") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunExperimentDeterministic(t *testing.T) {
+	clf, measure := fusionStack(t, 92)
+	a, err := RunExperiment(clf, measure, ExperimentConfig{Seed: 93})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunExperiment(clf, measure, ExperimentConfig{Seed: 93})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Strategies {
+		if a.Strategies[i].Accuracy != b.Strategies[i].Accuracy {
+			t.Fatal("experiment not deterministic")
+		}
+	}
+}

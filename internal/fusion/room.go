@@ -1,0 +1,93 @@
+package fusion
+
+import (
+	"fmt"
+
+	"cqm/internal/sensor"
+)
+
+// RoomState is a higher-level context aggregated from a history of fused
+// low-level contexts — the complex situations the paper's outlook aims at.
+type RoomState int
+
+// Room states of the AwareOffice.
+const (
+	RoomUnknown RoomState = iota
+	// RoomIdle: nobody is using the whiteboard (pens lying still).
+	RoomIdle
+	// RoomSession: active work at the whiteboard (sustained writing).
+	RoomSession
+	// RoomBreak: people are present but not working (playing dominates).
+	RoomBreak
+)
+
+// String names the room state.
+func (s RoomState) String() string {
+	switch s {
+	case RoomIdle:
+		return "idle"
+	case RoomSession:
+		return "session"
+	case RoomBreak:
+		return "break"
+	case RoomUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("RoomState(%d)", int(s))
+	}
+}
+
+// Aggregator maps a sliding history of fused contexts onto room states
+// with hysteresis: a state switch needs a clear majority, so brief
+// flickers do not bounce the room state around.
+type Aggregator struct {
+	// History is the number of recent consensus windows considered.
+	// Default 8.
+	History int
+	// SwitchFraction is the fraction of the history a context must
+	// dominate before the room state switches. Default 0.5.
+	SwitchFraction float64
+
+	recent []sensor.Context
+	state  RoomState
+}
+
+// Observe feeds one fused context and returns the (possibly unchanged)
+// room state.
+func (a *Aggregator) Observe(c sensor.Context) RoomState {
+	history := a.History
+	if history == 0 {
+		history = 8
+	}
+	frac := a.SwitchFraction
+	if frac == 0 {
+		frac = 0.5
+	}
+	a.recent = append(a.recent, c)
+	if len(a.recent) > history {
+		a.recent = a.recent[len(a.recent)-history:]
+	}
+	counts := make(map[sensor.Context]int, 3)
+	for _, r := range a.recent {
+		counts[r]++
+	}
+	need := int(frac*float64(len(a.recent))) + 1
+	switch {
+	case counts[sensor.ContextWriting] >= need:
+		a.state = RoomSession
+	case counts[sensor.ContextPlaying] >= need:
+		a.state = RoomBreak
+	case counts[sensor.ContextLying] >= need:
+		a.state = RoomIdle
+	}
+	return a.state
+}
+
+// State returns the current room state.
+func (a *Aggregator) State() RoomState { return a.state }
+
+// Reset clears the history and state.
+func (a *Aggregator) Reset() {
+	a.recent = nil
+	a.state = RoomUnknown
+}

@@ -1,0 +1,31 @@
+package fuzzy
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// tskJSON is the serialized wire form of a TSK system.
+type tskJSON struct {
+	Inputs int    `json:"inputs"`
+	Rules  []Rule `json:"rules"`
+}
+
+// MarshalJSON encodes the system with its input arity and full rule base.
+func (t *TSK) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tskJSON{Inputs: t.inputs, Rules: t.rules})
+}
+
+// UnmarshalJSON decodes and validates a serialized TSK system.
+func (t *TSK) UnmarshalJSON(data []byte) error {
+	var w tskJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("fuzzy: decoding TSK: %w", err)
+	}
+	sys, err := NewTSK(w.Inputs, w.Rules)
+	if err != nil {
+		return fmt.Errorf("fuzzy: validating decoded TSK: %w", err)
+	}
+	*t = *sys
+	return nil
+}

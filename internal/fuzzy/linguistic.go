@@ -1,0 +1,108 @@
+package fuzzy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is a named fuzzy set over one variable ("low", "medium", "high").
+type Term struct {
+	Name string
+	MF   Membership
+}
+
+// Variable is a linguistic variable: a name and its term partition. The
+// paper verbalizes TSK rules linguistically ("IF F_1j(v_1) AND …"); a
+// Variable gives those membership functions human-readable names for
+// inspection and reporting.
+type Variable struct {
+	Name  string
+	Terms []Term
+}
+
+// NewPartition builds a variable whose labels evenly partition [lo, hi]
+// with triangular terms forming a Ruspini partition (memberships sum to 1
+// everywhere inside the range). It panics on fewer than two labels or an
+// empty range — programming errors.
+func NewPartition(name string, lo, hi float64, labels ...string) *Variable {
+	if len(labels) < 2 {
+		panic(fmt.Sprintf("fuzzy: partition needs >= 2 labels, got %d", len(labels)))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("fuzzy: empty range [%v,%v]", lo, hi))
+	}
+	step := (hi - lo) / float64(len(labels)-1)
+	v := &Variable{Name: name, Terms: make([]Term, len(labels))}
+	for i, label := range labels {
+		peak := lo + float64(i)*step
+		left := peak - step
+		right := peak + step
+		switch i {
+		case 0:
+			// Left shoulder: full membership below the first peak.
+			v.Terms[i] = Term{Name: label, MF: Trapezoidal{A: lo - step, B: lo - step, C: peak, D: right}}
+		case len(labels) - 1:
+			// Right shoulder: full membership above the last peak.
+			v.Terms[i] = Term{Name: label, MF: Trapezoidal{A: left, B: peak, C: hi + step, D: hi + step}}
+		default:
+			v.Terms[i] = Term{Name: label, MF: Triangular{Left: left, Peak: peak, Right: right}}
+		}
+	}
+	return v
+}
+
+// Fuzzify returns the membership degree of x in every term, keyed by term
+// name.
+func (v *Variable) Fuzzify(x float64) map[string]float64 {
+	out := make(map[string]float64, len(v.Terms))
+	for _, t := range v.Terms {
+		out[t.Name] = t.MF.Eval(x)
+	}
+	return out
+}
+
+// BestTerm returns the term with the highest membership for x and its
+// degree; ties break toward the earlier term.
+func (v *Variable) BestTerm(x float64) (string, float64) {
+	bestName := ""
+	bestDeg := -1.0
+	for _, t := range v.Terms {
+		if d := t.MF.Eval(x); d > bestDeg {
+			bestName, bestDeg = t.Name, d
+		}
+	}
+	return bestName, bestDeg
+}
+
+// Describe renders x linguistically, e.g. "activity is high (0.83)".
+func (v *Variable) Describe(x float64) string {
+	name, deg := v.BestTerm(x)
+	return fmt.Sprintf("%s is %s (%.2f)", v.Name, name, deg)
+}
+
+// VerbalizeRules renders a TSK rule base using the variables' term names:
+// every Gaussian antecedent is described by the best-matching term at its
+// center. vars must cover the system's inputs.
+func VerbalizeRules(sys *TSK, vars []*Variable) (string, error) {
+	if len(vars) != sys.Inputs() {
+		return "", fmt.Errorf("%w: %d variables for %d inputs", ErrArity, len(vars), sys.Inputs())
+	}
+	var sb strings.Builder
+	for j := 0; j < sys.NumRules(); j++ {
+		rule := sys.Rule(j)
+		fmt.Fprintf(&sb, "R%d: IF ", j+1)
+		for i, mf := range rule.Antecedent {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			term, _ := vars[i].BestTerm(mf.Mu)
+			fmt.Fprintf(&sb, "%s is %s", vars[i].Name, term)
+		}
+		sb.WriteString(" THEN f(v) = ")
+		for i := 0; i < sys.Inputs(); i++ {
+			fmt.Fprintf(&sb, "%+.3g·%s ", rule.Coeffs[i], vars[i].Name)
+		}
+		fmt.Fprintf(&sb, "%+.3g\n", rule.Coeffs[sys.Inputs()])
+	}
+	return sb.String(), nil
+}

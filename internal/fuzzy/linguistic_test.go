@@ -1,0 +1,113 @@
+package fuzzy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPartitionRuspini(t *testing.T) {
+	// Interior memberships of an even triangular partition sum to 1.
+	v := NewPartition("activity", 0, 1, "low", "medium", "high")
+	for _, x := range []float64{0, 0.1, 0.25, 0.5, 0.77, 1} {
+		var sum float64
+		for _, d := range v.Fuzzify(x) {
+			sum += d
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("memberships at %v sum to %v", x, sum)
+		}
+	}
+}
+
+func TestNewPartitionShoulders(t *testing.T) {
+	v := NewPartition("q", 0, 1, "low", "high")
+	// Below the range the first term saturates; above, the last.
+	if d := v.Terms[0].MF.Eval(-0.2); d != 1 {
+		t.Errorf("left shoulder below range = %v", d)
+	}
+	if d := v.Terms[1].MF.Eval(1.2); d != 1 {
+		t.Errorf("right shoulder above range = %v", d)
+	}
+}
+
+func TestBestTermAndDescribe(t *testing.T) {
+	v := NewPartition("quality", 0, 1, "poor", "fair", "good")
+	tests := []struct {
+		x    float64
+		want string
+	}{
+		{0.0, "poor"},
+		{0.5, "fair"},
+		{1.0, "good"},
+		{0.9, "good"},
+	}
+	for _, tt := range tests {
+		if got, _ := v.BestTerm(tt.x); got != tt.want {
+			t.Errorf("BestTerm(%v) = %q, want %q", tt.x, got, tt.want)
+		}
+	}
+	if s := v.Describe(0.95); !strings.Contains(s, "good") || !strings.Contains(s, "quality") {
+		t.Errorf("Describe = %q", s)
+	}
+}
+
+func TestNewPartitionPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewPartition("x", 0, 1, "only") },
+		func() { NewPartition("x", 1, 0, "a", "b") },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestVerbalizeRules(t *testing.T) {
+	sys, err := NewTSK(2, []Rule{
+		{
+			Antecedent: []Gaussian{{Mu: 0.05, Sigma: 0.1}, {Mu: 0.9, Sigma: 0.1}},
+			Coeffs:     []float64{1, -2, 0.5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := []*Variable{
+		NewPartition("stddev", 0, 1, "low", "high"),
+		NewPartition("energy", 0, 1, "low", "high"),
+	}
+	out, err := VerbalizeRules(sys, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "stddev is low") || !strings.Contains(out, "energy is high") {
+		t.Errorf("verbalization = %q", out)
+	}
+	if !strings.Contains(out, "THEN") {
+		t.Errorf("missing consequent: %q", out)
+	}
+	if _, err := VerbalizeRules(sys, vars[:1]); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestPartitionCoverageProperty(t *testing.T) {
+	// Every in-range point belongs to some term with degree >= 0.5.
+	f := func(rawX float64) bool {
+		x := math.Mod(math.Abs(rawX), 1)
+		v := NewPartition("p", 0, 1, "a", "b", "c", "d")
+		_, deg := v.BestTerm(x)
+		return deg >= 0.5-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

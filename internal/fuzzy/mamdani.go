@@ -1,0 +1,178 @@
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+)
+
+// MamdaniRule is one rule of a Mamdani system: per-input membership
+// functions and an output fuzzy set over the output universe.
+type MamdaniRule struct {
+	Antecedent []Membership
+	Output     Membership
+}
+
+// Defuzzifier selects how the aggregated output set becomes a crisp value.
+type Defuzzifier int
+
+// Supported defuzzifiers.
+const (
+	// Centroid is the center of gravity — the classic choice and the
+	// zero-value default.
+	Centroid Defuzzifier = iota
+	// Bisector splits the aggregated area into two equal halves.
+	Bisector
+	// MeanOfMaxima averages the universe points at the maximum degree.
+	MeanOfMaxima
+	// SmallestOfMaxima takes the leftmost maximum point.
+	SmallestOfMaxima
+)
+
+// String names the defuzzifier.
+func (d Defuzzifier) String() string {
+	switch d {
+	case Centroid:
+		return "centroid"
+	case Bisector:
+		return "bisector"
+	case MeanOfMaxima:
+		return "mean-of-maxima"
+	case SmallestOfMaxima:
+		return "smallest-of-maxima"
+	default:
+		return fmt.Sprintf("Defuzzifier(%d)", int(d))
+	}
+}
+
+// Mamdani is a minimal Mamdani fuzzy inference system used as a comparison
+// point for the TSK systems: min T-norm antecedents, clip implication, max
+// aggregation, configurable defuzzification.
+type Mamdani struct {
+	inputs     int
+	rules      []MamdaniRule
+	outLo      float64
+	outHi      float64
+	resolution int
+	// Defuzz selects the defuzzifier; the zero value is Centroid.
+	Defuzz Defuzzifier
+}
+
+// NewMamdani returns a Mamdani system over n inputs whose output universe
+// is [outLo, outHi] sampled at the given resolution.
+func NewMamdani(n int, rules []MamdaniRule, outLo, outHi float64, resolution int) (*Mamdani, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: %d inputs", ErrArity, n)
+	}
+	if len(rules) == 0 {
+		return nil, ErrNoRules
+	}
+	if outHi <= outLo {
+		return nil, fmt.Errorf("%w: output universe [%v,%v]", ErrBadRule, outLo, outHi)
+	}
+	if resolution < 2 {
+		resolution = 101
+	}
+	for j, r := range rules {
+		if len(r.Antecedent) != n {
+			return nil, fmt.Errorf("rule %d: %w: %d antecedents for %d inputs", j, ErrBadRule, len(r.Antecedent), n)
+		}
+		if r.Output == nil {
+			return nil, fmt.Errorf("rule %d: %w: nil output set", j, ErrBadRule)
+		}
+	}
+	owned := make([]MamdaniRule, len(rules))
+	copy(owned, rules)
+	return &Mamdani{
+		inputs:     n,
+		rules:      owned,
+		outLo:      outLo,
+		outHi:      outHi,
+		resolution: resolution,
+	}, nil
+}
+
+// Eval runs min-clip-max-centroid inference for the input vector. It
+// returns ErrNoActivation when no rule fires.
+func (m *Mamdani) Eval(v []float64) (float64, error) {
+	if len(v) != m.inputs {
+		return 0, fmt.Errorf("%w: got %d inputs, want %d", ErrArity, len(v), m.inputs)
+	}
+	agg := make([]float64, m.resolution)
+	step := (m.outHi - m.outLo) / float64(m.resolution-1)
+	fired := false
+	for _, r := range m.rules {
+		level := 1.0
+		for i, mf := range r.Antecedent {
+			level = math.Min(level, mf.Eval(v[i]))
+		}
+		if level <= 0 {
+			continue
+		}
+		fired = true
+		for k := 0; k < m.resolution; k++ {
+			x := m.outLo + float64(k)*step
+			clipped := math.Min(level, r.Output.Eval(x))
+			if clipped > agg[k] {
+				agg[k] = clipped
+			}
+		}
+	}
+	if !fired {
+		return 0, fmt.Errorf("%w: %v", ErrNoActivation, v)
+	}
+	return m.defuzzify(agg, step)
+}
+
+// defuzzify reduces the aggregated output set to a crisp value.
+func (m *Mamdani) defuzzify(agg []float64, step float64) (float64, error) {
+	at := func(k int) float64 { return m.outLo + float64(k)*step }
+	var area float64
+	for _, d := range agg {
+		area += d
+	}
+	if area == 0 {
+		return 0, fmt.Errorf("%w: aggregated set has zero area", ErrNoActivation)
+	}
+	switch m.Defuzz {
+	case Centroid:
+		var num float64
+		for k, d := range agg {
+			num += at(k) * d
+		}
+		return num / area, nil
+	case Bisector:
+		var acc float64
+		for k, d := range agg {
+			acc += d
+			if acc >= area/2 {
+				return at(k), nil
+			}
+		}
+		return at(len(agg) - 1), nil
+	case MeanOfMaxima, SmallestOfMaxima:
+		maxD := 0.0
+		for _, d := range agg {
+			if d > maxD {
+				maxD = d
+			}
+		}
+		var sum float64
+		count := 0
+		first := -1
+		for k, d := range agg {
+			if d >= maxD-1e-12 {
+				if first < 0 {
+					first = k
+				}
+				sum += at(k)
+				count++
+			}
+		}
+		if m.Defuzz == SmallestOfMaxima {
+			return at(first), nil
+		}
+		return sum / float64(count), nil
+	default:
+		return 0, fmt.Errorf("fuzzy: unsupported defuzzifier %v", m.Defuzz)
+	}
+}

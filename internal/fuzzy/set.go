@@ -1,0 +1,166 @@
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+)
+
+// TNorm is a fuzzy conjunction operator combining two membership degrees.
+type TNorm func(a, b float64) float64
+
+// SNorm is a fuzzy disjunction operator combining two membership degrees.
+type SNorm func(a, b float64) float64
+
+// Standard norms. The paper's rule weights use the product T-norm
+// (w_j = Π_i F_ij(v_i)); Min/Max are provided for Mamdani-style systems.
+var (
+	// ProdNorm is the algebraic product T-norm.
+	ProdNorm TNorm = func(a, b float64) float64 { return a * b }
+	// MinNorm is the Gödel (minimum) T-norm.
+	MinNorm TNorm = math.Min
+	// MaxNorm is the maximum S-norm.
+	MaxNorm SNorm = math.Max
+	// ProbOrNorm is the probabilistic-sum S-norm a + b − a·b.
+	ProbOrNorm SNorm = func(a, b float64) float64 { return a + b - a*b }
+)
+
+// Complement returns the standard fuzzy negation 1 − a.
+func Complement(a float64) float64 { return 1 - a }
+
+// Set is a discrete fuzzy set: membership degrees sampled over a finite
+// universe. It backs the Mamdani output aggregation and the set-algebra
+// helpers used in tests and examples.
+type Set struct {
+	universe []float64
+	degrees  []float64
+}
+
+// NewSet samples the membership function over n evenly spaced points of
+// [lo, hi]. It panics for n < 2 or an empty interval (programming errors).
+func NewSet(m Membership, lo, hi float64, n int) *Set {
+	if n < 2 {
+		panic(fmt.Sprintf("fuzzy: set needs >= 2 samples, got %d", n))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("fuzzy: empty universe [%v,%v]", lo, hi))
+	}
+	s := &Set{
+		universe: make([]float64, n),
+		degrees:  make([]float64, n),
+	}
+	step := (hi - lo) / float64(n-1)
+	for i := 0; i < n; i++ {
+		x := lo + float64(i)*step
+		s.universe[i] = x
+		s.degrees[i] = clamp01(m.Eval(x))
+	}
+	return s
+}
+
+// Len returns the number of samples in the set.
+func (s *Set) Len() int { return len(s.universe) }
+
+// At returns the i-th universe point and its membership degree.
+func (s *Set) At(i int) (x, degree float64) {
+	return s.universe[i], s.degrees[i]
+}
+
+// Combine merges two sets over the same universe with the given operator,
+// returning a new set. It panics when the universes differ (programming
+// error: sets built from the same NewSet parameters always agree).
+func (s *Set) Combine(other *Set, op func(a, b float64) float64) *Set {
+	if len(s.universe) != len(other.universe) {
+		panic(fmt.Sprintf("fuzzy: combining sets with %d vs %d samples", len(s.universe), len(other.universe)))
+	}
+	out := &Set{
+		universe: make([]float64, len(s.universe)),
+		degrees:  make([]float64, len(s.degrees)),
+	}
+	copy(out.universe, s.universe)
+	for i := range s.degrees {
+		out.degrees[i] = clamp01(op(s.degrees[i], other.degrees[i]))
+	}
+	return out
+}
+
+// Clip returns a copy of the set with membership degrees clipped at level —
+// Mamdani implication by truncation.
+func (s *Set) Clip(level float64) *Set {
+	out := &Set{
+		universe: make([]float64, len(s.universe)),
+		degrees:  make([]float64, len(s.degrees)),
+	}
+	copy(out.universe, s.universe)
+	for i, d := range s.degrees {
+		out.degrees[i] = math.Min(d, clamp01(level))
+	}
+	return out
+}
+
+// Scale returns a copy with membership degrees multiplied by level —
+// Mamdani implication by scaling (product implication).
+func (s *Set) Scale(level float64) *Set {
+	out := &Set{
+		universe: make([]float64, len(s.universe)),
+		degrees:  make([]float64, len(s.degrees)),
+	}
+	copy(out.universe, s.universe)
+	for i, d := range s.degrees {
+		out.degrees[i] = clamp01(d * level)
+	}
+	return out
+}
+
+// Centroid returns the center of gravity of the set, the classic Mamdani
+// defuzzifier. The second result is false when the set has zero area.
+func (s *Set) Centroid() (float64, bool) {
+	var num, den float64
+	for i, d := range s.degrees {
+		num += s.universe[i] * d
+		den += d
+	}
+	if den == 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+// Height returns the largest membership degree in the set.
+func (s *Set) Height() float64 {
+	var h float64
+	for _, d := range s.degrees {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// Support returns the interval [lo, hi] spanned by universe points with
+// non-zero membership; ok is false for an all-zero set.
+func (s *Set) Support() (lo, hi float64, ok bool) {
+	first, last := -1, -1
+	for i, d := range s.degrees {
+		if d > 0 {
+			if first == -1 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first == -1 {
+		return 0, 0, false
+	}
+	return s.universe[first], s.universe[last], true
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0 || math.IsNaN(x):
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return x
+	}
+}

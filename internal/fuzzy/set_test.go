@@ -1,0 +1,281 @@
+package fuzzy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNorms(t *testing.T) {
+	if ProdNorm(0.5, 0.4) != 0.2 {
+		t.Error("ProdNorm wrong")
+	}
+	if MinNorm(0.5, 0.4) != 0.4 {
+		t.Error("MinNorm wrong")
+	}
+	if MaxNorm(0.5, 0.4) != 0.5 {
+		t.Error("MaxNorm wrong")
+	}
+	if got := ProbOrNorm(0.5, 0.4); math.Abs(got-0.7) > 1e-15 {
+		t.Errorf("ProbOrNorm = %v, want 0.7", got)
+	}
+	if Complement(0.3) != 0.7 {
+		t.Error("Complement wrong")
+	}
+}
+
+func TestTNormProperties(t *testing.T) {
+	// Commutativity, monotonicity, identity with 1, zero with 0.
+	f := func(a, b float64) bool {
+		a = math.Mod(math.Abs(a), 1)
+		b = math.Mod(math.Abs(b), 1)
+		for _, norm := range []TNorm{ProdNorm, MinNorm} {
+			if norm(a, b) != norm(b, a) {
+				return false
+			}
+			if math.Abs(norm(a, 1)-a) > 1e-15 {
+				return false
+			}
+			if norm(a, 0) != 0 {
+				return false
+			}
+			if norm(a, b) > math.Min(a, b)+1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetSamplingAndCentroid(t *testing.T) {
+	s := NewSet(Triangular{Left: 0, Peak: 1, Right: 2}, 0, 2, 201)
+	if s.Len() != 201 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	c, ok := s.Centroid()
+	if !ok {
+		t.Fatal("centroid of non-empty set reported empty")
+	}
+	if math.Abs(c-1) > 1e-9 {
+		t.Errorf("Centroid = %v, want 1 (symmetric triangle)", c)
+	}
+	if h := s.Height(); math.Abs(h-1) > 1e-12 {
+		t.Errorf("Height = %v, want 1", h)
+	}
+}
+
+func TestSetCombineUnionIntersection(t *testing.T) {
+	a := NewSet(Triangular{Left: 0, Peak: 0.5, Right: 1}, 0, 2, 101)
+	b := NewSet(Triangular{Left: 1, Peak: 1.5, Right: 2}, 0, 2, 101)
+	union := a.Combine(b, MaxNorm)
+	inter := a.Combine(b, MinNorm)
+	// Disjoint supports: intersection is (nearly) empty, union covers both peaks.
+	if h := inter.Height(); h > 1e-9 {
+		t.Errorf("intersection height = %v, want ~0", h)
+	}
+	if h := union.Height(); math.Abs(h-1) > 1e-12 {
+		t.Errorf("union height = %v, want 1", h)
+	}
+	lo, hi, ok := union.Support()
+	if !ok || lo > 0.1 || hi < 1.9 {
+		t.Errorf("union support = [%v,%v] ok=%v", lo, hi, ok)
+	}
+}
+
+func TestSetClipAndScale(t *testing.T) {
+	s := NewSet(Triangular{Left: 0, Peak: 1, Right: 2}, 0, 2, 101)
+	clipped := s.Clip(0.5)
+	if h := clipped.Height(); math.Abs(h-0.5) > 1e-12 {
+		t.Errorf("clipped height = %v, want 0.5", h)
+	}
+	scaled := s.Scale(0.5)
+	if h := scaled.Height(); math.Abs(h-0.5) > 1e-12 {
+		t.Errorf("scaled height = %v, want 0.5", h)
+	}
+	// Original untouched.
+	if h := s.Height(); math.Abs(h-1) > 1e-12 {
+		t.Error("Clip/Scale mutated receiver")
+	}
+	// Clip truncates the shoulders flat; scale keeps proportions.
+	_, dClip := clipped.At(50) // peak position
+	_, dScale := scaled.At(25) // halfway up the left slope (0.5 → 0.25 scaled)
+	if math.Abs(dClip-0.5) > 1e-12 {
+		t.Errorf("clip at peak = %v", dClip)
+	}
+	if math.Abs(dScale-0.25) > 1e-9 {
+		t.Errorf("scale at mid-slope = %v, want 0.25", dScale)
+	}
+}
+
+func TestSetEmptyCentroid(t *testing.T) {
+	// A set sampled where the membership function is zero everywhere.
+	s := NewSet(Triangular{Left: 10, Peak: 11, Right: 12}, 0, 1, 11)
+	if _, ok := s.Centroid(); ok {
+		t.Error("empty set centroid reported ok")
+	}
+	if _, _, ok := s.Support(); ok {
+		t.Error("empty set support reported ok")
+	}
+}
+
+func TestSetPanicsOnBadArgs(t *testing.T) {
+	cases := []func(){
+		func() { NewSet(Gaussian{Mu: 0, Sigma: 1}, 0, 1, 1) },
+		func() { NewSet(Gaussian{Mu: 0, Sigma: 1}, 1, 0, 10) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMamdaniBasic(t *testing.T) {
+	// One input: "low" maps to output around 0.2, "high" to around 0.8.
+	rules := []MamdaniRule{
+		{
+			Antecedent: []Membership{Triangular{Left: -1, Peak: 0, Right: 1}},
+			Output:     Triangular{Left: 0, Peak: 0.2, Right: 0.4},
+		},
+		{
+			Antecedent: []Membership{Triangular{Left: 0, Peak: 1, Right: 2}},
+			Output:     Triangular{Left: 0.6, Peak: 0.8, Right: 1},
+		},
+	}
+	m, err := NewMamdani(1, rules, 0, 1, 501)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y0, err := m.Eval([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y0-0.2) > 0.02 {
+		t.Errorf("Eval(0) = %v, want ~0.2", y0)
+	}
+	y1, err := m.Eval([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y1-0.8) > 0.02 {
+		t.Errorf("Eval(1) = %v, want ~0.8", y1)
+	}
+	// Between the rules the output interpolates.
+	ym, err := m.Eval([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ym < 0.3 || ym > 0.7 {
+		t.Errorf("Eval(0.5) = %v, want mid-range", ym)
+	}
+}
+
+func TestMamdaniDefuzzifiers(t *testing.T) {
+	// One rule fully fired: the aggregated set is the output triangle
+	// peaked at 0.5, where every defuzzifier has a known answer.
+	rules := []MamdaniRule{{
+		Antecedent: []Membership{Trapezoidal{A: -1, B: -1, C: 1, D: 1}},
+		Output:     Triangular{Left: 0.2, Peak: 0.5, Right: 0.8},
+	}}
+	for _, tc := range []struct {
+		d    Defuzzifier
+		want float64
+		tol  float64
+	}{
+		{Centroid, 0.5, 0.01},
+		{Bisector, 0.5, 0.01},
+		{MeanOfMaxima, 0.5, 0.01},
+		{SmallestOfMaxima, 0.5, 0.01},
+	} {
+		m, err := NewMamdani(1, rules, 0, 1, 501)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Defuzz = tc.d
+		got, err := m.Eval([]float64{0})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.d, err)
+		}
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("%v = %v, want ~%v", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestMamdaniDefuzzifiersDifferOnSkewedSets(t *testing.T) {
+	// A clipped asymmetric output: centroid and maxima-based defuzzifiers
+	// must disagree.
+	rules := []MamdaniRule{{
+		Antecedent: []Membership{Trapezoidal{A: -1, B: -1, C: 1, D: 1}},
+		Output:     Trapezoidal{A: 0, B: 0.7, C: 0.9, D: 1},
+	}}
+	eval := func(d Defuzzifier) float64 {
+		m, err := NewMamdani(1, rules, 0, 1, 501)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Defuzz = d
+		got, err := m.Eval([]float64{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	centroid := eval(Centroid)
+	mom := eval(MeanOfMaxima)
+	som := eval(SmallestOfMaxima)
+	if centroid >= mom {
+		t.Errorf("centroid %v should sit left of mean-of-maxima %v", centroid, mom)
+	}
+	if som > mom {
+		t.Errorf("smallest-of-maxima %v above mean %v", som, mom)
+	}
+}
+
+func TestDefuzzifierString(t *testing.T) {
+	for _, d := range []Defuzzifier{Centroid, Bisector, MeanOfMaxima, SmallestOfMaxima, Defuzzifier(99)} {
+		if d.String() == "" {
+			t.Errorf("empty name for %d", int(d))
+		}
+	}
+}
+
+func TestMamdaniErrors(t *testing.T) {
+	out := Triangular{Left: 0, Peak: 0.5, Right: 1}
+	good := []MamdaniRule{{
+		Antecedent: []Membership{Triangular{Left: 0, Peak: 1, Right: 2}},
+		Output:     out,
+	}}
+	if _, err := NewMamdani(0, good, 0, 1, 11); err == nil {
+		t.Error("zero inputs accepted")
+	}
+	if _, err := NewMamdani(1, nil, 0, 1, 11); err == nil {
+		t.Error("no rules accepted")
+	}
+	if _, err := NewMamdani(1, good, 1, 0, 11); err == nil {
+		t.Error("empty output universe accepted")
+	}
+	bad := []MamdaniRule{{Antecedent: nil, Output: out}}
+	if _, err := NewMamdani(1, bad, 0, 1, 11); err == nil {
+		t.Error("bad arity rule accepted")
+	}
+	m, err := NewMamdani(1, good, 0, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Eval([]float64{1, 2}); err == nil {
+		t.Error("bad input arity accepted")
+	}
+	// Input far outside every antecedent: nothing fires.
+	if _, err := m.Eval([]float64{100}); err == nil {
+		t.Error("no-activation input accepted")
+	}
+}

@@ -1,0 +1,269 @@
+package fuzzy
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// twoRuleSystem builds a simple 1-input TSK system with rules centered at 0
+// and 1 whose consequents are the constants 0 and 1 respectively.
+func twoRuleSystem(t *testing.T) *TSK {
+	t.Helper()
+	sys, err := NewTSK(1, []Rule{
+		{Antecedent: []Gaussian{{Mu: 0, Sigma: 0.3}}, Coeffs: []float64{0, 0}},
+		{Antecedent: []Gaussian{{Mu: 1, Sigma: 0.3}}, Coeffs: []float64{0, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestTSKEvalAtRuleCenters(t *testing.T) {
+	sys := twoRuleSystem(t)
+	// At x=0 rule 1 dominates → output near 0; at x=1 rule 2 → near 1.
+	y0, err := sys.Eval([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y0 > 0.01 {
+		t.Errorf("Eval(0) = %v, want ~0", y0)
+	}
+	y1, err := sys.Eval([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y1 < 0.99 {
+		t.Errorf("Eval(1) = %v, want ~1", y1)
+	}
+	// Midpoint: symmetric rules → exactly 0.5.
+	ym, err := sys.Eval([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ym-0.5) > 1e-12 {
+		t.Errorf("Eval(0.5) = %v, want 0.5", ym)
+	}
+}
+
+func TestTSKWeightedSumAverageFormula(t *testing.T) {
+	// Hand-check the weighted sum average against a manual computation.
+	sys, err := NewTSK(2, []Rule{
+		{
+			Antecedent: []Gaussian{{Mu: 0, Sigma: 1}, {Mu: 0, Sigma: 1}},
+			Coeffs:     []float64{1, 2, 3}, // f = v1 + 2 v2 + 3
+		},
+		{
+			Antecedent: []Gaussian{{Mu: 1, Sigma: 2}, {Mu: 1, Sigma: 2}},
+			Coeffs:     []float64{-1, 0, 1}, // f = −v1 + 1
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{0.5, -0.5}
+	w1 := math.Exp(-0.125) * math.Exp(-0.125)
+	w2 := math.Exp(-0.03125) * math.Exp(-0.28125)
+	f1 := 0.5 + 2*(-0.5) + 3
+	f2 := -0.5 + 1
+	want := (w1*f1 + w2*f2) / (w1 + w2)
+	got, err := sys.Eval(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Eval = %v, want %v", got, want)
+	}
+}
+
+func TestTSKEvalDetailConsistent(t *testing.T) {
+	sys := twoRuleSystem(t)
+	d, err := sys.EvalDetail([]float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Weights) != 2 || len(d.Consequents) != 2 {
+		t.Fatalf("detail sizes: %d weights, %d consequents", len(d.Weights), len(d.Consequents))
+	}
+	var sum, out float64
+	for j := range d.Weights {
+		sum += d.Weights[j]
+		out += d.Weights[j] * d.Consequents[j]
+	}
+	if math.Abs(sum-d.WeightSum) > 1e-15 {
+		t.Errorf("WeightSum inconsistent: %v vs %v", sum, d.WeightSum)
+	}
+	if math.Abs(out/sum-d.Output) > 1e-15 {
+		t.Errorf("Output inconsistent: %v vs %v", out/sum, d.Output)
+	}
+}
+
+func TestTSKOutputBoundedByConsequentsForConstantRules(t *testing.T) {
+	// With constant consequents the weighted average must stay inside the
+	// consequent range — the convexity property the CQM normalization
+	// relies on being violated only through the *linear* terms.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 2 + r.Intn(4)
+		rules := make([]Rule, m)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for j := range rules {
+			c := r.Float64()
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+			rules[j] = Rule{
+				Antecedent: []Gaussian{{Mu: r.Float64(), Sigma: 0.1 + r.Float64()}},
+				Coeffs:     []float64{0, c},
+			}
+		}
+		sys, err := NewTSK(1, rules)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			y, err := sys.Eval([]float64{r.Float64()})
+			if err != nil {
+				return false
+			}
+			if y < lo-1e-9 || y > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTSKValidation(t *testing.T) {
+	valid := Rule{Antecedent: []Gaussian{{Mu: 0, Sigma: 1}}, Coeffs: []float64{1, 0}}
+	tests := []struct {
+		name  string
+		n     int
+		rules []Rule
+	}{
+		{"no rules", 1, nil},
+		{"zero inputs", 0, []Rule{valid}},
+		{"wrong antecedents", 2, []Rule{valid}},
+		{"wrong coeffs", 1, []Rule{{Antecedent: valid.Antecedent, Coeffs: []float64{1}}}},
+		{"bad sigma", 1, []Rule{{Antecedent: []Gaussian{{Mu: 0, Sigma: 0}}, Coeffs: []float64{1, 0}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewTSK(tt.n, tt.rules); err == nil {
+				t.Error("invalid system accepted")
+			}
+		})
+	}
+}
+
+func TestTSKArityError(t *testing.T) {
+	sys := twoRuleSystem(t)
+	if _, err := sys.Eval([]float64{1, 2}); !errors.Is(err, ErrArity) {
+		t.Errorf("err = %v, want ErrArity", err)
+	}
+}
+
+func TestTSKNoActivation(t *testing.T) {
+	// Rules so far from the input that both weights underflow to 0.
+	sys, err := NewTSK(1, []Rule{
+		{Antecedent: []Gaussian{{Mu: 0, Sigma: 1e-3}}, Coeffs: []float64{0, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Eval([]float64{1e9}); !errors.Is(err, ErrNoActivation) {
+		t.Errorf("err = %v, want ErrNoActivation", err)
+	}
+}
+
+func TestTSKRuleAccessorsCopy(t *testing.T) {
+	sys := twoRuleSystem(t)
+	r := sys.Rule(0)
+	r.Coeffs[0] = 999
+	r.Antecedent[0].Mu = 999
+	if got := sys.Rule(0); got.Coeffs[0] == 999 || got.Antecedent[0].Mu == 999 {
+		t.Error("Rule returned aliased storage")
+	}
+}
+
+func TestTSKSetRule(t *testing.T) {
+	sys := twoRuleSystem(t)
+	repl := Rule{Antecedent: []Gaussian{{Mu: 5, Sigma: 2}}, Coeffs: []float64{0, 7}}
+	if err := sys.SetRule(1, repl); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Rule(1); got.Antecedent[0].Mu != 5 {
+		t.Error("SetRule did not persist")
+	}
+	if err := sys.SetRule(9, repl); err == nil {
+		t.Error("out-of-range SetRule accepted")
+	}
+	bad := Rule{Antecedent: []Gaussian{{Mu: 0, Sigma: -1}}, Coeffs: []float64{0, 0}}
+	if err := sys.SetRule(0, bad); err == nil {
+		t.Error("invalid SetRule accepted")
+	}
+}
+
+func TestTSKCloneIndependent(t *testing.T) {
+	sys := twoRuleSystem(t)
+	cp := sys.Clone()
+	if err := cp.SetRule(0, Rule{Antecedent: []Gaussian{{Mu: 9, Sigma: 1}}, Coeffs: []float64{0, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Rule(0).Antecedent[0].Mu == 9 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestTSKJSONRoundTrip(t *testing.T) {
+	sys := twoRuleSystem(t)
+	data, err := json.Marshal(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TSK
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Inputs() != sys.Inputs() || back.NumRules() != sys.NumRules() {
+		t.Fatal("round trip lost shape")
+	}
+	for _, x := range []float64{-0.5, 0, 0.3, 1, 2} {
+		a, errA := sys.Eval([]float64{x})
+		b, errB := back.Eval([]float64{x})
+		if (errA == nil) != (errB == nil) || math.Abs(a-b) > 1e-15 {
+			t.Errorf("round trip differs at %v: %v vs %v", x, a, b)
+		}
+	}
+}
+
+func TestTSKJSONRejectsInvalid(t *testing.T) {
+	var sys TSK
+	if err := json.Unmarshal([]byte(`{"inputs":0,"rules":[]}`), &sys); err == nil {
+		t.Error("invalid serialized system accepted")
+	}
+	if err := json.Unmarshal([]byte(`{nonsense`), &sys); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestTSKString(t *testing.T) {
+	s := twoRuleSystem(t).String()
+	if !strings.Contains(s, "IF") || !strings.Contains(s, "THEN") {
+		t.Errorf("String missing linguistic form: %q", s)
+	}
+	if !strings.Contains(s, "2 rules") {
+		t.Errorf("String missing rule count: %q", s)
+	}
+}

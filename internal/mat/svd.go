@@ -1,0 +1,234 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// SVD holds a thin singular value decomposition A = U·diag(S)·Vᵀ of an
+// m×n matrix. U is m×n with orthonormal columns, V is n×n orthogonal, and
+// S holds the singular values in non-increasing order.
+type SVD struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// maxJacobiSweeps bounds the one-sided Jacobi iteration; convergence is
+// typically reached in well under 30 sweeps for the shapes we handle.
+const maxJacobiSweeps = 60
+
+// FactorSVD computes the thin SVD of a using one-sided Jacobi rotations.
+// The method orthogonalizes the columns of a working copy of A by plane
+// rotations accumulated into V; the singular values are the resulting
+// column norms and U the normalized columns.
+//
+// Matrices with more columns than rows are handled by decomposing the
+// transpose and swapping U and V.
+func FactorSVD(a *Matrix) (*SVD, error) {
+	m, n := a.Rows(), a.Cols()
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("%w: SVD of empty %dx%d matrix", ErrShape, m, n)
+	}
+	if m < n {
+		t, err := FactorSVD(a.T())
+		if err != nil {
+			return nil, err
+		}
+		return &SVD{U: t.V, S: t.S, V: t.U}, nil
+	}
+
+	w := a.Clone() // working copy whose columns get orthogonalized
+	v := Identity(n)
+
+	const eps = 1e-15
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		offDiag := false
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				var alpha, beta, gamma float64
+				for i := 0; i < m; i++ {
+					wp := w.At(i, p)
+					wq := w.At(i, q)
+					alpha += wp * wp
+					beta += wq * wq
+					gamma += wp * wq
+				}
+				if math.Abs(gamma) <= eps*math.Sqrt(alpha*beta) || gamma == 0 {
+					continue
+				}
+				offDiag = true
+				// Compute the Jacobi rotation that zeroes gamma.
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					wp := w.At(i, p)
+					wq := w.At(i, q)
+					w.Set(i, p, c*wp-s*wq)
+					w.Set(i, q, s*wp+c*wq)
+				}
+				for i := 0; i < n; i++ {
+					vp := v.At(i, p)
+					vq := v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if !offDiag {
+			break
+		}
+	}
+
+	// Extract singular values and normalize the columns into U.
+	s := make([]float64, n)
+	u := New(m, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for i := 0; i < m; i++ {
+			norm = math.Hypot(norm, w.At(i, j))
+		}
+		s[j] = norm
+		if norm > 0 {
+			for i := 0; i < m; i++ {
+				u.Set(i, j, w.At(i, j)/norm)
+			}
+		}
+	}
+
+	// Sort singular values (and the corresponding columns) descending.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < n; i++ {
+		max := i
+		for j := i + 1; j < n; j++ {
+			if s[order[j]] > s[order[max]] {
+				max = j
+			}
+		}
+		order[i], order[max] = order[max], order[i]
+	}
+	su := New(m, n)
+	sv := New(n, n)
+	ss := make([]float64, n)
+	for dst, src := range order {
+		ss[dst] = s[src]
+		for i := 0; i < m; i++ {
+			su.Set(i, dst, u.At(i, src))
+		}
+		for i := 0; i < n; i++ {
+			sv.Set(i, dst, v.At(i, src))
+		}
+	}
+	return &SVD{U: su, S: ss, V: sv}, nil
+}
+
+// Rank returns the numerical rank: the number of singular values larger
+// than tol·max(S). A non-positive tol selects a default based on machine
+// epsilon and the matrix size.
+func (d *SVD) Rank(tol float64) int {
+	if len(d.S) == 0 {
+		return 0
+	}
+	if tol <= 0 {
+		tol = float64(maxInt(d.U.Rows(), d.V.Rows())) * 2.220446049250313e-16
+	}
+	cut := tol * d.S[0]
+	rank := 0
+	for _, sv := range d.S {
+		if sv > cut {
+			rank++
+		}
+	}
+	return rank
+}
+
+// Cond returns the 2-norm condition number S_max/S_min, or +Inf when the
+// smallest singular value is zero.
+func (d *SVD) Cond() float64 {
+	if len(d.S) == 0 {
+		return 0
+	}
+	min := d.S[len(d.S)-1]
+	if min == 0 {
+		return math.Inf(1)
+	}
+	return d.S[0] / min
+}
+
+// Solve computes the minimum-norm least-squares solution of A·x = b using
+// the decomposition, truncating singular values below tol·max(S)
+// (a non-positive tol selects a machine-epsilon default).
+func (d *SVD) Solve(b []float64, tol float64) ([]float64, error) {
+	m := d.U.Rows()
+	n := d.V.Rows()
+	if len(b) != m {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), m)
+	}
+	if tol <= 0 {
+		tol = float64(maxInt(m, n)) * 2.220446049250313e-16
+	}
+	var cut float64
+	if len(d.S) > 0 {
+		cut = tol * d.S[0]
+	}
+	// y = Σ_j (u_jᵀ b / s_j) v_j for s_j above the cutoff.
+	x := make([]float64, n)
+	for j, sv := range d.S {
+		if sv <= cut {
+			continue
+		}
+		var uj float64
+		for i := 0; i < m; i++ {
+			uj += d.U.At(i, j) * b[i]
+		}
+		scale := uj / sv
+		for i := 0; i < n; i++ {
+			x[i] += scale * d.V.At(i, j)
+		}
+	}
+	return x, nil
+}
+
+// PseudoInverse returns the Moore–Penrose pseudo-inverse built from the
+// decomposition with the given singular-value tolerance (non-positive for
+// the default).
+func (d *SVD) PseudoInverse(tol float64) *Matrix {
+	m := d.U.Rows()
+	n := d.V.Rows()
+	if tol <= 0 {
+		tol = float64(maxInt(m, n)) * 2.220446049250313e-16
+	}
+	var cut float64
+	if len(d.S) > 0 {
+		cut = tol * d.S[0]
+	}
+	pinv := New(n, m)
+	for j, sv := range d.S {
+		if sv <= cut {
+			continue
+		}
+		inv := 1 / sv
+		for r := 0; r < n; r++ {
+			vr := d.V.At(r, j) * inv
+			if vr == 0 {
+				continue
+			}
+			for c := 0; c < m; c++ {
+				pinv.Set(r, c, pinv.At(r, c)+vr*d.U.At(c, j))
+			}
+		}
+	}
+	return pinv
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

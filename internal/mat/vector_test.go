@@ -1,0 +1,124 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"orthogonal", []float64{1, 0}, []float64{0, 1}, 0},
+		{"parallel", []float64{1, 2, 3}, []float64{1, 2, 3}, 14},
+		{"empty", nil, nil, 0},
+		{"negative", []float64{-1, 2}, []float64{3, 4}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Dot(tt.a, tt.b); got != tt.want {
+				t.Errorf("Dot = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot length mismatch did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2(t *testing.T) {
+	tests := []struct {
+		name string
+		v    []float64
+		want float64
+	}{
+		{"pythagorean", []float64{3, 4}, 5},
+		{"zero", []float64{0, 0, 0}, 0},
+		{"empty", nil, 0},
+		{"single", []float64{-2}, 2},
+		{"huge values no overflow", []float64{1e200, 1e200}, math.Sqrt2 * 1e200},
+		{"tiny values no underflow", []float64{1e-200, 1e-200}, math.Sqrt2 * 1e-200},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Norm2(tt.v)
+			if math.Abs(got-tt.want) > 1e-12*math.Max(1, tt.want) {
+				t.Errorf("Norm2 = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVecArithmetic(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := AddVec(a, b); got[2] != 9 {
+		t.Errorf("AddVec = %v", got)
+	}
+	if got := SubVec(b, a); got[0] != 3 {
+		t.Errorf("SubVec = %v", got)
+	}
+	if got := ScaleVec(2, a); got[1] != 4 {
+		t.Errorf("ScaleVec = %v", got)
+	}
+	if a[0] != 1 || b[0] != 4 {
+		t.Error("vector ops mutated inputs")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if got := Distance(a, b); got != 5 {
+		t.Errorf("Distance = %v, want 5", got)
+	}
+	if got := SquaredDistance(a, b); got != 25 {
+		t.Errorf("SquaredDistance = %v, want 25", got)
+	}
+}
+
+func TestCauchySchwarzProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = r.NormFloat64()
+			b[i] = r.NormFloat64()
+		}
+		return math.Abs(Dot(a, b)) <= Norm2(a)*Norm2(b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		for i := range a {
+			a[i] = r.NormFloat64()
+			b[i] = r.NormFloat64()
+			c[i] = r.NormFloat64()
+		}
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+package particle
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func samplePacket() ContextPacket {
+	return ContextPacket{
+		Type:       TypeContext,
+		Node:       NodeIDFromString("awarepen"),
+		Seq:        1234,
+		SentMillis: 567890,
+		ClassID:    2,
+		Quality:    0.8112,
+		HasQuality: true,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := samplePacket()
+	frame, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != FrameLen {
+		t.Fatalf("frame length %d, want %d", len(frame), FrameLen)
+	}
+	back, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Type != p.Type || back.Node != p.Node || back.Seq != p.Seq ||
+		back.SentMillis != p.SentMillis || back.ClassID != p.ClassID {
+		t.Errorf("round trip changed fields: %+v vs %+v", back, p)
+	}
+	if !back.HasQuality {
+		t.Fatal("quality annotation lost")
+	}
+	if math.Abs(back.Quality-p.Quality) > 2*QualityResolution {
+		t.Errorf("quality %v -> %v beyond fixed-point resolution", p.Quality, back.Quality)
+	}
+}
+
+func TestEncodeDecodeNoQuality(t *testing.T) {
+	p := samplePacket()
+	p.HasQuality = false
+	p.Quality = 0
+	frame, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.HasQuality {
+		t.Error("phantom quality appeared")
+	}
+}
+
+func TestEncodeRejectsBadQuality(t *testing.T) {
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		p := samplePacket()
+		p.Quality = q
+		if _, err := Encode(p); !errors.Is(err, ErrQuality) {
+			t.Errorf("quality %v: err = %v", q, err)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good, err := Encode(samplePacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("short", func(t *testing.T) {
+		if _, err := Decode(good[:10]); !errors.Is(err, ErrFrameLength) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("bad sync", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] = 0x00
+		if _, err := Decode(bad); !errors.Is(err, ErrSync) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[1] = 99
+		// Re-CRC so only the version is wrong.
+		crc := CRC16(bad[:20])
+		bad[20] = byte(crc >> 8)
+		bad[21] = byte(crc)
+		if _, err := Decode(bad); !errors.Is(err, ErrVersion) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("corrupted payload", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[17] ^= 0x01
+		if _, err := Decode(bad); !errors.Is(err, ErrCRC) {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestEveryBitFlipIsDetected(t *testing.T) {
+	// Single-bit corruption anywhere in the frame must never decode
+	// silently: either the sync/version check or the CRC catches it.
+	good, err := Encode(samplePacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < FrameLen*8; bit++ {
+		if _, err := Decode(FlipBit(good, bit)); err == nil {
+			t.Fatalf("bit flip at %d decoded cleanly", bit)
+		}
+	}
+}
+
+func TestCRC16KnownValue(t *testing.T) {
+	// CRC-16/CCITT-FALSE("123456789") = 0x29B1 — the standard check value.
+	if got := CRC16([]byte("123456789")); got != 0x29B1 {
+		t.Errorf("CRC16 = 0x%04X, want 0x29B1", got)
+	}
+	if got := CRC16(nil); got != 0xFFFF {
+		t.Errorf("CRC16(empty) = 0x%04X, want init value", got)
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if got := NodeIDFromString("pen-1").String(); got != "pen-1" {
+		t.Errorf("NodeID round trip = %q", got)
+	}
+	long := NodeIDFromString("a-very-long-appliance-name")
+	if len(long.String()) != 8 {
+		t.Errorf("long name not truncated: %q", long.String())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := ContextPacket{
+			Type:       PacketType(1 + r.Intn(2)),
+			Seq:        uint16(r.Intn(65536)),
+			SentMillis: r.Uint32(),
+			ClassID:    byte(r.Intn(4)),
+			HasQuality: r.Intn(2) == 0,
+		}
+		r.Read(p.Node[:])
+		if p.HasQuality {
+			p.Quality = r.Float64()
+		}
+		frame, err := Encode(p)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		if back.HasQuality != p.HasQuality {
+			return false
+		}
+		if p.HasQuality && math.Abs(back.Quality-p.Quality) > 2*QualityResolution {
+			return false
+		}
+		return back.Node == p.Node && back.Seq == p.Seq && back.ClassID == p.ClassID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	p := samplePacket()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		frame, err := Encode(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

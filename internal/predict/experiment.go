@@ -1,0 +1,167 @@
+package predict
+
+import (
+	"fmt"
+	"strings"
+
+	"cqm/internal/classify"
+	"cqm/internal/core"
+	"cqm/internal/feature"
+	"cqm/internal/sensor"
+)
+
+// Outcome summarizes a prediction experiment over a labelled stream with
+// known transition times.
+type Outcome struct {
+	// Transitions is the number of true context changes in the stream.
+	Transitions int
+	// Anticipated is how many true changes were predicted at or before
+	// the window in which the ground truth actually changed.
+	Anticipated int
+	// MeanLeadWindows is the average number of windows by which
+	// anticipated changes were predicted early.
+	MeanLeadWindows float64
+	// FalseAlarms is the number of change predictions in stable phases
+	// that no true change followed within the horizon.
+	FalseAlarms int
+	// StableWindows is the number of windows in stable phases (the base
+	// for the false-alarm rate).
+	StableWindows int
+}
+
+// FalseAlarmRate returns FalseAlarms/StableWindows.
+func (o Outcome) FalseAlarmRate() float64 {
+	if o.StableWindows == 0 {
+		return 0
+	}
+	return float64(o.FalseAlarms) / float64(o.StableWindows)
+}
+
+// AnticipationRate returns Anticipated/Transitions.
+func (o Outcome) AnticipationRate() float64 {
+	if o.Transitions == 0 {
+		return 0
+	}
+	return float64(o.Anticipated) / float64(o.Transitions)
+}
+
+// Render summarizes the outcome.
+func (o Outcome) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Context prediction (paper §5 outlook)\n")
+	fmt.Fprintf(&sb, "  true transitions       %d\n", o.Transitions)
+	fmt.Fprintf(&sb, "  anticipated            %d (%.0f %%)\n", o.Anticipated, 100*o.AnticipationRate())
+	fmt.Fprintf(&sb, "  mean lead              %.1f windows\n", o.MeanLeadWindows)
+	fmt.Fprintf(&sb, "  false alarms           %d over %d stable windows (%.1f %%)\n",
+		o.FalseAlarms, o.StableWindows, 100*o.FalseAlarmRate())
+	return sb.String()
+}
+
+// Horizon is how many windows before a true change a prediction counts as
+// anticipation rather than a false alarm.
+const Horizon = 3
+
+// RunExperiment streams a recording through classifier + monitor and
+// scores predictions against the ground-truth transitions.
+func RunExperiment(
+	clf classify.Classifier,
+	measure *core.Measure,
+	readings []sensor.Reading,
+	windowSize int,
+	cfg Config,
+) (*Outcome, error) {
+	// Overlapping windows (quarter-window hop): the drift through a
+	// transition then spans several observations, giving the trend
+	// monitor something to anticipate. Non-overlapping windows flip the
+	// classifier in the same observation the truth changes — there is no
+	// lead time to win at that granularity.
+	step := windowSize / 4
+	if step < 1 {
+		step = 1
+	}
+	windows, err := (feature.Windower{Size: windowSize, Step: step}).Slide(readings)
+	if err != nil {
+		return nil, fmt.Errorf("predict: windowing: %w", err)
+	}
+	monitor, err := NewMonitor(measure, sensor.AllContexts(), cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Truth-change window indices.
+	changeAt := make(map[int]bool)
+	for i := 1; i < len(windows); i++ {
+		if windows[i].Truth != windows[i-1].Truth {
+			changeAt[i] = true
+		}
+	}
+
+	type flagged struct {
+		window    int
+		predicted sensor.Context
+	}
+	var flags []flagged
+	for i, w := range windows {
+		class, err := clf.Classify(w.Cues)
+		if err != nil {
+			return nil, fmt.Errorf("predict: classifying window %d: %w", i, err)
+		}
+		step, err := monitor.Observe(w.Cues, class)
+		if err != nil {
+			return nil, err
+		}
+		if step.ChangeIndicated {
+			flags = append(flags, flagged{window: i, predicted: step.Predicted})
+		}
+	}
+
+	out := &Outcome{Transitions: len(changeAt)}
+	var leadSum float64
+	usedFlags := make(map[int]bool)
+	for i := 1; i < len(windows); i++ {
+		if !changeAt[i] {
+			continue
+		}
+		target := windows[i].Truth
+		// Anticipated: the predicted target class was flagged within the
+		// horizon before (or exactly at) the change.
+		for fi, f := range flags {
+			if usedFlags[fi] {
+				continue
+			}
+			if f.window <= i && f.window >= i-Horizon && f.predicted == target {
+				out.Anticipated++
+				leadSum += float64(i - f.window)
+				usedFlags[fi] = true
+				break
+			}
+		}
+	}
+	if out.Anticipated > 0 {
+		out.MeanLeadWindows = leadSum / float64(out.Anticipated)
+	}
+	// Stable windows: not within Horizon of any change in either
+	// direction (the turbulence right after a change belongs to the
+	// transition, not to the stable phase).
+	nearChange := func(i int) bool {
+		for d := 0; d <= Horizon; d++ {
+			if changeAt[i+d] || (i-d >= 0 && changeAt[i-d]) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range windows {
+		if nearChange(i) {
+			continue
+		}
+		out.StableWindows++
+	}
+	for fi, f := range flags {
+		if usedFlags[fi] || nearChange(f.window) {
+			continue
+		}
+		out.FalseAlarms++
+	}
+	return out, nil
+}

@@ -1,0 +1,205 @@
+// Package predict implements the first item of the paper's outlook (§5):
+// "Future research will cover the use of the context quality system for
+// context prediction. The measure can i.e. indicate that a context
+// classification changes in direction to another context."
+//
+// The key observation is that the quality FIS S_Q scores any (cues, class)
+// pair — not only the class the classifier chose. A Monitor therefore
+// scores the current cue window against *every* class each step. While the
+// pen is solidly writing, the quality trends are flat; as the movement
+// drifts toward playing, q(playing) rises window over window while
+// q(writing) falls. The Monitor predicts a change toward the alternative
+// whose quality has been rising persistently while the current context's
+// quality degrades — the "changes in direction to another context" signal
+// the paper describes.
+//
+// Direction (rising/falling), not absolute level, is the trigger: the
+// quality FIS extrapolates arbitrary levels for (cues, class) pairings it
+// never saw in training, but it only produces *sustained slopes* when the
+// cues themselves are moving.
+package predict
+
+import (
+	"errors"
+	"fmt"
+
+	"cqm/internal/core"
+	"cqm/internal/sensor"
+)
+
+// Prediction errors.
+var (
+	// ErrNotReady reports a monitor built without its dependencies.
+	ErrNotReady = errors.New("predict: monitor not configured")
+	// ErrBadConfig reports invalid monitor parameters.
+	ErrBadConfig = errors.New("predict: invalid configuration")
+)
+
+// Config parameterizes a Monitor.
+type Config struct {
+	// Smoothing is the EWMA factor α ∈ (0, 1] applied to per-class
+	// quality trends; 1 disables smoothing. Default 0.5.
+	Smoothing float64
+	// RiseDelta is the minimum per-window trend increase that counts as
+	// "rising" (filters noise jitter). Default 0.02.
+	RiseDelta float64
+	// Persistence is how many consecutive rising windows an alternative
+	// needs before it can trigger a prediction. Default 2.
+	Persistence int
+	// MinQuality gates predictions: alternatives whose trend is below
+	// this level never trigger. Default 0.3.
+	MinQuality float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Smoothing == 0 {
+		c.Smoothing = 0.5
+	}
+	if c.RiseDelta == 0 {
+		c.RiseDelta = 0.02
+	}
+	if c.Persistence == 0 {
+		c.Persistence = 2
+	}
+	if c.MinQuality == 0 {
+		c.MinQuality = 0.3
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Smoothing <= 0 || c.Smoothing > 1:
+		return fmt.Errorf("%w: smoothing %v", ErrBadConfig, c.Smoothing)
+	case c.RiseDelta < 0 || c.RiseDelta > 1:
+		return fmt.Errorf("%w: rise delta %v", ErrBadConfig, c.RiseDelta)
+	case c.Persistence < 1:
+		return fmt.Errorf("%w: persistence %d", ErrBadConfig, c.Persistence)
+	case c.MinQuality < 0 || c.MinQuality > 1:
+		return fmt.Errorf("%w: min quality %v", ErrBadConfig, c.MinQuality)
+	default:
+		return nil
+	}
+}
+
+// Step is the monitor's output for one cue window.
+type Step struct {
+	// Current is the classifier's context for this window.
+	Current sensor.Context
+	// Qualities maps every class to its smoothed quality trend.
+	Qualities map[sensor.Context]float64
+	// Predicted is the context the movement is drifting toward, or
+	// ContextUnknown when no change is indicated.
+	Predicted sensor.Context
+	// ChangeIndicated reports whether a context change is predicted.
+	ChangeIndicated bool
+}
+
+// Monitor tracks per-class quality trends over a classified stream.
+type Monitor struct {
+	measure *core.Measure
+	classes []sensor.Context
+	cfg     Config
+	trend   map[sensor.Context]float64
+	rising  map[sensor.Context]int
+	falling map[sensor.Context]int
+	primed  bool
+}
+
+// NewMonitor returns a monitor over the measure for the given classes.
+func NewMonitor(measure *core.Measure, classes []sensor.Context, cfg Config) (*Monitor, error) {
+	if measure == nil {
+		return nil, fmt.Errorf("%w: nil measure", ErrNotReady)
+	}
+	if len(classes) < 2 {
+		return nil, fmt.Errorf("%w: need >= 2 classes, got %d", ErrBadConfig, len(classes))
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Monitor{
+		measure: measure,
+		classes: append([]sensor.Context(nil), classes...),
+		cfg:     cfg,
+		trend:   make(map[sensor.Context]float64, len(classes)),
+		rising:  make(map[sensor.Context]int, len(classes)),
+		falling: make(map[sensor.Context]int, len(classes)),
+	}, nil
+}
+
+// Observe feeds one classified window into the monitor and returns the
+// prediction step. ε-state scores contribute a quality of 0 for that
+// class (the measure itself says the pairing is uninterpretable).
+func (m *Monitor) Observe(cues []float64, current sensor.Context) (Step, error) {
+	if m == nil || m.measure == nil {
+		return Step{}, ErrNotReady
+	}
+	step := Step{
+		Current:   current,
+		Qualities: make(map[sensor.Context]float64, len(m.classes)),
+		Predicted: sensor.ContextUnknown,
+	}
+	for _, c := range m.classes {
+		q, err := m.measure.Score(cues, c)
+		if err != nil {
+			if core.IsEpsilon(err) {
+				q = 0
+			} else {
+				return Step{}, fmt.Errorf("predict: scoring class %v: %w", c, err)
+			}
+		}
+		if !m.primed {
+			m.trend[c] = q
+		} else {
+			alpha := m.cfg.Smoothing
+			next := alpha*q + (1-alpha)*m.trend[c]
+			switch {
+			case next >= m.trend[c]+m.cfg.RiseDelta:
+				m.rising[c]++
+				m.falling[c] = 0
+			case next <= m.trend[c]-m.cfg.RiseDelta:
+				m.falling[c]++
+				m.rising[c] = 0
+			default:
+				m.rising[c] = 0
+				m.falling[c] = 0
+			}
+			m.trend[c] = next
+		}
+		step.Qualities[c] = m.trend[c]
+	}
+	m.primed = true
+
+	// Change is indicated toward the strongest rising alternative once the
+	// current context's quality degrades below the alternative's level.
+	// With a measure built from augmented (counterfactual) observations —
+	// see core.AugmentObservations — the per-class qualities are
+	// calibrated, so the crossing is a genuine "changes in direction to
+	// another context" signal.
+	if m.falling[current] >= 1 || m.trend[current] < m.cfg.MinQuality {
+		bestAlt := sensor.ContextUnknown
+		bestQ := -1.0
+		for _, c := range m.classes {
+			if c == current {
+				continue
+			}
+			if m.rising[c] >= m.cfg.Persistence && m.trend[c] > bestQ {
+				bestAlt, bestQ = c, m.trend[c]
+			}
+		}
+		if bestAlt != sensor.ContextUnknown && bestQ >= m.cfg.MinQuality {
+			step.Predicted = bestAlt
+			step.ChangeIndicated = true
+		}
+	}
+	return step, nil
+}
+
+// Reset clears the monitor's trend state (e.g. between sessions).
+func (m *Monitor) Reset() {
+	m.trend = make(map[sensor.Context]float64, len(m.classes))
+	m.rising = make(map[sensor.Context]int, len(m.classes))
+	m.falling = make(map[sensor.Context]int, len(m.classes))
+	m.primed = false
+}

@@ -1,0 +1,52 @@
+package sensor
+
+import "fmt"
+
+// Context is a context class of the AwarePen.
+type Context int
+
+// The AwarePen's three contexts (paper §3.1). Values start at 1 so the
+// zero value is detectably "unknown"; the integer doubles as the class
+// identifier c fed into the quality FIS input vector v_Q.
+const (
+	ContextUnknown Context = iota
+	ContextLying
+	ContextWriting
+	ContextPlaying
+)
+
+// AllContexts lists the recognizable contexts in identifier order.
+func AllContexts() []Context {
+	return []Context{ContextLying, ContextWriting, ContextPlaying}
+}
+
+// String returns the context name used throughout logs and reports.
+func (c Context) String() string {
+	switch c {
+	case ContextLying:
+		return "lying"
+	case ContextWriting:
+		return "writing"
+	case ContextPlaying:
+		return "playing"
+	case ContextUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Context(%d)", int(c))
+	}
+}
+
+// ID returns the numeric class identifier used as the FIS input c.
+func (c Context) ID() int { return int(c) }
+
+// ContextByID returns the context with the given identifier, or
+// ContextUnknown when the identifier names no context.
+func ContextByID(id int) Context {
+	c := Context(id)
+	switch c {
+	case ContextLying, ContextWriting, ContextPlaying:
+		return c
+	default:
+		return ContextUnknown
+	}
+}

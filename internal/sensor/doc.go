@@ -1,0 +1,17 @@
+// Package sensor simulates the AwarePen's sensing hardware: a 3-axis
+// accelerometer (the paper's "adxl" cues) on a Particle Computer node
+// attached to a whiteboard marker.
+//
+// The paper's evaluation data comes from physical recordings we cannot
+// access, so this package provides the closest synthetic equivalent
+// (DESIGN.md §2): parametric motion models for the three contexts the
+// AwarePen distinguishes — lying still, writing, and playing around — with
+// per-user style variation, sensor noise, drift and quantization, plus a
+// scenario scripter that produces labelled streams with gradual context
+// transitions.
+//
+// The transitions and user styles are deliberate: the paper reports that
+// classification quality collapses exactly there ("a user writing …, then
+// for some seconds playing with the pen when thinking and then continuing
+// writing"), and the CQM needs genuinely ambiguous windows to learn from.
+package sensor

@@ -1,0 +1,190 @@
+package sensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Accel is one 3-axis acceleration reading in g units.
+type Accel struct {
+	X, Y, Z float64
+}
+
+// MotionModel produces the true (noise-free) acceleration of the pen at
+// time t seconds. Models are stateful per recording — obtain a fresh one
+// per trace via its factory so phases and gestures differ between traces.
+type MotionModel interface {
+	// Accelerate returns the acceleration at time t. Implementations may
+	// draw from rng to evolve internal gesture state.
+	Accelerate(t float64, rng *rand.Rand) Accel
+}
+
+// Style captures a user's personal movement characteristics. The paper
+// observed that users "having a different style of using the pen while
+// writing" are much harder to classify; styles far from the defaults
+// reproduce exactly that.
+type Style struct {
+	// Amplitude scales all voluntary movement. 1 is the nominal user.
+	Amplitude float64
+	// Tempo scales the movement frequencies. 1 is nominal.
+	Tempo float64
+	// Irregularity in [0,1] adds random pauses and jerk to writing and
+	// playing motion. 0 is a perfectly steady user.
+	Irregularity float64
+}
+
+// DefaultStyle is the nominal user the classifier is trained for.
+func DefaultStyle() Style {
+	return Style{Amplitude: 1, Tempo: 1, Irregularity: 0.2}
+}
+
+// normalized fills zero fields with nominal values so the zero Style is
+// usable.
+func (s Style) normalized() Style {
+	if s.Amplitude == 0 {
+		s.Amplitude = 1
+	}
+	if s.Tempo == 0 {
+		s.Tempo = 1
+	}
+	if s.Irregularity < 0 {
+		s.Irregularity = 0
+	}
+	if s.Irregularity > 1 {
+		s.Irregularity = 1
+	}
+	return s
+}
+
+// gravity is Earth's acceleration in g units along the resting pen's Z.
+const gravity = 1.0
+
+// lyingModel: the pen rests on the whiteboard tray. Only micro-vibration
+// from the building reaches the sensor.
+type lyingModel struct {
+	style Style
+}
+
+// NewLying returns the motion model for the "lying still" context.
+func NewLying(style Style) MotionModel {
+	return &lyingModel{style: style.normalized()}
+}
+
+// Accelerate returns gravity plus negligible micro-vibration.
+func (m *lyingModel) Accelerate(_ float64, rng *rand.Rand) Accel {
+	const vib = 0.002
+	return Accel{
+		X: vib * rng.NormFloat64(),
+		Y: vib * rng.NormFloat64(),
+		Z: gravity + vib*rng.NormFloat64(),
+	}
+}
+
+// writingModel: medium-frequency, small-amplitude strokes. Writing is a
+// quasi-periodic motion around 4–6 Hz in the board plane with stroke
+// direction drifting as words progress, plus short pen lifts between
+// words whose rate grows with the user's irregularity.
+type writingModel struct {
+	style     Style
+	phaseX    float64
+	phaseY    float64
+	liftUntil float64
+	nextLift  float64
+}
+
+// NewWriting returns the motion model for the "writing" context.
+func NewWriting(style Style) MotionModel {
+	return &writingModel{style: style.normalized()}
+}
+
+// Accelerate synthesizes stroke oscillation with inter-word pen lifts.
+func (m *writingModel) Accelerate(t float64, rng *rand.Rand) Accel {
+	s := m.style
+	// Pen lifts: brief near-still gaps between words.
+	if t >= m.nextLift {
+		gap := 0.08 + 0.3*s.Irregularity*rng.Float64()
+		m.liftUntil = t + gap
+		// Word length shrinks (more pauses) for irregular users.
+		m.nextLift = m.liftUntil + (1.2-0.8*s.Irregularity)*(0.5+rng.Float64())
+	}
+	if t < m.liftUntil {
+		const settle = 0.01
+		return Accel{
+			X: settle * rng.NormFloat64(),
+			Y: settle * rng.NormFloat64(),
+			Z: gravity + settle*rng.NormFloat64(),
+		}
+	}
+	freqX := 5.2 * s.Tempo
+	freqY := 4.1 * s.Tempo
+	m.phaseX += 0.02 * s.Irregularity * rng.NormFloat64()
+	m.phaseY += 0.02 * s.Irregularity * rng.NormFloat64()
+	amp := 0.16 * s.Amplitude
+	jerk := 0.03 * s.Irregularity
+	return Accel{
+		X: amp*math.Sin(2*math.Pi*freqX*t+m.phaseX) + jerk*rng.NormFloat64(),
+		Y: 0.7*amp*math.Sin(2*math.Pi*freqY*t+m.phaseY) + jerk*rng.NormFloat64(),
+		// Writing tilts the pen slightly off vertical.
+		Z: gravity*0.95 + 0.04*amp*math.Sin(2*math.Pi*freqX*t) + jerk*rng.NormFloat64(),
+	}
+}
+
+// playingModel: large, slow, irregular swings — twirling the pen, tapping
+// it, waving it while thinking. Dominated by 0.8–2.5 Hz components with
+// amplitudes several times larger than writing, and occasional impact
+// spikes from tapping.
+type playingModel struct {
+	style    Style
+	phase    float64
+	freq     float64
+	nextTurn float64
+	tapUntil float64
+	nextTap  float64
+}
+
+// NewPlaying returns the motion model for the "playing around" context.
+func NewPlaying(style Style) MotionModel {
+	return &playingModel{style: style.normalized(), freq: 1.4}
+}
+
+// Accelerate synthesizes swinging with gesture changes and tap spikes.
+func (m *playingModel) Accelerate(t float64, rng *rand.Rand) Accel {
+	s := m.style
+	if t >= m.nextTurn {
+		// Pick a new swing rhythm.
+		m.freq = (0.8 + 1.7*rng.Float64()) * s.Tempo
+		m.phase = 2 * math.Pi * rng.Float64()
+		m.nextTurn = t + 0.7 + 1.5*rng.Float64()
+	}
+	if t >= m.nextTap {
+		m.tapUntil = t + 0.03
+		m.nextTap = t + 0.5 + 2.5*rng.Float64()*(1.2-s.Irregularity)
+	}
+	amp := 0.85 * s.Amplitude
+	a := Accel{
+		X: amp*math.Sin(2*math.Pi*m.freq*t+m.phase) + 0.08*rng.NormFloat64(),
+		Y: amp*0.8*math.Cos(2*math.Pi*m.freq*0.9*t+m.phase) + 0.08*rng.NormFloat64(),
+		Z: gravity + amp*0.5*math.Sin(2*math.Pi*m.freq*0.5*t) + 0.08*rng.NormFloat64(),
+	}
+	if t < m.tapUntil {
+		// Impact spike from tapping the pen on the table.
+		a.X += 1.5 * s.Amplitude * rng.NormFloat64()
+		a.Z += 1.5 * s.Amplitude * rng.NormFloat64()
+	}
+	return a
+}
+
+// NewModel returns a fresh motion model for the context. It returns nil
+// for ContextUnknown; callers must check.
+func NewModel(c Context, style Style) MotionModel {
+	switch c {
+	case ContextLying:
+		return NewLying(style)
+	case ContextWriting:
+		return NewWriting(style)
+	case ContextPlaying:
+		return NewPlaying(style)
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,369 @@
+package sensor
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestContextStringAndID(t *testing.T) {
+	tests := []struct {
+		c    Context
+		name string
+		id   int
+	}{
+		{ContextLying, "lying", 1},
+		{ContextWriting, "writing", 2},
+		{ContextPlaying, "playing", 3},
+		{ContextUnknown, "unknown", 0},
+	}
+	for _, tt := range tests {
+		if tt.c.String() != tt.name {
+			t.Errorf("String = %q, want %q", tt.c.String(), tt.name)
+		}
+		if tt.c.ID() != tt.id {
+			t.Errorf("ID = %d, want %d", tt.c.ID(), tt.id)
+		}
+	}
+	if Context(99).String() == "" {
+		t.Error("out-of-range String empty")
+	}
+}
+
+func TestContextByID(t *testing.T) {
+	for _, c := range AllContexts() {
+		if got := ContextByID(c.ID()); got != c {
+			t.Errorf("ContextByID(%d) = %v, want %v", c.ID(), got, c)
+		}
+	}
+	if ContextByID(99) != ContextUnknown || ContextByID(0) != ContextUnknown {
+		t.Error("invalid IDs should map to ContextUnknown")
+	}
+}
+
+// stddevOf records the model and returns per-axis standard deviations.
+func stddevOf(t *testing.T, c Context, style Style, seed int64) (sx, sy, sz float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var acc Accelerometer
+	readings, err := acc.Record(NewModel(c, style), c, 3.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xs, ys, zs []float64
+	for _, r := range readings {
+		xs = append(xs, r.Accel.X)
+		ys = append(ys, r.Accel.Y)
+		zs = append(zs, r.Accel.Z)
+	}
+	return stddev(xs), stddev(ys), stddev(zs)
+}
+
+func stddev(xs []float64) float64 {
+	var mu float64
+	for _, x := range xs {
+		mu += x
+	}
+	mu /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mu
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+func TestContextsAreSeparableByStdDev(t *testing.T) {
+	// The AwarePen classifier works on per-axis standard deviations, so
+	// the motion models must order cleanly for the nominal user:
+	// lying << writing << playing on the X axis.
+	lx, _, _ := stddevOf(t, ContextLying, DefaultStyle(), 1)
+	wx, _, _ := stddevOf(t, ContextWriting, DefaultStyle(), 2)
+	px, _, _ := stddevOf(t, ContextPlaying, DefaultStyle(), 3)
+	if !(lx < wx/3) {
+		t.Errorf("lying stddev %v not well below writing %v", lx, wx)
+	}
+	if !(wx < px/1.5) {
+		t.Errorf("writing stddev %v not well below playing %v", wx, px)
+	}
+}
+
+func TestLyingMeasuresGravity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var acc Accelerometer
+	readings, err := acc.Record(NewLying(DefaultStyle()), ContextLying, 2.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zs float64
+	for _, r := range readings {
+		zs += r.Accel.Z
+	}
+	meanZ := zs / float64(len(readings))
+	if math.Abs(meanZ-1) > 0.05 {
+		t.Errorf("resting Z mean = %v, want ~1 g", meanZ)
+	}
+}
+
+func TestStyleChangesWritingEnergy(t *testing.T) {
+	// A heavy-handed user produces larger writing stddev than a light one.
+	light := Style{Amplitude: 0.4, Tempo: 1, Irregularity: 0.1}
+	heavy := Style{Amplitude: 2.0, Tempo: 1, Irregularity: 0.1}
+	lx, _, _ := stddevOf(t, ContextWriting, light, 5)
+	hx, _, _ := stddevOf(t, ContextWriting, heavy, 5)
+	if lx >= hx {
+		t.Errorf("light user stddev %v >= heavy %v", lx, hx)
+	}
+}
+
+func TestOffStyleWritingApproachesPlaying(t *testing.T) {
+	// The adversarial style the evaluation uses: writing with huge
+	// amplitude looks similar to nominal playing — the ambiguity the CQM
+	// must flag.
+	wild := Style{Amplitude: 3.5, Tempo: 1.3, Irregularity: 0.9}
+	wx, _, _ := stddevOf(t, ContextWriting, wild, 6)
+	px, _, _ := stddevOf(t, ContextPlaying, DefaultStyle(), 7)
+	if wx < px*0.3 {
+		t.Errorf("wild writing stddev %v nowhere near playing %v — ambiguity lost", wx, px)
+	}
+}
+
+func TestRecordSampleCountAndTimestamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	acc := Accelerometer{SampleRate: 50}
+	readings, err := acc.Record(NewLying(Style{}), ContextLying, 2.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readings) != 100 {
+		t.Fatalf("got %d samples, want 100", len(readings))
+	}
+	for i := 1; i < len(readings); i++ {
+		dt := readings[i].T - readings[i-1].T
+		if math.Abs(dt-0.02) > 1e-9 {
+			t.Fatalf("sample %d spacing %v, want 0.02", i, dt)
+		}
+	}
+	for _, r := range readings {
+		if r.Truth != ContextLying {
+			t.Fatal("ground truth not stamped")
+		}
+	}
+}
+
+func TestRecordSaturates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	acc := Accelerometer{RangeG: 0.5, NoiseSigma: 1e-9, DriftRate: 1e-9}
+	readings, err := acc.Record(NewPlaying(Style{Amplitude: 5}), ContextPlaying, 2.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range readings {
+		for _, v := range []float64{r.Accel.X, r.Accel.Y, r.Accel.Z} {
+			if v > 0.5+1e-9 || v < -0.5-1e-9 {
+				t.Fatalf("sample %v exceeds ±0.5 g range", v)
+			}
+		}
+	}
+}
+
+func TestRecordQuantizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	acc := Accelerometer{Bits: 4, RangeG: 2}
+	readings, err := acc.Record(NewWriting(Style{}), ContextWriting, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsb := 4.0 / 16.0
+	for _, r := range readings {
+		steps := r.Accel.X / lsb
+		if math.Abs(steps-math.Round(steps)) > 1e-9 {
+			t.Fatalf("X = %v is not a multiple of the LSB %v", r.Accel.X, lsb)
+		}
+	}
+}
+
+func TestRecordErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var acc Accelerometer
+	if _, err := acc.Record(nil, ContextLying, 1, rng); !errors.Is(err, ErrNoModel) {
+		t.Errorf("nil model: %v", err)
+	}
+	if _, err := acc.Record(NewLying(Style{}), ContextLying, 0, rng); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero duration: %v", err)
+	}
+	bad := []Accelerometer{
+		{SampleRate: -5},
+		{NoiseSigma: -1},
+		{DriftRate: -1},
+		{RangeG: -2},
+	}
+	for i, cfg := range bad {
+		if _, err := cfg.Record(NewLying(Style{}), ContextLying, 1, rng); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("bad config %d: %v", i, err)
+		}
+	}
+}
+
+func TestScenarioRunTruthSwitches(t *testing.T) {
+	s := &Scenario{
+		Segments: []Segment{
+			{Context: ContextWriting, Duration: 3},
+			{Context: ContextLying, Duration: 3},
+		},
+	}
+	rng := rand.New(rand.NewSource(12))
+	readings, err := s.Run(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readings) == 0 {
+		t.Fatal("no readings")
+	}
+	// Truth starts at writing, ends at lying, and changes exactly once.
+	if readings[0].Truth != ContextWriting {
+		t.Errorf("first truth = %v", readings[0].Truth)
+	}
+	if last := readings[len(readings)-1].Truth; last != ContextLying {
+		t.Errorf("last truth = %v", last)
+	}
+	changes := 0
+	for i := 1; i < len(readings); i++ {
+		if readings[i].Truth != readings[i-1].Truth {
+			changes++
+		}
+	}
+	if changes != 1 {
+		t.Errorf("truth changed %d times, want 1", changes)
+	}
+	// Timestamps strictly increase across segment boundaries.
+	for i := 1; i < len(readings); i++ {
+		if readings[i].T <= readings[i-1].T {
+			t.Fatalf("timestamps not increasing at %d: %v then %v", i, readings[i-1].T, readings[i].T)
+		}
+	}
+}
+
+func TestScenarioTransitionIsAmbiguous(t *testing.T) {
+	// Within the transition window around a writing→playing switch the
+	// signal should carry intermediate energy: more than pure writing's
+	// immediate neighborhood would suggest a sharp jump.
+	s := &Scenario{
+		Segments: []Segment{
+			{Context: ContextWriting, Duration: 4},
+			{Context: ContextPlaying, Duration: 4},
+		},
+		Transition: 1.0,
+	}
+	rng := rand.New(rand.NewSource(13))
+	readings, err := s.Run(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := func(lo, hi float64) []float64 {
+		var xs []float64
+		for _, r := range readings {
+			if r.T >= lo && r.T < hi {
+				xs = append(xs, r.Accel.X)
+			}
+		}
+		return xs
+	}
+	pureWrite := stddev(window(1, 2.5))
+	blendZone := stddev(window(3.2, 4.2))
+	purePlay := stddev(window(5.5, 7))
+	if !(pureWrite < blendZone) {
+		t.Errorf("blend zone stddev %v not above writing %v", blendZone, pureWrite)
+	}
+	if !(blendZone < purePlay*1.2) {
+		t.Errorf("blend zone stddev %v wildly above playing %v", blendZone, purePlay)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	cases := []*Scenario{
+		{},
+		{Segments: []Segment{{Context: ContextWriting, Duration: -1}}},
+		{Segments: []Segment{{Context: ContextUnknown, Duration: 1}}},
+		{Segments: []Segment{{Context: ContextWriting, Duration: 1}}, Transition: -1},
+	}
+	for i, s := range cases {
+		if _, err := s.Run(rng); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestOfficeSessionRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	readings, err := OfficeSession(DefaultStyle()).Run(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 26 seconds at 100 Hz.
+	if len(readings) != 2600 {
+		t.Errorf("got %d readings, want 2600", len(readings))
+	}
+	seen := map[Context]bool{}
+	for _, r := range readings {
+		seen[r.Truth] = true
+	}
+	for _, c := range AllContexts() {
+		if !seen[c] {
+			t.Errorf("context %v never appears", c)
+		}
+	}
+}
+
+func TestModelDeterminismProperty(t *testing.T) {
+	// Identical seeds yield identical recordings.
+	f := func(seed int64) bool {
+		s := OfficeSession(DefaultStyle())
+		a, err := s.Run(rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		b, err := s.Run(rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadingsWithinRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var acc Accelerometer
+		ctx := AllContexts()[int(uint64(seed)%3)]
+		readings, err := acc.Record(NewModel(ctx, DefaultStyle()), ctx, 1.0, rng)
+		if err != nil {
+			return false
+		}
+		for _, r := range readings {
+			for _, v := range []float64{r.Accel.X, r.Accel.Y, r.Accel.Z} {
+				if math.IsNaN(v) || v > 2+1e-9 || v < -2-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+package stat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Confusion is a multi-class confusion matrix keyed by class label.
+// The zero value is ready to use.
+type Confusion struct {
+	counts map[string]map[string]int // actual -> predicted -> count
+	labels map[string]struct{}
+}
+
+// Record adds one (actual, predicted) observation.
+func (c *Confusion) Record(actual, predicted string) {
+	if c.counts == nil {
+		c.counts = make(map[string]map[string]int)
+		c.labels = make(map[string]struct{})
+	}
+	row := c.counts[actual]
+	if row == nil {
+		row = make(map[string]int)
+		c.counts[actual] = row
+	}
+	row[predicted]++
+	c.labels[actual] = struct{}{}
+	c.labels[predicted] = struct{}{}
+}
+
+// Count returns the number of observations with the given actual and
+// predicted labels.
+func (c *Confusion) Count(actual, predicted string) int {
+	return c.counts[actual][predicted]
+}
+
+// Total returns the number of recorded observations.
+func (c *Confusion) Total() int {
+	var n int
+	for _, row := range c.counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Labels returns the sorted set of labels seen as actual or predicted.
+func (c *Confusion) Labels() []string {
+	out := make([]string, 0, len(c.labels))
+	for l := range c.labels {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Accuracy returns the fraction of observations on the diagonal, or 0 when
+// empty.
+func (c *Confusion) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	var correct int
+	for label, row := range c.counts {
+		correct += row[label]
+	}
+	return float64(correct) / float64(total)
+}
+
+// Precision returns TP/(TP+FP) for the given label, or 0 when the label was
+// never predicted.
+func (c *Confusion) Precision(label string) float64 {
+	var tp, predicted int
+	for actual, row := range c.counts {
+		n := row[label]
+		predicted += n
+		if actual == label {
+			tp += n
+		}
+	}
+	if predicted == 0 {
+		return 0
+	}
+	return float64(tp) / float64(predicted)
+}
+
+// Recall returns TP/(TP+FN) for the given label, or 0 when the label never
+// occurred.
+func (c *Confusion) Recall(label string) float64 {
+	row := c.counts[label]
+	var actual int
+	for _, n := range row {
+		actual += n
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(row[label]) / float64(actual)
+}
+
+// F1 returns the harmonic mean of precision and recall for the label.
+func (c *Confusion) F1(label string) float64 {
+	p := c.Precision(label)
+	r := c.Recall(label)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix as an aligned table with actual classes as rows.
+func (c *Confusion) String() string {
+	labels := c.Labels()
+	if len(labels) == 0 {
+		return "(empty confusion matrix)"
+	}
+	width := 10
+	for _, l := range labels {
+		if len(l)+2 > width {
+			width = len(l) + 2
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%*s", width, "act\\pred")
+	for _, l := range labels {
+		fmt.Fprintf(&sb, "%*s", width, l)
+	}
+	sb.WriteByte('\n')
+	for _, actual := range labels {
+		fmt.Fprintf(&sb, "%*s", width, actual)
+		for _, predicted := range labels {
+			fmt.Fprintf(&sb, "%*d", width, c.Count(actual, predicted))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,140 @@
+package stat
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfusionZeroValueUsable(t *testing.T) {
+	var c Confusion
+	if c.Total() != 0 || c.Accuracy() != 0 {
+		t.Error("zero-value Confusion not empty")
+	}
+	c.Record("writing", "writing")
+	if c.Total() != 1 {
+		t.Errorf("Total = %d, want 1", c.Total())
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	var c Confusion
+	// 3 classes; writing: 8 correct, 2 confused as playing.
+	for i := 0; i < 8; i++ {
+		c.Record("writing", "writing")
+	}
+	for i := 0; i < 2; i++ {
+		c.Record("writing", "playing")
+	}
+	// playing: 6 correct, 1 confused as writing.
+	for i := 0; i < 6; i++ {
+		c.Record("playing", "playing")
+	}
+	c.Record("playing", "writing")
+	// lying: 5 correct.
+	for i := 0; i < 5; i++ {
+		c.Record("lying", "lying")
+	}
+
+	if got := c.Total(); got != 22 {
+		t.Fatalf("Total = %d, want 22", got)
+	}
+	if got := c.Accuracy(); math.Abs(got-19.0/22.0) > 1e-12 {
+		t.Errorf("Accuracy = %v, want %v", got, 19.0/22.0)
+	}
+	// writing predicted 9 times, 8 correct.
+	if got := c.Precision("writing"); math.Abs(got-8.0/9.0) > 1e-12 {
+		t.Errorf("Precision(writing) = %v", got)
+	}
+	// writing actual 10 times, 8 recalled.
+	if got := c.Recall("writing"); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Recall(writing) = %v", got)
+	}
+	p, r := 8.0/9.0, 0.8
+	if got := c.F1("writing"); math.Abs(got-2*p*r/(p+r)) > 1e-12 {
+		t.Errorf("F1(writing) = %v", got)
+	}
+	if got := c.Precision("never-predicted"); got != 0 {
+		t.Errorf("Precision(unknown) = %v, want 0", got)
+	}
+	if got := c.Recall("never-actual"); got != 0 {
+		t.Errorf("Recall(unknown) = %v, want 0", got)
+	}
+}
+
+func TestConfusionLabelsSorted(t *testing.T) {
+	var c Confusion
+	c.Record("writing", "lying")
+	c.Record("playing", "playing")
+	got := c.Labels()
+	want := []string{"lying", "playing", "writing"}
+	if len(got) != len(want) {
+		t.Fatalf("Labels = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Labels = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	var c Confusion
+	if s := c.String(); !strings.Contains(s, "empty") {
+		t.Errorf("empty String = %q", s)
+	}
+	c.Record("a", "b")
+	s := c.String()
+	if !strings.Contains(s, "a") || !strings.Contains(s, "b") {
+		t.Errorf("String missing labels: %q", s)
+	}
+}
+
+func TestROCPerfectSeparation(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	pos := []bool{false, false, true, true}
+	curve := ROC(scores, pos)
+	if len(curve) == 0 {
+		t.Fatal("empty ROC")
+	}
+	if auc := AUC(curve); math.Abs(auc-1) > 1e-12 {
+		t.Errorf("AUC = %v, want 1 for perfect separation", auc)
+	}
+}
+
+func TestROCChanceLevel(t *testing.T) {
+	// Scores identical for both classes: AUC must be 0.5.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	pos := []bool{true, false, true, false}
+	if auc := AUC(ROC(scores, pos)); math.Abs(auc-0.5) > 1e-9 {
+		t.Errorf("AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestROCInverted(t *testing.T) {
+	// Scores anti-correlated with the labels: AUC ~ 0.
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	pos := []bool{false, false, true, true}
+	if auc := AUC(ROC(scores, pos)); auc > 1e-9 {
+		t.Errorf("AUC = %v, want 0", auc)
+	}
+}
+
+func TestROCEmptyAndMismatched(t *testing.T) {
+	if ROC(nil, nil) != nil {
+		t.Error("ROC(nil) should be nil")
+	}
+	if ROC([]float64{1}, []bool{true, false}) != nil {
+		t.Error("mismatched lengths should return nil")
+	}
+}
+
+func TestROCRatesAreValid(t *testing.T) {
+	scores := []float64{0.3, 0.5, 0.5, 0.7, 0.2, 0.95}
+	pos := []bool{false, true, false, true, false, true}
+	for _, p := range ROC(scores, pos) {
+		if p.TPR < 0 || p.TPR > 1 || p.FPR < 0 || p.FPR > 1 {
+			t.Errorf("invalid rates: %+v", p)
+		}
+	}
+}

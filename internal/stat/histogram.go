@@ -1,0 +1,83 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram returns a histogram with n bins over [lo, hi). It panics if
+// n < 1 or hi <= lo, which are programming errors.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 {
+		panic(fmt.Sprintf("stat: histogram needs >= 1 bin, got %d", n))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stat: histogram interval [%v,%v) is empty", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records x. Values outside [Lo, Hi) are clamped into the edge bins so
+// totals stay consistent for density estimation on bounded measures.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	idx := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// AddAll records every value in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() int { return h.total }
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 {
+	return (h.Hi - h.Lo) / float64(len(h.Counts))
+}
+
+// BinCenter returns the center of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth()
+}
+
+// Density returns the estimated probability density at bin i, normalized so
+// the histogram integrates to 1.
+func (h *Histogram) Density(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / (float64(h.total) * h.BinWidth())
+}
+
+// Mode returns the center of the fullest bin, or NaN when empty.
+func (h *Histogram) Mode() float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}

@@ -1,0 +1,82 @@
+package stat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	h.AddAll([]float64{0.05, 0.15, 0.15, 0.95})
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", h.Total())
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 2 || h.Counts[9] != 1 {
+		t.Errorf("Counts = %v", h.Counts)
+	}
+	if got := h.BinWidth(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("BinWidth = %v", got)
+	}
+	if got := h.BinCenter(1); math.Abs(got-0.15) > 1e-12 {
+		t.Errorf("BinCenter(1) = %v", got)
+	}
+	if got := h.Mode(); math.Abs(got-0.15) > 1e-12 {
+		t.Errorf("Mode = %v", got)
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(5)
+	h.Add(1) // hi boundary is exclusive → clamped into the last bin
+	if h.Counts[0] != 1 || h.Counts[3] != 2 {
+		t.Errorf("Counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramDensityIntegratesToOne(t *testing.T) {
+	h := NewHistogram(0, 1, 20)
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		h.Add(r.Float64())
+	}
+	var integral float64
+	for i := range h.Counts {
+		integral += h.Density(i) * h.BinWidth()
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Errorf("density integral = %v, want 1", integral)
+	}
+}
+
+func TestHistogramEmptyMode(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if !math.IsNaN(h.Mode()) {
+		t.Error("empty Mode should be NaN")
+	}
+	if h.Density(0) != 0 {
+		t.Error("empty Density should be 0")
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	for _, tc := range []struct {
+		lo, hi float64
+		n      int
+	}{
+		{0, 1, 0},
+		{1, 1, 4},
+		{2, 1, 4},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v,%v,%d) did not panic", tc.lo, tc.hi, tc.n)
+				}
+			}()
+			NewHistogram(tc.lo, tc.hi, tc.n)
+		}()
+	}
+}

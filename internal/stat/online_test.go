@@ -1,0 +1,144 @@
+package stat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	var o Online
+	for i := range xs {
+		xs[i] = r.NormFloat64()*2 + 3
+		o.Add(xs[i])
+	}
+	if o.N() != 500 {
+		t.Fatalf("N = %d", o.N())
+	}
+	if math.Abs(o.Mean()-Mean(xs)) > 1e-12 {
+		t.Errorf("online mean %v vs batch %v", o.Mean(), Mean(xs))
+	}
+	if math.Abs(o.StdDev()-PopStdDev(xs)) > 1e-10 {
+		t.Errorf("online stddev %v vs batch %v", o.StdDev(), PopStdDev(xs))
+	}
+	g, err := o.Gaussian()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := FitGaussianMLE(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Mu-batch.Mu) > 1e-12 || math.Abs(g.Sigma-batch.Sigma) > 1e-10 {
+		t.Errorf("online Gaussian %+v vs batch %+v", g, batch)
+	}
+}
+
+func TestOnlineZeroValue(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Variance() != 0 || o.N() != 0 {
+		t.Error("zero value not empty")
+	}
+	if _, err := o.Gaussian(); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty Gaussian: %v", err)
+	}
+	o.Add(5)
+	if o.Mean() != 5 || o.Variance() != 0 {
+		t.Error("single observation stats wrong")
+	}
+}
+
+func TestDecayedNoForgettingMatchesOnline(t *testing.T) {
+	// Lambda 1 = plain Welford.
+	r := rand.New(rand.NewSource(2))
+	d := NewDecayed(1)
+	var o Online
+	for i := 0; i < 300; i++ {
+		x := r.NormFloat64()
+		d.Add(x)
+		o.Add(x)
+	}
+	if math.Abs(d.Mean()-o.Mean()) > 1e-10 {
+		t.Errorf("means differ: %v vs %v", d.Mean(), o.Mean())
+	}
+	if math.Abs(d.StdDev()-o.StdDev()) > 1e-8 {
+		t.Errorf("stddevs differ: %v vs %v", d.StdDev(), o.StdDev())
+	}
+}
+
+func TestDecayedTracksDrift(t *testing.T) {
+	// The distribution jumps from 0.2 to 0.9; the decayed mean must
+	// follow while the plain online mean lags in between.
+	d := NewDecayed(0.9)
+	var o Online
+	for i := 0; i < 200; i++ {
+		d.Add(0.2)
+		o.Add(0.2)
+	}
+	for i := 0; i < 60; i++ {
+		d.Add(0.9)
+		o.Add(0.9)
+	}
+	if d.Mean() < 0.85 {
+		t.Errorf("decayed mean %v has not followed the drift to 0.9", d.Mean())
+	}
+	if o.Mean() > 0.5 {
+		t.Errorf("plain online mean %v moved implausibly fast", o.Mean())
+	}
+}
+
+func TestDecayedGaussianAndErrors(t *testing.T) {
+	d := NewDecayed(0.95)
+	if _, err := d.Gaussian(); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty: %v", err)
+	}
+	d.Add(0.5)
+	d.Add(0.7)
+	g, err := d.Gaussian()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Sigma <= 0 {
+		t.Errorf("sigma = %v", g.Sigma)
+	}
+	if d.Weight() <= 1 || d.Weight() > 2 {
+		t.Errorf("weight = %v", d.Weight())
+	}
+}
+
+func TestNewDecayedPanics(t *testing.T) {
+	for _, lambda := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("lambda %v did not panic", lambda)
+				}
+			}()
+			NewDecayed(lambda)
+		}()
+	}
+}
+
+func TestOnlineVarianceNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var o Online
+		d := NewDecayed(0.5 + r.Float64()/2)
+		for i := 0; i < 50; i++ {
+			x := r.NormFloat64() * math.Pow(10, float64(r.Intn(5)))
+			o.Add(x)
+			d.Add(x)
+			if o.Variance() < 0 || d.Variance() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

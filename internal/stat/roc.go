@@ -1,0 +1,95 @@
+package stat
+
+import "sort"
+
+// ROCPoint is one operating point of a score threshold: the true-positive
+// and false-positive rates obtained by accepting scores >= Threshold.
+type ROCPoint struct {
+	Threshold float64
+	TPR       float64
+	FPR       float64
+}
+
+// ROC computes the receiver operating characteristic for a score that
+// should be high for positive examples. scores and positives run in
+// parallel; positives[i] reports whether example i is truly positive.
+//
+// The curve is returned from the most permissive threshold (accept all) to
+// the strictest (accept none), which makes the FPR axis non-increasing.
+func ROC(scores []float64, positives []bool) []ROCPoint {
+	if len(scores) != len(positives) || len(scores) == 0 {
+		return nil
+	}
+	type obs struct {
+		score float64
+		pos   bool
+	}
+	data := make([]obs, len(scores))
+	var posTotal, negTotal int
+	for i, s := range scores {
+		data[i] = obs{score: s, pos: positives[i]}
+		if positives[i] {
+			posTotal++
+		} else {
+			negTotal++
+		}
+	}
+	sort.Slice(data, func(i, j int) bool { return data[i].score < data[j].score })
+
+	// Sweep the threshold upward; at each distinct score value compute the
+	// rates for "accept >= threshold".
+	points := make([]ROCPoint, 0, len(data)+1)
+	tp, fp := posTotal, negTotal // threshold below the minimum accepts all
+	rate := func(n, total int) float64 {
+		if total == 0 {
+			return 0
+		}
+		return float64(n) / float64(total)
+	}
+	points = append(points, ROCPoint{Threshold: data[0].score, TPR: rate(tp, posTotal), FPR: rate(fp, negTotal)})
+	for i := 0; i < len(data); {
+		j := i
+		for j < len(data) && data[j].score == data[i].score {
+			if data[j].pos {
+				tp--
+			} else {
+				fp--
+			}
+			j++
+		}
+		thr := data[j-1].score
+		if j < len(data) {
+			thr = data[j].score
+		} else {
+			thr = data[j-1].score + 1e-12
+		}
+		points = append(points, ROCPoint{Threshold: thr, TPR: rate(tp, posTotal), FPR: rate(fp, negTotal)})
+		i = j
+	}
+	return points
+}
+
+// AUC returns the area under the ROC curve by trapezoidal integration over
+// FPR. 1.0 means perfect separation, 0.5 is chance.
+func AUC(points []ROCPoint) float64 {
+	if len(points) < 2 {
+		return 0
+	}
+	// Points run from FPR 1 down to 0; integrate with ordered pairs. Both
+	// rates are monotone in the threshold, so sorting by (FPR, TPR)
+	// reconstructs the sweep's staircase even across FPR ties.
+	pts := make([]ROCPoint, len(points))
+	copy(pts, points)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].FPR != pts[j].FPR {
+			return pts[i].FPR < pts[j].FPR
+		}
+		return pts[i].TPR < pts[j].TPR
+	})
+	var area float64
+	for i := 1; i < len(pts); i++ {
+		dx := pts[i].FPR - pts[i-1].FPR
+		area += dx * 0.5 * (pts[i].TPR + pts[i-1].TPR)
+	}
+	return area
+}

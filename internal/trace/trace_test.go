@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cqm/internal/sensor"
+)
+
+func sampleRecording(t testing.TB, seed int64) []sensor.Reading {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	readings, err := sensor.OfficeSession(sensor.DefaultStyle()).Run(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return readings
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	readings := sampleRecording(t, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, readings); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(readings) {
+		t.Fatalf("round trip lost readings: %d vs %d", len(back), len(readings))
+	}
+	for i := range readings {
+		if back[i] != readings[i] {
+			t.Fatalf("reading %d differs: %+v vs %+v", i, back[i], readings[i])
+		}
+	}
+}
+
+func TestWriteEmpty(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	readings := sampleRecording(t, 2)[:10]
+	var buf bytes.Buffer
+	if err := Write(&buf, readings); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] = 'X'
+		if _, err := Read(bytes.NewReader(bad)); !errors.Is(err, ErrMagic) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[4] = 99
+		if _, err := Read(bytes.NewReader(bad)); !errors.Is(err, ErrVersion) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		if _, err := Read(bytes.NewReader(good[:5])); !errors.Is(err, ErrTruncated) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("truncated body", func(t *testing.T) {
+		if _, err := Read(bytes.NewReader(good[:len(good)-7])); !errors.Is(err, ErrTruncated) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("absurd count", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[5], bad[6], bad[7], bad[8] = 0xFF, 0xFF, 0xFF, 0xFF
+		if _, err := Read(bytes.NewReader(bad)); !errors.Is(err, ErrTooLarge) {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestClip(t *testing.T) {
+	readings := []sensor.Reading{
+		{T: 0}, {T: 1}, {T: 2}, {T: 3}, {T: 4},
+	}
+	got := Clip(readings, 1, 3)
+	if len(got) != 2 || got[0].T != 1 || got[1].T != 2 {
+		t.Errorf("Clip = %+v", got)
+	}
+	if Clip(readings, 10, 20) != nil {
+		t.Error("out-of-range Clip should be empty")
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	readings := []sensor.Reading{
+		{T: 0, Truth: sensor.ContextLying},
+		{T: 1, Truth: sensor.ContextWriting},
+	}
+	got := Relabel(readings, sensor.ContextPlaying)
+	for _, r := range got {
+		if r.Truth != sensor.ContextPlaying {
+			t.Fatalf("Relabel missed: %+v", r)
+		}
+	}
+	if readings[0].Truth != sensor.ContextLying {
+		t.Error("Relabel mutated input")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := []sensor.Reading{{T: 5}, {T: 6}}
+	b := []sensor.Reading{{T: 100}, {T: 101}}
+	got := Concat(2, a, b, nil)
+	want := []float64{0, 1, 3, 4}
+	if len(got) != 4 {
+		t.Fatalf("Concat length %d", len(got))
+	}
+	for i, w := range want {
+		if math.Abs(got[i].T-w) > 1e-12 {
+			t.Errorf("T[%d] = %v, want %v", i, got[i].T, w)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		readings := make([]sensor.Reading, n)
+		contexts := sensor.AllContexts()
+		for i := range readings {
+			readings[i] = sensor.Reading{
+				T: r.Float64() * 100,
+				Accel: sensor.Accel{
+					X: r.NormFloat64(),
+					Y: r.NormFloat64(),
+					Z: r.NormFloat64(),
+				},
+				Truth: contexts[r.Intn(len(contexts))],
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, readings); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil || len(back) != n {
+			return false
+		}
+		for i := range readings {
+			if back[i] != readings[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrainOnReplayedTrace(t *testing.T) {
+	// The methodology the package exists for: persist a session, replay
+	// it, and get the identical dataset back.
+	readings := sampleRecording(t, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, readings); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != len(readings) {
+		t.Fatal("replay length mismatch")
+	}
+	for i := range readings {
+		if replayed[i] != readings[i] {
+			t.Fatal("replayed trace differs from live capture")
+		}
+	}
+}
