@@ -8,11 +8,14 @@
 package cqm_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"testing"
 
+	"cqm/internal/core"
 	"cqm/internal/eval"
+	"cqm/internal/obs"
 )
 
 var (
@@ -364,5 +367,80 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 		if _, err := eval.NewSetup(eval.SetupConfig{Seed: eval.DefaultSeed}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// cloneMeasure deep-copies a measure through its JSON codec so a benchmark
+// can instrument its own copy without mutating the shared canonical fixture.
+func cloneMeasure(tb testing.TB, m *core.Measure) *core.Measure {
+	tb.Helper()
+	data, err := json.Marshal(m)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	out := &core.Measure{}
+	if err := json.Unmarshal(data, out); err != nil {
+		tb.Fatal(err)
+	}
+	return out
+}
+
+// BenchmarkMeasureValue guards the scoring hot path's instrumentation
+// cost: "bare" is the un-instrumented measure, "disabled" is instrumented
+// with a nil registry (the production default), "live" feeds a real
+// registry. bare and disabled must allocate identically; live adds only
+// atomic counter traffic.
+func BenchmarkMeasureValue(b *testing.B) {
+	s := canonical(b)
+	ob := s.TestObs[0]
+	variants := []struct {
+		name    string
+		measure *core.Measure
+	}{
+		{"bare", s.Measure},
+		{"disabled", func() *core.Measure {
+			m := cloneMeasure(b, s.Measure)
+			m.Instrument(nil)
+			return m
+		}()},
+		{"live", func() *core.Measure {
+			m := cloneMeasure(b, s.Measure)
+			m.Instrument(obs.NewRegistry())
+			return m
+		}()},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := v.measure.Score(ob.Cues, ob.Class); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestMeasureScoreDisabledMetricsAddNoAllocs pins the acceptance
+// criterion: with no registry configured, the instrumented Score must
+// allocate exactly as much as the never-instrumented one.
+func TestMeasureScoreDisabledMetricsAddNoAllocs(t *testing.T) {
+	setup, err := eval.NewSetup(eval.SetupConfig{Seed: eval.DefaultSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := setup.TestObs[0]
+	score := func(m *core.Measure) float64 {
+		return testing.AllocsPerRun(200, func() {
+			if _, err := m.Score(ob.Cues, ob.Class); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	bare := score(setup.Measure)
+	disabled := cloneMeasure(t, setup.Measure)
+	disabled.Instrument(nil)
+	if got := score(disabled); got != bare {
+		t.Errorf("disabled instrumentation allocates %.1f/op, bare %.1f/op", got, bare)
 	}
 }

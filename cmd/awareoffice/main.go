@@ -6,19 +6,30 @@
 //
 // Usage:
 //
-//	awareoffice [-seed N] [-sessions N] [-loss P] [-ber P] [-latency S] [-jitter S]
+//	awareoffice [-seed N] [-sessions N] [-loss P] [-ber P] [-latency S] [-jitter S] [-metrics-addr :8080]
+//
+// With -metrics-addr the whole pipeline is instrumented and served at
+// /metrics in Prometheus text format (?format=json for a JSON snapshot);
+// the process then stays alive after printing its results until
+// interrupted, so the endpoint can be scraped.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"sort"
+	"syscall"
 
 	"cqm/internal/awareoffice"
 	"cqm/internal/classify"
 	"cqm/internal/core"
 	"cqm/internal/dataset"
+	"cqm/internal/obs"
 	"cqm/internal/sensor"
 )
 
@@ -29,16 +40,31 @@ func main() {
 	ber := flag.Float64("ber", 0, "physical bit error rate (frames failing CRC are dropped)")
 	latency := flag.Float64("latency", 0.02, "base one-way delay in seconds")
 	jitter := flag.Float64("jitter", 0.03, "uniform extra delay bound in seconds")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text format) on this address and keep running")
 	flag.Parse()
 
-	if err := run(*seed, *sessions, *loss, *ber, *latency, *jitter); err != nil {
+	if err := run(*seed, *sessions, *loss, *ber, *latency, *jitter, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "awareoffice:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, sessions int, loss, ber, latency, jitter float64) error {
-	clf, measure, threshold, err := trainStack(seed)
+func run(seed int64, sessions int, loss, ber, latency, jitter float64, metricsAddr string) error {
+	var reg *obs.Registry
+	var ln net.Listener
+	if metricsAddr != "" {
+		reg = obs.NewRegistry()
+		var err error
+		if ln, err = net.Listen("tcp", metricsAddr); err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go func() { _ = (&http.Server{Handler: mux}).Serve(ln) }()
+		fmt.Printf("metrics: http://%s/metrics\n", ln.Addr())
+	}
+
+	clf, measure, threshold, err := trainStack(seed, reg)
 	if err != nil {
 		return err
 	}
@@ -50,9 +76,12 @@ func run(seed int64, sessions int, loss, ber, latency, jitter float64) error {
 	if err != nil {
 		return err
 	}
+	bus.Instrument(reg)
 	plain := &awareoffice.Camera{Name: "camera-plain"}
+	plain.Instrument(reg)
 	plain.Attach(bus)
 	filtered := &awareoffice.Camera{Name: "camera-cqm", UseQuality: true, MinQuality: threshold}
+	filtered.Instrument(reg)
 	filtered.Attach(bus)
 	pen := &awareoffice.Pen{Classifier: clf, Measure: measure}
 	pen.Attach(bus)
@@ -80,9 +109,19 @@ func run(seed int64, sessions int, loss, ber, latency, jitter float64) error {
 	}
 	sim.Run(offset + 5)
 
-	published, delivered, dropped := bus.Stats()
+	st := bus.Stats()
 	fmt.Printf("network: %d published, %d delivered, %d lost, %d CRC-dropped\n",
-		published, delivered, dropped, bus.Corrupted())
+		st.Published, st.Delivered, st.Dropped, st.Corrupted)
+	names := make([]string, 0, len(st.Subscribers))
+	for name := range st.Subscribers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		link := st.Subscribers[name]
+		fmt.Printf("  link %-14s %d delivered, %d lost, %d corrupted, %d duplicated\n",
+			name+":", link.Delivered, link.Dropped, link.Corrupted, link.Duplicated)
+	}
 	fmt.Printf("true end-of-writing moments: %d\n\n", len(truths))
 	scoreP := awareoffice.ScoreSnapshots(plain.Snapshots(), truths, 2.5)
 	scoreF := awareoffice.ScoreSnapshots(filtered.Snapshots(), truths, 2.5)
@@ -91,10 +130,17 @@ func run(seed int64, sessions int, loss, ber, latency, jitter float64) error {
 		"plain", scoreP.Hits, scoreP.Spurious, scoreP.Precision(), scoreP.Recall())
 	fmt.Printf("%-14s %5d %9d %10.3f %8.3f  (ignored %d events)\n",
 		"cqm-filtered", scoreF.Hits, scoreF.Spurious, scoreF.Precision(), scoreF.Recall(), filtered.Ignored())
+
+	if ln != nil {
+		fmt.Printf("\nserving metrics on http://%s/metrics — Ctrl-C to exit\n", ln.Addr())
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		<-stop
+	}
 	return nil
 }
 
-func trainStack(seed int64) (classify.Classifier, *core.Measure, float64, error) {
+func trainStack(seed int64, reg *obs.Registry) (classify.Classifier, *core.Measure, float64, error) {
 	clean, err := dataset.Generate(dataset.GenerateConfig{
 		Scenarios: []*sensor.Scenario{{Segments: []sensor.Segment{
 			{Context: sensor.ContextLying, Duration: 12},
@@ -125,15 +171,15 @@ func trainStack(seed int64) (classify.Classifier, *core.Measure, float64, error)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	obs, err := core.Observe(clf, mixed)
+	observations, err := core.Observe(clf, mixed)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	measure, err := core.Build(obs, nil, core.BuildConfig{})
+	measure, err := core.Build(observations, nil, core.BuildConfig{Metrics: reg})
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	analysis, err := core.Analyze(measure, obs)
+	analysis, err := core.Analyze(measure, observations)
 	if err != nil {
 		return nil, nil, 0, err
 	}

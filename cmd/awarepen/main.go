@@ -6,13 +6,18 @@
 // Usage:
 //
 //	awarepen [-seed N] [-style nominal|wild|light] [-threshold -1]
+//	         [-progress] [-metrics-out metrics.json]
 //
-// A negative threshold uses the statistically optimal one.
+// A negative threshold uses the statistically optimal one. -progress logs
+// one structured line per ANFIS training epoch; -metrics-out instruments
+// the quality measure and the filter and dumps a JSON metrics snapshot on
+// exit.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 
@@ -20,6 +25,7 @@ import (
 	"cqm/internal/core"
 	"cqm/internal/dataset"
 	"cqm/internal/feature"
+	"cqm/internal/obs"
 	"cqm/internal/sensor"
 )
 
@@ -27,15 +33,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	styleName := flag.String("style", "wild", "user style: nominal, wild, light")
 	threshold := flag.Float64("threshold", -1, "acceptance threshold (negative = optimal)")
+	progress := flag.Bool("progress", false, "log one structured line per ANFIS training epoch")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on exit")
 	flag.Parse()
 
-	if err := run(*seed, *styleName, *threshold); err != nil {
+	if err := run(*seed, *styleName, *threshold, *progress, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "awarepen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, styleName string, threshold float64) error {
+func run(seed int64, styleName string, threshold float64, progress bool, metricsOut string) error {
 	style, err := styleFor(styleName)
 	if err != nil {
 		return err
@@ -72,16 +80,42 @@ func run(seed int64, styleName string, threshold float64) error {
 	if err != nil {
 		return err
 	}
-	obs, err := core.Observe(clf, mixed)
+	observations, err := core.Observe(clf, mixed)
 	if err != nil {
 		return err
 	}
-	measure, err := core.Build(obs, nil, core.BuildConfig{})
+	var reg *obs.Registry
+	if metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	buildCfg := core.BuildConfig{Metrics: reg}
+	if progress {
+		logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+		buildCfg.Observer = core.TrainObserverFuncs{
+			OnEpoch: func(ev core.EpochEvent) {
+				attrs := []any{
+					"epoch", ev.Epoch,
+					"train_rmse", ev.TrainRMSE,
+					"rate", ev.LearningRate,
+					"best", ev.Best,
+				}
+				if ev.HasCheck {
+					attrs = append(attrs, "check_rmse", ev.CheckRMSE)
+				}
+				logger.Info("anfis epoch", attrs...)
+			},
+			OnStop: func(ev core.StopEvent) {
+				logger.Info("anfis stop", "reason", string(ev.Reason),
+					"epochs", ev.Epochs, "best_epoch", ev.BestEpoch)
+			},
+		}
+	}
+	measure, err := core.Build(observations, nil, buildCfg)
 	if err != nil {
 		return err
 	}
 	if threshold < 0 {
-		analysis, err := core.Analyze(measure, obs)
+		analysis, err := core.Analyze(measure, observations)
 		if err != nil {
 			return err
 		}
@@ -91,6 +125,7 @@ func run(seed int64, styleName string, threshold float64) error {
 	if err != nil {
 		return err
 	}
+	filter.Instrument(reg)
 	fmt.Printf("quality FIS ready: %d rules, threshold s = %.3f\n\n", measure.Rules(), threshold)
 
 	// Live session.
@@ -145,6 +180,17 @@ func run(seed int64, styleName string, threshold float64) error {
 			float64(correctAccepted)/float64(accepted), accepted)
 	}
 	fmt.Println()
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return fmt.Errorf("creating metrics snapshot: %w", err)
+		}
+		defer f.Close()
+		if err := reg.WriteJSON(f); err != nil {
+			return fmt.Errorf("writing metrics snapshot: %w", err)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", metricsOut)
+	}
 	return nil
 }
 

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	cqmeval [-seed N] [-experiment fig5|fig6|probs|improvement|agnostic|balance|sizes|camera|ablations|all]
+//	        [-metrics-out metrics.json]
+//
+// -metrics-out instruments the canonical pipeline (training counters,
+// scoring and ε-rate counters, the quality histogram) and writes a JSON
+// snapshot of the registry after the experiments finish.
 package main
 
 import (
@@ -12,13 +17,16 @@ import (
 	"fmt"
 	"os"
 
+	"cqm/internal/core"
 	"cqm/internal/eval"
+	"cqm/internal/obs"
 )
 
 func main() {
 	seed := flag.Int64("seed", eval.DefaultSeed, "random seed for the evaluation pipeline")
 	experiment := flag.String("experiment", "all", "experiment to run: fig5, fig6, probs, improvement, agnostic, balance, sizes, camera, predict, fusion, confidence, crossval, cues, noise, ablations, all")
 	report := flag.Bool("report", false, "write the consolidated report (all experiments, DESIGN.md order) to stdout")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on exit")
 	flag.Parse()
 
 	if *report {
@@ -28,13 +36,17 @@ func main() {
 		}
 		return
 	}
-	if err := run(*seed, *experiment); err != nil {
+	if err := run(*seed, *experiment, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "cqmeval:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, experiment string) error {
+func run(seed int64, experiment, metricsOut string) error {
+	var reg *obs.Registry
+	if metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
 	needsSetup := map[string]bool{
 		"fig5": true, "fig6": true, "probs": true,
 		"improvement": true, "camera": true, "confidence": true, "all": true,
@@ -42,11 +54,28 @@ func run(seed int64, experiment string) error {
 	var setup *eval.Setup
 	if needsSetup[experiment] {
 		var err error
-		setup, err = eval.NewSetup(eval.SetupConfig{Seed: seed})
+		setup, err = eval.NewSetup(eval.SetupConfig{
+			Seed:  seed,
+			Build: core.BuildConfig{Metrics: reg},
+		})
 		if err != nil {
 			return err
 		}
 	}
+	defer func() {
+		if metricsOut == "" {
+			return
+		}
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cqmeval: metrics snapshot:", err)
+			return
+		}
+		defer f.Close()
+		if err := reg.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cqmeval: metrics snapshot:", err)
+		}
+	}()
 
 	all := experiment == "all"
 	ran := false

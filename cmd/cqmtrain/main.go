@@ -5,22 +5,27 @@
 // Usage:
 //
 //	cqmtrain [-seed N] [-data file.csv] [-out dir] [-classifier tsk|knn|bayes|centroid]
+//	         [-progress] [-metrics-out metrics.json]
 //
 // Without -data a mixed AwareOffice workload is generated from the seed
 // and saved alongside the models, so a later run can retrain from the
-// exact same data.
+// exact same data. -progress logs one structured line per ANFIS epoch
+// (train error, check error, step size, early-stop reason); -metrics-out
+// dumps a JSON snapshot of the pipeline's metrics registry on exit.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 
 	"cqm/internal/classify"
 	"cqm/internal/core"
 	"cqm/internal/dataset"
+	"cqm/internal/obs"
 	"cqm/internal/sensor"
 )
 
@@ -29,15 +34,44 @@ func main() {
 	dataPath := flag.String("data", "", "labelled cue CSV (default: generate from seed)")
 	outDir := flag.String("out", "cqm-models", "output directory")
 	clfKind := flag.String("classifier", "tsk", "classifier: tsk, knn, bayes, centroid")
+	progress := flag.Bool("progress", false, "log one structured line per ANFIS training epoch")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on exit")
 	flag.Parse()
 
-	if err := run(*seed, *dataPath, *outDir, *clfKind); err != nil {
+	if err := run(*seed, *dataPath, *outDir, *clfKind, *progress, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "cqmtrain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, dataPath, outDir, clfKind string) error {
+// progressObserver logs hybrid-learning progress through slog — one line
+// per epoch, one line for the stopping decision.
+func progressObserver(logger *slog.Logger) core.TrainObserver {
+	return core.TrainObserverFuncs{
+		OnEpoch: func(ev core.EpochEvent) {
+			attrs := []any{
+				"epoch", ev.Epoch,
+				"train_rmse", ev.TrainRMSE,
+				"rate", ev.LearningRate,
+				"best", ev.Best,
+			}
+			if ev.HasCheck {
+				attrs = append(attrs, "check_rmse", ev.CheckRMSE)
+			}
+			logger.Info("anfis epoch", attrs...)
+		},
+		OnStop: func(ev core.StopEvent) {
+			logger.Info("anfis stop",
+				"reason", string(ev.Reason),
+				"epochs", ev.Epochs,
+				"best_epoch", ev.BestEpoch,
+				"best_error", ev.BestError,
+			)
+		},
+	}
+}
+
+func run(seed int64, dataPath, outDir, clfKind string, progress bool, metricsOut string) error {
 	set, err := loadOrGenerate(seed, dataPath)
 	if err != nil {
 		return err
@@ -87,10 +121,21 @@ func run(seed int64, dataPath, outDir, clfKind string) error {
 	if err != nil {
 		return err
 	}
-	measure, err := core.Build(trainObs, checkObs, core.BuildConfig{})
+	var reg *obs.Registry
+	if metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	buildCfg := core.BuildConfig{Metrics: reg}
+	if progress {
+		logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+		buildCfg.Observer = progressObserver(logger)
+	}
+	span := reg.StartSpan("cqm_build")
+	measure, err := core.Build(trainObs, checkObs, buildCfg)
 	if err != nil {
 		return fmt.Errorf("building quality measure: %w", err)
 	}
+	span.End("observations", fmt.Sprint(len(trainObs)))
 	analysis, err := core.Analyze(measure, testObs)
 	if err != nil {
 		return fmt.Errorf("analyzing: %w", err)
@@ -138,6 +183,17 @@ func run(seed int64, dataPath, outDir, clfKind string) error {
 		if err := set.WriteCSV(f); err != nil {
 			return err
 		}
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return fmt.Errorf("creating metrics snapshot: %w", err)
+		}
+		defer f.Close()
+		if err := reg.WriteJSON(f); err != nil {
+			return fmt.Errorf("writing metrics snapshot: %w", err)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", metricsOut)
 	}
 	fmt.Printf("models written to %s\n", outDir)
 	return nil

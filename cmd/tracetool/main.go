@@ -20,6 +20,7 @@ import (
 
 	"cqm/internal/dataset"
 	"cqm/internal/feature"
+	"cqm/internal/obs"
 	"cqm/internal/sensor"
 	"cqm/internal/trace"
 )
@@ -116,22 +117,44 @@ func toCSV(args []string) error {
 	fs := flag.NewFlagSet("csv", flag.ExitOnError)
 	in := fs.String("in", "", "trace file")
 	window := fs.Int("window", 100, "readings per cue window")
+	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	span := reg.StartSpan("tracetool_csv")
 	readings, err := load(*in)
 	if err != nil {
 		return err
 	}
+	reg.Counter("tracetool_readings_total").Add(int64(len(readings)))
 	windows, err := (feature.Windower{Size: *window}).Slide(readings)
 	if err != nil {
 		return err
 	}
+	reg.Counter("tracetool_windows_total").Add(int64(len(windows)))
 	set := &dataset.Set{}
 	for _, w := range windows {
 		set.Append(dataset.Sample{Cues: w.Cues, Truth: w.Truth, Pure: w.Pure})
 	}
-	return set.WriteCSV(os.Stdout)
+	if err := set.WriteCSV(os.Stdout); err != nil {
+		return err
+	}
+	span.End("readings", fmt.Sprint(len(readings)), "windows", fmt.Sprint(len(windows)))
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return fmt.Errorf("creating metrics snapshot: %w", err)
+		}
+		defer f.Close()
+		if err := reg.WriteJSON(f); err != nil {
+			return fmt.Errorf("writing metrics snapshot: %w", err)
+		}
+	}
+	return nil
 }
 
 func load(path string) ([]sensor.Reading, error) {

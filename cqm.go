@@ -29,6 +29,7 @@ import (
 	"cqm/internal/core"
 	"cqm/internal/dataset"
 	"cqm/internal/fusion"
+	"cqm/internal/obs"
 	"cqm/internal/predict"
 	"cqm/internal/sensor"
 )
@@ -152,6 +153,38 @@ var ErrEpsilon = core.ErrEpsilon
 // AugmentObservations builds the exhaustive counterfactual training set
 // used by the context-prediction extension.
 var AugmentObservations = core.AugmentObservations
+
+// Re-exported observability layer. Every pipeline stage can be pointed at
+// a MetricsRegistry (via MeasureConfig.Metrics, Filter.Instrument and the
+// awareoffice simulation); a nil registry disables instrumentation at
+// zero cost. Training progress is reported through TrainObserver hooks.
+type (
+	// MetricsRegistry collects counters, gauges, histograms and events,
+	// exposable as Prometheus text or a JSON snapshot.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time structured view of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// MetricsEvent is one recorded occurrence in a registry's event ring.
+	MetricsEvent = obs.Event
+	// TrainObserver receives per-epoch hybrid-learning progress.
+	TrainObserver = core.TrainObserver
+	// TrainObserverFuncs adapts plain functions to a TrainObserver.
+	TrainObserverFuncs = core.TrainObserverFuncs
+	// EpochEvent reports one completed training epoch.
+	EpochEvent = core.EpochEvent
+	// StopEvent reports the end of a training run.
+	StopEvent = core.StopEvent
+	// ThresholdEvent reports an adaptive-filter threshold move.
+	ThresholdEvent = core.ThresholdEvent
+)
+
+// Observability constructors.
+var (
+	// NewMetricsRegistry builds an empty metrics registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// TrainObservers fans training events out to several observers.
+	TrainObservers = core.TrainObservers
+)
 
 // Re-exported outlook extensions (paper §5): context prediction and
 // quality-weighted fusion.

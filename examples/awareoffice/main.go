@@ -67,9 +67,9 @@ func main() {
 	}
 	sim.Run(offset + 5)
 
-	published, delivered, dropped := bus.Stats()
+	st := bus.Stats()
 	fmt.Printf("network: %d events published, %d deliveries, %d dropped\n\n",
-		published, delivered, dropped)
+		st.Published, st.Delivered, st.Dropped)
 
 	scoreP := awareoffice.ScoreSnapshots(plain.Snapshots(), truths, 2.5)
 	scoreF := awareoffice.ScoreSnapshots(filtered.Snapshots(), truths, 2.5)

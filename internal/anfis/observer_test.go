@@ -1,0 +1,116 @@
+package anfis
+
+import (
+	"testing"
+
+	"cqm/internal/cluster"
+)
+
+// recordingObserver captures every event for order assertions.
+type recordingObserver struct {
+	epochs []EpochEvent
+	stops  []StopEvent
+}
+
+func (r *recordingObserver) TrainEpoch(ev EpochEvent) { r.epochs = append(r.epochs, ev) }
+func (r *recordingObserver) TrainStop(ev StopEvent)   { r.stops = append(r.stops, ev) }
+
+func TestObserverReceivesEpochsInOrder(t *testing.T) {
+	train := sineData(60, 4, 0.02)
+	check := sineData(30, 5, 0.02)
+	sys, err := Build(train, BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingObserver{}
+	hist, err := Train(sys, train, check, Config{
+		Epochs: 30, LearningRate: 0.05, Observer: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rec.epochs) == 0 {
+		t.Fatal("observer received no epoch events")
+	}
+	if len(rec.epochs) != len(hist.TrainRMSE) {
+		t.Errorf("observer saw %d epochs, history records %d", len(rec.epochs), len(hist.TrainRMSE))
+	}
+	for i, ev := range rec.epochs {
+		if ev.Epoch != i {
+			t.Fatalf("epoch event %d carries Epoch=%d — out of order", i, ev.Epoch)
+		}
+		if ev.TrainRMSE != hist.TrainRMSE[i] {
+			t.Errorf("epoch %d: event TrainRMSE %v != history %v", i, ev.TrainRMSE, hist.TrainRMSE[i])
+		}
+		if !ev.HasCheck {
+			t.Errorf("epoch %d: HasCheck false with a check set", i)
+		}
+		if ev.CheckRMSE != hist.CheckRMSE[i] {
+			t.Errorf("epoch %d: event CheckRMSE %v != history %v", i, ev.CheckRMSE, hist.CheckRMSE[i])
+		}
+		if ev.LearningRate != hist.LearningRates[i] {
+			t.Errorf("epoch %d: event rate %v != history %v", i, ev.LearningRate, hist.LearningRates[i])
+		}
+	}
+
+	if len(rec.stops) != 1 {
+		t.Fatalf("observer received %d stop events, want exactly 1", len(rec.stops))
+	}
+	stop := rec.stops[0]
+	if stop.Reason != hist.Reason {
+		t.Errorf("stop reason %q != history %q", stop.Reason, hist.Reason)
+	}
+	if stop.Epochs != len(hist.TrainRMSE) {
+		t.Errorf("stop epochs %d != %d", stop.Epochs, len(hist.TrainRMSE))
+	}
+	if stop.BestEpoch != hist.BestEpoch {
+		t.Errorf("stop best epoch %d != %d", stop.BestEpoch, hist.BestEpoch)
+	}
+}
+
+func TestObserverBestFlagMatchesBestEpoch(t *testing.T) {
+	train := sineData(50, 9, 0.05)
+	sys, err := Build(train, BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingObserver{}
+	hist, err := Train(sys, train, nil, Config{Epochs: 25, LearningRate: 0.05, Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastBest := -1
+	for _, ev := range rec.epochs {
+		if ev.Best {
+			lastBest = ev.Epoch
+		}
+		if ev.HasCheck {
+			t.Errorf("epoch %d: HasCheck true without a check set", ev.Epoch)
+		}
+	}
+	if lastBest != hist.BestEpoch {
+		t.Errorf("last Best-flagged epoch %d != history BestEpoch %d", lastBest, hist.BestEpoch)
+	}
+}
+
+func TestObserversFanOutAndDropNil(t *testing.T) {
+	a, b := &recordingObserver{}, &recordingObserver{}
+	multi := Observers(nil, a, nil, b)
+	multi.TrainEpoch(EpochEvent{Epoch: 3})
+	multi.TrainStop(StopEvent{Reason: StopEpochs})
+	for name, rec := range map[string]*recordingObserver{"a": a, "b": b} {
+		if len(rec.epochs) != 1 || rec.epochs[0].Epoch != 3 {
+			t.Errorf("observer %s epochs = %+v", name, rec.epochs)
+		}
+		if len(rec.stops) != 1 || rec.stops[0].Reason != StopEpochs {
+			t.Errorf("observer %s stops = %+v", name, rec.stops)
+		}
+	}
+	if got := Observers(nil, nil); got != nil {
+		t.Errorf("Observers of all nil = %v, want nil", got)
+	}
+	if got := Observers(a); got != TrainObserver(a) {
+		t.Errorf("Observers of one = %v, want the observer itself", got)
+	}
+}

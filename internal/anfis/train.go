@@ -22,6 +22,102 @@ const (
 	StopConverged StopReason = "training error converged"
 )
 
+// EpochEvent reports one completed hybrid-learning epoch to a
+// TrainObserver.
+type EpochEvent struct {
+	// Epoch is the zero-based epoch index.
+	Epoch int
+	// TrainRMSE is the training error after this epoch.
+	TrainRMSE float64
+	// CheckRMSE is the check-set error after this epoch; valid only when
+	// HasCheck.
+	CheckRMSE float64
+	// HasCheck reports whether a check set drives the early stop.
+	HasCheck bool
+	// LearningRate is the gradient step size used this epoch.
+	LearningRate float64
+	// Best reports whether this epoch's parameters became the kept
+	// snapshot.
+	Best bool
+}
+
+// StopEvent reports the end of a hybrid-learning run.
+type StopEvent struct {
+	// Reason explains why training stopped.
+	Reason StopReason
+	// Epochs is the number of epochs actually run.
+	Epochs int
+	// BestEpoch is the epoch whose parameters were kept.
+	BestEpoch int
+	// BestError is the error of the kept snapshot (check error with a
+	// check set, train error otherwise).
+	BestError float64
+}
+
+// TrainObserver receives per-epoch progress and the stopping decision of a
+// hybrid-learning run. Epoch is called once per completed epoch, in order;
+// Stop is called exactly once afterwards. Observers run synchronously on
+// the training goroutine, so they must be fast.
+type TrainObserver interface {
+	TrainEpoch(EpochEvent)
+	TrainStop(StopEvent)
+}
+
+// ObserverFuncs adapts plain functions to a TrainObserver; nil fields are
+// skipped.
+type ObserverFuncs struct {
+	OnEpoch func(EpochEvent)
+	OnStop  func(StopEvent)
+}
+
+// TrainEpoch implements TrainObserver.
+func (o ObserverFuncs) TrainEpoch(ev EpochEvent) {
+	if o.OnEpoch != nil {
+		o.OnEpoch(ev)
+	}
+}
+
+// TrainStop implements TrainObserver.
+func (o ObserverFuncs) TrainStop(ev StopEvent) {
+	if o.OnStop != nil {
+		o.OnStop(ev)
+	}
+}
+
+// Observers fans one event stream out to several observers, in argument
+// order; nil entries are dropped. All-nil input yields nil, and a single
+// survivor is returned unwrapped, so Train's Observer != nil check keeps
+// meaning "someone is listening".
+func Observers(list ...TrainObserver) TrainObserver {
+	kept := make([]TrainObserver, 0, len(list))
+	for _, o := range list {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return multiObserver(kept)
+}
+
+type multiObserver []TrainObserver
+
+func (m multiObserver) TrainEpoch(ev EpochEvent) {
+	for _, o := range m {
+		o.TrainEpoch(ev)
+	}
+}
+
+func (m multiObserver) TrainStop(ev StopEvent) {
+	for _, o := range m {
+		o.TrainStop(ev)
+	}
+}
+
 // Config parameterizes hybrid learning (paper §2.2.4).
 type Config struct {
 	// Epochs bounds the number of hybrid iterations. Default 100.
@@ -52,6 +148,10 @@ type Config struct {
 	RateGrow float64
 	// RateShrink is the multiplicative decrease factor. Default 0.9.
 	RateShrink float64
+	// Observer, when non-nil, receives one EpochEvent per epoch and a
+	// final StopEvent — the training-progress hook the CLIs and the
+	// metrics layer report through.
+	Observer TrainObserver
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +236,7 @@ func Train(sys *fuzzy.TSK, train, check *Data, cfg Config) (*History, error) {
 		}
 
 		trainErr := RMSE(sys, train)
+		stepRate := rate
 		hist.TrainRMSE = append(hist.TrainRMSE, trainErr)
 		hist.LearningRates = append(hist.LearningRates, rate)
 		if cfg.AdaptiveRate && epoch > 0 {
@@ -162,22 +263,34 @@ func Train(sys *fuzzy.TSK, train, check *Data, cfg Config) (*History, error) {
 		}
 
 		scoreErr := trainErr
+		checkErr := 0.0
 		if check != nil {
-			checkErr := RMSE(sys, check)
+			checkErr = RMSE(sys, check)
 			hist.CheckRMSE = append(hist.CheckRMSE, checkErr)
 			scoreErr = checkErr
 		}
-		if scoreErr < bestErr {
+		isBest := scoreErr < bestErr
+		if isBest {
 			bestErr = scoreErr
 			best = sys.Clone()
 			hist.BestEpoch = epoch
 			degraded = 0
 		} else {
 			degraded++
-			if check != nil && degraded >= cfg.Patience {
-				hist.Reason = StopCheckDegraded
-				break
-			}
+		}
+		if cfg.Observer != nil {
+			cfg.Observer.TrainEpoch(EpochEvent{
+				Epoch:        epoch,
+				TrainRMSE:    trainErr,
+				CheckRMSE:    checkErr,
+				HasCheck:     check != nil,
+				LearningRate: stepRate,
+				Best:         isBest,
+			})
+		}
+		if !isBest && check != nil && degraded >= cfg.Patience {
+			hist.Reason = StopCheckDegraded
+			break
 		}
 		if math.Abs(prevTrain-trainErr) < cfg.Tol {
 			hist.Reason = StopConverged
@@ -190,6 +303,14 @@ func Train(sys *fuzzy.TSK, train, check *Data, cfg Config) (*History, error) {
 	}
 	// Roll back to the best snapshot.
 	*sys = *best
+	if cfg.Observer != nil {
+		cfg.Observer.TrainStop(StopEvent{
+			Reason:    hist.Reason,
+			Epochs:    len(hist.TrainRMSE),
+			BestEpoch: hist.BestEpoch,
+			BestError: bestErr,
+		})
+	}
 	return hist, nil
 }
 

@@ -3,6 +3,7 @@ package awareoffice
 import (
 	"fmt"
 
+	"cqm/internal/obs"
 	"cqm/internal/particle"
 	"cqm/internal/sensor"
 )
@@ -62,23 +63,67 @@ func (l Link) validate() error {
 	}
 }
 
+// LinkStats accounts the deliveries attempted to one subscriber.
+type LinkStats struct {
+	// Delivered counts events scheduled for delivery (duplicates count
+	// twice, exactly like on the wire).
+	Delivered int
+	// Dropped counts deliveries lost to link loss.
+	Dropped int
+	// Corrupted counts deliveries dropped by a CRC failure after bit
+	// errors.
+	Corrupted int
+	// Duplicated counts deliveries that arrived twice.
+	Duplicated int
+}
+
+// BusStats is one consistent view of the bus's delivery accounting — the
+// aggregate counters plus per-subscriber link statistics.
+type BusStats struct {
+	// Published counts events handed to Publish.
+	Published int
+	// Delivered counts deliveries scheduled across all subscribers.
+	Delivered int
+	// Dropped counts deliveries lost to link loss.
+	Dropped int
+	// Corrupted counts deliveries dropped by CRC failure.
+	Corrupted int
+	// Subscribers maps each subscriber name to its link statistics.
+	Subscribers map[string]LinkStats
+}
+
 // Bus is the context broadcast medium: publish fans every event out to all
 // subscribers over their links, applying loss, duplication, and delay in
 // virtual time.
 type Bus struct {
 	sim         *Simulation
 	defaultLink Link
-	subscribers []subscription
+	subscribers []*subscription
 	links       map[string]Link // per-subscriber override
-	published   int
-	delivered   int
-	dropped     int
-	corrupted   int
+	stats       BusStats
+	reg         *obs.Registry
+	met         busMetrics
+}
+
+// busMetrics are the bus's pre-resolved aggregate counters; per-subscriber
+// counters live on each subscription. Nil fields are no-ops.
+type busMetrics struct {
+	published *obs.Counter
+}
+
+// subMetrics are one subscriber's pre-resolved link counters.
+type subMetrics struct {
+	delivered  *obs.Counter
+	dropped    *obs.Counter
+	corrupted  *obs.Counter
+	duplicated *obs.Counter
 }
 
 type subscription struct {
 	name    string
 	handler func(Event)
+	stats   *LinkStats
+	met     subMetrics
 }
 
 // NewBus returns a bus over the simulation with the given default link.
@@ -93,10 +138,62 @@ func NewBus(sim *Simulation, defaultLink Link) (*Bus, error) {
 	}, nil
 }
 
+// Metric names of the bus layer.
+const (
+	// MetricBusPublished counts events published.
+	MetricBusPublished = "awareoffice_bus_published_total"
+	// MetricBusDelivered counts deliveries scheduled, per subscriber.
+	MetricBusDelivered = "awareoffice_bus_delivered_total"
+	// MetricBusDropped counts deliveries lost to link loss, per subscriber.
+	MetricBusDropped = "awareoffice_bus_dropped_total"
+	// MetricBusCorrupted counts CRC-failed deliveries, per subscriber.
+	MetricBusCorrupted = "awareoffice_bus_corrupted_total"
+	// MetricBusDuplicated counts duplicated deliveries, per subscriber.
+	MetricBusDuplicated = "awareoffice_bus_duplicated_total"
+)
+
+// Instrument registers the bus's delivery counters — the aggregate publish
+// counter plus per-subscriber delivered/dropped/corrupted/duplicated
+// series — on reg. Existing and future subscribers are both covered; a nil
+// registry turns instrumentation off.
+func (b *Bus) Instrument(reg *obs.Registry) {
+	b.reg = reg
+	if reg == nil {
+		b.met = busMetrics{}
+		for _, sub := range b.subscribers {
+			sub.met = subMetrics{}
+		}
+		return
+	}
+	reg.Help(MetricBusPublished, "Context events published on the bus.")
+	reg.Help(MetricBusDelivered, "Deliveries scheduled, by subscriber.")
+	reg.Help(MetricBusDropped, "Deliveries lost to link loss, by subscriber.")
+	reg.Help(MetricBusCorrupted, "Deliveries dropped by CRC failure, by subscriber.")
+	reg.Help(MetricBusDuplicated, "Deliveries duplicated by the link, by subscriber.")
+	b.met = busMetrics{published: reg.Counter(MetricBusPublished)}
+	for _, sub := range b.subscribers {
+		sub.met = newSubMetrics(reg, sub.name)
+	}
+}
+
+// newSubMetrics resolves one subscriber's labelled counters.
+func newSubMetrics(reg *obs.Registry, name string) subMetrics {
+	return subMetrics{
+		delivered:  reg.Counter(MetricBusDelivered, "subscriber", name),
+		dropped:    reg.Counter(MetricBusDropped, "subscriber", name),
+		corrupted:  reg.Counter(MetricBusCorrupted, "subscriber", name),
+		duplicated: reg.Counter(MetricBusDuplicated, "subscriber", name),
+	}
+}
+
 // Subscribe registers a handler under the subscriber's name. Handlers run
 // in virtual time when deliveries arrive.
 func (b *Bus) Subscribe(name string, handler func(Event)) {
-	b.subscribers = append(b.subscribers, subscription{name: name, handler: handler})
+	sub := &subscription{name: name, handler: handler, stats: &LinkStats{}}
+	if b.reg != nil {
+		sub.met = newSubMetrics(b.reg, name)
+	}
+	b.subscribers = append(b.subscribers, sub)
 }
 
 // SetLink overrides the link used for deliveries to one subscriber —
@@ -111,7 +208,8 @@ func (b *Bus) SetLink(subscriber string, link Link) error {
 
 // Publish broadcasts the event to every subscriber except its source.
 func (b *Bus) Publish(ev Event) error {
-	b.published++
+	b.stats.Published++
+	b.met.published.Inc()
 	for _, sub := range b.subscribers {
 		if sub.name == ev.Source {
 			continue
@@ -122,18 +220,24 @@ func (b *Bus) Publish(ev Event) error {
 		}
 		deliveries := 1
 		if b.sim.rng.Float64() < link.Loss {
-			b.dropped++
+			b.stats.Dropped++
+			sub.stats.Dropped++
+			sub.met.dropped.Inc()
 			continue
 		}
 		if b.sim.rng.Float64() < link.Duplicate {
 			deliveries = 2
+			sub.stats.Duplicated++
+			sub.met.duplicated.Inc()
 		}
 		for d := 0; d < deliveries; d++ {
 			event := ev
 			if link.BitErrorRate > 0 {
 				decoded, ok := b.transmit(ev, link.BitErrorRate)
 				if !ok {
-					b.corrupted++
+					b.stats.Corrupted++
+					sub.stats.Corrupted++
+					sub.met.corrupted.Inc()
 					continue
 				}
 				event = decoded
@@ -143,7 +247,9 @@ func (b *Bus) Publish(ev Event) error {
 				delay += link.Jitter * b.sim.rng.Float64()
 			}
 			handler := sub.handler
-			b.delivered++
+			b.stats.Delivered++
+			sub.stats.Delivered++
+			sub.met.delivered.Inc()
 			if err := b.sim.Schedule(b.sim.Now()+delay, func() {
 				handler(event)
 			}); err != nil {
@@ -191,10 +297,17 @@ func (b *Bus) transmit(ev Event, ber float64) (Event, bool) {
 	return out, true
 }
 
-// Corrupted returns the number of deliveries dropped by CRC failure.
-func (b *Bus) Corrupted() int { return b.corrupted }
+// Corrupted returns the number of deliveries dropped by CRC failure —
+// shorthand for Stats().Corrupted.
+func (b *Bus) Corrupted() int { return b.stats.Corrupted }
 
-// Stats returns the published/delivered/dropped counters.
-func (b *Bus) Stats() (published, delivered, dropped int) {
-	return b.published, b.delivered, b.dropped
+// Stats returns one consistent snapshot of the bus's delivery accounting,
+// aggregate counters and per-subscriber link statistics together.
+func (b *Bus) Stats() BusStats {
+	out := b.stats
+	out.Subscribers = make(map[string]LinkStats, len(b.subscribers))
+	for _, sub := range b.subscribers {
+		out.Subscribers[sub.name] = *sub.stats
+	}
+	return out
 }

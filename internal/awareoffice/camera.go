@@ -3,7 +3,17 @@ package awareoffice
 import (
 	"math"
 
+	"cqm/internal/obs"
 	"cqm/internal/sensor"
+)
+
+// Metric names of the camera appliance.
+const (
+	// MetricCameraDecisions counts handled events by decision
+	// (accept|ignore|duplicate), per camera.
+	MetricCameraDecisions = "awareoffice_camera_decisions_total"
+	// MetricCameraSnapshots counts pictures taken, per camera.
+	MetricCameraSnapshots = "awareoffice_camera_snapshots_total"
 )
 
 // Snapshot is one picture the camera took.
@@ -43,6 +53,34 @@ type Camera struct {
 	ignored   int
 	seen      map[int]struct{}
 	duplicate int
+	met       cameraMetrics
+}
+
+// cameraMetrics are the camera's pre-resolved counters; nil fields are
+// no-ops.
+type cameraMetrics struct {
+	accepted   *obs.Counter
+	ignored    *obs.Counter
+	duplicates *obs.Counter
+	snapshots  *obs.Counter
+}
+
+// Instrument registers the camera's decision and snapshot counters on
+// reg; a nil registry turns instrumentation off.
+func (c *Camera) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		c.met = cameraMetrics{}
+		return
+	}
+	reg.Help(MetricCameraDecisions, "Camera event handling by decision.")
+	reg.Help(MetricCameraSnapshots, "Whiteboard pictures taken.")
+	name := c.name()
+	c.met = cameraMetrics{
+		accepted:   reg.Counter(MetricCameraDecisions, "camera", name, "decision", "accept"),
+		ignored:    reg.Counter(MetricCameraDecisions, "camera", name, "decision", "ignore"),
+		duplicates: reg.Counter(MetricCameraDecisions, "camera", name, "decision", "duplicate"),
+		snapshots:  reg.Counter(MetricCameraSnapshots, "camera", name),
+	}
 }
 
 // Attach subscribes the camera to the bus.
@@ -58,6 +96,7 @@ func (c *Camera) handle(ev Event) {
 	// Duplicate suppression by publisher sequence number.
 	if _, dup := c.seen[ev.Seq]; dup {
 		c.duplicate++
+		c.met.duplicates.Inc()
 		return
 	}
 	c.seen[ev.Seq] = struct{}{}
@@ -65,9 +104,11 @@ func (c *Camera) handle(ev Event) {
 	if c.UseQuality {
 		if !ev.HasQuality || ev.Quality <= c.MinQuality {
 			c.ignored++
+			c.met.ignored.Inc()
 			return
 		}
 	}
+	c.met.accepted.Inc()
 
 	debounce := c.DebounceWindows
 	if debounce < 1 {
@@ -88,6 +129,7 @@ func (c *Camera) handle(ev Event) {
 	// Believed context switch.
 	if c.writing && next != sensor.ContextWriting {
 		c.snapshots = append(c.snapshots, Snapshot{At: ev.Sent, TriggeredBy: ev})
+		c.met.snapshots.Inc()
 	}
 	c.current = next
 	c.writing = next == sensor.ContextWriting

@@ -1,0 +1,128 @@
+package awareoffice
+
+import (
+	"testing"
+
+	"cqm/internal/obs"
+	"cqm/internal/sensor"
+)
+
+// publishAllocs measures the per-call allocations of Publish on a bus with
+// a fully lossy link: every delivery is dropped at the loss gate, so the
+// hot path runs to completion without scheduling closures.
+func publishAllocs(t *testing.T, bus *Bus) float64 {
+	t.Helper()
+	ev := Event{Source: "pen", Context: sensor.ContextWriting, Quality: 0.8, HasQuality: true}
+	return testing.AllocsPerRun(200, func() {
+		if err := bus.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func lossyBus(t *testing.T, seed int64) *Bus {
+	t.Helper()
+	bus, err := NewBus(NewSimulation(seed), Link{Loss: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Subscribe("camera", func(Event) {})
+	return bus
+}
+
+func TestPublishAllocationFree(t *testing.T) {
+	// The acceptance criterion: instrumentation must not add allocations
+	// to Publish. With pre-resolved atomic counters even the live
+	// registry stays allocation-free on this path.
+	cases := []struct {
+		name string
+		prep func(*Bus)
+	}{
+		{"bare", func(*Bus) {}},
+		{"disabled", func(b *Bus) { b.Instrument(nil) }},
+		{"live", func(b *Bus) { b.Instrument(obs.NewRegistry()) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bus := lossyBus(t, 1)
+			tc.prep(bus)
+			if got := publishAllocs(t, bus); got != 0 {
+				t.Errorf("Publish allocates %.1f/op, want 0", got)
+			}
+		})
+	}
+}
+
+func TestBusCountersMatchStats(t *testing.T) {
+	// Drive a lossy, corrupting bus and require the registry's counters to
+	// agree exactly with the struct-level accounting.
+	reg := obs.NewRegistry()
+	sim := NewSimulation(7)
+	bus, err := NewBus(sim, Link{Loss: 0.3, Duplicate: 0.2, BitErrorRate: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Instrument(reg)
+	bus.Subscribe("camera-a", func(Event) {})
+	bus.Subscribe("camera-b", func(Event) {})
+	for i := 0; i < 400; i++ {
+		ev := Event{Source: "pen", Context: sensor.ContextWriting, Seq: i}
+		if err := bus.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run(1000)
+
+	st := bus.Stats()
+	if st.Dropped == 0 || st.Corrupted == 0 {
+		t.Fatalf("test link produced no loss/corruption: %+v", st)
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter(MetricBusPublished); v != int64(st.Published) {
+		t.Errorf("published counter %d != stats %d", v, st.Published)
+	}
+	for name, link := range st.Subscribers {
+		checks := []struct {
+			metric string
+			want   int
+		}{
+			{MetricBusDelivered, link.Delivered},
+			{MetricBusDropped, link.Dropped},
+			{MetricBusCorrupted, link.Corrupted},
+			{MetricBusDuplicated, link.Duplicated},
+		}
+		for _, c := range checks {
+			if v, _ := snap.Counter(c.metric, "subscriber", name); v != int64(c.want) {
+				t.Errorf("%s{subscriber=%q} = %d, want %d", c.metric, name, v, c.want)
+			}
+		}
+	}
+	// Aggregates are the sum of the per-subscriber series.
+	sum := LinkStats{}
+	for _, link := range st.Subscribers {
+		sum.Delivered += link.Delivered
+		sum.Dropped += link.Dropped
+		sum.Corrupted += link.Corrupted
+		sum.Duplicated += link.Duplicated
+	}
+	if sum.Delivered != st.Delivered || sum.Dropped != st.Dropped || sum.Corrupted != st.Corrupted {
+		t.Errorf("aggregate stats %+v inconsistent with per-subscriber sum %+v", st, sum)
+	}
+}
+
+func TestInstrumentCoversLaterSubscribers(t *testing.T) {
+	reg := obs.NewRegistry()
+	sim := NewSimulation(3)
+	bus, err := NewBus(sim, Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Instrument(reg)
+	bus.Subscribe("late", func(Event) {})
+	if err := bus.Publish(Event{Source: "pen"}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := reg.Snapshot().Counter(MetricBusDelivered, "subscriber", "late"); !ok || v != 1 {
+		t.Errorf("late subscriber counter = %d, %v; want 1, true", v, ok)
+	}
+}

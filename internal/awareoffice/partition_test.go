@@ -63,7 +63,7 @@ func TestPartitionAndHeal(t *testing.T) {
 	if snaps[0].TriggeredBy.Seq != 5 {
 		t.Errorf("snapshot triggered by seq %d, want 5", snaps[0].TriggeredBy.Seq)
 	}
-	_, _, dropped := bus.Stats()
+	dropped := bus.Stats().Dropped
 	if dropped == 0 {
 		t.Error("partition dropped nothing")
 	}

@@ -158,9 +158,9 @@ func TestBusLossPartition(t *testing.T) {
 	if got != 0 {
 		t.Errorf("partitioned camera received %d events", got)
 	}
-	pub, _, dropped := bus.Stats()
-	if pub != 20 || dropped != 20 {
-		t.Errorf("stats: published %d dropped %d", pub, dropped)
+	st := bus.Stats()
+	if st.Published != 20 || st.Dropped != 20 {
+		t.Errorf("stats: published %d dropped %d", st.Published, st.Dropped)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"cqm/internal/obs"
 	"cqm/internal/sensor"
 	"cqm/internal/stat"
 )
@@ -15,11 +16,13 @@ import (
 // system, a cross-checking second sensor — and should not keep running on
 // the threshold of a months-old calibration session.
 type AdaptiveFilter struct {
-	measure *Measure
-	right   *stat.Decayed
-	wrong   *stat.Decayed
-	thresh  float64
-	updates int
+	measure  *Measure
+	right    *stat.Decayed
+	wrong    *stat.Decayed
+	thresh   float64
+	updates  int
+	observer func(ThresholdEvent)
+	met      adaptiveMetrics
 }
 
 // AdaptiveConfig parameterizes the online threshold tracker.
@@ -29,6 +32,18 @@ type AdaptiveConfig struct {
 	// Lambda is the per-feedback retention factor of the density
 	// estimates; default 0.98 (a memory of roughly 50 feedbacks).
 	Lambda float64
+	// Observer, when non-nil, is called synchronously every time the
+	// threshold moves — the drift hook for appliances and dashboards.
+	Observer func(ThresholdEvent)
+}
+
+// Instrument registers the adaptive filter's metrics — decision counters,
+// feedback counters by outcome, a threshold-update counter, and the
+// current-threshold gauge — on reg; a nil registry turns instrumentation
+// off.
+func (f *AdaptiveFilter) Instrument(reg *obs.Registry) {
+	f.met = newAdaptiveMetrics(reg)
+	f.met.threshold.Set(f.thresh)
 }
 
 // NewAdaptiveFilter wraps the measure with an adapting threshold.
@@ -47,10 +62,11 @@ func NewAdaptiveFilter(m *Measure, cfg AdaptiveConfig) (*AdaptiveFilter, error) 
 		return nil, fmt.Errorf("core: lambda %v outside (0,1]", lambda)
 	}
 	return &AdaptiveFilter{
-		measure: m,
-		right:   stat.NewDecayed(lambda),
-		wrong:   stat.NewDecayed(lambda),
-		thresh:  cfg.InitialThreshold,
+		measure:  m,
+		right:    stat.NewDecayed(lambda),
+		wrong:    stat.NewDecayed(lambda),
+		thresh:   cfg.InitialThreshold,
+		observer: cfg.Observer,
 	}, nil
 }
 
@@ -65,11 +81,15 @@ func (f *AdaptiveFilter) Decide(cues []float64, class sensor.Context) (Decision,
 	q, err := f.measure.Score(cues, class)
 	if err != nil {
 		if IsEpsilon(err) {
-			return Decision{Accepted: false, Epsilon: true}, nil
+			d := Decision{Accepted: false, Epsilon: true}
+			f.met.observe(d)
+			return d, nil
 		}
 		return Decision{}, err
 	}
-	return Decision{Accepted: q > f.thresh, Quality: q}, nil
+	d := Decision{Accepted: q > f.thresh, Quality: q}
+	f.met.observe(d)
+	return d, nil
 }
 
 // Feedback folds one labelled outcome into the density estimates and, once
@@ -80,14 +100,17 @@ func (f *AdaptiveFilter) Feedback(cues []float64, class sensor.Context, wasCorre
 	q, err := f.measure.Score(cues, class)
 	if err != nil {
 		if IsEpsilon(err) {
+			f.met.feedbackEpsilon.Inc()
 			return nil
 		}
 		return err
 	}
 	if wasCorrect {
 		f.right.Add(q)
+		f.met.feedbackRight.Inc()
 	} else {
 		f.wrong.Add(q)
+		f.met.feedbackWrong.Inc()
 	}
 	// Re-estimate once both sides carry meaningful weight.
 	const minWeight = 3
@@ -117,7 +140,13 @@ func (f *AdaptiveFilter) Feedback(cues []float64, class sensor.Context, wasCorre
 	if s > 1 {
 		s = 1
 	}
+	old := f.thresh
 	f.thresh = s
 	f.updates++
+	f.met.updates.Inc()
+	f.met.threshold.Set(s)
+	if f.observer != nil {
+		f.observer(ThresholdEvent{Old: old, New: s, Updates: f.updates})
+	}
 	return nil
 }

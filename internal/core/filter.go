@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"cqm/internal/obs"
 	"cqm/internal/sensor"
 )
 
@@ -12,6 +13,14 @@ import (
 type Filter struct {
 	measure   *Measure
 	threshold float64
+	met       filterMetrics
+}
+
+// Instrument registers the filter's decision counters
+// (cqm_filter_decisions_total with decision/filter labels) on reg; a nil
+// registry turns instrumentation off.
+func (f *Filter) Instrument(reg *obs.Registry) {
+	f.met = newFilterMetrics(reg, "static")
 }
 
 // NewFilter returns a filter over the measure with the given threshold
@@ -45,11 +54,15 @@ func (f *Filter) Decide(cues []float64, class sensor.Context) (Decision, error) 
 	q, err := f.measure.Score(cues, class)
 	if err != nil {
 		if IsEpsilon(err) {
-			return Decision{Accepted: false, Epsilon: true}, nil
+			d := Decision{Accepted: false, Epsilon: true}
+			f.met.observe(d)
+			return d, nil
 		}
 		return Decision{}, err
 	}
-	return Decision{Accepted: q > f.threshold, Quality: q}, nil
+	d := Decision{Accepted: q > f.threshold, Quality: q}
+	f.met.observe(d)
+	return d, nil
 }
 
 // FilterStats summarizes filtering a batch of observations with secondary

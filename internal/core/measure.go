@@ -7,13 +7,25 @@ import (
 	"cqm/internal/anfis"
 	"cqm/internal/cluster"
 	"cqm/internal/fuzzy"
+	"cqm/internal/obs"
 	"cqm/internal/sensor"
 )
 
 // Measure is the Context Quality Measure: the normalized quality FIS S_Q.
-// Build one with Build; score classifications with Score.
+// Build one with Build; score classifications with Score. Instrument
+// attaches runtime metrics; without it scoring stays completely
+// unobserved and allocation-free beyond the evaluation itself.
 type Measure struct {
 	sys *fuzzy.TSK
+	met measureMetrics
+}
+
+// Instrument registers the measure's runtime metrics — scorings, ε
+// outcomes, and the quality-value distribution — on reg. A nil registry
+// turns instrumentation off again. Metric pointers are resolved once here,
+// so the scoring hot path never touches the registry.
+func (m *Measure) Instrument(reg *obs.Registry) {
+	m.met = newMeasureMetrics(reg)
 }
 
 // MeasureFromSystem wraps an externally constructed quality FIS (ablation
@@ -40,6 +52,13 @@ type BuildConfig struct {
 	// paper's linear ones (ablation for the §2.1.2 remark that linear
 	// consequents give better reliability results).
 	ConstantConsequents bool
+	// Observer, when non-nil, receives per-epoch hybrid-learning events
+	// and the stopping decision — the training-progress hook.
+	Observer TrainObserver
+	// Metrics, when non-nil, records construction metrics (epoch counter,
+	// live train/check RMSE gauges, a stop event) and pre-instruments the
+	// built Measure, as if Instrument had been called on it.
+	Metrics *obs.Registry
 }
 
 // Build constructs the quality FIS from observations with secondary
@@ -79,11 +98,17 @@ func Build(train, check []Observation, cfg BuildConfig) (*Measure, error) {
 		}
 		hybrid := cfg.Hybrid
 		hybrid.ConstantConsequents = cfg.ConstantConsequents
+		hybrid.Observer = cfg.Observer
+		if cfg.Metrics != nil {
+			hybrid.Observer = anfis.Observers(hybrid.Observer, metricsObserver(cfg.Metrics))
+		}
 		if _, err := anfis.Train(sys, trainData, checkArg, hybrid); err != nil {
 			return nil, fmt.Errorf("core: hybrid learning: %w", err)
 		}
 	}
-	return &Measure{sys: sys}, nil
+	m := &Measure{sys: sys}
+	m.Instrument(cfg.Metrics)
+	return m, nil
 }
 
 // observationsToData converts observations into the (v_Q, designated
@@ -113,9 +138,18 @@ func (m *Measure) Score(cues []float64, class sensor.Context) (float64, error) {
 	}
 	raw, err := m.RawScore(cues, class)
 	if err != nil {
+		m.met.scored.Inc()
+		m.met.epsilon.Inc()
 		return 0, err
 	}
-	return Normalize(raw)
+	q, err := Normalize(raw)
+	m.met.scored.Inc()
+	if err != nil {
+		m.met.epsilon.Inc()
+		return 0, err
+	}
+	m.met.quality.Observe(q)
+	return q, nil
 }
 
 // RawScore returns the un-normalized FIS output S̃_Q(v_Q); exposed for the

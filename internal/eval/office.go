@@ -107,7 +107,7 @@ func CameraExperiment(setup *Setup, cfg CameraConfig) (*CameraResult, error) {
 	}
 	sim.Run(offset + 5)
 
-	_, _, dropped := bus.Stats()
+	dropped := bus.Stats().Dropped
 	return &CameraResult{
 		Without:        awareoffice.ScoreSnapshots(plain.Snapshots(), truths, cfg.Tolerance),
 		With:           awareoffice.ScoreSnapshots(filtered.Snapshots(), truths, cfg.Tolerance),

@@ -1,0 +1,30 @@
+// Package obs is the observability layer of the CQM reproduction: a
+// stdlib-only, concurrency-safe metrics registry (counters, gauges,
+// fixed-bucket histograms, timers) plus a lightweight span/event API,
+// with Prometheus text-format and JSON exposition.
+//
+// The package is designed around two constraints of a production context
+// pipeline:
+//
+//   - Instrumented hot paths (Measure.Score, Bus.Publish) must cost
+//     nothing when observability is off. Every metric type is nil-safe:
+//     methods on a nil *Counter, *Gauge, *Histogram or *Timer are no-ops,
+//     so call sites hold pre-resolved metric pointers and never branch on
+//     a registry. A nil *Registry likewise hands out nil metrics.
+//
+//   - Updates must be safe from concurrent goroutines without a global
+//     lock on the hot path. Counters and gauges are single atomics;
+//     histogram buckets are per-bucket atomics; only metric *registration*
+//     takes the registry mutex.
+//
+// Exposition is pull-based: WritePrometheus renders the classic text
+// format (sorted, deterministic — goldens stay stable), Snapshot/WriteJSON
+// render a structured JSON view, and Handler serves both over HTTP
+// (Prometheus by default, ?format=json for the snapshot).
+//
+// Context-aware middleware surveys treat monitoring of context
+// acquisition and dissemination as a first-class middleware service; this
+// package is that service for the paper's quality pipeline — every layer
+// (ANFIS training, quality scoring, filtering, the AwareOffice bus)
+// reports through it.
+package obs

@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+)
+
+// Handler serves the registry over HTTP: Prometheus text format by
+// default, the JSON snapshot with ?format=json. Wire it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var buf bytes.Buffer
+		if req.URL.Query().Get("format") == "json" {
+			if err := r.WriteJSON(&buf); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+		} else {
+			if err := r.WritePrometheus(&buf); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		}
+		_, _ = w.Write(buf.Bytes())
+	})
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "k", "v").Add(7)
+	r.Gauge("b").Set(2.5)
+	h := r.Histogram("c", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	r.RecordEvent("boot", "version", "1")
+
+	snap := r.Snapshot()
+	if v, ok := snap.Counter("a_total", "k", "v"); !ok || v != 7 {
+		t.Errorf("Counter lookup = %d, %v; want 7, true", v, ok)
+	}
+	if _, ok := snap.Counter("a_total", "k", "other"); ok {
+		t.Error("Counter lookup matched wrong labels")
+	}
+	if _, ok := snap.Counter("missing_total"); ok {
+		t.Error("Counter lookup matched missing family")
+	}
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Value != 2.5 {
+		t.Errorf("gauges = %+v", snap.Gauges)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 2 || snap.Histograms[0].Sum != 2 {
+		t.Errorf("histograms = %+v", snap.Histograms)
+	}
+	if len(snap.Events) != 1 || snap.Events[0].Name != "boot" || snap.Events[0].Attrs["version"] != "1" {
+		t.Errorf("events = %+v", snap.Events)
+	}
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v", err)
+	}
+	if v, ok := back.Counter("a_total", "k", "v"); !ok || v != 7 {
+		t.Errorf("decoded counter = %d, %v; want 7, true", v, ok)
+	}
+}
+
+func TestEventRingOverwritesOldest(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < maxEvents+10; i++ {
+		r.RecordEvent("e", "i", string(rune('a'+i%26)))
+	}
+	evs := r.Events()
+	if len(evs) != maxEvents {
+		t.Fatalf("retained %d events, want %d", len(evs), maxEvents)
+	}
+	// Oldest-first: the first retained event is number 10 (0-based),
+	// i.e. i%26 == 10 → 'k'.
+	if evs[0].Attrs["i"] != "k" {
+		t.Errorf("oldest retained event attr = %q, want %q", evs[0].Attrs["i"], "k")
+	}
+}
+
+func TestSpanRecordsHistogramAndEvent(t *testing.T) {
+	r := NewRegistry()
+	span := r.StartSpan("op")
+	d := span.End("result", "ok")
+	if d < 0 {
+		t.Errorf("span duration = %v", d)
+	}
+	if got := r.Histogram("op_seconds", nil).Count(); got != 1 {
+		t.Errorf("span histogram count = %d, want 1", got)
+	}
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Name != "op" || evs[0].Attrs["result"] != "ok" {
+		t.Errorf("span events = %+v", evs)
+	}
+}

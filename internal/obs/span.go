@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// maxEvents bounds the in-memory event ring; older events are overwritten.
+const maxEvents = 256
+
+// Event is one timestamped occurrence — a training run starting, a
+// threshold moving, a simulation session completing. Events complement
+// metrics: metrics aggregate, events narrate.
+type Event struct {
+	// Name identifies the kind of occurrence.
+	Name string `json:"name"`
+	// At is the wall-clock time the event was recorded.
+	At time.Time `json:"at"`
+	// Attrs are free-form key/value annotations.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// eventRing is a fixed-capacity overwrite-oldest buffer.
+type eventRing struct {
+	mu    sync.Mutex
+	buf   [maxEvents]Event
+	next  int
+	total int
+}
+
+func (e *eventRing) add(ev Event) {
+	e.mu.Lock()
+	e.buf[e.next] = ev
+	e.next = (e.next + 1) % maxEvents
+	e.total++
+	e.mu.Unlock()
+}
+
+// snapshot returns the retained events oldest-first.
+func (e *eventRing) snapshot() []Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := e.total
+	if n > maxEvents {
+		n = maxEvents
+	}
+	out := make([]Event, 0, n)
+	start := 0
+	if e.total > maxEvents {
+		start = e.next
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, e.buf[(start+i)%maxEvents])
+	}
+	return out
+}
+
+// RecordEvent appends an event with alternating key/value attributes to
+// the registry's bounded ring. A nil registry drops it.
+func (r *Registry) RecordEvent(name string, attrs ...string) {
+	if r == nil {
+		return
+	}
+	ev := Event{Name: name, At: time.Now()}
+	if len(attrs) >= 2 {
+		ev.Attrs = make(map[string]string, len(attrs)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			ev.Attrs[attrs[i]] = attrs[i+1]
+		}
+	}
+	r.events.add(ev)
+}
+
+// Events returns the retained events, oldest first.
+func (r *Registry) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events.snapshot()
+}
+
+// Span is one in-flight timed operation. Ending a span records its
+// duration into the histogram <name>_seconds and appends a completion
+// event. A zero Span (from a nil registry) is inert.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+}
+
+// StartSpan begins a timed operation.
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, start: time.Now()}
+}
+
+// End records the span's duration and returns it.
+func (s Span) End(attrs ...string) time.Duration {
+	if s.r == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.r.Histogram(s.name+"_seconds", DefBuckets).Observe(d.Seconds())
+	s.r.RecordEvent(s.name, attrs...)
+	return d
+}

@@ -34,6 +34,13 @@ const (
 	headerLen   = 10
 	readingLen  = 33
 	maxReadings = 1 << 26 // 64 Mi readings ≈ a week at 100 Hz; sanity cap
+
+	// initialAlloc bounds the slice capacity allocated up front from the
+	// header's count field — about 64 KiB of readings. The count is
+	// attacker-controlled (a corrupt or hostile 4-byte field), so a larger
+	// promise must be earned by actually delivering bytes; the slice grows
+	// by appending past this point.
+	initialAlloc = 64 * 1024 / readingLen
 )
 
 // Codec errors.
@@ -95,7 +102,7 @@ func Read(r io.Reader) ([]sensor.Reading, error) {
 	if count > maxReadings {
 		return nil, fmt.Errorf("%w: %d", ErrTooLarge, count)
 	}
-	out := make([]sensor.Reading, 0, count)
+	out := make([]sensor.Reading, 0, min(count, initialAlloc))
 	buf := make([]byte, readingLen)
 	for i := uint32(0); i < count; i++ {
 		if _, err := io.ReadFull(r, buf); err != nil {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math"
 	"math/rand"
@@ -187,6 +188,57 @@ func TestTrainOnReplayedTrace(t *testing.T) {
 	for i := range readings {
 		if replayed[i] != readings[i] {
 			t.Fatal("replayed trace differs from live capture")
+		}
+	}
+}
+
+func TestReadHostileCountAllocation(t *testing.T) {
+	// A corrupt count field must not translate into a giant up-front
+	// allocation: the header below promises 60 Mi readings (~2 GiB of
+	// slice) but delivers zero bytes. Read must fail with ErrTruncated
+	// while allocating no more than the small initial capacity.
+	header := make([]byte, headerLen)
+	copy(header, magic)
+	header[4] = version
+	binary.BigEndian.PutUint32(header[5:9], maxReadings-1)
+
+	allocs := testing.AllocsPerRun(1, func() {
+		if _, err := Read(bytes.NewReader(header)); !errors.Is(err, ErrTruncated) {
+			t.Errorf("Read = %v, want ErrTruncated", err)
+		}
+	})
+	// The exact count is incidental; the point is it stays O(1) — a
+	// ~2 GiB slice would also be caught by the test blowing the heap.
+	if allocs > 16 {
+		t.Errorf("Read of hostile header made %.0f allocations", allocs)
+	}
+}
+
+func TestReadCountBeyondInitialAlloc(t *testing.T) {
+	// Streams honestly larger than the initial capacity still round-trip:
+	// the slice grows by appending past initialAlloc.
+	readings := sampleRecording(t, 9)
+	for len(readings) <= initialAlloc {
+		readings = append(readings, readings...)
+	}
+	readings = readings[:initialAlloc+17]
+	for i := range readings {
+		readings[i].T = float64(i) * 0.01
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, readings); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(readings) {
+		t.Fatalf("got %d readings, want %d", len(back), len(readings))
+	}
+	for i := range readings {
+		if back[i] != readings[i] {
+			t.Fatalf("reading %d differs after round trip", i)
 		}
 	}
 }
