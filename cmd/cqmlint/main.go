@@ -1,0 +1,82 @@
+// Command cqmlint runs the repo-specific static-analysis suite over the
+// cqm module. It loads every package matching the given patterns, type
+// checks them in dependency order, and applies the checks registered in
+// internal/lint.
+//
+// Usage:
+//
+//	cqmlint [flags] [packages]
+//
+//	go run ./cmd/cqmlint ./...
+//	go run ./cmd/cqmlint -json ./internal/...
+//	go run ./cmd/cqmlint -checks floatcmp,unchecked-err ./internal/stat
+//
+// Exit status is 0 when the tree is clean, 1 when any finding is reported
+// (the CI gate), and 2 on usage or load errors. Findings print one per
+// line as file:line:col: [check] message; -json emits the same findings
+// as a JSON array of {file, line, col, check, message} objects.
+//
+// A finding can be waived in place with a mandatory-reason directive on
+// the offending line or the line above:
+//
+//	//lint:ignore check-name reason
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cqm/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("cqmlint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default all)")
+	list := fs.Bool("list", false, "list registered checks and exit")
+	dir := fs.String("C", "", "change to this directory before locating the module")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, c := range lint.Checks() {
+			fmt.Printf("%-16s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+	var names []string
+	if *checks != "" {
+		names = strings.Split(*checks, ",")
+	}
+	findings, err := lint.Run(lint.Options{
+		Dir:      *dir,
+		Patterns: fs.Args(),
+		Checks:   names,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqmlint:", err)
+		return 2
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "cqmlint:", err)
+			return 2
+		}
+	} else if err := lint.WriteText(os.Stdout, findings); err != nil {
+		fmt.Fprintln(os.Stderr, "cqmlint:", err)
+		return 2
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "cqmlint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}

@@ -165,7 +165,7 @@ func run(seed int64, dataPath, outDir, clfKind string, progress bool, metricsOut
 	if err != nil {
 		return err
 	}
-	if reAcc != acc {
+	if reAcc != acc { //lint:ignore floatcmp round-trip persistence must be bit-exact; any drift is the bug this guards
 		return fmt.Errorf("reloaded classifier accuracy %v differs from %v", reAcc, acc)
 	}
 	if err := writeJSON(filepath.Join(outDir, "measure.json"), measure); err != nil {

@@ -1,6 +1,7 @@
 package cqm_test
 
 import (
+	"math"
 	"testing"
 
 	"cqm"
@@ -65,7 +66,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 }
 
 func TestFacadeNormalize(t *testing.T) {
-	if q, err := cqm.Normalize(1.2); err != nil || q != 0.8 {
+	if q, err := cqm.Normalize(1.2); err != nil || math.Abs(q-0.8) > 1e-12 {
 		t.Errorf("Normalize(1.2) = %v, %v", q, err)
 	}
 	if _, err := cqm.Normalize(7); !cqm.IsEpsilon(err) {

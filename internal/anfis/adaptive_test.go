@@ -1,10 +1,15 @@
 package anfis
 
 import (
+	"math"
 	"testing"
 
 	"cqm/internal/cluster"
 )
+
+// almostEqual compares floats with a tolerance suited to the unit-scale
+// learning rates these tests assert on.
+func almostEqual(a, b float64) bool { return math.Abs(a-b) <= 1e-12 }
 
 func TestAdaptiveRateChangesStepSize(t *testing.T) {
 	train := sineData(60, 70, 0.02)
@@ -68,7 +73,7 @@ func TestFixedRateHistoryIsConstant(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range hist.LearningRates {
-		if r != 0.03 {
+		if !almostEqual(r, 0.03) {
 			t.Fatalf("fixed-rate training recorded rate %v", r)
 		}
 	}

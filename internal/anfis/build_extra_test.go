@@ -45,7 +45,7 @@ func TestBuildFromCentersBroadcastSigma(t *testing.T) {
 		t.Fatalf("rules = %d", sys.NumRules())
 	}
 	for j := 0; j < 3; j++ {
-		if got := sys.Rule(j).Antecedent[0].Sigma; got != 0.8 {
+		if got := sys.Rule(j).Antecedent[0].Sigma; math.Abs(got-0.8) > 1e-12 {
 			t.Errorf("rule %d sigma = %v", j, got)
 		}
 	}

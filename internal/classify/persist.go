@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 
 	"cqm/internal/fuzzy"
 	"cqm/internal/sensor"
@@ -234,7 +235,13 @@ func centroidFromJSON(raw json.RawMessage) (*NearestCentroid, error) {
 		centroids: make(map[sensor.Context][]float64, len(dto.Centroids)),
 		trained:   true,
 	}
-	for id, v := range dto.Centroids {
+	ids := make([]int, 0, len(dto.Centroids))
+	for id := range dto.Centroids {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids) // deterministic load order, and deterministic error on bad data
+	for _, id := range ids {
+		v := dto.Centroids[id]
 		c := sensor.ContextByID(id)
 		if len(v) != dto.Dim {
 			return nil, fmt.Errorf("classify: centroid for class %d has %d dims, want %d", id, len(v), dto.Dim)

@@ -170,7 +170,7 @@ func bestSplit(set *dataset.Set, idx []int, dim int) (feature int, threshold flo
 		}
 		sort.Float64s(values)
 		for k := 1; k < len(values); k++ {
-			if values[k] == values[k-1] {
+			if values[k] == values[k-1] { //lint:ignore floatcmp dedupe of identical values in a sorted slice is exact by construction
 				continue
 			}
 			thr := 0.5 * (values[k] + values[k-1])

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"testing"
 
 	"cqm/internal/classify"
@@ -330,7 +331,7 @@ func TestFilterDecideAndValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if filter.Threshold() != 0.8 {
+	if math.Abs(filter.Threshold()-0.8) > 1e-12 {
 		t.Error("Threshold() wrong")
 	}
 	o := f.testObs[0]

@@ -115,7 +115,7 @@ func setAsObservations(s *dataset.Set) []core.Observation {
 		out = append(out, core.Observation{
 			Cues:    cues,
 			Class:   smp.Truth,
-			Correct: smp.Cues[n+1] == 1,
+			Correct: smp.Cues[n+1] == 1, //lint:ignore floatcmp the slot stores the 0/1 correctness flag verbatim, never computed
 			Pure:    smp.Pure,
 		})
 	}

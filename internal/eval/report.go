@@ -5,6 +5,24 @@ import (
 	"io"
 )
 
+// reportWriter funnels every write of the report through one place and
+// remembers the first failure, so the report body stays a linear script
+// while a full disk or closed pipe still surfaces as an error.
+type reportWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (rw *reportWriter) str(s string) {
+	if rw.err == nil {
+		_, rw.err = io.WriteString(rw.w, s)
+	}
+}
+
+func (rw *reportWriter) strf(format string, args ...any) {
+	rw.str(fmt.Sprintf(format, args...))
+}
+
 // WriteReport runs the complete evaluation at the given seed and writes
 // one consolidated plain-text report: every figure, table, sweep,
 // extension, and ablation in DESIGN.md §4 order. This is the single
@@ -14,98 +32,99 @@ func WriteReport(w io.Writer, seed int64) error {
 	if err != nil {
 		return err
 	}
+	rw := &reportWriter{w: w}
 	section := func(title string) {
-		fmt.Fprintf(w, "\n%s\n%s\n", title, underline(len(title)))
+		rw.strf("\n%s\n%s\n", title, underline(len(title)))
 	}
 
-	fmt.Fprintf(w, "CQM evaluation report (seed %d)\n", seed)
-	fmt.Fprintf(w, "Paper: Using a Context Quality Measure for Improving Smart Appliances (ICDCS WS 2007)\n")
+	rw.strf("CQM evaluation report (seed %d)\n", seed)
+	rw.strf("Paper: Using a Context Quality Measure for Improving Smart Appliances (ICDCS WS 2007)\n")
 
 	section("E1 — Figure 5")
 	f5, err := Figure5(setup)
 	if err != nil {
 		return err
 	}
-	io.WriteString(w, f5.Render())
+	rw.str(f5.Render())
 
 	section("E2 — Figure 6")
 	f6, err := Figure6(setup)
 	if err != nil {
 		return err
 	}
-	io.WriteString(w, f6.Render())
+	rw.str(f6.Render())
 
 	section("E3 — probabilities")
-	io.WriteString(w, RenderProbabilityTable(ProbabilityTable(setup)))
+	rw.str(RenderProbabilityTable(ProbabilityTable(setup)))
 
 	section("E4 — improvement headline")
 	imp, err := ImprovementExperiment(setup)
 	if err != nil {
 		return err
 	}
-	io.WriteString(w, imp.Render())
+	rw.str(imp.Render())
 
 	section("E5 — classifier agnosticism")
 	ag, err := AgnosticismSweep(seed)
 	if err != nil {
 		return err
 	}
-	io.WriteString(w, RenderAgnostic(ag))
+	rw.str(RenderAgnostic(ag))
 
 	section("E6 — balance and size sweeps")
 	bal, err := ThresholdBalanceSweep(seed, nil)
 	if err != nil {
 		return err
 	}
-	io.WriteString(w, RenderBalance(bal))
+	rw.str(RenderBalance(bal))
 	sz, err := TestSizeSweep(seed, nil)
 	if err != nil {
 		return err
 	}
-	io.WriteString(w, RenderSizes(sz))
+	rw.str(RenderSizes(sz))
 
 	section("E7 — whiteboard camera")
 	cam, err := CameraExperiment(setup, CameraConfig{Seed: seed})
 	if err != nil {
 		return err
 	}
-	io.WriteString(w, cam.Render())
+	rw.str(cam.Render())
 
 	section("E8 — context prediction (outlook)")
 	pred, err := PredictionExperiment(seed)
 	if err != nil {
 		return err
 	}
-	io.WriteString(w, pred.Render())
+	rw.str(pred.Render())
 
 	section("E9 — fusion (outlook)")
 	fus, err := FusionExperiment(seed)
 	if err != nil {
 		return err
 	}
-	io.WriteString(w, fus.Render())
+	rw.str(fus.Render())
 
 	section("Extensions")
 	conf, err := ThresholdConfidence(setup, 500, 0.95)
 	if err != nil {
 		return err
 	}
-	io.WriteString(w, conf.Render())
+	rw.str(conf.Render())
 	cv, err := CrossValidate(seed, 5)
 	if err != nil {
 		return err
 	}
-	io.WriteString(w, cv.Render())
+	rw.str(cv.Render())
 	noise, err := NoiseRobustnessSweep(seed, nil)
 	if err != nil {
 		return err
 	}
-	io.WriteString(w, RenderNoise(noise))
+	rw.str(RenderNoise(noise))
 	cues, err := CueAblation(seed)
 	if err != nil {
 		return err
 	}
-	io.WriteString(w, RenderCues(cues))
+	rw.str(RenderCues(cues))
 
 	section("Ablations")
 	for _, a := range []struct {
@@ -122,9 +141,9 @@ func WriteReport(w io.Writer, seed int64) error {
 		if err != nil {
 			return fmt.Errorf("eval: report %s: %w", a.title, err)
 		}
-		io.WriteString(w, RenderAblation(a.title, rows))
+		rw.str(RenderAblation(a.title, rows))
 	}
-	return nil
+	return rw.err
 }
 
 func underline(n int) string {

@@ -3,6 +3,7 @@ package fusion
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"cqm/internal/classify"
@@ -61,8 +62,13 @@ func (r *Result) Render() string {
 	var sb strings.Builder
 	sb.WriteString("Fusion — higher-level context from multiple appliances (paper §5 outlook)\n")
 	fmt.Fprintf(&sb, "  fused windows %d\n", r.Windows)
-	for name, acc := range r.PerSource {
-		fmt.Fprintf(&sb, "  source %-22s accuracy %.3f\n", name, acc)
+	names := make([]string, 0, len(r.PerSource))
+	for name := range r.PerSource {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&sb, "  source %-22s accuracy %.3f\n", name, r.PerSource[name])
 	}
 	for _, s := range r.Strategies {
 		fmt.Fprintf(&sb, "  fusion %-22s accuracy %.3f\n", s.Strategy, s.Accuracy)

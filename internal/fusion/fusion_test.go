@@ -68,7 +68,7 @@ func TestFuseBestQuality(t *testing.T) {
 	if c.Class != sensor.ContextWriting {
 		t.Errorf("best-quality = %v, want writing", c.Class)
 	}
-	if c.Confidence != 0.9 {
+	if math.Abs(c.Confidence-0.9) > 1e-12 {
 		t.Errorf("confidence = %v, want 0.9", c.Confidence)
 	}
 }

@@ -60,7 +60,7 @@ type Bell struct {
 // Eval returns the bell membership degree of x.
 func (b Bell) Eval(x float64) float64 {
 	if b.A == 0 {
-		if x == b.C {
+		if x == b.C { //lint:ignore floatcmp degenerate zero-width bell fires only at its stored center
 			return 1
 		}
 		return 0
@@ -81,11 +81,11 @@ func (t Triangular) Eval(x float64) float64 {
 	switch {
 	case x <= t.Left || x >= t.Right:
 		// Degenerate spikes still fire at the peak itself.
-		if x == t.Peak {
+		if x == t.Peak { //lint:ignore floatcmp spike membership compares against the stored peak verbatim
 			return 1
 		}
 		return 0
-	case x == t.Peak:
+	case x == t.Peak: //lint:ignore floatcmp spike membership compares against the stored peak verbatim
 		return 1
 	case x < t.Peak:
 		return (x - t.Left) / (t.Peak - t.Left)
@@ -111,12 +111,12 @@ func (t Trapezoidal) Eval(x float64) float64 {
 	case x >= t.B && x <= t.C:
 		return 1
 	case x < t.B:
-		if t.B == t.A {
+		if t.B == t.A { //lint:ignore floatcmp equal stored feet mean a vertical shoulder; guards the division below
 			return 1
 		}
 		return (x - t.A) / (t.B - t.A)
 	default:
-		if t.D == t.C {
+		if t.D == t.C { //lint:ignore floatcmp equal stored feet mean a vertical shoulder; guards the division below
 			return 1
 		}
 		return (t.D - x) / (t.D - t.C)

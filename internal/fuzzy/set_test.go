@@ -7,11 +7,11 @@ import (
 )
 
 func TestNorms(t *testing.T) {
-	if ProdNorm(0.5, 0.4) != 0.2 {
-		t.Error("ProdNorm wrong")
+	if got := ProdNorm(0.5, 0.4); math.Abs(got-0.2) > 1e-15 {
+		t.Errorf("ProdNorm = %v, want 0.2", got)
 	}
-	if MinNorm(0.5, 0.4) != 0.4 {
-		t.Error("MinNorm wrong")
+	if got := MinNorm(0.5, 0.4); math.Abs(got-0.4) > 1e-15 {
+		t.Errorf("MinNorm = %v, want 0.4", got)
 	}
 	if MaxNorm(0.5, 0.4) != 0.5 {
 		t.Error("MaxNorm wrong")
@@ -19,8 +19,8 @@ func TestNorms(t *testing.T) {
 	if got := ProbOrNorm(0.5, 0.4); math.Abs(got-0.7) > 1e-15 {
 		t.Errorf("ProbOrNorm = %v, want 0.7", got)
 	}
-	if Complement(0.3) != 0.7 {
-		t.Error("Complement wrong")
+	if got := Complement(0.3); math.Abs(got-0.7) > 1e-15 {
+		t.Errorf("Complement = %v, want 0.7", got)
 	}
 }
 

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+func init() {
+	register(&Check{
+		Name: "exported-doc",
+		Doc:  "exported identifier in an internal/ package without a doc comment",
+		Run:  runExportedDoc,
+	})
+}
+
+// runExportedDoc requires doc comments on exported identifiers in internal/
+// library packages: exported funcs, methods whose receiver type is itself
+// exported, and exported type/var/const specs. A doc comment on a grouped
+// var/const/type block covers every spec inside it — the repo documents
+// enumerations with one block comment. Test files are exempt.
+func runExportedDoc(pass *Pass) {
+	if !pass.Internal {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(pass, d)
+			case *ast.GenDecl:
+				checkGenDoc(pass, d)
+			}
+		}
+	}
+}
+
+func checkFuncDoc(pass *Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	kind := "function"
+	if d.Recv != nil {
+		kind = "method"
+		// Methods on unexported types are internal plumbing.
+		if _, typeName := pointerReceiver(d); typeName != "" && !ast.IsExported(typeName) {
+			return
+		}
+		if typeName := valueReceiverType(d); typeName != "" && !ast.IsExported(typeName) {
+			return
+		}
+	}
+	pass.Reportf(d.Name.Pos(), "exported %s %s has no doc comment", kind, d.Name.Name)
+}
+
+func checkGenDoc(pass *Pass, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				pass.Reportf(s.Name.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					pass.Reportf(name.Pos(), "exported %s has no doc comment", name.Name)
+				}
+			}
+		}
+	}
+}
+
+// valueReceiverType returns the receiver type name of a value-receiver
+// method, or "".
+func valueReceiverType(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return ""
+	}
+	base := fd.Recv.List[0].Type
+	if idx, ok := base.(*ast.IndexExpr); ok {
+		base = idx.X
+	}
+	if id, ok := base.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+func init() {
+	register(&Check{
+		Name: "floatcmp",
+		Doc:  "== or != between floating-point operands; compare with an epsilon instead",
+		Run:  runFloatcmp,
+	})
+}
+
+// runFloatcmp flags exact equality between floating-point values. The CQM
+// pipeline's quality scores travel through subtractive clustering, SVD
+// least squares, and ANFIS gradient steps — after that many rounding
+// events an exact comparison is a latent bug, not a check.
+//
+// Exemptions, each an intentional-exactness idiom in this tree:
+//   - comparison against an exact floating zero: q == 0 is how the
+//     pipeline tests "sentinel / never set", and 0 survives direct
+//     assignment exactly;
+//   - x != x, the standard NaN probe;
+//   - the sort tie-break idiom `if a != b { return a < b }`, where the
+//     comparison orders rather than tests equality;
+//   - bodies of golden helpers in *_test.go files (functions whose name
+//     contains "golden"), which byte-compare recorded output.
+//
+// In *_test.go files the check narrows to comparisons against a constant
+// that float64 cannot represent exactly (0.05, 0.03, …): the assertion
+// only holds while the value is stored verbatim and silently breaks the
+// moment it is ever computed. Variable-vs-variable equality in tests
+// asserts bit determinism of reruns, and dyadic constants (2, 0.5) are
+// exact, so both stay legal there — tests lean on determinism by design.
+func runFloatcmp(pass *Pass) {
+	for _, file := range pass.Files {
+		golden := goldenHelperRanges(pass, file)
+		inTest := pass.InTestFile(file.Pos())
+		tiebreaks := tiebreakConds(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.Info.Types[be.X].Type) && !isFloat(pass.Info.Types[be.Y].Type) {
+				return true
+			}
+			if isExactZero(pass, be.X) || isExactZero(pass, be.Y) {
+				return true
+			}
+			if inTest && !isInexactConst(pass, be.X) && !isInexactConst(pass, be.Y) {
+				return true // determinism assertion or exact dyadic constant
+			}
+			if exprString(pass.Fset, be.X) == exprString(pass.Fset, be.Y) {
+				return true // x != x NaN idiom
+			}
+			if tiebreaks[be] {
+				return true
+			}
+			for _, r := range golden {
+				if be.Pos() >= r[0] && be.Pos() < r[1] {
+					return true
+				}
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison; use an epsilon (e.g. math.Abs(a-b) <= eps)", be.Op)
+			return true
+		})
+	}
+}
+
+// tiebreakConds collects the conditions of `if a != b { return a < b }`
+// (or >, <=, >=) statements — the comparator tie-break idiom, where the
+// equality test partitions rather than asserts.
+func tiebreakConds(fset *token.FileSet, file *ast.File) map[*ast.BinaryExpr]bool {
+	out := make(map[*ast.BinaryExpr]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok || ifStmt.Else != nil || ifStmt.Init != nil || len(ifStmt.Body.List) != 1 {
+			return true
+		}
+		cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.NEQ {
+			return true
+		}
+		ret, ok := ifStmt.Body.List[0].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		ord, ok := ret.Results[0].(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch ord.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		default:
+			return true
+		}
+		cx, cy := exprString(fset, cond.X), exprString(fset, cond.Y)
+		ox, oy := exprString(fset, ord.X), exprString(fset, ord.Y)
+		if (cx == ox && cy == oy) || (cx == oy && cy == ox) {
+			out[cond] = true
+		}
+		return true
+	})
+	return out
+}
+
+// goldenHelperRanges returns the position ranges of golden-helper function
+// bodies in a test file.
+func goldenHelperRanges(pass *Pass, file *ast.File) [][2]token.Pos {
+	if !pass.InTestFile(file.Pos()) {
+		return nil
+	}
+	var out [][2]token.Pos
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if strings.Contains(strings.ToLower(fd.Name.Name), "golden") {
+			out = append(out, [2]token.Pos{fd.Body.Pos(), fd.Body.End()})
+		}
+	}
+	return out
+}
+
+// isFloat reports whether t's core type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isInexactConst reports whether e is a floating literal that float64
+// cannot represent exactly. The literal text is re-folded from source:
+// go/types records constant values already rounded to their type, so the
+// exactness of the written decimal is only visible in the syntax.
+func isInexactConst(pass *Pass, e ast.Expr) bool {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+			continue
+		case *ast.UnaryExpr:
+			if v.Op == token.SUB || v.Op == token.ADD {
+				e = v.X
+				continue
+			}
+			return false
+		}
+		break
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.FLOAT {
+		return false
+	}
+	v := constant.MakeFromLiteral(lit.Value, token.FLOAT, 0)
+	if constant.ToFloat(v).Kind() != constant.Float {
+		return false
+	}
+	_, exact := constant.Float64Val(constant.ToFloat(v))
+	return !exact
+}
+
+// isExactZero reports whether e is a compile-time floating zero.
+func isExactZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f == 0 //lint:ignore floatcmp deciding the exemption itself needs the exact test
+}
+
+// exprString renders an expression for structural comparison.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

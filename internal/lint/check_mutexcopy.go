@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	register(&Check{
+		Name: "mutexcopy-lite",
+		Doc:  "sync.Mutex or sync.RWMutex passed or returned by value",
+		Run:  runMutexCopy,
+	})
+}
+
+// runMutexCopy flags function signatures — declarations and literals —
+// that move a sync.Mutex or sync.RWMutex by value through a parameter,
+// result, or value receiver. A copied mutex guards nothing: the copy and
+// the original lock independently, which is exactly the silent corruption
+// mode the obs registry and the awareoffice bus must never hit. The check
+// is "lite" relative to vet's copylocks: it covers the signature surface
+// (where this repo's APIs are designed) and leaves assignment-position
+// copies to vet, which CI also runs.
+func runMutexCopy(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var recv *ast.FieldList
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ft = n.Type
+				recv = n.Recv
+			case *ast.FuncLit:
+				ft = n.Type
+			default:
+				return true
+			}
+			checkFieldList(pass, recv, "receiver")
+			checkFieldList(pass, ft.Params, "parameter")
+			checkFieldList(pass, ft.Results, "result")
+			return true
+		})
+	}
+}
+
+func checkFieldList(pass *Pass, fl *ast.FieldList, role string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		if name := mutexValueType(pass, field.Type); name != "" {
+			pass.Reportf(field.Type.Pos(), "sync.%s %s by value copies the lock; use *sync.%s", name, role, name)
+		}
+	}
+}
+
+// mutexValueType returns "Mutex" or "RWMutex" when the field type is the
+// bare sync type (not a pointer to it), else "".
+func mutexValueType(pass *Pass, expr ast.Expr) string {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	if name := obj.Name(); name == "Mutex" || name == "RWMutex" {
+		return name
+	}
+	return ""
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	register(&Check{
+		Name: "nondeterminism",
+		Doc:  "global math/rand, time.Now, or map-order-dependent output in internal/ library code",
+		Run:  runNondeterminism,
+	})
+}
+
+// globalRandFuncs are the math/rand (and math/rand/v2) top-level functions
+// that draw from the shared, unseedable-for-reproduction global source.
+// Constructors (New, NewSource, NewPCG, …) are the deterministic idiom and
+// stay legal.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint32N": true, "Uint64N": true,
+	"Uint": true, "UintN": true,
+	"Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// wallClockFuncs are the time functions that read the wall clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// runNondeterminism enforces that internal/ library packages stay
+// reproducible: every random draw flows through an explicitly seeded
+// *rand.Rand, no library path reads the wall clock, and nothing prints
+// while ranging over a map. Determinism here is load-bearing — training
+// runs must replay bit-identically for the paper reproduction and for
+// resumable experiment pipelines. Test files are exempt (they are not
+// library code), as are cmd/ and examples/, where wall-clock use is the
+// point.
+func runNondeterminism(pass *Pass) {
+	if !pass.Internal {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				pkg, name := calleePkgFunc(pass, n)
+				switch {
+				case (pkg == "math/rand" || pkg == "math/rand/v2") && globalRandFuncs[name]:
+					pass.Reportf(n.Pos(), "global rand.%s uses the shared source; thread an explicit rand.New(rand.NewSource(seed))", name)
+				case pkg == "time" && wallClockFuncs[name]:
+					pass.Reportf(n.Pos(), "time.%s reads the wall clock in library code; take the time as a parameter", name)
+				}
+			case *ast.RangeStmt:
+				checkMapRangeOutput(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// calleePkgFunc resolves a call to (package path, function name) when the
+// callee is a package-level function reached through a selector; otherwise
+// it returns empty strings.
+func calleePkgFunc(pass *Pass, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	obj, ok := pass.Info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return "", ""
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return "", ""
+	}
+	// Only package-qualified calls (pkg.F), not method calls.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if _, isPkg := pass.Info.Uses[id].(*types.PkgName); isPkg {
+			return obj.Pkg().Path(), obj.Name()
+		}
+	}
+	return "", ""
+}
+
+// checkMapRangeOutput flags fmt print/format calls inside a range over a
+// map: iteration order is randomized, so anything emitted or concatenated
+// per-iteration differs run to run. The benign pattern — collect keys,
+// sort, then emit — never prints inside the map range itself.
+func checkMapRangeOutput(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name := calleePkgFunc(pass, call); pkg == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s inside range over map emits in randomized order; sort keys first", name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func init() {
+	register(&Check{
+		Name: "obs-nilsafe",
+		Doc:  "exported obs metric method touches receiver fields without the leading nil guard",
+		Run:  runObsNilsafe,
+	})
+}
+
+// nilSafeTypes are the obs types whose documented contract is "a nil
+// pointer is a no-op": every exported pointer-receiver method must begin
+// with `if recv == nil { ... }` before touching receiver state, so
+// instrumented code can run unconditionally with metrics disabled.
+var nilSafeTypes = map[string]bool{
+	"Registry":  true,
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Timer":     true,
+}
+
+// runObsNilsafe enforces the nil-guard idiom inside packages named obs.
+// A method violates it when it dereferences a receiver field and its first
+// statement is not a nil check on the receiver. Unexported methods are the
+// guarded-side helpers (lookup, sortedFamilies) and are exempt: their
+// callers hold the guarantee.
+func runObsNilsafe(pass *Pass) {
+	if pass.Pkg.Name() != "obs" {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recvName, typeName := pointerReceiver(fd)
+			if !nilSafeTypes[typeName] {
+				continue
+			}
+			if !touchesReceiverField(pass, fd, recvName) {
+				continue
+			}
+			if len(fd.Body.List) > 0 && isNilGuard(fd.Body.List[0], recvName) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"exported method (*%s).%s accesses receiver fields without a leading `if %s == nil` guard",
+				typeName, fd.Name.Name, recvName)
+		}
+	}
+}
+
+// pointerReceiver returns the receiver identifier and pointed-to type name
+// for a pointer-receiver method, or empty strings otherwise.
+func pointerReceiver(fd *ast.FuncDecl) (recv, typeName string) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return "", ""
+	}
+	field := fd.Recv.List[0]
+	star, ok := field.Type.(*ast.StarExpr)
+	if !ok {
+		return "", ""
+	}
+	base := star.X
+	if idx, ok := base.(*ast.IndexExpr); ok { // generic receiver
+		base = idx.X
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok || len(field.Names) == 0 {
+		return "", ""
+	}
+	return field.Names[0].Name, id.Name
+}
+
+// touchesReceiverField reports whether the method body selects a struct
+// field (not a method) off the receiver identifier.
+func touchesReceiverField(pass *Pass, fd *ast.FuncDecl, recvName string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || found {
+			return !found
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != recvName {
+			return true
+		}
+		if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isNilGuard reports whether stmt is an if statement whose condition
+// contains `recv == nil` (possibly inside a || chain).
+func isNilGuard(stmt ast.Stmt, recvName string) bool {
+	ifStmt, ok := stmt.(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	guard := false
+	ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.EQL {
+			return true
+		}
+		if isIdentNilPair(be.X, be.Y, recvName) || isIdentNilPair(be.Y, be.X, recvName) {
+			guard = true
+			return false
+		}
+		return true
+	})
+	return guard
+}
+
+func isIdentNilPair(a, b ast.Expr, recvName string) bool {
+	id, ok := a.(*ast.Ident)
+	if !ok || id.Name != recvName {
+		return false
+	}
+	nilIdent, ok := b.(*ast.Ident)
+	return ok && nilIdent.Name == "nil"
+}

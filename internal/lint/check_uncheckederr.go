@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	register(&Check{
+		Name: "unchecked-err",
+		Doc:  "call discards an error result; handle it or assign it to _ deliberately",
+		Run:  runUncheckedErr,
+	})
+}
+
+// runUncheckedErr flags statement-position calls whose error result
+// vanishes. Assigning the error to _ is an explicit, greppable discard and
+// stays legal; silently dropping it is not.
+//
+// Scope decisions for this tree:
+//   - *_test.go files are exempt: the test harness surfaces failures.
+//   - defer/go statements are exempt; the repo treats deferred cleanup as
+//     best-effort (writers that must flush use explicit Close paths).
+//   - fmt is exempt (terminal writes), as are strings.Builder and
+//     bytes.Buffer methods, which are documented never to fail.
+func runUncheckedErr(pass *Pass) {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) || exemptCallee(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "result of %s discards an error; check it or assign to _", calleeName(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether call's type includes an error result.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// exemptCallee applies the infallible-writer allowlist.
+func exemptCallee(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if pkg, _ := calleePkgFunc(pass, call); pkg == "fmt" {
+		return true
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// calleeName renders a short name for the callee, for the message.
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	default:
+		return "call"
+	}
+}

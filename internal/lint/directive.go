@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //lint:ignore comment. It suppresses matching
+// findings on its own line and throughout the AST node that starts on the
+// line immediately below it, so one directive above a declaration can
+// waive every occurrence inside it.
+type directive struct {
+	fromLine int
+	toLine   int
+	checks   string // comma-separated check names, or "all"
+	reason   string
+	pos      token.Pos
+}
+
+// directiveIndex holds the parsed ignore directives of one file.
+type directiveIndex struct {
+	directives []directive
+}
+
+const directivePrefix = "lint:ignore"
+
+// parseDirectives scans a file's comments for //lint:ignore directives.
+// Malformed directives (missing check list or missing reason) are reported
+// as findings under the reserved check name "directive" so they cannot
+// silently fail to suppress anything.
+func parseDirectives(fset *token.FileSet, file *ast.File, report func(pos token.Pos, check, msg string)) directiveIndex {
+	extent := nodeExtents(fset, file)
+	var idx directiveIndex
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := directiveText(c.Text)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) < 2 {
+				report(c.Pos(), "directive",
+					"malformed //lint:ignore: want \"//lint:ignore check-name reason\"")
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			to := line
+			// A directive on its own line scopes over the node starting
+			// on the next line; one trailing code covers only its line.
+			if _, shared := extent[line]; !shared {
+				if end, ok := extent[line+1]; ok {
+					to = end
+				}
+			}
+			idx.directives = append(idx.directives, directive{
+				fromLine: line,
+				toLine:   to,
+				checks:   fields[0],
+				reason:   strings.Join(fields[1:], " "),
+				pos:      c.Pos(),
+			})
+		}
+	}
+	return idx
+}
+
+// nodeExtents maps each starting line to the last line of the widest AST
+// node beginning there — the scope a directive on the preceding line covers.
+func nodeExtents(fset *token.FileSet, file *ast.File) map[int]int {
+	extent := make(map[int]int)
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup:
+			return false // comments are not suppression scopes
+		}
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if end > extent[start] {
+			extent[start] = end
+		}
+		return true
+	})
+	return extent
+}
+
+// directiveText extracts the payload after "lint:ignore" from a raw comment,
+// or reports ok=false when the comment is not an ignore directive. Only
+// //-style comments are honoured: a directive must be machine-editable on
+// one line.
+func directiveText(raw string) (string, bool) {
+	if !strings.HasPrefix(raw, "//") {
+		return "", false
+	}
+	body := strings.TrimPrefix(raw, "//")
+	if !strings.HasPrefix(body, directivePrefix) {
+		return "", false
+	}
+	return strings.TrimSpace(strings.TrimPrefix(body, directivePrefix)), true
+}
+
+// suppresses reports whether a finding for check at the given line is
+// covered by any directive in the file.
+func (idx *directiveIndex) suppresses(check string, line int) bool {
+	for _, d := range idx.directives {
+		if line >= d.fromLine && line <= d.toLine && d.matches(check) {
+			return true
+		}
+	}
+	return false
+}
+
+func (d directive) matches(check string) bool {
+	if d.checks == "all" {
+		return true
+	}
+	for _, name := range strings.Split(d.checks, ",") {
+		if name == check {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestDirectiveText(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want string
+		ok   bool
+	}{
+		{"//lint:ignore floatcmp reason", "floatcmp reason", true},
+		{"//lint:ignore   spaced   out ", "spaced   out", true},
+		{"//lint:ignore", "", true},
+		{"// lint:ignore floatcmp reason", "", false}, // space before prefix
+		{"//nolint:floatcmp", "", false},
+		{"/*lint:ignore floatcmp reason*/", "", false}, // block comments not honoured
+		{"// plain comment", "", false},
+	}
+	for _, tc := range cases {
+		got, ok := directiveText(tc.raw)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("directiveText(%q) = (%q, %v), want (%q, %v)", tc.raw, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestDirectiveMatches(t *testing.T) {
+	cases := []struct {
+		checks string
+		check  string
+		want   bool
+	}{
+		{"floatcmp", "floatcmp", true},
+		{"floatcmp", "nondeterminism", false},
+		{"floatcmp,unchecked-err", "unchecked-err", true},
+		{"floatcmp,unchecked-err", "mutexcopy-lite", false},
+		{"all", "anything", true},
+		{"float", "floatcmp", false}, // no prefix matching
+	}
+	for _, tc := range cases {
+		d := directive{checks: tc.checks}
+		if got := d.matches(tc.check); got != tc.want {
+			t.Errorf("directive{%q}.matches(%q) = %v, want %v", tc.checks, tc.check, got, tc.want)
+		}
+	}
+}
+
+const directiveScopeSrc = `package p
+
+//lint:ignore floatcmp covers the whole function below
+func f(a, b float64) bool {
+	if a > b {
+		return true
+	}
+	return a == b
+}
+
+func g() {
+	x := 1 //lint:ignore nondeterminism trailing covers only this line
+	_ = x
+}
+`
+
+func TestDirectiveScope(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "scope.go", directiveScopeSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var malformed int
+	idx := parseDirectives(fset, file, func(token.Pos, string, string) { malformed++ })
+	if malformed != 0 {
+		t.Fatalf("got %d malformed reports, want 0", malformed)
+	}
+	if len(idx.directives) != 2 {
+		t.Fatalf("got %d directives, want 2", len(idx.directives))
+	}
+
+	// Own-line directive at line 3 covers the FuncDecl spanning lines 4-9.
+	own := idx.directives[0]
+	if own.fromLine != 3 || own.toLine != 9 {
+		t.Errorf("own-line scope = [%d,%d], want [3,9]", own.fromLine, own.toLine)
+	}
+	if !idx.suppresses("floatcmp", 8) {
+		t.Error("own-line directive should suppress inside the function body")
+	}
+	if idx.suppresses("floatcmp", 10) {
+		t.Error("own-line directive must not leak past the function end")
+	}
+	if idx.suppresses("nondeterminism", 8) {
+		t.Error("own-line directive must not suppress other checks")
+	}
+
+	// Trailing directive at line 12 covers only its own line.
+	trailing := idx.directives[1]
+	if trailing.fromLine != 12 || trailing.toLine != 12 {
+		t.Errorf("trailing scope = [%d,%d], want [12,12]", trailing.fromLine, trailing.toLine)
+	}
+	if idx.suppresses("nondeterminism", 13) {
+		t.Error("trailing directive must not cover the following line")
+	}
+}
+
+func TestDirectiveMalformedReported(t *testing.T) {
+	src := `package p
+
+//lint:ignore floatcmp
+func f() {}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "bad.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []string
+	idx := parseDirectives(fset, file, func(_ token.Pos, check, _ string) {
+		reports = append(reports, check)
+	})
+	if len(reports) != 1 || reports[0] != "directive" {
+		t.Fatalf("got reports %v, want one under check %q", reports, "directive")
+	}
+	if len(idx.directives) != 0 {
+		t.Fatalf("malformed directive must not enter the index, got %d", len(idx.directives))
+	}
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Finding is one diagnostic produced by a check. File is reported relative
+// to the module root (or the analysis root in single-directory mode) so
+// output is stable across machines and suitable for golden tests.
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// String renders the canonical single-line form: file:line: [check] message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Check, f.Message)
+}
+
+// SortFindings orders findings by file, line, column, then check name —
+// the deterministic order both the text and JSON emitters share.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}
+
+// WriteText writes one finding per line in the canonical text form.
+func WriteText(w io.Writer, fs []Finding) error {
+	for _, f := range fs {
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the findings as an indented JSON array. An empty slice
+// renders as [] rather than null so consumers can always range over it.
+func WriteJSON(w io.Writer, fs []Finding) error {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fs)
+}

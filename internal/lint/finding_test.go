@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "a/b.go", Line: 7, Col: 3, Check: "floatcmp", Message: "use an epsilon"}
+	want := "a/b.go:7:3: [floatcmp] use an epsilon"
+	if got := f.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSortFindings(t *testing.T) {
+	fs := []Finding{
+		{File: "b.go", Line: 1, Col: 1, Check: "x"},
+		{File: "a.go", Line: 9, Col: 1, Check: "x"},
+		{File: "a.go", Line: 2, Col: 5, Check: "x"},
+		{File: "a.go", Line: 2, Col: 1, Check: "z"},
+		{File: "a.go", Line: 2, Col: 1, Check: "y"},
+	}
+	SortFindings(fs)
+	order := make([]string, len(fs))
+	for i, f := range fs {
+		order[i] = f.String()
+	}
+	want := []string{
+		"a.go:2:1: [y] ",
+		"a.go:2:1: [z] ",
+		"a.go:2:5: [x] ",
+		"a.go:9:1: [x] ",
+		"b.go:1:1: [x] ",
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order[%d] = %q, want %q\nfull: %v", i, order[i], want[i], order)
+		}
+	}
+}
+
+// TestWriteJSONShape pins the -json output contract against a golden file:
+// field names, ordering, and indentation are all part of the interface CI
+// consumers parse.
+func TestWriteJSONShape(t *testing.T) {
+	fs := []Finding{
+		{File: "internal/stat/kde.go", Line: 51, Col: 9, Check: "floatcmp", Message: "floating-point == comparison; use an epsilon (e.g. math.Abs(a-b) <= eps)"},
+		{File: "internal/obs/metric.go", Line: 12, Col: 2, Check: "unchecked-err", Message: "result of os.Remove discards an error; check it or assign to _"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, fs); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	golden := filepath.Join("testdata", "json", "expected.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("JSON shape mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// The output must round-trip into the same findings.
+	var back []Finding
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(back) != len(fs) || back[0] != fs[0] || back[1] != fs[1] {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Errorf("WriteJSON(nil) = %q, want %q (never null)", got, "[]\n")
+	}
+}

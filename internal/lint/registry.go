@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Check is one named analysis over a type-checked package.
+type Check struct {
+	// Name is the short kebab-case identifier used in reports and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description shown by cqmlint -checks.
+	Doc string
+	// Run inspects the package held by pass and reports findings.
+	Run func(pass *Pass)
+}
+
+// Pass hands one type-checked package to a check.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// PkgPath is the import path being analyzed (e.g. cqm/internal/stat).
+	PkgPath string
+	// Internal marks library packages under internal/ — checks that only
+	// apply to library code (nondeterminism, exported-doc) key off this.
+	Internal bool
+
+	check  *Check
+	report func(Finding)
+	relpos func(token.Pos) (file string, line, col int)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	file, line, col := p.relpos(pos)
+	p.report(Finding{
+		File:    file,
+		Line:    line,
+		Col:     col,
+		Check:   p.check.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos sits in a *_test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// registry is the fixed set of checks, keyed by name.
+var registry = map[string]*Check{}
+
+// register installs a check at package init time; duplicate names are a
+// programming error.
+func register(c *Check) {
+	if _, dup := registry[c.Name]; dup {
+		panic("lint: duplicate check " + c.Name)
+	}
+	registry[c.Name] = c
+}
+
+// Checks returns every registered check in name order.
+func Checks() []*Check {
+	out := make([]*Check, 0, len(registry))
+	for _, c := range registry {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CheckByName returns the named check, or nil.
+func CheckByName(name string) *Check {
+	return registry[name]
+}

@@ -1,0 +1,11 @@
+// Directive corpus: ignore directives without a reason are themselves findings.
+package sample
+
+//lint:ignore floatcmp
+func exact(a, b float64) bool {
+	return a == b
+}
+
+func alsoBad(a float64) bool {
+	return a == 0.1 //lint:ignore
+}

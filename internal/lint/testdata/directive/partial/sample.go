@@ -1,0 +1,13 @@
+// Directive corpus: directives that must NOT silence the finding.
+package sample
+
+import "time"
+
+func wrongCheck(a float64) bool {
+	return a == 0.1 //lint:ignore nondeterminism names a different check
+}
+
+func trailingDoesNotLeak() time.Time {
+	_ = 0 //lint:ignore nondeterminism trailing form is single-line
+	return time.Now()
+}

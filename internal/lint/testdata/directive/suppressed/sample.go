@@ -1,0 +1,26 @@
+// Directive corpus: every finding here is silenced by an ignore directive.
+package sample
+
+import (
+	"os"
+	"time"
+)
+
+// The own-line form covers the whole declaration that starts below it.
+//
+//lint:ignore floatcmp exactness is the property under test
+func exact(a, b float64) bool {
+	return a == b
+}
+
+func mixed(a float64) bool {
+	stamp := time.Now() //lint:ignore nondeterminism trailing form covers this line only
+	_ = stamp
+	return a == 0.1 //lint:ignore floatcmp,unchecked-err comma list matches either check
+}
+
+//lint:ignore all blanket waiver for a known-dirty helper
+func dirty(a float64) bool {
+	os.Remove("tmp")
+	return a != 0.3
+}

@@ -1,0 +1,14 @@
+// Positive corpus: exported names with no doc comment.
+package sample
+
+const Threshold = 0.8
+
+var DefaultName = "cqm"
+
+type Widget struct{}
+
+func Build() *Widget {
+	return &Widget{}
+}
+
+func (w *Widget) Run() {}

@@ -1,0 +1,29 @@
+// Negative corpus: documented exports and exempt shapes.
+package sample
+
+// Threshold is the default acceptance bound.
+const Threshold = 0.8
+
+// Grouped declarations are covered by the block doc.
+var (
+	DefaultName = "cqm"
+	DefaultTags = []string{"a"}
+)
+
+// Widget is a documented exported type.
+type Widget struct{}
+
+// Build constructs a Widget.
+func Build() *Widget {
+	return &Widget{}
+}
+
+// Run executes the widget.
+func (w *Widget) Run() {}
+
+type hidden struct{}
+
+// Methods on unexported receivers are exempt even when exported.
+func (h *hidden) Poke() {}
+
+func internalOnly() {}

@@ -1,0 +1,14 @@
+// Positive corpus: every comparison here must be reported.
+package sample
+
+func exactEqual(a, b float64) bool {
+	return a == b
+}
+
+func exactNotEqual(a, b float64) bool {
+	return a != b
+}
+
+func mixedConst(q float64) bool {
+	return q == 0.25 // dyadic, but this is not a test file
+}

@@ -1,0 +1,8 @@
+package sample
+
+func inexactConstInTest() bool {
+	got := compute()
+	return got != 0.05 // 0.05 has no exact float64 representation
+}
+
+func compute() float64 { return 0.05 }

@@ -1,0 +1,26 @@
+// Negative corpus: nothing here may be reported.
+package sample
+
+import "math"
+
+// Comparing against exact zero is the sentinel idiom.
+func zeroSentinel(q float64) bool { return q == 0 }
+
+// x != x is the NaN probe.
+func isNaN(x float64) bool { return x != x }
+
+type point struct {
+	d  float64
+	id int
+}
+
+// The sort tie-break idiom orders rather than tests equality.
+func less(a, b point) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.id < b.id
+}
+
+// Epsilon comparison is the recommended form.
+func close(a, b float64) bool { return math.Abs(a-b) <= 1e-12 }

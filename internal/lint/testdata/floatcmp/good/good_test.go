@@ -1,0 +1,21 @@
+package sample
+
+// Var-vs-var equality in tests asserts rerun determinism — allowed.
+func rerunsMatch() bool {
+	a := produce()
+	b := produce()
+	return a == b
+}
+
+// Dyadic constants are exactly representable — allowed in tests.
+func dyadicConst() bool {
+	return produce() == 0.5
+}
+
+// Golden helpers byte-compare recorded values — allowed even for
+// inexact constants.
+func goldenCompare() bool {
+	return produce() == 0.3
+}
+
+func produce() float64 { return 0.5 }

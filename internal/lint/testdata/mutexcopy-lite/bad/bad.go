@@ -1,0 +1,17 @@
+// Positive corpus: locks moved by value through signatures.
+package sample
+
+import "sync"
+
+func lockByValue(mu sync.Mutex) {
+	mu.Lock()
+}
+
+func giveLock() sync.RWMutex {
+	var m sync.RWMutex
+	return m
+}
+
+var anon = func(mu sync.Mutex) {
+	mu.Lock()
+}

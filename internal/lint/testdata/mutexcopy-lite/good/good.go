@@ -1,0 +1,26 @@
+// Negative corpus: locks shared by pointer or embedded in owned state.
+package sample
+
+import "sync"
+
+func lockByPointer(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func newLock() *sync.RWMutex {
+	return new(sync.RWMutex)
+}
+
+// A mutex field in a struct is fine as long as the struct itself is not
+// copied; vet's copylocks (also in CI) covers assignment-position copies.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *guarded) bump() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}

@@ -1,0 +1,30 @@
+// Positive corpus: global rand, wall clock, and map-order output.
+package sample
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func draw() float64 {
+	return rand.Float64()
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func stamp() time.Time {
+	return time.Now()
+}
+
+func age(t time.Time) time.Duration {
+	return time.Since(t)
+}
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

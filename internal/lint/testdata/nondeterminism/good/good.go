@@ -1,0 +1,37 @@
+// Negative corpus: seeded sources, injected clocks, sorted emission.
+package sample
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Explicitly seeded source — the deterministic idiom.
+func draw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Method calls on a threaded *rand.Rand are fine.
+func shuffle(rng *rand.Rand, xs []int) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// The clock arrives as a parameter.
+func format(t time.Time) string {
+	return t.Format(time.RFC3339)
+}
+
+// Collect, sort, then emit — map order never reaches the output.
+func emit(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}

@@ -1,0 +1,13 @@
+// Scope corpus: identical violations to bad/, but analyzed as a non-internal
+// (cmd-style) package, where wall-clock use is the point.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now(), rand.Float64())
+}

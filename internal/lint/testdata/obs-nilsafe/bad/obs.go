@@ -1,0 +1,25 @@
+// Positive corpus: metric methods that dereference a possibly-nil receiver.
+package obs
+
+type Counter struct {
+	n int64
+}
+
+// Inc touches c.n before any nil guard.
+func (c *Counter) Inc() {
+	c.n++
+}
+
+type Gauge struct {
+	v float64
+}
+
+// Set guards, but only after the first receiver access.
+func (g *Gauge) Set(v float64) {
+	old := g.v
+	if g == nil {
+		return
+	}
+	_ = old
+	g.v = v
+}

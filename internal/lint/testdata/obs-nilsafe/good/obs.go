@@ -1,0 +1,40 @@
+// Negative corpus: the nil-guard idiom, plus shapes the check must not flag.
+package obs
+
+type Counter struct {
+	n int64
+}
+
+// Inc opens with the guard, so a nil *Counter is a safe no-op.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// Value never touches a field through the receiver directly.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+type Gauge struct {
+	v float64
+}
+
+// reset is unexported; only exported entry points need the guard.
+func (g *Gauge) reset() {
+	g.v = 0
+}
+
+type Snapshot struct {
+	N int64
+}
+
+// Total is a value receiver on a non-metric type; out of scope.
+func (s Snapshot) Total() int64 {
+	return s.N
+}

@@ -1,0 +1,12 @@
+// Positive corpus: statement-position calls that drop an error.
+package sample
+
+import (
+	"os"
+	"strconv"
+)
+
+func drop() {
+	os.Remove("tmp")
+	strconv.ParseFloat("0.5", 64)
+}

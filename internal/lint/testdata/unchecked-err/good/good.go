@@ -1,0 +1,25 @@
+// Negative corpus: handled, explicitly discarded, deferred, or infallible.
+package sample
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func handled() error {
+	if err := os.Remove("tmp"); err != nil {
+		return err
+	}
+	_ = os.Remove("tmp2")   // explicit, greppable discard
+	defer os.Remove("tmp3") // deferred cleanup is best-effort by policy
+
+	fmt.Println("progress") // fmt writes to the terminal; exempt
+
+	var sb strings.Builder
+	sb.WriteString("x") // documented never to fail
+	var buf bytes.Buffer
+	buf.WriteString("y") // documented never to fail
+	return nil
+}

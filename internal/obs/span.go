@@ -61,7 +61,7 @@ func (r *Registry) RecordEvent(name string, attrs ...string) {
 	if r == nil {
 		return
 	}
-	ev := Event{Name: name, At: time.Now()}
+	ev := Event{Name: name, At: time.Now()} //lint:ignore nondeterminism event timestamps are observability data, not model state
 	if len(attrs) >= 2 {
 		ev.Attrs = make(map[string]string, len(attrs)/2)
 		for i := 0; i+1 < len(attrs); i += 2 {
@@ -93,7 +93,7 @@ func (r *Registry) StartSpan(name string) Span {
 	if r == nil {
 		return Span{}
 	}
-	return Span{r: r, name: name, start: time.Now()}
+	return Span{r: r, name: name, start: time.Now()} //lint:ignore nondeterminism spans measure wall-clock latency by design
 }
 
 // End records the span's duration and returns it.
@@ -101,7 +101,7 @@ func (s Span) End(attrs ...string) time.Duration {
 	if s.r == nil {
 		return 0
 	}
-	d := time.Since(s.start)
+	d := time.Since(s.start) //lint:ignore nondeterminism spans measure wall-clock latency by design
 	s.r.Histogram(s.name+"_seconds", DefBuckets).Observe(d.Seconds())
 	s.r.RecordEvent(s.name, attrs...)
 	return d

@@ -23,7 +23,7 @@ func TestBootstrapMeanInterval(t *testing.T) {
 	if iv.Width() > 0.1 || iv.Width() <= 0 {
 		t.Errorf("implausible width %v", iv.Width())
 	}
-	if iv.Level != 0.95 {
+	if !almostEqual(iv.Level, 0.95) {
 		t.Errorf("Level = %v", iv.Level)
 	}
 }

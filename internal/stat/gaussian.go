@@ -134,7 +134,7 @@ func intersectionRoots(a, b Gaussian) []float64 {
 	sb2 := b.Sigma * b.Sigma
 	if math.Abs(sa2-sb2) < 1e-15*(sa2+sb2) {
 		// Equal variances: a single midpoint root.
-		if a.Mu == b.Mu {
+		if a.Mu == b.Mu { //lint:ignore floatcmp equal-parameter degeneracy check; epsilon would merge distinct distributions
 			return nil
 		}
 		return []float64{0.5 * (a.Mu + b.Mu)}

@@ -8,6 +8,10 @@ import (
 	"testing/quick"
 )
 
+// almostEqual compares floats with a tolerance suited to the unit-scale
+// values these tests assert on.
+func almostEqual(a, b float64) bool { return math.Abs(a-b) <= 1e-12 }
+
 func TestKDEEmpty(t *testing.T) {
 	if _, err := NewKDE(nil, 0); !errors.Is(err, ErrNoData) {
 		t.Errorf("err = %v, want ErrNoData", err)
@@ -48,7 +52,7 @@ func TestKDECDFMatchesPDF(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if k.Bandwidth() != 0.05 {
+	if !almostEqual(k.Bandwidth(), 0.05) {
 		t.Errorf("Bandwidth = %v", k.Bandwidth())
 	}
 	// CDF spans 0→1 and is monotone.

@@ -49,6 +49,7 @@ func ROC(scores []float64, positives []bool) []ROCPoint {
 	points = append(points, ROCPoint{Threshold: data[0].score, TPR: rate(tp, posTotal), FPR: rate(fp, negTotal)})
 	for i := 0; i < len(data); {
 		j := i
+		//lint:ignore floatcmp grouping ties of sorted, uncomputed scores is exact by construction
 		for j < len(data) && data[j].score == data[i].score {
 			if data[j].pos {
 				tp--
