@@ -10,12 +10,16 @@ package cqm_test
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
+	"cqm/internal/anfis"
+	"cqm/internal/cluster"
 	"cqm/internal/core"
 	"cqm/internal/eval"
 	"cqm/internal/obs"
+	"cqm/internal/parallel"
 )
 
 var (
@@ -367,6 +371,102 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 		if _, err := eval.NewSetup(eval.SetupConfig{Seed: eval.DefaultSeed}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// parallelWorkerCounts are the worker settings every parallel benchmark
+// sweeps; workers=1 is the serial baseline the speedups are read against.
+var parallelWorkerCounts = []int{1, 2, 4}
+
+// BenchmarkParallelSubtractive times the O(n²) subtractive clustering at
+// n=2000 across worker counts. The deterministic-reduction contract makes
+// the outputs bit-identical at every setting, so the sweep measures pure
+// scheduling overhead/speedup.
+func BenchmarkParallelSubtractive(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	const n, dims = 2000, 3
+	data := make([][]float64, n)
+	for i := range data {
+		row := make([]float64, dims)
+		for j := range row {
+			row[j] = rng.Float64() * 10
+		}
+		data[i] = row
+	}
+	for _, workers := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.Subtractive(data, cluster.SubtractiveConfig{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelANFIS times three hybrid-learning epochs (gradient
+// pass + LSE + two RMSE evaluations per epoch) on 3000 samples across
+// worker counts.
+func BenchmarkParallelANFIS(b *testing.B) {
+	rng := rand.New(rand.NewSource(18))
+	d := &anfis.Data{}
+	for i := 0; i < 3000; i++ {
+		x1, x2 := rng.Float64()*4, rng.Float64()*4
+		d.X = append(d.X, []float64{x1, x2})
+		d.Y = append(d.Y, x1*x2/16+0.1*rng.NormFloat64())
+	}
+	base, err := anfis.Build(d, anfis.BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.5, Workers: 0}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sys := base.Clone()
+				if _, err := anfis.Train(sys, d, nil, anfis.Config{Epochs: 3, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelCrossval times the 5-fold cross-validation of the full
+// quality pipeline with folds built and evaluated concurrently.
+func BenchmarkParallelCrossval(b *testing.B) {
+	for _, workers := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.CrossValidateWorkers(eval.DefaultSeed, 5, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelScoreBatch times batch scoring of 4800 observations
+// (the canonical test set tiled) on a shared pool across worker counts.
+func BenchmarkParallelScoreBatch(b *testing.B) {
+	s := canonical(b)
+	var batch []core.Observation
+	for len(batch) < 4800 {
+		batch = append(batch, s.TestObs...)
+	}
+	for _, workers := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pool := parallel.New(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Measure.ScoreBatch(batch, pool); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

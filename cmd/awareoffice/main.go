@@ -7,11 +7,17 @@
 // Usage:
 //
 //	awareoffice [-seed N] [-sessions N] [-loss P] [-ber P] [-latency S] [-jitter S] [-metrics-addr :8080]
+//	            [-workers N]
 //
 // With -metrics-addr the whole pipeline is instrumented and served at
 // /metrics in Prometheus text format (?format=json for a JSON snapshot);
 // the process then stays alive after printing its results until
 // interrupted, so the endpoint can be scraped.
+//
+// -workers parallelizes training (clustering + hybrid learning) and makes
+// the pen pre-score each session's windows in one batch. The simulation's
+// outputs are bit-identical at every setting; 1 (the default) keeps the
+// legacy serial paths.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"syscall"
 
@@ -41,15 +48,16 @@ func main() {
 	latency := flag.Float64("latency", 0.02, "base one-way delay in seconds")
 	jitter := flag.Float64("jitter", 0.03, "uniform extra delay bound in seconds")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text format) on this address and keep running")
+	workers := flag.Int("workers", 1, "worker count for training and batch pre-scoring (0 = one per CPU, 1 = serial); outputs are identical at every setting")
 	flag.Parse()
 
-	if err := run(*seed, *sessions, *loss, *ber, *latency, *jitter, *metricsAddr); err != nil {
+	if err := run(*seed, *sessions, *loss, *ber, *latency, *jitter, *metricsAddr, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "awareoffice:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, sessions int, loss, ber, latency, jitter float64, metricsAddr string) error {
+func run(seed int64, sessions int, loss, ber, latency, jitter float64, metricsAddr string, workers int) error {
 	var reg *obs.Registry
 	var ln net.Listener
 	if metricsAddr != "" {
@@ -64,7 +72,7 @@ func run(seed int64, sessions int, loss, ber, latency, jitter float64, metricsAd
 		fmt.Printf("metrics: http://%s/metrics\n", ln.Addr())
 	}
 
-	clf, measure, threshold, err := trainStack(seed, reg)
+	clf, measure, threshold, err := trainStack(seed, reg, workers)
 	if err != nil {
 		return err
 	}
@@ -84,6 +92,12 @@ func run(seed int64, sessions int, loss, ber, latency, jitter float64, metricsAd
 	filtered.Instrument(reg)
 	filtered.Attach(bus)
 	pen := &awareoffice.Pen{Classifier: clf, Measure: measure}
+	switch {
+	case workers == 0: // auto: batch pre-scoring with one worker per CPU
+		pen.PreScoreWorkers = runtime.GOMAXPROCS(0)
+	case workers > 1:
+		pen.PreScoreWorkers = workers
+	}
 	pen.Attach(bus)
 
 	styles := []sensor.Style{
@@ -140,7 +154,7 @@ func run(seed int64, sessions int, loss, ber, latency, jitter float64, metricsAd
 	return nil
 }
 
-func trainStack(seed int64, reg *obs.Registry) (classify.Classifier, *core.Measure, float64, error) {
+func trainStack(seed int64, reg *obs.Registry, workers int) (classify.Classifier, *core.Measure, float64, error) {
 	clean, err := dataset.Generate(dataset.GenerateConfig{
 		Scenarios: []*sensor.Scenario{{Segments: []sensor.Segment{
 			{Context: sensor.ContextLying, Duration: 12},
@@ -175,7 +189,10 @@ func trainStack(seed int64, reg *obs.Registry) (classify.Classifier, *core.Measu
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	measure, err := core.Build(observations, nil, core.BuildConfig{Metrics: reg})
+	build := core.BuildConfig{Metrics: reg}
+	build.Clustering.Workers = workers
+	build.Hybrid.Workers = workers
+	measure, err := core.Build(observations, nil, build)
 	if err != nil {
 		return nil, nil, 0, err
 	}

@@ -5,11 +5,16 @@
 // Usage:
 //
 //	cqmeval [-seed N] [-experiment fig5|fig6|probs|improvement|agnostic|balance|sizes|camera|ablations|all]
-//	        [-metrics-out metrics.json]
+//	        [-metrics-out metrics.json] [-workers N]
 //
 // -metrics-out instruments the canonical pipeline (training counters,
 // scoring and ε-rate counters, the quality histogram) and writes a JSON
 // snapshot of the registry after the experiments finish.
+//
+// -workers parallelizes the hot paths (subtractive clustering, hybrid
+// learning, cross-validation folds): 0 picks one worker per CPU, 1 (the
+// default) keeps everything serial. Results are bit-identical at every
+// setting.
 package main
 
 import (
@@ -27,6 +32,7 @@ func main() {
 	experiment := flag.String("experiment", "all", "experiment to run: fig5, fig6, probs, improvement, agnostic, balance, sizes, camera, predict, fusion, confidence, crossval, cues, noise, ablations, all")
 	report := flag.Bool("report", false, "write the consolidated report (all experiments, DESIGN.md order) to stdout")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on exit")
+	workers := flag.Int("workers", 1, "worker count for parallelized stages (0 = one per CPU, 1 = serial); results are identical at every setting")
 	flag.Parse()
 
 	if *report {
@@ -36,13 +42,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(*seed, *experiment, *metricsOut); err != nil {
+	if err := run(*seed, *experiment, *metricsOut, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "cqmeval:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, experiment, metricsOut string) error {
+func run(seed int64, experiment, metricsOut string, workers int) error {
 	var reg *obs.Registry
 	if metricsOut != "" {
 		reg = obs.NewRegistry()
@@ -51,12 +57,15 @@ func run(seed int64, experiment, metricsOut string) error {
 		"fig5": true, "fig6": true, "probs": true,
 		"improvement": true, "camera": true, "confidence": true, "all": true,
 	}
+	build := core.BuildConfig{Metrics: reg}
+	build.Clustering.Workers = workers
+	build.Hybrid.Workers = workers
 	var setup *eval.Setup
 	if needsSetup[experiment] {
 		var err error
 		setup, err = eval.NewSetup(eval.SetupConfig{
 			Seed:  seed,
-			Build: core.BuildConfig{Metrics: reg},
+			Build: build,
 		})
 		if err != nil {
 			return err
@@ -172,7 +181,7 @@ func run(seed int64, experiment, metricsOut string) error {
 		ran = true
 	}
 	if all || experiment == "crossval" {
-		res, err := eval.CrossValidate(seed, 5)
+		res, err := eval.CrossValidateWorkers(seed, 5, workers)
 		if err != nil {
 			return err
 		}

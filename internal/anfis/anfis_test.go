@@ -8,6 +8,7 @@ import (
 
 	"cqm/internal/cluster"
 	"cqm/internal/fuzzy"
+	"cqm/internal/parallel"
 	"cqm/internal/regress"
 )
 
@@ -148,7 +149,7 @@ func TestBackwardPassGradientMatchesNumerical(t *testing.T) {
 	}
 	const lr = 1e-6 // tiny step so the update ≈ −lr/count·∇L
 	before := sys.Clone()
-	backwardPass(sys, d, Config{LearningRate: lr, MinSigma: 1e-9}.withDefaults())
+	backwardPass(sys, d, Config{LearningRate: lr, MinSigma: 1e-9}.withDefaults(), parallel.New(1))
 	count := float64(d.Len())
 	const h = 1e-6
 	for j := 0; j < sys.NumRules(); j++ {

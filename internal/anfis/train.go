@@ -1,11 +1,28 @@
 package anfis
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"cqm/internal/fuzzy"
+	"cqm/internal/obs"
+	"cqm/internal/parallel"
 	"cqm/internal/regress"
+)
+
+// Parallelization constants for training. The grains shape the chunk
+// partition of the gradient and error reductions and are therefore part
+// of the deterministic-reduction contract: fixed here, never derived
+// from worker count or environment.
+const (
+	// anfisCutoff is the sample count below which the auto worker
+	// setting stays serial.
+	anfisCutoff = 512
+	// gradGrain chunks the per-sample gradient accumulation.
+	gradGrain = 32
+	// rmseGrain chunks the per-sample squared-error accumulation.
+	rmseGrain = 32
 )
 
 // StopReason explains why hybrid learning ended.
@@ -152,6 +169,16 @@ type Config struct {
 	// final StopEvent — the training-progress hook the CLIs and the
 	// metrics layer report through.
 	Observer TrainObserver
+	// Workers parallelizes the backward gradient pass and the per-epoch
+	// RMSE evaluations: 0 picks one worker per CPU (falling back to
+	// serial below a size cutoff), 1 forces serial execution. Training
+	// results are bit-identical at every setting — gradient and error
+	// sums are chunked by input shape and merged in chunk order
+	// regardless of worker count.
+	Workers int
+	// Metrics, when non-nil, instruments the training worker pool
+	// (occupancy, chunk counts and timings) on this registry.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -202,7 +229,7 @@ type History struct {
 // system is rolled back to the epoch with the lowest check error.
 func Train(sys *fuzzy.TSK, train, check *Data, cfg Config) (*History, error) {
 	cfg = cfg.withDefaults()
-	if cfg.LearningRate < 0 || cfg.Epochs < 0 || cfg.Patience < 1 {
+	if cfg.LearningRate < 0 || cfg.Epochs < 0 || cfg.Patience < 1 || cfg.Workers < 0 {
 		return nil, fmt.Errorf("anfis: invalid config %+v", cfg)
 	}
 	if err := train.Validate(sys.Inputs()); err != nil {
@@ -213,6 +240,9 @@ func Train(sys *fuzzy.TSK, train, check *Data, cfg Config) (*History, error) {
 			return nil, fmt.Errorf("anfis: check set: %w", err)
 		}
 	}
+
+	pool := parallel.Auto(cfg.Workers, train.Len(), anfisCutoff)
+	pool.Instrument(cfg.Metrics)
 
 	hist := &History{}
 	best := sys.Clone()
@@ -230,12 +260,12 @@ func Train(sys *fuzzy.TSK, train, check *Data, cfg Config) (*History, error) {
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		stepCfg := cfg
 		stepCfg.LearningRate = rate
-		backwardPass(sys, train, stepCfg)
+		backwardPass(sys, train, stepCfg, pool)
 		if err := forward(sys, train, cfg.LSMethod); err != nil {
 			return nil, fmt.Errorf("anfis: forward pass at epoch %d: %w", epoch, err)
 		}
 
-		trainErr := RMSE(sys, train)
+		trainErr := rmseWith(sys, train, pool)
 		stepRate := rate
 		hist.TrainRMSE = append(hist.TrainRMSE, trainErr)
 		hist.LearningRates = append(hist.LearningRates, rate)
@@ -265,7 +295,7 @@ func Train(sys *fuzzy.TSK, train, check *Data, cfg Config) (*History, error) {
 		scoreErr := trainErr
 		checkErr := 0.0
 		if check != nil {
-			checkErr = RMSE(sys, check)
+			checkErr = rmseWith(sys, check, pool)
 			hist.CheckRMSE = append(hist.CheckRMSE, checkErr)
 			scoreErr = checkErr
 		}
@@ -323,7 +353,12 @@ func Train(sys *fuzzy.TSK, train, check *Data, cfg Config) (*History, error) {
 //
 // The w_j·GradF/F terms are folded analytically so vanishing membership
 // degrees cause no division by zero.
-func backwardPass(sys *fuzzy.TSK, train *Data, cfg Config) {
+//
+// The gradient sum is chunked by sample index even when pool is serial:
+// partials accumulate within fixed spans and merge in span order, so the
+// float association — and hence the trained parameters — are bit-identical
+// at every worker count.
+func backwardPass(sys *fuzzy.TSK, train *Data, cfg Config, pool *parallel.Pool) {
 	n := sys.Inputs()
 	m := sys.NumRules()
 	gradMu := make([][]float64, m)
@@ -338,24 +373,41 @@ func backwardPass(sys *fuzzy.TSK, train *Data, cfg Config) {
 	}
 
 	count := 0
-	for idx, v := range train.X {
-		detail, err := sys.EvalDetail(v)
-		if err != nil {
-			continue // sample fires no rule: no gradient
-		}
-		count++
-		e := detail.Output - train.Y[idx]
-		for j := 0; j < m; j++ {
-			common := e * (detail.Consequents[j] - detail.Output) / detail.WeightSum * detail.Weights[j]
-			for i := 0; i < n; i++ {
-				mf := rules[j].Antecedent[i]
-				d := v[i] - mf.Mu
-				s2 := mf.Sigma * mf.Sigma
-				gradMu[j][i] += common * d / s2
-				gradSigma[j][i] += common * d * d / (s2 * mf.Sigma)
+	// The error is always nil: the context is never cancelled. EvalDetail
+	// is read-only on sys, and rules are only read until the merge is done.
+	_ = parallel.ReduceOrdered(context.Background(), pool, train.Len(), gradGrain,
+		func(s parallel.Span) gradPartial {
+			part := newGradPartial(m, n)
+			for idx := s.Lo; idx < s.Hi; idx++ {
+				v := train.X[idx]
+				detail, err := sys.EvalDetail(v)
+				if err != nil {
+					continue // sample fires no rule: no gradient
+				}
+				part.count++
+				e := detail.Output - train.Y[idx]
+				for j := 0; j < m; j++ {
+					common := e * (detail.Consequents[j] - detail.Output) / detail.WeightSum * detail.Weights[j]
+					for i := 0; i < n; i++ {
+						mf := rules[j].Antecedent[i]
+						d := v[i] - mf.Mu
+						s2 := mf.Sigma * mf.Sigma
+						part.mu[j][i] += common * d / s2
+						part.sigma[j][i] += common * d * d / (s2 * mf.Sigma)
+					}
+				}
 			}
-		}
-	}
+			return part
+		},
+		func(part gradPartial) {
+			count += part.count
+			for j := 0; j < m; j++ {
+				for i := 0; i < n; i++ {
+					gradMu[j][i] += part.mu[j][i]
+					gradSigma[j][i] += part.sigma[j][i]
+				}
+			}
+		})
 	if count == 0 {
 		return
 	}
@@ -376,22 +428,57 @@ func backwardPass(sys *fuzzy.TSK, train *Data, cfg Config) {
 	}
 }
 
+// gradPartial accumulates one chunk's share of the batch gradient.
+type gradPartial struct {
+	mu, sigma [][]float64
+	count     int
+}
+
+func newGradPartial(m, n int) gradPartial {
+	p := gradPartial{mu: make([][]float64, m), sigma: make([][]float64, m)}
+	for j := 0; j < m; j++ {
+		p.mu[j] = make([]float64, n)
+		p.sigma[j] = make([]float64, n)
+	}
+	return p
+}
+
 // RMSE returns the root-mean-square error of the system over the data.
 // Samples that activate no rule contribute the worst-case error of 1 so
-// degenerate systems are penalized rather than hidden.
+// degenerate systems are penalized rather than hidden. Equivalent to
+// RMSEParallel with a single worker.
 func RMSE(sys *fuzzy.TSK, data *Data) float64 {
+	return rmseWith(sys, data, parallel.New(1))
+}
+
+// RMSEParallel computes RMSE with up to workers goroutines (0 = one per
+// CPU, falling back to serial below a size cutoff; 1 = serial). The
+// result is bit-identical to RMSE at every worker count: the sum of
+// squares is chunked by input shape and merged in chunk order either way.
+func RMSEParallel(sys *fuzzy.TSK, data *Data, workers int) float64 {
+	return rmseWith(sys, data, parallel.Auto(workers, data.Len(), anfisCutoff))
+}
+
+func rmseWith(sys *fuzzy.TSK, data *Data, pool *parallel.Pool) float64 {
 	if data.Len() == 0 {
 		return 0
 	}
 	var ss float64
-	for i, v := range data.X {
-		out, err := sys.Eval(v)
-		if err != nil {
-			ss += 1
-			continue
-		}
-		d := out - data.Y[i]
-		ss += d * d
-	}
+	// The error is always nil — the context is never cancelled.
+	_ = parallel.ReduceOrdered(context.Background(), pool, data.Len(), rmseGrain,
+		func(s parallel.Span) float64 {
+			var part float64
+			for i := s.Lo; i < s.Hi; i++ {
+				out, err := sys.Eval(data.X[i])
+				if err != nil {
+					part += 1
+					continue
+				}
+				d := out - data.Y[i]
+				part += d * d
+			}
+			return part
+		},
+		func(part float64) { ss += part })
 	return math.Sqrt(ss / float64(data.Len()))
 }

@@ -7,6 +7,7 @@ import (
 	"cqm/internal/classify"
 	"cqm/internal/core"
 	"cqm/internal/feature"
+	"cqm/internal/parallel"
 	"cqm/internal/sensor"
 )
 
@@ -31,6 +32,15 @@ type Pen struct {
 	WindowSize int
 	// Windower pipeline; nil uses the paper's per-axis stddev cues.
 	Pipeline *feature.Pipeline
+	// PreScoreWorkers, when >= 1, classifies every window at Feed time
+	// and scores the classifications in one batch (1 = serial batch,
+	// n = n workers) instead of per event as the simulation fires. The
+	// published events are bit-identical to the legacy path — the
+	// classifier and the measure are pure, so only the evaluation time
+	// moves — except that a non-ε scoring failure surfaces as a Feed
+	// error instead of a silently unannotated event. 0 keeps the legacy
+	// per-event path.
+	PreScoreWorkers int
 
 	bus *Bus
 	seq int
@@ -59,6 +69,9 @@ func (p *Pen) Feed(sim *Simulation, readings []sensor.Reading) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("awareoffice: windowing pen stream: %w", err)
 	}
+	if p.PreScoreWorkers >= 1 {
+		return p.feedPreScored(sim, windows)
+	}
 	scheduled := 0
 	for _, w := range windows {
 		w := w
@@ -74,6 +87,86 @@ func (p *Pen) Feed(sim *Simulation, readings []sensor.Reading) (int, error) {
 		scheduled++
 	}
 	return scheduled, nil
+}
+
+// penOutcome is one window's precomputed recognition result.
+type penOutcome struct {
+	class sensor.Context
+	ok    bool // classification publishable
+	q     float64
+	hasQ  bool
+}
+
+// feedPreScored is Feed's batch path: classify every window up front,
+// score all publishable classifications in one ScoreBatch, and schedule
+// callbacks that only publish the precomputed outcomes.
+func (p *Pen) feedPreScored(sim *Simulation, windows []feature.Window) (int, error) {
+	outs := make([]penOutcome, len(windows))
+	for i, w := range windows {
+		class, err := p.Classifier.Classify(w.Cues)
+		if err != nil || class == sensor.ContextUnknown {
+			continue // stays silent, like the per-event path
+		}
+		outs[i].class = class
+		outs[i].ok = true
+	}
+	if p.Measure != nil {
+		var batchIdx []int
+		var batch []core.Observation
+		for i := range outs {
+			if outs[i].ok {
+				batchIdx = append(batchIdx, i)
+				batch = append(batch, core.Observation{Cues: windows[i].Cues, Class: outs[i].class})
+			}
+		}
+		if len(batch) > 0 {
+			qs, ok, err := p.Measure.ScoreBatch(batch, parallel.New(p.PreScoreWorkers))
+			if err != nil {
+				return 0, fmt.Errorf("awareoffice: pre-scoring pen windows: %w", err)
+			}
+			for bi, i := range batchIdx {
+				if ok[bi] {
+					outs[i].q, outs[i].hasQ = qs[bi], true
+				}
+				// ε state: publish without quality, like the per-event path.
+			}
+		}
+	}
+	scheduled := 0
+	for i, w := range windows {
+		w, out := w, outs[i]
+		at := w.End
+		if at < sim.Now() {
+			at = sim.Now()
+		}
+		if err := sim.Schedule(at, func() {
+			p.publishPreScored(w, out)
+		}); err != nil {
+			return scheduled, fmt.Errorf("awareoffice: scheduling window: %w", err)
+		}
+		scheduled++
+	}
+	return scheduled, nil
+}
+
+// publishPreScored publishes one precomputed outcome at its window's end.
+func (p *Pen) publishPreScored(w feature.Window, out penOutcome) {
+	if !out.ok {
+		return
+	}
+	ev := Event{
+		Source:  p.name(),
+		Context: out.class,
+		Sent:    w.End,
+		Seq:     p.seq,
+	}
+	p.seq++
+	if out.hasQ {
+		ev.Quality = out.q
+		ev.HasQuality = true
+	}
+	// Publish errors cannot occur here: delivery times are >= now.
+	_ = p.bus.Publish(ev)
 }
 
 // classifyAndPublish runs the pen's recognition pipeline for one window.

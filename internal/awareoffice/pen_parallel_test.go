@@ -1,0 +1,53 @@
+package awareoffice
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cqm/internal/sensor"
+)
+
+// runPenSession replays one office session through a fresh simulation and
+// returns every delivered event.
+func runPenSession(t *testing.T, p *pipeline, preScoreWorkers int) []Event {
+	t.Helper()
+	sim := NewSimulation(1)
+	bus, err := NewBus(sim, Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	bus.Subscribe("listener", func(ev Event) { events = append(events, ev) })
+	pen := &Pen{Classifier: p.clf, Measure: p.measure, PreScoreWorkers: preScoreWorkers}
+	pen.Attach(bus)
+	readings, err := sensor.OfficeSession(sensor.DefaultStyle()).Run(rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pen.Feed(sim, readings); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(30)
+	return events
+}
+
+// TestPenPreScoreEquivalence is the simulation property test: the batch
+// pre-scoring path must deliver an event stream bit-identical to the
+// legacy per-event path, at every worker count. reflect.DeepEqual on the
+// Event structs compares the float quality values exactly — that is the
+// point.
+func TestPenPreScoreEquivalence(t *testing.T) {
+	p := trainPipeline(t, 40)
+	legacy := runPenSession(t, p, 0)
+	if len(legacy) == 0 {
+		t.Fatal("no events delivered on the legacy path")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got := runPenSession(t, p, workers)
+		if !reflect.DeepEqual(got, legacy) {
+			t.Fatalf("PreScoreWorkers=%d: event stream differs from legacy path\n got %d events %+v\nwant %d events %+v",
+				workers, len(got), got, len(legacy), legacy)
+		}
+	}
+}

@@ -1,8 +1,12 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"cqm/internal/obs"
+	"cqm/internal/parallel"
 )
 
 // SubtractiveConfig parameterizes Chiu's subtractive clustering. The
@@ -26,6 +30,15 @@ type SubtractiveConfig struct {
 	RejectRatio float64
 	// MaxClusters optionally caps the number of centers; 0 means no cap.
 	MaxClusters int
+	// Workers sets the parallelism of the O(n²) potential field and the
+	// post-selection revision: 0 picks one worker per CPU (falling back
+	// to serial below a size cutoff), 1 forces serial execution. The
+	// result is bit-identical at every setting — each point's potential
+	// is one serially-evaluated sum, so workers only change scheduling.
+	Workers int
+	// Metrics, when non-nil, instruments the worker pool (occupancy,
+	// chunk counts and timings) on this registry.
+	Metrics *obs.Registry
 }
 
 // withDefaults fills zero fields with Chiu's recommended values.
@@ -57,6 +70,8 @@ func (c SubtractiveConfig) validate() error {
 		return fmt.Errorf("%w: reject ratio %v (accept %v)", ErrBadParam, c.RejectRatio, c.AcceptRatio)
 	case c.MaxClusters < 0:
 		return fmt.Errorf("%w: max clusters %v", ErrBadParam, c.MaxClusters)
+	case c.Workers < 0:
+		return fmt.Errorf("%w: workers %v", ErrBadParam, c.Workers)
 	default:
 		return nil
 	}
@@ -74,6 +89,19 @@ type SubtractiveResult struct {
 	// initial membership-function widths for one TSK rule per cluster.
 	Sigmas []float64
 }
+
+// Parallelization constants for Subtractive. The grains shape the chunk
+// partition and are therefore part of the deterministic-reduction
+// contract: fixed here, never derived from worker count or environment.
+const (
+	// subtractiveCutoff is the input size below which the auto worker
+	// setting stays serial (the O(n²) field is cheap enough).
+	subtractiveCutoff = 512
+	// potentialGrain chunks the O(n) per-point potential sums.
+	potentialGrain = 8
+	// revisionGrain chunks the O(1) per-point potential revisions.
+	revisionGrain = 64
+)
 
 // Subtractive runs Chiu's subtractive clustering over data (rows are
 // points). Every data point is a candidate center: the potential of point
@@ -96,15 +124,20 @@ func Subtractive(data [][]float64, cfg SubtractiveConfig) (*SubtractiveResult, e
 	rb := cfg.SquashFactor * cfg.Radius
 	beta := 4 / (rb * rb)
 
-	// Initial potentials.
+	pool := parallel.Auto(cfg.Workers, n, subtractiveCutoff)
+	pool.Instrument(cfg.Metrics)
+
+	// Initial potentials: P_i is one serially-evaluated inner sum, so
+	// parallelizing over i is bit-identical to the serial double loop.
+	// The errors are always nil — the context is never cancelled.
 	pot := make([]float64, n)
-	for i := 0; i < n; i++ {
+	_ = pool.ForEach(context.Background(), n, potentialGrain, func(i int) {
 		var p float64
 		for j := 0; j < n; j++ {
 			p += math.Exp(-alpha * sqDist(norm[i], norm[j]))
 		}
 		pot[i] = p
-	}
+	})
 
 	var (
 		centersNorm [][]float64
@@ -123,13 +156,16 @@ func Subtractive(data [][]float64, cfg SubtractiveConfig) (*SubtractiveResult, e
 			}
 		}
 		p := pot[best]
+		// !(p > 0) rather than p <= 0: a NaN potential (NaN parameters or
+		// data) fails both comparisons of a <=, which would otherwise let
+		// the selection loop run forever accepting the same point.
 		if len(centersNorm) == 0 {
-			if p <= 0 {
+			if !(p > 0) {
 				break
 			}
 			firstPot = p
 		} else {
-			if p <= 0 {
+			if !(p > 0) {
 				// Exhausted potential everywhere (possible when
 				// RejectRatio is 0): nothing left worth selecting.
 				goto done
@@ -161,13 +197,14 @@ func Subtractive(data [][]float64, cfg SubtractiveConfig) (*SubtractiveResult, e
 		copy(center, norm[best])
 		centersNorm = append(centersNorm, center)
 		potentials = append(potentials, p)
-		// Subtract the accepted center's influence.
-		for i := 0; i < n; i++ {
+		// Subtract the accepted center's influence. Elementwise revision:
+		// each slot is revised by exactly one worker.
+		_ = pool.ForEach(context.Background(), n, revisionGrain, func(i int) {
 			pot[i] -= p * math.Exp(-beta*sqDist(norm[i], center))
 			if pot[i] < 0 {
 				pot[i] = 0
 			}
-		}
+		})
 	}
 done:
 	if len(centersNorm) == 0 {

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// randBlobs draws n points in dims dimensions around a few blob centers —
+// clusterable data with deterministic seeding.
+func randBlobs(rng *rand.Rand, n, dims int) [][]float64 {
+	centers := 2 + rng.Intn(3)
+	mu := make([][]float64, centers)
+	for c := range mu {
+		mu[c] = make([]float64, dims)
+		for j := range mu[c] {
+			mu[c][j] = rng.Float64() * 10
+		}
+	}
+	data := make([][]float64, n)
+	for i := range data {
+		c := mu[i%centers]
+		row := make([]float64, dims)
+		for j := range row {
+			row[j] = c[j] + rng.NormFloat64()*0.5
+		}
+		data[i] = row
+	}
+	return data
+}
+
+// sameSubtractive asserts exact equality of two clustering results. The
+// == on floats is intentional: the parallel layer's whole contract is
+// bit-identical outputs, so any ULP of drift is a bug.
+func sameSubtractive(t *testing.T, label string, want, got *SubtractiveResult) {
+	t.Helper()
+	if len(got.Centers) != len(want.Centers) {
+		t.Fatalf("%s: %d centers, want %d", label, len(got.Centers), len(want.Centers))
+	}
+	for c := range want.Centers {
+		for j := range want.Centers[c] {
+			//lint:ignore floatcmp the parallel contract is bit-identical output, so exact equality is the assertion
+			if got.Centers[c][j] != want.Centers[c][j] {
+				t.Fatalf("%s: center %d dim %d: %v != %v", label, c, j, got.Centers[c][j], want.Centers[c][j])
+			}
+		}
+	}
+	for c := range want.Potentials {
+		//lint:ignore floatcmp the parallel contract is bit-identical output, so exact equality is the assertion
+		if got.Potentials[c] != want.Potentials[c] {
+			t.Fatalf("%s: potential %d: %v != %v", label, c, got.Potentials[c], want.Potentials[c])
+		}
+	}
+	for j := range want.Sigmas {
+		//lint:ignore floatcmp the parallel contract is bit-identical output, so exact equality is the assertion
+		if got.Sigmas[j] != want.Sigmas[j] {
+			t.Fatalf("%s: sigma %d: %v != %v", label, j, got.Sigmas[j], want.Sigmas[j])
+		}
+	}
+}
+
+// TestSubtractiveSerialParallelEquivalence is the clustering property
+// test: serial and parallel runs must agree bit-for-bit on randomized
+// seeded inputs for every worker count 2..8.
+func TestSubtractiveSerialParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 6; trial++ {
+		n := 40 + rng.Intn(360)
+		dims := 1 + rng.Intn(4)
+		data := randBlobs(rng, n, dims)
+		cfg := SubtractiveConfig{
+			Radius:      0.3 + rng.Float64()*0.4,
+			RejectRatio: 0.1,
+		}
+		cfg.Workers = 1
+		want, err := Subtractive(data, cfg)
+		if err != nil {
+			t.Fatalf("trial %d serial: %v", trial, err)
+		}
+		for workers := 2; workers <= 8; workers++ {
+			cfg.Workers = workers
+			got, err := Subtractive(data, cfg)
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			sameSubtractive(t, "trial", want, got)
+		}
+	}
+}
+
+func TestSubtractiveWorkersValidation(t *testing.T) {
+	data := randBlobs(rand.New(rand.NewSource(1)), 30, 2)
+	if _, err := Subtractive(data, SubtractiveConfig{Workers: -1}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("Workers=-1: err = %v, want ErrBadParam", err)
+	}
+	// Auto (0) must behave like any other setting result-wise.
+	want, err := Subtractive(data, SubtractiveConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Subtractive(data, SubtractiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSubtractive(t, "auto", want, got)
+}
+
+// FuzzSubtractive drives clustering config and data edge cases: tiny and
+// degenerate inputs, extreme ratios, every worker count. Valid configs
+// must produce bit-identical serial/parallel results; invalid ones must
+// fail with an error, never a panic or a hang.
+func FuzzSubtractive(f *testing.F) {
+	f.Add([]byte{}, 0.5, 1.25, 0.5, 0.15, 0, 4)                            // empty data
+	f.Add([]byte{1, 2, 3}, 0.5, 1.25, 0.5, 0.15, 0, 2)                     // single dim, 3 points
+	f.Add([]byte{9, 9, 9, 9, 9, 9}, 0.5, 1.25, 0.5, 0.15, 1, 8)            // identical points (zero span)
+	f.Add([]byte{0, 255, 3, 7, 20, 250, 66, 91}, 0.2, 2.0, 0.9, 0.0, 0, 3) // reject ratio 0
+	f.Add([]byte{5, 6, 7, 8}, -1.0, 1.25, 0.5, 0.15, 0, 1)                 // invalid radius
+	f.Fuzz(func(t *testing.T, raw []byte, radius, squash, accept, reject float64, maxClusters, workers int) {
+		if len(raw) > 256 {
+			raw = raw[:256]
+		}
+		dims := 1 + len(raw)%3
+		n := len(raw) / dims
+		data := make([][]float64, n)
+		for i := range data {
+			row := make([]float64, dims)
+			for j := range row {
+				row[j] = float64(raw[i*dims+j]) / 255
+			}
+			data[i] = row
+		}
+		workers = 2 + abs(workers)%7 // 2..8
+		cfg := SubtractiveConfig{
+			Radius:       radius,
+			SquashFactor: squash,
+			AcceptRatio:  accept,
+			RejectRatio:  reject,
+			MaxClusters:  maxClusters,
+			Workers:      1,
+		}
+		want, serr := Subtractive(data, cfg)
+		cfg.Workers = workers
+		got, perr := Subtractive(data, cfg)
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("serial err %v, workers=%d err %v", serr, workers, perr)
+		}
+		if serr != nil {
+			return
+		}
+		sameSubtractive(t, "fuzz", want, got)
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		// The int minimum has no positive counterpart; any fixed
+		// in-range value keeps the fuzz input usable.
+		if v == -v {
+			return 0
+		}
+		return -v
+	}
+	return v
+}

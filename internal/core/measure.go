@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -8,8 +9,13 @@ import (
 	"cqm/internal/cluster"
 	"cqm/internal/fuzzy"
 	"cqm/internal/obs"
+	"cqm/internal/parallel"
 	"cqm/internal/sensor"
 )
+
+// scoreGrain chunks batch scoring; part of the deterministic-reduction
+// contract (fixed, never derived from worker count or environment).
+const scoreGrain = 16
 
 // Measure is the Context Quality Measure: the normalized quality FIS S_Q.
 // Build one with Build; score classifications with Score. Instrument
@@ -84,8 +90,14 @@ func Build(train, check []Observation, cfg BuildConfig) (*Measure, error) {
 	trainData := observationsToData(train)
 	checkData := observationsToData(check)
 
+	// The construction registry also instruments the worker pools of the
+	// parallelized stages, unless the caller set a dedicated one.
+	clustering := cfg.Clustering
+	if clustering.Metrics == nil {
+		clustering.Metrics = cfg.Metrics
+	}
 	sys, err := anfis.Build(trainData, anfis.BuildConfig{
-		Clustering:          cfg.Clustering,
+		Clustering:          clustering,
 		ConstantConsequents: cfg.ConstantConsequents,
 	})
 	if err != nil {
@@ -101,6 +113,9 @@ func Build(train, check []Observation, cfg BuildConfig) (*Measure, error) {
 		hybrid.Observer = cfg.Observer
 		if cfg.Metrics != nil {
 			hybrid.Observer = anfis.Observers(hybrid.Observer, metricsObserver(cfg.Metrics))
+		}
+		if hybrid.Metrics == nil {
+			hybrid.Metrics = cfg.Metrics
 		}
 		if _, err := anfis.Train(sys, trainData, checkArg, hybrid); err != nil {
 			return nil, fmt.Errorf("core: hybrid learning: %w", err)
@@ -165,27 +180,58 @@ func (m *Measure) RawScore(cues []float64, class sensor.Context) (float64, error
 	return raw, nil
 }
 
+// ScoreBatch scores every observation, optionally in parallel on pool
+// (nil runs serially), and returns per-index results: ok[i] reports
+// whether obs[i] normalized cleanly, and qs[i] is its quality value when
+// it did (ε-state observations leave ok[i] false). A non-ε error aborts
+// the batch, reporting the lowest failing index. The outputs are
+// bit-identical at every worker count: each slot is written by exactly
+// one worker and every score is an independent FIS evaluation.
+func (m *Measure) ScoreBatch(observations []Observation, pool *parallel.Pool) (qs []float64, ok []bool, err error) {
+	if m == nil || m.sys == nil {
+		return nil, nil, ErrUnbuilt
+	}
+	if len(observations) == 0 {
+		return nil, nil, ErrNoObservations
+	}
+	qs = make([]float64, len(observations))
+	ok = make([]bool, len(observations))
+	errs := make([]error, len(observations))
+	// The ForEach error is always nil — the context is never cancelled.
+	_ = pool.ForEach(context.Background(), len(observations), scoreGrain, func(i int) {
+		q, err := m.Score(observations[i].Cues, observations[i].Class)
+		if err != nil {
+			if !IsEpsilon(err) {
+				errs[i] = err
+			}
+			return
+		}
+		qs[i] = q
+		ok[i] = true
+	})
+	for i, scoreErr := range errs {
+		if scoreErr != nil {
+			return nil, nil, fmt.Errorf("core: scoring observation %d: %w", i, scoreErr)
+		}
+	}
+	return qs, ok, nil
+}
+
 // ScoreObservations scores a batch, returning the q values for the
 // observations that normalize cleanly, the indices that fell into the ε
 // state, and the correctness labels aligned with the q values.
 func (m *Measure) ScoreObservations(obs []Observation) (qs []float64, correct []bool, epsilon []int, err error) {
-	if m == nil || m.sys == nil {
-		return nil, nil, nil, ErrUnbuilt
+	all, ok, err := m.ScoreBatch(obs, nil)
+	if err != nil {
+		return nil, nil, nil, err
 	}
-	if len(obs) == 0 {
-		return nil, nil, nil, ErrNoObservations
-	}
-	for i, o := range obs {
-		q, err := m.Score(o.Cues, o.Class)
-		if err != nil {
-			if IsEpsilon(err) {
-				epsilon = append(epsilon, i)
-				continue
-			}
-			return nil, nil, nil, fmt.Errorf("core: scoring observation %d: %w", i, err)
+	for i := range obs {
+		if !ok[i] {
+			epsilon = append(epsilon, i)
+			continue
 		}
-		qs = append(qs, q)
-		correct = append(correct, o.Correct)
+		qs = append(qs, all[i])
+		correct = append(correct, obs[i].Correct)
 	}
 	return qs, correct, epsilon, nil
 }

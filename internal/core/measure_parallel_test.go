@@ -1,0 +1,111 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"cqm/internal/obs"
+	"cqm/internal/parallel"
+)
+
+// TestScoreBatchSerialParallelEquivalence: batch scoring must reproduce
+// the serial per-observation path bit-for-bit at every worker count.
+func TestScoreBatchSerialParallelEquivalence(t *testing.T) {
+	f := buildFixture(t, 100)
+	wantQ, wantOK, err := f.measure.ScoreBatch(f.testObs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for workers := 2; workers <= 8; workers++ {
+		gotQ, gotOK, err := f.measure.ScoreBatch(f.testObs, parallel.New(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// reflect.DeepEqual compares the float values exactly — each slot
+		// is one independent FIS evaluation, so parallelism must not
+		// change a single bit.
+		if !reflect.DeepEqual(gotQ, wantQ) || !reflect.DeepEqual(gotOK, wantOK) {
+			t.Fatalf("workers=%d: batch result differs from serial", workers)
+		}
+	}
+}
+
+// TestScoreBatchMatchesScoreObservations: the compacting wrapper must
+// report exactly what the batch API reports.
+func TestScoreBatchMatchesScoreObservations(t *testing.T) {
+	f := buildFixture(t, 100)
+	qs, correct, epsilon, err := f.measure.ScoreObservations(f.testObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchQ, ok, err := f.measure.ScoreBatch(f.testObs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantQ []float64
+	var wantCorrect []bool
+	var wantEps []int
+	for i := range f.testObs {
+		if !ok[i] {
+			wantEps = append(wantEps, i)
+			continue
+		}
+		wantQ = append(wantQ, batchQ[i])
+		wantCorrect = append(wantCorrect, f.testObs[i].Correct)
+	}
+	if !reflect.DeepEqual(qs, wantQ) || !reflect.DeepEqual(correct, wantCorrect) || !reflect.DeepEqual(epsilon, wantEps) {
+		t.Fatal("ScoreObservations disagrees with ScoreBatch")
+	}
+}
+
+// TestScoreBatchSharedPoolConcurrentCallers hammers one shared pool from
+// many concurrent ScoreBatch callers — the -race proof that the pool and
+// the measure's metrics hot path are safe to share.
+func TestScoreBatchSharedPoolConcurrentCallers(t *testing.T) {
+	f := buildFixture(t, 100)
+	reg := obs.NewRegistry()
+	f.measure.Instrument(reg)
+	defer f.measure.Instrument(nil)
+	pool := parallel.New(4)
+	pool.Instrument(reg)
+	wantQ, wantOK, err := f.measure.ScoreBatch(f.testObs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 8
+	const reps = 5
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < reps; r++ {
+				q, ok, err := f.measure.ScoreBatch(f.testObs, pool)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if !reflect.DeepEqual(q, wantQ) || !reflect.DeepEqual(ok, wantOK) {
+					errs[c] = errMismatch
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", c, err)
+		}
+	}
+}
+
+// errMismatch flags a shared-pool caller that observed a drifting result.
+var errMismatch = errString("scorebatch result drifted under a shared pool")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -8,6 +9,7 @@ import (
 
 	"cqm/internal/core"
 	"cqm/internal/dataset"
+	"cqm/internal/parallel"
 	"cqm/internal/stat"
 )
 
@@ -15,8 +17,15 @@ import (
 // pipeline: per fold, the quality FIS is built on the training fold's
 // observations and evaluated on the held-out fold.
 type CrossValResult struct {
+	// Folds is the number of folds requested.
 	Folds int
-	// AUCs, Thresholds and Improvements per fold.
+	// Evaluated is the number of folds that produced metrics. Folds whose
+	// test split is one-sided (all-correct or all-wrong) cannot be
+	// analyzed and are skipped, so Evaluated + len(Skipped) == Folds.
+	Evaluated int
+	// Skipped lists the zero-based indices of the skipped folds.
+	Skipped []int
+	// AUCs, Thresholds and Improvements per evaluated fold, in fold order.
 	AUCs         []float64
 	Thresholds   []float64
 	Improvements []float64
@@ -31,10 +40,23 @@ func meanStd(xs []float64) (float64, float64) {
 // classifier is trained once on clean data (the paper's pre-trained pen),
 // then for every fold the quality FIS is built from the training fold and
 // analyzed on the test fold. Unlike the single 24-point evaluation, this
-// uses every observation exactly once for testing.
+// uses every observation exactly once for testing. Equivalent to
+// CrossValidateWorkers with a single worker.
 func CrossValidate(seed int64, k int) (*CrossValResult, error) {
+	return CrossValidateWorkers(seed, k, 1)
+}
+
+// CrossValidateWorkers is CrossValidate with up to workers folds built
+// and evaluated concurrently (0 = one worker per CPU, 1 = serial). The
+// result is bit-identical at every setting: each fold's pipeline is an
+// independent computation into its own slot, and outcomes — including
+// which error is reported — are merged in fold order.
+func CrossValidateWorkers(seed int64, k, workers int) (*CrossValResult, error) {
 	if k == 0 {
 		k = 5
+	}
+	if workers < 0 {
+		return nil, fmt.Errorf("eval: invalid workers %d", workers)
 	}
 	base, err := NewSetup(SetupConfig{Seed: seed})
 	if err != nil {
@@ -48,43 +70,80 @@ func CrossValidate(seed int64, k int) (*CrossValResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return crossValidateFolds(folds, base.Config.Build, k, workers)
+}
+
+// foldOutcome is one fold's result slot, written by exactly one worker.
+type foldOutcome struct {
+	skipped       bool
+	auc, thr, imp float64
+	err           error
+}
+
+// crossValidateFolds evaluates every fold and merges the outcomes in fold
+// order, so AUC/threshold/improvement vectors, the skip list, and the
+// reported error (lowest fold index wins) do not depend on worker count.
+func crossValidateFolds(folds []dataset.Fold, buildCfg core.BuildConfig, k, workers int) (*CrossValResult, error) {
+	outs := make([]foldOutcome, len(folds))
+	pool := parallel.Auto(workers, len(folds), 2)
+	// The error is always nil — the context is never cancelled.
+	_ = pool.ForEach(context.Background(), len(folds), 1, func(i int) {
+		outs[i] = runFold(folds[i], buildCfg, i)
+	})
 	res := &CrossValResult{Folds: k}
-	for i, fold := range folds {
-		trainObs := setAsObservations(fold.Train)
-		testObs := setAsObservations(fold.Test)
-		m, err := core.Build(trainObs, nil, base.Config.Build)
-		if err != nil {
-			return nil, fmt.Errorf("eval: fold %d build: %w", i, err)
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
 		}
-		a, err := core.Analyze(m, testObs)
-		if err != nil {
-			// A fold without both right and wrong test observations
-			// cannot be analyzed; skip it rather than fail the run.
-			if errors.Is(err, core.ErrOneSided) {
-				continue
-			}
-			return nil, fmt.Errorf("eval: fold %d analyze: %w", i, err)
+		if outs[i].skipped {
+			res.Skipped = append(res.Skipped, i)
+			continue
 		}
-		qs, correct, _, err := m.ScoreObservations(testObs)
-		if err != nil {
-			return nil, err
-		}
-		filter, err := core.NewFilter(m, clampThreshold(a.Threshold))
-		if err != nil {
-			return nil, err
-		}
-		stats, err := filter.Run(testObs)
-		if err != nil {
-			return nil, err
-		}
-		res.AUCs = append(res.AUCs, stat.AUC(stat.ROC(qs, correct)))
-		res.Thresholds = append(res.Thresholds, a.Threshold)
-		res.Improvements = append(res.Improvements, stats.Improvement())
+		res.AUCs = append(res.AUCs, outs[i].auc)
+		res.Thresholds = append(res.Thresholds, outs[i].thr)
+		res.Improvements = append(res.Improvements, outs[i].imp)
 	}
-	if len(res.AUCs) == 0 {
+	res.Evaluated = len(res.AUCs)
+	if res.Evaluated == 0 {
 		return nil, core.ErrOneSided
 	}
 	return res, nil
+}
+
+// runFold builds and scores one fold's quality pipeline.
+func runFold(fold dataset.Fold, buildCfg core.BuildConfig, i int) foldOutcome {
+	trainObs := setAsObservations(fold.Train)
+	testObs := setAsObservations(fold.Test)
+	m, err := core.Build(trainObs, nil, buildCfg)
+	if err != nil {
+		return foldOutcome{err: fmt.Errorf("eval: fold %d build: %w", i, err)}
+	}
+	a, err := core.Analyze(m, testObs)
+	if err != nil {
+		// A fold without both right and wrong test observations cannot
+		// be analyzed; skip it rather than fail the run.
+		if errors.Is(err, core.ErrOneSided) {
+			return foldOutcome{skipped: true}
+		}
+		return foldOutcome{err: fmt.Errorf("eval: fold %d analyze: %w", i, err)}
+	}
+	qs, correct, _, err := m.ScoreObservations(testObs)
+	if err != nil {
+		return foldOutcome{err: fmt.Errorf("eval: fold %d score: %w", i, err)}
+	}
+	filter, err := core.NewFilter(m, clampThreshold(a.Threshold))
+	if err != nil {
+		return foldOutcome{err: fmt.Errorf("eval: fold %d filter: %w", i, err)}
+	}
+	stats, err := filter.Run(testObs)
+	if err != nil {
+		return foldOutcome{err: fmt.Errorf("eval: fold %d filter run: %w", i, err)}
+	}
+	return foldOutcome{
+		auc: stat.AUC(stat.ROC(qs, correct)),
+		thr: a.Threshold,
+		imp: stats.Improvement(),
+	}
 }
 
 // observationsAsSet wraps observations as dataset samples so KFold can
@@ -129,7 +188,10 @@ func (r *CrossValResult) Render() string {
 	aucM, aucS := meanStd(r.AUCs)
 	thrM, thrS := meanStd(r.Thresholds)
 	impM, impS := meanStd(r.Improvements)
-	fmt.Fprintf(&sb, "  folds analyzed   %d of %d\n", len(r.AUCs), r.Folds)
+	fmt.Fprintf(&sb, "  folds analyzed   %d of %d\n", r.Evaluated, r.Folds)
+	if len(r.Skipped) > 0 {
+		fmt.Fprintf(&sb, "  folds skipped    %v (one-sided test split)\n", r.Skipped)
+	}
 	fmt.Fprintf(&sb, "  AUC              %.3f ± %.3f\n", aucM, aucS)
 	fmt.Fprintf(&sb, "  threshold        %.3f ± %.3f\n", thrM, thrS)
 	fmt.Fprintf(&sb, "  improvement      %.3f ± %.3f\n", impM, impS)

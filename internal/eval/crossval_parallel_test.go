@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cqm/internal/core"
+	"cqm/internal/dataset"
+)
+
+// TestCrossValidateSerialParallelEquivalence: parallel folds must
+// reproduce the serial run bit-for-bit — same AUC/threshold/improvement
+// vectors, same skip list.
+func TestCrossValidateSerialParallelEquivalence(t *testing.T) {
+	want, err := CrossValidateWorkers(DefaultSeed, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CrossValidateWorkers(DefaultSeed, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// reflect.DeepEqual on float slices is exact comparison — precisely
+	// the point: fold pipelines are independent, so parallelism must not
+	// change a single bit.
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parallel result differs from serial:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCrossValidateWorkersValidation rejects a negative worker count.
+func TestCrossValidateWorkersValidation(t *testing.T) {
+	if _, err := CrossValidateWorkers(DefaultSeed, 3, -1); err == nil {
+		t.Fatal("Workers=-1: expected error")
+	}
+}
+
+// TestCrossValidateReportsSkippedFolds is the regression test for the
+// silent-skip bug: a one-sided fold used to vanish from the result with
+// Folds still claiming the full count and nothing identifying the gap.
+// Doctoring one fold's test split to be one-sided must now surface it in
+// Evaluated, Skipped, and Render.
+func TestCrossValidateReportsSkippedFolds(t *testing.T) {
+	base, err := NewSetup(SetupConfig{Seed: DefaultSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append(append([]core.Observation(nil), base.TrainObs...), base.CheckObs...), base.PoolObs...)
+	folds, err := observationsAsSet(all).KFold(4, DefaultSeed+50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force fold 2 one-sided: keep only the observations marked correct
+	// (the correctness flag rides in the last packed cue slot).
+	onlyCorrect := &dataset.Set{}
+	for _, smp := range folds[2].Test.Samples {
+		if smp.Cues[len(smp.Cues)-1] == 1 { //lint:ignore floatcmp the slot stores the 0/1 correctness flag verbatim, never computed
+			onlyCorrect.Append(smp)
+		}
+	}
+	if onlyCorrect.Len() == 0 {
+		t.Fatal("doctored fold has no correct observations; pick another fold")
+	}
+	folds[2].Test = onlyCorrect
+
+	res, err := crossValidateFolds(folds, base.Config.Build, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Folds != 4 || res.Evaluated != 3 {
+		t.Fatalf("Folds=%d Evaluated=%d, want 4 and 3", res.Folds, res.Evaluated)
+	}
+	if !reflect.DeepEqual(res.Skipped, []int{2}) {
+		t.Fatalf("Skipped = %v, want [2]", res.Skipped)
+	}
+	if len(res.AUCs) != 3 || len(res.Thresholds) != 3 || len(res.Improvements) != 3 {
+		t.Fatalf("metric vectors %d/%d/%d entries, want 3 each",
+			len(res.AUCs), len(res.Thresholds), len(res.Improvements))
+	}
+	out := res.Render()
+	if !strings.Contains(out, "3 of 4") || !strings.Contains(out, "skipped") {
+		t.Fatalf("Render does not report the skipped fold:\n%s", out)
+	}
+}

@@ -1,0 +1,58 @@
+package parallel
+
+// Span is one contiguous half-open index range [Lo, Hi) of an input.
+type Span struct {
+	// Lo is the first index of the span.
+	Lo int
+	// Hi is one past the last index of the span.
+	Hi int
+}
+
+// Len returns the number of indices covered by the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// maxChunks caps the number of chunks per run. More chunks than workers
+// keeps the pool load-balanced when per-chunk cost varies; a fixed cap
+// bounds the partial-result memory of ordered reductions. The cap is a
+// constant so chunk boundaries stay a pure function of the input shape.
+const maxChunks = 64
+
+// Spans partitions [0, n) into contiguous chunks. Boundaries depend only
+// on n and grain — never on worker count, GOMAXPROCS, or scheduling — so
+// a chunked reduction merges the same partials in the same order at every
+// parallelism level. grain is the minimum chunk length (values < 1 are
+// treated as 1); every chunk except possibly the last has the same
+// length. n <= 0 yields nil.
+func Spans(n, grain int) []Span {
+	if n <= 0 {
+		return nil
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	// Overflow-safe ceil divisions: n and grain are arbitrary caller
+	// input (fuzzed), so never form n + size - 1.
+	size := n / maxChunks
+	if n%maxChunks != 0 {
+		size++
+	}
+	if size < grain {
+		size = grain
+	}
+	count := n / size
+	if n%size != 0 {
+		count++
+	}
+	out := make([]Span, 0, count)
+	for lo := 0; lo < n; {
+		// hi = min(lo+size, n) without forming lo+size, which overflows
+		// when n is near the int maximum.
+		step := n - lo
+		if step > size {
+			step = size
+		}
+		out = append(out, Span{Lo: lo, Hi: lo + step})
+		lo += step
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package parallel
+
+import (
+	"reflect"
+	"testing"
+)
+
+// checkSpansInvariants asserts the chunking contract for one (n, grain):
+// spans tile [0, n) contiguously, every span is non-empty, all spans but
+// the last share one size >= grain (or the whole input is one span), and
+// the partition is a pure function of (n, grain).
+func checkSpansInvariants(t *testing.T, n, grain int) {
+	t.Helper()
+	spans := Spans(n, grain)
+	if n <= 0 {
+		if spans != nil {
+			t.Fatalf("Spans(%d,%d) = %v, want nil", n, grain, spans)
+		}
+		return
+	}
+	if len(spans) == 0 {
+		t.Fatalf("Spans(%d,%d) empty for positive n", n, grain)
+	}
+	if len(spans) > maxChunks {
+		t.Fatalf("Spans(%d,%d) yields %d chunks, cap %d", n, grain, len(spans), maxChunks)
+	}
+	want := 0
+	for k, s := range spans {
+		if s.Lo != want {
+			t.Fatalf("span %d starts at %d, want %d (gap or overlap)", k, s.Lo, want)
+		}
+		if s.Len() <= 0 {
+			t.Fatalf("span %d empty: %+v", k, s)
+		}
+		if k < len(spans)-1 && s.Len() != spans[0].Len() {
+			t.Fatalf("span %d has len %d, want uniform %d", k, s.Len(), spans[0].Len())
+		}
+		want = s.Hi
+	}
+	if want != n {
+		t.Fatalf("spans cover [0,%d), want [0,%d)", want, n)
+	}
+	effGrain := grain
+	if effGrain < 1 {
+		effGrain = 1
+	}
+	if len(spans) > 1 && spans[0].Len() < effGrain {
+		t.Fatalf("chunk size %d below grain %d", spans[0].Len(), effGrain)
+	}
+	if !reflect.DeepEqual(spans, Spans(n, grain)) {
+		t.Fatalf("Spans(%d,%d) not deterministic", n, grain)
+	}
+}
+
+func TestSpansInvariants(t *testing.T) {
+	for _, n := range []int{-3, 0, 1, 2, 3, 7, 15, 16, 17, 63, 64, 65, 100, 1000, 2000, 4097} {
+		for _, grain := range []int{-1, 0, 1, 2, 16, 32, 1000} {
+			checkSpansInvariants(t, n, grain)
+		}
+	}
+}
+
+func TestSpansShapeOnly(t *testing.T) {
+	// The partition must not change with worker count or GOMAXPROCS —
+	// there is no such parameter, but pin the exact shape for a few
+	// inputs so a future "optimization" that derives chunking from the
+	// environment fails loudly.
+	got := Spans(10, 4)
+	want := []Span{{0, 4}, {4, 8}, {8, 10}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Spans(10,4) = %v, want %v", got, want)
+	}
+	if got := Spans(5, 100); !reflect.DeepEqual(got, []Span{{0, 5}}) {
+		t.Errorf("Spans(5,100) = %v, want one full span", got)
+	}
+	// n beyond maxChunks*grain: size grows so the cap holds.
+	spans := Spans(maxChunks*3+1, 1)
+	if len(spans) > maxChunks {
+		t.Errorf("cap violated: %d chunks", len(spans))
+	}
+}

@@ -1,0 +1,33 @@
+// Package parallel is a small stdlib-only worker-pool layer for the
+// pipeline's hot paths, built around one contract: parallel results are
+// bit-identical to serial ones.
+//
+// # The deterministic-reduction contract
+//
+// Floating-point addition is not associative, so the usual way parallel
+// code diverges from serial code is by accumulating partial results in
+// completion order — an order the scheduler picks. This package removes
+// the scheduler from the numeric result entirely:
+//
+//   - Chunk boundaries are a pure function of the input shape (length and
+//     the call site's grain constant), never of the worker count or of
+//     GOMAXPROCS. Spans(n, grain) yields the same partition for a given n
+//     on every machine and at every worker count.
+//   - Each chunk is processed by exactly one goroutine, iterating its
+//     indices in ascending order — the same order the serial loop uses.
+//   - Per-chunk partial results are merged in chunk-index order after all
+//     chunks complete (ReduceOrdered), never in completion order.
+//
+// Under this contract the worker count is pure scheduling: Workers=1 and
+// Workers=8 run the exact same float operations in the exact same
+// association, so their outputs match with == (the property tests in this
+// repository assert exactly that).
+//
+// Elementwise maps (Pool.ForEach) are deterministic for free: each output
+// slot is written by exactly one invocation, so only the chunked
+// reductions need the contract above.
+//
+// The zero-worker default asks for GOMAXPROCS workers; call sites guard
+// small inputs with Auto, which falls back to serial execution below a
+// cutoff — a pure performance decision that cannot change results.
+package parallel

@@ -1,0 +1,76 @@
+package parallel
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// FuzzSpans drives the chunking contract over arbitrary (n, grain),
+// including the awkward shapes: empty input, n smaller than the grain or
+// the worker count, and n not divisible by the chunk size.
+func FuzzSpans(f *testing.F) {
+	f.Add(0, 0)     // empty input
+	f.Add(3, 16)    // n < grain (and < typical worker counts)
+	f.Add(1003, 7)  // n not divisible by chunk size
+	f.Add(64, 1)    // exactly maxChunks
+	f.Add(4097, 32) // large, odd
+	f.Add(-5, -5)   // negative garbage
+	f.Fuzz(func(t *testing.T, n, grain int) {
+		checkSpansInvariants(t, n, grain)
+	})
+}
+
+// FuzzForEachEquivalence fuzzes input shape, grain, and worker count and
+// requires the parallel elementwise map and ordered sum to be
+// bit-identical to the serial ones.
+func FuzzForEachEquivalence(f *testing.F) {
+	f.Add(0, 1, 2, int64(1))    // empty input
+	f.Add(3, 1, 8, int64(2))    // n < workers
+	f.Add(1003, 7, 3, int64(3)) // n not divisible by chunk size
+	f.Add(256, 16, 4, int64(4))
+	f.Fuzz(func(t *testing.T, n, grain, workers int, seed int64) {
+		n %= 4096
+		if n < 0 {
+			n = -n
+		}
+		workers %= 16
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = rng.NormFloat64()
+		}
+		run := func(p *Pool) ([]float64, float64) {
+			out := make([]float64, n)
+			if err := p.ForEach(context.Background(), n, grain, func(i int) {
+				out[i] = in[i] * in[i]
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var total float64
+			if err := ReduceOrdered(context.Background(), p, n, grain,
+				func(s Span) float64 {
+					var part float64
+					for i := s.Lo; i < s.Hi; i++ {
+						part += in[i]
+					}
+					return part
+				},
+				func(part float64) { total += part },
+			); err != nil {
+				t.Fatal(err)
+			}
+			return out, total
+		}
+		wantOut, wantSum := run(New(1))
+		gotOut, gotSum := run(New(workers))
+		for i := range wantOut {
+			if gotOut[i] != wantOut[i] {
+				t.Fatalf("out[%d]: parallel %v != serial %v", i, gotOut[i], wantOut[i])
+			}
+		}
+		if gotSum != wantSum {
+			t.Fatalf("sum: parallel %v != serial %v", gotSum, wantSum)
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package parallel
+
+import "cqm/internal/obs"
+
+// Metric names exposed by an instrumented pool.
+const (
+	// MetricRuns counts pool runs by execution mode (serial or parallel).
+	MetricRuns = "cqm_parallel_runs_total"
+	// MetricChunks counts chunks executed.
+	MetricChunks = "cqm_parallel_chunks_total"
+	// MetricBusyWorkers gauges the number of chunks being processed right
+	// now — the pool's instantaneous occupancy.
+	MetricBusyWorkers = "cqm_parallel_busy_workers"
+	// MetricChunkSeconds is the per-chunk wall-time distribution.
+	MetricChunkSeconds = "cqm_parallel_chunk_seconds"
+)
+
+// poolMetrics holds the resolved metric pointers; the zero value (all
+// nil) is fully inert, so uninstrumented pools pay only nil checks.
+type poolMetrics struct {
+	serialRuns   *obs.Counter
+	parallelRuns *obs.Counter
+	chunks       *obs.Counter
+	busy         *obs.Gauge
+	chunkTime    *obs.Timer
+}
+
+// Instrument registers the pool's runtime metrics — run/chunk counters,
+// busy-worker occupancy, and per-chunk timing — on reg, resolving metric
+// pointers once so the chunk hot path never touches the registry. A nil
+// registry turns instrumentation off again. Instrument must not race
+// with in-flight runs; configure the pool before sharing it.
+func (p *Pool) Instrument(reg *obs.Registry) {
+	if p == nil {
+		return
+	}
+	if reg == nil {
+		p.met = poolMetrics{}
+		return
+	}
+	reg.Help(MetricRuns, "Worker-pool runs by execution mode.")
+	reg.Help(MetricChunks, "Worker-pool chunks executed.")
+	reg.Help(MetricBusyWorkers, "Chunks currently being processed (pool occupancy).")
+	reg.Help(MetricChunkSeconds, "Per-chunk wall time in seconds.")
+	p.met = poolMetrics{
+		serialRuns:   reg.Counter(MetricRuns, "mode", "serial"),
+		parallelRuns: reg.Counter(MetricRuns, "mode", "parallel"),
+		chunks:       reg.Counter(MetricChunks),
+		busy:         reg.Gauge(MetricBusyWorkers),
+		chunkTime:    reg.Timer(MetricChunkSeconds, nil),
+	}
+}
+
+// runChunk executes one chunk under the occupancy gauge and chunk timer.
+func (m poolMetrics) runChunk(k int, s Span, fn func(int, Span)) {
+	m.busy.Add(1)
+	sw := m.chunkTime.Start()
+	fn(k, s)
+	sw.Stop()
+	m.busy.Add(-1)
+	m.chunks.Inc()
+}

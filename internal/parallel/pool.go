@@ -1,0 +1,129 @@
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool executes chunked work on a fixed number of goroutines. A Pool is
+// immutable after construction (Instrument excepted) and safe for
+// concurrent use by multiple callers; a nil *Pool executes serially, so
+// call sites can thread an optional pool without guarding.
+//
+// Workers only changes scheduling, never results: chunk boundaries come
+// from Spans and every chunk runs exactly once, so any computation that
+// is deterministic per chunk is deterministic under the pool.
+type Pool struct {
+	workers int
+	met     poolMetrics
+}
+
+// New returns a pool with the given worker count, following the knob
+// convention used across the pipeline configs: 0 asks for one worker per
+// GOMAXPROCS slot (auto), 1 is strictly serial (no goroutines are
+// spawned), and negative values degrade to serial.
+func New(workers int) *Pool {
+	switch {
+	case workers == 0:
+		workers = runtime.GOMAXPROCS(0)
+	case workers < 0:
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// Auto returns a pool for a Workers knob and an input size: like New,
+// except the auto setting (workers == 0) degrades to serial when n is
+// below cutoff, where goroutine startup would cost more than it saves.
+// Explicit worker counts are always honoured so equivalence tests can
+// force parallelism on small inputs. The fallback is pure scheduling —
+// it cannot change results.
+func Auto(workers, n, cutoff int) *Pool {
+	if workers == 0 && n < cutoff {
+		return New(1)
+	}
+	return New(workers)
+}
+
+// Workers returns the pool's worker count; a nil pool reports 1.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// ForChunks partitions [0, n) into Spans(n, grain) and calls fn exactly
+// once per chunk with the chunk's index and span, using up to Workers
+// goroutines. Chunks are claimed dynamically, so fn must derive its
+// output purely from the chunk (write only state owned by the chunk's
+// indices, or return partials merged afterwards — see ReduceOrdered).
+//
+// With one worker (or a nil pool) everything runs on the calling
+// goroutine in chunk order. Cancelling ctx stops workers at the next
+// chunk boundary and ForChunks returns ctx.Err(); chunk completion is
+// then undefined and the caller must discard any partial output. All
+// spawned goroutines have exited by the time ForChunks returns.
+func (p *Pool) ForChunks(ctx context.Context, n, grain int, fn func(k int, s Span)) error {
+	spans := Spans(n, grain)
+	if len(spans) == 0 {
+		return ctx.Err()
+	}
+	workers := p.Workers()
+	if workers > len(spans) {
+		workers = len(spans)
+	}
+	met := p.metrics()
+	if workers <= 1 {
+		met.serialRuns.Inc()
+		for k, s := range spans {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			met.runChunk(k, s, fn)
+		}
+		return nil
+	}
+	met.parallelRuns.Inc()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				k := int(next.Add(1) - 1)
+				if k >= len(spans) {
+					return
+				}
+				met.runChunk(k, spans[k], fn)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// ForEach calls fn once per index in [0, n), chunked by grain and run on
+// up to Workers goroutines. fn must write only state owned by index i
+// (e.g. slot i of an output slice); under that discipline the result is
+// bit-identical at every worker count because each element is computed by
+// exactly one serial invocation. Cancellation follows ForChunks.
+func (p *Pool) ForEach(ctx context.Context, n, grain int, fn func(i int)) error {
+	return p.ForChunks(ctx, n, grain, func(_ int, s Span) {
+		for i := s.Lo; i < s.Hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// metrics returns the pool's resolved metrics; nil pools report the zero
+// value, whose nil metric pointers are no-ops.
+func (p *Pool) metrics() poolMetrics {
+	if p == nil {
+		return poolMetrics{}
+	}
+	return p.met
+}

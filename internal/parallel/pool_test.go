@@ -1,0 +1,265 @@
+package parallel
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cqm/internal/obs"
+)
+
+func TestNewWorkerCounts(t *testing.T) {
+	if got := New(4).Workers(); got != 4 {
+		t.Errorf("New(4).Workers() = %d", got)
+	}
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(0).Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(-3).Workers(); got != 1 {
+		t.Errorf("New(-3).Workers() = %d, want 1", got)
+	}
+	var nilPool *Pool
+	if got := nilPool.Workers(); got != 1 {
+		t.Errorf("nil pool Workers() = %d, want 1", got)
+	}
+}
+
+func TestAutoCutoff(t *testing.T) {
+	if got := Auto(0, 10, 100).Workers(); got != 1 {
+		t.Errorf("Auto small input = %d workers, want serial", got)
+	}
+	if got := Auto(0, 1000, 100).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Auto large input = %d workers, want GOMAXPROCS", got)
+	}
+	if got := Auto(7, 10, 100).Workers(); got != 7 {
+		t.Errorf("Auto explicit workers = %d, want 7 (cutoff must not override)", got)
+	}
+}
+
+// TestForEachSerialParallelEquivalence is the package's core property:
+// an elementwise map produces bit-identical output at every worker
+// count, on randomized seeded inputs.
+func TestForEachSerialParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(3000)
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = rng.NormFloat64()
+		}
+		compute := func(p *Pool) []float64 {
+			out := make([]float64, n)
+			if err := p.ForEach(context.Background(), n, 8, func(i int) {
+				v := in[i]
+				for k := 0; k < 10; k++ {
+					v = v*1.0000001 + float64(i)*1e-9
+				}
+				out[i] = v
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		serial := compute(New(1))
+		for _, workers := range []int{2, 3, 4, 8} {
+			if got := compute(New(workers)); !reflect.DeepEqual(got, serial) {
+				t.Fatalf("trial %d: workers=%d output differs from serial (n=%d)", trial, workers, n)
+			}
+		}
+	}
+}
+
+// TestReduceOrderedEquivalence checks that a floating-point sum — the
+// canonical non-associative reduction — is bit-identical across worker
+// counts because partials merge in chunk order.
+func TestReduceOrderedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(5000)
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = rng.NormFloat64() * 1e6 * rng.Float64()
+		}
+		sum := func(p *Pool) float64 {
+			var total float64
+			if err := ReduceOrdered(context.Background(), p, n, 16,
+				func(s Span) float64 {
+					var part float64
+					for i := s.Lo; i < s.Hi; i++ {
+						part += in[i]
+					}
+					return part
+				},
+				func(part float64) { total += part },
+			); err != nil {
+				t.Fatal(err)
+			}
+			return total
+		}
+		serial := sum(New(1))
+		for _, workers := range []int{2, 5, 8} {
+			if got := sum(New(workers)); got != serial {
+				t.Fatalf("trial %d: workers=%d sum %v != serial %v", trial, workers, got, serial)
+			}
+		}
+	}
+}
+
+func TestForChunksEachChunkOnce(t *testing.T) {
+	const n, grain = 1003, 7
+	spans := Spans(n, grain)
+	counts := make([]atomic.Int64, len(spans))
+	err := New(4).ForChunks(context.Background(), n, grain, func(k int, s Span) {
+		if spans[k] != s {
+			t.Errorf("chunk %d got span %+v, want %+v", k, s, spans[k])
+		}
+		counts[k].Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range counts {
+		if got := counts[k].Load(); got != 1 {
+			t.Errorf("chunk %d ran %d times", k, got)
+		}
+	}
+}
+
+func TestForChunksEmptyInput(t *testing.T) {
+	ran := false
+	if err := New(4).ForChunks(context.Background(), 0, 1, func(int, Span) { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("fn ran for empty input")
+	}
+	var nilPool *Pool
+	out := make([]int, 5)
+	if err := nilPool.ForEach(context.Background(), 5, 1, func(i int) { out[i] = i + 1 }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, []int{1, 2, 3, 4, 5}) {
+		t.Errorf("nil pool ForEach out = %v", out)
+	}
+}
+
+// TestCancellationNoGoroutineLeak proves cancellation stops the pool and
+// leaves no goroutine behind: the goroutine count returns to its
+// pre-run level once ForChunks returns.
+func TestCancellationNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var started sync.Once
+	release := make(chan struct{})
+	err := New(4).ForChunks(ctx, 1000, 1, func(k int, s Span) {
+		started.Do(func() {
+			cancel()
+			close(release)
+		})
+		<-release // every chunk observes the cancel before returning
+	})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if ctx.Err() == nil {
+		t.Fatal("context not cancelled")
+	}
+	// The workers must already be gone; give the runtime a few
+	// scheduling quanta for the counters to settle.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after cancellation", before, runtime.NumGoroutine())
+}
+
+func TestSerialPathHonoursCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := New(1).ForChunks(ctx, 100, 1, func(k int, s Span) {
+		ran++
+		if ran == 3 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("want context error")
+	}
+	if ran > 3 {
+		t.Errorf("serial run continued %d chunks past cancel", ran-3)
+	}
+}
+
+// TestSharedPoolConcurrentCallers hammers one pool from many goroutines;
+// under -race this proves the pool itself carries no shared mutable
+// state across runs.
+func TestSharedPoolConcurrentCallers(t *testing.T) {
+	pool := New(4)
+	pool.Instrument(obs.NewRegistry())
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				n := 100 + c*31 + rep
+				out := make([]float64, n)
+				if err := pool.ForEach(context.Background(), n, 4, func(i int) {
+					out[i] = float64(i * i)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				for i := range out {
+					if out[i] != float64(i*i) {
+						t.Errorf("caller %d: out[%d] = %v", c, i, out[i])
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry()
+	pool := New(4)
+	pool.Instrument(reg)
+	if err := pool.ForEach(context.Background(), 100, 1, func(int) {}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(MetricRuns, "mode", "parallel").Value(); got != 1 {
+		t.Errorf("parallel runs = %d, want 1", got)
+	}
+	wantChunks := int64(len(Spans(100, 1)))
+	if got := reg.Counter(MetricChunks).Value(); got != wantChunks {
+		t.Errorf("chunks = %d, want %d", got, wantChunks)
+	}
+	if got := reg.Gauge(MetricBusyWorkers).Value(); got != 0 {
+		t.Errorf("busy workers after run = %v, want 0", got)
+	}
+	if got := reg.Histogram(MetricChunkSeconds, nil).Count(); got != wantChunks {
+		t.Errorf("chunk timings = %d, want %d", got, wantChunks)
+	}
+	// Serial runs land in the serial counter.
+	if err := New(1).ForEach(context.Background(), 10, 1, func(int) {}); err != nil {
+		t.Fatal(err)
+	}
+	pool.Instrument(nil) // disable again: next run must not move counters
+	if err := pool.ForEach(context.Background(), 100, 1, func(int) {}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(MetricRuns, "mode", "parallel").Value(); got != 1 {
+		t.Errorf("disabled pool still counted: %d runs", got)
+	}
+	var nilPool *Pool
+	nilPool.Instrument(reg) // must not panic
+}

@@ -1,0 +1,31 @@
+package parallel
+
+import "context"
+
+// ReduceOrdered is the deterministic parallel reduction: compute runs
+// once per chunk of [0, n) on the pool (each chunk iterated in ascending
+// index order by exactly one goroutine), and the per-chunk partials are
+// merged by merge in chunk-index order — never in completion order. The
+// chunk partition comes from Spans(n, grain), so for a fixed call site
+// the sequence of merge calls, and therefore the floating-point
+// association of the reduction, depends only on the input length.
+//
+// merge runs on the calling goroutine after every chunk has completed.
+// On cancellation the error is returned before any merge call and the
+// partials are discarded.
+func ReduceOrdered[P any](ctx context.Context, p *Pool, n, grain int, compute func(s Span) P, merge func(partial P)) error {
+	spans := Spans(n, grain)
+	if len(spans) == 0 {
+		return ctx.Err()
+	}
+	partials := make([]P, len(spans))
+	if err := p.ForChunks(ctx, n, grain, func(k int, s Span) {
+		partials[k] = compute(s)
+	}); err != nil {
+		return err
+	}
+	for _, partial := range partials {
+		merge(partial)
+	}
+	return nil
+}
