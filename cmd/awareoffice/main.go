@@ -6,13 +6,19 @@
 //
 // Usage:
 //
-//	awareoffice [-seed N] [-sessions N] [-loss P] [-ber P] [-latency S] [-jitter S] [-metrics-addr :8080]
-//	            [-workers N]
+//	awareoffice [-seed N] [-sessions N] [-loss P] [-burst P] [-retransmit] [-ber P] [-latency S]
+//	            [-jitter S] [-metrics-addr :8080] [-workers N]
 //
 // With -metrics-addr the whole pipeline is instrumented and served at
 // /metrics in Prometheus text format (?format=json for a JSON snapshot);
 // the process then stays alive after printing its results until
 // interrupted, so the endpoint can be scraped.
+//
+// -burst replaces the i.i.d. -loss coin with a Gilbert–Elliott burst
+// channel tuned to the given average loss rate; -retransmit turns on the
+// bus's publisher-side ack/retransmit layer (bounded retries with
+// exponential backoff in virtual time), whose send-window accounting is
+// printed per publisher.
 //
 // -workers parallelizes training (clustering + hybrid learning) and makes
 // the pen pre-score each session's windows in one batch. The simulation's
@@ -36,6 +42,7 @@ import (
 	"cqm/internal/classify"
 	"cqm/internal/core"
 	"cqm/internal/dataset"
+	"cqm/internal/fault"
 	"cqm/internal/obs"
 	"cqm/internal/sensor"
 )
@@ -44,6 +51,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	sessions := flag.Int("sessions", 6, "number of office sessions")
 	loss := flag.Float64("loss", 0.05, "packet loss probability")
+	burst := flag.Float64("burst", 0, "average loss rate of a Gilbert–Elliott burst channel (replaces -loss when > 0)")
+	retransmit := flag.Bool("retransmit", false, "enable publisher-side ack/retransmit with the default backoff policy")
 	ber := flag.Float64("ber", 0, "physical bit error rate (frames failing CRC are dropped)")
 	latency := flag.Float64("latency", 0.02, "base one-way delay in seconds")
 	jitter := flag.Float64("jitter", 0.03, "uniform extra delay bound in seconds")
@@ -51,13 +60,13 @@ func main() {
 	workers := flag.Int("workers", 1, "worker count for training and batch pre-scoring (0 = one per CPU, 1 = serial); outputs are identical at every setting")
 	flag.Parse()
 
-	if err := run(*seed, *sessions, *loss, *ber, *latency, *jitter, *metricsAddr, *workers); err != nil {
+	if err := run(*seed, *sessions, *loss, *burst, *ber, *latency, *jitter, *metricsAddr, *workers, *retransmit); err != nil {
 		fmt.Fprintln(os.Stderr, "awareoffice:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, sessions int, loss, ber, latency, jitter float64, metricsAddr string, workers int) error {
+func run(seed int64, sessions int, loss, burst, ber, latency, jitter float64, metricsAddr string, workers int, retransmit bool) error {
 	var reg *obs.Registry
 	var ln net.Listener
 	if metricsAddr != "" {
@@ -80,9 +89,21 @@ func run(seed int64, sessions int, loss, ber, latency, jitter float64, metricsAd
 
 	sim := awareoffice.NewSimulation(seed + 10)
 	link := awareoffice.Link{Latency: latency, Jitter: jitter, Loss: loss, BitErrorRate: ber}
+	var channel *fault.GilbertElliott
+	if burst > 0 {
+		channel = fault.BurstLoss(burst)
+		channel.Instrument(reg)
+		link.Loss = 0
+		link.LossModel = channel
+	}
 	bus, err := awareoffice.NewBus(sim, link)
 	if err != nil {
 		return err
+	}
+	if retransmit {
+		if err := bus.EnableReliability(awareoffice.DefaultReliability()); err != nil {
+			return err
+		}
 	}
 	bus.Instrument(reg)
 	plain := &awareoffice.Camera{Name: "camera-plain"}
@@ -126,6 +147,10 @@ func run(seed int64, sessions int, loss, ber, latency, jitter float64, metricsAd
 	st := bus.Stats()
 	fmt.Printf("network: %d published, %d delivered, %d lost, %d CRC-dropped\n",
 		st.Published, st.Delivered, st.Dropped, st.Corrupted)
+	if channel != nil {
+		fmt.Printf("  burst channel: %d drops over %d decisions (stationary %.1f%%)\n",
+			channel.Drops(), channel.Decisions(), 100*channel.StationaryLoss())
+	}
 	names := make([]string, 0, len(st.Subscribers))
 	for name := range st.Subscribers {
 		names = append(names, name)
@@ -135,6 +160,18 @@ func run(seed int64, sessions int, loss, ber, latency, jitter float64, metricsAd
 		link := st.Subscribers[name]
 		fmt.Printf("  link %-14s %d delivered, %d lost, %d corrupted, %d duplicated\n",
 			name+":", link.Delivered, link.Dropped, link.Corrupted, link.Duplicated)
+	}
+	if retransmit {
+		pubs := make([]string, 0, len(st.Publishers))
+		for name := range st.Publishers {
+			pubs = append(pubs, name)
+		}
+		sort.Strings(pubs)
+		for _, name := range pubs {
+			ps := st.Publishers[name]
+			fmt.Printf("  send window %-9s %d published, %d retransmits, %d gave up, %d outstanding\n",
+				name+":", ps.Published, ps.Retransmits, ps.GaveUp, ps.Outstanding)
+		}
 	}
 	fmt.Printf("true end-of-writing moments: %d\n\n", len(truths))
 	scoreP := awareoffice.ScoreSnapshots(plain.Snapshots(), truths, 2.5)

@@ -6,12 +6,17 @@
 // Usage:
 //
 //	awarepen [-seed N] [-style nominal|wild|light] [-threshold -1]
-//	         [-progress] [-metrics-out metrics.json]
+//	         [-progress] [-metrics-out metrics.json] [-fault none|stuck|saturation|dropout|spike|drift]
 //
 // A negative threshold uses the statistically optimal one. -progress logs
 // one structured line per ANFIS training epoch; -metrics-out instruments
 // the quality measure and the filter and dumps a JSON metrics snapshot on
 // exit.
+//
+// -fault injects one sensor fault class into the live session and turns on
+// degraded-input detection: windows whose readings carry the fault's
+// signature are forced into the ε error state and discarded, showing the
+// graceful-degradation path in the live table.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"cqm/internal/classify"
 	"cqm/internal/core"
 	"cqm/internal/dataset"
+	"cqm/internal/fault"
 	"cqm/internal/feature"
 	"cqm/internal/obs"
 	"cqm/internal/sensor"
@@ -35,16 +41,42 @@ func main() {
 	threshold := flag.Float64("threshold", -1, "acceptance threshold (negative = optimal)")
 	progress := flag.Bool("progress", false, "log one structured line per ANFIS training epoch")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on exit")
+	faultName := flag.String("fault", "none", "sensor fault to inject live: none, stuck, saturation, dropout, spike, drift")
 	flag.Parse()
 
-	if err := run(*seed, *styleName, *threshold, *progress, *metricsOut); err != nil {
+	if err := run(*seed, *styleName, *threshold, *progress, *metricsOut, *faultName); err != nil {
 		fmt.Fprintln(os.Stderr, "awarepen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, styleName string, threshold float64, progress bool, metricsOut string) error {
+// faultFor maps a -fault name to one injected sensor fault, or nil for
+// "none".
+func faultFor(name string) (fault.SensorFault, error) {
+	switch name {
+	case "none", "":
+		return nil, nil
+	case "stuck":
+		return &fault.StuckAxis{Axis: fault.AxisZ, Start: 8}, nil
+	case "saturation":
+		return &fault.Saturation{Gain: 4}, nil
+	case "dropout":
+		return &fault.Dropout{Start: 10, Duration: 3}, nil
+	case "spike":
+		return &fault.SpikeNoise{Prob: 0.3}, nil
+	case "drift":
+		return &fault.ClockDrift{Rate: 0.2}, nil
+	default:
+		return nil, fmt.Errorf("unknown fault %q", name)
+	}
+}
+
+func run(seed int64, styleName string, threshold float64, progress bool, metricsOut, faultName string) error {
 	style, err := styleFor(styleName)
+	if err != nil {
+		return err
+	}
+	injected, err := faultFor(faultName)
 	if err != nil {
 		return err
 	}
@@ -134,20 +166,34 @@ func run(seed int64, styleName string, threshold float64, progress bool, metrics
 	if err != nil {
 		return err
 	}
-	windows, err := (feature.Windower{Size: 100}).Slide(readings)
+	var degrade *feature.DegradationConfig
+	if injected != nil {
+		inj := fault.NewInjector(seed+3, injected)
+		if readings, err = inj.Apply(readings); err != nil {
+			return err
+		}
+		degrade = &feature.DegradationConfig{}
+		fmt.Printf("injected fault %q:\n%s\n", injected.Name(), inj.Render())
+	}
+	windows, err := (feature.Windower{Size: 100, Degradation: degrade}).Slide(readings)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-8s %-10s %-10s %-8s %-8s %s\n", "t [s]", "truth", "classified", "q", "decision", "cues (stddev x/y/z)")
+	fmt.Printf("%-8s %-10s %-10s %-14s %-8s %s\n", "t [s]", "truth", "classified", "q", "decision", "cues (stddev x/y/z)")
 	correctAccepted, accepted, correctTotal := 0, 0, 0
 	for _, w := range windows {
 		class, err := clf.Classify(w.Cues)
 		if err != nil {
 			return err
 		}
-		d, err := filter.Decide(w.Cues, class)
-		if err != nil {
-			return err
+		var d core.Decision
+		if w.Degraded.Any() {
+			// Degraded input: forced into ε, the quality never consulted.
+			d = core.Decision{Epsilon: true}
+		} else {
+			if d, err = filter.Decide(w.Cues, class); err != nil {
+				return err
+			}
 		}
 		decision := "ACCEPT"
 		if !d.Accepted {
@@ -156,12 +202,15 @@ func run(seed int64, styleName string, threshold float64, progress bool, metrics
 		qStr := fmt.Sprintf("%.3f", d.Quality)
 		if d.Epsilon {
 			qStr = "ε"
+			if w.Degraded.Any() {
+				qStr = "ε:" + w.Degraded.String()
+			}
 		}
 		mark := " "
 		if class != w.Truth {
 			mark = "✗"
 		}
-		fmt.Printf("%-8.1f %-10s %-10s %-8s %-8s %.3f/%.3f/%.3f %s\n",
+		fmt.Printf("%-8.1f %-10s %-10s %-14s %-8s %.3f/%.3f/%.3f %s\n",
 			w.End, w.Truth, class, qStr, decision, w.Cues[0], w.Cues[1], w.Cues[2], mark)
 		if class == w.Truth {
 			correctTotal++

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	cqmeval [-seed N] [-experiment fig5|fig6|probs|improvement|agnostic|balance|sizes|camera|ablations|all]
-//	        [-metrics-out metrics.json] [-workers N]
+//	        [-metrics-out metrics.json] [-workers N] [-faults] [-retransmit]
 //
 // -metrics-out instruments the canonical pipeline (training counters,
 // scoring and ε-rate counters, the quality histogram) and writes a JSON
@@ -15,6 +15,12 @@
 // learning, cross-validation folds): 0 picks one worker per CPU, 1 (the
 // default) keeps everything serial. Results are bit-identical at every
 // setting.
+//
+// -faults runs the E8 robustness sweep (shorthand for -experiment faults):
+// the appliance chain under increasing sensor- and channel-fault
+// intensity, reporting raw and CQM-filtered accuracy, ε rates, and the
+// camera's surviving event intake. -retransmit additionally turns on the
+// bus's ack/retransmit reliability layer for the sweep.
 package main
 
 import (
@@ -29,10 +35,12 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", eval.DefaultSeed, "random seed for the evaluation pipeline")
-	experiment := flag.String("experiment", "all", "experiment to run: fig5, fig6, probs, improvement, agnostic, balance, sizes, camera, predict, fusion, confidence, crossval, cues, noise, ablations, all")
+	experiment := flag.String("experiment", "all", "experiment to run: fig5, fig6, probs, improvement, agnostic, balance, sizes, camera, predict, fusion, confidence, crossval, cues, noise, faults, ablations, all")
 	report := flag.Bool("report", false, "write the consolidated report (all experiments, DESIGN.md order) to stdout")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on exit")
 	workers := flag.Int("workers", 1, "worker count for parallelized stages (0 = one per CPU, 1 = serial); results are identical at every setting")
+	faults := flag.Bool("faults", false, "run the fault-intensity robustness sweep (shorthand for -experiment faults)")
+	retransmit := flag.Bool("retransmit", false, "enable the bus ack/retransmit reliability layer in the faults sweep")
 	flag.Parse()
 
 	if *report {
@@ -42,19 +50,23 @@ func main() {
 		}
 		return
 	}
-	if err := run(*seed, *experiment, *metricsOut, *workers); err != nil {
+	exp := *experiment
+	if *faults {
+		exp = "faults"
+	}
+	if err := run(*seed, exp, *metricsOut, *workers, *retransmit); err != nil {
 		fmt.Fprintln(os.Stderr, "cqmeval:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, experiment, metricsOut string, workers int) error {
+func run(seed int64, experiment, metricsOut string, workers int, retransmit bool) error {
 	var reg *obs.Registry
 	if metricsOut != "" {
 		reg = obs.NewRegistry()
 	}
 	needsSetup := map[string]bool{
-		"fig5": true, "fig6": true, "probs": true,
+		"fig5": true, "fig6": true, "probs": true, "faults": true,
 		"improvement": true, "camera": true, "confidence": true, "all": true,
 	}
 	build := core.BuildConfig{Metrics: reg}
@@ -142,6 +154,18 @@ func run(seed int64, experiment, metricsOut string, workers int) error {
 	}
 	if all || experiment == "camera" {
 		res, err := eval.CameraExperiment(setup, eval.CameraConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		ran = true
+	}
+	if all || experiment == "faults" {
+		res, err := eval.FaultSweep(setup, eval.FaultConfig{
+			Seed:       seed,
+			Workers:    max(workers, 1),
+			Retransmit: retransmit,
+		})
 		if err != nil {
 			return err
 		}

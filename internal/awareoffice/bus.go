@@ -1,11 +1,19 @@
 package awareoffice
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 
 	"cqm/internal/obs"
 	"cqm/internal/particle"
 	"cqm/internal/sensor"
+)
+
+// Reliability errors.
+var (
+	// ErrBadReliability reports invalid retransmission parameters.
+	ErrBadReliability = errors.New("awareoffice: invalid reliability parameters")
 )
 
 // Event is one context broadcast: an appliance announces the context it
@@ -24,8 +32,30 @@ type Event struct {
 	HasQuality bool
 	// Sent is the virtual time the event was published.
 	Sent float64
-	// Seq is the publisher's sequence number (detects duplicates).
+	// Seq is the publisher's sequence number (detects duplicates). The
+	// wire encodes it in 16 bits, so receivers must treat it as wrapping
+	// modulo 65536.
 	Seq int
+}
+
+// LossModel is a stateful drop decision replacing a Link's i.i.d. Loss
+// probability — burst channels like fault.GilbertElliott. A model attached
+// to the default link is shared by every subscriber without an override,
+// which correlates their loss bursts exactly like a shared radio medium;
+// use SetLink with per-subscriber models for independent channels.
+type LossModel interface {
+	// Drop decides whether one delivery is lost, drawing only from rng.
+	Drop(rng *rand.Rand) bool
+}
+
+// FrameFault mutates an encoded Particle frame in flight — truncation,
+// targeted bit damage — before the receiver decodes it. Frames that fail
+// the length or CRC check afterwards are dropped and counted as corrupted,
+// exactly like bit-error losses.
+type FrameFault interface {
+	// Corrupt returns the (possibly shortened or altered) frame, drawing
+	// only from rng.
+	Corrupt(frame []byte, rng *rand.Rand) []byte
 }
 
 // Link models one directed network path: constant latency plus uniform
@@ -36,7 +66,8 @@ type Link struct {
 	Latency float64
 	// Jitter adds uniform [0, Jitter) extra delay per delivery.
 	Jitter float64
-	// Loss is the probability a delivery is dropped.
+	// Loss is the probability a delivery is dropped. Ignored when
+	// LossModel is set.
 	Loss float64
 	// Duplicate is the probability a delivery arrives twice.
 	Duplicate float64
@@ -46,6 +77,13 @@ type Link struct {
 	// probability, and decoded by the receiver; frames failing the CRC
 	// are dropped, exactly like real hardware.
 	BitErrorRate float64
+	// LossModel, when non-nil, replaces Loss with a stateful decision —
+	// the hook for burst channels.
+	LossModel LossModel
+	// FrameFault, when non-nil, forces the wire encoding on every
+	// delivery (even at BitErrorRate 0) and lets the fault mutate the
+	// frame in flight.
+	FrameFault FrameFault
 }
 
 func (l Link) validate() error {
@@ -63,6 +101,75 @@ func (l Link) validate() error {
 	}
 }
 
+// wired reports whether deliveries must pass through the Particle wire
+// encoding.
+func (l Link) wired() bool { return l.BitErrorRate > 0 || l.FrameFault != nil }
+
+// Reliability configures the publisher-side ack/retransmit layer: when a
+// delivery is lost (link loss or corruption), the bus re-attempts it after
+// an exponentially growing backoff in virtual time, up to MaxRetries
+// times. Receivers still deduplicate by (source, sequence) — the paper's
+// at-least-once semantics with receiver-side suppression.
+type Reliability struct {
+	// MaxRetries bounds the re-attempts per delivery. Default 3.
+	MaxRetries int
+	// BaseBackoff is the first retry delay in virtual seconds; attempt n
+	// waits BaseBackoff·2ⁿ. Default 0.05.
+	BaseBackoff float64
+	// MaxBackoff caps the exponential growth. Default 0.4.
+	MaxBackoff float64
+	// Jitter stretches each backoff by a uniform factor in [1, 1+Jitter),
+	// decorrelating retry storms. 0 keeps backoff deterministic.
+	Jitter float64
+}
+
+// DefaultReliability is the recommended retransmission policy: 3 retries,
+// 50 ms base backoff doubling to a 400 ms cap, 25 % jitter.
+func DefaultReliability() Reliability {
+	return Reliability{MaxRetries: 3, BaseBackoff: 0.05, MaxBackoff: 0.4, Jitter: 0.25}
+}
+
+func (r Reliability) withDefaults() Reliability {
+	if r.MaxRetries == 0 {
+		r.MaxRetries = 3
+	}
+	if r.BaseBackoff == 0 {
+		r.BaseBackoff = 0.05
+	}
+	if r.MaxBackoff == 0 {
+		r.MaxBackoff = 0.4
+	}
+	return r
+}
+
+func (r Reliability) validate() error {
+	switch {
+	case r.MaxRetries < 0:
+		return fmt.Errorf("%w: max retries %d", ErrBadReliability, r.MaxRetries)
+	case r.BaseBackoff <= 0 || r.MaxBackoff < r.BaseBackoff:
+		return fmt.Errorf("%w: backoff base %v max %v", ErrBadReliability, r.BaseBackoff, r.MaxBackoff)
+	case r.Jitter < 0:
+		return fmt.Errorf("%w: jitter %v", ErrBadReliability, r.Jitter)
+	default:
+		return nil
+	}
+}
+
+// backoff returns the retry delay after the given attempt number.
+func (r Reliability) backoff(attempt int, rng *rand.Rand) float64 {
+	d := r.BaseBackoff
+	for i := 0; i < attempt && d < r.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > r.MaxBackoff {
+		d = r.MaxBackoff
+	}
+	if r.Jitter > 0 {
+		d *= 1 + r.Jitter*rng.Float64()
+	}
+	return d
+}
+
 // LinkStats accounts the deliveries attempted to one subscriber.
 type LinkStats struct {
 	// Delivered counts events scheduled for delivery (duplicates count
@@ -75,6 +182,26 @@ type LinkStats struct {
 	Corrupted int
 	// Duplicated counts deliveries that arrived twice.
 	Duplicated int
+	// Retransmits counts re-attempts scheduled by the reliability layer.
+	Retransmits int
+	// GaveUp counts deliveries abandoned after exhausting MaxRetries.
+	GaveUp int
+}
+
+// PublisherStats is one publisher's send-window accounting under the
+// reliability layer.
+type PublisherStats struct {
+	// Published counts events this publisher handed to Publish.
+	Published int
+	// Retransmits counts re-attempts scheduled for this publisher's
+	// events across all subscribers.
+	Retransmits int
+	// GaveUp counts this publisher's deliveries abandoned after
+	// exhausting retries.
+	GaveUp int
+	// Outstanding is the number of retransmissions currently scheduled
+	// but not yet re-attempted — the open send window.
+	Outstanding int
 }
 
 // BusStats is one consistent view of the bus's delivery accounting — the
@@ -88,8 +215,14 @@ type BusStats struct {
 	Dropped int
 	// Corrupted counts deliveries dropped by CRC failure.
 	Corrupted int
+	// Retransmits counts re-attempts scheduled by the reliability layer.
+	Retransmits int
+	// GaveUp counts deliveries abandoned after exhausting retries.
+	GaveUp int
 	// Subscribers maps each subscriber name to its link statistics.
 	Subscribers map[string]LinkStats
+	// Publishers maps each publisher name to its send-window statistics.
+	Publishers map[string]PublisherStats
 }
 
 // Bus is the context broadcast medium: publish fans every event out to all
@@ -101,6 +234,8 @@ type Bus struct {
 	subscribers []*subscription
 	links       map[string]Link // per-subscriber override
 	stats       BusStats
+	rel         *Reliability
+	publishers  map[string]*publisherState
 	reg         *obs.Registry
 	met         busMetrics
 }
@@ -113,10 +248,25 @@ type busMetrics struct {
 
 // subMetrics are one subscriber's pre-resolved link counters.
 type subMetrics struct {
-	delivered  *obs.Counter
-	dropped    *obs.Counter
-	corrupted  *obs.Counter
-	duplicated *obs.Counter
+	delivered   *obs.Counter
+	dropped     *obs.Counter
+	corrupted   *obs.Counter
+	duplicated  *obs.Counter
+	retransmits *obs.Counter
+	gaveup      *obs.Counter
+}
+
+// publisherState tracks one publisher's send window with its pre-resolved
+// counters.
+type publisherState struct {
+	stats PublisherStats
+	met   pubMetrics
+}
+
+// pubMetrics are one publisher's pre-resolved send-window counters.
+type pubMetrics struct {
+	retransmits *obs.Counter
+	gaveup      *obs.Counter
 }
 
 type subscription struct {
@@ -135,6 +285,7 @@ func NewBus(sim *Simulation, defaultLink Link) (*Bus, error) {
 		sim:         sim,
 		defaultLink: defaultLink,
 		links:       make(map[string]Link),
+		publishers:  make(map[string]*publisherState),
 	}, nil
 }
 
@@ -150,18 +301,31 @@ const (
 	MetricBusCorrupted = "awareoffice_bus_corrupted_total"
 	// MetricBusDuplicated counts duplicated deliveries, per subscriber.
 	MetricBusDuplicated = "awareoffice_bus_duplicated_total"
+	// MetricBusRetransmits counts reliability re-attempts, per subscriber.
+	MetricBusRetransmits = "awareoffice_bus_retransmits_total"
+	// MetricBusGaveUp counts deliveries abandoned after exhausting
+	// retries, per subscriber.
+	MetricBusGaveUp = "awareoffice_bus_gaveup_total"
+	// MetricBusPublisherRetransmits counts re-attempts by publisher.
+	MetricBusPublisherRetransmits = "awareoffice_bus_publisher_retransmits_total"
+	// MetricBusPublisherGaveUp counts abandoned deliveries by publisher.
+	MetricBusPublisherGaveUp = "awareoffice_bus_publisher_gaveup_total"
 )
 
 // Instrument registers the bus's delivery counters — the aggregate publish
 // counter plus per-subscriber delivered/dropped/corrupted/duplicated
-// series — on reg. Existing and future subscribers are both covered; a nil
-// registry turns instrumentation off.
+// series and per-publisher send-window counters — on reg. Existing and
+// future subscribers and publishers are both covered; a nil registry turns
+// instrumentation off.
 func (b *Bus) Instrument(reg *obs.Registry) {
 	b.reg = reg
 	if reg == nil {
 		b.met = busMetrics{}
 		for _, sub := range b.subscribers {
 			sub.met = subMetrics{}
+		}
+		for _, ps := range b.publishers {
+			ps.met = pubMetrics{}
 		}
 		return
 	}
@@ -170,19 +334,36 @@ func (b *Bus) Instrument(reg *obs.Registry) {
 	reg.Help(MetricBusDropped, "Deliveries lost to link loss, by subscriber.")
 	reg.Help(MetricBusCorrupted, "Deliveries dropped by CRC failure, by subscriber.")
 	reg.Help(MetricBusDuplicated, "Deliveries duplicated by the link, by subscriber.")
+	reg.Help(MetricBusRetransmits, "Reliability re-attempts, by subscriber.")
+	reg.Help(MetricBusGaveUp, "Deliveries abandoned after exhausting retries, by subscriber.")
+	reg.Help(MetricBusPublisherRetransmits, "Reliability re-attempts, by publisher.")
+	reg.Help(MetricBusPublisherGaveUp, "Abandoned deliveries, by publisher.")
 	b.met = busMetrics{published: reg.Counter(MetricBusPublished)}
 	for _, sub := range b.subscribers {
 		sub.met = newSubMetrics(reg, sub.name)
+	}
+	for name, ps := range b.publishers {
+		ps.met = newPubMetrics(reg, name)
 	}
 }
 
 // newSubMetrics resolves one subscriber's labelled counters.
 func newSubMetrics(reg *obs.Registry, name string) subMetrics {
 	return subMetrics{
-		delivered:  reg.Counter(MetricBusDelivered, "subscriber", name),
-		dropped:    reg.Counter(MetricBusDropped, "subscriber", name),
-		corrupted:  reg.Counter(MetricBusCorrupted, "subscriber", name),
-		duplicated: reg.Counter(MetricBusDuplicated, "subscriber", name),
+		delivered:   reg.Counter(MetricBusDelivered, "subscriber", name),
+		dropped:     reg.Counter(MetricBusDropped, "subscriber", name),
+		corrupted:   reg.Counter(MetricBusCorrupted, "subscriber", name),
+		duplicated:  reg.Counter(MetricBusDuplicated, "subscriber", name),
+		retransmits: reg.Counter(MetricBusRetransmits, "subscriber", name),
+		gaveup:      reg.Counter(MetricBusGaveUp, "subscriber", name),
+	}
+}
+
+// newPubMetrics resolves one publisher's labelled counters.
+func newPubMetrics(reg *obs.Registry, name string) pubMetrics {
+	return pubMetrics{
+		retransmits: reg.Counter(MetricBusPublisherRetransmits, "publisher", name),
+		gaveup:      reg.Counter(MetricBusPublisherGaveUp, "publisher", name),
 	}
 }
 
@@ -206,64 +387,176 @@ func (b *Bus) SetLink(subscriber string, link Link) error {
 	return nil
 }
 
+// SchedulePartition cuts one subscriber off the bus at virtual time start
+// and heals the link at virtual time heal, restoring whatever link
+// override (or default) was in effect when the partition began. Scheduled
+// heals make partition experiments reproducible without hand-written
+// callbacks.
+func (b *Bus) SchedulePartition(subscriber string, start, heal float64) error {
+	if heal < start {
+		return fmt.Errorf("%w: partition heal %v before start %v", ErrBadLink, heal, start)
+	}
+	var saved Link
+	var hadOverride bool
+	if err := b.sim.Schedule(start, func() {
+		saved, hadOverride = b.links[subscriber]
+		b.links[subscriber] = Link{Loss: 1}
+	}); err != nil {
+		return err
+	}
+	return b.sim.Schedule(heal, func() {
+		if hadOverride {
+			b.links[subscriber] = saved
+			return
+		}
+		delete(b.links, subscriber)
+	})
+}
+
+// EnableReliability turns on publisher-side retransmission with the given
+// policy (zero fields take defaults). Lost and corrupted deliveries are
+// re-attempted after exponential backoff in virtual time until they
+// succeed or MaxRetries is exhausted.
+func (b *Bus) EnableReliability(cfg Reliability) error {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	b.rel = &cfg
+	return nil
+}
+
+// linkFor resolves the link currently in effect for one subscriber.
+func (b *Bus) linkFor(name string) Link {
+	if l, ok := b.links[name]; ok {
+		return l
+	}
+	return b.defaultLink
+}
+
+// publisher returns the send-window state for a source, creating it on
+// first sight.
+func (b *Bus) publisher(name string) *publisherState {
+	ps, ok := b.publishers[name]
+	if !ok {
+		ps = &publisherState{}
+		if b.reg != nil {
+			ps.met = newPubMetrics(b.reg, name)
+		}
+		b.publishers[name] = ps
+	}
+	return ps
+}
+
 // Publish broadcasts the event to every subscriber except its source.
 func (b *Bus) Publish(ev Event) error {
 	b.stats.Published++
 	b.met.published.Inc()
+	b.publisher(ev.Source).stats.Published++
 	for _, sub := range b.subscribers {
 		if sub.name == ev.Source {
 			continue
 		}
-		link := b.defaultLink
-		if l, ok := b.links[sub.name]; ok {
-			link = l
-		}
-		deliveries := 1
-		if b.sim.rng.Float64() < link.Loss {
-			b.stats.Dropped++
-			sub.stats.Dropped++
-			sub.met.dropped.Inc()
-			continue
-		}
-		if b.sim.rng.Float64() < link.Duplicate {
-			deliveries = 2
-			sub.stats.Duplicated++
-			sub.met.duplicated.Inc()
-		}
-		for d := 0; d < deliveries; d++ {
-			event := ev
-			if link.BitErrorRate > 0 {
-				decoded, ok := b.transmit(ev, link.BitErrorRate)
-				if !ok {
-					b.stats.Corrupted++
-					sub.stats.Corrupted++
-					sub.met.corrupted.Inc()
-					continue
-				}
-				event = decoded
-			}
-			delay := link.Latency
-			if link.Jitter > 0 {
-				delay += link.Jitter * b.sim.rng.Float64()
-			}
-			handler := sub.handler
-			b.stats.Delivered++
-			sub.stats.Delivered++
-			sub.met.delivered.Inc()
-			if err := b.sim.Schedule(b.sim.Now()+delay, func() {
-				handler(event)
-			}); err != nil {
-				return fmt.Errorf("awareoffice: scheduling delivery to %s: %w", sub.name, err)
-			}
+		if err := b.attempt(sub, ev, 0); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
+// attempt runs one delivery attempt to one subscriber: the loss gate, the
+// duplication gate, and per-delivery wire corruption and delay. Failed
+// attempts are handed to the reliability layer (when enabled) for
+// retransmission.
+func (b *Bus) attempt(sub *subscription, ev Event, try int) error {
+	link := b.linkFor(sub.name)
+	var lost bool
+	if link.LossModel != nil {
+		lost = link.LossModel.Drop(b.sim.rng)
+	} else {
+		lost = b.sim.rng.Float64() < link.Loss
+	}
+	if lost {
+		b.stats.Dropped++
+		sub.stats.Dropped++
+		sub.met.dropped.Inc()
+		return b.retry(sub, ev, try)
+	}
+	deliveries := 1
+	if b.sim.rng.Float64() < link.Duplicate {
+		deliveries = 2
+		sub.stats.Duplicated++
+		sub.met.duplicated.Inc()
+	}
+	scheduled := false
+	for d := 0; d < deliveries; d++ {
+		event := ev
+		if link.wired() {
+			decoded, ok := b.transmit(ev, link)
+			if !ok {
+				b.stats.Corrupted++
+				sub.stats.Corrupted++
+				sub.met.corrupted.Inc()
+				continue
+			}
+			event = decoded
+		}
+		delay := link.Latency
+		if link.Jitter > 0 {
+			delay += link.Jitter * b.sim.rng.Float64()
+		}
+		handler := sub.handler
+		b.stats.Delivered++
+		sub.stats.Delivered++
+		sub.met.delivered.Inc()
+		if err := b.sim.Schedule(b.sim.Now()+delay, func() {
+			handler(event)
+		}); err != nil {
+			return fmt.Errorf("awareoffice: scheduling delivery to %s: %w", sub.name, err)
+		}
+		scheduled = true
+	}
+	if !scheduled {
+		// Every delivery of this attempt was corrupted on the wire.
+		return b.retry(sub, ev, try)
+	}
+	return nil
+}
+
+// retry hands one failed attempt to the reliability layer: schedule a
+// retransmission after backoff, or give up once retries are exhausted.
+func (b *Bus) retry(sub *subscription, ev Event, try int) error {
+	if b.rel == nil {
+		return nil
+	}
+	ps := b.publisher(ev.Source)
+	if try >= b.rel.MaxRetries {
+		b.stats.GaveUp++
+		sub.stats.GaveUp++
+		sub.met.gaveup.Inc()
+		ps.stats.GaveUp++
+		ps.met.gaveup.Inc()
+		return nil
+	}
+	b.stats.Retransmits++
+	sub.stats.Retransmits++
+	sub.met.retransmits.Inc()
+	ps.stats.Retransmits++
+	ps.met.retransmits.Inc()
+	ps.stats.Outstanding++
+	backoff := b.rel.backoff(try, b.sim.rng)
+	return b.sim.Schedule(b.sim.Now()+backoff, func() {
+		ps.stats.Outstanding--
+		// Delivery times are >= now, so the re-attempt cannot fail to
+		// schedule.
+		_ = b.attempt(sub, ev, try+1)
+	})
+}
+
 // transmit runs the event through the Particle wire encoding with random
-// bit corruption; ok is false when the receiver's CRC check rejects the
-// frame.
-func (b *Bus) transmit(ev Event, ber float64) (Event, bool) {
+// bit corruption and any configured frame fault; ok is false when the
+// receiver's length or CRC check rejects the frame.
+func (b *Bus) transmit(ev Event, link Link) (Event, bool) {
 	pkt := particle.ContextPacket{
 		Type:       particle.TypeContext,
 		Node:       particle.NodeIDFromString(ev.Source),
@@ -277,11 +570,22 @@ func (b *Bus) transmit(ev Event, ber float64) (Event, bool) {
 	if err != nil {
 		return Event{}, false
 	}
-	for bit := 0; bit < len(frame)*8; bit++ {
-		if b.sim.rng.Float64() < ber {
-			frame = particle.FlipBit(frame, bit)
+	if link.FrameFault != nil {
+		frame = link.FrameFault.Corrupt(frame, b.sim.rng)
+	}
+	if link.BitErrorRate > 0 {
+		for bit := 0; bit < len(frame)*8; bit++ {
+			if b.sim.rng.Float64() < link.BitErrorRate {
+				frame = particle.FlipBit(frame, bit)
+			}
 		}
 	}
+	return eventFromFrame(frame)
+}
+
+// eventFromFrame decodes one received frame into a context event; ok is
+// false when the frame fails the receiver's validation.
+func eventFromFrame(frame []byte) (Event, bool) {
 	decoded, err := particle.Decode(frame)
 	if err != nil {
 		return Event{}, false
@@ -301,13 +605,18 @@ func (b *Bus) transmit(ev Event, ber float64) (Event, bool) {
 // shorthand for Stats().Corrupted.
 func (b *Bus) Corrupted() int { return b.stats.Corrupted }
 
-// Stats returns one consistent snapshot of the bus's delivery accounting,
-// aggregate counters and per-subscriber link statistics together.
+// Stats returns one consistent snapshot of the bus's delivery accounting:
+// aggregate counters, per-subscriber link statistics, and per-publisher
+// send-window statistics together.
 func (b *Bus) Stats() BusStats {
 	out := b.stats
 	out.Subscribers = make(map[string]LinkStats, len(b.subscribers))
 	for _, sub := range b.subscribers {
 		out.Subscribers[sub.name] = *sub.stats
+	}
+	out.Publishers = make(map[string]PublisherStats, len(b.publishers))
+	for name, ps := range b.publishers {
+		out.Publishers[name] = ps.stats
 	}
 	return out
 }

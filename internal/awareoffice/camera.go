@@ -14,14 +14,21 @@ const (
 	MetricCameraDecisions = "awareoffice_camera_decisions_total"
 	// MetricCameraSnapshots counts pictures taken, per camera.
 	MetricCameraSnapshots = "awareoffice_camera_snapshots_total"
+	// MetricCameraFallbacks counts timeout-triggered fallback snapshots,
+	// per camera.
+	MetricCameraFallbacks = "awareoffice_camera_fallbacks_total"
 )
 
 // Snapshot is one picture the camera took.
 type Snapshot struct {
 	// At is the virtual time of the shutter.
 	At float64
-	// TriggeredBy is the context event that ended the writing session.
+	// TriggeredBy is the context event that ended the writing session; for
+	// a fallback snapshot it is the last event accepted before the silence.
 	TriggeredBy Event
+	// Fallback marks a snapshot taken by the silence timeout rather than
+	// an observed context switch.
+	Fallback bool
 }
 
 // Camera is the whiteboard camera appliance from the paper's motivation:
@@ -44,6 +51,12 @@ type Camera struct {
 	// before the camera believes a context switch. Default 1 (trust every
 	// event); 2 reproduces a cautious appliance.
 	DebounceWindows int
+	// FallbackTimeout, when positive, is the graceful-degradation policy
+	// for a silent or partitioned pen: if the camera believes writing is in
+	// progress and hears nothing for this many virtual seconds, it assumes
+	// the session ended, takes a fallback snapshot, and resets to an
+	// unknown context. 0 disables the policy.
+	FallbackTimeout float64
 
 	current   sensor.Context
 	pending   sensor.Context
@@ -51,8 +64,12 @@ type Camera struct {
 	writing   bool
 	snapshots []Snapshot
 	ignored   int
-	seen      map[int]struct{}
+	accepted  int
+	fallbacks int
+	seen      seqDedup
 	duplicate int
+	sim       *Simulation
+	watchGen  int
 	met       cameraMetrics
 }
 
@@ -63,6 +80,7 @@ type cameraMetrics struct {
 	ignored    *obs.Counter
 	duplicates *obs.Counter
 	snapshots  *obs.Counter
+	fallbacks  *obs.Counter
 }
 
 // Instrument registers the camera's decision and snapshot counters on
@@ -74,32 +92,33 @@ func (c *Camera) Instrument(reg *obs.Registry) {
 	}
 	reg.Help(MetricCameraDecisions, "Camera event handling by decision.")
 	reg.Help(MetricCameraSnapshots, "Whiteboard pictures taken.")
+	reg.Help(MetricCameraFallbacks, "Timeout-triggered fallback snapshots.")
 	name := c.name()
 	c.met = cameraMetrics{
 		accepted:   reg.Counter(MetricCameraDecisions, "camera", name, "decision", "accept"),
 		ignored:    reg.Counter(MetricCameraDecisions, "camera", name, "decision", "ignore"),
 		duplicates: reg.Counter(MetricCameraDecisions, "camera", name, "decision", "duplicate"),
 		snapshots:  reg.Counter(MetricCameraSnapshots, "camera", name),
+		fallbacks:  reg.Counter(MetricCameraFallbacks, "camera", name),
 	}
 }
 
 // Attach subscribes the camera to the bus.
 func (c *Camera) Attach(bus *Bus) {
+	c.sim = bus.sim
 	bus.Subscribe(c.name(), c.handle)
 }
 
 // handle consumes one context event.
 func (c *Camera) handle(ev Event) {
-	if c.seen == nil {
-		c.seen = make(map[int]struct{})
-	}
-	// Duplicate suppression by publisher sequence number.
-	if _, dup := c.seen[ev.Seq]; dup {
+	// Duplicate suppression by publisher sequence number, keyed by
+	// (source, seq) so two publishers sharing a sequence number never
+	// collide, with a wraparound-aware sliding window bounding the state.
+	if c.seen.Seen(ev.Source, ev.Seq) {
 		c.duplicate++
 		c.met.duplicates.Inc()
 		return
 	}
-	c.seen[ev.Seq] = struct{}{}
 
 	if c.UseQuality {
 		if !ev.HasQuality || ev.Quality <= c.MinQuality {
@@ -108,6 +127,7 @@ func (c *Camera) handle(ev Event) {
 			return
 		}
 	}
+	c.accepted++
 	c.met.accepted.Inc()
 
 	debounce := c.DebounceWindows
@@ -120,10 +140,12 @@ func (c *Camera) handle(ev Event) {
 	}
 	c.pendCount++
 	if c.pendCount < debounce {
+		c.armFallback(ev)
 		return
 	}
 	next := c.pending
 	if next == c.current {
+		c.armFallback(ev)
 		return
 	}
 	// Believed context switch.
@@ -133,6 +155,33 @@ func (c *Camera) handle(ev Event) {
 	}
 	c.current = next
 	c.writing = next == sensor.ContextWriting
+	c.armFallback(ev)
+}
+
+// armFallback (re)starts the silence watchdog after an accepted event:
+// when writing is believed in progress and no newer accepted event arrives
+// within FallbackTimeout, the camera assumes the session ended and takes a
+// fallback snapshot. Every accepted event bumps the generation, cancelling
+// older watchdogs.
+func (c *Camera) armFallback(last Event) {
+	c.watchGen++
+	if c.FallbackTimeout <= 0 || c.sim == nil || !c.writing {
+		return
+	}
+	gen := c.watchGen
+	at := c.sim.Now() + c.FallbackTimeout
+	// The deadline is in the future, so scheduling cannot fail.
+	_ = c.sim.Schedule(at, func() {
+		if gen != c.watchGen || !c.writing {
+			return
+		}
+		c.snapshots = append(c.snapshots, Snapshot{At: at, TriggeredBy: last, Fallback: true})
+		c.fallbacks++
+		c.met.snapshots.Inc()
+		c.met.fallbacks.Inc()
+		c.current = sensor.ContextUnknown
+		c.writing = false
+	})
 }
 
 // Snapshots returns the pictures taken so far.
@@ -144,6 +193,13 @@ func (c *Camera) Snapshots() []Snapshot {
 
 // Ignored returns the number of events rejected by the quality filter.
 func (c *Camera) Ignored() int { return c.ignored }
+
+// Accepted returns the number of events that passed duplicate suppression
+// and the quality filter.
+func (c *Camera) Accepted() int { return c.accepted }
+
+// Fallbacks returns the number of timeout-triggered fallback snapshots.
+func (c *Camera) Fallbacks() int { return c.fallbacks }
 
 // Duplicates returns the number of duplicate deliveries suppressed.
 func (c *Camera) Duplicates() int { return c.duplicate }

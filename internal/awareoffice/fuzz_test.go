@@ -1,0 +1,53 @@
+package awareoffice
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"cqm/internal/particle"
+)
+
+// FuzzBusDeliver drives the bus's receive path with arbitrary frames: the
+// decoder must never panic or produce an out-of-range event, and any
+// accepted event must pass cleanly through a camera's duplicate
+// suppression and quality filter.
+func FuzzBusDeliver(f *testing.F) {
+	valid, err := particle.Encode(particle.ContextPacket{
+		Type:       particle.TypeContext,
+		Node:       particle.NodeIDFromString("awarepen"),
+		Seq:        41,
+		SentMillis: 9000,
+		ClassID:    1,
+		Quality:    0.8,
+		HasQuality: true,
+	})
+	if err != nil {
+		f.Fatalf("Encode: %v", err)
+	}
+	f.Add(valid)
+	f.Add(valid[:10])
+	skewed := append([]byte(nil), valid...)
+	skewed[1] = particle.Version + 1
+	binary.BigEndian.PutUint16(skewed[20:22], particle.CRC16(skewed[:20]))
+	f.Add(skewed)
+	f.Add(particle.FlipBit(valid, 17))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		ev, ok := eventFromFrame(frame)
+		if !ok {
+			return
+		}
+		if ev.HasQuality && (ev.Quality < 0 || ev.Quality > 1) {
+			t.Fatalf("event quality %v outside [0,1]", ev.Quality)
+		}
+		if ev.Seq < 0 || ev.Seq > 0xFFFF {
+			t.Fatalf("event seq %d outside uint16 range", ev.Seq)
+		}
+		cam := &Camera{UseQuality: true, MinQuality: 0.5}
+		cam.handle(ev)
+		cam.handle(ev)
+		if got := cam.Duplicates(); got != 1 {
+			t.Fatalf("replayed event suppressed %d times, want 1", got)
+		}
+	})
+}

@@ -32,6 +32,14 @@ type Pen struct {
 	WindowSize int
 	// Windower pipeline; nil uses the paper's per-axis stddev cues.
 	Pipeline *feature.Pipeline
+	// Degradation, when non-nil, runs the input-fault detectors over
+	// every window; flagged windows are classified as usual but their
+	// quality is forced into the ε error state (core.ScoreDegraded), so
+	// the event goes out without a quality annotation and quality-aware
+	// receivers discard it — graceful degradation through the paper's own
+	// ε channel. Detection happens at windowing time and is a pure
+	// function of the readings, so it is identical at any worker count.
+	Degradation *feature.DegradationConfig
 	// PreScoreWorkers, when >= 1, classifies every window at Feed time
 	// and scores the classifications in one batch (1 = serial batch,
 	// n = n workers) instead of per event as the simulation fires. The
@@ -42,13 +50,23 @@ type Pen struct {
 	// per-event path.
 	PreScoreWorkers int
 
-	bus *Bus
-	seq int
+	bus      *Bus
+	seq      int
+	degraded int
 }
 
 // Attach wires the pen to a bus.
 func (p *Pen) Attach(bus *Bus) {
 	p.bus = bus
+}
+
+// ScheduleReboot models a node reboot at virtual time at: the pen's
+// sequence counter resets to zero, as a real Particle node's would after a
+// power cycle. Receivers must tolerate the reset — the dedup window treats
+// a sequence far behind the current one as a reboot and restarts tracking
+// instead of rejecting the reborn node.
+func (p *Pen) ScheduleReboot(sim *Simulation, at float64) error {
+	return sim.Schedule(at, func() { p.seq = 0 })
 }
 
 // Feed schedules the classification and publication of the recording:
@@ -65,9 +83,14 @@ func (p *Pen) Feed(sim *Simulation, readings []sensor.Reading) (int, error) {
 	if size == 0 {
 		size = 100
 	}
-	windows, err := (feature.Windower{Size: size, Pipeline: p.Pipeline}).Slide(readings)
+	windows, err := (feature.Windower{Size: size, Pipeline: p.Pipeline, Degradation: p.Degradation}).Slide(readings)
 	if err != nil {
 		return 0, fmt.Errorf("awareoffice: windowing pen stream: %w", err)
+	}
+	for _, w := range windows {
+		if w.Degraded.Any() {
+			p.degraded++
+		}
 	}
 	if p.PreScoreWorkers >= 1 {
 		return p.feedPreScored(sim, windows)
@@ -114,10 +137,16 @@ func (p *Pen) feedPreScored(sim *Simulation, windows []feature.Window) (int, err
 		var batchIdx []int
 		var batch []core.Observation
 		for i := range outs {
-			if outs[i].ok {
-				batchIdx = append(batchIdx, i)
-				batch = append(batch, core.Observation{Cues: windows[i].Cues, Class: outs[i].class})
+			if !outs[i].ok {
+				continue
 			}
+			if windows[i].Degraded.Any() {
+				// ε by construction: the event goes out without quality,
+				// exactly like the per-event path's ScoreDegraded result.
+				continue
+			}
+			batchIdx = append(batchIdx, i)
+			batch = append(batch, core.Observation{Cues: windows[i].Cues, Class: outs[i].class})
 		}
 		if len(batch) > 0 {
 			qs, ok, err := p.Measure.ScoreBatch(batch, parallel.New(p.PreScoreWorkers))
@@ -185,7 +214,7 @@ func (p *Pen) classifyAndPublish(w feature.Window) {
 	}
 	p.seq++
 	if p.Measure != nil {
-		if q, err := p.Measure.Score(w.Cues, class); err == nil {
+		if q, err := p.scoreWindow(w, class); err == nil {
 			ev.Quality = q
 			ev.HasQuality = true
 		}
@@ -195,6 +224,18 @@ func (p *Pen) classifyAndPublish(w feature.Window) {
 	// Publish errors cannot occur here: delivery times are >= now.
 	_ = p.bus.Publish(ev)
 }
+
+// scoreWindow scores one window's classification, forcing windows flagged
+// as degraded through the ε error state.
+func (p *Pen) scoreWindow(w feature.Window, class sensor.Context) (float64, error) {
+	if w.Degraded.Any() {
+		return core.ScoreDegraded()
+	}
+	return p.Measure.Score(w.Cues, class)
+}
+
+// DegradedWindows returns the number of fed windows flagged as degraded.
+func (p *Pen) DegradedWindows() int { return p.degraded }
 
 func (p *Pen) name() string {
 	if p.Name == "" {

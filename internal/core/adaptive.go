@@ -16,13 +16,19 @@ import (
 // system, a cross-checking second sensor — and should not keep running on
 // the threshold of a months-old calibration session.
 type AdaptiveFilter struct {
-	measure  *Measure
-	right    *stat.Decayed
-	wrong    *stat.Decayed
-	thresh   float64
-	updates  int
-	observer func(ThresholdEvent)
-	met      adaptiveMetrics
+	measure   *Measure
+	right     *stat.Decayed
+	wrong     *stat.Decayed
+	thresh    float64
+	updates   int
+	observer  func(ThresholdEvent)
+	cfg       AdaptiveConfig
+	epsRecent []bool // ring over the last EpsilonWindow decisions
+	epsNext   int
+	epsSeen   int
+	epsCount  int
+	widenings int
+	met       adaptiveMetrics
 }
 
 // AdaptiveConfig parameterizes the online threshold tracker.
@@ -35,6 +41,21 @@ type AdaptiveConfig struct {
 	// Observer, when non-nil, is called synchronously every time the
 	// threshold moves — the drift hook for appliances and dashboards.
 	Observer func(ThresholdEvent)
+	// EpsilonRate, when positive, enables graceful degradation under
+	// sustained ε storms: once the ε fraction of the last EpsilonWindow
+	// decisions reaches this rate, the threshold is widened by
+	// WidenFactor. A degraded sensor pushes most classifications into ε,
+	// so the rare quality-bearing events are the appliance's only signal;
+	// widening trades a little precision for not going deaf.
+	EpsilonRate float64
+	// EpsilonWindow is the number of recent decisions the ε rate is
+	// measured over. Default 20.
+	EpsilonWindow int
+	// WidenFactor is the fractional threshold reduction per widening
+	// step. Default 0.1.
+	WidenFactor float64
+	// MinThreshold floors the widening. Default 0.
+	MinThreshold float64
 }
 
 // Instrument registers the adaptive filter's metrics — decision counters,
@@ -61,13 +82,36 @@ func NewAdaptiveFilter(m *Measure, cfg AdaptiveConfig) (*AdaptiveFilter, error) 
 	if lambda <= 0 || lambda > 1 {
 		return nil, fmt.Errorf("core: lambda %v outside (0,1]", lambda)
 	}
-	return &AdaptiveFilter{
+	if cfg.EpsilonRate < 0 || cfg.EpsilonRate > 1 {
+		return nil, fmt.Errorf("core: epsilon rate %v outside [0,1]", cfg.EpsilonRate)
+	}
+	if cfg.EpsilonWindow == 0 {
+		cfg.EpsilonWindow = 20
+	}
+	if cfg.EpsilonWindow < 2 {
+		return nil, fmt.Errorf("core: epsilon window %d too small", cfg.EpsilonWindow)
+	}
+	if cfg.WidenFactor == 0 {
+		cfg.WidenFactor = 0.1
+	}
+	if cfg.WidenFactor <= 0 || cfg.WidenFactor >= 1 {
+		return nil, fmt.Errorf("core: widen factor %v outside (0,1)", cfg.WidenFactor)
+	}
+	if cfg.MinThreshold < 0 || cfg.MinThreshold > cfg.InitialThreshold {
+		return nil, fmt.Errorf("core: min threshold %v outside [0, initial %v]", cfg.MinThreshold, cfg.InitialThreshold)
+	}
+	f := &AdaptiveFilter{
 		measure:  m,
 		right:    stat.NewDecayed(lambda),
 		wrong:    stat.NewDecayed(lambda),
 		thresh:   cfg.InitialThreshold,
 		observer: cfg.Observer,
-	}, nil
+		cfg:      cfg,
+	}
+	if cfg.EpsilonRate > 0 {
+		f.epsRecent = make([]bool, cfg.EpsilonWindow)
+	}
+	return f, nil
 }
 
 // Threshold returns the current acceptance threshold.
@@ -83,14 +127,67 @@ func (f *AdaptiveFilter) Decide(cues []float64, class sensor.Context) (Decision,
 		if IsEpsilon(err) {
 			d := Decision{Accepted: false, Epsilon: true}
 			f.met.observe(d)
+			f.observeEpsilon(true)
 			return d, nil
 		}
 		return Decision{}, err
 	}
 	d := Decision{Accepted: q > f.thresh, Quality: q}
 	f.met.observe(d)
+	f.observeEpsilon(false)
 	return d, nil
 }
+
+// observeEpsilon tracks the ε rate over the recent-decision window and
+// widens the threshold once a sustained storm is detected. The window
+// resets after each widening so one storm widens once, not once per
+// decision.
+func (f *AdaptiveFilter) observeEpsilon(isEps bool) {
+	if f.epsRecent == nil {
+		return
+	}
+	if f.epsSeen == len(f.epsRecent) {
+		if f.epsRecent[f.epsNext] {
+			f.epsCount--
+		}
+	} else {
+		f.epsSeen++
+	}
+	f.epsRecent[f.epsNext] = isEps
+	if isEps {
+		f.epsCount++
+	}
+	f.epsNext = (f.epsNext + 1) % len(f.epsRecent)
+	if f.epsSeen < len(f.epsRecent) {
+		return
+	}
+	rate := float64(f.epsCount) / float64(f.epsSeen)
+	if rate < f.cfg.EpsilonRate {
+		return
+	}
+	old := f.thresh
+	widened := old * (1 - f.cfg.WidenFactor)
+	if widened < f.cfg.MinThreshold {
+		widened = f.cfg.MinThreshold
+	}
+	f.epsSeen, f.epsCount, f.epsNext = 0, 0, 0
+	for i := range f.epsRecent {
+		f.epsRecent[i] = false
+	}
+	if widened == old { //lint:ignore floatcmp equality only arises from the exact MinThreshold clamp assignment above
+		return
+	}
+	f.thresh = widened
+	f.widenings++
+	f.met.widenings.Inc()
+	f.met.threshold.Set(widened)
+	if f.observer != nil {
+		f.observer(ThresholdEvent{Old: old, New: widened, Updates: f.updates})
+	}
+}
+
+// Widenings returns the number of ε-storm threshold widenings performed.
+func (f *AdaptiveFilter) Widenings() int { return f.widenings }
 
 // Feedback folds one labelled outcome into the density estimates and, once
 // both densities have enough weight, moves the threshold to their current

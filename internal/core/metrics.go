@@ -43,6 +43,9 @@ const (
 	MetricThresholdUpdates = "cqm_adaptive_updates_total"
 	// MetricThreshold is the current adaptive acceptance threshold.
 	MetricThreshold = "cqm_adaptive_threshold"
+	// MetricWidenings counts graceful-degradation threshold widenings
+	// triggered by sustained ε rates.
+	MetricWidenings = "cqm_adaptive_widenings_total"
 	// MetricTrainEpochs counts hybrid-learning epochs run.
 	MetricTrainEpochs = "cqm_train_epochs_total"
 	// MetricTrainRMSE is the most recent training RMSE.
@@ -143,6 +146,7 @@ type adaptiveMetrics struct {
 	feedbackWrong   *obs.Counter
 	feedbackEpsilon *obs.Counter
 	updates         *obs.Counter
+	widenings       *obs.Counter
 	threshold       *obs.Gauge
 }
 
@@ -154,12 +158,14 @@ func newAdaptiveMetrics(reg *obs.Registry) adaptiveMetrics {
 	reg.Help(MetricFeedback, "Adaptive-filter feedbacks by outcome.")
 	reg.Help(MetricThresholdUpdates, "Adaptive threshold re-estimations.")
 	reg.Help(MetricThreshold, "Current adaptive acceptance threshold.")
+	reg.Help(MetricWidenings, "Threshold widenings under sustained ε rates.")
 	return adaptiveMetrics{
 		filterMetrics:   newFilterMetrics(reg, "adaptive"),
 		feedbackRight:   reg.Counter(MetricFeedback, "outcome", "right"),
 		feedbackWrong:   reg.Counter(MetricFeedback, "outcome", "wrong"),
 		feedbackEpsilon: reg.Counter(MetricFeedback, "outcome", "epsilon"),
 		updates:         reg.Counter(MetricThresholdUpdates),
+		widenings:       reg.Counter(MetricWidenings),
 		threshold:       reg.Gauge(MetricThreshold),
 	}
 }

@@ -64,3 +64,18 @@ func NormalizeLiteral(x float64) (float64, error) {
 func IsEpsilon(err error) bool {
 	return errors.Is(err, ErrEpsilon)
 }
+
+// DegradedRaw is the sentinel raw output assigned to a classification
+// whose input window was flagged as degraded (stuck axis, saturation,
+// sampling gap, clock skew). It sits outside L's interpretable domain
+// [−0.5, 1.5] by construction, so degraded inputs reach appliances through
+// the same ε error state as any other uninterpretable quality — the
+// paper's single "discard this" channel, not a parallel mechanism.
+const DegradedRaw = 2.0
+
+// ScoreDegraded returns the quality of a degraded-input classification:
+// always the ε error state, produced by routing DegradedRaw through the
+// normalization function L.
+func ScoreDegraded() (float64, error) {
+	return Normalize(DegradedRaw)
+}

@@ -1,0 +1,300 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cqm/internal/awareoffice"
+	"cqm/internal/core"
+	"cqm/internal/fault"
+	"cqm/internal/feature"
+	"cqm/internal/sensor"
+)
+
+// FaultConfig parameterizes the E8 fault-intensity sweep.
+type FaultConfig struct {
+	// Seed drives the simulation and the fault schedules.
+	Seed int64
+	// Sessions is the number of office sessions per intensity. Default 4.
+	Sessions int
+	// Intensities are the fault intensities to sweep, each in [0,1];
+	// default {0, 0.1, 0.2, 0.4, 0.6}.
+	Intensities []float64
+	// Workers is the pen's PreScoreWorkers; any value >= 1 produces
+	// bit-identical sweeps (the determinism contract). Default 1.
+	Workers int
+	// Retransmit enables the bus's reliability layer with the default
+	// policy.
+	Retransmit bool
+	// Tolerance is the snapshot-to-truth matching window in seconds.
+	// Default 2.5.
+	Tolerance float64
+}
+
+func (c FaultConfig) withDefaults() FaultConfig {
+	if c.Sessions == 0 {
+		c.Sessions = 4
+	}
+	if len(c.Intensities) == 0 {
+		c.Intensities = []float64{0, 0.1, 0.2, 0.4, 0.6}
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 2.5
+	}
+	return c
+}
+
+// FaultPoint is the outcome of one intensity level: window-level
+// classification quality plus the camera's event intake under the faulted
+// network.
+type FaultPoint struct {
+	// Intensity is the fault intensity in [0,1].
+	Intensity float64
+	// Windows is the number of classification windows produced.
+	Windows int
+	// Epsilon is the number of windows in the ε state (degraded input or
+	// uninterpretable quality).
+	Epsilon int
+	// Accuracy is the fraction of classified windows matching ground
+	// truth — what a quality-blind appliance acts on.
+	Accuracy float64
+	// FilteredAccuracy is the accuracy over windows accepted by the CQM
+	// threshold — what a quality-aware appliance acts on.
+	FilteredAccuracy float64
+	// Accepted is the number of windows the CQM threshold accepted.
+	Accepted int
+	// CameraAccepted is the number of events the filtering camera let
+	// through duplicate suppression and the quality filter.
+	CameraAccepted int
+	// CameraFallbacks is the number of timeout fallback snapshots.
+	CameraFallbacks int
+	// Score is the filtering camera's snapshot score at this intensity.
+	Score awareoffice.SnapshotScore
+	// Bus is the delivery accounting at this intensity.
+	Bus awareoffice.BusStats
+	// InjectedSamples is the total number of samples touched by sensor
+	// faults.
+	InjectedSamples int
+}
+
+// EpsilonRate returns the fraction of windows in the ε state.
+func (p FaultPoint) EpsilonRate() float64 {
+	if p.Windows == 0 {
+		return 0
+	}
+	return float64(p.Epsilon) / float64(p.Windows)
+}
+
+// FaultResult is the E8 outcome: the sweep across intensities.
+type FaultResult struct {
+	// Points are the per-intensity outcomes, in sweep order.
+	Points []FaultPoint
+	// Retransmit records whether the reliability layer was on.
+	Retransmit bool
+}
+
+// Recovery returns one point's camera intake relative to the sweep's
+// first (baseline) point, or 1 when the baseline accepted nothing.
+func (r *FaultResult) Recovery(i int) float64 {
+	if i <= 0 || len(r.Points) == 0 || r.Points[0].CameraAccepted == 0 {
+		return 1
+	}
+	return float64(r.Points[i].CameraAccepted) / float64(r.Points[0].CameraAccepted)
+}
+
+// faultSchedule builds the sensor-fault injector for one intensity: a
+// spike storm, an over-driven front end, a mid-recording dropout, and a
+// drifting clock, all scaled by the intensity. Intensity 0 injects
+// nothing.
+func faultSchedule(seed int64, intensity float64) *fault.Injector {
+	if intensity <= 0 {
+		return fault.NewInjector(seed)
+	}
+	return fault.NewInjector(seed,
+		&fault.SpikeNoise{Prob: 0.2 * intensity},
+		&fault.Saturation{Gain: 1 + 0.8*intensity},
+		&fault.Dropout{Start: 8, Duration: 2 * intensity},
+		&fault.ClockDrift{Rate: 0.15 * intensity},
+	)
+}
+
+// FaultSweep runs the E8 robustness experiment: the E7 appliance chain
+// (pen → bus → filtering camera) under increasing fault intensity at the
+// sensor (spikes, saturation, dropout, clock drift) and channel (burst
+// loss, frame truncation) layers, with degraded-input detection routing
+// bad windows into ε. Each point reports window accuracy with and without
+// CQM filtering and the camera's surviving event intake. Identical seed
+// and config produce byte-identical results at any worker count.
+func FaultSweep(setup *Setup, cfg FaultConfig) (*FaultResult, error) {
+	cfg = cfg.withDefaults()
+	result := &FaultResult{Retransmit: cfg.Retransmit}
+	for round, intensity := range cfg.Intensities {
+		if intensity < 0 || intensity > 1 {
+			return nil, fmt.Errorf("eval: fault intensity %v outside [0,1]", intensity)
+		}
+		point, err := faultPoint(setup, cfg, round, intensity)
+		if err != nil {
+			return nil, err
+		}
+		result.Points = append(result.Points, *point)
+	}
+	return result, nil
+}
+
+// faultPoint runs one intensity level end to end.
+func faultPoint(setup *Setup, cfg FaultConfig, round int, intensity float64) (*FaultPoint, error) {
+	sim := awareoffice.NewSimulation(cfg.Seed + int64(round))
+	link := awareoffice.Link{Latency: 0.02, Jitter: 0.03, Duplicate: 0.02}
+	if intensity > 0 {
+		link.LossModel = fault.BurstLoss(0.3 * intensity)
+		link.FrameFault = &fault.Truncate{Prob: 0.05 * intensity}
+	}
+	bus, err := awareoffice.NewBus(sim, link)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Retransmit {
+		if err := bus.EnableReliability(awareoffice.DefaultReliability()); err != nil {
+			return nil, err
+		}
+	}
+	degrade := &feature.DegradationConfig{}
+	camera := &awareoffice.Camera{
+		Name:            "camera-cqm",
+		UseQuality:      true,
+		MinQuality:      setup.Analysis.Threshold,
+		FallbackTimeout: 15,
+	}
+	camera.Attach(bus)
+	pen := &awareoffice.Pen{
+		Classifier:      setup.Classifier,
+		Measure:         setup.Measure,
+		WindowSize:      setup.Config.WindowSize,
+		Degradation:     degrade,
+		PreScoreWorkers: cfg.Workers,
+	}
+	pen.Attach(bus)
+
+	injector := faultSchedule(cfg.Seed+int64(round)*101, intensity)
+	styles := []sensor.Style{
+		sensor.DefaultStyle(),
+		{Amplitude: 1.6, Tempo: 1.2, Irregularity: 0.6},
+	}
+	// The recording RNG restarts identically per point, so every intensity
+	// perturbs the same base sessions.
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	point := &FaultPoint{Intensity: intensity}
+	var truths []float64
+	var faulted [][]sensor.Reading
+	offset := 0.0
+	for i := 0; i < cfg.Sessions; i++ {
+		scenario := sensor.OfficeSession(styles[i%len(styles)])
+		readings, err := scenario.Run(rng)
+		if err != nil {
+			return nil, fmt.Errorf("eval: fault session %d: %w", i, err)
+		}
+		readings, err = injector.Apply(readings)
+		if err != nil {
+			return nil, fmt.Errorf("eval: injecting session %d: %w", i, err)
+		}
+		for k := range readings {
+			readings[k].T += offset
+		}
+		if _, err := pen.Feed(sim, readings); err != nil {
+			return nil, fmt.Errorf("eval: feeding session %d: %w", i, err)
+		}
+		truths = append(truths, awareoffice.EndOfWritingTimes(readings)...)
+		faulted = append(faulted, readings)
+		offset = readings[len(readings)-1].T + 2
+	}
+	sim.Run(offset + 30)
+
+	for _, n := range injector.Counts() {
+		point.InjectedSamples += n
+	}
+	if err := scoreWindows(setup, cfg, degrade, faulted, point); err != nil {
+		return nil, err
+	}
+	point.CameraAccepted = camera.Accepted()
+	point.CameraFallbacks = camera.Fallbacks()
+	point.Score = awareoffice.ScoreSnapshots(camera.Snapshots(), truths, cfg.Tolerance)
+	point.Bus = bus.Stats()
+	return point, nil
+}
+
+// scoreWindows computes the window-level accuracy statistics over the
+// faulted recordings — the same windows the pen published, evaluated
+// against ground truth.
+func scoreWindows(setup *Setup, cfg FaultConfig, degrade *feature.DegradationConfig, sessions [][]sensor.Reading, point *FaultPoint) error {
+	threshold := setup.Analysis.Threshold
+	var correct, filteredCorrect int
+	classified := 0
+	for _, readings := range sessions {
+		windows, err := (feature.Windower{
+			Size:        setup.Config.WindowSize,
+			Degradation: degrade,
+		}).Slide(readings)
+		if err != nil {
+			return fmt.Errorf("eval: scoring fault windows: %w", err)
+		}
+		for _, w := range windows {
+			point.Windows++
+			class, err := setup.Classifier.Classify(w.Cues)
+			if err != nil || class == sensor.ContextUnknown {
+				point.Epsilon++
+				continue
+			}
+			classified++
+			if class == w.Truth {
+				correct++
+			}
+			if w.Degraded.Any() {
+				point.Epsilon++
+				continue
+			}
+			q, err := setup.Measure.Score(w.Cues, class)
+			if err != nil {
+				if core.IsEpsilon(err) {
+					point.Epsilon++
+					continue
+				}
+				return err
+			}
+			if q > threshold {
+				point.Accepted++
+				if class == w.Truth {
+					filteredCorrect++
+				}
+			}
+		}
+	}
+	if classified > 0 {
+		point.Accuracy = float64(correct) / float64(classified)
+	}
+	if point.Accepted > 0 {
+		point.FilteredAccuracy = float64(filteredCorrect) / float64(point.Accepted)
+	}
+	return nil
+}
+
+// Render summarizes the E8 sweep.
+func (r *FaultResult) Render() string {
+	var sb strings.Builder
+	mode := "fire-and-forget"
+	if r.Retransmit {
+		mode = "ack/retransmit"
+	}
+	sb.WriteString("E8 — graceful degradation under injected faults (" + mode + ")\n")
+	fmt.Fprintf(&sb, "  %9s %8s %7s %9s %9s %9s %9s %7s %9s\n",
+		"intensity", "windows", "ε-rate", "accuracy", "cqm-acc", "events", "recovery", "drops", "retx/gave")
+	for i, p := range r.Points {
+		fmt.Fprintf(&sb, "  %9.2f %8d %6.1f%% %9.3f %9.3f %9d %8.1f%% %7d %5d/%-3d\n",
+			p.Intensity, p.Windows, 100*p.EpsilonRate(), p.Accuracy, p.FilteredAccuracy,
+			p.CameraAccepted, 100*r.Recovery(i), p.Bus.Dropped, p.Bus.Retransmits, p.Bus.GaveUp)
+	}
+	return sb.String()
+}

@@ -1,0 +1,29 @@
+// Package fault is the deterministic fault-injection library of the
+// reproduction: composable fault models for the three layers where the
+// AwareOffice pipeline can break in the field.
+//
+//   - Sensor layer: SensorFault implementations perturb recorded
+//     accelerometer streams — an axis stuck at its last value, gain
+//     saturation clipping at the measurement rails, dropout gaps, spike
+//     noise, and clock drift. An Injector applies a fixed fault schedule
+//     from a seeded RNG, so every perturbed recording is reproducible.
+//   - Frame layer: Truncate cuts encoded Particle frames short in flight,
+//     exercising the receiver's length and CRC defenses. It satisfies the
+//     awareoffice.FrameFault interface structurally.
+//   - Bus layer: GilbertElliott is the classic two-state burst-loss
+//     channel; it satisfies awareoffice.LossModel, replacing the i.i.d.
+//     per-delivery loss of a plain Link with correlated loss bursts —
+//     the regime where the paper's quality filtering must degrade
+//     gracefully rather than fall over.
+//
+// Every model draws randomness exclusively from the *rand.Rand handed to
+// it, never from a global source: identical seed and configuration
+// produce byte-identical fault schedules, which the repo's seeded-rand
+// lint check enforces. Each injected fault increments an obs counter when
+// the model is instrumented, so fault pressure is visible on the same
+// dashboards as the quality metrics it degrades.
+//
+// The package deliberately does not import cqm/internal/awareoffice: the
+// bus consumes fault models through its own small interfaces, keeping the
+// dependency arrow pointing from the simulation to the fault library.
+package fault

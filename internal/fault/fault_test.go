@@ -1,0 +1,373 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cqm/internal/obs"
+	"cqm/internal/sensor"
+)
+
+// record produces a deterministic synthetic stream for fault tests.
+func record(t *testing.T, seed int64, duration float64) []sensor.Reading {
+	t.Helper()
+	readings, err := sensor.OfficeSession(sensor.DefaultStyle()).Run(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if duration > 0 {
+		cut := readings[:0:0]
+		for _, r := range readings {
+			if r.T < duration {
+				cut = append(cut, r)
+			}
+		}
+		readings = cut
+	}
+	return readings
+}
+
+func TestStuckAxisFreezesValue(t *testing.T) {
+	readings := record(t, 1, 4)
+	f := &StuckAxis{Axis: AxisY, Start: 1, Duration: 2}
+	out, err := f.Apply(readings, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Affected() == 0 {
+		t.Fatal("no samples affected")
+	}
+	t0 := readings[0].T
+	var held float64
+	seen := false
+	for i, r := range out {
+		in := r.T >= t0+1 && r.T < t0+3
+		if in {
+			if !seen {
+				held = r.Accel.Y
+				seen = true
+			}
+			if r.Accel.Y != held {
+				t.Fatalf("t=%v: stuck axis moved: %v != %v", r.T, r.Accel.Y, held)
+			}
+			continue
+		}
+		if r.Accel.X != readings[i].Accel.X || r.Accel.Z != readings[i].Accel.Z {
+			t.Fatalf("t=%v: untouched axes changed", r.T)
+		}
+	}
+	// The input must not be mutated.
+	if reflect.DeepEqual(out, readings) {
+		t.Fatal("fault had no visible effect")
+	}
+}
+
+func TestStuckAxisZeroDurationHoldsToEnd(t *testing.T) {
+	readings := record(t, 2, 3)
+	f := &StuckAxis{Axis: AxisX, Start: 1}
+	out, err := f.Apply(readings, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := out[len(out)-1]
+	if last.T < readings[0].T+1 {
+		t.Skip("recording shorter than fault onset")
+	}
+	first := -1
+	for i, r := range out {
+		if r.T >= readings[0].T+1 {
+			first = i
+			break
+		}
+	}
+	for _, r := range out[first:] {
+		if r.Accel.X != out[first].Accel.X {
+			t.Fatalf("axis moved after open-ended stuck fault")
+		}
+	}
+}
+
+func TestStuckAxisValidation(t *testing.T) {
+	if _, err := (&StuckAxis{Axis: 7}).Apply(nil, nil); err == nil {
+		t.Error("bad axis accepted")
+	}
+	if _, err := (&StuckAxis{Axis: AxisX, Start: -1}).Apply(nil, nil); err == nil {
+		t.Error("negative start accepted")
+	}
+}
+
+func TestSaturationClips(t *testing.T) {
+	readings := record(t, 3, 3)
+	f := &Saturation{Gain: 10, Limit: 1}
+	out, err := f.Apply(readings, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Affected() == 0 {
+		t.Fatal("gain 10 clipped nothing")
+	}
+	for _, r := range out {
+		for _, v := range []float64{r.Accel.X, r.Accel.Y, r.Accel.Z} {
+			if math.Abs(v) > 1 {
+				t.Fatalf("sample %v beyond limit", v)
+			}
+		}
+	}
+	if _, err := (&Saturation{Gain: -1}).Apply(readings, nil); err == nil {
+		t.Error("negative gain accepted")
+	}
+}
+
+func TestDropoutRemovesGap(t *testing.T) {
+	readings := record(t, 4, 4)
+	f := &Dropout{Start: 1, Duration: 0.5}
+	out, err := f.Apply(readings, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) >= len(readings) || f.Affected() != len(readings)-len(out) {
+		t.Fatalf("gap accounting: %d -> %d, affected %d", len(readings), len(out), f.Affected())
+	}
+	t0 := readings[0].T
+	for _, r := range out {
+		if r.T >= t0+1 && r.T < t0+1.5 {
+			t.Fatalf("sample at t=%v inside the gap survived", r.T)
+		}
+	}
+	if _, err := (&Dropout{Duration: 0}).Apply(readings, nil); err == nil {
+		t.Error("zero-duration dropout accepted")
+	}
+}
+
+func TestSpikeNoiseDeterministicAndClipped(t *testing.T) {
+	readings := record(t, 5, 3)
+	f := &SpikeNoise{Prob: 0.2, Amplitude: 5, Limit: 2}
+	out1, err := f.Apply(readings, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := f.Affected()
+	out2, err := f.Apply(readings, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out1, out2) || n1 != f.Affected() {
+		t.Fatal("identical seed produced different spike schedules")
+	}
+	if n1 == 0 {
+		t.Fatal("no spikes at prob 0.2")
+	}
+	for _, r := range out1 {
+		for _, v := range []float64{r.Accel.X, r.Accel.Y, r.Accel.Z} {
+			if math.Abs(v) > 2 {
+				t.Fatalf("spiked sample %v beyond limit", v)
+			}
+		}
+	}
+	if _, err := (&SpikeNoise{Prob: 2}).Apply(readings, nil); err == nil {
+		t.Error("probability 2 accepted")
+	}
+}
+
+func TestClockDriftStretchesTimeBase(t *testing.T) {
+	readings := record(t, 6, 2)
+	f := &ClockDrift{Rate: 0.5}
+	out, err := f.Apply(readings, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := readings[0].T
+	for i, r := range out {
+		want := t0 + (readings[i].T-t0)*1.5
+		if math.Abs(r.T-want) > 1e-12 {
+			t.Fatalf("sample %d: t=%v want %v", i, r.T, want)
+		}
+	}
+	if _, err := (&ClockDrift{Rate: -1}).Apply(readings, nil); err == nil {
+		t.Error("rate -1 accepted")
+	}
+}
+
+func TestInjectorDeterministicScheduleAndCounts(t *testing.T) {
+	readings := record(t, 7, 6)
+	build := func() *Injector {
+		return NewInjector(42,
+			&StuckAxis{Axis: AxisZ, Start: 1, Duration: 1},
+			&SpikeNoise{Prob: 0.1},
+			&Dropout{Start: 3, Duration: 0.5},
+		)
+	}
+	a, b := build(), build()
+	outA, err := a.Apply(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB, err := b.Apply(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(outA, outB) {
+		t.Fatal("identical injector seeds produced different streams")
+	}
+	if !reflect.DeepEqual(a.Counts(), b.Counts()) {
+		t.Fatalf("count mismatch: %v vs %v", a.Counts(), b.Counts())
+	}
+	for _, name := range []string{"stuck-axis", "spike", "dropout"} {
+		if a.Counts()[name] == 0 {
+			t.Errorf("fault %s injected nothing", name)
+		}
+	}
+	if r := a.Render(); !strings.Contains(r, "stuck-axis") || !strings.Contains(r, "dropout") {
+		t.Errorf("Render missing fault classes:\n%s", r)
+	}
+}
+
+func TestInjectorInstrumented(t *testing.T) {
+	readings := record(t, 8, 4)
+	reg := obs.NewRegistry()
+	in := NewInjector(1, &SpikeNoise{Prob: 0.3})
+	in.Instrument(reg)
+	if _, err := in.Apply(readings); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(MetricInjected, "fault", "spike").Value(); got != int64(in.Counts()["spike"]) {
+		t.Errorf("metric %d != count %d", got, in.Counts()["spike"])
+	}
+	in.Instrument(nil) // off again: must not panic
+	if _, err := in.Apply(readings); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewInjector(1, &SpikeNoise{Prob: 9})
+	if _, err := bad.Apply(readings); err == nil {
+		t.Error("invalid fault in schedule accepted")
+	}
+}
+
+func TestGilbertElliottStationaryLoss(t *testing.T) {
+	g := &GilbertElliott{PGoodBad: 0.05, PBadGood: 0.45, LossBad: 1}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := g.StationaryLoss()
+	if math.Abs(want-0.1) > 1e-9 {
+		t.Fatalf("stationary loss %v, want 0.1", want)
+	}
+	rng := rand.New(rand.NewSource(11))
+	const n = 200000
+	drops := 0
+	for i := 0; i < n; i++ {
+		if g.Drop(rng) {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("empirical loss %v, want %v ± 0.01", got, want)
+	}
+	if g.Drops() != drops || g.Decisions() != n {
+		t.Errorf("accounting: drops %d/%d decisions %d/%d", g.Drops(), drops, g.Decisions(), n)
+	}
+}
+
+func TestGilbertElliottBursts(t *testing.T) {
+	// LossBad=1, LossGood=0: every loss run corresponds to a bad-state
+	// dwell, whose mean length is 1/PBadGood = 4 deliveries.
+	g := &GilbertElliott{PGoodBad: 0.02, PBadGood: 0.25, LossBad: 1}
+	rng := rand.New(rand.NewSource(12))
+	runs, runLen, cur := 0, 0, 0
+	for i := 0; i < 100000; i++ {
+		if g.Drop(rng) {
+			cur++
+			continue
+		}
+		if cur > 0 {
+			runs++
+			runLen += cur
+			cur = 0
+		}
+	}
+	if runs == 0 {
+		t.Fatal("no loss bursts observed")
+	}
+	mean := float64(runLen) / float64(runs)
+	if mean < 3 || mean > 5 {
+		t.Errorf("mean burst length %v, want ≈4", mean)
+	}
+}
+
+func TestGilbertElliottValidateAndInstrument(t *testing.T) {
+	if err := (&GilbertElliott{PGoodBad: 1.5}).Validate(); err == nil {
+		t.Error("probability 1.5 accepted")
+	}
+	g := &GilbertElliott{PGoodBad: 1, PBadGood: 0, LossBad: 1}
+	reg := obs.NewRegistry()
+	g.Instrument(reg)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 10; i++ {
+		g.Drop(rng)
+	}
+	if !g.Bad() {
+		t.Error("chain with PGoodBad=1, PBadGood=0 left the bad state")
+	}
+	if got := reg.Counter(MetricChannelDrops, "state", "bad").Value(); got == 0 {
+		t.Error("bad-state drops not counted")
+	}
+	g.Instrument(nil)
+	g.Drop(rng) // must not panic uninstrumented
+}
+
+func TestBurstLossTargetsRate(t *testing.T) {
+	for _, rate := range []float64{0, 0.05, 0.1, 0.3} {
+		g := BurstLoss(rate)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("rate %v: %v", rate, err)
+		}
+		if got := g.StationaryLoss(); math.Abs(got-rate) > 1e-9 {
+			t.Errorf("rate %v: stationary loss %v", rate, got)
+		}
+	}
+	if g := BurstLoss(2); g.StationaryLoss() > 0.81 {
+		t.Error("rate clamp missing")
+	}
+	if g := BurstLoss(-1); g.StationaryLoss() != 0 {
+		t.Error("negative rate not clamped to 0")
+	}
+}
+
+func TestTruncateCutsFrames(t *testing.T) {
+	tr := &Truncate{Prob: 1}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	tr.Instrument(reg)
+	frame := make([]byte, 22)
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 50; i++ {
+		out := tr.Corrupt(frame, rng)
+		if len(out) >= len(frame) {
+			t.Fatalf("frame not truncated: %d bytes", len(out))
+		}
+	}
+	if tr.Truncated() != 50 {
+		t.Errorf("truncated %d, want 50", tr.Truncated())
+	}
+	if got := reg.Counter(MetricFramesTruncated).Value(); got != 50 {
+		t.Errorf("metric %d, want 50", got)
+	}
+	keep := &Truncate{Prob: 0}
+	if out := keep.Corrupt(frame, rng); len(out) != len(frame) {
+		t.Error("prob 0 still truncated")
+	}
+	if err := (&Truncate{Prob: -1}).Validate(); err == nil {
+		t.Error("negative probability accepted")
+	}
+	tr.Instrument(nil)
+	tr.Corrupt(frame, rng) // nil metrics must not panic
+	if out := tr.Corrupt(nil, rng); out != nil {
+		t.Error("empty frame mishandled")
+	}
+}

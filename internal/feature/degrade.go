@@ -1,0 +1,121 @@
+package feature
+
+import (
+	"fmt"
+	"strings"
+
+	"cqm/internal/sensor"
+)
+
+// Degradation flags one window's detected input faults. A window with any
+// flag set carries cues computed from untrustworthy samples; the pen
+// routes such windows into the quality measure's ε error state instead of
+// publishing a quality that was never grounded in real motion.
+type Degradation struct {
+	// StuckAxis marks an axis bit-exact constant across the window.
+	StuckAxis bool
+	// Saturated marks too many samples pinned at the clipping rail.
+	Saturated bool
+	// Gap marks a sampling gap far above the window's median step.
+	Gap bool
+	// ClockSkew marks a median sample period off the nominal one.
+	ClockSkew bool
+}
+
+// Any reports whether at least one degradation flag is set.
+func (d Degradation) Any() bool {
+	return d.StuckAxis || d.Saturated || d.Gap || d.ClockSkew
+}
+
+// String lists the set flags, or "ok" when none are.
+func (d Degradation) String() string {
+	var parts []string
+	if d.StuckAxis {
+		parts = append(parts, "stuck-axis")
+	}
+	if d.Saturated {
+		parts = append(parts, "saturated")
+	}
+	if d.Gap {
+		parts = append(parts, "gap")
+	}
+	if d.ClockSkew {
+		parts = append(parts, "clock-skew")
+	}
+	if len(parts) == 0 {
+		return "ok"
+	}
+	return strings.Join(parts, "+")
+}
+
+// DegradationConfig tunes the per-window input-fault detectors. The
+// detectors are pure functions of the window's readings, so detection is
+// deterministic and identical at any worker count.
+type DegradationConfig struct {
+	// SaturationLimit is the clipping rail in g. Default 2 (the
+	// accelerometer's default RangeG).
+	SaturationLimit float64
+	// SaturationFraction is the fraction of rail-pinned samples that
+	// flags the window. Default 0.2.
+	SaturationFraction float64
+	// GapFactor flags a window whose largest time step exceeds GapFactor
+	// times its median step. Default 4.
+	GapFactor float64
+	// NominalStep is the expected sample period in seconds; a median step
+	// outside NominalStep±StepTolerance flags clock skew. 0 disables the
+	// skew detector.
+	NominalStep float64
+	// StepTolerance is the fractional skew tolerance. Default 0.05.
+	StepTolerance float64
+}
+
+func (c DegradationConfig) withDefaults() DegradationConfig {
+	if c.SaturationLimit == 0 {
+		c.SaturationLimit = 2
+	}
+	if c.SaturationFraction == 0 {
+		c.SaturationFraction = 0.2
+	}
+	if c.GapFactor == 0 {
+		c.GapFactor = 4
+	}
+	if c.StepTolerance == 0 {
+		c.StepTolerance = 0.05
+	}
+	return c
+}
+
+func (c DegradationConfig) validate() error {
+	switch {
+	case c.SaturationLimit < 0 || c.NominalStep < 0:
+		return fmt.Errorf("%w: saturation limit %v nominal step %v", ErrBadWindow, c.SaturationLimit, c.NominalStep)
+	case c.SaturationFraction <= 0 || c.SaturationFraction > 1:
+		return fmt.Errorf("%w: saturation fraction %v", ErrBadWindow, c.SaturationFraction)
+	case c.GapFactor < 1:
+		return fmt.Errorf("%w: gap factor %v", ErrBadWindow, c.GapFactor)
+	case c.StepTolerance <= 0:
+		return fmt.Errorf("%w: step tolerance %v", ErrBadWindow, c.StepTolerance)
+	default:
+		return nil
+	}
+}
+
+// Detect runs the configured detectors over one window of readings.
+func (c DegradationConfig) Detect(readings []sensor.Reading) Degradation {
+	var d Degradation
+	constant := sensor.ConstantAxes(readings)
+	d.StuckAxis = constant[0] || constant[1] || constant[2]
+	d.Saturated = sensor.SaturatedFraction(readings, c.SaturationLimit) >= c.SaturationFraction
+	median := sensor.MedianStep(readings)
+	if median > 0 {
+		d.Gap = sensor.MaxStep(readings) > c.GapFactor*median
+		if c.NominalStep > 0 {
+			skew := median - c.NominalStep
+			if skew < 0 {
+				skew = -skew
+			}
+			d.ClockSkew = skew > c.StepTolerance*c.NominalStep
+		}
+	}
+	return d
+}

@@ -19,6 +19,10 @@ type Window struct {
 	// ground truth. Impure windows span a context transition — the hard
 	// cases the quality measure exists for.
 	Pure bool
+	// Degraded carries the input-fault flags detected for this window;
+	// the zero value (no Windower.Degradation config) means no detection
+	// ran.
+	Degraded Degradation
 }
 
 // Windower slides fixed-size windows over a recording and extracts cues.
@@ -30,6 +34,9 @@ type Windower struct {
 	Step int
 	// Pipeline extracts the cues; nil defaults to the paper's StdDev.
 	Pipeline *Pipeline
+	// Degradation, when non-nil, runs the input-fault detectors over
+	// every window and records the flags in Window.Degraded.
+	Degradation *DegradationConfig
 }
 
 // Slide extracts windows over the readings. Trailing readings that do not
@@ -49,6 +56,13 @@ func (w Windower) Slide(readings []sensor.Reading) ([]Window, error) {
 	if pipe == nil {
 		pipe = NewPipeline()
 	}
+	var degrade DegradationConfig
+	if w.Degradation != nil {
+		degrade = w.Degradation.withDefaults()
+		if err := degrade.validate(); err != nil {
+			return nil, err
+		}
+	}
 	var out []Window
 	for start := 0; start+w.Size <= len(readings); start += step {
 		chunk := readings[start : start+w.Size]
@@ -56,13 +70,17 @@ func (w Windower) Slide(readings []sensor.Reading) ([]Window, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, Window{
+		win := Window{
 			Start: chunk[0].T,
 			End:   chunk[len(chunk)-1].T,
 			Cues:  cues,
 			Truth: majorityTruth(chunk),
 			Pure:  isPure(chunk),
-		})
+		}
+		if w.Degradation != nil {
+			win.Degraded = degrade.Detect(chunk)
+		}
+		out = append(out, win)
 	}
 	return out, nil
 }

@@ -1,0 +1,57 @@
+package lint
+
+import "go/ast"
+
+func init() {
+	register(&Check{
+		Name: "seeded-rand",
+		Doc:  "rand.New whose source is not an inline explicit-seed constructor in internal/ library code",
+		Run:  runSeededRand,
+	})
+}
+
+// seededSourceCtors are the math/rand (and math/rand/v2) source
+// constructors that take an explicit seed, making the RNG's provenance
+// visible at the construction site.
+var seededSourceCtors = map[string]bool{
+	"NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+// runSeededRand enforces the fault harness's determinism contract at its
+// root: every *rand.Rand in internal/ library code must be constructed as
+// rand.New(rand.NewSource(seed)) (or a v2 seeded constructor) so the seed
+// is visible right where the generator is born. A rand.New(src) whose
+// source arrives through a variable or call hides the seed's origin — the
+// reader cannot tell a reproducible stream from an ambient one without
+// chasing the dataflow, and refactors silently break replayability. Test
+// files are exempt.
+func runSeededRand(pass *Pass) {
+	if !pass.Internal {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name := calleePkgFunc(pass, call)
+			if (pkg != "math/rand" && pkg != "math/rand/v2") || name != "New" {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			if inner, ok := call.Args[0].(*ast.CallExpr); ok {
+				if ipkg, iname := calleePkgFunc(pass, inner); ipkg == pkg && seededSourceCtors[iname] {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(), "rand.New with an opaque source hides the seed; construct rand.New(rand.NewSource(seed)) inline so reproducibility is auditable")
+			return true
+		})
+	}
+}

@@ -31,6 +31,8 @@ var goldenCases = []struct {
 	{dir: "obs-nilsafe/good", checks: []string{"obs-nilsafe"}, internal: true},
 	{dir: "exported-doc/bad", checks: []string{"exported-doc"}, internal: true},
 	{dir: "exported-doc/good", checks: []string{"exported-doc"}, internal: true},
+	{dir: "seeded-rand/bad", checks: []string{"seeded-rand"}, internal: true},
+	{dir: "seeded-rand/good", checks: []string{"seeded-rand"}, internal: true},
 	{dir: "directive/suppressed", internal: true},
 	{dir: "directive/partial", internal: true},
 	{dir: "directive/malformed", internal: true},

@@ -1,0 +1,21 @@
+// Positive corpus: RNGs built from opaque sources.
+package sample
+
+import "math/rand"
+
+func fromVariable(seed int64) *rand.Rand {
+	src := rand.NewSource(seed)
+	return rand.New(src)
+}
+
+func fromParameter(src rand.Source) *rand.Rand {
+	return rand.New(src)
+}
+
+func fromCall() *rand.Rand {
+	return rand.New(makeSource())
+}
+
+func makeSource() rand.Source {
+	return rand.NewSource(1)
+}

@@ -1,0 +1,12 @@
+// Negative corpus: the seed is visible at every construction site.
+package sample
+
+import "math/rand"
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func derived(seed int64, round int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(round)*101))
+}

@@ -1,0 +1,90 @@
+package sensor
+
+import "sort"
+
+// Degradation primitives: cheap, deterministic statistics over a window of
+// readings that expose the signatures of common sensor faults — a frozen
+// axis, a clipped front end, a sampling gap, a drifting clock. The feature
+// layer combines them into per-window degradation flags; they live here so
+// anything holding raw readings can ask the same questions.
+
+// ConstantAxes reports, per axis, whether the axis is bit-exact constant
+// over the whole window. With a noisy quantized accelerometer a genuinely
+// still sensor almost never produces a perfectly constant axis, so a
+// constant axis is the signature of a stuck-at fault. Windows shorter than
+// two readings report no constant axes.
+func ConstantAxes(readings []Reading) [3]bool {
+	if len(readings) < 2 {
+		return [3]bool{}
+	}
+	out := [3]bool{true, true, true}
+	first := readings[0].Accel
+	for _, r := range readings[1:] {
+		if r.Accel.X != first.X { //lint:ignore floatcmp a stuck axis repeats the exact same bits; tolerance would mask it
+			out[0] = false
+		}
+		if r.Accel.Y != first.Y { //lint:ignore floatcmp a stuck axis repeats the exact same bits; tolerance would mask it
+			out[1] = false
+		}
+		if r.Accel.Z != first.Z { //lint:ignore floatcmp a stuck axis repeats the exact same bits; tolerance would mask it
+			out[2] = false
+		}
+	}
+	return out
+}
+
+// SaturatedFraction returns the fraction of readings with at least one
+// axis at or beyond ±limit — the flat-topped plateaus of an over-driven
+// front end. An empty window (or a non-positive limit) yields 0.
+func SaturatedFraction(readings []Reading, limit float64) float64 {
+	if len(readings) == 0 || limit <= 0 {
+		return 0
+	}
+	hit := 0
+	for _, r := range readings {
+		if abs(r.Accel.X) >= limit || abs(r.Accel.Y) >= limit || abs(r.Accel.Z) >= limit {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(readings))
+}
+
+// MaxStep returns the largest time step between consecutive readings; a
+// step far above the median exposes a sampling gap. Windows shorter than
+// two readings yield 0.
+func MaxStep(readings []Reading) float64 {
+	max := 0.0
+	for i := 1; i < len(readings); i++ {
+		if d := readings[i].T - readings[i-1].T; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MedianStep returns the median time step between consecutive readings —
+// the window's effective sample period, robust against a single gap.
+// Windows shorter than two readings yield 0.
+func MedianStep(readings []Reading) float64 {
+	if len(readings) < 2 {
+		return 0
+	}
+	steps := make([]float64, len(readings)-1)
+	for i := 1; i < len(readings); i++ {
+		steps[i-1] = readings[i].T - readings[i-1].T
+	}
+	sort.Float64s(steps)
+	mid := len(steps) / 2
+	if len(steps)%2 == 1 {
+		return steps[mid]
+	}
+	return (steps[mid-1] + steps[mid]) / 2
+}
+
+// abs avoids pulling math in for one call site.
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
