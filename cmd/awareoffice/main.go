@@ -7,12 +7,21 @@
 // Usage:
 //
 //	awareoffice [-seed N] [-sessions N] [-loss P] [-burst P] [-retransmit] [-ber P] [-latency S]
-//	            [-jitter S] [-metrics-addr :8080] [-workers N]
+//	            [-jitter S] [-metrics-addr :8080] [-metrics-out file] [-workers N]
+//	            [-model-watch file]
 //
 // With -metrics-addr the whole pipeline is instrumented and served at
 // /metrics in Prometheus text format (?format=json for a JSON snapshot);
 // the process then stays alive after printing its results until
-// interrupted, so the endpoint can be scraped.
+// interrupted. SIGINT/SIGTERM shut it down gracefully: the model watcher
+// stops, the bus closes, a final metrics snapshot is flushed to
+// -metrics-out (when set), and the process exits 0.
+//
+// -model-watch hot-reloads the pen's quality measure from a ckpt measure
+// artifact (as written by cqmtrain): the file is polled for changes,
+// candidates are checksum- and smoke-validated before an atomic swap, bad
+// pushes are rejected while serving continues on the current model, and a
+// last-good copy is kept beside the watched file for rollback.
 //
 // -burst replaces the i.i.d. -loss coin with a Gilbert–Elliott burst
 // channel tuned to the given average loss rate; -retransmit turns on the
@@ -27,6 +36,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -37,8 +47,10 @@ import (
 	"runtime"
 	"sort"
 	"syscall"
+	"time"
 
 	"cqm/internal/awareoffice"
+	"cqm/internal/ckpt"
 	"cqm/internal/classify"
 	"cqm/internal/core"
 	"cqm/internal/dataset"
@@ -47,32 +59,60 @@ import (
 	"cqm/internal/sensor"
 )
 
+// The hot-reload handle must keep satisfying the pen's source hook.
+var _ awareoffice.MeasureSource = (*ckpt.Handle)(nil)
+
+// watchInterval is how often the model watcher polls the artifact file
+// while the process serves metrics.
+const watchInterval = 2 * time.Second
+
+// options bundles the command-line configuration of one simulation run.
+type options struct {
+	seed        int64
+	sessions    int
+	loss        float64
+	burst       float64
+	retransmit  bool
+	ber         float64
+	latency     float64
+	jitter      float64
+	metricsAddr string
+	metricsOut  string
+	workers     int
+	modelWatch  string
+}
+
 func main() {
-	seed := flag.Int64("seed", 1, "simulation seed")
-	sessions := flag.Int("sessions", 6, "number of office sessions")
-	loss := flag.Float64("loss", 0.05, "packet loss probability")
-	burst := flag.Float64("burst", 0, "average loss rate of a Gilbert–Elliott burst channel (replaces -loss when > 0)")
-	retransmit := flag.Bool("retransmit", false, "enable publisher-side ack/retransmit with the default backoff policy")
-	ber := flag.Float64("ber", 0, "physical bit error rate (frames failing CRC are dropped)")
-	latency := flag.Float64("latency", 0.02, "base one-way delay in seconds")
-	jitter := flag.Float64("jitter", 0.03, "uniform extra delay bound in seconds")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text format) on this address and keep running")
-	workers := flag.Int("workers", 1, "worker count for training and batch pre-scoring (0 = one per CPU, 1 = serial); outputs are identical at every setting")
+	var opts options
+	flag.Int64Var(&opts.seed, "seed", 1, "simulation seed")
+	flag.IntVar(&opts.sessions, "sessions", 6, "number of office sessions")
+	flag.Float64Var(&opts.loss, "loss", 0.05, "packet loss probability")
+	flag.Float64Var(&opts.burst, "burst", 0, "average loss rate of a Gilbert–Elliott burst channel (replaces -loss when > 0)")
+	flag.BoolVar(&opts.retransmit, "retransmit", false, "enable publisher-side ack/retransmit with the default backoff policy")
+	flag.Float64Var(&opts.ber, "ber", 0, "physical bit error rate (frames failing CRC are dropped)")
+	flag.Float64Var(&opts.latency, "latency", 0.02, "base one-way delay in seconds")
+	flag.Float64Var(&opts.jitter, "jitter", 0.03, "uniform extra delay bound in seconds")
+	flag.StringVar(&opts.metricsAddr, "metrics-addr", "", "serve /metrics (Prometheus text format) on this address and keep running")
+	flag.StringVar(&opts.metricsOut, "metrics-out", "", "flush a final JSON metrics snapshot to this file on shutdown")
+	flag.IntVar(&opts.workers, "workers", 1, "worker count for training and batch pre-scoring (0 = one per CPU, 1 = serial); outputs are identical at every setting")
+	flag.StringVar(&opts.modelWatch, "model-watch", "", "hot-reload the pen's quality measure from this ckpt measure artifact")
 	flag.Parse()
 
-	if err := run(*seed, *sessions, *loss, *burst, *ber, *latency, *jitter, *metricsAddr, *workers, *retransmit); err != nil {
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "awareoffice:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, sessions int, loss, burst, ber, latency, jitter float64, metricsAddr string, workers int, retransmit bool) error {
+func run(opts options) error {
 	var reg *obs.Registry
 	var ln net.Listener
-	if metricsAddr != "" {
+	if opts.metricsAddr != "" || opts.metricsOut != "" {
 		reg = obs.NewRegistry()
+	}
+	if opts.metricsAddr != "" {
 		var err error
-		if ln, err = net.Listen("tcp", metricsAddr); err != nil {
+		if ln, err = net.Listen("tcp", opts.metricsAddr); err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		mux := http.NewServeMux()
@@ -81,17 +121,17 @@ func run(seed int64, sessions int, loss, burst, ber, latency, jitter float64, me
 		fmt.Printf("metrics: http://%s/metrics\n", ln.Addr())
 	}
 
-	clf, measure, threshold, err := trainStack(seed, reg, workers)
+	clf, measure, threshold, err := trainStack(opts.seed, reg, opts.workers)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("recognition stack ready: threshold s = %.3f\n", threshold)
 
-	sim := awareoffice.NewSimulation(seed + 10)
-	link := awareoffice.Link{Latency: latency, Jitter: jitter, Loss: loss, BitErrorRate: ber}
+	sim := awareoffice.NewSimulation(opts.seed + 10)
+	link := awareoffice.Link{Latency: opts.latency, Jitter: opts.jitter, Loss: opts.loss, BitErrorRate: opts.ber}
 	var channel *fault.GilbertElliott
-	if burst > 0 {
-		channel = fault.BurstLoss(burst)
+	if opts.burst > 0 {
+		channel = fault.BurstLoss(opts.burst)
 		channel.Instrument(reg)
 		link.Loss = 0
 		link.LossModel = channel
@@ -100,7 +140,7 @@ func run(seed int64, sessions int, loss, burst, ber, latency, jitter float64, me
 	if err != nil {
 		return err
 	}
-	if retransmit {
+	if opts.retransmit {
 		if err := bus.EnableReliability(awareoffice.DefaultReliability()); err != nil {
 			return err
 		}
@@ -114,10 +154,27 @@ func run(seed int64, sessions int, loss, burst, ber, latency, jitter float64, me
 	filtered.Attach(bus)
 	pen := &awareoffice.Pen{Classifier: clf, Measure: measure}
 	switch {
-	case workers == 0: // auto: batch pre-scoring with one worker per CPU
+	case opts.workers == 0: // auto: batch pre-scoring with one worker per CPU
 		pen.PreScoreWorkers = runtime.GOMAXPROCS(0)
-	case workers > 1:
-		pen.PreScoreWorkers = workers
+	case opts.workers > 1:
+		pen.PreScoreWorkers = opts.workers
+	}
+	var watcher *ckpt.ModelWatcher
+	if opts.modelWatch != "" {
+		// The in-process trained model is the starting point; a valid
+		// artifact at the watched path replaces it, a bad one is rejected
+		// and serving continues on the handle's current model.
+		handle := ckpt.NewHandle(measure)
+		watcher, err = ckpt.NewModelWatcher(ckpt.WatchConfig{Path: opts.modelWatch, Metrics: reg}, handle)
+		if err != nil {
+			return err
+		}
+		pen.Source = handle
+		if swapped, err := watcher.Poll(); err != nil {
+			fmt.Fprintf(os.Stderr, "awareoffice: model watch: %v\n", err)
+		} else if swapped {
+			fmt.Printf("model watch: loaded %s\n", opts.modelWatch)
+		}
 	}
 	pen.Attach(bus)
 
@@ -125,10 +182,10 @@ func run(seed int64, sessions int, loss, burst, ber, latency, jitter float64, me
 		sensor.DefaultStyle(),
 		{Amplitude: 1.6, Tempo: 1.2, Irregularity: 0.6},
 	}
-	rng := rand.New(rand.NewSource(seed + 11))
+	rng := rand.New(rand.NewSource(opts.seed + 11))
 	var truths []float64
 	offset := 0.0
-	for i := 0; i < sessions; i++ {
+	for i := 0; i < opts.sessions; i++ {
 		readings, err := sensor.OfficeSession(styles[i%len(styles)]).Run(rng)
 		if err != nil {
 			return fmt.Errorf("session %d: %w", i, err)
@@ -161,7 +218,7 @@ func run(seed int64, sessions int, loss, burst, ber, latency, jitter float64, me
 		fmt.Printf("  link %-14s %d delivered, %d lost, %d corrupted, %d duplicated\n",
 			name+":", link.Delivered, link.Dropped, link.Corrupted, link.Duplicated)
 	}
-	if retransmit {
+	if opts.retransmit {
 		pubs := make([]string, 0, len(st.Publishers))
 		for name := range st.Publishers {
 			pubs = append(pubs, name)
@@ -183,10 +240,41 @@ func run(seed int64, sessions int, loss, burst, ber, latency, jitter float64, me
 		"cqm-filtered", scoreF.Hits, scoreF.Spurious, scoreF.Precision(), scoreF.Recall(), filtered.Ignored())
 
 	if ln != nil {
+		if watcher != nil {
+			watcher.Start(watchInterval, func(err error) {
+				fmt.Fprintf(os.Stderr, "awareoffice: model watch: %v\n", err)
+			})
+		}
 		fmt.Printf("\nserving metrics on http://%s/metrics — Ctrl-C to exit\n", ln.Addr())
 		stop := make(chan os.Signal, 1)
 		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-		<-stop
+		sig := <-stop
+		signal.Stop(stop)
+		fmt.Printf("received %s, shutting down\n", sig)
+		if watcher != nil {
+			watcher.Stop()
+		}
+	}
+	// Graceful shutdown: fence the bus so nothing publishes past this
+	// point, then flush the final metrics snapshot.
+	bus.Close()
+	if opts.metricsOut != "" {
+		if err := writeMetricsSnapshot(opts.metricsOut, reg); err != nil {
+			return err
+		}
+		fmt.Printf("final metrics snapshot written to %s\n", opts.metricsOut)
+	}
+	return nil
+}
+
+// writeMetricsSnapshot atomically flushes the registry as JSON.
+func writeMetricsSnapshot(path string, reg *obs.Registry) error {
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		return fmt.Errorf("encoding metrics snapshot: %w", err)
+	}
+	if err := ckpt.AtomicWriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("writing metrics snapshot: %w", err)
 	}
 	return nil
 }

@@ -7,11 +7,18 @@
 //
 //	awarepen [-seed N] [-style nominal|wild|light] [-threshold -1]
 //	         [-progress] [-metrics-out metrics.json] [-fault none|stuck|saturation|dropout|spike|drift]
+//	         [-model-watch file]
 //
 // A negative threshold uses the statistically optimal one. -progress logs
 // one structured line per ANFIS training epoch; -metrics-out instruments
 // the quality measure and the filter and dumps a JSON metrics snapshot on
 // exit.
+//
+// -model-watch serves from a ckpt measure artifact (as written by
+// cqmtrain) when one validates: the candidate is checksum- and
+// smoke-checked, a bad or missing artifact falls back to the last-good
+// copy beside it, and failing both the session runs on the freshly
+// trained in-process model — the pen never starts without a model.
 //
 // -fault injects one sensor fault class into the live session and turns on
 // degraded-input detection: windows whose readings carry the fault's
@@ -20,12 +27,14 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log/slog"
 	"math/rand"
 	"os"
 
+	"cqm/internal/ckpt"
 	"cqm/internal/classify"
 	"cqm/internal/core"
 	"cqm/internal/dataset"
@@ -42,9 +51,10 @@ func main() {
 	progress := flag.Bool("progress", false, "log one structured line per ANFIS training epoch")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on exit")
 	faultName := flag.String("fault", "none", "sensor fault to inject live: none, stuck, saturation, dropout, spike, drift")
+	modelWatch := flag.String("model-watch", "", "serve from this ckpt measure artifact, falling back to last-good, then to the in-process model")
 	flag.Parse()
 
-	if err := run(*seed, *styleName, *threshold, *progress, *metricsOut, *faultName); err != nil {
+	if err := run(*seed, *styleName, *threshold, *progress, *metricsOut, *faultName, *modelWatch); err != nil {
 		fmt.Fprintln(os.Stderr, "awarepen:", err)
 		os.Exit(1)
 	}
@@ -71,7 +81,7 @@ func faultFor(name string) (fault.SensorFault, error) {
 	}
 }
 
-func run(seed int64, styleName string, threshold float64, progress bool, metricsOut, faultName string) error {
+func run(seed int64, styleName string, threshold float64, progress bool, metricsOut, faultName, modelWatch string) error {
 	style, err := styleFor(styleName)
 	if err != nil {
 		return err
@@ -145,6 +155,31 @@ func run(seed int64, styleName string, threshold float64, progress bool, metrics
 	measure, err := core.Build(observations, nil, buildCfg)
 	if err != nil {
 		return err
+	}
+	if modelWatch != "" {
+		// Preference order: the watched artifact, its last-good copy, the
+		// freshly trained in-process model — the pen never starts without a
+		// model. The handle starts empty so a rejected candidate rolls back
+		// to last-good instead of sticking with the in-process build.
+		handle := ckpt.NewHandle(nil)
+		watcher, err := ckpt.NewModelWatcher(ckpt.WatchConfig{Path: modelWatch, Metrics: reg}, handle)
+		if err != nil {
+			return err
+		}
+		swapped, pollErr := watcher.Poll()
+		if pollErr != nil {
+			fmt.Fprintf(os.Stderr, "awarepen: model watch: %v\n", pollErr)
+		}
+		switch m := handle.Load(); {
+		case m != nil && swapped && pollErr == nil:
+			fmt.Printf("serving model from %s\n", modelWatch)
+			measure = m
+		case m != nil:
+			fmt.Println("serving the last-good model")
+			measure = m
+		default:
+			fmt.Println("serving the in-process model")
+		}
 	}
 	if threshold < 0 {
 		analysis, err := core.Analyze(measure, observations)
@@ -230,12 +265,11 @@ func run(seed int64, styleName string, threshold float64, progress bool, metrics
 	}
 	fmt.Println()
 	if metricsOut != "" {
-		f, err := os.Create(metricsOut)
-		if err != nil {
-			return fmt.Errorf("creating metrics snapshot: %w", err)
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
+			return fmt.Errorf("writing metrics snapshot: %w", err)
 		}
-		defer f.Close()
-		if err := reg.WriteJSON(f); err != nil {
+		if err := ckpt.AtomicWriteFile(metricsOut, buf.Bytes(), 0o644); err != nil {
 			return fmt.Errorf("writing metrics snapshot: %w", err)
 		}
 		fmt.Printf("metrics snapshot written to %s\n", metricsOut)

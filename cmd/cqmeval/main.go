@@ -35,7 +35,7 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", eval.DefaultSeed, "random seed for the evaluation pipeline")
-	experiment := flag.String("experiment", "all", "experiment to run: fig5, fig6, probs, improvement, agnostic, balance, sizes, camera, predict, fusion, confidence, crossval, cues, noise, faults, ablations, all")
+	experiment := flag.String("experiment", "all", "experiment to run: fig5, fig6, probs, improvement, agnostic, balance, sizes, camera, predict, fusion, confidence, crossval, cues, noise, faults, resume, ablations, all")
 	report := flag.Bool("report", false, "write the consolidated report (all experiments, DESIGN.md order) to stdout")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on exit")
 	workers := flag.Int("workers", 1, "worker count for parallelized stages (0 = one per CPU, 1 = serial); results are identical at every setting")
@@ -67,7 +67,8 @@ func run(seed int64, experiment, metricsOut string, workers int, retransmit bool
 	}
 	needsSetup := map[string]bool{
 		"fig5": true, "fig6": true, "probs": true, "faults": true,
-		"improvement": true, "camera": true, "confidence": true, "all": true,
+		"improvement": true, "camera": true, "confidence": true,
+		"resume": true, "all": true,
 	}
 	build := core.BuildConfig{Metrics: reg}
 	build.Clustering.Workers = workers
@@ -166,6 +167,14 @@ func run(seed int64, experiment, metricsOut string, workers int, retransmit bool
 			Workers:    max(workers, 1),
 			Retransmit: retransmit,
 		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		ran = true
+	}
+	if all || experiment == "resume" {
+		res, err := eval.ResumeExperiment(setup, eval.ResumeConfig{Workers: max(workers, 1)})
 		if err != nil {
 			return err
 		}

@@ -6,22 +6,34 @@
 //
 //	cqmtrain [-seed N] [-data file.csv] [-out dir] [-classifier tsk|knn|bayes|centroid]
 //	         [-progress] [-metrics-out metrics.json]
+//	         [-checkpoint-dir dir] [-checkpoint-every N] [-resume]
 //
 // Without -data a mixed AwareOffice workload is generated from the seed
 // and saved alongside the models, so a later run can retrain from the
 // exact same data. -progress logs one structured line per ANFIS epoch
 // (train error, check error, step size, early-stop reason); -metrics-out
 // dumps a JSON snapshot of the pipeline's metrics registry on exit.
+//
+// -checkpoint-dir persists the ANFIS training state every
+// -checkpoint-every epochs as crash-safe, checksummed artifacts; -resume
+// restarts an interrupted run from the newest usable checkpoint and
+// converges bit-identically to the uninterrupted run. Model files are
+// written through the same atomic artifact envelope, so a crash mid-write
+// can never leave a torn classifier.json or measure.json behind.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
 	"path/filepath"
+	"time"
 
+	"cqm/internal/ckpt"
 	"cqm/internal/classify"
 	"cqm/internal/core"
 	"cqm/internal/dataset"
@@ -29,16 +41,33 @@ import (
 	"cqm/internal/sensor"
 )
 
+// options bundles the command-line configuration of one training run.
+type options struct {
+	seed       int64
+	dataPath   string
+	outDir     string
+	clfKind    string
+	progress   bool
+	metricsOut string
+	ckptDir    string
+	ckptEvery  int
+	resume     bool
+}
+
 func main() {
-	seed := flag.Int64("seed", 1, "seed for data generation")
-	dataPath := flag.String("data", "", "labelled cue CSV (default: generate from seed)")
-	outDir := flag.String("out", "cqm-models", "output directory")
-	clfKind := flag.String("classifier", "tsk", "classifier: tsk, knn, bayes, centroid")
-	progress := flag.Bool("progress", false, "log one structured line per ANFIS training epoch")
-	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on exit")
+	var opts options
+	flag.Int64Var(&opts.seed, "seed", 1, "seed for data generation")
+	flag.StringVar(&opts.dataPath, "data", "", "labelled cue CSV (default: generate from seed)")
+	flag.StringVar(&opts.outDir, "out", "cqm-models", "output directory")
+	flag.StringVar(&opts.clfKind, "classifier", "tsk", "classifier: tsk, knn, bayes, centroid")
+	flag.BoolVar(&opts.progress, "progress", false, "log one structured line per ANFIS training epoch")
+	flag.StringVar(&opts.metricsOut, "metrics-out", "", "write a JSON metrics snapshot to this file on exit")
+	flag.StringVar(&opts.ckptDir, "checkpoint-dir", "", "persist ANFIS training checkpoints in this directory")
+	flag.IntVar(&opts.ckptEvery, "checkpoint-every", 1, "epochs between periodic checkpoints")
+	flag.BoolVar(&opts.resume, "resume", false, "resume training from the newest checkpoint in -checkpoint-dir")
 	flag.Parse()
 
-	if err := run(*seed, *dataPath, *outDir, *clfKind, *progress, *metricsOut); err != nil {
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "cqmtrain:", err)
 		os.Exit(1)
 	}
@@ -71,18 +100,31 @@ func progressObserver(logger *slog.Logger) core.TrainObserver {
 	}
 }
 
-func run(seed int64, dataPath, outDir, clfKind string, progress bool, metricsOut string) error {
-	set, err := loadOrGenerate(seed, dataPath)
+// configHash fingerprints the inputs that determine the training
+// trajectory, so resume refuses checkpoints from a different run setup.
+func configHash(opts options) (string, error) {
+	return ckpt.HashConfig(struct {
+		Seed       int64  `json:"seed"`
+		Data       string `json:"data"`
+		Classifier string `json:"classifier"`
+	}{Seed: opts.seed, Data: opts.dataPath, Classifier: opts.clfKind})
+}
+
+func run(opts options) error {
+	if opts.resume && opts.ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	set, err := loadOrGenerate(opts.seed, opts.dataPath)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("dataset: %d samples, classes %v\n", set.Len(), set.Counts())
 
-	trainer, err := trainerFor(clfKind)
+	trainer, err := trainerFor(opts.clfKind)
 	if err != nil {
 		return err
 	}
-	set.Shuffle(seed)
+	set.Shuffle(opts.seed)
 	trainSet, checkSet, testSet, err := set.Split(0.6, 0.2)
 	if err != nil {
 		return err
@@ -122,14 +164,57 @@ func run(seed int64, dataPath, outDir, clfKind string, progress bool, metricsOut
 		return err
 	}
 	var reg *obs.Registry
-	if metricsOut != "" {
+	if opts.metricsOut != "" || opts.ckptDir != "" {
 		reg = obs.NewRegistry()
 	}
-	buildCfg := core.BuildConfig{Metrics: reg}
-	if progress {
-		logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-		buildCfg.Observer = progressObserver(logger)
+	hash, err := configHash(opts)
+	if err != nil {
+		return err
 	}
+	// A NaN/Inf epoch rolls training back to the last finite snapshot at a
+	// reduced step size instead of aborting the run.
+	buildCfg := core.BuildConfig{Metrics: reg}
+	buildCfg.Hybrid.DivergenceRetries = 2
+	var observers []core.TrainObserver
+	if opts.progress {
+		logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+		observers = append(observers, progressObserver(logger))
+	}
+	var checkpointer *ckpt.Checkpointer
+	if opts.ckptDir != "" {
+		checkpointer, err = ckpt.NewCheckpointer(ckpt.CheckpointConfig{
+			Dir:        opts.ckptDir,
+			Interval:   opts.ckptEvery,
+			ConfigHash: hash,
+			Now:        time.Now,
+			Metrics:    reg,
+		})
+		if err != nil {
+			return err
+		}
+		observers = append(observers, checkpointer)
+	}
+	if opts.resume {
+		res, err := ckpt.LatestState(opts.ckptDir, hash, reg)
+		switch {
+		case errors.Is(err, ckpt.ErrNoCheckpoint):
+			fmt.Println("resume: no usable checkpoint, training from scratch")
+		case err != nil:
+			return fmt.Errorf("resume: %w", err)
+		default:
+			buildCfg.Hybrid.Resume = res.State
+			fmt.Printf("resume: continuing from epoch %d (%d corrupt checkpoint(s) skipped)\n",
+				res.State.Epoch, res.Skipped)
+		}
+	}
+	// Capture the stopping decision so the model manifest and the summary
+	// line below report the kept (best) epoch, not just the last one.
+	var stopEv *core.StopEvent
+	observers = append(observers, core.TrainObserverFuncs{
+		OnStop: func(ev core.StopEvent) { stopEv = &ev },
+	})
+	buildCfg.Observer = core.TrainObservers(observers...)
+
 	span := reg.StartSpan("cqm_build")
 	measure, err := core.Build(trainObs, checkObs, buildCfg)
 	if err != nil {
@@ -141,18 +226,35 @@ func run(seed int64, dataPath, outDir, clfKind string, progress bool, metricsOut
 		return fmt.Errorf("analyzing: %w", err)
 	}
 	fmt.Printf("quality FIS: %d rules over %d inputs\n", measure.Rules(), measure.Inputs())
+	if stopEv != nil {
+		fmt.Printf("hybrid training: %d epochs, kept epoch %d (error %.6f), stop: %s\n",
+			stopEv.Epochs, stopEv.BestEpoch, stopEv.BestError, stopEv.Reason)
+	}
+	if checkpointer != nil && checkpointer.WriteErrors() > 0 {
+		fmt.Fprintf(os.Stderr, "cqmtrain: warning: %d checkpoint write(s) failed\n",
+			checkpointer.WriteErrors())
+	}
 	fmt.Printf("densities: wrong N(%.3f, %.3f), right N(%.3f, %.3f)\n",
 		analysis.Wrong.Mu, analysis.Wrong.Sigma, analysis.Right.Mu, analysis.Right.Sigma)
 	fmt.Printf("optimal threshold s = %.4f\n", analysis.Threshold)
 
-	if err := os.MkdirAll(outDir, 0o755); err != nil {
+	if err := os.MkdirAll(opts.outDir, 0o755); err != nil {
 		return err
+	}
+	manifest := ckpt.Manifest{CreatedAt: time.Now(), ConfigHash: hash}
+	if stopEv != nil {
+		manifest.Epoch = stopEv.Epochs
+		manifest.BestEpoch = stopEv.BestEpoch
+		manifest.CheckRMSE = stopEv.BestError
 	}
 	clfData, err := classify.MarshalClassifier(clf)
 	if err != nil {
 		return fmt.Errorf("serializing classifier: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(outDir, "classifier.json"), clfData, 0o644); err != nil {
+	clfMan := manifest
+	clfMan.Kind = ckpt.KindClassifier
+	if err := ckpt.WriteArtifact(filepath.Join(opts.outDir, "classifier.json"),
+		clfMan, json.RawMessage(clfData)); err != nil {
 		return err
 	}
 	// Verify the persisted classifier behaves identically before trusting
@@ -168,34 +270,35 @@ func run(seed int64, dataPath, outDir, clfKind string, progress bool, metricsOut
 	if reAcc != acc { //lint:ignore floatcmp round-trip persistence must be bit-exact; any drift is the bug this guards
 		return fmt.Errorf("reloaded classifier accuracy %v differs from %v", reAcc, acc)
 	}
-	if err := writeJSON(filepath.Join(outDir, "measure.json"), measure); err != nil {
+	measureMan := manifest
+	measureMan.Kind = ckpt.KindMeasure
+	if err := ckpt.WriteArtifact(filepath.Join(opts.outDir, "measure.json"),
+		measureMan, measure); err != nil {
 		return err
 	}
-	if err := writeJSON(filepath.Join(outDir, "analysis.json"), analysis); err != nil {
+	if err := writeJSON(filepath.Join(opts.outDir, "analysis.json"), analysis); err != nil {
 		return err
 	}
-	if dataPath == "" {
-		f, err := os.Create(filepath.Join(outDir, "dataset.csv"))
-		if err != nil {
+	if opts.dataPath == "" {
+		var buf bytes.Buffer
+		if err := set.WriteCSV(&buf); err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := set.WriteCSV(f); err != nil {
+		if err := ckpt.AtomicWriteFile(filepath.Join(opts.outDir, "dataset.csv"), buf.Bytes(), 0o644); err != nil {
 			return err
 		}
 	}
-	if metricsOut != "" {
-		f, err := os.Create(metricsOut)
-		if err != nil {
-			return fmt.Errorf("creating metrics snapshot: %w", err)
-		}
-		defer f.Close()
-		if err := reg.WriteJSON(f); err != nil {
+	if opts.metricsOut != "" {
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
 			return fmt.Errorf("writing metrics snapshot: %w", err)
 		}
-		fmt.Printf("metrics snapshot written to %s\n", metricsOut)
+		if err := ckpt.AtomicWriteFile(opts.metricsOut, buf.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("writing metrics snapshot: %w", err)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", opts.metricsOut)
 	}
-	fmt.Printf("models written to %s\n", outDir)
+	fmt.Printf("models written to %s\n", opts.outDir)
 	return nil
 }
 
@@ -243,10 +346,11 @@ func trainerFor(kind string) (classify.Trainer, error) {
 	}
 }
 
+// writeJSON atomically persists v as indented JSON.
 func writeJSON(path string, v any) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return fmt.Errorf("encoding %s: %w", path, err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	return ckpt.AtomicWriteFile(path, data, 0o644)
 }

@@ -1,0 +1,295 @@
+package anfis
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"cqm/internal/cluster"
+)
+
+// snapshotRecorder retains every snapshot Train emits.
+type snapshotRecorder struct {
+	snaps []SnapshotEvent
+}
+
+func (r *snapshotRecorder) TrainEpoch(EpochEvent)          {}
+func (r *snapshotRecorder) TrainStop(StopEvent)            {}
+func (r *snapshotRecorder) TrainSnapshot(ev SnapshotEvent) { r.snaps = append(r.snaps, ev) }
+
+// marshalSys byte-serializes a system for bit-identity comparison.
+func marshalSys(t *testing.T, sys any) string {
+	t.Helper()
+	b, err := json.Marshal(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func trainSineSystem(t *testing.T, workers int) (*History, string, *snapshotRecorder) {
+	t.Helper()
+	train := sineData(60, 11, 0.05)
+	check := sineData(25, 12, 0.05)
+	sys, err := Build(train, BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &snapshotRecorder{}
+	hist, err := Train(sys, train, check, Config{
+		Epochs:   12,
+		Observer: rec,
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hist, marshalSys(t, sys), rec
+}
+
+func TestResumeBitIdentical(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, wantSys, rec := trainSineSystem(t, workers)
+		if len(rec.snaps) == 0 {
+			t.Fatal("no snapshots recorded")
+		}
+		// Resume from every intermediate snapshot; each must reproduce the
+		// uninterrupted run's final weights bit for bit.
+		for _, cut := range []int{0, len(rec.snaps) / 2, len(rec.snaps) - 2} {
+			if cut < 0 || cut >= len(rec.snaps) {
+				continue
+			}
+			st := rec.snaps[cut].State
+			train := sineData(60, 11, 0.05)
+			check := sineData(25, 12, 0.05)
+			sys, err := Build(train, BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.5}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Train(sys, train, check, Config{
+				Epochs:  12,
+				Resume:  st.Clone(),
+				Workers: workers,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if got := marshalSys(t, sys); got != wantSys {
+				t.Errorf("workers=%d resume from epoch %d: weights differ from uninterrupted run",
+					workers, st.Epoch)
+			}
+		}
+	}
+}
+
+func TestResumeCrossWorkerCount(t *testing.T) {
+	// The deterministic-reduction contract means a checkpoint taken at one
+	// worker count must resume bit-identically at another.
+	_, wantSys, rec := trainSineSystem(t, 1)
+	st := rec.snaps[len(rec.snaps)/2].State
+	train := sineData(60, 11, 0.05)
+	check := sineData(25, 12, 0.05)
+	sys, err := Build(train, BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(sys, train, check, Config{Epochs: 12, Resume: st.Clone(), Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := marshalSys(t, sys); got != wantSys {
+		t.Error("resume at workers=4 of a workers=1 checkpoint diverged")
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	train := sineData(30, 3, 0)
+	sys, err := Build(train, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("invalid state rejected", func(t *testing.T) {
+		_, err := Train(sys.Clone(), train, nil, Config{Resume: &TrainState{Epoch: -1}})
+		if err == nil {
+			t.Fatal("invalid resume state accepted")
+		}
+	})
+	t.Run("check set requires check history", func(t *testing.T) {
+		st := &TrainState{
+			Epoch:         0,
+			Sys:           sys.Clone(),
+			Best:          sys.Clone(),
+			BestError:     1,
+			PrevTrain:     1,
+			Rate:          0.02,
+			TrainRMSE:     []float64{1},
+			LearningRates: []float64{0.02},
+		}
+		_, err := Train(sys.Clone(), train, sineData(10, 4, 0), Config{Resume: st})
+		if err == nil || !strings.Contains(err.Error(), "check history") {
+			t.Fatalf("err = %v, want check-history rejection", err)
+		}
+	})
+}
+
+func TestStateValidate(t *testing.T) {
+	train := sineData(30, 3, 0)
+	sys, err := Build(train, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := func() *TrainState {
+		return &TrainState{
+			Epoch: 1, Sys: sys.Clone(), Best: sys.Clone(),
+			BestEpoch: 1, BestError: 0.5, PrevTrain: 0.5, Rate: 0.02,
+			TrainRMSE: []float64{1, 0.5}, LearningRates: []float64{0.02, 0.02},
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+	mutations := map[string]func(*TrainState){
+		"nil sys":           func(s *TrainState) { s.Sys = nil },
+		"negative epoch":    func(s *TrainState) { s.Epoch = -1 },
+		"short history":     func(s *TrainState) { s.TrainRMSE = s.TrainRMSE[:1] },
+		"bad check history": func(s *TrainState) { s.CheckRMSE = []float64{1} },
+		"best out of range": func(s *TrainState) { s.BestEpoch = 7 },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			s := good()
+			mutate(s)
+			if err := s.Validate(); err == nil {
+				t.Error("invalid state accepted")
+			}
+		})
+	}
+	var nilState *TrainState
+	if err := nilState.Validate(); err == nil {
+		t.Error("nil state accepted")
+	}
+	if nilState.Clone() != nil {
+		t.Error("nil clone not nil")
+	}
+}
+
+func TestDivergenceRollbackRecovers(t *testing.T) {
+	// An absurd adaptive-rate growth factor explodes the step size after a
+	// few decreasing epochs and drives the parameters to NaN. With retries
+	// the loop must roll back to the best finite snapshot, disable the
+	// heuristic, and finish with finite weights.
+	train := sineData(60, 21, 0.1)
+	sys, err := Build(train, BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := 0
+	hist, err := Train(sys, train, nil, Config{
+		Epochs:            40,
+		LearningRate:      0.05,
+		Tol:               1e-300,
+		AdaptiveRate:      true,
+		RateGrow:          1e300,
+		DivergenceRetries: 3,
+		Observer: ObserverFuncs{OnEpoch: func(ev EpochEvent) {
+			if ev.Diverged {
+				diverged++
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.DivergenceRollbacks == 0 {
+		t.Fatal("training did not diverge under the forcing configuration")
+	}
+	if diverged != hist.DivergenceRollbacks && diverged != hist.DivergenceRollbacks+1 {
+		t.Errorf("observer saw %d diverged epochs, history says %d rollbacks",
+			diverged, hist.DivergenceRollbacks)
+	}
+	if hist.Reason == StopDiverged {
+		t.Errorf("training aborted with %q despite retries", hist.Reason)
+	}
+	for i, v := range hist.TrainRMSE {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("TrainRMSE[%d] = %v after recovery", i, v)
+		}
+	}
+	if !finiteParams(sys) {
+		t.Error("final parameters not finite after recovery")
+	}
+}
+
+func TestDivergenceWithoutRetriesStops(t *testing.T) {
+	train := sineData(60, 21, 0.1)
+	sys, err := Build(train, BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := Train(sys, train, nil, Config{
+		Epochs:       40,
+		LearningRate: 0.05,
+		Tol:          1e-300,
+		AdaptiveRate: true,
+		RateGrow:     1e300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.DivergenceRollbacks != 0 {
+		t.Errorf("rollbacks = %d with DivergenceRetries=0", hist.DivergenceRollbacks)
+	}
+	if hist.Reason != StopDiverged {
+		t.Errorf("reason = %v, want %v", hist.Reason, StopDiverged)
+	}
+}
+
+func TestHistoryBestError(t *testing.T) {
+	train := sineData(60, 5, 0.05)
+	check := sineData(25, 6, 0.05)
+	sys, err := Build(train, BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := Train(sys, train, check, Config{Epochs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.CheckRMSE) == 0 {
+		t.Fatal("no check history")
+	}
+	want := hist.CheckRMSE[hist.BestEpoch]
+	if hist.BestError != want {
+		t.Errorf("BestError = %v, want CheckRMSE[BestEpoch] = %v", hist.BestError, want)
+	}
+}
+
+func TestSnapshotsOnlyWhenRequested(t *testing.T) {
+	// A plain observer must not trigger snapshot capture; combining it with
+	// a snapshot observer must.
+	train := sineData(40, 7, 0)
+	sys, err := Build(train, BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := ObserverFuncs{}
+	if _, ok := Observers(plain, nil).(SnapshotObserver); ok {
+		t.Error("plain observer combination implements SnapshotObserver")
+	}
+	rec := &snapshotRecorder{}
+	combined := Observers(plain, rec)
+	if _, ok := combined.(SnapshotObserver); !ok {
+		t.Fatal("combined observer lost SnapshotObserver")
+	}
+	hist, err := Train(sys, train, nil, Config{Epochs: 3, Observer: combined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.snaps) != len(hist.TrainRMSE) {
+		t.Errorf("snapshots = %d, epochs = %d", len(rec.snaps), len(hist.TrainRMSE))
+	}
+	for _, ev := range rec.snaps {
+		if err := ev.State.Validate(); err != nil {
+			t.Fatalf("emitted snapshot invalid: %v", err)
+		}
+	}
+}

@@ -37,6 +37,10 @@ const (
 	StopCheckDegraded StopReason = "check error degraded"
 	// StopConverged: the training error improvement fell below Tol.
 	StopConverged StopReason = "training error converged"
+	// StopDiverged: an epoch produced a NaN/Inf error or parameter and the
+	// divergence-retry budget was exhausted (or zero). The system is rolled
+	// back to the best finite snapshot, as with any other stop.
+	StopDiverged StopReason = "training diverged"
 )
 
 // EpochEvent reports one completed hybrid-learning epoch to a
@@ -56,6 +60,11 @@ type EpochEvent struct {
 	// Best reports whether this epoch's parameters became the kept
 	// snapshot.
 	Best bool
+	// Diverged reports that this epoch produced a NaN/Inf error or
+	// parameter. When divergence retries remain, the epoch index will be
+	// re-attempted from the best finite snapshot at a reduced step size;
+	// otherwise training stops with StopDiverged.
+	Diverged bool
 }
 
 // StopEvent reports the end of a hybrid-learning run.
@@ -101,10 +110,110 @@ func (o ObserverFuncs) TrainStop(ev StopEvent) {
 	}
 }
 
+// TrainState is the complete internal state of a hybrid-learning run after
+// some epoch: the current and best-so-far parameters plus every counter the
+// loop consults (early-stop patience, adaptive-rate bookkeeping, history).
+// Resuming Train from a TrainState replays the remaining epochs with
+// arithmetic bit-identical to a run that was never interrupted, because the
+// loop's float operations see exactly the same operands in the same order.
+// All fields are finite after any completed epoch, so the state serializes
+// cleanly to JSON.
+type TrainState struct {
+	// Epoch is the zero-based index of the last completed epoch.
+	Epoch int `json:"epoch"`
+	// Sys holds the parameters as of the end of Epoch.
+	Sys *fuzzy.TSK `json:"sys"`
+	// Best holds the kept (lowest-error) snapshot so far.
+	Best *fuzzy.TSK `json:"best"`
+	// BestEpoch is the epoch Best was captured at.
+	BestEpoch int `json:"best_epoch"`
+	// BestError is the error of Best (check error with a check set, train
+	// error otherwise).
+	BestError float64 `json:"best_error"`
+	// Degraded counts consecutive check-error degradations so far.
+	Degraded int `json:"degraded"`
+	// PrevTrain is the training error the next epoch's Tol check compares
+	// against.
+	PrevTrain float64 `json:"prev_train"`
+	// Rate is the learning rate the next epoch will step with.
+	Rate float64 `json:"rate"`
+	// Decreases counts consecutive training-error decreases (adaptive
+	// rate).
+	Decreases int `json:"decreases"`
+	// Swings counts consecutive decrease/increase alternations (adaptive
+	// rate).
+	Swings int `json:"swings"`
+	// TrainRMSE, CheckRMSE, and LearningRates mirror History up to Epoch.
+	TrainRMSE     []float64 `json:"train_rmse"`
+	CheckRMSE     []float64 `json:"check_rmse,omitempty"`
+	LearningRates []float64 `json:"learning_rates"`
+}
+
+// Validate checks the structural invariants a resumable state must hold.
+func (s *TrainState) Validate() error {
+	switch {
+	case s == nil:
+		return fmt.Errorf("anfis: nil train state")
+	case s.Sys == nil || s.Best == nil:
+		return fmt.Errorf("anfis: train state missing system snapshots")
+	case s.Epoch < 0:
+		return fmt.Errorf("anfis: train state epoch %d", s.Epoch)
+	case len(s.TrainRMSE) != s.Epoch+1 || len(s.LearningRates) != s.Epoch+1:
+		return fmt.Errorf("anfis: train state history length %d/%d does not cover epoch %d",
+			len(s.TrainRMSE), len(s.LearningRates), s.Epoch)
+	case len(s.CheckRMSE) != 0 && len(s.CheckRMSE) != s.Epoch+1:
+		return fmt.Errorf("anfis: train state check history length %d for epoch %d",
+			len(s.CheckRMSE), s.Epoch)
+	case s.BestEpoch < 0 || s.BestEpoch > s.Epoch:
+		return fmt.Errorf("anfis: train state best epoch %d outside [0,%d]", s.BestEpoch, s.Epoch)
+	case s.Sys.Inputs() != s.Best.Inputs():
+		return fmt.Errorf("anfis: train state snapshots disagree on arity (%d vs %d)",
+			s.Sys.Inputs(), s.Best.Inputs())
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the state.
+func (s *TrainState) Clone() *TrainState {
+	if s == nil {
+		return nil
+	}
+	out := *s
+	out.Sys = s.Sys.Clone()
+	out.Best = s.Best.Clone()
+	out.TrainRMSE = append([]float64(nil), s.TrainRMSE...)
+	out.CheckRMSE = append([]float64(nil), s.CheckRMSE...)
+	out.LearningRates = append([]float64(nil), s.LearningRates...)
+	return &out
+}
+
+// SnapshotEvent hands a checkpointable TrainState to a SnapshotObserver at
+// the end of a completed epoch. The state is a deep copy: the observer may
+// retain or serialize it freely.
+type SnapshotEvent struct {
+	// State is the full training state after the completed epoch.
+	State *TrainState
+	// Best reports whether this epoch's parameters became the kept
+	// snapshot, so checkpointers can maintain a best-so-far artifact.
+	Best bool
+}
+
+// SnapshotObserver is an optional extension of TrainObserver: when the
+// configured observer also implements it, Train hands it a deep-copied
+// TrainState after every completed epoch — the hook checkpointers persist
+// through. Snapshot capture clones the system twice per epoch, so Train
+// only pays for it when the observer asks.
+type SnapshotObserver interface {
+	TrainSnapshot(SnapshotEvent)
+}
+
 // Observers fans one event stream out to several observers, in argument
 // order; nil entries are dropped. All-nil input yields nil, and a single
 // survivor is returned unwrapped, so Train's Observer != nil check keeps
-// meaning "someone is listening".
+// meaning "someone is listening". When any member implements
+// SnapshotObserver the combined observer does too, forwarding snapshots to
+// the members that want them; otherwise it deliberately does not, so Train
+// skips the per-epoch state capture.
 func Observers(list ...TrainObserver) TrainObserver {
 	kept := make([]TrainObserver, 0, len(list))
 	for _, o := range list {
@@ -117,6 +226,11 @@ func Observers(list ...TrainObserver) TrainObserver {
 		return nil
 	case 1:
 		return kept[0]
+	}
+	for _, o := range kept {
+		if _, ok := o.(SnapshotObserver); ok {
+			return multiSnapshotObserver{kept}
+		}
 	}
 	return multiObserver(kept)
 }
@@ -132,6 +246,22 @@ func (m multiObserver) TrainEpoch(ev EpochEvent) {
 func (m multiObserver) TrainStop(ev StopEvent) {
 	for _, o := range m {
 		o.TrainStop(ev)
+	}
+}
+
+// multiSnapshotObserver is a multiObserver with at least one
+// snapshot-hungry member.
+type multiSnapshotObserver struct {
+	multiObserver
+}
+
+// TrainSnapshot forwards the snapshot to every member that implements
+// SnapshotObserver.
+func (m multiSnapshotObserver) TrainSnapshot(ev SnapshotEvent) {
+	for _, o := range m.multiObserver {
+		if s, ok := o.(SnapshotObserver); ok {
+			s.TrainSnapshot(ev)
+		}
 	}
 }
 
@@ -167,8 +297,26 @@ type Config struct {
 	RateShrink float64
 	// Observer, when non-nil, receives one EpochEvent per epoch and a
 	// final StopEvent — the training-progress hook the CLIs and the
-	// metrics layer report through.
+	// metrics layer report through. An observer that also implements
+	// SnapshotObserver additionally receives a checkpointable TrainState
+	// after every completed epoch.
 	Observer TrainObserver
+	// Resume, when non-nil, restarts training from a previously captured
+	// TrainState instead of from scratch: the loop continues at
+	// Resume.Epoch+1 with every counter restored, so the remaining epochs
+	// are bit-identical to an uninterrupted run with the same data and
+	// config. Epochs still names the total budget, not an increment.
+	Resume *TrainState
+	// DivergenceRetries bounds how many times a NaN/Inf epoch may be
+	// retried: on divergence the parameters roll back to the best finite
+	// snapshot, the step size shrinks by DivergenceShrink (and the
+	// adaptive-rate heuristic, the usual cause of the blow-up, is disabled
+	// for the rest of the run), and the same epoch index runs again. 0 (the
+	// default) stops immediately with StopDiverged.
+	DivergenceRetries int
+	// DivergenceShrink is the step-size reduction factor applied on each
+	// divergence rollback. Default 0.5.
+	DivergenceShrink float64
 	// Workers parallelizes the backward gradient pass and the per-epoch
 	// RMSE evaluations: 0 picks one worker per CPU (falling back to
 	// serial below a size cutoff), 1 forces serial execution. Training
@@ -203,6 +351,9 @@ func (c Config) withDefaults() Config {
 	if c.RateShrink == 0 {
 		c.RateShrink = 0.9
 	}
+	if c.DivergenceShrink == 0 {
+		c.DivergenceShrink = 0.5
+	}
 	return c
 }
 
@@ -216,11 +367,19 @@ type History struct {
 	// BestEpoch is the epoch whose parameters were kept (lowest check
 	// RMSE; lowest train RMSE when no check set is given).
 	BestEpoch int
+	// BestError is the error of the kept snapshot — the check-set RMSE at
+	// BestEpoch with a check set, the training RMSE otherwise — so logs and
+	// checkpoint manifests can report the early-stopping state without
+	// re-deriving it from the weights. +Inf when no epoch ran.
+	BestError float64
 	// Reason explains why training stopped.
 	Reason StopReason
 	// LearningRates records the per-epoch step size (constant unless
 	// AdaptiveRate is enabled).
 	LearningRates []float64
+	// DivergenceRollbacks counts NaN/Inf epochs that were rolled back to
+	// the best finite snapshot and retried at a reduced step size.
+	DivergenceRollbacks int
 }
 
 // Train runs hybrid learning on sys in place: per epoch a backward
@@ -229,7 +388,7 @@ type History struct {
 // system is rolled back to the epoch with the lowest check error.
 func Train(sys *fuzzy.TSK, train, check *Data, cfg Config) (*History, error) {
 	cfg = cfg.withDefaults()
-	if cfg.LearningRate < 0 || cfg.Epochs < 0 || cfg.Patience < 1 || cfg.Workers < 0 {
+	if cfg.LearningRate < 0 || cfg.Epochs < 0 || cfg.Patience < 1 || cfg.Workers < 0 || cfg.DivergenceRetries < 0 {
 		return nil, fmt.Errorf("anfis: invalid config %+v", cfg)
 	}
 	if err := train.Validate(sys.Inputs()); err != nil {
@@ -249,15 +408,43 @@ func Train(sys *fuzzy.TSK, train, check *Data, cfg Config) (*History, error) {
 	bestErr := math.Inf(1)
 	degraded := 0
 	prevTrain := math.Inf(1)
+	rate := cfg.LearningRate
+	decreases := 0 // consecutive training-error decreases
+	swings := 0    // consecutive decrease/increase alternations
+	adaptive := cfg.AdaptiveRate
+	startEpoch := 0
+	if cfg.Resume != nil {
+		st := cfg.Resume
+		if err := st.Validate(); err != nil {
+			return nil, fmt.Errorf("anfis: resume: %w", err)
+		}
+		if err := train.Validate(st.Sys.Inputs()); err != nil {
+			return nil, fmt.Errorf("anfis: resume state vs train set: %w", err)
+		}
+		if check != nil && len(st.CheckRMSE) == 0 && st.Epoch >= 0 {
+			return nil, fmt.Errorf("anfis: resume state has no check history but a check set is given")
+		}
+		*sys = *st.Sys.Clone()
+		best = st.Best.Clone()
+		bestErr = st.BestError
+		degraded = st.Degraded
+		prevTrain = st.PrevTrain
+		rate = st.Rate
+		decreases = st.Decreases
+		swings = st.Swings
+		hist.BestEpoch = st.BestEpoch
+		hist.TrainRMSE = append(hist.TrainRMSE, st.TrainRMSE...)
+		hist.CheckRMSE = append(hist.CheckRMSE, st.CheckRMSE...)
+		hist.LearningRates = append(hist.LearningRates, st.LearningRates...)
+		startEpoch = st.Epoch + 1
+	}
 
 	forward := FitConsequents
 	if cfg.ConstantConsequents {
 		forward = FitConstantConsequents
 	}
-	rate := cfg.LearningRate
-	decreases := 0 // consecutive training-error decreases
-	swings := 0    // consecutive decrease/increase alternations
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	snap, _ := cfg.Observer.(SnapshotObserver)
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		stepCfg := cfg
 		stepCfg.LearningRate = rate
 		backwardPass(sys, train, stepCfg, pool)
@@ -267,9 +454,42 @@ func Train(sys *fuzzy.TSK, train, check *Data, cfg Config) (*History, error) {
 
 		trainErr := rmseWith(sys, train, pool)
 		stepRate := rate
+		checkErr := 0.0
+		if check != nil {
+			checkErr = rmseWith(sys, check, pool)
+		}
+		if !isFinite(trainErr) || (check != nil && !isFinite(checkErr)) || !finiteParams(sys) {
+			// Divergence: the step blew the parameters (or the error) out
+			// of the finite domain. Nothing from this epoch is kept — not
+			// even history entries, so checkpoints stay JSON-serializable.
+			if cfg.Observer != nil {
+				cfg.Observer.TrainEpoch(EpochEvent{
+					Epoch:        epoch,
+					TrainRMSE:    trainErr,
+					CheckRMSE:    checkErr,
+					HasCheck:     check != nil,
+					LearningRate: stepRate,
+					Diverged:     true,
+				})
+			}
+			if hist.DivergenceRollbacks < cfg.DivergenceRetries {
+				hist.DivergenceRollbacks++
+				*sys = *best.Clone()
+				// Reduced fixed step: the adaptive heuristic is what grows
+				// the rate into the blow-up, so it stays off from here on.
+				rate = math.Min(rate, cfg.LearningRate) * cfg.DivergenceShrink
+				adaptive = false
+				decreases, swings = 0, 0
+				prevTrain = math.Inf(1)
+				epoch-- // retry the same epoch index from the rollback
+				continue
+			}
+			hist.Reason = StopDiverged
+			break
+		}
 		hist.TrainRMSE = append(hist.TrainRMSE, trainErr)
 		hist.LearningRates = append(hist.LearningRates, rate)
-		if cfg.AdaptiveRate && epoch > 0 {
+		if adaptive && epoch > 0 {
 			prev := hist.TrainRMSE[epoch-1]
 			if trainErr < prev {
 				decreases++
@@ -293,9 +513,7 @@ func Train(sys *fuzzy.TSK, train, check *Data, cfg Config) (*History, error) {
 		}
 
 		scoreErr := trainErr
-		checkErr := 0.0
 		if check != nil {
-			checkErr = rmseWith(sys, check, pool)
 			hist.CheckRMSE = append(hist.CheckRMSE, checkErr)
 			scoreErr = checkErr
 		}
@@ -327,10 +545,31 @@ func Train(sys *fuzzy.TSK, train, check *Data, cfg Config) (*History, error) {
 			break
 		}
 		prevTrain = trainErr
+		if snap != nil {
+			snap.TrainSnapshot(SnapshotEvent{
+				State: &TrainState{
+					Epoch:         epoch,
+					Sys:           sys.Clone(),
+					Best:          best.Clone(),
+					BestEpoch:     hist.BestEpoch,
+					BestError:     bestErr,
+					Degraded:      degraded,
+					PrevTrain:     prevTrain,
+					Rate:          rate,
+					Decreases:     decreases,
+					Swings:        swings,
+					TrainRMSE:     append([]float64(nil), hist.TrainRMSE...),
+					CheckRMSE:     append([]float64(nil), hist.CheckRMSE...),
+					LearningRates: append([]float64(nil), hist.LearningRates...),
+				},
+				Best: isBest,
+			})
+		}
 	}
 	if hist.Reason == "" {
 		hist.Reason = StopEpochs
 	}
+	hist.BestError = bestErr
 	// Roll back to the best snapshot.
 	*sys = *best
 	if cfg.Observer != nil {
@@ -342,6 +581,34 @@ func Train(sys *fuzzy.TSK, train, check *Data, cfg Config) (*History, error) {
 		})
 	}
 	return hist, nil
+}
+
+// isFinite reports whether x is neither NaN nor ±Inf.
+func isFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// finiteParams reports whether every antecedent and consequent parameter of
+// sys is finite. A diverging gradient can push µ (and with it the
+// consequents fit against the resulting weights) to NaN/Inf while the RMSE
+// stays finite — every sample then simply fires no rule and contributes the
+// worst-case error of 1 — so divergence detection must look at the
+// parameters, not just the error.
+func finiteParams(sys *fuzzy.TSK) bool {
+	for j := 0; j < sys.NumRules(); j++ {
+		r := sys.Rule(j)
+		for _, mf := range r.Antecedent {
+			if !isFinite(mf.Mu) || !isFinite(mf.Sigma) {
+				return false
+			}
+		}
+		for _, c := range r.Coeffs {
+			if !isFinite(c) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // backwardPass performs one batch gradient-descent step on every Gaussian
@@ -416,7 +683,10 @@ func backwardPass(sys *fuzzy.TSK, train *Data, cfg Config, pool *parallel.Pool) 
 		for i := 0; i < n; i++ {
 			rules[j].Antecedent[i].Mu -= scale * gradMu[j][i]
 			sigma := rules[j].Antecedent[i].Sigma - scale*gradSigma[j][i]
-			if sigma < cfg.MinSigma {
+			// The !(>=) form also floors NaN (all NaN comparisons are
+			// false), which `sigma < MinSigma` would wave through — and a
+			// NaN sigma fails rule validation and panics in SetRule.
+			if !(sigma >= cfg.MinSigma) {
 				sigma = cfg.MinSigma
 			}
 			rules[j].Antecedent[i].Sigma = sigma

@@ -14,6 +14,8 @@ import (
 var (
 	// ErrBadReliability reports invalid retransmission parameters.
 	ErrBadReliability = errors.New("awareoffice: invalid reliability parameters")
+	// ErrBusClosed reports a publish attempted after Close.
+	ErrBusClosed = errors.New("awareoffice: bus closed")
 )
 
 // Event is one context broadcast: an appliance announces the context it
@@ -238,6 +240,7 @@ type Bus struct {
 	publishers  map[string]*publisherState
 	reg         *obs.Registry
 	met         busMetrics
+	closed      bool
 }
 
 // busMetrics are the bus's pre-resolved aggregate counters; per-subscriber
@@ -448,8 +451,22 @@ func (b *Bus) publisher(name string) *publisherState {
 	return ps
 }
 
+// Close shuts the bus down: every later Publish fails with ErrBusClosed.
+// Deliveries and retransmissions already scheduled in virtual time still
+// fire — Close fences new traffic, it does not tear down the simulation.
+// Closing an already-closed bus is a no-op.
+func (b *Bus) Close() {
+	b.closed = true
+}
+
+// Closed reports whether the bus has been shut down.
+func (b *Bus) Closed() bool { return b.closed }
+
 // Publish broadcasts the event to every subscriber except its source.
 func (b *Bus) Publish(ev Event) error {
+	if b.closed {
+		return fmt.Errorf("%w: dropping publish from %s", ErrBusClosed, ev.Source)
+	}
 	b.stats.Published++
 	b.met.published.Inc()
 	b.publisher(ev.Source).stats.Published++

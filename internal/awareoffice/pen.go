@@ -17,6 +17,15 @@ var (
 	ErrNotWired = errors.New("awareoffice: appliance not attached to a bus")
 )
 
+// MeasureSource supplies the current quality measure at scoring time — the
+// hook hot-reload watchers (ckpt.Handle) plug into. Load may return nil
+// when no model is available yet; the appliance then publishes legacy
+// events without quality, exactly as with a nil Measure.
+type MeasureSource interface {
+	// Load returns the measure to score with right now.
+	Load() *core.Measure
+}
+
 // Pen is the AwarePen appliance: it windows its accelerometer stream,
 // classifies every window, scores the classification with the CQM, and
 // publishes the result as a context event at the window's end time.
@@ -28,6 +37,11 @@ type Pen struct {
 	// Measure optionally annotates events with quality values; nil
 	// publishes legacy events without quality.
 	Measure *core.Measure
+	// Source, when non-nil, takes precedence over Measure and is consulted
+	// on every scoring decision — the hot-reload path. The measure is
+	// snapshotted once per decision, so a concurrent swap never mixes two
+	// models inside one batch or window.
+	Source MeasureSource
 	// WindowSize is the readings per classification window. Default 100.
 	WindowSize int
 	// Windower pipeline; nil uses the paper's per-axis stddev cues.
@@ -133,7 +147,7 @@ func (p *Pen) feedPreScored(sim *Simulation, windows []feature.Window) (int, err
 		outs[i].class = class
 		outs[i].ok = true
 	}
-	if p.Measure != nil {
+	if m := p.measure(); m != nil {
 		var batchIdx []int
 		var batch []core.Observation
 		for i := range outs {
@@ -149,7 +163,7 @@ func (p *Pen) feedPreScored(sim *Simulation, windows []feature.Window) (int, err
 			batch = append(batch, core.Observation{Cues: windows[i].Cues, Class: outs[i].class})
 		}
 		if len(batch) > 0 {
-			qs, ok, err := p.Measure.ScoreBatch(batch, parallel.New(p.PreScoreWorkers))
+			qs, ok, err := m.ScoreBatch(batch, parallel.New(p.PreScoreWorkers))
 			if err != nil {
 				return 0, fmt.Errorf("awareoffice: pre-scoring pen windows: %w", err)
 			}
@@ -213,8 +227,8 @@ func (p *Pen) classifyAndPublish(w feature.Window) {
 		Seq:     p.seq,
 	}
 	p.seq++
-	if p.Measure != nil {
-		if q, err := p.scoreWindow(w, class); err == nil {
+	if m := p.measure(); m != nil {
+		if q, err := p.scoreWindow(m, w, class); err == nil {
 			ev.Quality = q
 			ev.HasQuality = true
 		}
@@ -225,13 +239,23 @@ func (p *Pen) classifyAndPublish(w feature.Window) {
 	_ = p.bus.Publish(ev)
 }
 
-// scoreWindow scores one window's classification, forcing windows flagged
-// as degraded through the ε error state.
-func (p *Pen) scoreWindow(w feature.Window, class sensor.Context) (float64, error) {
+// scoreWindow scores one window's classification through the given
+// measure snapshot, forcing windows flagged as degraded through the ε
+// error state.
+func (p *Pen) scoreWindow(m *core.Measure, w feature.Window, class sensor.Context) (float64, error) {
 	if w.Degraded.Any() {
 		return core.ScoreDegraded()
 	}
-	return p.Measure.Score(w.Cues, class)
+	return m.Score(w.Cues, class)
+}
+
+// measure snapshots the quality measure for one scoring decision: the
+// Source when set (hot reload), the static Measure field otherwise.
+func (p *Pen) measure() *core.Measure {
+	if p.Source != nil {
+		return p.Source.Load()
+	}
+	return p.Measure
 }
 
 // DegradedWindows returns the number of fed windows flagged as degraded.

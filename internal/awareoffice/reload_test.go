@@ -1,0 +1,163 @@
+package awareoffice
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cqm/internal/core"
+	"cqm/internal/fuzzy"
+	"cqm/internal/sensor"
+)
+
+// swapSource is a MeasureSource whose model the test can replace between
+// feeds — the minimal stand-in for a hot-reload handle.
+type swapSource struct{ m *core.Measure }
+
+func (s *swapSource) Load() *core.Measure { return s.m }
+
+// biasMeasure builds a quality FIS over (cue..., class) whose single wide
+// rule always fires with the constant consequent bias, so every score is
+// exactly bias.
+func biasMeasure(t *testing.T, inputs int, bias float64) *core.Measure {
+	t.Helper()
+	ant := make([]fuzzy.Gaussian, inputs)
+	for i := range ant {
+		ant[i] = fuzzy.Gaussian{Mu: 0, Sigma: 1e6}
+	}
+	coeffs := make([]float64, inputs+1)
+	coeffs[inputs] = bias
+	sys, err := fuzzy.NewTSK(inputs, []fuzzy.Rule{{Antecedent: ant, Coeffs: coeffs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.MeasureFromSystem(sys)
+}
+
+// nearBias reports whether q is the rule's constant bias up to the one
+// rounding step of the single-rule weighted average.
+func nearBias(q, bias float64) bool {
+	return math.Abs(q-bias) < 1e-9
+}
+
+// constClassifier recognizes every window as one fixed context.
+type constClassifier struct{ class sensor.Context }
+
+func (c constClassifier) Classify([]float64) (sensor.Context, error) { return c.class, nil }
+func (c constClassifier) Name() string                               { return "const" }
+
+// feedSession runs one office session through the pen and returns the
+// events a listener received.
+func feedSession(t *testing.T, pen *Pen, seed int64) []Event {
+	t.Helper()
+	sim := NewSimulation(1)
+	bus, err := NewBus(sim, Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	bus.Subscribe("listener", func(ev Event) { events = append(events, ev) })
+	pen.Attach(bus)
+	readings, err := sensor.OfficeSession(sensor.DefaultStyle()).Run(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pen.Feed(sim, readings); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(1e9)
+	if len(events) == 0 {
+		t.Fatal("no events published")
+	}
+	return events
+}
+
+func TestPenSourceOverridesMeasure(t *testing.T) {
+	// Source must take precedence over the legacy Measure field, in both
+	// the per-event and the pre-scored path.
+	for name, workers := range map[string]int{"per-event": 0, "pre-scored": 2} {
+		t.Run(name, func(t *testing.T) {
+			// cues are 3 per window (per-axis stddev) + the class input.
+			src := &swapSource{m: biasMeasure(t, 4, 0.75)}
+			pen := &Pen{
+				Classifier:      constClassifier{class: sensor.ContextWriting},
+				Measure:         biasMeasure(t, 4, 0.25),
+				Source:          src,
+				PreScoreWorkers: workers,
+			}
+			for _, ev := range feedSession(t, pen, 7) {
+				if !ev.HasQuality || !nearBias(ev.Quality, 0.75) {
+					t.Fatalf("event quality %v (has=%v), want 0.75 via Source",
+						ev.Quality, ev.HasQuality)
+				}
+			}
+		})
+	}
+}
+
+func TestPenSourceHotSwapBetweenFeeds(t *testing.T) {
+	src := &swapSource{m: biasMeasure(t, 4, 0.25)}
+	pen := &Pen{
+		Classifier: constClassifier{class: sensor.ContextWriting},
+		Source:     src,
+	}
+	for _, ev := range feedSession(t, pen, 7) {
+		if !ev.HasQuality || !nearBias(ev.Quality, 0.25) {
+			t.Fatalf("pre-swap quality %v, want 0.25", ev.Quality)
+		}
+	}
+	src.m = biasMeasure(t, 4, 0.75) // hot swap
+	for _, ev := range feedSession(t, pen, 7) {
+		if !ev.HasQuality || !nearBias(ev.Quality, 0.75) {
+			t.Fatalf("post-swap quality %v, want 0.75", ev.Quality)
+		}
+	}
+}
+
+func TestPenSourceEmptyPublishesLegacy(t *testing.T) {
+	// A source with no model yet (cold start before any artifact lands)
+	// publishes legacy events without quality instead of dropping them.
+	pen := &Pen{
+		Classifier: constClassifier{class: sensor.ContextWriting},
+		Source:     &swapSource{},
+	}
+	for _, ev := range feedSession(t, pen, 7) {
+		if ev.HasQuality {
+			t.Fatalf("empty source produced quality %v", ev.Quality)
+		}
+	}
+}
+
+func TestBusClose(t *testing.T) {
+	sim := NewSimulation(1)
+	bus, err := NewBus(sim, Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	bus.Subscribe("listener", func(Event) { delivered++ })
+	if err := bus.Publish(Event{Source: "pen"}); err != nil {
+		t.Fatal(err)
+	}
+	if bus.Closed() {
+		t.Error("bus closed before Close")
+	}
+	bus.Close()
+	bus.Close() // idempotent
+	if !bus.Closed() {
+		t.Error("Closed() false after Close")
+	}
+	if err := bus.Publish(Event{Source: "pen"}); !errors.Is(err, ErrBusClosed) {
+		t.Errorf("publish after close: err = %v, want ErrBusClosed", err)
+	}
+	sim.Run(1e9)
+	// The pre-close delivery still fires; the post-close one never entered
+	// the bus.
+	if delivered != 1 {
+		t.Errorf("delivered %d events, want 1", delivered)
+	}
+	if got := bus.Stats().Published; got != 1 {
+		t.Errorf("published stat %d, want 1", got)
+	}
+}

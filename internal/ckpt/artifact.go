@@ -1,0 +1,233 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// SchemaVersion is the on-disk artifact envelope version. Readers reject
+// envelopes from a different version with ErrSchema instead of guessing.
+const SchemaVersion = 1
+
+// Artifact kinds. The kind in the manifest guards against loading one
+// model family as another (a checkpoint as a serving model, say).
+const (
+	// KindMeasure is a serialized core.Measure (the quality FIS).
+	KindMeasure = "measure"
+	// KindClassifier is a serialized context classifier.
+	KindClassifier = "classifier"
+	// KindCheckpoint is a serialized anfis.TrainState.
+	KindCheckpoint = "checkpoint"
+)
+
+// Typed artifact errors. Callers branch on these with errors.Is.
+var (
+	// ErrCorrupt reports an artifact that does not decode: truncated,
+	// torn, or structurally invalid JSON, or a payload that fails its own
+	// validation.
+	ErrCorrupt = errors.New("ckpt: artifact corrupt")
+	// ErrChecksum reports a payload whose CRC32C does not match the
+	// manifest — the bytes changed after the writer sealed them.
+	ErrChecksum = errors.New("ckpt: artifact checksum mismatch")
+	// ErrSchema reports an envelope written under a different schema
+	// version.
+	ErrSchema = errors.New("ckpt: artifact schema version skew")
+	// ErrKind reports an artifact of the wrong kind for the requested use.
+	ErrKind = errors.New("ckpt: artifact kind mismatch")
+)
+
+// Manifest describes an artifact: what it is, where it came from, and the
+// training state it captures. CreatedAt comes from a caller-injected clock
+// so library code never reads the wall clock.
+type Manifest struct {
+	// Schema is the envelope version; WriteArtifact stamps SchemaVersion.
+	Schema int `json:"schema"`
+	// Kind names the payload family (KindMeasure, KindClassifier,
+	// KindCheckpoint).
+	Kind string `json:"kind"`
+	// CreatedAt is the caller-supplied creation time (zero when the caller
+	// has no clock).
+	CreatedAt time.Time `json:"created_at"`
+	// ConfigHash fingerprints the training configuration that produced the
+	// payload; resume and reload paths refuse silent config drift.
+	ConfigHash string `json:"config_hash,omitempty"`
+	// Epoch is the zero-based training epoch the payload captures.
+	Epoch int `json:"epoch,omitempty"`
+	// BestEpoch is the epoch of the best-so-far snapshot at capture time.
+	BestEpoch int `json:"best_epoch,omitempty"`
+	// TrainRMSE is the training error at Epoch.
+	TrainRMSE float64 `json:"train_rmse,omitempty"`
+	// CheckRMSE is the check-set error at Epoch (0 without a check set).
+	CheckRMSE float64 `json:"check_rmse,omitempty"`
+}
+
+// envelope is the artifact wire format: manifest, verbatim payload, and a
+// CRC32C (Castagnoli) checksum of the payload bytes in lowercase hex.
+type envelope struct {
+	Manifest Manifest        `json:"manifest"`
+	Payload  json.RawMessage `json:"payload"`
+	Checksum string          `json:"crc32c"`
+}
+
+// castagnoli is the CRC32C polynomial table shared by all artifacts.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteArtifact atomically persists payload at path inside a checksummed,
+// versioned envelope. The manifest's Schema field is stamped with
+// SchemaVersion; every other field is the caller's. The write is
+// crash-safe: a reader sees either the previous complete file or the new
+// complete file, never a torn mixture.
+func WriteArtifact(path string, man Manifest, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("ckpt: encoding %s payload: %w", man.Kind, err)
+	}
+	man.Schema = SchemaVersion
+	env := envelope{
+		Manifest: man,
+		Payload:  raw,
+		Checksum: hex.EncodeToString(checksumBytes(raw)),
+	}
+	data, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		return fmt.Errorf("ckpt: encoding %s envelope: %w", man.Kind, err)
+	}
+	return AtomicWriteFile(path, data, 0o644)
+}
+
+// checksumBytes returns the big-endian CRC32C of data.
+func checksumBytes(data []byte) []byte {
+	sum := crc32.Checksum(data, castagnoli)
+	return []byte{byte(sum >> 24), byte(sum >> 16), byte(sum >> 8), byte(sum)}
+}
+
+// ReadArtifact loads the artifact at path, verifies its integrity, and
+// decodes its payload into payload (skipped when payload is nil). kind, if
+// non-empty, must match the manifest's kind. Failures carry the typed
+// errors ErrCorrupt, ErrChecksum, ErrSchema, and ErrKind.
+func ReadArtifact(path, kind string, payload any) (Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("ckpt: reading artifact: %w", err)
+	}
+	return DecodeArtifact(data, kind, payload)
+}
+
+// DecodeArtifact is ReadArtifact on in-memory bytes: envelope decode,
+// checksum, schema, and kind verification, then payload decode. It never
+// panics, whatever the input — the fuzz target FuzzCheckpointDecode pins
+// that.
+func DecodeArtifact(data []byte, kind string, payload any) (Manifest, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return Manifest{}, fmt.Errorf("%w: envelope: %v", ErrCorrupt, err)
+	}
+	if len(env.Payload) == 0 {
+		return env.Manifest, fmt.Errorf("%w: empty payload", ErrCorrupt)
+	}
+	want, err := hex.DecodeString(env.Checksum)
+	if err != nil || len(want) != 4 {
+		return env.Manifest, fmt.Errorf("%w: unparseable checksum %q", ErrCorrupt, env.Checksum)
+	}
+	// The envelope is written indented for inspectability, which re-indents
+	// the embedded payload; the checksum covers the canonical (compact)
+	// payload bytes, so it is insensitive to whitespace and nothing else.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, env.Payload); err != nil {
+		return env.Manifest, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	got := checksumBytes(compact.Bytes())
+	for i := range want {
+		if want[i] != got[i] {
+			return env.Manifest, fmt.Errorf("%w: crc32c %s, manifest says %s",
+				ErrChecksum, hex.EncodeToString(got), env.Checksum)
+		}
+	}
+	if env.Manifest.Schema != SchemaVersion {
+		return env.Manifest, fmt.Errorf("%w: file schema %d, reader schema %d",
+			ErrSchema, env.Manifest.Schema, SchemaVersion)
+	}
+	if kind != "" && env.Manifest.Kind != kind {
+		return env.Manifest, fmt.Errorf("%w: artifact is %q, want %q",
+			ErrKind, env.Manifest.Kind, kind)
+	}
+	if payload != nil {
+		if err := json.Unmarshal(env.Payload, payload); err != nil {
+			return env.Manifest, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+		}
+	}
+	return env.Manifest, nil
+}
+
+// AtomicWriteFile writes data to path crash-safely: the bytes land in a
+// temporary file in the same directory, are fsynced, and are renamed over
+// path in one atomic step, followed by a directory sync so the rename
+// itself is durable. On any error the temporary file is removed and the
+// previous content of path is untouched.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-")
+	if err != nil {
+		return fmt.Errorf("ckpt: creating temp file: %w", err)
+	}
+	name := tmp.Name()
+	fail := func(step string, err error) error {
+		_ = tmp.Close()
+		_ = os.Remove(name)
+		return fmt.Errorf("ckpt: %s %s: %w", step, name, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail("writing", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("syncing", err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail("chmodding", err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(name)
+		return fmt.Errorf("ckpt: closing %s: %w", name, err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		_ = os.Remove(name)
+		return fmt.Errorf("ckpt: renaming into place: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("ckpt: opening dir for sync: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("ckpt: syncing dir: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("ckpt: closing dir: %w", cerr)
+	}
+	return nil
+}
+
+// HashConfig fingerprints any JSON-serializable configuration value as a
+// short hex string (CRC32C of its canonical JSON). Checkpoint manifests
+// carry it so a resume under a changed config is refused instead of
+// silently blending two training runs.
+func HashConfig(v any) (string, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("ckpt: hashing config: %w", err)
+	}
+	return hex.EncodeToString(checksumBytes(raw)), nil
+}

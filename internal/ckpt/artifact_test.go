@@ -1,0 +1,217 @@
+package ckpt
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+type testPayload struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+func writeTestArtifact(t *testing.T, path string) (Manifest, testPayload) {
+	t.Helper()
+	payload := testPayload{Name: "alpha", Values: []float64{0.25, 0.5, 1}}
+	man := Manifest{
+		Kind:       KindCheckpoint,
+		CreatedAt:  time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC),
+		ConfigHash: "cafe1234",
+		Epoch:      7,
+		BestEpoch:  5,
+		TrainRMSE:  0.125,
+		CheckRMSE:  0.25,
+	}
+	if err := WriteArtifact(path, man, payload); err != nil {
+		t.Fatal(err)
+	}
+	return man, payload
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.json")
+	wantMan, wantPayload := writeTestArtifact(t, path)
+
+	var got testPayload
+	man, err := ReadArtifact(path, KindCheckpoint, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMan.Schema = SchemaVersion
+	if man != wantMan {
+		t.Errorf("manifest = %+v, want %+v", man, wantMan)
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(wantPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Errorf("payload = %s, want %s", gotJSON, wantJSON)
+	}
+
+	// Manifest-only read: nil payload skips payload decoding.
+	if _, err := ReadArtifact(path, KindCheckpoint, nil); err != nil {
+		t.Errorf("manifest-only read: %v", err)
+	}
+	// Any-kind read: empty kind skips the kind check.
+	if _, err := ReadArtifact(path, "", &testPayload{}); err != nil {
+		t.Errorf("any-kind read: %v", err)
+	}
+}
+
+func TestArtifactTypedErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.json")
+	writeTestArtifact(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name   string
+		mutate func([]byte) []byte
+		kind   string
+		want   error
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }, KindCheckpoint, ErrCorrupt},
+		{"empty", func([]byte) []byte { return nil }, KindCheckpoint, ErrCorrupt},
+		{"not json", func([]byte) []byte { return []byte("hello") }, KindCheckpoint, ErrCorrupt},
+		{"flipped payload byte", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			i := strings.Index(string(out), "alpha")
+			out[i] = 'A'
+			return out
+		}, KindCheckpoint, ErrChecksum},
+		{"schema skew", func(b []byte) []byte {
+			return []byte(strings.Replace(string(b), `"schema": 1`, `"schema": 99`, 1))
+		}, KindCheckpoint, ErrSchema},
+		{"kind mismatch", func(b []byte) []byte { return b }, KindMeasure, ErrKind},
+		{"bad checksum field", func(b []byte) []byte {
+			return []byte(strings.Replace(string(b), `"crc32c": "`, `"crc32c": "zz`, 1))
+		}, KindCheckpoint, ErrCorrupt},
+		{"payload type mismatch", func(b []byte) []byte {
+			env := struct {
+				Manifest Manifest        `json:"manifest"`
+				Payload  json.RawMessage `json:"payload"`
+				Checksum string          `json:"crc32c"`
+			}{}
+			if err := json.Unmarshal(b, &env); err != nil {
+				t.Fatal(err)
+			}
+			env.Payload = json.RawMessage(`[1,2,3]`)
+			env.Checksum = checksumHexForTest(env.Payload)
+			out, err := json.Marshal(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}, KindCheckpoint, ErrCorrupt},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var got testPayload
+			_, err := DecodeArtifact(tt.mutate(append([]byte(nil), data...)), tt.kind, &got)
+			if !errors.Is(err, tt.want) {
+				t.Errorf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+// checksumHexForTest recomputes a valid payload checksum so a test can
+// isolate a later validation stage.
+func checksumHexForTest(payload []byte) string {
+	return hex.EncodeToString(checksumBytes(payload))
+}
+
+func TestWriteArtifactRejectsNonFinitePayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.json")
+	nan := struct {
+		V float64 `json:"v"`
+	}{V: inf()}
+	if err := WriteArtifact(path, Manifest{Kind: KindCheckpoint}, nan); err == nil {
+		t.Fatal("non-finite payload accepted")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Error("failed write left a file behind")
+	}
+}
+
+// inf returns +Inf.
+func inf() float64 { return math.Inf(1) }
+
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := AtomicWriteFile(path, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, []byte("two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "two" {
+		t.Errorf("content = %q, want %q", got, "two")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("temp files left behind: %v", names)
+	}
+
+	if err := AtomicWriteFile(filepath.Join(dir, "missing", "out.txt"), []byte("x"), 0o644); err == nil {
+		t.Error("write into a missing directory succeeded")
+	}
+}
+
+func TestHashConfig(t *testing.T) {
+	type cfg struct {
+		Epochs int
+		Rate   float64
+	}
+	h1, err := HashConfig(cfg{Epochs: 10, Rate: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HashConfig(cfg{Epochs: 10, Rate: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3, err := HashConfig(cfg{Epochs: 11, Rate: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("equal configs hash differently: %s vs %s", h1, h2)
+	}
+	if h1 == h3 {
+		t.Errorf("different configs collide: %s", h1)
+	}
+	if len(h1) != 8 {
+		t.Errorf("hash %q is not 8 hex chars", h1)
+	}
+	if _, err := HashConfig(func() {}); err == nil {
+		t.Error("unserializable config accepted")
+	}
+}

@@ -1,0 +1,36 @@
+// Package ckpt is the durability layer of the CQM pipeline: crash-safe
+// model artifacts, epoch-granular training checkpoints, and hot model
+// reload with last-good rollback.
+//
+// The paper's quality measure is only trustworthy if the trained FIS that
+// reaches an appliance is exactly the one ANFIS produced. Three mechanisms
+// guarantee that end to end:
+//
+//   - Artifacts. WriteArtifact persists any JSON-serializable payload
+//     atomically (write-temp + fsync + rename, then a directory sync) inside
+//     a versioned envelope carrying a manifest (schema version, kind,
+//     created-at from an injected clock, training-config hash, epoch, RMSE)
+//     and a CRC32C checksum of the payload bytes. ReadArtifact detects
+//     truncation and corruption (ErrCorrupt), bit rot (ErrChecksum), schema
+//     skew (ErrSchema), and kind confusion (ErrKind) with typed errors, so
+//     a torn or hostile file is never mistaken for a model.
+//
+//   - Checkpoints. Checkpointer plugs into anfis.Train through the
+//     TrainObserver/SnapshotObserver hook path and writes periodic and
+//     best-so-far checkpoints of the full anfis.TrainState. LatestState
+//     locates the newest usable checkpoint, skipping corrupt files with a
+//     warning counter, and refuses to resume across a training-config
+//     change (ErrConfigMismatch). Resuming replays the remaining epochs
+//     bit-identically to an uninterrupted run.
+//
+//   - Hot reload. ModelWatcher polls a candidate model artifact, validates
+//     it (decode, checksum, smoke-score), atomically swaps the served
+//     core.Measure behind a Handle, and keeps the last accepted model on
+//     disk as model.lastgood.json; a bad push never reaches scoring and a
+//     cold start falls back to the last-good copy.
+//
+// Every operation is instrumented under cqm_ckpt_* and cqm_reload_*
+// counters when a metrics registry is supplied. The package is
+// stdlib-only and, like the rest of the tree, takes time from injected
+// clocks so library behaviour stays reproducible.
+package ckpt

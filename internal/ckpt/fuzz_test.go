@@ -1,0 +1,51 @@
+package ckpt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cqm/internal/anfis"
+)
+
+// FuzzCheckpointDecode throws arbitrary bytes at the artifact decoder. The
+// contract under fuzzing: never panic, and any failure must carry one of
+// the typed artifact errors so callers can branch on it.
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("{"))
+	f.Add([]byte(`{"manifest":{"schema":1,"kind":"checkpoint"},"payload":{},"crc32c":"00000000"}`))
+	f.Add([]byte(`{"manifest":{"schema":1,"kind":"checkpoint"},"payload":null,"crc32c":""}`))
+	f.Add([]byte(`{"manifest":{"schema":2,"kind":"x"},"payload":1,"crc32c":"zz"}`))
+	// A well-formed artifact as a mutation seed.
+	seedPath := filepath.Join(f.TempDir(), "seed.json")
+	seed := struct {
+		V []float64 `json:"v"`
+	}{V: []float64{0.5, 1}}
+	if err := WriteArtifact(seedPath, Manifest{Kind: KindCheckpoint, Epoch: 1}, seed); err != nil {
+		f.Fatal(err)
+	}
+	seedBytes, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedBytes)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var st anfis.TrainState
+		man, err := DecodeArtifact(data, KindCheckpoint, &st)
+		if err != nil {
+			known := errors.Is(err, ErrCorrupt) || errors.Is(err, ErrChecksum) ||
+				errors.Is(err, ErrSchema) || errors.Is(err, ErrKind)
+			if !known {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Success implies full integrity: right schema, right kind.
+		if man.Schema != SchemaVersion || man.Kind != KindCheckpoint {
+			t.Fatalf("accepted artifact with manifest %+v", man)
+		}
+	})
+}

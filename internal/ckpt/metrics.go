@@ -1,0 +1,92 @@
+package ckpt
+
+import "cqm/internal/obs"
+
+// Metric names of the durability layer. Checkpointing registers under
+// cqm_ckpt_*, hot reload under cqm_reload_*.
+const (
+	// MetricCkptWrites counts checkpoint artifacts written successfully.
+	MetricCkptWrites = "cqm_ckpt_writes_total"
+	// MetricCkptWriteErrors counts checkpoint writes that failed; training
+	// continues, the failure is observable.
+	MetricCkptWriteErrors = "cqm_ckpt_write_errors_total"
+	// MetricCkptSkipped counts corrupt or invalid checkpoint files bypassed
+	// while locating a resume point.
+	MetricCkptSkipped = "cqm_ckpt_skipped_total"
+	// MetricCkptResumes counts training runs restarted from a checkpoint.
+	MetricCkptResumes = "cqm_ckpt_resumes_total"
+	// MetricCkptDivergence counts NaN/Inf epochs rolled back to the best
+	// finite snapshot.
+	MetricCkptDivergence = "cqm_ckpt_divergence_rollbacks_total"
+	// MetricReloadAttempts counts candidate-model evaluations by the
+	// watcher (new or changed files only).
+	MetricReloadAttempts = "cqm_reload_attempts_total"
+	// MetricReloadSuccess counts candidate models accepted and swapped in.
+	MetricReloadSuccess = "cqm_reload_success_total"
+	// MetricReloadRejected counts candidate models refused by decode,
+	// checksum, schema, kind, or smoke-score validation.
+	MetricReloadRejected = "cqm_reload_rejected_total"
+	// MetricReloadRollbacks counts loads of the on-disk last-good model
+	// after a rejected candidate left nothing in memory.
+	MetricReloadRollbacks = "cqm_reload_rollbacks_total"
+	// MetricReloadModelEpoch is the training epoch of the currently served
+	// model, from its manifest.
+	MetricReloadModelEpoch = "cqm_reload_model_epoch"
+)
+
+// ckptMetrics are the pre-resolved checkpointing counters; the zero value
+// (no registry) makes every update a nil-safe no-op.
+type ckptMetrics struct {
+	writes      *obs.Counter
+	writeErrors *obs.Counter
+	skipped     *obs.Counter
+	resumes     *obs.Counter
+	divergence  *obs.Counter
+}
+
+// newCkptMetrics resolves the checkpoint counters once.
+func newCkptMetrics(reg *obs.Registry) ckptMetrics {
+	if reg == nil {
+		return ckptMetrics{}
+	}
+	reg.Help(MetricCkptWrites, "Checkpoint artifacts written successfully.")
+	reg.Help(MetricCkptWriteErrors, "Checkpoint artifact writes that failed.")
+	reg.Help(MetricCkptSkipped, "Corrupt checkpoint files bypassed during resume.")
+	reg.Help(MetricCkptResumes, "Training runs restarted from a checkpoint.")
+	reg.Help(MetricCkptDivergence, "Diverged epochs rolled back to the best finite snapshot.")
+	return ckptMetrics{
+		writes:      reg.Counter(MetricCkptWrites),
+		writeErrors: reg.Counter(MetricCkptWriteErrors),
+		skipped:     reg.Counter(MetricCkptSkipped),
+		resumes:     reg.Counter(MetricCkptResumes),
+		divergence:  reg.Counter(MetricCkptDivergence),
+	}
+}
+
+// reloadMetrics are the pre-resolved hot-reload counters.
+type reloadMetrics struct {
+	attempts   *obs.Counter
+	success    *obs.Counter
+	rejected   *obs.Counter
+	rollbacks  *obs.Counter
+	modelEpoch *obs.Gauge
+}
+
+// newReloadMetrics resolves the hot-reload metrics once.
+func newReloadMetrics(reg *obs.Registry) reloadMetrics {
+	if reg == nil {
+		return reloadMetrics{}
+	}
+	reg.Help(MetricReloadAttempts, "Candidate model files evaluated by the watcher.")
+	reg.Help(MetricReloadSuccess, "Candidate models accepted and swapped into serving.")
+	reg.Help(MetricReloadRejected, "Candidate models refused by validation or smoke-score.")
+	reg.Help(MetricReloadRollbacks, "Last-good model loads after a rejected candidate.")
+	reg.Help(MetricReloadModelEpoch, "Training epoch of the currently served model.")
+	return reloadMetrics{
+		attempts:   reg.Counter(MetricReloadAttempts),
+		success:    reg.Counter(MetricReloadSuccess),
+		rejected:   reg.Counter(MetricReloadRejected),
+		rollbacks:  reg.Counter(MetricReloadRollbacks),
+		modelEpoch: reg.Gauge(MetricReloadModelEpoch),
+	}
+}

@@ -1,0 +1,250 @@
+package ckpt
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cqm/internal/core"
+	"cqm/internal/obs"
+)
+
+// LastGoodName is the default file name for the last accepted model,
+// written next to the watched path so a restart can serve it immediately.
+const LastGoodName = "model.lastgood.json"
+
+// Handle is an atomically swappable reference to the served core.Measure.
+// Scoring paths Load it once per unit of work (window, batch) so a swap
+// mid-stream never mixes two models inside one scoring decision, and no
+// score is ever dropped during a reload.
+type Handle struct {
+	ptr atomic.Pointer[core.Measure]
+}
+
+// NewHandle returns a handle serving m (which may be nil: empty handle).
+func NewHandle(m *core.Measure) *Handle {
+	h := &Handle{}
+	if m != nil {
+		h.ptr.Store(m)
+	}
+	return h
+}
+
+// Load returns the currently served measure, or nil when none is set.
+func (h *Handle) Load() *core.Measure {
+	if h == nil {
+		return nil
+	}
+	return h.ptr.Load()
+}
+
+// Store atomically swaps the served measure.
+func (h *Handle) Store(m *core.Measure) {
+	h.ptr.Store(m)
+}
+
+// WatchConfig parameterizes a ModelWatcher.
+type WatchConfig struct {
+	// Path is the watched model artifact (kind "measure").
+	Path string
+	// LastGood is where accepted models are copied; default is
+	// model.lastgood.json next to Path.
+	LastGood string
+	// Smoke validates a decoded candidate before it is swapped in; nil uses
+	// SmokeProbe. A non-nil error rejects the candidate.
+	Smoke func(*core.Measure) error
+	// Metrics, when non-nil, counts reload attempts, successes, rejections,
+	// and rollbacks on this registry.
+	Metrics *obs.Registry
+}
+
+// ModelWatcher polls a model artifact and hot-swaps the served measure
+// behind a Handle. A candidate is accepted only if it decodes (envelope,
+// checksum, schema, kind) and passes the smoke check; accepted models are
+// also copied to the last-good file, and a rejected candidate leaves the
+// handle untouched — serving continues on the previous model. An empty
+// handle falls back to the last-good copy.
+type ModelWatcher struct {
+	cfg    WatchConfig
+	handle *Handle
+	met    reloadMetrics
+
+	mu       sync.Mutex
+	seenMod  time.Time
+	seenSize int64
+	seenOnce bool
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	started   atomic.Bool
+	stopCh    chan struct{}
+	done      chan struct{}
+}
+
+// NewModelWatcher watches path for handle. It does not poll by itself
+// until Start; call Poll directly for single-shot (or externally
+// scheduled) checks.
+func NewModelWatcher(cfg WatchConfig, handle *Handle) (*ModelWatcher, error) {
+	if cfg.Path == "" {
+		return nil, fmt.Errorf("ckpt: watch path must be set")
+	}
+	if handle == nil {
+		return nil, fmt.Errorf("ckpt: watch handle must be set")
+	}
+	if cfg.LastGood == "" {
+		cfg.LastGood = filepath.Join(filepath.Dir(cfg.Path), LastGoodName)
+	}
+	if cfg.Smoke == nil {
+		cfg.Smoke = SmokeProbe
+	}
+	return &ModelWatcher{
+		cfg:    cfg,
+		handle: handle,
+		met:    newReloadMetrics(cfg.Metrics),
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}, nil
+}
+
+// Poll checks the watched path once. It reports whether a new model was
+// swapped in; a nil error with swapped=false means "no change" or "file
+// absent". A changed file is marked seen before validation, so a bad push
+// is rejected once, not on every poll. When the handle is empty and the
+// candidate was rejected (or absent), Poll falls back to the last-good
+// copy.
+func (w *ModelWatcher) Poll() (swapped bool, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	info, statErr := os.Stat(w.cfg.Path)
+	changed := false
+	if statErr == nil {
+		if !w.seenOnce || !info.ModTime().Equal(w.seenMod) || info.Size() != w.seenSize {
+			changed = true
+			w.seenOnce = true
+			w.seenMod = info.ModTime()
+			w.seenSize = info.Size()
+		}
+	}
+
+	if changed {
+		w.met.attempts.Inc()
+		man, m, loadErr := loadMeasure(w.cfg.Path, w.cfg.Smoke)
+		if loadErr == nil {
+			w.handle.Store(m)
+			w.met.success.Inc()
+			w.met.modelEpoch.Set(float64(man.Epoch))
+			w.persistLastGood()
+			return true, nil
+		}
+		w.met.rejected.Inc()
+		err = fmt.Errorf("ckpt: rejected candidate %s: %w", w.cfg.Path, loadErr)
+	}
+
+	// Serving continues on the previous model after a rejection; only an
+	// empty handle needs the on-disk last-good fallback.
+	if w.handle.Load() == nil {
+		if man, m, lgErr := loadMeasure(w.cfg.LastGood, w.cfg.Smoke); lgErr == nil {
+			w.handle.Store(m)
+			w.met.rollbacks.Inc()
+			w.met.modelEpoch.Set(float64(man.Epoch))
+			return true, err
+		}
+	}
+	return false, err
+}
+
+// persistLastGood copies the just-accepted artifact bytes to the last-good
+// path atomically. Failure is not fatal — the model is already serving —
+// but it is surfaced as a rejected-write on the error counter path via a
+// best-effort retry on the next accepted model.
+func (w *ModelWatcher) persistLastGood() {
+	data, err := os.ReadFile(w.cfg.Path)
+	if err != nil {
+		return
+	}
+	_ = AtomicWriteFile(w.cfg.LastGood, data, 0o644)
+}
+
+// loadMeasure reads a measure artifact and runs the smoke check.
+func loadMeasure(path string, smoke func(*core.Measure) error) (Manifest, *core.Measure, error) {
+	var m core.Measure
+	man, err := ReadArtifact(path, KindMeasure, &m)
+	if err != nil {
+		return man, nil, err
+	}
+	if smoke != nil {
+		if err := smoke(&m); err != nil {
+			return man, nil, fmt.Errorf("smoke check: %w", err)
+		}
+	}
+	return man, &m, nil
+}
+
+// SmokeProbe is the default candidate validation: the measure must expose
+// a non-empty rule base, and evaluating the system at each rule's
+// antecedent centers — inputs guaranteed to activate — must produce at
+// least one finite raw score. A model that cannot score even its own rule
+// centers would serve nothing but ε.
+func SmokeProbe(m *core.Measure) error {
+	sys := m.System()
+	if sys == nil || sys.NumRules() == 0 {
+		return fmt.Errorf("no rules")
+	}
+	finite := 0
+	for j := 0; j < sys.NumRules(); j++ {
+		rule := sys.Rule(j)
+		v := make([]float64, sys.Inputs())
+		for i, mf := range rule.Antecedent {
+			v[i] = mf.Mu
+		}
+		raw, err := sys.Eval(v)
+		if err != nil {
+			continue
+		}
+		if !math.IsNaN(raw) && !math.IsInf(raw, 0) {
+			finite++
+		}
+	}
+	if finite == 0 {
+		return fmt.Errorf("no rule center produced a finite score")
+	}
+	return nil
+}
+
+// Start polls every interval on a background goroutine until Stop. Poll
+// errors are delivered to onErr when non-nil (rejected candidates are
+// expected operational events, not crashes). Subsequent calls are no-ops.
+func (w *ModelWatcher) Start(interval time.Duration, onErr func(error)) {
+	w.startOnce.Do(func() {
+		w.started.Store(true)
+		ticker := time.NewTicker(interval)
+		go func() {
+			defer close(w.done)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-w.stopCh:
+					return
+				case <-ticker.C:
+					if _, err := w.Poll(); err != nil && onErr != nil {
+						onErr(err)
+					}
+				}
+			}
+		}()
+	})
+}
+
+// Stop terminates the polling goroutine and waits for it to exit. Safe to
+// call multiple times; a watcher that was never started stops immediately.
+func (w *ModelWatcher) Stop() {
+	w.stopOnce.Do(func() { close(w.stopCh) })
+	if w.started.Load() {
+		<-w.done
+	}
+}

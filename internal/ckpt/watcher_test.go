@@ -1,0 +1,312 @@
+package ckpt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"cqm/internal/core"
+	"cqm/internal/fuzzy"
+	"cqm/internal/obs"
+	"cqm/internal/sensor"
+)
+
+// testMeasure builds a small valid quality FIS over (cue, class): one wide
+// rule whose consequent is the constant bias, so every score is bias.
+func testMeasure(t *testing.T, bias float64) *core.Measure {
+	t.Helper()
+	sys, err := fuzzy.NewTSK(2, []fuzzy.Rule{{
+		Antecedent: []fuzzy.Gaussian{{Mu: 0.5, Sigma: 10}, {Mu: 0, Sigma: 10}},
+		Coeffs:     []float64{0, 0, bias},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.MeasureFromSystem(sys)
+}
+
+// writeMeasureArtifact persists m as a measure artifact at path.
+func writeMeasureArtifact(t *testing.T, path string, m *core.Measure, epoch int) {
+	t.Helper()
+	man := Manifest{Kind: KindMeasure, CreatedAt: testClock(), Epoch: epoch}
+	if err := WriteArtifact(path, man, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// scoreThrough scores one observation through the handle's current model.
+func scoreThrough(t *testing.T, h *Handle) float64 {
+	t.Helper()
+	m := h.Load()
+	if m == nil {
+		t.Fatal("handle empty")
+	}
+	q, err := m.Score([]float64{0.5}, sensor.Context(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestWatcherAcceptsValidModel(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	reg := obs.NewRegistry()
+	h := NewHandle(nil)
+	w, err := NewModelWatcher(WatchConfig{Path: path, Metrics: reg}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing to load yet: no attempt, no error.
+	swapped, err := w.Poll()
+	if swapped || err != nil {
+		t.Fatalf("empty poll: swapped=%v err=%v", swapped, err)
+	}
+
+	writeMeasureArtifact(t, path, testMeasure(t, 0.75), 9)
+	swapped, err = w.Poll()
+	if err != nil || !swapped {
+		t.Fatalf("poll: swapped=%v err=%v", swapped, err)
+	}
+	if q := scoreThrough(t, h); q != 0.75 {
+		t.Errorf("score through swapped model = %v, want 0.75", q)
+	}
+	if _, err := os.Stat(filepath.Join(dir, LastGoodName)); err != nil {
+		t.Errorf("last-good copy missing: %v", err)
+	}
+	if got := reg.Counter(MetricReloadSuccess).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricReloadSuccess, got)
+	}
+	if got := reg.Gauge(MetricReloadModelEpoch).Value(); got != 9 {
+		t.Errorf("%s = %v, want 9", MetricReloadModelEpoch, got)
+	}
+
+	// Unchanged file: no further attempts.
+	if swapped, err := w.Poll(); swapped || err != nil {
+		t.Errorf("unchanged poll: swapped=%v err=%v", swapped, err)
+	}
+	if got := reg.Counter(MetricReloadAttempts).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricReloadAttempts, got)
+	}
+}
+
+func TestWatcherRejectsBadModelKeepsServing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	reg := obs.NewRegistry()
+	h := NewHandle(nil)
+	w, err := NewModelWatcher(WatchConfig{Path: path, Metrics: reg}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeMeasureArtifact(t, path, testMeasure(t, 0.25), 3)
+	if _, err := w.Poll(); err != nil {
+		t.Fatal(err)
+	}
+
+	bads := map[string][]byte{
+		"torn":       []byte(`{"manifest":{"schema":1,"kind":"measure"`),
+		"garbage":    []byte("not json at all"),
+		"wrong kind": nil, // filled below
+	}
+	ckptPath := filepath.Join(dir, "ckpt.json")
+	if err := WriteArtifact(ckptPath, Manifest{Kind: KindCheckpoint}, map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	wrongKind, err := os.ReadFile(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bads["wrong kind"] = wrongKind
+
+	attempts := reg.Counter(MetricReloadAttempts).Value()
+	for name, bad := range bads {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, bad, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// A changed mtime is not guaranteed within one test; force the
+			// size-change path by construction (all bads differ in size from
+			// the good artifact and from each other).
+			swapped, err := w.Poll()
+			if swapped {
+				t.Error("bad model swapped in")
+			}
+			if err == nil {
+				t.Error("bad model accepted without error")
+			}
+			if q := scoreThrough(t, h); q != 0.25 {
+				t.Errorf("serving score = %v, want last-good 0.25", q)
+			}
+		})
+	}
+	if got := reg.Counter(MetricReloadRejected).Value(); got != int64(len(bads)) {
+		t.Errorf("%s = %d, want %d", MetricReloadRejected, got, len(bads))
+	}
+	// Each bad push was evaluated exactly once, then marked seen.
+	if got := reg.Counter(MetricReloadAttempts).Value(); got != attempts+int64(len(bads)) {
+		t.Errorf("%s = %d, want %d", MetricReloadAttempts, got, attempts+int64(len(bads)))
+	}
+	if swapped, err := w.Poll(); swapped || err != nil {
+		t.Errorf("re-poll of seen bad file: swapped=%v err=%v", swapped, err)
+	}
+}
+
+func TestWatcherSmokeRejection(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	h := NewHandle(testMeasure(t, 0.5))
+	w, err := NewModelWatcher(WatchConfig{Path: path}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A structurally valid artifact whose FIS overflows at its own rule
+	// center: the smoke probe must refuse it.
+	sys, err := fuzzy.NewTSK(2, []fuzzy.Rule{{
+		Antecedent: []fuzzy.Gaussian{{Mu: 1, Sigma: 10}, {Mu: 0, Sigma: 10}},
+		Coeffs:     []float64{1e308, 0, 1e308},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeMeasureArtifact(t, path, core.MeasureFromSystem(sys), 1)
+	swapped, err := w.Poll()
+	if swapped || err == nil {
+		t.Fatalf("smoke-failing model: swapped=%v err=%v", swapped, err)
+	}
+	if q := scoreThrough(t, h); q != 0.5 {
+		t.Errorf("serving score = %v, want pre-push 0.5", q)
+	}
+}
+
+func TestWatcherLastGoodFallback(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	lastGood := filepath.Join(dir, LastGoodName)
+	writeMeasureArtifact(t, lastGood, testMeasure(t, 0.625), 4)
+	// The candidate is corrupt and the handle empty — a cold start against
+	// a bad push must come up serving the last-good model.
+	if err := os.WriteFile(path, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	h := NewHandle(nil)
+	w, err := NewModelWatcher(WatchConfig{Path: path, Metrics: reg}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped, pollErr := w.Poll()
+	if !swapped {
+		t.Fatal("last-good fallback did not populate the handle")
+	}
+	if pollErr == nil {
+		t.Error("corrupt candidate produced no error")
+	}
+	if q := scoreThrough(t, h); q != 0.625 {
+		t.Errorf("serving score = %v, want last-good 0.625", q)
+	}
+	if got := reg.Counter(MetricReloadRollbacks).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricReloadRollbacks, got)
+	}
+}
+
+func TestWatcherValidation(t *testing.T) {
+	if _, err := NewModelWatcher(WatchConfig{}, NewHandle(nil)); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := NewModelWatcher(WatchConfig{Path: "x"}, nil); err == nil {
+		t.Error("nil handle accepted")
+	}
+}
+
+func TestHandleNil(t *testing.T) {
+	var h *Handle
+	if h.Load() != nil {
+		t.Error("nil handle Load != nil")
+	}
+}
+
+func TestHotSwapZeroDroppedScores(t *testing.T) {
+	// Concurrent scorers load the handle while models are swapped under
+	// them: every single score must succeed — no nil model, no error —
+	// whichever model serves it.
+	h := NewHandle(testMeasure(t, 0.25))
+	const scorers = 4
+	const rounds = 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make([]error, scorers)
+	for s := 0; s < scorers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := h.Load()
+				if m == nil {
+					errs[s] = errors.New("nil model observed")
+					return
+				}
+				q, err := m.Score([]float64{0.5}, sensor.Context(0))
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				if q != 0.25 && q != 0.75 {
+					errs[s] = errors.New("score from a mixed model")
+					return
+				}
+			}
+		}(s)
+	}
+	for i := 0; i < rounds; i++ {
+		bias := 0.25
+		if i%2 == 1 {
+			bias = 0.75
+		}
+		h.Store(testMeasure(t, bias))
+	}
+	close(stop)
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			t.Errorf("scorer %d: %v", s, err)
+		}
+	}
+}
+
+func TestWatcherStartStop(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	h := NewHandle(nil)
+	w, err := NewModelWatcher(WatchConfig{Path: path}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start(time.Millisecond, nil)
+	writeMeasureArtifact(t, path, testMeasure(t, 0.5), 2)
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Load() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("background watcher never picked up the model")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w.Stop()
+	w.Stop() // idempotent
+
+	// A never-started watcher stops without blocking.
+	w2, err := NewModelWatcher(WatchConfig{Path: path}, NewHandle(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Stop()
+}

@@ -18,6 +18,13 @@ type (
 	StopEvent = anfis.StopEvent
 	// TrainObserverFuncs adapts plain functions to a TrainObserver.
 	TrainObserverFuncs = anfis.ObserverFuncs
+	// TrainState is the complete resumable state of a hybrid-learning run;
+	// checkpointing observers capture it and BuildConfig.Hybrid.Resume
+	// restarts from it.
+	TrainState = anfis.TrainState
+	// SnapshotEvent hands a checkpointable TrainState to a snapshot-aware
+	// observer after each completed epoch.
+	SnapshotEvent = anfis.SnapshotEvent
 )
 
 // TrainObservers fans events out to several observers.

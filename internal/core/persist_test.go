@@ -1,0 +1,174 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cqm/internal/fuzzy"
+	"cqm/internal/sensor"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the measure golden fixture")
+
+// persistObservations synthesizes a small observation set whose
+// correctness depends on the cue, so the built FIS is non-trivial.
+func persistObservations(n int) []Observation {
+	out := make([]Observation, 0, n)
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n-1)
+		out = append(out, Observation{
+			Cues:    []float64{x},
+			Class:   sensor.ContextWriting,
+			Correct: x > 0.5,
+		})
+	}
+	return out
+}
+
+func TestMeasurePersistRoundTrip(t *testing.T) {
+	m, err := Build(persistObservations(60), nil, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Measure
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(&restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Error("marshal → unmarshal → marshal is not a fixed point")
+	}
+	if restored.Inputs() != m.Inputs() || restored.Rules() != m.Rules() {
+		t.Errorf("shape changed: %d/%d inputs, %d/%d rules",
+			restored.Inputs(), m.Inputs(), restored.Rules(), m.Rules())
+	}
+	// Identical scores, including identical error behavior, on a probe
+	// sweep across the cue domain.
+	for i := 0; i <= 10; i++ {
+		cues := []float64{float64(i) / 10}
+		q1, err1 := m.Score(cues, sensor.ContextWriting)
+		q2, err2 := restored.Score(cues, sensor.ContextWriting)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("probe %v: error mismatch %v vs %v", cues, err1, err2)
+		}
+		if err1 == nil && q1 != q2 {
+			t.Errorf("probe %v: score %v vs %v", cues, q1, q2)
+		}
+	}
+}
+
+func TestMeasurePersistEpsilonState(t *testing.T) {
+	// A serialized-and-restored measure must preserve the ε sentinel
+	// behavior: inputs that fire no rule score as ErrEpsilon, and the
+	// degraded sentinel stays routed through L.
+	m, err := Build(persistObservations(60), nil, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Measure
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	farOut := []float64{1e9}
+	_, origErr := m.Score(farOut, sensor.ContextWriting)
+	_, restErr := restored.Score(farOut, sensor.ContextWriting)
+	if !IsEpsilon(origErr) || !IsEpsilon(restErr) {
+		t.Errorf("far-out probe: errors %v / %v, want ε on both", origErr, restErr)
+	}
+	if _, err := ScoreDegraded(); !IsEpsilon(err) {
+		t.Errorf("ScoreDegraded err = %v, want ε", err)
+	}
+}
+
+func TestMeasureUnmarshalErrors(t *testing.T) {
+	var m Measure
+	if err := json.Unmarshal([]byte(`{broken`), &m); err == nil {
+		t.Error("broken JSON accepted")
+	}
+	if _, err := json.Marshal(&Measure{}); !errors.Is(err, ErrUnbuilt) {
+		// json wraps the error; fall back to a substring-free check via
+		// errors.Is on the unwrapped chain.
+		var unwrapped *json.MarshalerError
+		if !errors.As(err, &unwrapped) || !errors.Is(unwrapped.Err, ErrUnbuilt) {
+			t.Errorf("unbuilt marshal err = %v, want ErrUnbuilt", err)
+		}
+	}
+}
+
+// goldenMeasure is the canonical fixture measure: fixed dyadic constants,
+// so its JSON is stable across platforms and floating-point environments.
+func goldenMeasure(t *testing.T) *Measure {
+	t.Helper()
+	sys, err := fuzzy.NewTSK(2, []fuzzy.Rule{
+		{
+			Antecedent: []fuzzy.Gaussian{{Mu: 0.25, Sigma: 0.5}, {Mu: 2, Sigma: 1}},
+			Coeffs:     []float64{0.5, 0.125, 0.25},
+		},
+		{
+			Antecedent: []fuzzy.Gaussian{{Mu: 0.75, Sigma: 0.5}, {Mu: 2, Sigma: 1}},
+			Coeffs:     []float64{-0.5, 0.0625, 0.75},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MeasureFromSystem(sys)
+}
+
+func TestMeasureGoldenSchema(t *testing.T) {
+	// The golden fixture pins the on-disk measure schema: if a refactor
+	// changes field names, nesting, or defaults, this test fails before any
+	// deployed artifact stops loading.
+	path := filepath.Join("testdata", "measure.golden.json")
+	want, err := json.MarshalIndent(goldenMeasure(t), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(want, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	var restored Measure
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatalf("golden no longer decodes: %v", err)
+	}
+	again, err := json.MarshalIndent(&restored, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again)+"\n" != string(data) {
+		t.Errorf("golden round-trip drifted:\n got: %s\nwant: %s", again, data)
+	}
+	// The restored fixture must still score: probe at the first rule's
+	// antecedent center, which activates by construction.
+	q, err := restored.Score([]float64{0.25}, sensor.ContextWriting)
+	if err != nil {
+		t.Fatalf("golden measure cannot score: %v", err)
+	}
+	if q < 0 || q > 1 {
+		t.Errorf("golden score %v outside [0,1]", q)
+	}
+}

@@ -1,0 +1,230 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cqm/internal/ckpt"
+	"cqm/internal/core"
+)
+
+// ResumeConfig parameterizes the kill–resume durability sweep.
+type ResumeConfig struct {
+	// Workers is the hybrid-learning worker count; resumed runs must be
+	// bit-identical at every setting. Default 1.
+	Workers int
+	// Epochs is the uninterrupted run's epoch budget. Default 12.
+	Epochs int
+	// KillAt lists the epochs at which training is cut short — each value
+	// simulates a crash after that many completed epochs. Defaults to
+	// {3, 7, 10}. Every value must lie in [1, Epochs).
+	KillAt []int
+	// Dir is the checkpoint workspace; empty uses a fresh temporary
+	// directory that is removed when the experiment finishes.
+	Dir string
+	// Now supplies checkpoint-manifest timestamps. The experiment injects
+	// a virtual clock by default so its artifacts are reproducible; set
+	// this to override it.
+	Now func() time.Time
+}
+
+func (c ResumeConfig) withDefaults() ResumeConfig {
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 12
+	}
+	if len(c.KillAt) == 0 {
+		c.KillAt = []int{3, 7, 10}
+	}
+	if c.Now == nil {
+		// A virtual clock ticking one second per manifest write, so two
+		// runs of the experiment produce byte-identical checkpoints.
+		base := time.Date(2007, 6, 25, 0, 0, 0, 0, time.UTC) // ICDCS 2007
+		ticks := 0
+		c.Now = func() time.Time {
+			ticks++
+			return base.Add(time.Duration(ticks) * time.Second)
+		}
+	}
+	return c
+}
+
+// ResumeRow is one kill–resume trial.
+type ResumeRow struct {
+	// KillEpoch is the number of epochs completed before the simulated
+	// crash.
+	KillEpoch int
+	// ResumedFrom is the epoch of the checkpoint the resume loaded.
+	ResumedFrom int
+	// Skipped counts corrupt checkpoint files bypassed during resolution.
+	Skipped int
+	// Torn marks the trial where the newest checkpoint was deliberately
+	// truncated before resuming.
+	Torn bool
+	// FinalError is the resumed run's kept (best) error.
+	FinalError float64
+	// Identical reports whether the resumed model is bit-identical to the
+	// uninterrupted run's.
+	Identical bool
+}
+
+// ResumeResult is the durability sweep's outcome.
+type ResumeResult struct {
+	// Workers and Epochs echo the configuration.
+	Workers, Epochs int
+	// ReferenceError is the uninterrupted run's kept (best) error.
+	ReferenceError float64
+	// Rows are the kill–resume trials, one per KillAt value plus the
+	// torn-checkpoint trial.
+	Rows []ResumeRow
+}
+
+// resumeBuild runs one quality-FIS build over the setup's observation
+// sets with the given epoch budget, optional checkpoint directory, and
+// optional resume state. It returns the serialized model (the
+// bit-identity witness) and the stopping decision.
+func resumeBuild(setup *Setup, cfg ResumeConfig, epochs int, dir, hash string,
+	resume *core.TrainState) ([]byte, core.StopEvent, error) {
+	var stop core.StopEvent
+	build := core.BuildConfig{}
+	build.Hybrid.Workers = cfg.Workers
+	build.Hybrid.Epochs = epochs
+	build.Hybrid.Resume = resume
+	observers := []core.TrainObserver{core.TrainObserverFuncs{
+		OnStop: func(ev core.StopEvent) { stop = ev },
+	}}
+	if dir != "" {
+		checkpointer, err := ckpt.NewCheckpointer(ckpt.CheckpointConfig{
+			Dir:        dir,
+			ConfigHash: hash,
+			Now:        cfg.Now,
+		})
+		if err != nil {
+			return nil, stop, err
+		}
+		observers = append(observers, checkpointer)
+	}
+	build.Observer = core.TrainObservers(observers...)
+	measure, err := core.Build(setup.TrainObs, setup.CheckObs, build)
+	if err != nil {
+		return nil, stop, err
+	}
+	data, err := json.Marshal(measure)
+	if err != nil {
+		return nil, stop, err
+	}
+	return data, stop, nil
+}
+
+// ResumeExperiment measures checkpoint durability on the paper's own
+// pipeline: the quality-FIS training is cut short at several epochs,
+// resumed from the newest on-disk checkpoint, and the resumed model is
+// compared byte-for-byte against the uninterrupted run. A final trial
+// tears the newest checkpoint file first, showing the resolver skip the
+// corrupt artifact and still converge identically from the one before it.
+func ResumeExperiment(setup *Setup, cfg ResumeConfig) (*ResumeResult, error) {
+	cfg = cfg.withDefaults()
+	for _, k := range cfg.KillAt {
+		if k < 1 || k >= cfg.Epochs {
+			return nil, fmt.Errorf("eval: kill epoch %d outside [1, %d)", k, cfg.Epochs)
+		}
+	}
+	workspace := cfg.Dir
+	if workspace == "" {
+		tmp, err := os.MkdirTemp("", "cqm-resume-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		workspace = tmp
+	}
+	hash, err := ckpt.HashConfig(struct {
+		Seed    int64 `json:"seed"`
+		Workers int   `json:"workers"`
+		Epochs  int   `json:"epochs"`
+	}{Seed: setup.Config.Seed, Workers: cfg.Workers, Epochs: cfg.Epochs})
+	if err != nil {
+		return nil, err
+	}
+
+	reference, refStop, err := resumeBuild(setup, cfg, cfg.Epochs, "", hash, nil)
+	if err != nil {
+		return nil, fmt.Errorf("eval: reference run: %w", err)
+	}
+	result := &ResumeResult{
+		Workers:        cfg.Workers,
+		Epochs:         cfg.Epochs,
+		ReferenceError: refStop.BestError,
+	}
+
+	trial := func(kill int, tear bool) (ResumeRow, error) {
+		dir := fmt.Sprintf("%s/kill-%02d-torn-%v", workspace, kill, tear)
+		if _, _, err := resumeBuild(setup, cfg, kill, dir, hash, nil); err != nil {
+			return ResumeRow{}, fmt.Errorf("eval: killed run at %d: %w", kill, err)
+		}
+		if tear {
+			// Truncate the newest periodic checkpoint to a torn prefix, as a
+			// crash mid-write without the atomic rename would leave it.
+			path := ckpt.CheckpointPath(dir, kill-1)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return ResumeRow{}, err
+			}
+			if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+				return ResumeRow{}, err
+			}
+		}
+		res, err := ckpt.LatestState(dir, hash, nil)
+		if err != nil {
+			return ResumeRow{}, fmt.Errorf("eval: resolving checkpoint after kill at %d: %w", kill, err)
+		}
+		resumed, stop, err := resumeBuild(setup, cfg, cfg.Epochs, "", hash, res.State)
+		if err != nil {
+			return ResumeRow{}, fmt.Errorf("eval: resumed run from %d: %w", res.State.Epoch, err)
+		}
+		return ResumeRow{
+			KillEpoch:   kill,
+			ResumedFrom: res.State.Epoch,
+			Skipped:     res.Skipped,
+			Torn:        tear,
+			FinalError:  stop.BestError,
+			Identical:   string(resumed) == string(reference),
+		}, nil
+	}
+
+	for _, kill := range cfg.KillAt {
+		row, err := trial(kill, false)
+		if err != nil {
+			return nil, err
+		}
+		result.Rows = append(result.Rows, row)
+	}
+	// The torn trial: the newest checkpoint is corrupt, so the resolver
+	// must fall back to the epoch before the kill.
+	lastKill := cfg.KillAt[len(cfg.KillAt)-1]
+	row, err := trial(lastKill, true)
+	if err != nil {
+		return nil, err
+	}
+	result.Rows = append(result.Rows, row)
+	return result, nil
+}
+
+// Render renders the durability sweep table.
+func (r *ResumeResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Kill–resume durability — %d epochs, %d worker(s), reference error %.6f\n",
+		r.Epochs, r.Workers, r.ReferenceError)
+	fmt.Fprintf(&sb, "  %-12s %-13s %-8s %-6s %12s %11s\n",
+		"kill epoch", "resumed from", "skipped", "torn", "final error", "identical")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "  %-12d %-13d %-8d %-6v %12.6f %11v\n",
+			row.KillEpoch, row.ResumedFrom, row.Skipped, row.Torn, row.FinalError, row.Identical)
+	}
+	return sb.String()
+}

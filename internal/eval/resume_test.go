@@ -1,0 +1,48 @@
+package eval
+
+import "testing"
+
+func TestResumeExperimentBitIdentical(t *testing.T) {
+	setup := canonicalSetup(t)
+	for _, workers := range []int{1, 4} {
+		res, err := ResumeExperiment(setup, ResumeConfig{
+			Workers: workers,
+			Epochs:  8,
+			KillAt:  []int{2, 5},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 3 {
+			t.Fatalf("workers %d: %d rows, want 3 (two kills + torn)", workers, len(res.Rows))
+		}
+		for _, row := range res.Rows {
+			if !row.Identical {
+				t.Errorf("workers %d: kill %d (torn=%v) not bit-identical", workers, row.KillEpoch, row.Torn)
+			}
+			if row.ResumedFrom >= row.KillEpoch {
+				t.Errorf("workers %d: resumed from %d at kill %d", workers, row.ResumedFrom, row.KillEpoch)
+			}
+		}
+		torn := res.Rows[len(res.Rows)-1]
+		if !torn.Torn || torn.Skipped != 1 {
+			t.Errorf("workers %d: torn row = %+v, want Torn with 1 skipped", workers, torn)
+		}
+		// The torn checkpoint forces a one-epoch-earlier resume point than
+		// the intact trial at the same kill epoch.
+		intact := res.Rows[len(res.Rows)-2]
+		if torn.ResumedFrom != intact.ResumedFrom-1 {
+			t.Errorf("workers %d: torn resumed from %d, intact from %d", workers, torn.ResumedFrom, intact.ResumedFrom)
+		}
+	}
+}
+
+func TestResumeExperimentValidation(t *testing.T) {
+	setup := canonicalSetup(t)
+	if _, err := ResumeExperiment(setup, ResumeConfig{Epochs: 4, KillAt: []int{4}}); err == nil {
+		t.Error("kill epoch == epochs accepted")
+	}
+	if _, err := ResumeExperiment(setup, ResumeConfig{Epochs: 4, KillAt: []int{0}}); err == nil {
+		t.Error("kill epoch 0 accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+func init() {
+	register(&Check{
+		Name: "atomic-artifact",
+		Doc:  "direct os.WriteFile of a .json model artifact outside internal/ckpt",
+		Run:  runAtomicArtifact,
+	})
+}
+
+// runAtomicArtifact guards the durability contract of model artifacts: a
+// bare os.WriteFile truncates in place, so a crash mid-write leaves a torn
+// .json file that the loader can only reject, losing the previous good
+// artifact with it. Every .json artifact write outside internal/ckpt must
+// go through ckpt.WriteArtifact or ckpt.AtomicWriteFile (write-temp +
+// fsync + rename), which is why the ckpt package itself and test files are
+// exempt. The check fires on os.WriteFile calls whose path expression
+// carries a ".json" string literal — the signature of a hard-coded
+// artifact name.
+func runAtomicArtifact(pass *Pass) {
+	if strings.HasSuffix(pass.PkgPath, "internal/ckpt") {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name := calleePkgFunc(pass, call)
+			if pkg != "os" || name != "WriteFile" || len(call.Args) == 0 {
+				return true
+			}
+			if !containsJSONLiteral(call.Args[0]) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "os.WriteFile of a .json artifact can tear on crash; write it through ckpt.WriteArtifact or ckpt.AtomicWriteFile")
+			return true
+		})
+	}
+}
+
+// containsJSONLiteral reports whether any string literal inside the
+// expression mentions ".json".
+func containsJSONLiteral(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		if strings.Contains(lit.Value, ".json") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

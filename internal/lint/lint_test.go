@@ -33,6 +33,8 @@ var goldenCases = []struct {
 	{dir: "exported-doc/good", checks: []string{"exported-doc"}, internal: true},
 	{dir: "seeded-rand/bad", checks: []string{"seeded-rand"}, internal: true},
 	{dir: "seeded-rand/good", checks: []string{"seeded-rand"}, internal: true},
+	{dir: "atomic-artifact/bad", checks: []string{"atomic-artifact"}, internal: true},
+	{dir: "atomic-artifact/good", checks: []string{"atomic-artifact"}, internal: true},
 	{dir: "directive/suppressed", internal: true},
 	{dir: "directive/partial", internal: true},
 	{dir: "directive/malformed", internal: true},

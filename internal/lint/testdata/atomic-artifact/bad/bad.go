@@ -1,0 +1,19 @@
+// Positive corpus: torn-file-prone writes of .json artifacts.
+package sample
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func writeLiteral(data []byte) error {
+	return os.WriteFile("model.json", data, 0o644)
+}
+
+func writeJoined(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, "measure.json"), data, 0o644)
+}
+
+func writeConcat(dir string, data []byte) error {
+	return os.WriteFile(dir+"/classifier.json", data, 0o644)
+}

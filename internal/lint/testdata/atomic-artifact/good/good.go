@@ -1,0 +1,23 @@
+// Negative corpus: non-artifact writes and opaque paths stay quiet; the
+// atomic path (which the real code reaches via ckpt.AtomicWriteFile) is
+// out of this check's reach by construction.
+package sample
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func writeCSV(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, "dataset.csv"), data, 0o644)
+}
+
+func writeOpaque(path string, data []byte) error {
+	// The path may well be a .json file, but the call site cannot prove
+	// it; flagging every opaque path would drown the signal.
+	return os.WriteFile(path, data, 0o644)
+}
+
+func writeText(data []byte) error {
+	return os.WriteFile("NOTES.txt", data, 0o600)
+}
