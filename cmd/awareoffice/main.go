@@ -7,15 +7,34 @@
 // Usage:
 //
 //	awareoffice [-seed N] [-sessions N] [-loss P] [-burst P] [-retransmit] [-ber P] [-latency S]
-//	            [-jitter S] [-metrics-addr :8080] [-metrics-out file] [-workers N]
-//	            [-model-watch file]
+//	            [-jitter S] [-fault kind] [-metrics-addr :8080] [-metrics-out file] [-workers N]
+//	            [-model-watch file] [-quality-ref file] [-quality-out file] [-trace-sample N] [-pprof]
 //
 // With -metrics-addr the whole pipeline is instrumented and served at
-// /metrics in Prometheus text format (?format=json for a JSON snapshot);
-// the process then stays alive after printing its results until
-// interrupted. SIGINT/SIGTERM shut it down gracefully: the model watcher
-// stops, the bus closes, a final metrics snapshot is flushed to
-// -metrics-out (when set), and the process exits 0.
+// /metrics in Prometheus text format (?format=json for a JSON snapshot),
+// with the quality analytics report at /quality and — with -pprof — the
+// net/http/pprof profiling handlers at /debug/pprof/; the process then
+// stays alive after printing its results until interrupted.
+// SIGINT/SIGTERM shut it down gracefully: the model watcher stops, the
+// bus closes, final metrics and quality snapshots are flushed to
+// -metrics-out / -quality-out (when set), and the process exits 0.
+//
+// The quality analytics engine always watches the pen's published
+// decisions: per-source sliding-window statistics, Page–Hinkley and
+// Kolmogorov–Smirnov drift detection against the training-time reference
+// (loaded from a cqmtrain -quality-ref artifact when given, derived from
+// the in-process training otherwise), and a structured QualityReport with
+// trends, alerts, and a health grade, summarized after the run.
+//
+// -fault injects a sensor fault (stuck|saturation|dropout|spike|drift)
+// into the middle third of the sessions — a reproducible degradation
+// window the drift detectors should flag, with detection epochs that
+// replay bit-identically under the same seed at any -workers setting.
+//
+// -trace-sample N records an end-to-end pipeline trace (sample → score →
+// publish → bus delivery and retransmits → camera fusion → decision) for
+// every Nth published event into a bounded ring, dumped at /quality and
+// in the -quality-out snapshot.
 //
 // -model-watch hot-reloads the pen's quality measure from a ckpt measure
 // artifact (as written by cqmtrain): the file is polled for changes,
@@ -37,6 +56,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -46,6 +66,7 @@ import (
 	"os/signal"
 	"runtime"
 	"sort"
+	"sync"
 	"syscall"
 	"time"
 
@@ -56,6 +77,7 @@ import (
 	"cqm/internal/dataset"
 	"cqm/internal/fault"
 	"cqm/internal/obs"
+	"cqm/internal/quality"
 	"cqm/internal/sensor"
 )
 
@@ -80,6 +102,11 @@ type options struct {
 	metricsOut  string
 	workers     int
 	modelWatch  string
+	faultName   string
+	qualityRef  string
+	qualityOut  string
+	traceSample int
+	pprof       bool
 }
 
 func main() {
@@ -96,6 +123,11 @@ func main() {
 	flag.StringVar(&opts.metricsOut, "metrics-out", "", "flush a final JSON metrics snapshot to this file on shutdown")
 	flag.IntVar(&opts.workers, "workers", 1, "worker count for training and batch pre-scoring (0 = one per CPU, 1 = serial); outputs are identical at every setting")
 	flag.StringVar(&opts.modelWatch, "model-watch", "", "hot-reload the pen's quality measure from this ckpt measure artifact")
+	flag.StringVar(&opts.faultName, "fault", "none", "sensor fault injected into the middle third of sessions (none|stuck|saturation|dropout|spike|drift)")
+	flag.StringVar(&opts.qualityRef, "quality-ref", "", "load the drift-detection reference from this cqmtrain quality-reference artifact (default: derive from in-process training)")
+	flag.StringVar(&opts.qualityOut, "quality-out", "", "flush a final JSON quality report (with traces) to this file on shutdown")
+	flag.IntVar(&opts.traceSample, "trace-sample", 0, "record an end-to-end pipeline trace for every Nth published event (0 = off)")
+	flag.BoolVar(&opts.pprof, "pprof", false, "serve net/http/pprof profiling handlers at /debug/pprof/ on -metrics-addr")
 	flag.Parse()
 
 	if err := run(opts); err != nil {
@@ -104,9 +136,34 @@ func main() {
 	}
 }
 
+// qualityEndpoint serves /quality, swapping in the engine and tracer once
+// the recognition stack is trained; requests before that see an empty
+// report.
+type qualityEndpoint struct {
+	mu sync.Mutex
+	e  *quality.Engine
+	tr *quality.Tracer
+}
+
+// set installs the live engine and tracer.
+func (q *qualityEndpoint) set(e *quality.Engine, tr *quality.Tracer) {
+	q.mu.Lock()
+	q.e, q.tr = e, tr
+	q.mu.Unlock()
+}
+
+// ServeHTTP delegates to the quality handler over the current engine.
+func (q *qualityEndpoint) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	q.mu.Lock()
+	e, tr := q.e, q.tr
+	q.mu.Unlock()
+	quality.Handler(e, tr).ServeHTTP(w, r)
+}
+
 func run(opts options) error {
 	var reg *obs.Registry
 	var ln net.Listener
+	qep := &qualityEndpoint{}
 	if opts.metricsAddr != "" || opts.metricsOut != "" {
 		reg = obs.NewRegistry()
 	}
@@ -115,17 +172,33 @@ func run(opts options) error {
 		if ln, err = net.Listen("tcp", opts.metricsAddr); err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", reg.Handler())
+		mux := obs.NewMux(obs.MuxConfig{Registry: reg, Quality: qep, Pprof: opts.pprof})
 		go func() { _ = (&http.Server{Handler: mux}).Serve(ln) }()
-		fmt.Printf("metrics: http://%s/metrics\n", ln.Addr())
+		fmt.Printf("metrics: http://%s/metrics (quality report at /quality)\n", ln.Addr())
 	}
 
-	clf, measure, threshold, err := trainStack(opts.seed, reg, opts.workers)
+	injected, err := faultFor(opts.faultName)
 	if err != nil {
 		return err
 	}
+
+	clf, measure, analysis, err := trainStack(opts.seed, reg, opts.workers)
+	if err != nil {
+		return err
+	}
+	threshold := analysis.Threshold
 	fmt.Printf("recognition stack ready: threshold s = %.3f\n", threshold)
+
+	ref := quality.NewReference(analysis)
+	if opts.qualityRef != "" {
+		if ref, err = quality.LoadReference(opts.qualityRef); err != nil {
+			return fmt.Errorf("loading quality reference: %w", err)
+		}
+		fmt.Printf("quality reference loaded from %s\n", opts.qualityRef)
+	}
+	engine := quality.NewEngine(quality.Config{Threshold: threshold, Reference: ref, Metrics: reg})
+	tracer := quality.NewTracer(opts.traceSample, 0, reg)
+	qep.set(engine, tracer)
 
 	sim := awareoffice.NewSimulation(opts.seed + 10)
 	link := awareoffice.Link{Latency: opts.latency, Jitter: opts.jitter, Loss: opts.loss, BitErrorRate: opts.ber}
@@ -146,13 +219,14 @@ func run(opts options) error {
 		}
 	}
 	bus.Instrument(reg)
-	plain := &awareoffice.Camera{Name: "camera-plain"}
+	bus.Trace(tracer)
+	plain := &awareoffice.Camera{Name: "camera-plain", Tracer: tracer}
 	plain.Instrument(reg)
 	plain.Attach(bus)
-	filtered := &awareoffice.Camera{Name: "camera-cqm", UseQuality: true, MinQuality: threshold}
+	filtered := &awareoffice.Camera{Name: "camera-cqm", UseQuality: true, MinQuality: threshold, Tracer: tracer}
 	filtered.Instrument(reg)
 	filtered.Attach(bus)
-	pen := &awareoffice.Pen{Classifier: clf, Measure: measure}
+	pen := &awareoffice.Pen{Classifier: clf, Measure: measure, Quality: engine, Tracer: tracer}
 	switch {
 	case opts.workers == 0: // auto: batch pre-scoring with one worker per CPU
 		pen.PreScoreWorkers = runtime.GOMAXPROCS(0)
@@ -183,6 +257,11 @@ func run(opts options) error {
 		{Amplitude: 1.6, Tempo: 1.2, Irregularity: 0.6},
 	}
 	rng := rand.New(rand.NewSource(opts.seed + 11))
+	faultRng := rand.New(rand.NewSource(opts.seed + 12))
+	// The fault window is the middle third of the sessions — a bounded,
+	// reproducible degradation the drift detectors should flag.
+	faultLo, faultHi := opts.sessions/3, 2*opts.sessions/3
+	faultStart, faultEnd := -1.0, -1.0
 	var truths []float64
 	offset := 0.0
 	for i := 0; i < opts.sessions; i++ {
@@ -190,14 +269,29 @@ func run(opts options) error {
 		if err != nil {
 			return fmt.Errorf("session %d: %w", i, err)
 		}
+		if injected != nil && i >= faultLo && i < faultHi {
+			if readings, err = injected.Apply(readings, faultRng); err != nil {
+				return fmt.Errorf("injecting %s into session %d: %w", injected.Name(), i, err)
+			}
+		}
 		for k := range readings {
 			readings[k].T += offset
+		}
+		if injected != nil && i >= faultLo && i < faultHi {
+			if faultStart < 0 {
+				faultStart = readings[0].T
+			}
+			faultEnd = readings[len(readings)-1].T
 		}
 		if _, err := pen.Feed(sim, readings); err != nil {
 			return fmt.Errorf("feeding session %d: %w", i, err)
 		}
 		truths = append(truths, awareoffice.EndOfWritingTimes(readings)...)
 		offset = readings[len(readings)-1].T + 2
+	}
+	if injected != nil && faultStart >= 0 {
+		fmt.Printf("fault: %s injected into sessions [%d,%d) spanning virtual [%.1f s, %.1f s]\n",
+			injected.Name(), faultLo, faultHi, faultStart, faultEnd)
 	}
 	sim.Run(offset + 5)
 
@@ -239,6 +333,8 @@ func run(opts options) error {
 	fmt.Printf("%-14s %5d %9d %10.3f %8.3f  (ignored %d events)\n",
 		"cqm-filtered", scoreF.Hits, scoreF.Spurious, scoreF.Precision(), scoreF.Recall(), filtered.Ignored())
 
+	printQualityReport(engine.Report(), tracer)
+
 	if ln != nil {
 		if watcher != nil {
 			watcher.Start(watchInterval, func(err error) {
@@ -264,6 +360,60 @@ func run(opts options) error {
 		}
 		fmt.Printf("final metrics snapshot written to %s\n", opts.metricsOut)
 	}
+	if opts.qualityOut != "" {
+		if err := writeQualitySnapshot(opts.qualityOut, engine, tracer); err != nil {
+			return err
+		}
+		fmt.Printf("final quality snapshot written to %s\n", opts.qualityOut)
+	}
+	return nil
+}
+
+// printQualityReport summarizes the engine's report on stdout: health,
+// per-source windowed statistics, and every drift-detection epoch.
+func printQualityReport(rep *quality.Report, tr *quality.Tracer) {
+	fmt.Printf("\nquality report (virtual t=%.1f s): health %s (score %.2f), %d observations\n",
+		rep.At, rep.Health, rep.HealthScore, rep.Observations)
+	for _, src := range rep.Sources {
+		fmt.Printf("  %s: window mean q %.3f (σ %.3f), accept %.0f%%, ε %.0f%%, velocity %+.4f/s, trend %s/%s\n",
+			src.Name, src.Window.Mean, src.Window.StdDev,
+			100*src.Window.AcceptRate, 100*src.Window.EpsilonRate,
+			src.Trends.DegradationVelocity, src.Trends.Direction, src.Trends.Volatility)
+		if src.PageHinkley.Fired > 0 {
+			fmt.Printf("    page-hinkley: %d alarm(s):", src.PageHinkley.Fired)
+			for _, ep := range src.PageHinkley.Epochs {
+				fmt.Printf(" t=%.1f s (obs #%d)", ep.At, ep.Index)
+			}
+			fmt.Println()
+		}
+		if src.KS.Evaluated {
+			verdict := "within reference"
+			if src.KS.Drifting {
+				verdict = "DRIFTING from reference"
+			}
+			fmt.Printf("    ks: D=%.3f vs critical %.3f over %d values — %s\n",
+				src.KS.Stat, src.KS.Critical, src.KS.N, verdict)
+		}
+	}
+	for _, a := range rep.Alerts {
+		fmt.Printf("  alert [%s] %s/%s: %s — %s\n", a.Severity, a.Source, a.Kind, a.Message, a.Recommendation)
+	}
+	if n := len(tr.Snapshot()); n > 0 {
+		fmt.Printf("  traces: %d retained from %d published events (see /quality or -quality-out)\n", n, tr.Begun())
+	}
+}
+
+// writeQualitySnapshot atomically flushes the quality report and retained
+// traces as JSON.
+func writeQualitySnapshot(path string, e *quality.Engine, tr *quality.Tracer) error {
+	snap := quality.Snapshot{Report: e.Report(), Traces: tr.Snapshot()}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding quality snapshot: %w", err)
+	}
+	if err := ckpt.AtomicWriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing quality snapshot: %w", err)
+	}
 	return nil
 }
 
@@ -279,7 +429,28 @@ func writeMetricsSnapshot(path string, reg *obs.Registry) error {
 	return nil
 }
 
-func trainStack(seed int64, reg *obs.Registry, workers int) (classify.Classifier, *core.Measure, float64, error) {
+// faultFor maps a -fault name to one injected sensor fault, or nil for
+// "none".
+func faultFor(name string) (fault.SensorFault, error) {
+	switch name {
+	case "none", "":
+		return nil, nil
+	case "stuck":
+		return &fault.StuckAxis{Axis: fault.AxisZ, Start: 8}, nil
+	case "saturation":
+		return &fault.Saturation{Gain: 4}, nil
+	case "dropout":
+		return &fault.Dropout{Start: 10, Duration: 3}, nil
+	case "spike":
+		return &fault.SpikeNoise{Prob: 0.3}, nil
+	case "drift":
+		return &fault.ClockDrift{Rate: 0.2}, nil
+	default:
+		return nil, fmt.Errorf("unknown fault %q", name)
+	}
+}
+
+func trainStack(seed int64, reg *obs.Registry, workers int) (classify.Classifier, *core.Measure, *core.Analysis, error) {
 	clean, err := dataset.Generate(dataset.GenerateConfig{
 		Scenarios: []*sensor.Scenario{{Segments: []sensor.Segment{
 			{Context: sensor.ContextLying, Duration: 12},
@@ -290,11 +461,11 @@ func trainStack(seed int64, reg *obs.Registry, workers int) (classify.Classifier
 		Seed:       seed,
 	})
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, err
 	}
 	clf, err := (&classify.TSKTrainer{}).Train(clean)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, err
 	}
 	mixed, err := dataset.Generate(dataset.GenerateConfig{
 		Scenarios: []*sensor.Scenario{
@@ -308,22 +479,22 @@ func trainStack(seed int64, reg *obs.Registry, workers int) (classify.Classifier
 		Seed:       seed + 1,
 	})
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, err
 	}
 	observations, err := core.Observe(clf, mixed)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, err
 	}
 	build := core.BuildConfig{Metrics: reg}
 	build.Clustering.Workers = workers
 	build.Hybrid.Workers = workers
 	measure, err := core.Build(observations, nil, build)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, err
 	}
 	analysis, err := core.Analyze(measure, observations)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, err
 	}
-	return clf, measure, analysis.Threshold, nil
+	return clf, measure, analysis, nil
 }

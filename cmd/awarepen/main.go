@@ -28,6 +28,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -41,6 +42,7 @@ import (
 	"cqm/internal/fault"
 	"cqm/internal/feature"
 	"cqm/internal/obs"
+	"cqm/internal/quality"
 	"cqm/internal/sensor"
 )
 
@@ -50,11 +52,12 @@ func main() {
 	threshold := flag.Float64("threshold", -1, "acceptance threshold (negative = optimal)")
 	progress := flag.Bool("progress", false, "log one structured line per ANFIS training epoch")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on exit")
+	qualityOut := flag.String("quality-out", "", "write a JSON quality report to this file on exit")
 	faultName := flag.String("fault", "none", "sensor fault to inject live: none, stuck, saturation, dropout, spike, drift")
 	modelWatch := flag.String("model-watch", "", "serve from this ckpt measure artifact, falling back to last-good, then to the in-process model")
 	flag.Parse()
 
-	if err := run(*seed, *styleName, *threshold, *progress, *metricsOut, *faultName, *modelWatch); err != nil {
+	if err := run(*seed, *styleName, *threshold, *progress, *metricsOut, *qualityOut, *faultName, *modelWatch); err != nil {
 		fmt.Fprintln(os.Stderr, "awarepen:", err)
 		os.Exit(1)
 	}
@@ -81,7 +84,7 @@ func faultFor(name string) (fault.SensorFault, error) {
 	}
 }
 
-func run(seed int64, styleName string, threshold float64, progress bool, metricsOut, faultName, modelWatch string) error {
+func run(seed int64, styleName string, threshold float64, progress bool, metricsOut, qualityOut, faultName, modelWatch string) error {
 	style, err := styleFor(styleName)
 	if err != nil {
 		return err
@@ -181,11 +184,11 @@ func run(seed int64, styleName string, threshold float64, progress bool, metrics
 			fmt.Println("serving the in-process model")
 		}
 	}
+	analysis, err := core.Analyze(measure, observations)
+	if err != nil {
+		return err
+	}
 	if threshold < 0 {
-		analysis, err := core.Analyze(measure, observations)
-		if err != nil {
-			return err
-		}
 		threshold = analysis.Threshold
 	}
 	filter, err := core.NewFilter(measure, threshold)
@@ -194,6 +197,14 @@ func run(seed int64, styleName string, threshold float64, progress bool, metrics
 	}
 	filter.Instrument(reg)
 	fmt.Printf("quality FIS ready: %d rules, threshold s = %.3f\n\n", measure.Rules(), threshold)
+
+	// The quality analytics engine tracks the live decision stream against
+	// the training-time densities.
+	engine := quality.NewEngine(quality.Config{
+		Threshold: threshold,
+		Reference: quality.NewReference(analysis),
+		Metrics:   reg,
+	})
 
 	// Live session.
 	rng := rand.New(rand.NewSource(seed + 2))
@@ -241,6 +252,13 @@ func run(seed int64, styleName string, threshold float64, progress bool, metrics
 				qStr = "ε:" + w.Degraded.String()
 			}
 		}
+		engine.Observe(quality.Observation{
+			Source:   "awarepen",
+			At:       w.End,
+			Q:        d.Quality,
+			HasQ:     !d.Epsilon,
+			Degraded: w.Degraded.Any(),
+		})
 		mark := " "
 		if class != w.Truth {
 			mark = "✗"
@@ -264,6 +282,29 @@ func run(seed int64, styleName string, threshold float64, progress bool, metrics
 			float64(correctAccepted)/float64(accepted), accepted)
 	}
 	fmt.Println()
+	rep := engine.Report()
+	fmt.Printf("quality: health %s (score %.2f)", rep.Health, rep.HealthScore)
+	for _, src := range rep.Sources {
+		fmt.Printf(", window mean q %.3f, velocity %+.4f/s, trend %s", src.Window.Mean,
+			src.Trends.DegradationVelocity, src.Trends.Direction)
+		if src.PageHinkley.Fired > 0 {
+			fmt.Printf(", %d drift alarm(s)", src.PageHinkley.Fired)
+		}
+	}
+	fmt.Println()
+	for _, a := range rep.Alerts {
+		fmt.Printf("  alert [%s] %s: %s\n", a.Severity, a.Kind, a.Message)
+	}
+	if qualityOut != "" {
+		data, err := json.MarshalIndent(quality.Snapshot{Report: rep}, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encoding quality snapshot: %w", err)
+		}
+		if err := ckpt.AtomicWriteFile(qualityOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing quality snapshot: %w", err)
+		}
+		fmt.Printf("quality snapshot written to %s\n", qualityOut)
+	}
 	if metricsOut != "" {
 		var buf bytes.Buffer
 		if err := reg.WriteJSON(&buf); err != nil {

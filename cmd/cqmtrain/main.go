@@ -10,7 +10,10 @@
 //
 // Without -data a mixed AwareOffice workload is generated from the seed
 // and saved alongside the models, so a later run can retrain from the
-// exact same data. -progress logs one structured line per ANFIS epoch
+// exact same data. Besides the model artifacts, a quality_ref.json
+// quality-reference artifact (the training-time right/wrong densities and
+// mixture weight) is written for serving-time drift detection
+// (awareoffice -quality-ref). -progress logs one structured line per ANFIS epoch
 // (train error, check error, step size, early-stop reason); -metrics-out
 // dumps a JSON snapshot of the pipeline's metrics registry on exit.
 //
@@ -38,6 +41,7 @@ import (
 	"cqm/internal/core"
 	"cqm/internal/dataset"
 	"cqm/internal/obs"
+	"cqm/internal/quality"
 	"cqm/internal/sensor"
 )
 
@@ -278,6 +282,12 @@ func run(opts options) error {
 	}
 	if err := writeJSON(filepath.Join(opts.outDir, "analysis.json"), analysis); err != nil {
 		return err
+	}
+	// Persist the drift-detection reference so a serving process can load
+	// the training-time quality distribution without retraining.
+	ref := quality.NewReference(analysis)
+	if err := quality.SaveReference(filepath.Join(opts.outDir, "quality_ref.json"), ref, time.Now()); err != nil {
+		return fmt.Errorf("writing quality reference: %w", err)
 	}
 	if opts.dataPath == "" {
 		var buf bytes.Buffer

@@ -3,16 +3,20 @@
 //
 // Usage:
 //
-//	tracetool record -out session.trace [-seed N] [-style nominal|wild|light] [-scenario office]
-//	tracetool info   -in session.trace
-//	tracetool csv    -in session.trace [-window 100]
+//	tracetool record  -out session.trace [-seed N] [-style nominal|wild|light] [-scenario office]
+//	tracetool info    -in session.trace
+//	tracetool csv     -in session.trace [-window 100]
+//	tracetool quality -in quality.json [-traces=false]
 //
-// `record` captures a simulated session, `info` prints a summary, and
-// `csv` windows the trace into labelled stddev cues on stdout (the input
-// format cqmtrain accepts with -data).
+// `record` captures a simulated session, `info` prints a summary, `csv`
+// windows the trace into labelled stddev cues on stdout (the input
+// format cqmtrain accepts with -data), and `quality` pretty-prints a
+// quality snapshot written by `awareoffice -quality-out` (or the
+// /quality endpoint), including sampled end-to-end pipeline traces.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -21,6 +25,7 @@ import (
 	"cqm/internal/dataset"
 	"cqm/internal/feature"
 	"cqm/internal/obs"
+	"cqm/internal/quality"
 	"cqm/internal/sensor"
 	"cqm/internal/trace"
 )
@@ -37,6 +42,8 @@ func main() {
 		err = info(os.Args[2:])
 	case "csv":
 		err = toCSV(os.Args[2:])
+	case "quality":
+		err = qualityCmd(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}
@@ -155,6 +162,80 @@ func toCSV(args []string) error {
 		}
 	}
 	return nil
+}
+
+func qualityCmd(args []string) error {
+	fs := flag.NewFlagSet("quality", flag.ExitOnError)
+	in := fs.String("in", "", "quality snapshot JSON written by -quality-out or fetched from /quality")
+	showTraces := fs.Bool("traces", true, "print sampled pipeline traces")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in")
+	}
+	raw, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	var snap quality.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("parsing quality snapshot: %w", err)
+	}
+	if snap.Report == nil {
+		return fmt.Errorf("%s: no quality report in snapshot", *in)
+	}
+	printReport(snap.Report)
+	if *showTraces && len(snap.Traces) > 0 {
+		printTraces(snap.Traces)
+	}
+	return nil
+}
+
+func printReport(rep *quality.Report) {
+	fmt.Printf("health %s (score %.2f) at t=%.2f s, %d observations\n",
+		rep.Health, rep.HealthScore, rep.At, rep.Observations)
+	for _, src := range rep.Sources {
+		fmt.Printf("  %s: %d obs, window mean q %.3f ± %.3f, accept %.0f%%, epsilon %.0f%%\n",
+			src.Name, src.Observed, src.Window.Mean, src.Window.StdDev,
+			100*src.Window.AcceptRate, 100*src.Window.EpsilonRate)
+		fmt.Printf("    trend %s, volatility %s, velocity %+.4f q/s\n",
+			src.Trends.Direction, src.Trends.Volatility, src.Trends.DegradationVelocity)
+		if src.PageHinkley.Fired > 0 {
+			fmt.Printf("    Page-Hinkley fired %d time(s):", src.PageHinkley.Fired)
+			for _, ep := range src.PageHinkley.Epochs {
+				fmt.Printf(" t=%.1f s (obs #%d)", ep.At, ep.Index)
+			}
+			fmt.Println()
+		}
+		if src.KS.Evaluated {
+			verdict := "matches training mixture"
+			if src.KS.Drifting {
+				verdict = "DRIFTED from training mixture"
+			}
+			fmt.Printf("    KS D=%.3f (crit %.3f, n=%d): %s\n",
+				src.KS.Stat, src.KS.Critical, src.KS.N, verdict)
+		}
+	}
+	for _, a := range rep.Alerts {
+		fmt.Printf("  [%s] %s/%s: %s — %s\n", a.Severity, a.Source, a.Kind, a.Message, a.Recommendation)
+	}
+}
+
+func printTraces(traces []quality.Trace) {
+	fmt.Printf("%d sampled pipeline trace(s):\n", len(traces))
+	for _, tr := range traces {
+		fmt.Printf("  seq %d from %s, start t=%.3f s\n", tr.Seq, tr.Source, tr.StartAt)
+		prev := tr.StartAt
+		for _, ev := range tr.Events {
+			fmt.Printf("    %-10s t=%.3f s (+%.4f s)", ev.Stage, ev.At, ev.At-prev)
+			if ev.Detail != "" {
+				fmt.Printf("  %s", ev.Detail)
+			}
+			fmt.Println()
+			prev = ev.At
+		}
+	}
 }
 
 func load(path string) ([]sensor.Reading, error) {

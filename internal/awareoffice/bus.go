@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"cqm/internal/obs"
 	"cqm/internal/particle"
+	"cqm/internal/quality"
 	"cqm/internal/sensor"
 )
 
@@ -240,6 +242,7 @@ type Bus struct {
 	publishers  map[string]*publisherState
 	reg         *obs.Registry
 	met         busMetrics
+	tracer      *quality.Tracer
 	closed      bool
 }
 
@@ -370,6 +373,13 @@ func newPubMetrics(reg *obs.Registry, name string) pubMetrics {
 	}
 }
 
+// Trace attaches a pipeline tracer: sampled deliveries record their
+// drop, retransmit, and deliver stages with the subscriber in the
+// detail. A nil tracer turns tracing off.
+func (b *Bus) Trace(tr *quality.Tracer) {
+	b.tracer = tr
+}
+
 // Subscribe registers a handler under the subscriber's name. Handlers run
 // in virtual time when deliveries arrive.
 func (b *Bus) Subscribe(name string, handler func(Event)) {
@@ -497,6 +507,9 @@ func (b *Bus) attempt(sub *subscription, ev Event, try int) error {
 		b.stats.Dropped++
 		sub.stats.Dropped++
 		sub.met.dropped.Inc()
+		if b.tracer != nil {
+			b.tracer.Record(ev.Seq, quality.StageDrop, b.sim.Now(), "loss:"+sub.name)
+		}
 		return b.retry(sub, ev, try)
 	}
 	deliveries := 1
@@ -514,6 +527,9 @@ func (b *Bus) attempt(sub *subscription, ev Event, try int) error {
 				b.stats.Corrupted++
 				sub.stats.Corrupted++
 				sub.met.corrupted.Inc()
+				if b.tracer != nil {
+					b.tracer.Record(ev.Seq, quality.StageDrop, b.sim.Now(), "corrupt:"+sub.name)
+				}
 				continue
 			}
 			event = decoded
@@ -526,6 +542,7 @@ func (b *Bus) attempt(sub *subscription, ev Event, try int) error {
 		b.stats.Delivered++
 		sub.stats.Delivered++
 		sub.met.delivered.Inc()
+		b.tracer.Record(ev.Seq, quality.StageDeliver, b.sim.Now()+delay, sub.name)
 		if err := b.sim.Schedule(b.sim.Now()+delay, func() {
 			handler(event)
 		}); err != nil {
@@ -553,6 +570,9 @@ func (b *Bus) retry(sub *subscription, ev Event, try int) error {
 		sub.met.gaveup.Inc()
 		ps.stats.GaveUp++
 		ps.met.gaveup.Inc()
+		if b.tracer != nil {
+			b.tracer.Record(ev.Seq, quality.StageDrop, b.sim.Now(), "gaveup:"+sub.name)
+		}
 		return nil
 	}
 	b.stats.Retransmits++
@@ -562,6 +582,10 @@ func (b *Bus) retry(sub *subscription, ev Event, try int) error {
 	ps.met.retransmits.Inc()
 	ps.stats.Outstanding++
 	backoff := b.rel.backoff(try, b.sim.rng)
+	if b.tracer != nil {
+		b.tracer.Record(ev.Seq, quality.StageRetransmit, b.sim.Now()+backoff,
+			"try"+strconv.Itoa(try+1)+":"+sub.name)
+	}
 	return b.sim.Schedule(b.sim.Now()+backoff, func() {
 		ps.stats.Outstanding--
 		// Delivery times are >= now, so the re-attempt cannot fail to

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"cqm/internal/obs"
+	"cqm/internal/quality"
 	"cqm/internal/sensor"
 )
 
@@ -57,6 +58,9 @@ type Camera struct {
 	// the session ended, takes a fallback snapshot, and resets to an
 	// unknown context. 0 disables the policy.
 	FallbackTimeout float64
+	// Tracer, when non-nil, records the fusion and decision stages of
+	// sampled pipeline traces. Nil disables tracing at zero cost.
+	Tracer *quality.Tracer
 
 	current   sensor.Context
 	pending   sensor.Context
@@ -117,13 +121,16 @@ func (c *Camera) handle(ev Event) {
 	if c.seen.Seen(ev.Source, ev.Seq) {
 		c.duplicate++
 		c.met.duplicates.Inc()
+		c.decideTrace(ev, "duplicate")
 		return
 	}
+	c.Tracer.Record(ev.Seq, quality.StageFuse, c.now(), c.name())
 
 	if c.UseQuality {
 		if !ev.HasQuality || ev.Quality <= c.MinQuality {
 			c.ignored++
 			c.met.ignored.Inc()
+			c.decideTrace(ev, "ignore")
 			return
 		}
 	}
@@ -140,11 +147,13 @@ func (c *Camera) handle(ev Event) {
 	}
 	c.pendCount++
 	if c.pendCount < debounce {
+		c.decideTrace(ev, "accept")
 		c.armFallback(ev)
 		return
 	}
 	next := c.pending
 	if next == c.current {
+		c.decideTrace(ev, "accept")
 		c.armFallback(ev)
 		return
 	}
@@ -152,10 +161,26 @@ func (c *Camera) handle(ev Event) {
 	if c.writing && next != sensor.ContextWriting {
 		c.snapshots = append(c.snapshots, Snapshot{At: ev.Sent, TriggeredBy: ev})
 		c.met.snapshots.Inc()
+		c.decideTrace(ev, "snapshot")
+	} else {
+		c.decideTrace(ev, "switch")
 	}
 	c.current = next
 	c.writing = next == sensor.ContextWriting
 	c.armFallback(ev)
+}
+
+// now returns the camera's virtual time (0 before Attach).
+func (c *Camera) now() float64 {
+	if c.sim == nil {
+		return 0
+	}
+	return c.sim.Now()
+}
+
+// decideTrace records the decision stage of a sampled pipeline trace.
+func (c *Camera) decideTrace(ev Event, decision string) {
+	c.Tracer.Record(ev.Seq, quality.StageDecide, c.now(), c.name()+":"+decision)
 }
 
 // armFallback (re)starts the silence watchdog after an accepted event:

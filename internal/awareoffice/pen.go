@@ -3,11 +3,13 @@ package awareoffice
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"cqm/internal/classify"
 	"cqm/internal/core"
 	"cqm/internal/feature"
 	"cqm/internal/parallel"
+	"cqm/internal/quality"
 	"cqm/internal/sensor"
 )
 
@@ -63,6 +65,14 @@ type Pen struct {
 	// error instead of a silently unannotated event. 0 keeps the legacy
 	// per-event path.
 	PreScoreWorkers int
+	// Quality, when non-nil, receives one observation per published event
+	// — the quality analytics engine's feed point. Observations happen at
+	// publish time in virtual-time order, so engine state is bit-identical
+	// between the per-event and pre-scored paths at any worker count.
+	Quality *quality.Engine
+	// Tracer, when non-nil, samples end-to-end pipeline traces starting at
+	// the window's sample time. Nil disables tracing at zero cost.
+	Tracer *quality.Tracer
 
 	bus      *Bus
 	seq      int
@@ -208,8 +218,32 @@ func (p *Pen) publishPreScored(w feature.Window, out penOutcome) {
 		ev.Quality = out.q
 		ev.HasQuality = true
 	}
+	p.observe(ev, w)
 	// Publish errors cannot occur here: delivery times are >= now.
 	_ = p.bus.Publish(ev)
+}
+
+// observe feeds the published event to the quality engine and, when the
+// sampler picks it, starts a pipeline trace with the pen-side stages.
+// Both publish paths call it with identical events, so tracking state is
+// identical too.
+func (p *Pen) observe(ev Event, w feature.Window) {
+	p.Quality.Observe(quality.Observation{
+		Source:   ev.Source,
+		At:       ev.Sent,
+		Q:        ev.Quality,
+		HasQ:     ev.HasQuality,
+		Degraded: w.Degraded.Any(),
+	})
+	if p.Tracer.Begin(ev.Source, ev.Seq, w.Start) {
+		detail := "epsilon"
+		if ev.HasQuality {
+			detail = "q=" + strconv.FormatFloat(ev.Quality, 'f', 4, 64)
+		}
+		p.Tracer.Record(ev.Seq, quality.StageSample, w.Start, "")
+		p.Tracer.Record(ev.Seq, quality.StageScore, ev.Sent, detail)
+		p.Tracer.Record(ev.Seq, quality.StagePublish, ev.Sent, "")
+	}
 }
 
 // classifyAndPublish runs the pen's recognition pipeline for one window.
@@ -235,6 +269,7 @@ func (p *Pen) classifyAndPublish(w feature.Window) {
 		// ε state: publish without quality; receivers decide what to do
 		// with unannotated events.
 	}
+	p.observe(ev, w)
 	// Publish errors cannot occur here: delivery times are >= now.
 	_ = p.bus.Publish(ev)
 }

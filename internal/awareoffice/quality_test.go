@@ -1,0 +1,248 @@
+package awareoffice
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cqm/internal/classify"
+	"cqm/internal/core"
+	"cqm/internal/dataset"
+	"cqm/internal/fault"
+	"cqm/internal/quality"
+	"cqm/internal/sensor"
+)
+
+// qualityStack is the recognition stack plus the training-time analysis
+// the drift reference is calibrated from.
+type qualityStack struct {
+	clf      classify.Classifier
+	measure  *core.Measure
+	analysis *core.Analysis
+}
+
+// trainQualityStack trains classifier, quality measure, and analysis on
+// synthetic office data, mirroring the awareoffice binary's stack.
+func trainQualityStack(t testing.TB, seed int64) *qualityStack {
+	t.Helper()
+	clean, err := dataset.Generate(dataset.GenerateConfig{
+		Scenarios: []*sensor.Scenario{{
+			Segments: []sensor.Segment{
+				{Context: sensor.ContextLying, Duration: 10},
+				{Context: sensor.ContextWriting, Duration: 10},
+				{Context: sensor.ContextPlaying, Duration: 10},
+			},
+		}},
+		WindowSize: 100,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := (&classify.TSKTrainer{}).Train(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := dataset.Generate(dataset.GenerateConfig{
+		Scenarios: []*sensor.Scenario{
+			sensor.OfficeSession(sensor.DefaultStyle()),
+			sensor.OfficeSession(sensor.Style{Amplitude: 2.6, Tempo: 1.4, Irregularity: 0.9}),
+			sensor.OfficeSession(sensor.Style{Amplitude: 1.6, Tempo: 1.2, Irregularity: 0.6}),
+			sensor.OfficeSession(sensor.DefaultStyle()),
+		},
+		WindowSize: 100,
+		WindowStep: 50,
+		Seed:       seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := core.Observe(clf, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure, err := core.Build(obs, nil, core.BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis, err := core.Analyze(measure, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &qualityStack{clf: clf, measure: measure, analysis: analysis}
+}
+
+// qualityRun is the outcome of one simulated multi-session office run
+// with a sensor fault injected into the middle third.
+type qualityRun struct {
+	report           *quality.Report
+	faultLo, faultHi float64
+	delivered        int
+}
+
+// runFaultScenario replays a deterministic multi-session office run —
+// burst loss on the link, a saturation fault injected into the middle
+// third of the sessions — and returns the quality report. It mirrors the
+// awareoffice binary's session loop.
+func runFaultScenario(t testing.TB, stack *qualityStack, seed int64, sessions, workers int) qualityRun {
+	t.Helper()
+	sim := NewSimulation(seed)
+	link := Link{Latency: 0.02, Jitter: 0.03}
+	link.LossModel = &fault.GilbertElliott{PGoodBad: 0.05, PBadGood: 0.45, LossBad: 1}
+	bus, err := NewBus(sim, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	bus.Subscribe("listener", func(Event) { delivered++ })
+
+	engine := quality.NewEngine(quality.Config{
+		Threshold: stack.analysis.Threshold,
+		Reference: quality.NewReference(stack.analysis),
+	})
+	pen := &Pen{
+		Classifier:      stack.clf,
+		Measure:         stack.measure,
+		PreScoreWorkers: workers,
+		Quality:         engine,
+	}
+	pen.Attach(bus)
+
+	injected := &fault.Saturation{Gain: 4}
+	styles := []sensor.Style{
+		sensor.DefaultStyle(),
+		{Amplitude: 1.6, Tempo: 1.2, Irregularity: 0.6},
+	}
+	rng := rand.New(rand.NewSource(seed + 11))
+	faultRng := rand.New(rand.NewSource(seed + 12))
+	lo, hi := sessions/3, 2*sessions/3
+	run := qualityRun{faultLo: -1, faultHi: -1}
+	offset := 0.0
+	for i := 0; i < sessions; i++ {
+		readings, err := sensor.OfficeSession(styles[i%len(styles)]).Run(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= lo && i < hi {
+			if readings, err = injected.Apply(readings, faultRng); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for k := range readings {
+			readings[k].T += offset
+		}
+		if i >= lo && i < hi {
+			if run.faultLo < 0 {
+				run.faultLo = readings[0].T
+			}
+			run.faultHi = readings[len(readings)-1].T
+		}
+		if _, err := pen.Feed(sim, readings); err != nil {
+			t.Fatal(err)
+		}
+		offset = readings[len(readings)-1].T + 2
+	}
+	sim.Run(offset + 5)
+	run.report = engine.Report()
+	run.delivered = delivered
+	return run
+}
+
+// TestQualityDetectsFaultWindow is the end-to-end acceptance scenario:
+// under burst loss with a stuck-axis sensor fault in the middle third of
+// the sessions, the Page–Hinkley detector fires during the fault window
+// and nowhere else, the report degrades, and detection epochs replay
+// bit-identically across repeated runs.
+func TestQualityDetectsFaultWindow(t *testing.T) {
+	stack := trainQualityStack(t, 40)
+	run := runFaultScenario(t, stack, 7, 9, 0)
+	if run.delivered == 0 {
+		t.Fatal("no events delivered")
+	}
+	if len(run.report.Sources) != 1 {
+		t.Fatalf("%d sources, want 1", len(run.report.Sources))
+	}
+	src := run.report.Sources[0]
+	if src.PageHinkley.Fired == 0 {
+		t.Fatal("Page–Hinkley did not fire during the fault run")
+	}
+	for _, ep := range src.PageHinkley.Epochs {
+		if ep.At < run.faultLo || ep.At > run.faultHi {
+			t.Errorf("drift epoch at t=%.1f outside the fault window [%.1f, %.1f]",
+				ep.At, run.faultLo, run.faultHi)
+		}
+	}
+	if run.report.Health == quality.HealthOptimal {
+		t.Error("report stayed optimal despite the fault")
+	}
+
+	// Bit-identical replay: same seed, same epochs, same report.
+	again := runFaultScenario(t, stack, 7, 9, 0)
+	if !reflect.DeepEqual(run.report, again.report) {
+		t.Errorf("replay diverged:\n got %+v\nwant %+v", again.report, run.report)
+	}
+}
+
+// TestQualityCleanRunStaysHealthy is the false-alarm guard: without a
+// fault the same scenario must produce no Page–Hinkley alarms and an
+// optimal health grade.
+func TestQualityCleanRunStaysHealthy(t *testing.T) {
+	stack := trainQualityStack(t, 40)
+	sim := NewSimulation(7)
+	bus, err := NewBus(sim, Link{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := quality.NewEngine(quality.Config{
+		Threshold: stack.analysis.Threshold,
+		Reference: quality.NewReference(stack.analysis),
+	})
+	pen := &Pen{Classifier: stack.clf, Measure: stack.measure, Quality: engine}
+	pen.Attach(bus)
+	styles := []sensor.Style{
+		sensor.DefaultStyle(),
+		{Amplitude: 1.6, Tempo: 1.2, Irregularity: 0.6},
+	}
+	rng := rand.New(rand.NewSource(18))
+	offset := 0.0
+	for i := 0; i < 6; i++ {
+		readings, err := sensor.OfficeSession(styles[i%len(styles)]).Run(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range readings {
+			readings[k].T += offset
+		}
+		if _, err := pen.Feed(sim, readings); err != nil {
+			t.Fatal(err)
+		}
+		offset = readings[len(readings)-1].T + 2
+	}
+	sim.Run(offset + 5)
+	rep := engine.Report()
+	if len(rep.Sources) != 1 {
+		t.Fatalf("%d sources, want 1", len(rep.Sources))
+	}
+	if fired := rep.Sources[0].PageHinkley.Fired; fired != 0 {
+		t.Errorf("%d Page–Hinkley alarms on a clean run (epochs %v)",
+			fired, rep.Sources[0].PageHinkley.Epochs)
+	}
+	if rep.Health != quality.HealthOptimal {
+		t.Errorf("clean-run health = %s (%v), alerts %v", rep.Health, rep.HealthScore, rep.Alerts)
+	}
+}
+
+// TestQualityTrackingWorkerInvariance is the parallelism property test:
+// the quality report — statistics, drift epochs, alerts — must be
+// bit-identical whether the pen pre-scores serially or with 4 workers.
+func TestQualityTrackingWorkerInvariance(t *testing.T) {
+	stack := trainQualityStack(t, 40)
+	serial := runFaultScenario(t, stack, 7, 9, 1)
+	for _, workers := range []int{2, 4} {
+		got := runFaultScenario(t, stack, 7, 9, workers)
+		if !reflect.DeepEqual(got.report, serial.report) {
+			t.Errorf("workers=%d: report differs from serial run\n got %+v\nwant %+v",
+				workers, got.report, serial.report)
+		}
+	}
+}

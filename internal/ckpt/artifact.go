@@ -25,6 +25,10 @@ const (
 	KindClassifier = "classifier"
 	// KindCheckpoint is a serialized anfis.TrainState.
 	KindCheckpoint = "checkpoint"
+	// KindQualityReference is a training-time quality reference
+	// distribution (quality.Reference) used for serving-time drift
+	// detection.
+	KindQualityReference = "quality-reference"
 )
 
 // Typed artifact errors. Callers branch on these with errors.Is.

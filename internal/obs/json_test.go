@@ -50,12 +50,12 @@ func TestSnapshotRoundTrip(t *testing.T) {
 
 func TestEventRingOverwritesOldest(t *testing.T) {
 	r := NewRegistry()
-	for i := 0; i < maxEvents+10; i++ {
+	for i := 0; i < DefaultEventCapacity+10; i++ {
 		r.RecordEvent("e", "i", string(rune('a'+i%26)))
 	}
 	evs := r.Events()
-	if len(evs) != maxEvents {
-		t.Fatalf("retained %d events, want %d", len(evs), maxEvents)
+	if len(evs) != DefaultEventCapacity {
+		t.Fatalf("retained %d events, want %d", len(evs), DefaultEventCapacity)
 	}
 	// Oldest-first: the first retained event is number 10 (0-based),
 	// i.e. i%26 == 10 → 'k'.

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// MuxConfig configures NewMux, the shared HTTP surface of every serving
+// binary.
+type MuxConfig struct {
+	// Registry serves /metrics (nil omits the route).
+	Registry *Registry
+	// Quality, when non-nil, serves /quality.
+	Quality http.Handler
+	// Pprof, when true, mounts the net/http/pprof profiling handlers
+	// under /debug/pprof/. Off by default: profiling endpoints expose
+	// internals and belong behind an explicit flag.
+	Pprof bool
+}
+
+// NewMux assembles the observability mux every -metrics-addr server
+// shares: /metrics, optionally /quality, and — only when asked —
+// /debug/pprof/. Handlers are mounted explicitly rather than through the
+// pprof package's init-time DefaultServeMux registration, so profiling is
+// truly absent unless enabled.
+func NewMux(cfg MuxConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+	if cfg.Registry != nil {
+		mux.Handle("/metrics", cfg.Registry.Handler())
+	}
+	if cfg.Quality != nil {
+		mux.Handle("/quality", cfg.Quality)
+	}
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"testing"
+)
+
+func TestSetEventCapacityResizesAndCounts(t *testing.T) {
+	r := NewRegistry()
+	r.SetEventCapacity(4)
+	for i := 0; i < 10; i++ {
+		r.RecordEvent("e", "i", strconv.Itoa(i))
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := strconv.Itoa(6 + i); ev.Attrs["i"] != want {
+			t.Errorf("event %d attr = %q, want %q", i, ev.Attrs["i"], want)
+		}
+	}
+	if got := r.EventsRecorded(); got != 10 {
+		t.Errorf("EventsRecorded = %d, want 10 (lifetime total survives wraparound)", got)
+	}
+}
+
+func TestSetEventCapacityShrinkKeepsNewest(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 6; i++ {
+		r.RecordEvent("e", "i", strconv.Itoa(i))
+	}
+	r.SetEventCapacity(2)
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Attrs["i"] != "4" || evs[1].Attrs["i"] != "5" {
+		t.Fatalf("after shrink got %+v, want newest events 4 and 5", evs)
+	}
+	// Growing back must not resurrect discarded events.
+	r.SetEventCapacity(8)
+	if got := len(r.Events()); got != 2 {
+		t.Errorf("after grow retained %d events, want 2", got)
+	}
+	r.RecordEvent("e", "i", "6")
+	evs = r.Events()
+	if len(evs) != 3 || evs[2].Attrs["i"] != "6" {
+		t.Errorf("after grow+record got %+v, want 4,5,6", evs)
+	}
+	if got := r.EventsRecorded(); got != 7 {
+		t.Errorf("EventsRecorded = %d, want 7", got)
+	}
+}
+
+func TestNewMuxRoutes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total").Inc()
+	for _, tc := range []struct {
+		name  string
+		pprof bool
+		path  string
+		want  int
+	}{
+		{"metrics", false, "/metrics", 200},
+		{"pprof off", false, "/debug/pprof/", 404},
+		{"pprof on", true, "/debug/pprof/", 200},
+	} {
+		mux := NewMux(MuxConfig{Registry: r, Pprof: tc.pprof})
+		req := httptest.NewRequest("GET", tc.path, nil)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != tc.want {
+			t.Errorf("%s: GET %s = %d, want %d", tc.name, tc.path, rec.Code, tc.want)
+		}
+	}
+}

@@ -5,8 +5,9 @@ import (
 	"time"
 )
 
-// maxEvents bounds the in-memory event ring; older events are overwritten.
-const maxEvents = 256
+// DefaultEventCapacity bounds the in-memory event ring until
+// Registry.SetEventCapacity resizes it; older events are overwritten.
+const DefaultEventCapacity = 256
 
 // Event is one timestamped occurrence — a training run starting, a
 // threshold moving, a simulation session completing. Events complement
@@ -20,18 +21,54 @@ type Event struct {
 	Attrs map[string]string `json:"attrs,omitempty"`
 }
 
-// eventRing is a fixed-capacity overwrite-oldest buffer.
+// eventRing is a bounded overwrite-oldest buffer. The buffer is allocated
+// lazily at first use so a capacity change before any event costs nothing.
 type eventRing struct {
-	mu    sync.Mutex
-	buf   [maxEvents]Event
-	next  int
-	total int
+	mu       sync.Mutex
+	cap      int // 0 means DefaultEventCapacity at next use
+	buf      []Event
+	next     int
+	retained int // events currently in buf
+	total    int // lifetime events recorded
+}
+
+// capacity returns the configured capacity, defaulting lazily.
+func (e *eventRing) capacity() int {
+	if e.cap <= 0 {
+		return DefaultEventCapacity
+	}
+	return e.cap
+}
+
+// setCapacity resizes the ring, retaining up to n of the newest events
+// (oldest discarded when shrinking). Callers must not hold e.mu.
+func (e *eventRing) setCapacity(n int) {
+	if n <= 0 {
+		n = DefaultEventCapacity
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	kept := e.snapshotLocked()
+	if len(kept) > n {
+		kept = kept[len(kept)-n:]
+	}
+	e.cap = n
+	e.buf = make([]Event, n)
+	copy(e.buf, kept)
+	e.next = len(kept) % n
+	e.retained = len(kept)
 }
 
 func (e *eventRing) add(ev Event) {
 	e.mu.Lock()
+	if e.buf == nil {
+		e.buf = make([]Event, e.capacity())
+	}
 	e.buf[e.next] = ev
-	e.next = (e.next + 1) % maxEvents
+	e.next = (e.next + 1) % len(e.buf)
+	if e.retained < len(e.buf) {
+		e.retained++
+	}
 	e.total++
 	e.mu.Unlock()
 }
@@ -40,17 +77,21 @@ func (e *eventRing) add(ev Event) {
 func (e *eventRing) snapshot() []Event {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	n := e.total
-	if n > maxEvents {
-		n = maxEvents
+	return e.snapshotLocked()
+}
+
+// snapshotLocked is snapshot with e.mu already held.
+func (e *eventRing) snapshotLocked() []Event {
+	if e.buf == nil || e.retained == 0 {
+		return nil
 	}
-	out := make([]Event, 0, n)
-	start := 0
-	if e.total > maxEvents {
-		start = e.next
+	out := make([]Event, 0, e.retained)
+	start := e.next - e.retained
+	if start < 0 {
+		start += len(e.buf)
 	}
-	for i := 0; i < n; i++ {
-		out = append(out, e.buf[(start+i)%maxEvents])
+	for i := 0; i < e.retained; i++ {
+		out = append(out, e.buf[(start+i)%len(e.buf)])
 	}
 	return out
 }
@@ -77,6 +118,27 @@ func (r *Registry) Events() []Event {
 		return nil
 	}
 	return r.events.snapshot()
+}
+
+// SetEventCapacity resizes the event ring to retain up to n events
+// (n <= 0 restores DefaultEventCapacity). Shrinking discards the oldest
+// retained events; the lifetime total is unaffected.
+func (r *Registry) SetEventCapacity(n int) {
+	if r == nil {
+		return
+	}
+	r.events.setCapacity(n)
+}
+
+// EventsRecorded returns the lifetime count of recorded events, including
+// those the ring has since overwritten.
+func (r *Registry) EventsRecorded() int {
+	if r == nil {
+		return 0
+	}
+	r.events.mu.Lock()
+	defer r.events.mu.Unlock()
+	return r.events.total
 }
 
 // Span is one in-flight timed operation. Ending a span records its

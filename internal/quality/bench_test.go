@@ -1,0 +1,50 @@
+package quality
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchStream pre-builds a deterministic observation stream so the
+// benchmark loop measures tracking cost only, not synthesis.
+func benchStream(sources, n int) []Observation {
+	out := make([]Observation, 0, sources*n)
+	for s := 0; s < sources; s++ {
+		name := fmt.Sprintf("pen-%d", s)
+		for _, o := range streamFor(name, n, int64(s)+5) {
+			o.Source = name
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// BenchmarkObserve measures the per-observation tracking overhead on
+// the serving hot path: ring update, O(1) window aggregates, and the
+// Page–Hinkley step.
+func BenchmarkObserve(b *testing.B) {
+	stream := benchStream(1, 4096)
+	e := NewEngine(Config{Threshold: 0.6, Reference: testRef()})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Observe(stream[i%len(stream)])
+	}
+}
+
+// BenchmarkReport measures full report generation — per-source stats,
+// OLS velocity, KS test, alert derivation, health grading — over a
+// warm 4-source engine.
+func BenchmarkReport(b *testing.B) {
+	e := NewEngine(Config{Threshold: 0.6, Reference: testRef()})
+	for _, o := range benchStream(4, 512) {
+		e.Observe(o)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := e.Report(); rep == nil {
+			b.Fatal("nil report")
+		}
+	}
+}

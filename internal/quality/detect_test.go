@@ -1,0 +1,147 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"cqm/internal/stat"
+)
+
+func testRef() *Reference {
+	return &Reference{
+		Right:       stat.Gaussian{Mu: 0.9, Sigma: 0.05},
+		Wrong:       stat.Gaussian{Mu: 0.2, Sigma: 0.1},
+		WeightRight: 0.8,
+		Threshold:   0.6,
+	}
+}
+
+func TestPageHinkleyQuietOnStableStream(t *testing.T) {
+	ph := NewPageHinkley(PHConfig{})
+	// A healthy bimodal stream: mostly high q with isolated collapses.
+	for i := 0; i < 500; i++ {
+		q := 0.9 + 0.05*math.Sin(float64(i))
+		if i%25 == 24 {
+			q = 0.1 // isolated misclassification
+		}
+		if ph.Add(q) {
+			t.Fatalf("alarm on a stable stream at i=%d (stat %v)", i, ph.Stat())
+		}
+	}
+}
+
+func TestPageHinkleyFiresOnSustainedCollapse(t *testing.T) {
+	ph := NewPageHinkley(PHConfig{})
+	for i := 0; i < 100; i++ {
+		if ph.Add(0.9) {
+			t.Fatal("alarm during the healthy prefix")
+		}
+	}
+	fired := -1
+	for i := 0; i < 20; i++ {
+		if ph.Add(0.05) {
+			fired = i
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("no alarm after 20 collapsed observations")
+	}
+	// With defaults (Delta 0.2, Lambda 3) roughly five collapsed windows
+	// against a ≈0.9 running mean should fire.
+	if fired > 8 {
+		t.Errorf("alarm only after %d collapsed observations, want ≤ 8", fired+1)
+	}
+	// Firing resets the detector.
+	if ph.Count() != 0 {
+		t.Errorf("count after alarm = %d, want 0", ph.Count())
+	}
+	if ph.Stat() > 0 {
+		t.Errorf("stat after alarm = %v, want 0", ph.Stat())
+	}
+}
+
+func TestPageHinkleyMinCountGuardsColdStart(t *testing.T) {
+	ph := NewPageHinkley(PHConfig{MinCount: 10})
+	// An immediate collapse may not alarm before MinCount observations.
+	ph.Add(0.9)
+	for i := 0; i < 8; i++ {
+		if ph.Add(0.0) {
+			t.Fatalf("alarm on observation %d, before MinCount", i+2)
+		}
+	}
+}
+
+func TestKSAgainstAcceptsInDistributionSample(t *testing.T) {
+	ref := testRef()
+	// Draw a deterministic in-distribution sample via inverse-CDF strata:
+	// 80% right-cluster quantiles, 20% wrong-cluster quantiles.
+	var qs []float64
+	for i := 0; i < 48; i++ {
+		p := (float64(i) + 0.5) / 48
+		qs = append(qs, ref.Right.Quantile(p))
+	}
+	for i := 0; i < 12; i++ {
+		p := (float64(i) + 0.5) / 12
+		qs = append(qs, ref.Wrong.Quantile(p))
+	}
+	r := KSAgainst(ref, qs, KSConfig{})
+	if !r.Evaluated {
+		t.Fatal("test did not run")
+	}
+	if r.Drifting {
+		t.Errorf("in-distribution sample declared drifting: D=%v critical=%v", r.Stat, r.Critical)
+	}
+}
+
+func TestKSAgainstFlagsShiftedSample(t *testing.T) {
+	ref := testRef()
+	var qs []float64
+	for i := 0; i < 64; i++ {
+		qs = append(qs, 0.3+0.005*float64(i)) // collapsed to the wrong cluster
+	}
+	r := KSAgainst(ref, qs, KSConfig{})
+	if !r.Evaluated || !r.Drifting {
+		t.Errorf("shifted sample not flagged: %+v", r)
+	}
+}
+
+func TestKSBaselineDiscountsApproximationError(t *testing.T) {
+	ref := testRef()
+	var qs []float64
+	for i := 0; i < 64; i++ {
+		qs = append(qs, 0.3+0.005*float64(i))
+	}
+	strict := KSAgainst(ref, qs, KSConfig{})
+	ref.BaselineD = 0.9
+	discounted := KSAgainst(ref, qs, KSConfig{})
+	if !strict.Drifting {
+		t.Fatal("uncalibrated test should flag the shifted sample")
+	}
+	if discounted.Drifting {
+		t.Error("baseline discount should absorb the distance")
+	}
+	if discounted.Critical <= strict.Critical {
+		t.Errorf("critical %v not raised over %v", discounted.Critical, strict.Critical)
+	}
+}
+
+func TestKSAgainstGates(t *testing.T) {
+	if r := KSAgainst(nil, make([]float64, 64), KSConfig{}); r.Evaluated {
+		t.Error("nil reference must not evaluate")
+	}
+	if r := KSAgainst(testRef(), make([]float64, 3), KSConfig{}); r.Evaluated {
+		t.Error("short sample must not evaluate")
+	}
+}
+
+func TestKSAgainstDoesNotMutateInput(t *testing.T) {
+	qs := []float64{0.9, 0.1, 0.8, 0.2, 0.7, 0.3, 0.6, 0.4, 0.95, 0.05, 0.85, 0.15, 0.75, 0.25, 0.65, 0.35}
+	want := append([]float64(nil), qs...)
+	KSAgainst(testRef(), qs, KSConfig{})
+	for i := range qs {
+		if qs[i] != want[i] { //lint:ignore floatcmp exact copy comparison
+			t.Fatalf("input mutated at %d", i)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Package quality is the quality analytics engine: it watches the stream
+// of CQM scoring decisions per source, maintains sliding-window statistics
+// (mean, variance, accept rate, ε rate, degradation velocity), detects
+// distribution drift away from the training-time right/wrong densities
+// (Page–Hinkley on the q stream, a Kolmogorov–Smirnov test against the
+// reference Gaussian mixture), and assembles structured QualityReports
+// with trends, alerts, and an overall health grade.
+//
+// The engine is deterministic by construction: every statistic is a pure
+// function of the observation stream in arrival order and virtual time.
+// Given a seeded simulation, drift-detection epochs replay bit-identically
+// across runs and worker counts. Nothing in this package reads the wall
+// clock or a random source.
+//
+// A companion Tracer records per-observation pipeline traces — pen sample
+// → score → publish → bus delivery (including retransmits) → camera
+// fusion → decision — into a bounded in-memory ring with per-stage
+// virtual-time latency histograms.
+package quality

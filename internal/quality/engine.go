@@ -1,0 +1,232 @@
+package quality
+
+import (
+	"sort"
+	"sync"
+
+	"cqm/internal/obs"
+)
+
+// DefaultWindow is the sliding-window size used when Config.Window is
+// unset.
+const DefaultWindow = 64
+
+// Config parameterizes an Engine. The zero value is usable: default
+// window, default detector tuning, no reference (KS disabled), no
+// metrics.
+type Config struct {
+	// Window is the per-source sliding-window size in decisions.
+	// Default DefaultWindow.
+	Window int
+	// Threshold is the acceptance threshold the engine uses to derive
+	// accept/discard from q (a scored observation is accepted when
+	// q > Threshold).
+	Threshold float64
+	// Reference is the training-time quality distribution for the KS
+	// drift test; nil disables the test.
+	Reference *Reference
+	// PH tunes the Page–Hinkley decline detector (zero fields take
+	// defaults).
+	PH PHConfig
+	// KS tunes the Kolmogorov–Smirnov drift test (zero fields take
+	// defaults).
+	KS KSConfig
+	// Metrics, when non-nil, receives cqm_quality_* series.
+	Metrics *obs.Registry
+}
+
+// Observation is one scoring decision fed to the engine.
+type Observation struct {
+	// Source names the producing sensor/pipeline (one tracking state per
+	// distinct name).
+	Source string
+	// At is the observation's virtual time in seconds.
+	At float64
+	// Q is the context quality score, meaningful only when HasQ.
+	Q float64
+	// HasQ is false for ε decisions (quality not computable).
+	HasQ bool
+	// Degraded marks observations whose input cues were degraded.
+	Degraded bool
+}
+
+// Engine tracks per-source quality streams and assembles QualityReports.
+// It is safe for concurrent use; determinism is the caller's contract:
+// feed observations in a deterministic order (as the simulation's ordered
+// publish path does) and every statistic, alert, and drift epoch replays
+// bit-identically. A nil *Engine is a no-op on every method.
+type Engine struct {
+	mu       sync.Mutex
+	cfg      Config
+	met      engineMetrics
+	sources  map[string]*source
+	names    []string // sorted source names
+	observed int64
+}
+
+// NewEngine returns an engine over cfg (zero fields take defaults).
+func NewEngine(cfg Config) *Engine {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	cfg.PH = cfg.PH.withDefaults()
+	cfg.KS = cfg.KS.withDefaults()
+	return &Engine{
+		cfg:     cfg,
+		met:     newEngineMetrics(cfg.Metrics),
+		sources: make(map[string]*source),
+	}
+}
+
+// Observe folds one decision into the engine: window statistics, lifetime
+// statistics, the Page–Hinkley detector, and (every KS.Every decisions per
+// source) the KS drift test.
+func (e *Engine) Observe(o Observation) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.sources[o.Source]
+	if !ok {
+		s = newSource(o.Source, e.cfg.Window, e.cfg.PH)
+		s.met = newSourceMetrics(e.cfg.Metrics, o.Source)
+		e.sources[o.Source] = s
+		e.names = append(e.names, o.Source)
+		sort.Strings(e.names)
+	}
+	e.observed++
+	sm := sample{
+		at:       o.At,
+		q:        o.Q,
+		hasQ:     o.HasQ,
+		accepted: o.HasQ && o.Q > e.cfg.Threshold,
+		degraded: o.Degraded,
+	}
+	fired := s.add(sm)
+
+	s.met.observations.Inc()
+	if !o.HasQ {
+		s.met.epsilons.Inc()
+	}
+	if fired {
+		s.met.driftPH.Inc()
+	}
+	// KS runs on a stride so its amortized cost stays O(1)-ish per
+	// observation; a fresh evaluation also happens at report time.
+	if e.cfg.Reference != nil && s.observed%int64(e.cfg.KS.Every) == 0 {
+		prev := s.ks.Evaluated && s.ks.Drifting
+		s.ks = KSAgainst(e.cfg.Reference, s.windowQs(), e.cfg.KS)
+		if s.ks.Evaluated && s.ks.Drifting && !prev {
+			s.met.driftKS.Inc()
+		}
+	}
+	// O(1) windowed gauges refresh on every observation; velocity (O(W))
+	// refreshes at report time only.
+	if e.cfg.Metrics != nil {
+		n := float64(s.n)
+		s.met.windowMean.Set(s.windowMean())
+		s.met.windowStdDev.Set(s.windowStdDev())
+		s.met.acceptRate.Set(float64(s.wAccept) / n)
+		s.met.epsilonRate.Set(float64(s.wEpsilon) / n)
+	}
+}
+
+// Report assembles the current QualityReport: per-source statistics,
+// trends, a fresh KS evaluation, alerts, and the overall health grade.
+// Per-source sections are sorted by name and every float is finite, so
+// the JSON encoding is stable and never fails.
+func (e *Engine) Report() *Report {
+	if e == nil {
+		return &Report{Health: HealthOptimal, HealthScore: 1}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	rep := &Report{
+		Observations: e.observed,
+		Sources:      make([]SourceReport, 0, len(e.names)),
+	}
+	for _, name := range e.names {
+		s := e.sources[name]
+		if s.lastAt > rep.At {
+			rep.At = s.lastAt
+		}
+		if e.cfg.Reference != nil {
+			s.ks = KSAgainst(e.cfg.Reference, s.windowQs(), e.cfg.KS)
+		}
+		vel := sanitize(s.velocity())
+		std := sanitize(s.windowStdDev())
+		n := float64(s.n)
+		sr := SourceReport{
+			Name:           name,
+			Observed:       s.observed,
+			Accepted:       s.accepted,
+			Discarded:      s.discarded,
+			Epsilons:       s.epsilons,
+			Degraded:       s.degraded,
+			FirstAt:        sanitize(s.firstAt),
+			LastAt:         sanitize(s.lastAt),
+			LifetimeMean:   sanitize(s.lifetime.Mean()),
+			LifetimeStdDev: sanitize(s.lifetime.StdDev()),
+			Window: WindowStats{
+				Count:       s.n,
+				WithQuality: s.wWithQ,
+				Mean:        sanitize(s.windowMean()),
+				StdDev:      std,
+			},
+			Trends: trendsOf(vel, std),
+			PageHinkley: PHState{
+				Stat:   sanitize(s.ph.Stat()),
+				Count:  s.ph.Count(),
+				Fired:  s.phFired,
+				Epochs: append([]DriftEpoch(nil), s.phEpochs...),
+			},
+			KS: s.ks,
+		}
+		sr.KS.Stat = sanitize(sr.KS.Stat)
+		sr.KS.Critical = sanitize(sr.KS.Critical)
+		if s.n > 0 {
+			sr.Window.AcceptRate = sanitize(float64(s.wAccept) / n)
+			sr.Window.EpsilonRate = sanitize(float64(s.wEpsilon) / n)
+			sr.Window.DegradedRate = sanitize(float64(s.wDegraded) / n)
+		}
+		rep.Alerts = append(rep.Alerts, alertsFor(&sr)...)
+		rep.Sources = append(rep.Sources, sr)
+		s.met.velocity.Set(vel)
+	}
+	sort.Slice(rep.Alerts, func(i, j int) bool {
+		if rep.Alerts[i].Source != rep.Alerts[j].Source {
+			return rep.Alerts[i].Source < rep.Alerts[j].Source
+		}
+		return rep.Alerts[i].Kind < rep.Alerts[j].Kind
+	})
+	rep.HealthScore, rep.Health = healthOf(rep.Alerts)
+
+	var info, warn, errs int
+	for _, a := range rep.Alerts {
+		switch a.Severity {
+		case SeverityError:
+			errs++
+		case SeverityWarning:
+			warn++
+		default:
+			info++
+		}
+	}
+	e.met.health.Set(rep.HealthScore)
+	e.met.info.Set(float64(info))
+	e.met.warn.Set(float64(warn))
+	e.met.errs.Set(float64(errs))
+	return rep
+}
+
+// Sources returns the tracked source names, sorted.
+func (e *Engine) Sources() []string {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.names...)
+}

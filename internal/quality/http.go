@@ -1,0 +1,36 @@
+package quality
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Snapshot is the /quality endpoint payload: the current report plus,
+// when tracing is enabled, the retained pipeline traces.
+type Snapshot struct {
+	// Report is the quality report at serve time.
+	Report *Report `json:"report"`
+	// Traces are the retained pipeline traces, oldest first (omitted when
+	// tracing is off or ?traces=0).
+	Traces []Trace `json:"traces,omitempty"`
+}
+
+// Handler serves the engine's QualityReport as indented JSON, with the
+// tracer's retained traces attached when tr is non-nil. Wire it at
+// /quality next to the /metrics handler. ?traces=0 suppresses the trace
+// dump. Both e and tr may be nil.
+func Handler(e *Engine, tr *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := Snapshot{Report: e.Report()}
+		if req.URL.Query().Get("traces") != "0" {
+			snap.Traces = tr.Snapshot()
+		}
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(append(data, '\n'))
+	})
+}

@@ -1,0 +1,107 @@
+package quality
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cqm/internal/ckpt"
+	"cqm/internal/core"
+	"cqm/internal/stat"
+)
+
+// Reference errors.
+var (
+	// ErrBadReference reports a reference whose densities or weights are
+	// unusable.
+	ErrBadReference = errors.New("quality: invalid reference")
+)
+
+// Reference is the training-time quality distribution the live stream is
+// compared against: the MLE Gaussian densities of the q values of right
+// and wrong classifications (paper §2.3.1) plus their mixture weight. It
+// is persisted into the model artifact set by cqmtrain so a serving
+// process can detect drift without retraining.
+type Reference struct {
+	// Right and Wrong are the densities of correct and incorrect
+	// classifications' q values.
+	Right stat.Gaussian `json:"right"`
+	// Wrong is documented with Right.
+	Wrong stat.Gaussian `json:"wrong"`
+	// WeightRight is the fraction of non-ε training observations that were
+	// correct — the mixture weight of Right (Wrong gets 1−WeightRight).
+	WeightRight float64 `json:"weight_right"`
+	// Threshold is the optimal acceptance threshold s at training time.
+	Threshold float64 `json:"threshold"`
+	// BaselineD is the KS distance of the pooled training q sample
+	// against the fitted mixture itself — the parametric approximation
+	// error. The live KS test discounts it, so only drift beyond what
+	// the Gaussian fit already missed at training time alarms.
+	BaselineD float64 `json:"baseline_d"`
+}
+
+// Validate reports whether the reference is usable for drift detection.
+func (r *Reference) Validate() error {
+	if r == nil {
+		return fmt.Errorf("%w: nil", ErrBadReference)
+	}
+	if r.Right.Sigma <= 0 || r.Wrong.Sigma <= 0 {
+		return fmt.Errorf("%w: sigmas %v, %v", ErrBadReference, r.Right.Sigma, r.Wrong.Sigma)
+	}
+	if r.WeightRight < 0 || r.WeightRight > 1 {
+		return fmt.Errorf("%w: weight %v", ErrBadReference, r.WeightRight)
+	}
+	if r.BaselineD < 0 || r.BaselineD >= 1 {
+		return fmt.Errorf("%w: baseline D %v", ErrBadReference, r.BaselineD)
+	}
+	return nil
+}
+
+// NewReference builds the drift reference from a training-time analysis:
+// the fitted right/wrong densities, their empirical mixture weight, the
+// acceptance threshold, and the calibrated KS baseline over the pooled
+// training q sample.
+func NewReference(a *core.Analysis) *Reference {
+	ref := &Reference{
+		Right:       a.Right,
+		Wrong:       a.Wrong,
+		WeightRight: float64(len(a.QRight)) / float64(len(a.QRight)+len(a.QWrong)),
+		Threshold:   a.Threshold,
+	}
+	pool := make([]float64, 0, len(a.QRight)+len(a.QWrong))
+	pool = append(pool, a.QRight...)
+	pool = append(pool, a.QWrong...)
+	ref.BaselineD = ksDistance(ref, pool)
+	return ref
+}
+
+// CDF returns the mixture cumulative distribution
+// w·Φ_right(x) + (1−w)·Φ_wrong(x) — the null hypothesis the KS detector
+// tests the live window against.
+func (r *Reference) CDF(x float64) float64 {
+	return r.WeightRight*r.Right.CDF(x) + (1-r.WeightRight)*r.Wrong.CDF(x)
+}
+
+// SaveReference atomically persists the reference as a checksummed
+// quality-reference artifact beside the model files. createdAt is the
+// caller's clock (library code never reads the wall clock itself).
+func SaveReference(path string, ref *Reference, createdAt time.Time) error {
+	if err := ref.Validate(); err != nil {
+		return err
+	}
+	man := ckpt.Manifest{Kind: ckpt.KindQualityReference, CreatedAt: createdAt}
+	return ckpt.WriteArtifact(path, man, ref)
+}
+
+// LoadReference reads a quality-reference artifact written by
+// SaveReference, verifying checksum, schema, and kind.
+func LoadReference(path string) (*Reference, error) {
+	var ref Reference
+	if _, err := ckpt.ReadArtifact(path, ckpt.KindQualityReference, &ref); err != nil {
+		return nil, err
+	}
+	if err := ref.Validate(); err != nil {
+		return nil, err
+	}
+	return &ref, nil
+}

@@ -1,0 +1,87 @@
+package quality
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cqm/internal/core"
+	"cqm/internal/stat"
+)
+
+func TestReferenceRoundTrip(t *testing.T) {
+	ref := testRef()
+	ref.BaselineD = 0.12
+	path := filepath.Join(t.TempDir(), "quality_ref.json")
+	if err := SaveReference(path, ref, time.Unix(1700000000, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReference(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *ref {
+		t.Errorf("round trip changed the reference:\n got %+v\nwant %+v", got, ref)
+	}
+}
+
+func TestReferenceValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		ref  *Reference
+	}{
+		{"nil", nil},
+		{"zero sigma", &Reference{Right: stat.Gaussian{Sigma: 0}, Wrong: stat.Gaussian{Sigma: 1}}},
+		{"bad weight", &Reference{Right: stat.Gaussian{Sigma: 1}, Wrong: stat.Gaussian{Sigma: 1}, WeightRight: 1.5}},
+		{"bad baseline", &Reference{Right: stat.Gaussian{Sigma: 1}, Wrong: stat.Gaussian{Sigma: 1}, BaselineD: 1}},
+	}
+	for _, c := range cases {
+		if err := c.ref.Validate(); !errors.Is(err, ErrBadReference) {
+			t.Errorf("%s: err = %v, want ErrBadReference", c.name, err)
+		}
+	}
+	if err := testRef().Validate(); err != nil {
+		t.Errorf("valid reference rejected: %v", err)
+	}
+}
+
+func TestSaveReferenceRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ref.json")
+	err := SaveReference(path, &Reference{}, time.Unix(0, 0))
+	if !errors.Is(err, ErrBadReference) {
+		t.Errorf("err = %v, want ErrBadReference", err)
+	}
+}
+
+func TestLoadReferenceMissingFile(t *testing.T) {
+	if _, err := LoadReference(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("loading a missing reference succeeded")
+	}
+}
+
+func TestNewReferenceCalibratesBaseline(t *testing.T) {
+	a := &core.Analysis{
+		Right:     stat.Gaussian{Mu: 0.9, Sigma: 0.05},
+		Wrong:     stat.Gaussian{Mu: 0.2, Sigma: 0.1},
+		Threshold: 0.6,
+		QRight:    []float64{0.85, 0.88, 0.9, 0.92, 0.95, 0.99, 0.99, 0.99},
+		QWrong:    []float64{0.1, 0.3},
+	}
+	ref := NewReference(a)
+	if err := ref.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.8; ref.WeightRight != want { //lint:ignore floatcmp exact ratio of small ints
+		t.Errorf("weight = %v, want %v", ref.WeightRight, want)
+	}
+	if ref.BaselineD <= 0 {
+		t.Errorf("baseline D = %v, want > 0 (the fit is not exact)", ref.BaselineD)
+	}
+	// The training sample itself must not be declared drifting.
+	pool := append(append([]float64(nil), a.QRight...), a.QWrong...)
+	r := KSAgainst(ref, pool, KSConfig{MinCount: 8})
+	if r.Drifting {
+		t.Errorf("training pool flagged as drifting against its own calibrated reference: %+v", r)
+	}
+}

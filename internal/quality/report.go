@@ -1,0 +1,288 @@
+package quality
+
+import "math"
+
+// Direction labels the quality trend over the window.
+type Direction string
+
+// Trend directions.
+const (
+	// DirectionImproving means windowed quality is rising.
+	DirectionImproving Direction = "improving"
+	// DirectionDeclining means windowed quality is falling.
+	DirectionDeclining Direction = "declining"
+	// DirectionStable means no material slope either way.
+	DirectionStable Direction = "stable"
+)
+
+// Volatility buckets the windowed quality standard deviation.
+type Volatility string
+
+// Volatility grades.
+const (
+	// VolatilityLow is a windowed standard deviation below 0.05.
+	VolatilityLow Volatility = "low"
+	// VolatilityMedium is a windowed standard deviation in [0.05, 0.15).
+	VolatilityMedium Volatility = "medium"
+	// VolatilityHigh is a windowed standard deviation of 0.15 or more.
+	VolatilityHigh Volatility = "high"
+)
+
+// Severity ranks an alert.
+type Severity string
+
+// Alert severities.
+const (
+	// SeverityInfo flags something worth a look, no action implied.
+	SeverityInfo Severity = "info"
+	// SeverityWarning flags degradation needing attention soon.
+	SeverityWarning Severity = "warning"
+	// SeverityError flags active quality failure needing action now.
+	SeverityError Severity = "error"
+)
+
+// Health grades the overall system quality state.
+type Health string
+
+// Health grades, best first.
+const (
+	// HealthOptimal is a score of 0.9 or above.
+	HealthOptimal Health = "optimal"
+	// HealthHealthy is a score in [0.75, 0.9).
+	HealthHealthy Health = "healthy"
+	// HealthDegrading is a score in [0.5, 0.75).
+	HealthDegrading Health = "degrading"
+	// HealthCritical is a score below 0.5.
+	HealthCritical Health = "critical"
+)
+
+// Grading and alert thresholds. All deterministic constants so the same
+// observation stream always yields the same report.
+const (
+	// velocityDecliningPerSec is the degradation-velocity magnitude (quality
+	// units per virtual second) below which the trend counts as declining.
+	velocityDecliningPerSec = -0.002
+	// velocityImprovingPerSec is the symmetric improving threshold.
+	velocityImprovingPerSec = 0.002
+	// volatilityMediumAt and volatilityHighAt bucket the windowed stddev.
+	volatilityMediumAt = 0.05
+	volatilityHighAt   = 0.15
+	// alertEpsilonRate is the windowed ε rate that raises a warning.
+	alertEpsilonRate = 0.5
+	// alertAcceptRate is the windowed accept rate below which a warning is
+	// raised (once the window has minAlertCount samples).
+	alertAcceptRate = 0.2
+	// alertDegradedRate is the windowed degraded-input rate that raises an
+	// info alert.
+	alertDegradedRate = 0.5
+	// minAlertCount is the window occupancy required before rate alerts
+	// fire, guarding against cold-start noise.
+	minAlertCount = 8
+	// Health score penalties per alert severity.
+	penaltyError   = 0.3
+	penaltyWarning = 0.15
+	penaltyInfo    = 0.05
+	// Health grade cut points.
+	healthOptimalAt   = 0.9
+	healthHealthyAt   = 0.75
+	healthDegradingAt = 0.5
+)
+
+// WindowStats are the sliding-window statistics of one source.
+type WindowStats struct {
+	// Count is the number of decisions in the window.
+	Count int `json:"count"`
+	// WithQuality is how many of them carried a q score (non-ε).
+	WithQuality int `json:"with_quality"`
+	// Mean and StdDev summarize the windowed q values.
+	Mean float64 `json:"mean"`
+	// StdDev is documented with Mean.
+	StdDev float64 `json:"stddev"`
+	// AcceptRate is accepted decisions over window count.
+	AcceptRate float64 `json:"accept_rate"`
+	// EpsilonRate is ε decisions over window count.
+	EpsilonRate float64 `json:"epsilon_rate"`
+	// DegradedRate is degraded-flagged observations over window count.
+	DegradedRate float64 `json:"degraded_rate"`
+}
+
+// Trends is the direction-volatility-velocity summary of one source.
+type Trends struct {
+	// Direction is improving, declining, or stable.
+	Direction Direction `json:"direction"`
+	// Volatility is low, medium, or high.
+	Volatility Volatility `json:"volatility"`
+	// DegradationVelocity is the OLS slope of q against virtual time over
+	// the window, in quality units per virtual second.
+	DegradationVelocity float64 `json:"degradation_velocity"`
+}
+
+// PHState is the Page–Hinkley detector state at report time.
+type PHState struct {
+	// Stat is the current cumulative decline statistic.
+	Stat float64 `json:"stat"`
+	// Count is observations folded in since the last reset.
+	Count int `json:"count"`
+	// Fired is the lifetime alarm count.
+	Fired int64 `json:"fired"`
+	// Epochs are the most recent alarms (bounded).
+	Epochs []DriftEpoch `json:"epochs,omitempty"`
+}
+
+// Alert is one actionable finding in a report.
+type Alert struct {
+	// Source is the source the alert is about.
+	Source string `json:"source"`
+	// Severity is info, warning, or error.
+	Severity Severity `json:"severity"`
+	// Kind is a stable machine-readable alert type.
+	Kind string `json:"kind"`
+	// Message is the human-readable finding.
+	Message string `json:"message"`
+	// Recommendation says what to do about it.
+	Recommendation string `json:"recommendation"`
+}
+
+// SourceReport is one source's section of a quality report.
+type SourceReport struct {
+	// Name is the source name.
+	Name string `json:"name"`
+	// Observed through Degraded are lifetime decision counts.
+	Observed int64 `json:"observed"`
+	// Accepted is documented with Observed.
+	Accepted int64 `json:"accepted"`
+	// Discarded is documented with Observed.
+	Discarded int64 `json:"discarded"`
+	// Epsilons is documented with Observed.
+	Epsilons int64 `json:"epsilons"`
+	// Degraded is documented with Observed.
+	Degraded int64 `json:"degraded"`
+	// FirstAt and LastAt bound the observed virtual-time span.
+	FirstAt float64 `json:"first_at"`
+	// LastAt is documented with FirstAt.
+	LastAt float64 `json:"last_at"`
+	// LifetimeMean and LifetimeStdDev summarize every q ever scored.
+	LifetimeMean float64 `json:"lifetime_mean"`
+	// LifetimeStdDev is documented with LifetimeMean.
+	LifetimeStdDev float64 `json:"lifetime_stddev"`
+	// Window is the sliding-window view.
+	Window WindowStats `json:"window"`
+	// Trends is the direction/volatility/velocity summary.
+	Trends Trends `json:"trends"`
+	// PageHinkley is the sequential decline detector's state.
+	PageHinkley PHState `json:"page_hinkley"`
+	// KS is the latest Kolmogorov–Smirnov evaluation against the
+	// training-time reference mixture.
+	KS KSResult `json:"ks"`
+}
+
+// Report is a structured quality report over every tracked source.
+type Report struct {
+	// At is the report's virtual timestamp: the latest observation time
+	// seen (reports are deterministic, so no wall clock appears here).
+	At float64 `json:"at"`
+	// Observations is the total decisions tracked across all sources.
+	Observations int64 `json:"observations"`
+	// Health is the overall grade derived from HealthScore.
+	Health Health `json:"health"`
+	// HealthScore is 1.0 minus alert penalties, clamped to [0,1].
+	HealthScore float64 `json:"health_score"`
+	// Sources are the per-source sections, sorted by name.
+	Sources []SourceReport `json:"sources"`
+	// Alerts are the active findings, sorted by source then kind.
+	Alerts []Alert `json:"alerts"`
+}
+
+// sanitize maps NaN and ±Inf to 0 so reports always marshal to JSON
+// (encoding/json rejects non-finite values).
+func sanitize(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return x
+}
+
+// trendsOf grades a velocity/stddev pair.
+func trendsOf(velocity, stddev float64) Trends {
+	t := Trends{Direction: DirectionStable, Volatility: VolatilityLow, DegradationVelocity: velocity}
+	if velocity < velocityDecliningPerSec {
+		t.Direction = DirectionDeclining
+	} else if velocity > velocityImprovingPerSec {
+		t.Direction = DirectionImproving
+	}
+	if stddev >= volatilityHighAt {
+		t.Volatility = VolatilityHigh
+	} else if stddev >= volatilityMediumAt {
+		t.Volatility = VolatilityMedium
+	}
+	return t
+}
+
+// alertsFor derives the active alerts for one source report.
+func alertsFor(sr *SourceReport) []Alert {
+	var out []Alert
+	add := func(sev Severity, kind, msg, rec string) {
+		out = append(out, Alert{Source: sr.Name, Severity: sev, Kind: kind, Message: msg, Recommendation: rec})
+	}
+	if len(sr.PageHinkley.Epochs) > 0 && sr.PageHinkley.Fired > 0 {
+		add(SeverityError, "drift-ph",
+			"Page–Hinkley decline alarm on the quality stream",
+			"inspect the sensor and retrain or reload the measure; the q distribution has collapsed below its training-time level")
+	}
+	if sr.KS.Evaluated && sr.KS.Drifting {
+		add(SeverityError, "drift-ks",
+			"live quality window departs from the training-time right/wrong mixture (KS)",
+			"recalibrate the acceptance threshold against current conditions or retrain the measure")
+	}
+	if sr.Window.Count >= minAlertCount {
+		if sr.Window.EpsilonRate > alertEpsilonRate {
+			add(SeverityWarning, "epsilon-flood",
+				"majority of recent decisions were ε (no quality computable)",
+				"check sensor connectivity and cue coverage; the measure is flying blind")
+		}
+		if sr.Window.AcceptRate < alertAcceptRate {
+			add(SeverityWarning, "low-accept",
+				"windowed accept rate fell below 20%",
+				"verify the acceptance threshold still matches the deployed environment")
+		}
+		if sr.Window.DegradedRate > alertDegradedRate {
+			add(SeverityInfo, "degraded-input",
+				"majority of recent observations carried degraded cues",
+				"review upstream degradation injection or sensor health")
+		}
+	}
+	if sr.Trends.Direction == DirectionDeclining {
+		add(SeverityWarning, "declining",
+			"windowed quality is trending downward",
+			"watch the degradation velocity; schedule recalibration before the accept rate collapses")
+	}
+	return out
+}
+
+// healthOf folds alert penalties into a score and grade.
+func healthOf(alerts []Alert) (float64, Health) {
+	score := 1.0
+	for _, a := range alerts {
+		switch a.Severity {
+		case SeverityError:
+			score -= penaltyError
+		case SeverityWarning:
+			score -= penaltyWarning
+		default:
+			score -= penaltyInfo
+		}
+	}
+	if score < 0 {
+		score = 0
+	}
+	switch {
+	case score >= healthOptimalAt:
+		return score, HealthOptimal
+	case score >= healthHealthyAt:
+		return score, HealthHealthy
+	case score >= healthDegradingAt:
+		return score, HealthDegrading
+	default:
+		return score, HealthCritical
+	}
+}

@@ -1,0 +1,213 @@
+package quality
+
+import (
+	"sync"
+
+	"cqm/internal/obs"
+)
+
+// Stage names one step of the sensing pipeline in a trace.
+type Stage string
+
+// Pipeline stages, in causal order.
+const (
+	// StageSample is the pen capturing a raw cue sample.
+	StageSample Stage = "sample"
+	// StageScore is the CQM measure scoring a feature window.
+	StageScore Stage = "score"
+	// StagePublish is the pen handing the event to the bus.
+	StagePublish Stage = "publish"
+	// StageRetransmit is one bus retry after a failed attempt.
+	StageRetransmit Stage = "retransmit"
+	// StageDeliver is the bus delivering the frame to a subscriber.
+	StageDeliver Stage = "deliver"
+	// StageDrop is the bus giving up on a frame (loss or corruption).
+	StageDrop Stage = "drop"
+	// StageFuse is the camera folding the event into its fusion state.
+	StageFuse Stage = "fuse"
+	// StageDecide is the camera's accept/discard/fallback decision.
+	StageDecide Stage = "decide"
+)
+
+// TraceEvent is one recorded stage of a trace.
+type TraceEvent struct {
+	// Stage is the pipeline step.
+	Stage Stage `json:"stage"`
+	// At is the stage's virtual time in seconds.
+	At float64 `json:"at"`
+	// Detail carries stage-specific context (subscriber name, drop
+	// reason, decision).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace is the recorded life of one sampled observation through the
+// pipeline.
+type Trace struct {
+	// Seq is the observation's sequence number, reduced modulo 65536 to
+	// match the 16-bit wire encoding.
+	Seq int `json:"seq"`
+	// Source is the producing sensor.
+	Source string `json:"source"`
+	// StartAt is the virtual time the trace began.
+	StartAt float64 `json:"start_at"`
+	// Events are the recorded stages, in arrival order.
+	Events []TraceEvent `json:"events"`
+}
+
+// seqMask reduces sequence numbers to the 16-bit wire space; bus frames
+// encode Seq as uint16, so trace correlation must survive the wrap.
+const seqMask = 0xFFFF
+
+// DefaultTraceCapacity bounds the in-memory trace ring when NewTracer is
+// given a non-positive capacity.
+const DefaultTraceCapacity = 64
+
+// Tracer samples observations and records their pipeline stages into a
+// bounded ring, observing per-stage virtual-time latency into
+// cqm_trace_stage_virtual_seconds. It is safe for concurrent use, and a
+// nil *Tracer is a no-op on every method, so pipeline code can call it
+// unconditionally.
+type Tracer struct {
+	mu      sync.Mutex
+	every   int
+	ring    []Trace
+	next, n int
+	pos     map[int]int // seq (mod 65536) → ring position of live trace
+	begun   int64
+
+	reg      *obs.Registry
+	sampledC *obs.Counter
+	stageH   map[Stage]*obs.Histogram
+}
+
+// NewTracer returns a tracer that begins a trace for every Nth
+// observation offered (every <= 0 disables sampling entirely and returns
+// nil) into a ring of the given capacity (non-positive uses
+// DefaultTraceCapacity). reg, when non-nil, receives the cqm_trace_*
+// series.
+func NewTracer(every, capacity int, reg *obs.Registry) *Tracer {
+	if every <= 0 {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	t := &Tracer{
+		every:  every,
+		ring:   make([]Trace, capacity),
+		pos:    make(map[int]int),
+		reg:    reg,
+		stageH: make(map[Stage]*obs.Histogram),
+	}
+	if reg != nil {
+		reg.Help(MetricTracesSampled, "Pipeline traces started by the sampler.")
+		reg.Help(MetricTraceStageSeconds, "Per-stage pipeline latency in virtual seconds, by stage.")
+		t.sampledC = reg.Counter(MetricTracesSampled)
+	}
+	return t
+}
+
+// Begin offers one observation to the sampler and reports whether a trace
+// was started for it. The first offer and every Nth after it are traced.
+func (t *Tracer) Begin(source string, seq int, at float64) bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.begun++
+	if (t.begun-1)%int64(t.every) != 0 {
+		return false
+	}
+	t.sampledC.Inc()
+	key := seq & seqMask
+	// Claim a ring slot, unlinking whatever trace previously lived there.
+	if t.n == len(t.ring) {
+		old := t.ring[t.next]
+		if p, ok := t.pos[old.Seq]; ok && p == t.next {
+			delete(t.pos, old.Seq)
+		}
+	} else {
+		t.n++
+	}
+	t.ring[t.next] = Trace{Seq: key, Source: source, StartAt: at}
+	t.pos[key] = t.next
+	t.next = (t.next + 1) % len(t.ring)
+	return true
+}
+
+// Record appends a stage to the live trace for seq, if one is being
+// sampled, and observes the virtual-time delta from the previous stage
+// into the per-stage latency histogram. Unsampled sequences are ignored,
+// so pipeline code records unconditionally.
+func (t *Tracer) Record(seq int, stage Stage, at float64, detail string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.pos[seq&seqMask]
+	if !ok {
+		return
+	}
+	tr := &t.ring[p]
+	last := tr.StartAt
+	if len(tr.Events) > 0 {
+		last = tr.Events[len(tr.Events)-1].At
+	}
+	delta := at - last
+	if delta < 0 {
+		delta = 0
+	}
+	t.hist(stage).Observe(delta)
+	tr.Events = append(tr.Events, TraceEvent{Stage: stage, At: at, Detail: detail})
+}
+
+// hist lazily resolves the per-stage latency histogram; callers hold t.mu.
+func (t *Tracer) hist(stage Stage) *obs.Histogram {
+	if t.reg == nil {
+		return nil
+	}
+	h, ok := t.stageH[stage]
+	if !ok {
+		h = t.reg.Histogram(MetricTraceStageSeconds, traceBuckets(), "stage", string(stage))
+		t.stageH[stage] = h
+	}
+	return h
+}
+
+// traceBuckets are the latency bounds for pipeline stages: 0.5 ms up to
+// ~16 virtual seconds, exponentially spaced.
+func traceBuckets() []float64 {
+	return obs.ExponentialBuckets(0.0005, 2, 16)
+}
+
+// Snapshot returns copies of the retained traces, oldest first.
+func (t *Tracer) Snapshot() []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Trace, 0, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.n; i++ {
+		tr := t.ring[(start+i)%len(t.ring)]
+		tr.Events = append([]TraceEvent(nil), tr.Events...)
+		out = append(out, tr)
+	}
+	return out
+}
+
+// Begun returns how many observations have been offered to the sampler.
+func (t *Tracer) Begun() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.begun
+}

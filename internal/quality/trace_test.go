@@ -1,0 +1,132 @@
+package quality
+
+import (
+	"testing"
+
+	"cqm/internal/obs"
+)
+
+func TestTracerSamplesEveryNth(t *testing.T) {
+	tr := NewTracer(3, 8, nil)
+	var sampled []int
+	for seq := 0; seq < 9; seq++ {
+		if tr.Begin("pen", seq, float64(seq)) {
+			sampled = append(sampled, seq)
+		}
+	}
+	want := []int{0, 3, 6}
+	if len(sampled) != len(want) {
+		t.Fatalf("sampled %v, want %v", sampled, want)
+	}
+	for i := range want {
+		if sampled[i] != want[i] {
+			t.Fatalf("sampled %v, want %v", sampled, want)
+		}
+	}
+	if tr.Begun() != 9 {
+		t.Errorf("Begun() = %d, want 9", tr.Begun())
+	}
+}
+
+func TestTracerRecordsStages(t *testing.T) {
+	tr := NewTracer(1, 8, nil)
+	if !tr.Begin("pen", 7, 1.0) {
+		t.Fatal("every=1 must sample every event")
+	}
+	tr.Record(7, StageScore, 1.1, "q=0.9")
+	tr.Record(7, StagePublish, 1.2, "")
+	tr.Record(7, StageDeliver, 1.35, "camera")
+	traces := tr.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("%d traces, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.Seq != 7 || got.Source != "pen" || got.StartAt != 1.0 {
+		t.Errorf("trace header = %+v", got)
+	}
+	if len(got.Events) != 3 {
+		t.Fatalf("%d events, want 3", len(got.Events))
+	}
+	if got.Events[2].Stage != StageDeliver || got.Events[2].Detail != "camera" {
+		t.Errorf("last event = %+v", got.Events[2])
+	}
+}
+
+func TestTracerIgnoresUnsampledSeq(t *testing.T) {
+	tr := NewTracer(2, 8, nil)
+	tr.Begin("pen", 0, 0) // sampled
+	tr.Begin("pen", 1, 1) // not sampled
+	tr.Record(1, StageScore, 1.1, "")
+	for _, trace := range tr.Snapshot() {
+		if trace.Seq == 1 {
+			t.Error("unsampled sequence appeared in the snapshot")
+		}
+	}
+}
+
+func TestTracerRingEvictsOldest(t *testing.T) {
+	tr := NewTracer(1, 2, nil)
+	for seq := 0; seq < 5; seq++ {
+		tr.Begin("pen", seq, float64(seq))
+	}
+	traces := tr.Snapshot()
+	if len(traces) != 2 {
+		t.Fatalf("%d traces retained, want 2", len(traces))
+	}
+	if traces[0].Seq != 3 || traces[1].Seq != 4 {
+		t.Errorf("retained seqs %d, %d; want oldest-first 3, 4", traces[0].Seq, traces[1].Seq)
+	}
+}
+
+func TestTracerSeqWraparound(t *testing.T) {
+	tr := NewTracer(1, 4, nil)
+	// Wire sequence numbers are 16-bit; an evicted slot's key must not
+	// swallow records meant for the trace that reused it.
+	tr.Begin("pen", 100, 0)
+	tr.Record(100, StageScore, 0.5, "first")
+	// 65636 & 0xFFFF == 100: same masked key, later trace.
+	tr.Begin("pen", 100, 10)
+	tr.Record(100, StageScore, 10.5, "second")
+	traces := tr.Snapshot()
+	var last Trace
+	for _, c := range traces {
+		last = c
+	}
+	if last.StartAt != 10 || len(last.Events) != 1 || last.Events[0].Detail != "second" {
+		t.Errorf("wrapped trace = %+v", last)
+	}
+}
+
+func TestTracerNilAndDisabled(t *testing.T) {
+	if tr := NewTracer(0, 8, nil); tr != nil {
+		t.Error("every=0 must disable tracing")
+	}
+	var tr *Tracer
+	if tr.Begin("pen", 1, 0) {
+		t.Error("nil tracer sampled an event")
+	}
+	tr.Record(1, StageScore, 0, "")
+	if got := tr.Snapshot(); got != nil {
+		t.Errorf("nil tracer snapshot = %v", got)
+	}
+	if tr.Begun() != 0 {
+		t.Errorf("nil tracer Begun() = %d", tr.Begun())
+	}
+}
+
+func TestTracerObservesStageLatencies(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := NewTracer(1, 8, reg)
+	tr.Begin("pen", 1, 0)
+	tr.Record(1, StageScore, 0.1, "")
+	tr.Record(1, StagePublish, 0.25, "")
+	var total int64
+	for _, h := range reg.Snapshot().Histograms {
+		if h.Name == MetricTraceStageSeconds {
+			total += h.Count
+		}
+	}
+	if total != 2 {
+		t.Errorf("%s observations = %d, want 2 (one per recorded stage)", MetricTraceStageSeconds, total)
+	}
+}

@@ -1,0 +1,214 @@
+package quality
+
+import (
+	"math"
+
+	"cqm/internal/stat"
+)
+
+// sample is one tracked scoring decision in a source's ring window.
+type sample struct {
+	at       float64
+	q        float64
+	hasQ     bool
+	accepted bool
+	degraded bool
+}
+
+// DriftEpoch records one Page–Hinkley alarm: when it fired (virtual time)
+// and on which per-source observation.
+type DriftEpoch struct {
+	// At is the virtual time of the observation that fired the alarm.
+	At float64 `json:"at"`
+	// Index is the zero-based per-source observation index.
+	Index int64 `json:"index"`
+}
+
+// maxDriftEpochs bounds the epochs retained per source for reporting.
+const maxDriftEpochs = 32
+
+// source is the per-source tracking state: a ring window of recent
+// decisions with incrementally maintained windowed statistics, lifetime
+// Welford statistics, and the drift detectors.
+type source struct {
+	name string
+
+	// Ring window of the most recent samples, oldest overwritten first.
+	ring []sample
+	next int
+	n    int
+
+	// Windowed aggregates, maintained in O(1) per observation by adding
+	// the incoming sample and subtracting the evicted one. q ∈ [0,1], so
+	// the running sums stay well-conditioned.
+	wSum, wSum2               float64
+	wWithQ, wAccept, wEpsilon int
+	wDegraded                 int
+
+	// Lifetime statistics over every q value this source ever produced.
+	lifetime                                          stat.Online
+	observed, accepted, discarded, epsilons, degraded int64
+	firstAt, lastAt                                   float64
+
+	// Drift detection.
+	ph       *PageHinkley
+	phFired  int64
+	phEpochs []DriftEpoch
+	ks       KSResult
+
+	met sourceMetrics
+}
+
+// newSource returns tracking state for one source name.
+func newSource(name string, window int, ph PHConfig) *source {
+	return &source{
+		name: name,
+		ring: make([]sample, window),
+		ph:   NewPageHinkley(ph),
+	}
+}
+
+// add folds one decision into the window and the lifetime statistics and
+// runs the Page–Hinkley detector; it reports whether PH fired.
+func (s *source) add(sm sample) bool {
+	if s.observed == 0 {
+		s.firstAt = sm.at
+	}
+	s.lastAt = sm.at
+	index := s.observed
+	s.observed++
+
+	// Evict the slot being overwritten once the ring has wrapped.
+	if s.n == len(s.ring) {
+		old := s.ring[s.next]
+		if old.hasQ {
+			s.wSum -= old.q
+			s.wSum2 -= old.q * old.q
+			s.wWithQ--
+		} else {
+			s.wEpsilon--
+		}
+		if old.accepted {
+			s.wAccept--
+		}
+		if old.degraded {
+			s.wDegraded--
+		}
+	} else {
+		s.n++
+	}
+	s.ring[s.next] = sm
+	s.next = (s.next + 1) % len(s.ring)
+
+	if sm.hasQ {
+		s.wSum += sm.q
+		s.wSum2 += sm.q * sm.q
+		s.wWithQ++
+		s.lifetime.Add(sm.q)
+	} else {
+		s.wEpsilon++
+		s.epsilons++
+	}
+	if sm.accepted {
+		s.wAccept++
+		s.accepted++
+	} else if sm.hasQ {
+		s.discarded++
+	}
+	if sm.degraded {
+		s.wDegraded++
+		s.degraded++
+	}
+
+	if !sm.hasQ {
+		return false
+	}
+	if s.ph.Add(sm.q) {
+		s.phFired++
+		s.phEpochs = append(s.phEpochs, DriftEpoch{At: sm.at, Index: index})
+		if len(s.phEpochs) > maxDriftEpochs {
+			s.phEpochs = s.phEpochs[len(s.phEpochs)-maxDriftEpochs:]
+		}
+		return true
+	}
+	return false
+}
+
+// windowMean returns the mean q over the current window (0 when no
+// quality-carrying sample is present).
+func (s *source) windowMean() float64 {
+	if s.wWithQ == 0 {
+		return 0
+	}
+	return s.wSum / float64(s.wWithQ)
+}
+
+// windowStdDev returns the population standard deviation of q over the
+// current window.
+func (s *source) windowStdDev() float64 {
+	if s.wWithQ < 2 {
+		return 0
+	}
+	mean := s.wSum / float64(s.wWithQ)
+	v := s.wSum2/float64(s.wWithQ) - mean*mean
+	if v < 0 {
+		// Floating-point cancellation on near-constant windows.
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// windowQs returns the quality values currently in the window, oldest
+// first — the KS detector's live sample.
+func (s *source) windowQs() []float64 {
+	out := make([]float64, 0, s.wWithQ)
+	s.eachWindowed(func(sm sample) {
+		if sm.hasQ {
+			out = append(out, sm.q)
+		}
+	})
+	return out
+}
+
+// velocity returns the degradation velocity: the ordinary-least-squares
+// slope of q against virtual time over the window, in quality units per
+// virtual second. Negative values mean declining quality. It is a pure
+// function of the windowed samples in stream order, so it replays
+// bit-identically.
+func (s *source) velocity() float64 {
+	if s.wWithQ < 2 {
+		return 0
+	}
+	var sumT, sumQ float64
+	nf := float64(s.wWithQ)
+	s.eachWindowed(func(sm sample) {
+		if sm.hasQ {
+			sumT += sm.at
+			sumQ += sm.q
+		}
+	})
+	meanT, meanQ := sumT/nf, sumQ/nf
+	var cov, varT float64
+	s.eachWindowed(func(sm sample) {
+		if sm.hasQ {
+			dt := sm.at - meanT
+			cov += dt * (sm.q - meanQ)
+			varT += dt * dt
+		}
+	})
+	if varT <= 0 {
+		return 0
+	}
+	return cov / varT
+}
+
+// eachWindowed visits the windowed samples oldest first.
+func (s *source) eachWindowed(fn func(sample)) {
+	start := s.next - s.n
+	if start < 0 {
+		start += len(s.ring)
+	}
+	for i := 0; i < s.n; i++ {
+		fn(s.ring[(start+i)%len(s.ring)])
+	}
+}
