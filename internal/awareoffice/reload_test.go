@@ -76,7 +76,11 @@ func feedSession(t *testing.T, pen *Pen, seed int64) []Event {
 func TestPenSourceOverridesMeasure(t *testing.T) {
 	// Source must take precedence over the legacy Measure field, in both
 	// the per-event and the pre-scored path.
-	for name, workers := range map[string]int{"per-event": 0, "pre-scored": 2} {
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"per-event", 0}, {"pre-scored", 2}} {
+		name, workers := tc.name, tc.workers
 		t.Run(name, func(t *testing.T) {
 			// cues are 3 per window (per-axis stddev) + the class input.
 			src := &swapSource{m: biasMeasure(t, 4, 0.75)}

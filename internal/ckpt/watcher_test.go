@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -124,7 +125,13 @@ func TestWatcherRejectsBadModelKeepsServing(t *testing.T) {
 	bads["wrong kind"] = wrongKind
 
 	attempts := reg.Counter(MetricReloadAttempts).Value()
-	for name, bad := range bads {
+	names := make([]string, 0, len(bads))
+	for name := range bads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bad := bads[name]
 		t.Run(name, func(t *testing.T) {
 			if err := os.WriteFile(path, bad, 0o644); err != nil {
 				t.Fatal(err)

@@ -175,6 +175,7 @@ func (m *Measure) RawScore(cues []float64, class sensor.Context) (float64, error
 	}
 	raw, err := m.sys.Eval(qualityInput(cues, class))
 	if err != nil {
+		//lint:ignore hotpath-alloc ε-state path: allocates only for no-activation observations, which the batch path discards
 		return 0, fmt.Errorf("%w: %v", ErrEpsilon, err)
 	}
 	return raw, nil
@@ -187,6 +188,8 @@ func (m *Measure) RawScore(cues []float64, class sensor.Context) (float64, error
 // the batch, reporting the lowest failing index. The outputs are
 // bit-identical at every worker count: each slot is written by exactly
 // one worker and every score is an independent FIS evaluation.
+//
+//cqm:hotpath
 func (m *Measure) ScoreBatch(observations []Observation, pool *parallel.Pool) (qs []float64, ok []bool, err error) {
 	if m == nil || m.sys == nil {
 		return nil, nil, ErrUnbuilt
@@ -194,10 +197,11 @@ func (m *Measure) ScoreBatch(observations []Observation, pool *parallel.Pool) (q
 	if len(observations) == 0 {
 		return nil, nil, ErrNoObservations
 	}
-	qs = make([]float64, len(observations))
-	ok = make([]bool, len(observations))
-	errs := make([]error, len(observations))
+	qs = make([]float64, len(observations))  //lint:ignore hotpath-alloc result buffer: one make per batch, not per score
+	ok = make([]bool, len(observations))     //lint:ignore hotpath-alloc result buffer: one make per batch, not per score
+	errs := make([]error, len(observations)) //lint:ignore hotpath-alloc result buffer: one make per batch, not per score
 	// The ForEach error is always nil — the context is never cancelled.
+	//lint:ignore hotpath-alloc one closure per batch, amortized over every score in it
 	_ = pool.ForEach(context.Background(), len(observations), scoreGrain, func(i int) {
 		q, err := m.Score(observations[i].Cues, observations[i].Class)
 		if err != nil {
@@ -211,6 +215,7 @@ func (m *Measure) ScoreBatch(observations []Observation, pool *parallel.Pool) (q
 	})
 	for i, scoreErr := range errs {
 		if scoreErr != nil {
+			//lint:ignore hotpath-alloc cold abort path: a non-ε error ends the batch
 			return nil, nil, fmt.Errorf("core: scoring observation %d: %w", i, scoreErr)
 		}
 	}

@@ -39,6 +39,7 @@ func Normalize(x float64) (float64, error) {
 		// Distance x−1 past the designated 1, folded back symmetrically.
 		return 2 - x, nil
 	default:
+		//lint:ignore hotpath-alloc ε-state path: allocates only for out-of-range raw outputs
 		return 0, fmt.Errorf("%w: raw output %v", ErrEpsilon, x)
 	}
 }

@@ -107,6 +107,7 @@ func SplitByCorrectness(obs []Observation) (right, wrong []Observation) {
 
 // qualityInput builds v_Q = (v_1, …, v_n, c) for one observation.
 func qualityInput(cues []float64, class sensor.Context) []float64 {
+	//lint:ignore hotpath-alloc one input vector per score; removing it is ROADMAP item 2 (zero-alloc FIS evaluation)
 	v := make([]float64, len(cues)+1)
 	copy(v, cues)
 	v[len(cues)] = float64(class.ID())

@@ -2,6 +2,7 @@ package feature
 
 import (
 	"fmt"
+	"sort"
 
 	"cqm/internal/sensor"
 )
@@ -85,15 +86,23 @@ func (w Windower) Slide(readings []sensor.Reading) ([]Window, error) {
 	return out, nil
 }
 
-// majorityTruth returns the most frequent ground-truth context.
+// majorityTruth returns the most frequent ground-truth context. Candidates
+// are visited in sorted order so a tie between two equally frequent
+// contexts resolves to the smaller one rather than to whichever the map
+// iterator yields first.
 func majorityTruth(chunk []sensor.Reading) sensor.Context {
 	counts := make(map[sensor.Context]int, 3)
 	for _, r := range chunk {
 		counts[r.Truth]++
 	}
+	seen := make([]sensor.Context, 0, len(counts))
+	for c := range counts {
+		seen = append(seen, c)
+	}
+	sort.Slice(seen, func(i, j int) bool { return seen[i] < seen[j] })
 	best := chunk[0].Truth
-	for c, n := range counts {
-		if n > counts[best] {
+	for _, c := range seen {
+		if counts[c] > counts[best] {
 			best = c
 		}
 	}

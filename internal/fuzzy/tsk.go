@@ -138,12 +138,31 @@ func (t *TSK) Clone() *TSK {
 // Eval computes the weighted sum average
 // S(v) = Σ_j w_j(v)·f_j(v) / Σ_j w_j(v).
 // It returns ErrNoActivation when every rule weight underflows to zero.
+//
+// Unlike EvalDetail, which materializes the per-rule trace for the ANFIS
+// trainer, Eval accumulates the two sums in scalars: this is the
+// per-observation scoring kernel and must not allocate.
+//
+//cqm:hotpath
 func (t *TSK) Eval(v []float64) (float64, error) {
-	detail, err := t.EvalDetail(v)
-	if err != nil {
-		return 0, err
+	if len(t.rules) == 0 {
+		return 0, ErrNoRules
 	}
-	return detail.Output, nil
+	if len(v) != t.inputs {
+		//lint:ignore hotpath-alloc cold arity-error path; never taken by a validated pipeline
+		return 0, fmt.Errorf("%w: got %d inputs, want %d", ErrArity, len(v), t.inputs)
+	}
+	var sum, wsum float64
+	for j := range t.rules {
+		w := t.rules[j].Weight(v)
+		sum += w * t.rules[j].Consequent(v)
+		wsum += w
+	}
+	if wsum <= 0 {
+		//lint:ignore hotpath-alloc cold underflow path; fires only when no rule activates at all
+		return 0, fmt.Errorf("%w: %v", ErrNoActivation, v)
+	}
+	return sum / wsum, nil
 }
 
 // Detail is a full evaluation trace: per-rule firing strengths and

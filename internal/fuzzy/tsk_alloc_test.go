@@ -1,0 +1,21 @@
+package fuzzy
+
+import "testing"
+
+// TestEvalZeroAlloc guards the //cqm:hotpath contract on the scoring
+// kernel: scalar-accumulating Eval must not allocate at all. EvalDetail
+// deliberately trades this away for the trainer's per-rule trace.
+func TestEvalZeroAlloc(t *testing.T) {
+	sys := twoRuleSystem(t)
+	v := []float64{0.5}
+	if _, err := sys.Eval(v); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := sys.Eval(v); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Eval allocates %v per run, want 0", allocs)
+	}
+}

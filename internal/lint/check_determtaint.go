@@ -1,0 +1,27 @@
+package lint
+
+import "go/token"
+
+func init() {
+	register(&Check{
+		Name:  "determinism-taint",
+		Doc:   "interprocedural taint: nondeterministic values must not reach encoders, artifacts, or bus publishes",
+		Graph: runDeterminismTaint,
+	})
+}
+
+// runDeterminismTaint propagates nondeterminism sources (wall clock,
+// global math/rand, map iteration order, channel receive order) through
+// the whole-program call graph and reports every value still carrying
+// taint when it reaches an externalizing sink (JSON encoding, artifact
+// writes, bus publishes, diagnostic renderers). Unlike the syntactic
+// nondeterminism check — which bans the sources outright in internal
+// library packages — this check runs everywhere, including cmd/ and test
+// helpers, and catches flows laundered through intermediate functions.
+// Sorting a tainted collection (sort.*, slices.Sort*) sanitizes it.
+func runDeterminismTaint(gp *GraphPass) {
+	eng := newTaintEngine(gp.Prog)
+	eng.reportAll(func(pos token.Pos, srcs srcMask, sink string) {
+		gp.Reportf(pos, "value derived from %s flows into %s; order the data or take the value as an input", srcs.describe(), sink)
+	})
+}

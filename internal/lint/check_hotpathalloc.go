@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func init() {
+	register(&Check{
+		Name:  "hotpath-alloc",
+		Doc:   "no unwaived allocation reachable from a //cqm:hotpath root",
+		Graph: runHotpathAlloc,
+	})
+}
+
+// runHotpathAlloc walks every function reachable from a //cqm:hotpath
+// annotation (pruned at //cqm:coldpath) and reports each allocation site:
+// make/new, append (may grow), heap-bound composite literals, closures,
+// string building, allocating stdlib formatters, and interface boxing of
+// call arguments. Every surviving site is either fixed or carries a
+// reasoned //lint:ignore waiver — the hot path's allocation budget is the
+// set of waivers. Test files are exempt.
+func runHotpathAlloc(gp *GraphPass) {
+	g := gp.Prog.Graph()
+	var roots []*Node
+	for _, n := range g.Nodes() {
+		if n.Hot {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	parent := g.Reachable(roots, true)
+	for _, n := range g.Nodes() {
+		if _, ok := parent[n]; !ok {
+			continue
+		}
+		// A //cqm:coldpath body is itself off the path, not just its callees.
+		if n.Cold || n.Body == nil || gp.Prog.InTestFile(n.Pos()) {
+			continue
+		}
+		path := RootPath(parent, n)
+		scanAllocs(gp, n, path)
+	}
+}
+
+// scanAllocs reports the allocation sites in one reachable function body.
+// Nested literals are separate graph nodes and are not descended into
+// (the closure's creation is itself reported).
+func scanAllocs(gp *GraphPass, n *Node, path string) {
+	info := n.Info()
+	hot := func(pos ast.Node, what string) {
+		gp.Reportf(pos.Pos(), "%s on hot path %s", what, path)
+	}
+	ast.Inspect(n.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			hot(node, "closure allocation")
+			return false
+		case *ast.CompositeLit:
+			if t := info.TypeOf(node); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					hot(node, "slice literal allocation")
+				case *types.Map:
+					hot(node, "map literal allocation")
+				}
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if _, ok := ast.Unparen(node.X).(*ast.CompositeLit); ok {
+					hot(node, "heap-bound &composite literal")
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD && isStringType(info.TypeOf(node)) {
+				hot(node, "string concatenation")
+			}
+		case *ast.CallExpr:
+			scanCallAlloc(gp, info, node, hot)
+		}
+		return true
+	})
+}
+
+// scanCallAlloc classifies one call expression's allocation behaviour.
+func scanCallAlloc(gp *GraphPass, info *types.Info, call *ast.CallExpr, hot func(ast.Node, string)) {
+	// Conversions: string <-> []byte/[]rune copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type.Underlying(), info.TypeOf(call.Args[0])
+		if from == nil {
+			return
+		}
+		if (isStringType(to) && !isStringType(from.Underlying())) ||
+			(!isStringType(to) && isStringType(from.Underlying())) {
+			if _, toBasicOK := to.(*types.Basic); toBasicOK || isByteOrRuneSlice(to) {
+				hot(call, "string conversion allocation")
+			}
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				hot(call, "make allocation")
+			case "new":
+				hot(call, "new allocation")
+			case "append":
+				hot(call, "append (may grow)")
+			}
+			return
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			switch fn.Name() {
+			case "Sprintf", "Sprint", "Sprintln", "Errorf":
+				hot(call, "fmt."+fn.Name()+" allocation")
+				return
+			}
+		case "strings":
+			switch fn.Name() {
+			case "Join", "Repeat":
+				hot(call, "strings."+fn.Name()+" allocation")
+				return
+			}
+		case "strconv":
+			switch fn.Name() {
+			case "FormatFloat", "FormatInt", "FormatUint", "Itoa", "Quote":
+				hot(call, "strconv."+fn.Name()+" allocation")
+				return
+			}
+		}
+	}
+	scanBoxing(info, call, hot)
+}
+
+// scanBoxing reports concrete arguments passed to interface-typed
+// parameters — each boxes its value onto the heap. Untyped nil and
+// interface-to-interface passes are free.
+func scanBoxing(info *types.Info, call *ast.CallExpr, hot func(ast.Node, string)) {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		hot(arg, "interface boxing of argument")
+	}
+}
+
+// calleeFunc resolves a call's static callee, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isByteOrRuneSlice reports whether t is []byte or []rune.
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,392 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+func init() {
+	register(&Check{
+		Name:  "lock-discipline",
+		Doc:   "no blocking call while holding a mutex; consistent acquisition order between mutex pairs",
+		Graph: runLockDiscipline,
+	})
+}
+
+// runLockDiscipline enforces two whole-program locking invariants:
+//
+//  1. No operation that may block — channel sends/receives, selects
+//     without default, time.Sleep, WaitGroup.Wait, bus publishes, or a
+//     call whose transitive body does any of those — runs while a
+//     sync.Mutex/RWMutex is held. sync.Cond.Wait is exempt (it is
+//     designed to be called under the lock).
+//  2. No two mutexes are acquired in both nesting orders anywhere in the
+//     program (the classic AB/BA deadlock shape).
+//
+// The held-region tracking is source-ordered and flow-approximate;
+// disagreements are waived in place with //lint:ignore lock-discipline.
+func runLockDiscipline(gp *GraphPass) {
+	g := gp.Prog.Graph()
+
+	// Phase 1: which functions may block, directly or transitively.
+	// Edges taken under a go statement hand the blocking to the new
+	// goroutine and are excluded.
+	mayBlock := make(map[*Node]string)
+	goCalls := make(map[*Node]map[string]bool)
+	for _, n := range g.Nodes() {
+		if n.Body == nil {
+			continue
+		}
+		if why := directBlock(n); why != "" {
+			mayBlock[n] = why
+		}
+		goCalls[n] = goCalleeKeys(n)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes() {
+			if n.Body == nil || mayBlock[n] != "" {
+				continue
+			}
+			for _, e := range n.Edges() {
+				if e.Kind > EdgeIface || goCalls[n][e.To.Key] {
+					continue
+				}
+				if mayBlock[e.To] != "" {
+					mayBlock[n] = "call to " + e.To.Key + ", which may block"
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Phase 2: per-function held-region scan.
+	type site struct {
+		pos  token.Pos
+		held string
+	}
+	order := make(map[[2]string]site)
+	for _, n := range g.Nodes() {
+		if n.Body == nil || gp.Prog.InTestFile(n.Pos()) {
+			continue
+		}
+		blockOf := func(key string) string {
+			if to := g.NodeByKey(key); to != nil {
+				return mayBlock[to]
+			}
+			return ""
+		}
+		scanHeld(gp, n, blockOf, func(outer, inner string, pos token.Pos) {
+			key := [2]string{outer, inner}
+			if _, ok := order[key]; !ok {
+				order[key] = site{pos: pos, held: outer}
+			}
+		})
+	}
+
+	// Report each inverted pair once, deterministically, at the
+	// lexicographically later ordering's site.
+	var keys [][2]string
+	for k := range order {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		rev := [2]string{k[1], k[0]}
+		other, ok := order[rev]
+		if !ok || k[0] <= k[1] {
+			continue
+		}
+		file, line, _ := gp.Prog.relpos(other.pos)
+		gp.Reportf(order[k].pos, "lock %s acquired while holding %s, but the opposite order occurs at %s:%d; pick one nesting order", k[1], k[0], file, line)
+	}
+}
+
+// scanHeld walks one body in source order maintaining the set of held
+// locks; blocking operations and nested acquisitions while holding are
+// reported / recorded. Nested function literals start with nothing held
+// (they run on their own goroutine or are analyzed as their own node).
+func scanHeld(gp *GraphPass, n *Node, blockOf func(string) string, recordPair func(outer, inner string, pos token.Pos)) {
+	info := n.Info()
+	type heldLock struct {
+		id     string
+		sticky bool // deferred unlock: held to function end
+	}
+	var held []heldLock
+	pop := func(id string) {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].id == id && !held[i].sticky {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+	blockWhileHeld := func(pos token.Pos, why string) {
+		if len(held) == 0 {
+			return
+		}
+		gp.Reportf(pos, "%s while holding lock %s; release the lock before blocking", why, held[len(held)-1].id)
+	}
+	ast.Inspect(n.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// defer x.Unlock() (or a literal wrapping unlocks): the lock
+			// stays held for the rest of the function.
+			for _, id := range deferredUnlocks(info, node) {
+				for i := range held {
+					if held[i].id == id {
+						held[i].sticky = true
+					}
+				}
+			}
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			blockWhileHeld(node.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				blockWhileHeld(node.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(node) {
+				blockWhileHeld(node.Pos(), "select without default")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[node.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					blockWhileHeld(node.Pos(), "range over channel")
+				}
+			}
+		case *ast.CallExpr:
+			if id, method, isLockOp := lockOp(info, node); isLockOp {
+				switch method {
+				case "Lock", "RLock":
+					for _, h := range held {
+						if h.id != id {
+							recordPair(h.id, id, node.Pos())
+						}
+					}
+					held = append(held, heldLock{id: id})
+				case "Unlock", "RUnlock":
+					pop(id)
+				}
+				return true
+			}
+			if why := callBlocks(info, node, blockOf); why != "" {
+				blockWhileHeld(node.Pos(), why)
+			}
+		}
+		return true
+	})
+}
+
+// directBlock scans one body (literals excluded — they are their own
+// nodes) for operations that block the calling goroutine.
+func directBlock(n *Node) string {
+	info := n.Info()
+	why := ""
+	ast.Inspect(n.Body, func(node ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch node := node.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			why = "channel send"
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				why = "channel receive"
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(node) {
+				why = "select without default"
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[node.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					why = "range over channel"
+				}
+			}
+		case *ast.CallExpr:
+			why = blockingCallee(info, node)
+		}
+		return true
+	})
+	return why
+}
+
+// blockingCallee classifies known-blocking callees: time.Sleep,
+// WaitGroup.Wait, and bus Publish methods.
+func blockingCallee(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	switch {
+	case fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+		return "time.Sleep"
+	case fn.Name() == "Wait" && recvNamed(fn) == "sync.WaitGroup":
+		return "WaitGroup.Wait"
+	case fn.Name() == "Publish" && hasRecv(fn):
+		return "bus publish"
+	}
+	return ""
+}
+
+// callBlocks reports why a call site may block: a known-blocking callee,
+// or an in-program callee whose transitive body blocks.
+func callBlocks(info *types.Info, call *ast.CallExpr, blockOf func(key string) string) string {
+	if why := blockingCallee(info, call); why != "" {
+		return why
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	if why := blockOf(funcKey(fn)); why != "" {
+		return "call to " + funcKey(fn) + " (" + why + ")"
+	}
+	return ""
+}
+
+// goCalleeKeys collects the node keys of functions launched with `go` in
+// one body: their blocking belongs to the new goroutine, not the caller.
+func goCalleeKeys(n *Node) map[string]bool {
+	info := n.Info()
+	out := make(map[string]bool)
+	ast.Inspect(n.Body, func(node ast.Node) bool {
+		g, ok := node.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(info, g.Call); fn != nil {
+			out[funcKey(fn)] = true
+		}
+		return true
+	})
+	return out
+}
+
+// lockOp classifies a call as a mutex operation, returning a stable
+// program-wide identity for the lock (pkg.Type.field where resolvable).
+// sync.Cond methods are excluded: Cond.Wait is designed to run under the
+// lock and Cond's L field is not an acquisition site.
+func lockOp(info *types.Info, call *ast.CallExpr) (id, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return lockIdentity(info, sel.X), sel.Sel.Name, true
+}
+
+// lockIdentity renders a program-wide name for the mutex expression:
+// `e.mu` on a *quality.Engine receiver becomes quality.Engine.mu, so the
+// same lock matches across methods regardless of receiver names.
+func lockIdentity(info *types.Info, expr ast.Expr) string {
+	expr = ast.Unparen(expr)
+	if sel, ok := expr.(*ast.SelectorExpr); ok {
+		if named := namedOf(info.TypeOf(sel.X)); named != nil {
+			obj := named.Obj()
+			prefix := obj.Name()
+			if obj.Pkg() != nil {
+				prefix = obj.Pkg().Name() + "." + prefix
+			}
+			return prefix + "." + sel.Sel.Name
+		}
+		return types.ExprString(expr)
+	}
+	if ident, ok := expr.(*ast.Ident); ok {
+		if named := namedOf(info.TypeOf(ident)); named != nil && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+			// Promoted embedded mutex: identify by the owning type.
+			return named.Obj().Pkg().Name() + "." + named.Obj().Name() + ".(embedded)"
+		}
+		if obj := info.ObjectOf(ident); obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + ident.Name
+		}
+		return ident.Name
+	}
+	return types.ExprString(expr)
+}
+
+// namedOf unwraps pointers to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// recvNamed renders a method's receiver type as pkg.Type, or "".
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// hasRecv reports whether fn is a method.
+func hasRecv(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// deferredUnlocks collects the lock identities unlocked by a defer
+// statement, looking through a wrapping function literal.
+func deferredUnlocks(info *types.Info, def *ast.DeferStmt) []string {
+	var ids []string
+	collect := func(call *ast.CallExpr) {
+		if id, method, ok := lockOp(info, call); ok && (method == "Unlock" || method == "RUnlock") {
+			ids = append(ids, id)
+		}
+	}
+	collect(def.Call)
+	if lit, ok := ast.Unparen(def.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(node ast.Node) bool {
+			if call, ok := node.(*ast.CallExpr); ok {
+				collect(call)
+			}
+			return true
+		})
+	}
+	return ids
+}
+
+// selectHasDefault reports whether a select statement has a default case.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

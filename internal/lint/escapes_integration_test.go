@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunEscapesRatchet drives the full -escapes pipeline against a
+// scratch module whose one //cqm:hotpath function forces a heap escape:
+// -update-escapes records the baseline, a clean run passes, and wiping
+// the budget makes the same escape read as an undeclared regression —
+// the ratchet CI gates on.
+func TestRunEscapesRatchet(t *testing.T) {
+	if _, err := os.Stat(filepath.Join("..", "..", "go.mod")); err != nil {
+		t.Skipf("module root not found: %v", err)
+	}
+	dir := t.TempDir()
+	writeFile := func(rel, content string) {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module escmod\n\ngo 1.24\n")
+	writeFile("pkg/esc.go", `// Package esc forces one escape on a hot path.
+package esc
+
+// Leak returns a pointer to a local, forcing it onto the heap.
+//
+//cqm:hotpath
+func Leak() *int {
+	x := 42
+	return &x
+}
+`)
+
+	res, err := RunEscapes(dir, true)
+	if err != nil {
+		t.Fatalf("RunEscapes(update): %v", err)
+	}
+	var found bool
+	for _, e := range res.Entries {
+		if e.File == "pkg/esc.go" && strings.Contains(e.Text, "moved to heap") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("baseline did not attribute the escape to pkg/esc.go: %v", res.Entries)
+	}
+
+	res, err = RunEscapes(dir, false)
+	if err != nil {
+		t.Fatalf("RunEscapes(check): %v", err)
+	}
+	if len(res.Regressions) != 0 || len(res.Improvements) != 0 {
+		t.Errorf("clean run against fresh baseline: reg=%v imp=%v", res.Regressions, res.Improvements)
+	}
+
+	// An empty budget turns the same escape into an undeclared regression.
+	if err := writeEscapeBudget(filepath.Join(dir, EscapeBudgetFile), nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err = RunEscapes(dir, false)
+	if err != nil {
+		t.Fatalf("RunEscapes(regression): %v", err)
+	}
+	if len(res.Regressions) == 0 {
+		t.Errorf("undeclared hot-path escape did not regress; entries=%v", res.Entries)
+	}
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseDiagnostic(t *testing.T) {
+	cases := []struct {
+		in   string
+		file string
+		line int
+		text string
+		ok   bool
+	}{
+		{"internal/core/measure.go:42:10: make([]float64, n) escapes to heap", "internal/core/measure.go", 42, "make([]float64, n) escapes to heap", true},
+		{"a.go:7:3: moved to heap: x", "a.go", 7, "moved to heap: x", true},
+		{"# cqm/internal/core", "", 0, "", false},
+		{"a.go:notanum:3: text", "", 0, "", false},
+		{"a.go:7:notanum: text", "", 0, "", false},
+		{"no colons here", "", 0, "", false},
+		{"", "", 0, "", false},
+	}
+	for _, tc := range cases {
+		file, line, text, ok := parseDiagnostic(tc.in)
+		if ok != tc.ok || file != tc.file || line != tc.line || text != tc.text {
+			t.Errorf("parseDiagnostic(%q) = (%q, %d, %q, %v), want (%q, %d, %q, %v)",
+				tc.in, file, line, text, ok, tc.file, tc.line, tc.text, tc.ok)
+		}
+	}
+}
+
+func TestDiffEscapes(t *testing.T) {
+	e := func(file, fn, text string, n int) EscapeEntry {
+		return EscapeEntry{File: file, Func: fn, Text: text, Count: n}
+	}
+	budget := []EscapeEntry{
+		e("a.go", "p.F", "x escapes to heap", 2),
+		e("a.go", "p.G", "moved to heap: y", 1),
+		e("b.go", "p.H", "z escapes to heap", 3),
+	}
+
+	t.Run("unchanged", func(t *testing.T) {
+		reg, imp := diffEscapes(budget, budget)
+		if len(reg) != 0 || len(imp) != 0 {
+			t.Errorf("identical sets: reg=%v imp=%v", reg, imp)
+		}
+	})
+
+	t.Run("new site and grown count regress", func(t *testing.T) {
+		cur := []EscapeEntry{
+			e("a.go", "p.F", "x escapes to heap", 3), // grew 2→3
+			e("a.go", "p.G", "moved to heap: y", 1),
+			e("b.go", "p.H", "z escapes to heap", 3),
+			e("c.go", "p.New", "w escapes to heap", 1), // new site
+		}
+		reg, imp := diffEscapes(budget, cur)
+		if len(imp) != 0 {
+			t.Errorf("unexpected improvements: %v", imp)
+		}
+		if len(reg) != 2 {
+			t.Fatalf("want 2 regressions, got %v", reg)
+		}
+		if !strings.Contains(reg[0], "p.F") || !strings.Contains(reg[0], "3 escape(s), budget 2") {
+			t.Errorf("grown count rendered wrong: %q", reg[0])
+		}
+		if !strings.Contains(reg[1], "c.go") || !strings.Contains(reg[1], "budget 0") {
+			t.Errorf("new site rendered wrong: %q", reg[1])
+		}
+	})
+
+	t.Run("dropped and shrunk improve", func(t *testing.T) {
+		cur := []EscapeEntry{
+			e("a.go", "p.F", "x escapes to heap", 2),
+			e("b.go", "p.H", "z escapes to heap", 1), // shrank 3→1
+			// p.G gone entirely.
+		}
+		reg, imp := diffEscapes(budget, cur)
+		if len(reg) != 0 {
+			t.Errorf("unexpected regressions: %v", reg)
+		}
+		if len(imp) != 2 {
+			t.Fatalf("want 2 improvements, got %v", imp)
+		}
+		if !strings.Contains(imp[0], "p.G") || !strings.Contains(imp[0], "now 0, budget 1") {
+			t.Errorf("dropped site rendered wrong: %q", imp[0])
+		}
+		if !strings.Contains(imp[1], "p.H") || !strings.Contains(imp[1], "now 1, budget 3") {
+			t.Errorf("shrunk count rendered wrong: %q", imp[1])
+		}
+	})
+
+	t.Run("changed text is a move not a wash", func(t *testing.T) {
+		cur := []EscapeEntry{
+			e("a.go", "p.F", "x2 escapes to heap", 2),
+			e("a.go", "p.G", "moved to heap: y", 1),
+			e("b.go", "p.H", "z escapes to heap", 3),
+		}
+		reg, imp := diffEscapes(budget, cur)
+		if len(reg) != 1 || len(imp) != 1 {
+			t.Errorf("renamed escape: reg=%v imp=%v, want one of each", reg, imp)
+		}
+	})
+
+	t.Run("empty budget flags everything", func(t *testing.T) {
+		reg, imp := diffEscapes(nil, budget)
+		if len(reg) != len(budget) || len(imp) != 0 {
+			t.Errorf("nil budget: reg=%v imp=%v", reg, imp)
+		}
+	})
+}
+
+// TestEscapeBudgetRoundTrip pins the on-disk shape: write, read back,
+// compare.
+func TestEscapeBudgetRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/ESCAPES.json"
+	entries := []EscapeEntry{
+		{File: "a.go", Func: "p.F", Text: "x escapes to heap", Count: 2},
+	}
+	if err := writeEscapeBudget(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readEscapeBudget(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, entries) {
+		t.Errorf("round trip: got %v, want %v", got, entries)
+	}
+}
+
+// TestReadEscapeBudgetMissing treats a missing file as an empty budget.
+func TestReadEscapeBudgetMissing(t *testing.T) {
+	got, err := readEscapeBudget(t.TempDir() + "/nope.json")
+	if err != nil || got != nil {
+		t.Errorf("missing budget: got (%v, %v), want (nil, nil)", got, err)
+	}
+}

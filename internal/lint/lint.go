@@ -61,20 +61,58 @@ func Run(opts Options) ([]Finding, error) {
 		return nil, err
 	}
 	ld := newLoader(fset, mod, dirs)
+	relpos := relposFunc(fset, mod.Root)
 	var findings []Finding
+	var units []*unit
+	directives := make(map[string]*directiveIndex)
+	matchedDirs := make(map[string]bool)
 	for _, path := range topoOrder(dirs) {
 		pd, ok := dirs[path]
-		if !ok || !match(path) {
+		if !ok {
 			continue
 		}
-		fs, err := runPackage(ld, pd, checks)
+		matched := match(path)
+		if matched {
+			if rel, err := filepath.Rel(mod.Root, pd.Dir); err == nil {
+				matchedDirs[filepath.ToSlash(rel)] = true
+			}
+		}
+		// Every package is type-checked and collected so the call graph
+		// spans the whole module; per-package findings are only reported
+		// for matched packages.
+		us, fs, err := runPackage(ld, pd, checks, matched, relpos, directives)
 		if err != nil {
 			return nil, err
 		}
+		units = append(units, us...)
 		findings = append(findings, fs...)
+	}
+	prog := newProgram(fset, units, relpos)
+	for _, f := range runGraphChecks(prog, checks) {
+		dir := filepath.ToSlash(filepath.Dir(f.File))
+		if !matchedDirs[dir] {
+			continue
+		}
+		if idx, ok := directives[f.File]; ok && idx.suppresses(f.Check, f.Line) {
+			continue
+		}
+		findings = append(findings, f)
 	}
 	SortFindings(findings)
 	return findings, nil
+}
+
+// relposFunc renders positions relative to root so findings are stable
+// across machines.
+func relposFunc(fset *token.FileSet, root string) func(token.Pos) (string, int, int) {
+	return func(pos token.Pos) (string, int, int) {
+		p := fset.Position(pos)
+		file := p.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		return file, p.Line, p.Column
+	}
 }
 
 // RunDir analyzes the single package rooted at dir (plus its external test
@@ -106,73 +144,121 @@ func RunDir(dir string, checkNames []string, internal bool) ([]Finding, error) {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
 	ld := newLoader(fset, mod, map[string]*packageDir{mod.Path: pd})
-	findings, err := runPackageScoped(ld, pd, checks, internal)
+	relpos := relposFunc(fset, abs)
+	directives := make(map[string]*directiveIndex)
+	units, findings, err := runPackageScoped(ld, pd, checks, internal, true, relpos, directives)
 	if err != nil {
 		return nil, err
+	}
+	prog := newProgram(fset, units, relpos)
+	for _, f := range runGraphChecks(prog, checks) {
+		if idx, ok := directives[f.File]; ok && idx.suppresses(f.Check, f.Line) {
+			continue
+		}
+		findings = append(findings, f)
 	}
 	SortFindings(findings)
 	return findings, nil
 }
 
-// runPackage analyzes one discovered package directory: the base unit
-// augmented with its in-package tests, then the external test unit.
-func runPackage(ld *loader, pd *packageDir, checks []*Check) ([]Finding, error) {
-	internal := strings.Contains(pd.ImportPath, "/internal/") ||
-		strings.HasSuffix(pd.ImportPath, "/internal")
-	return runPackageScoped(ld, pd, checks, internal)
-}
-
-func runPackageScoped(ld *loader, pd *packageDir, checks []*Check, internal bool) ([]Finding, error) {
-	var findings []Finding
-	if len(pd.Base)+len(pd.Tests) > 0 {
-		unit := append(append([]*ast.File(nil), pd.Base...), pd.Tests...)
-		fs, err := runUnit(ld, pd.ImportPath, unit, checks, internal)
-		if err != nil {
-			return nil, err
-		}
-		findings = append(findings, fs...)
-	}
-	if len(pd.XTest) > 0 {
-		fs, err := runUnit(ld, pd.ImportPath+"_test", pd.XTest, checks, internal)
-		if err != nil {
-			return nil, err
-		}
-		findings = append(findings, fs...)
-	}
-	return findings, nil
-}
-
-// runUnit type-checks one compile unit, runs every check over it, and
-// filters the raw findings through the unit's //lint:ignore directives.
-func runUnit(ld *loader, path string, files []*ast.File, checks []*Check, internal bool) ([]Finding, error) {
-	pkg, info, err := ld.check(path, files)
+// ProgramDir loads the single package rooted at dir like RunDir and
+// returns the whole-program view — the call-graph golden tests consume
+// its Dump.
+func ProgramDir(dir string) (*Program, error) {
+	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
 	}
-	relpos := func(pos token.Pos) (string, int, int) {
-		p := ld.fset.Position(pos)
-		file := p.Filename
-		if rel, err := filepath.Rel(ld.mod.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
-			file = filepath.ToSlash(rel)
-		}
-		return file, p.Line, p.Column
+	fset := token.NewFileSet()
+	mod := module{Root: abs, Path: "example.test/pkg"}
+	pd := &packageDir{Dir: abs, ImportPath: mod.Path}
+	entries, err := filepath.Glob(filepath.Join(abs, "*.go"))
+	if err != nil {
+		return nil, err
 	}
+	for _, path := range entries {
+		if err := pd.addFile(fset, path, mod); err != nil {
+			return nil, err
+		}
+	}
+	if len(pd.Base)+len(pd.Tests)+len(pd.XTest) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	ld := newLoader(fset, mod, map[string]*packageDir{mod.Path: pd})
+	relpos := relposFunc(fset, abs)
+	units, _, err := runPackageScoped(ld, pd, nil, true, false, relpos, make(map[string]*directiveIndex))
+	if err != nil {
+		return nil, err
+	}
+	return newProgram(fset, units, relpos), nil
+}
+
+// runPackage analyzes one discovered package directory: the base unit
+// augmented with its in-package tests, then the external test unit.
+func runPackage(ld *loader, pd *packageDir, checks []*Check, matched bool, relpos func(token.Pos) (string, int, int), directives map[string]*directiveIndex) ([]*unit, []Finding, error) {
+	internal := strings.Contains(pd.ImportPath, "/internal/") ||
+		strings.HasSuffix(pd.ImportPath, "/internal")
+	return runPackageScoped(ld, pd, checks, internal, matched, relpos, directives)
+}
+
+func runPackageScoped(ld *loader, pd *packageDir, checks []*Check, internal, matched bool, relpos func(token.Pos) (string, int, int), directives map[string]*directiveIndex) ([]*unit, []Finding, error) {
+	var findings []Finding
+	var units []*unit
+	if len(pd.Base)+len(pd.Tests) > 0 {
+		files := append(append([]*ast.File(nil), pd.Base...), pd.Tests...)
+		u, fs, err := runUnit(ld, pd.ImportPath, files, checks, internal, matched, relpos, directives)
+		if err != nil {
+			return nil, nil, err
+		}
+		units = append(units, u)
+		findings = append(findings, fs...)
+	}
+	if len(pd.XTest) > 0 {
+		u, fs, err := runUnit(ld, pd.ImportPath+"_test", pd.XTest, checks, internal, matched, relpos, directives)
+		if err != nil {
+			return nil, nil, err
+		}
+		units = append(units, u)
+		findings = append(findings, fs...)
+	}
+	return units, findings, nil
+}
+
+// runUnit type-checks one compile unit, records its //lint:ignore
+// directives into the shared index, and — when the package is matched —
+// runs every per-package check over it and filters the raw findings
+// through the directives. The returned unit feeds the whole-program phase.
+func runUnit(ld *loader, path string, files []*ast.File, checks []*Check, internal, matched bool, relpos func(token.Pos) (string, int, int), directives map[string]*directiveIndex) (*unit, []Finding, error) {
+	pkg, info, err := ld.check(path, files)
+	if err != nil {
+		return nil, nil, err
+	}
+	u := &unit{path: path, files: files, pkg: pkg, info: info, internal: internal}
 
 	var raw []Finding
 	report := func(f Finding) { raw = append(raw, f) }
 
 	// Directive scan first: malformed directives surface even in clean code.
-	directives := make(map[string]*directiveIndex)
 	for _, file := range files {
 		name, _, _ := relpos(file.Pos())
-		idx := parseDirectives(ld.fset, file, func(pos token.Pos, check, msg string) {
+		reportAt := func(pos token.Pos, check, msg string) {
+			if !matched {
+				return
+			}
 			f, line, col := relpos(pos)
 			report(Finding{File: f, Line: line, Col: col, Check: check, Message: msg})
-		})
+		}
+		idx := parseDirectives(ld.fset, file, reportAt)
 		directives[name] = &idx
+	}
+	if !matched {
+		return u, nil, nil
 	}
 
 	for _, c := range checks {
+		if c.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Fset:     ld.fset,
 			Files:    files,
@@ -194,7 +280,7 @@ func runUnit(ld *loader, path string, files []*ast.File, checks []*Check, intern
 		}
 		kept = append(kept, f)
 	}
-	return kept, nil
+	return u, kept, nil
 }
 
 // compilePatterns converts CLI package patterns into a matcher over module

@@ -38,6 +38,16 @@ var goldenCases = []struct {
 	{dir: "directive/suppressed", internal: true},
 	{dir: "directive/partial", internal: true},
 	{dir: "directive/malformed", internal: true},
+	// The graph-powered checks run on internal=false fixtures on purpose:
+	// the interprocedural walks do not depend on the internal heuristics,
+	// and the determinism-taint bad case doubles as the acceptance test
+	// that the old syntactic nondeterminism check misses laundered leaks.
+	{dir: "determinism-taint/bad", checks: []string{"determinism-taint"}, internal: false},
+	{dir: "determinism-taint/good", checks: []string{"determinism-taint"}, internal: false},
+	{dir: "hotpath-alloc/bad", checks: []string{"hotpath-alloc"}, internal: false},
+	{dir: "hotpath-alloc/good", checks: []string{"hotpath-alloc"}, internal: false},
+	{dir: "lock-discipline/bad", checks: []string{"lock-discipline"}, internal: false},
+	{dir: "lock-discipline/good", checks: []string{"lock-discipline"}, internal: false},
 }
 
 func TestGolden(t *testing.T) {

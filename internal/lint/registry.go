@@ -16,8 +16,13 @@ type Check struct {
 	Name string
 	// Doc is a one-line description shown by cqmlint -checks.
 	Doc string
-	// Run inspects the package held by pass and reports findings.
+	// Run inspects the package held by pass and reports findings. It is
+	// nil for whole-program checks.
 	Run func(pass *Pass)
+	// Graph, when non-nil, marks an interprocedural check: it runs once
+	// over the whole program (every unit plus the call graph) after the
+	// per-package phase.
+	Graph func(gp *GraphPass)
 }
 
 // Pass hands one type-checked package to a check.

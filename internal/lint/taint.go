@@ -1,0 +1,671 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// srcMask is a bit set of nondeterminism source kinds.
+type srcMask uint8
+
+const (
+	srcClock     srcMask = 1 << iota // time.Now / Since / Until
+	srcRand                          // global math/rand draws
+	srcMapOrder                      // map iteration order
+	srcChanOrder                     // channel receive / goroutine completion order
+)
+
+// describe renders the mask for diagnostics, deterministically.
+func (m srcMask) describe() string {
+	var parts []string
+	if m&srcClock != 0 {
+		parts = append(parts, "wall clock (time.Now)")
+	}
+	if m&srcRand != 0 {
+		parts = append(parts, "global math/rand")
+	}
+	if m&srcMapOrder != 0 {
+		parts = append(parts, "map iteration order")
+	}
+	if m&srcChanOrder != 0 {
+		parts = append(parts, "channel receive order")
+	}
+	return strings.Join(parts, " and ")
+}
+
+// taintVal is the abstract value of the dataflow lattice: which source
+// kinds may have influenced a value, and which parameters of the enclosing
+// function flow into it (bit i set = parameter i; for methods the receiver
+// is parameter 0 and declared parameters start at 1).
+type taintVal struct {
+	srcs   srcMask
+	params uint64
+}
+
+func (t taintVal) empty() bool { return t.srcs == 0 && t.params == 0 }
+
+func (t taintVal) join(o taintVal) taintVal {
+	return taintVal{srcs: t.srcs | o.srcs, params: t.params | o.params}
+}
+
+// fnSummary is one function's interprocedural dataflow summary, grown
+// monotonically to a fixpoint: which sources taint its return values,
+// which parameters flow to its return values, and which parameters flow
+// (transitively) into a sink.
+type fnSummary struct {
+	retSrcs    srcMask
+	retParams  uint64
+	sinkParams uint64
+	sinkDesc   map[int]string // parameter index → sink description
+}
+
+func (s *fnSummary) noteSink(param int, desc string) bool {
+	bit := uint64(1) << param
+	if s.sinkParams&bit != 0 {
+		return false
+	}
+	s.sinkParams |= bit
+	if s.sinkDesc == nil {
+		s.sinkDesc = make(map[int]string)
+	}
+	if _, ok := s.sinkDesc[param]; !ok {
+		s.sinkDesc[param] = desc
+	}
+	return true
+}
+
+// taintEngine runs the whole-program propagation: per-function
+// flow-insensitive analysis iterated over the call graph until every
+// summary is stable, then one reporting pass over the stable summaries.
+type taintEngine struct {
+	prog *Program
+	sums map[string]*fnSummary
+}
+
+func newTaintEngine(prog *Program) *taintEngine {
+	e := &taintEngine{prog: prog, sums: make(map[string]*fnSummary)}
+	for _, n := range prog.graph.Nodes() {
+		if n.Decl != nil {
+			e.sums[n.Key] = &fnSummary{}
+		}
+	}
+	// Monotone joins over a finite lattice: the loop terminates; the cap
+	// is a safety net against analysis bugs, not a correctness device.
+	for round := 0; round < 64; round++ {
+		changed := false
+		for _, n := range e.prog.graph.Nodes() {
+			if n.Decl == nil {
+				continue
+			}
+			if e.analyze(n, nil) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return e
+}
+
+// reportAll runs the reporting pass with stable summaries.
+func (e *taintEngine) reportAll(report func(pos token.Pos, srcs srcMask, sink string)) {
+	for _, n := range e.prog.graph.Nodes() {
+		if n.Decl == nil {
+			continue
+		}
+		seen := make(map[token.Pos]srcMask)
+		e.analyze(n, func(pos token.Pos, srcs srcMask, sink string) {
+			if prev, ok := seen[pos]; ok && prev&srcs == srcs {
+				return
+			}
+			seen[pos] |= srcs
+			report(pos, srcs, sink)
+		})
+	}
+}
+
+// fnScope is the per-function analysis state. Nested function literals are
+// analyzed inside their enclosing declaration's scope so captured
+// variables share taint.
+type fnScope struct {
+	eng       *taintEngine
+	n         *Node
+	info      *types.Info
+	sum       *fnSummary
+	params    map[types.Object]int
+	vars      map[types.Object]taintVal
+	sanitized map[types.Object]bool
+	report    func(pos token.Pos, srcs srcMask, sink string)
+	changed   bool
+}
+
+// analyze computes one function's summary; report is nil during
+// propagation rounds. It returns whether the summary grew.
+func (e *taintEngine) analyze(n *Node, report func(token.Pos, srcMask, string)) bool {
+	sc := &fnScope{
+		eng:       e,
+		n:         n,
+		info:      n.Info(),
+		sum:       e.sums[n.Key],
+		params:    make(map[types.Object]int),
+		vars:      make(map[types.Object]taintVal),
+		sanitized: make(map[types.Object]bool),
+		report:    report,
+	}
+	before := *sc.sum
+	beforeSinks := sc.sum.sinkParams
+
+	// Parameter indexing: receiver (if any) is 0, parameters follow.
+	idx := 0
+	if recv := n.Decl.Recv; recv != nil {
+		for _, f := range recv.List {
+			for _, name := range f.Names {
+				sc.params[sc.info.Defs[name]] = idx
+			}
+		}
+		idx = 1
+	}
+	if n.Decl.Type.Params != nil {
+		for _, f := range n.Decl.Type.Params.List {
+			for _, name := range f.Names {
+				sc.params[sc.info.Defs[name]] = idx
+				idx++
+			}
+		}
+	}
+
+	// Inner fixpoint: flow-insensitive, so rescan until the local variable
+	// taints stop growing.
+	for pass := 0; pass < 32; pass++ {
+		sc.changed = false
+		sc.scanBody(n.Body, true)
+		if !sc.changed {
+			break
+		}
+	}
+	after := *sc.sum
+	return before.retSrcs != after.retSrcs || before.retParams != after.retParams ||
+		beforeSinks != after.sinkParams
+}
+
+// taintObj joins t into the variable's taint.
+func (sc *fnScope) taintObj(obj types.Object, t taintVal) {
+	if obj == nil || t.empty() {
+		return
+	}
+	cur := sc.vars[obj]
+	next := cur.join(t)
+	if next != cur {
+		sc.vars[obj] = next
+		sc.changed = true
+	}
+}
+
+// rootObj resolves the variable at the base of an lvalue expression:
+// s.f, a[i], *p, (x) all root at the identifier.
+func (sc *fnScope) rootObj(expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return sc.info.ObjectOf(e)
+		case *ast.SelectorExpr:
+			// Package-qualified names root nowhere.
+			if id, ok := e.X.(*ast.Ident); ok {
+				if _, isPkg := sc.info.Uses[id].(*types.PkgName); isPkg {
+					return nil
+				}
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.TypeAssertExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// scanBody walks one body (descending into nested literals, whose
+// variables share this scope), folding taint through statements. outer
+// marks whether return statements belong to the analyzed declaration.
+func (sc *fnScope) scanBody(body *ast.BlockStmt, outer bool) {
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			sc.scanBody(node.Body, false)
+			return false
+		case *ast.RangeStmt:
+			sc.scanRange(node)
+		case *ast.AssignStmt:
+			sc.scanAssign(node)
+		case *ast.ValueSpec:
+			for _, name := range node.Names {
+				for _, v := range node.Values {
+					sc.taintObj(sc.info.Defs[name], sc.evalTaint(v))
+				}
+			}
+		case *ast.ReturnStmt:
+			if outer {
+				for _, res := range node.Results {
+					t := sc.evalTaint(res)
+					if t.srcs&^sc.sum.retSrcs != 0 || t.params&^sc.sum.retParams != 0 {
+						sc.sum.retSrcs |= t.srcs
+						sc.sum.retParams |= t.params
+						sc.changed = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// Visit for sink/sanitizer side effects even in expression
+			// statements; evalTaint handles them.
+			sc.evalTaint(node)
+		}
+		return true
+	})
+}
+
+// scanRange folds one range statement: ranging over a map or a channel is
+// an order source; ranging over tainted data propagates its taint.
+func (sc *fnScope) scanRange(rng *ast.RangeStmt) {
+	var order srcMask
+	if tv, ok := sc.info.Types[rng.X]; ok {
+		switch tv.Type.Underlying().(type) {
+		case *types.Map:
+			order = srcMapOrder
+		case *types.Chan:
+			order = srcChanOrder
+		}
+	}
+	base := sc.evalTaint(rng.X)
+	t := base.join(taintVal{srcs: order})
+	if key, ok := rng.Key.(*ast.Ident); ok {
+		sc.taintObj(sc.info.ObjectOf(key), t)
+	}
+	if val, ok := rng.Value.(*ast.Ident); ok {
+		sc.taintObj(sc.info.ObjectOf(val), t)
+	}
+}
+
+// scanAssign folds one assignment. Indexed writes (m[k] = v, a[i] = v) do
+// not taint the container: writing each slot once yields the same content
+// in any iteration order — the parallel pool's slot-write discipline.
+// Appends and compound assignments are order-dependent and do propagate,
+// except commutative integer updates (+=, *=, &=, |=, ^=), which are
+// exact in any order.
+func (sc *fnScope) scanAssign(as *ast.AssignStmt) {
+	var rhs taintVal
+	for _, r := range as.Rhs {
+		rhs = rhs.join(sc.evalTaint(r))
+	}
+	if rhs.empty() {
+		return
+	}
+	for _, l := range as.Lhs {
+		if _, ok := ast.Unparen(l).(*ast.IndexExpr); ok {
+			continue // slot write
+		}
+		if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+			if sc.commutativeUpdate(l, as.Tok) {
+				continue
+			}
+		}
+		sc.taintObj(sc.rootObj(l), rhs)
+	}
+}
+
+// commutativeUpdate reports whether a compound assignment to an integer
+// lvalue commutes exactly (so iteration order cannot change the result).
+func (sc *fnScope) commutativeUpdate(lhs ast.Expr, tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.MUL_ASSIGN, token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+	default:
+		return false
+	}
+	tv, ok := sc.info.Types[lhs]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// evalTaint computes the abstract value of an expression, applying call
+// side effects (sources, sinks, sanitizers, summaries) along the way.
+func (sc *fnScope) evalTaint(expr ast.Expr) taintVal {
+	switch e := expr.(type) {
+	case nil:
+		return taintVal{}
+	case *ast.Ident:
+		obj := sc.info.ObjectOf(e)
+		if obj == nil {
+			return taintVal{}
+		}
+		if i, ok := sc.params[obj]; ok {
+			return taintVal{params: 1 << i}
+		}
+		if sc.sanitized[obj] {
+			return taintVal{}
+		}
+		return sc.vars[obj]
+	case *ast.ParenExpr:
+		return sc.evalTaint(e.X)
+	case *ast.StarExpr:
+		return sc.evalTaint(e.X)
+	case *ast.UnaryExpr:
+		return sc.evalTaint(e.X)
+	case *ast.BinaryExpr:
+		return sc.evalTaint(e.X).join(sc.evalTaint(e.Y))
+	case *ast.IndexExpr:
+		return sc.evalTaint(e.X).join(sc.evalTaint(e.Index))
+	case *ast.SliceExpr:
+		return sc.evalTaint(e.X)
+	case *ast.TypeAssertExpr:
+		return sc.evalTaint(e.X)
+	case *ast.SelectorExpr:
+		return sc.objTaint(sc.rootObj(e))
+	case *ast.CompositeLit:
+		var t taintVal
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				t = t.join(sc.evalTaint(kv.Value))
+				continue
+			}
+			t = t.join(sc.evalTaint(el))
+		}
+		return t
+	case *ast.CallExpr:
+		return sc.callTaint(e)
+	default:
+		return taintVal{}
+	}
+}
+
+// objTaint returns the taint of one resolved object, honouring parameters
+// and sanitization.
+func (sc *fnScope) objTaint(obj types.Object) taintVal {
+	if obj == nil {
+		return taintVal{}
+	}
+	if i, ok := sc.params[obj]; ok {
+		return taintVal{params: 1 << i}
+	}
+	if sc.sanitized[obj] {
+		return taintVal{}
+	}
+	return sc.vars[obj]
+}
+
+// calleeOf resolves the called function object, or nil for dynamic calls.
+func (sc *fnScope) calleeOf(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := sc.info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := sc.info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// recvExpr returns the receiver expression of a method call, or nil.
+func recvExpr(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// callTaint folds one call: conversions and builtins propagate, sources
+// introduce taint, sanitizers clear it, sinks report or summarize, and
+// in-program callees apply their summaries.
+func (sc *fnScope) callTaint(call *ast.CallExpr) taintVal {
+	// Type conversions propagate the operand.
+	if tv, ok := sc.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return sc.evalTaint(call.Args[0])
+		}
+		return taintVal{}
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := sc.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				var t taintVal
+				for _, a := range call.Args {
+					t = t.join(sc.evalTaint(a))
+				}
+				return t
+			case "copy":
+				if len(call.Args) == 2 {
+					sc.taintObj(sc.rootObj(call.Args[0]), sc.evalTaint(call.Args[1]))
+				}
+				return taintVal{}
+			default:
+				return taintVal{}
+			}
+		}
+	}
+	fn := sc.calleeOf(call)
+	if fn == nil {
+		// Dynamic call: conservatively derived from its inputs.
+		var t taintVal
+		for _, a := range call.Args {
+			t = t.join(sc.evalTaint(a))
+		}
+		return t
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+
+	// Sources.
+	switch {
+	case pkg == "time" && wallClockFuncs[fn.Name()]:
+		return taintVal{srcs: srcClock}
+	case (pkg == "math/rand" || pkg == "math/rand/v2") && globalRandFuncs[fn.Name()]:
+		return taintVal{srcs: srcRand}
+	case pkg == "maps" && (fn.Name() == "Keys" || fn.Name() == "Values"):
+		return sc.argJoin(call).join(taintVal{srcs: srcMapOrder})
+	}
+
+	// Sanitizers: establishing a canonical order launders order taint.
+	if isSanitizer(pkg, fn.Name()) {
+		if len(call.Args) > 0 {
+			if obj := sc.rootObj(call.Args[0]); obj != nil && !sc.sanitized[obj] {
+				sc.sanitized[obj] = true
+				sc.changed = true
+			}
+		}
+		return taintVal{}
+	}
+
+	// Sinks.
+	if desc, skip, ok := sinkForCallee(fn, call, sc.info); ok {
+		for i, a := range call.Args {
+			if i < skip {
+				continue
+			}
+			t := sc.evalTaint(a)
+			if t.srcs != 0 && sc.report != nil {
+				sc.report(a.Pos(), t.srcs, desc)
+			}
+			if t.params != 0 {
+				for p := 0; p < 64; p++ {
+					if t.params&(1<<p) != 0 && sc.sum.noteSink(p, desc) {
+						sc.changed = true
+					}
+				}
+			}
+		}
+		return sc.argJoin(call)
+	}
+
+	// In-program callees: apply the callee's summary.
+	if sum, ok := sc.eng.sums[funcKey(fn)]; ok {
+		return sc.applySummary(call, fn, sum)
+	}
+
+	// Unknown externals: result derived from inputs; methods may fold
+	// arguments into their receiver (strings.Builder.WriteString et al).
+	t := sc.argJoin(call)
+	if recv := recvExpr(call); recv != nil {
+		t = t.join(sc.evalTaint(recv))
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			sc.taintObj(sc.rootObj(recv), sc.argJoin(call))
+		}
+	}
+	return t
+}
+
+// argJoin joins the taint of every argument.
+func (sc *fnScope) argJoin(call *ast.CallExpr) taintVal {
+	var t taintVal
+	for _, a := range call.Args {
+		t = t.join(sc.evalTaint(a))
+	}
+	return t
+}
+
+// applySummary folds an in-program callee's summary into the call site:
+// tainted arguments reaching sink-flowing parameters are reported (or
+// recorded against this function's own parameters), and the return taint
+// is assembled from the callee's return sources plus the arguments that
+// flow to its return.
+func (sc *fnScope) applySummary(call *ast.CallExpr, fn *types.Func, sum *fnSummary) taintVal {
+	sig, _ := fn.Type().(*types.Signature)
+	argTaint := func(i int) (taintVal, ast.Expr) {
+		if sig != nil && sig.Recv() != nil {
+			if i == 0 {
+				r := recvExpr(call)
+				return sc.evalTaint(r), r
+			}
+			i--
+		}
+		if i < len(call.Args) {
+			return sc.evalTaint(call.Args[i]), call.Args[i]
+		}
+		return taintVal{}, nil
+	}
+	nparams := len(call.Args)
+	if sig != nil && sig.Recv() != nil {
+		nparams++
+	}
+	for i := 0; i < nparams && i < 64; i++ {
+		if sum.sinkParams&(1<<i) == 0 {
+			continue
+		}
+		t, at := argTaint(i)
+		desc := sum.sinkDesc[i] + " (via " + fn.Name() + ")"
+		if t.srcs != 0 && sc.report != nil && at != nil {
+			sc.report(at.Pos(), t.srcs, desc)
+		}
+		if t.params != 0 {
+			for p := 0; p < 64; p++ {
+				if t.params&(1<<p) != 0 && sc.sum.noteSink(p, desc) {
+					sc.changed = true
+				}
+			}
+		}
+	}
+	out := taintVal{srcs: sum.retSrcs}
+	for i := 0; i < nparams && i < 64; i++ {
+		if sum.retParams&(1<<i) == 0 {
+			continue
+		}
+		t, _ := argTaint(i)
+		out = out.join(t)
+	}
+	return out
+}
+
+// isSanitizer reports whether pkg.name establishes a canonical order.
+func isSanitizer(pkg, name string) bool {
+	switch pkg {
+	case "sort":
+		switch name {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		switch name {
+		case "Sort", "SortFunc", "SortStableFunc", "Sorted", "SortedFunc", "SortedStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// sinkForCallee classifies calls that externalize data: encoders, artifact
+// writers, bus publishes, and diagnostic renderers. skip is the number of
+// leading non-data arguments (writers, filenames).
+func sinkForCallee(fn *types.Func, call *ast.CallExpr, info *types.Info) (desc string, skip int, ok bool) {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	name := fn.Name()
+	switch pkg {
+	case "encoding/json":
+		switch name {
+		case "Marshal", "MarshalIndent":
+			return "json." + name, 0, true
+		case "Encode":
+			return "json.Encoder.Encode", 0, true
+		}
+	case "fmt":
+		switch name {
+		case "Fprintf", "Fprint", "Fprintln":
+			// Writes to stderr are operator logging, not replayable
+			// artifacts.
+			if len(call.Args) > 0 && isStderr(call.Args[0], info) {
+				return "", 0, false
+			}
+			return "fmt." + name, 1, true
+		}
+	case "os":
+		if name == "WriteFile" {
+			return "os.WriteFile", 0, true
+		}
+	}
+	if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil && name == "Encode" {
+		if recvString(sig.Recv().Type()) == "(*Encoder)" {
+			return "Encoder.Encode", 0, true
+		}
+	}
+	switch name {
+	case "Publish":
+		if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil {
+			return "bus publish", 0, true
+		}
+	case "WriteArtifact", "AtomicWriteFile":
+		return name, 1, true
+	case "Reportf":
+		if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil {
+			return "diagnostic renderer " + name, 0, true
+		}
+	}
+	return "", 0, false
+}
+
+// isStderr reports whether the expression is the os.Stderr selector.
+func isStderr(expr ast.Expr, info *types.Info) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Var)
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "Stderr"
+}

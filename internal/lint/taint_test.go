@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTaintCatchesWhatSyntacticCheckMisses is the acceptance test for
+// the interprocedural engine: the fixture's time.Now call is laundered
+// through two helper calls before reaching json.Marshal, and the
+// package is not one of the internal ones the syntactic nondeterminism
+// check patrols. The old check must stay silent; the taint walk must
+// flag the encoder.
+func TestTaintCatchesWhatSyntacticCheckMisses(t *testing.T) {
+	dir := filepath.Join("testdata", "determinism-taint", "bad")
+
+	old, err := RunDir(dir, []string{"nondeterminism"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old) != 0 {
+		t.Fatalf("syntactic nondeterminism check unexpectedly fired (%d findings); the fixture no longer demonstrates the gap", len(old))
+	}
+
+	taint, err := RunDir(dir, []string{"determinism-taint"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clockLeak bool
+	for _, f := range taint {
+		if strings.Contains(f.Message, "wall clock") && strings.Contains(f.Message, "json.Marshal") {
+			clockLeak = true
+		}
+	}
+	if !clockLeak {
+		t.Errorf("determinism-taint missed the laundered time.Now→json.Marshal leak; findings: %v", taint)
+	}
+}

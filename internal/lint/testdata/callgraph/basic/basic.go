@@ -1,0 +1,52 @@
+// Package basic exercises every edge kind the call-graph builder
+// produces: static calls, conservative interface dispatch, method
+// values, function literals, recursion, and hot/cold pragmas.
+package basic
+
+// Doer is implemented by both A (value receiver) and B (pointer
+// receiver), so dispatch through it fans out to both methods.
+type Doer interface{ Do() int }
+
+// A implements Doer on the value.
+type A struct{}
+
+// Do returns a constant.
+func (A) Do() int { return 1 }
+
+// B implements Doer on the pointer.
+type B struct{ n int }
+
+// Do returns the stored value.
+func (b *B) Do() int { return b.n }
+
+// UseIface dispatches through the interface: edges to every
+// implementation.
+func UseIface(d Doer) int { return d.Do() }
+
+// MethodValue returns a bound method value: a ref edge, not a call.
+func MethodValue() func() int {
+	var a A
+	return a.Do
+}
+
+// Recurse calls itself: a static self-edge.
+func Recurse(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return Recurse(n - 1)
+}
+
+// Hot roots the reachability walk and closes over Recurse via a
+// literal.
+//
+//cqm:hotpath
+func Hot() int {
+	f := func() int { return Recurse(3) }
+	return f() + UseIface(A{})
+}
+
+// Cold is annotated off-path.
+//
+//cqm:coldpath
+func Cold() int { return UseIface(&B{n: 2}) }

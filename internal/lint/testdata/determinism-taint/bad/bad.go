@@ -1,0 +1,47 @@
+// Package bad seeds cross-function nondeterminism leaks: the wall clock
+// and map iteration order are laundered through helper calls before
+// reaching an encoder or publish sink, so the syntactic nondeterminism
+// check (which only looks at internal packages' direct call sites) never
+// sees them. Only the interprocedural taint walk can.
+package bad
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+type payload struct {
+	Stamp float64 `json:"stamp"`
+}
+
+// stamp launders the wall clock through two calls before the encoder.
+func stamp() float64 { return secs() }
+
+func secs() float64 { return float64(time.Now().UnixNano()) }
+
+// Export encodes a clock-derived payload: the taint crosses
+// stamp -> secs -> time.Now and must surface at the Marshal call.
+func Export(path string) error {
+	p := payload{Stamp: stamp()}
+	data, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Bus stands in for an event bus; Publish is a determinism sink.
+type Bus struct{}
+
+// Publish delivers values to subscribers in order.
+func (b *Bus) Publish(vals []float64) {}
+
+// Flush publishes map values in iteration order — a run-to-run diff.
+func Flush(b *Bus, m map[string]float64) {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	b.Publish(vals)
+}

@@ -1,0 +1,53 @@
+// Package good holds the clean counterparts: clock values taken as
+// inputs, map keys sorted before encoding, and diagnostics routed to
+// stderr, none of which should trip the taint walk.
+package good
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+type payload struct {
+	Stamp float64 `json:"stamp"`
+}
+
+// Export takes the timestamp as an input: the caller owns determinism.
+func Export(path string, at time.Time) error {
+	p := payload{Stamp: float64(at.UnixNano())}
+	data, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Bus stands in for an event bus; Publish is a determinism sink.
+type Bus struct{}
+
+// Publish delivers values to subscribers in order.
+func (b *Bus) Publish(vals []float64) {}
+
+// Flush sorts the keys first, so the published order is a pure function
+// of the map contents.
+func Flush(b *Bus, m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		vals = append(vals, m[k])
+	}
+	b.Publish(vals)
+}
+
+// Trace logs the wall clock to stderr, which is exempt: diagnostics are
+// allowed to be nondeterministic.
+func Trace() {
+	fmt.Fprintf(os.Stderr, "trace at %v\n", time.Now())
+}

@@ -1,0 +1,26 @@
+// Package bad allocates on a //cqm:hotpath route: directly in the root
+// and transitively in a helper the root calls.
+package bad
+
+import "fmt"
+
+// Score is the hot entry point; the scratch buffer and the formatted
+// label below must both be flagged.
+//
+//cqm:hotpath
+func Score(v []float64) float64 {
+	tmp := make([]float64, len(v))
+	copy(tmp, v)
+	return helper(tmp)
+}
+
+// helper is reachable from Score, so its allocations count too.
+func helper(v []float64) float64 {
+	out := 0.0
+	for _, x := range v {
+		out += x
+	}
+	label := fmt.Sprintf("sum=%f", out)
+	_ = label
+	return out
+}

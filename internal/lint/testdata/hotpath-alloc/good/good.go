@@ -1,0 +1,35 @@
+// Package good shows the three sanctioned ways off the hot-path
+// allocation hook: keep the root allocation-free, amortise rare work
+// behind //cqm:coldpath, and waive a justified site with //lint:ignore.
+package good
+
+// Score accumulates in place and defers rare work to a cold helper.
+//
+//cqm:hotpath
+func Score(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	if len(v) == 0 {
+		return fallback()
+	}
+	return s
+}
+
+// fallback only runs on empty input, which callers treat as an error
+// path; its buffer is amortised away from the steady state.
+//
+//cqm:coldpath
+func fallback() float64 {
+	buf := make([]float64, 1)
+	return buf[0]
+}
+
+// Scratch grows a reusable buffer; the append is waived because it
+// amortises to zero once the buffer reaches steady-state capacity.
+//
+//cqm:hotpath
+func Scratch(buf []float64, x float64) []float64 {
+	return append(buf, x) //lint:ignore hotpath-alloc amortised growth of a caller-owned buffer
+}

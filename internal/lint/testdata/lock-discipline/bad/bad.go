@@ -1,0 +1,51 @@
+// Package bad holds lock-discipline violations: a mutex held across a
+// blocking channel receive (directly and through a helper call) and an
+// AB/BA lock-order inversion.
+package bad
+
+import "sync"
+
+// S couples two mutexes with a channel so every violation shape fits in
+// one type.
+type S struct {
+	mu  sync.Mutex
+	nu  sync.Mutex
+	ch  chan int
+	val int
+}
+
+// BlockUnderLock receives from the channel while holding mu: if the
+// sender needs mu, this deadlocks.
+func (s *S) BlockUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch
+}
+
+// Indirect blocks through a helper call, which only the transitive
+// may-block walk can see.
+func (s *S) Indirect() {
+	s.mu.Lock()
+	wait(s.ch)
+	s.mu.Unlock()
+}
+
+func wait(ch chan int) int { return <-ch }
+
+// LockAB acquires mu then nu.
+func (s *S) LockAB() {
+	s.mu.Lock()
+	s.nu.Lock()
+	s.val++
+	s.nu.Unlock()
+	s.mu.Unlock()
+}
+
+// LockBA acquires nu then mu — the inversion of LockAB.
+func (s *S) LockBA() {
+	s.nu.Lock()
+	s.mu.Lock()
+	s.val++
+	s.mu.Unlock()
+	s.nu.Unlock()
+}

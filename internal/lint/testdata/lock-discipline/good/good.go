@@ -1,0 +1,50 @@
+// Package good holds the disciplined counterparts: locks released
+// before blocking, a single global acquisition order, and sync.Cond
+// whose Wait is exempt by design (it releases the lock internally).
+package good
+
+import "sync"
+
+// S mirrors the bad fixture's shape.
+type S struct {
+	mu  sync.Mutex
+	nu  sync.Mutex
+	ch  chan int
+	val int
+}
+
+// Snapshot copies state under the lock and blocks only after releasing.
+func (s *S) Snapshot() int {
+	s.mu.Lock()
+	v := s.val
+	s.mu.Unlock()
+	return v + <-s.ch
+}
+
+// NestedOne acquires mu before nu.
+func (s *S) NestedOne() {
+	s.mu.Lock()
+	s.nu.Lock()
+	s.val++
+	s.nu.Unlock()
+	s.mu.Unlock()
+}
+
+// NestedTwo uses the same mu-then-nu order, so no inversion exists.
+func (s *S) NestedTwo() {
+	s.mu.Lock()
+	s.nu.Lock()
+	s.val--
+	s.nu.Unlock()
+	s.mu.Unlock()
+}
+
+// CondWait parks on a condition variable while formally holding its
+// lock; Wait releases it internally, so the checker must stay quiet.
+func CondWait(c *sync.Cond, ready func() bool) {
+	c.L.Lock()
+	for !ready() {
+		c.Wait()
+	}
+	c.L.Unlock()
+}

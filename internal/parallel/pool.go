@@ -66,6 +66,11 @@ func (p *Pool) Workers() int {
 // chunk boundary and ForChunks returns ctx.Err(); chunk completion is
 // then undefined and the caller must discard any partial output. All
 // spawned goroutines have exited by the time ForChunks returns.
+//
+// Dispatch allocates per batch (span table, worker goroutines), not per
+// element; the per-element work is the caller's fn.
+//
+//cqm:coldpath
 func (p *Pool) ForChunks(ctx context.Context, n, grain int, fn func(k int, s Span)) error {
 	spans := Spans(n, grain)
 	if len(spans) == 0 {
@@ -111,6 +116,10 @@ func (p *Pool) ForChunks(ctx context.Context, n, grain int, fn func(k int, s Spa
 // (e.g. slot i of an output slice); under that discipline the result is
 // bit-identical at every worker count because each element is computed by
 // exactly one serial invocation. Cancellation follows ForChunks.
+//
+// Dispatch allocates per batch (one adapter closure), not per element.
+//
+//cqm:coldpath
 func (p *Pool) ForEach(ctx context.Context, n, grain int, fn func(i int)) error {
 	return p.ForChunks(ctx, n, grain, func(_ int, s Span) {
 		for i := s.Lo; i < s.Hi; i++ {

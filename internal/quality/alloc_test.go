@@ -1,0 +1,22 @@
+package quality
+
+import "testing"
+
+// TestObserveSteadyStateZeroAlloc guards the //cqm:hotpath contract on
+// Engine.Observe: once a source's tracking state and metric handles exist
+// (first sight) and between KS strides, folding an observation must not
+// allocate. First-sight and stride work carry //cqm:coldpath or waivers
+// in the lint walk; this test pins the steady state at zero.
+func TestObserveSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine(Config{Window: 32, Threshold: 0.6})
+	for _, o := range streamFor("pen", 100, 1) {
+		e.Observe(o)
+	}
+	o := Observation{Source: "pen", At: 1000, HasQ: true, Q: 0.9}
+	if allocs := testing.AllocsPerRun(500, func() {
+		o.At++
+		e.Observe(o)
+	}); allocs != 0 {
+		t.Errorf("Observe steady state allocates %v per run, want 0", allocs)
+	}
+}

@@ -138,6 +138,11 @@ type KSResult struct {
 // approximation error — is added to the critical value, so the test
 // alarms on drift beyond what the Gaussian fit already missed at
 // training time. The input slice is not modified.
+//
+// The engine invokes this every KS.Every observations, so its scratch
+// allocation is stride-amortized off the per-observation path.
+//
+//cqm:coldpath
 func KSAgainst(ref *Reference, qs []float64, cfg KSConfig) KSResult {
 	cfg = cfg.withDefaults()
 	if ref == nil || len(qs) < cfg.MinCount {

@@ -81,6 +81,8 @@ func NewEngine(cfg Config) *Engine {
 // Observe folds one decision into the engine: window statistics, lifetime
 // statistics, the Page–Hinkley detector, and (every KS.Every decisions per
 // source) the KS drift test.
+//
+//cqm:hotpath
 func (e *Engine) Observe(o Observation) {
 	if e == nil {
 		return
@@ -92,7 +94,7 @@ func (e *Engine) Observe(o Observation) {
 		s = newSource(o.Source, e.cfg.Window, e.cfg.PH)
 		s.met = newSourceMetrics(e.cfg.Metrics, o.Source)
 		e.sources[o.Source] = s
-		e.names = append(e.names, o.Source)
+		e.names = append(e.names, o.Source) //lint:ignore hotpath-alloc first sight of a new source only; amortized to nothing per observation
 		sort.Strings(e.names)
 	}
 	e.observed++

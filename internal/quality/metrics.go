@@ -83,7 +83,12 @@ type sourceMetrics struct {
 	velocity     *obs.Gauge
 }
 
-// newSourceMetrics resolves one source's labelled series.
+// newSourceMetrics resolves one source's labelled series. Registration
+// runs once per source lifetime (first sight); after that the resolved
+// handles are reused, so lookup-path allocations are off the
+// per-observation path.
+//
+//cqm:coldpath
 func newSourceMetrics(reg *obs.Registry, name string) sourceMetrics {
 	if reg == nil {
 		return sourceMetrics{}

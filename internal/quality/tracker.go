@@ -59,7 +59,11 @@ type source struct {
 	met sourceMetrics
 }
 
-// newSource returns tracking state for one source name.
+// newSource returns tracking state for one source name. It runs once per
+// source lifetime (first sight), so its allocations are amortized to
+// nothing on the per-observation path.
+//
+//cqm:coldpath
 func newSource(name string, window int, ph PHConfig) *source {
 	return &source{
 		name: name,
@@ -125,6 +129,7 @@ func (s *source) add(sm sample) bool {
 	}
 	if s.ph.Add(sm.q) {
 		s.phFired++
+		//lint:ignore hotpath-alloc drift epochs are rare alarm events, bounded by maxDriftEpochs
 		s.phEpochs = append(s.phEpochs, DriftEpoch{At: sm.at, Index: index})
 		if len(s.phEpochs) > maxDriftEpochs {
 			s.phEpochs = s.phEpochs[len(s.phEpochs)-maxDriftEpochs:]
@@ -159,7 +164,10 @@ func (s *source) windowStdDev() float64 {
 }
 
 // windowQs returns the quality values currently in the window, oldest
-// first — the KS detector's live sample.
+// first — the KS detector's live sample. It runs every KS.Every
+// observations, so its allocation is stride-amortized.
+//
+//cqm:coldpath
 func (s *source) windowQs() []float64 {
 	out := make([]float64, 0, s.wWithQ)
 	s.eachWindowed(func(sm sample) {
