@@ -191,3 +191,61 @@ func BenchmarkEncodeDecode(b *testing.B) {
 		}
 	}
 }
+
+// TestDecodeErrorTable drives every typed decode error from one table, so
+// a new error class cannot ship without a row proving a frame triggers it.
+// The reencode hook repairs the CRC after a header mutation, isolating the
+// mutation under test from the checksum that would otherwise mask it.
+func TestDecodeErrorTable(t *testing.T) {
+	reCRC := func(frame []byte) []byte {
+		crc := CRC16(frame[:20])
+		frame[20] = byte(crc >> 8)
+		frame[21] = byte(crc)
+		return frame
+	}
+	cases := []struct {
+		name   string
+		mutate func(frame []byte) []byte
+		want   error
+	}{
+		{"nil frame", func(f []byte) []byte { return nil }, ErrFrameLength},
+		{"empty frame", func(f []byte) []byte { return f[:0] }, ErrFrameLength},
+		{"one short", func(f []byte) []byte { return f[:FrameLen-1] }, ErrFrameLength},
+		{"one long", func(f []byte) []byte { return append(f, 0x00) }, ErrFrameLength},
+		{"sync zero", func(f []byte) []byte { f[0] = 0x00; return f }, ErrSync},
+		{"sync inverted", func(f []byte) []byte { f[0] = ^f[0]; return reCRC(f) }, ErrSync},
+		{"version zero", func(f []byte) []byte { f[1] = 0; return reCRC(f) }, ErrVersion},
+		{"version future", func(f []byte) []byte { f[1] = Version + 1; return reCRC(f) }, ErrVersion},
+		{"payload bit flip", func(f []byte) []byte { f[17] ^= 0x01; return f }, ErrCRC},
+		{"node bit flip", func(f []byte) []byte { f[7] ^= 0x80; return f }, ErrCRC},
+		{"checksum bit flip", func(f []byte) []byte { f[21] ^= 0x01; return f }, ErrCRC},
+		{"quality above scale", func(f []byte) []byte {
+			// 0x8000: past the q15 designated one but not the no-quality
+			// sentinel — the only reachable ErrQuality on decode.
+			f[18], f[19] = 0x80, 0x00
+			return reCRC(f)
+		}, ErrQuality},
+		{"quality near sentinel", func(f []byte) []byte {
+			f[18], f[19] = 0xFF, 0xFE
+			return reCRC(f)
+		}, ErrQuality},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			good, err := Encode(samplePacket())
+			if err != nil {
+				t.Fatal(err)
+			}
+			frame := tc.mutate(good)
+			if _, err := Decode(frame); !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+			// Typed means matchable: no error class may shadow another.
+			for _, other := range []error{ErrFrameLength, ErrSync, ErrVersion, ErrCRC, ErrQuality} {
+				if other != tc.want && errors.Is(err, other) {
+					t.Errorf("error %v also matches %v", err, other)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,31 @@
+// Package serve puts the Context Quality Measure on the wire: a sharded
+// scoring service that sits between many unreliable context producers and
+// the appliances consuming their classifications — the middleware access
+// point the deployment story needs (ROADMAP item 1).
+//
+// The package is organized around four pieces:
+//
+//   - Frame codec (frame.go): a compact binary request/response framing
+//     that reuses the 22-byte particle frame as its header and appends a
+//     CRC-guarded cue section, so a scoring request is self-delimiting on
+//     a byte stream and survives the same hostile-input discipline as the
+//     RF codec.
+//   - Consistent-hash ring (ring.go): source IDs map onto worker shards
+//     through a fixed ring of virtual nodes, so the shard map is stable
+//     under shard-count changes and ready for multi-node sharding.
+//   - Server (server.go): per-shard bounded queues with admission control
+//     and explicit backpressure, batch folding of queued requests into a
+//     single core.Measure.ScoreBatch per wakeup, hot model reload through
+//     ckpt.Handle (one model load per batch — a swap never mixes models
+//     inside a batch), and a drain protocol that guarantees every admitted
+//     request is scored or explicitly rejected, never silently dropped.
+//   - Fronts (http.go, tcp.go): an HTTP/JSON API and a binary TCP
+//     listener over the frame codec, both returning typed protocol errors
+//     for malformed input and explicit 429/reject frames under overload.
+//
+// Determinism contract: scoring through the sharded path is bit-identical
+// to a direct unsharded ScoreBatch over the same frames at every shard
+// count — each score is an independent FIS evaluation, and the shard map
+// only changes which worker performs it. The package never reads the wall
+// clock; client-side load tooling (cmd/cqmload) owns all timing.
+package serve

@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"io"
+	"math"
+	"net"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cqm/internal/ckpt"
+	"cqm/internal/core"
+	"cqm/internal/particle"
+)
+
+// writeModelArtifact persists m as a measure artifact at path.
+func writeModelArtifact(t *testing.T, path string, m *core.Measure, epoch int) {
+	t.Helper()
+	man := ckpt.Manifest{
+		Kind:      ckpt.KindMeasure,
+		CreatedAt: time.Date(2026, 1, 1, 0, 0, epoch, 0, time.UTC),
+		Epoch:     epoch,
+	}
+	if err := ckpt.WriteArtifact(path, man, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// e2eClient drives one pipelined binary connection and tallies every
+// response it gets back.
+type e2eClient struct {
+	conn       *net.TCPConn
+	sent       atomic.Uint64
+	responses  atomic.Uint64
+	accepted   atomic.Uint64
+	discarded  atomic.Uint64
+	epsilon    atomic.Uint64
+	rejected   atomic.Uint64
+	readerDone chan struct{}
+}
+
+// dialE2E connects to the binary front and starts the response reader.
+func dialE2E(t *testing.T, addr string) *e2eClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &e2eClient{conn: conn.(*net.TCPConn), readerDone: make(chan struct{})}
+	go func() {
+		defer close(c.readerDone)
+		var frame [particle.FrameLen]byte
+		for {
+			if _, err := io.ReadFull(c.conn, frame[:]); err != nil {
+				return
+			}
+			resp, err := DecodeResponse(frame[:])
+			if err != nil {
+				t.Errorf("undecodable response: %v", err)
+				return
+			}
+			c.responses.Add(1)
+			switch {
+			case resp.Rejected:
+				c.rejected.Add(1)
+			case resp.Status == StatusAccepted:
+				c.accepted.Add(1)
+			case resp.Status == StatusDiscarded:
+				c.discarded.Add(1)
+			default:
+				c.epsilon.Add(1)
+			}
+		}
+	}()
+	return c
+}
+
+// send writes one request frame for the given pen; callers decide how to
+// treat a failure (the sender goroutines must not Fatal).
+func (c *e2eClient) send(pen int, seq uint16) error {
+	frame, err := EncodeRequest(Request{
+		Node: PenNode(pen),
+		Seq:  seq,
+		Cues: []float64{0.5},
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := c.conn.Write(frame); err != nil {
+		return err
+	}
+	c.sent.Add(1)
+	return nil
+}
+
+// TestE2ELifecycle is the serving lifecycle end to end over the binary
+// front: load against model A, a hot model swap mid-stream (watcher poll,
+// no mixed-model batch), then a drain initiated while clients are still
+// sending — and at the end every sent frame has exactly one response:
+// scored or explicitly rejected, never silently dropped.
+func TestE2ELifecycle(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.json")
+	writeModelArtifact(t, modelPath, biasMeasure(t, 0.25), 1)
+
+	handle := ckpt.NewHandle(nil)
+	watcher, err := ckpt.NewModelWatcher(ckpt.WatchConfig{Path: modelPath}, handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapped, err := watcher.Poll(); err != nil || !swapped {
+		t.Fatalf("initial poll: swapped=%v err=%v", swapped, err)
+	}
+
+	// The no-mixed-batch observer: model A scores every frame exactly
+	// 0.25, model B exactly 0.75, so a batch holding both values would
+	// prove a swap landed inside a batch.
+	var batchMu sync.Mutex
+	lowBatches, highBatches := 0, 0
+	observer := func(m *core.Measure, outs []Outcome) {
+		var q float64
+		seen := false
+		for _, o := range outs {
+			if o.Status == StatusEpsilon {
+				continue
+			}
+			if !seen {
+				q, seen = o.Q, true
+				continue
+			}
+			if math.Abs(o.Q-q) > 1e-12 {
+				t.Errorf("mixed-model batch: q %v and %v in one ScoreBatch", q, o.Q)
+			}
+		}
+		if !seen {
+			return
+		}
+		batchMu.Lock()
+		if q < 0.5 {
+			lowBatches++
+		} else {
+			highBatches++
+		}
+		batchMu.Unlock()
+	}
+
+	srv, err := New(Config{
+		Shards:        4,
+		QueueDepth:    4096,
+		BatchSize:     256,
+		Threshold:     0.5,
+		Handle:        handle,
+		BatchObserver: observer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ServeBinary(ln) }()
+
+	clients := []*e2eClient{dialE2E(t, ln.Addr().String()), dialE2E(t, ln.Addr().String())}
+
+	// Phase 1: traffic against model A, fully answered before the swap.
+	const phase1 = 500
+	for i := 0; i < phase1; i++ {
+		for ci, c := range clients {
+			if err := c.send(ci*10000+i%200, uint16(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for ci, c := range clients {
+		c := c
+		waitUntil(t, "phase-1 responses", func() bool { return c.responses.Load() == c.sent.Load() })
+		if c.discarded.Load() == 0 {
+			t.Fatalf("client %d: no discards against the 0.25 model", ci)
+		}
+		if c.accepted.Load() != 0 {
+			t.Fatalf("client %d: %d accepts against the 0.25 model", ci, c.accepted.Load())
+		}
+	}
+
+	// Hot swap to model B mid-stream.
+	writeModelArtifact(t, modelPath, biasMeasure(t, 0.75), 2)
+	if swapped, err := watcher.Poll(); err != nil || !swapped {
+		t.Fatalf("swap poll: swapped=%v err=%v", swapped, err)
+	}
+
+	// Phase 2: clients keep sending while the server is told to drain —
+	// the kill-under-load half of the lifecycle.
+	var stop atomic.Bool
+	var senders sync.WaitGroup
+	for ci, c := range clients {
+		senders.Add(1)
+		go func(ci int, c *e2eClient) {
+			defer senders.Done()
+			for seq := 0; !stop.Load(); seq++ {
+				if err := c.send(ci*10000+seq%200, uint16(seq)); err != nil {
+					t.Errorf("phase-2 send: %v", err)
+					return
+				}
+			}
+		}(ci, c)
+	}
+	preDrain := srv.Stats().Admitted
+	waitUntil(t, "phase-2 traffic scored", func() bool { return srv.Stats().Admitted > preDrain+500 })
+
+	srv.Drain() // while the senders are still firing
+	stop.Store(true)
+	senders.Wait()
+
+	// Stop sending, let every in-flight response arrive, then read EOF.
+	for _, c := range clients {
+		if err := c.conn.CloseWrite(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range clients {
+		<-c.readerDone
+	}
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("ServeBinary: %v", err)
+	}
+
+	// Zero lost frames end to end: every sent frame got exactly one
+	// response.
+	var sent, responses, accepted, discarded, epsilon, rejected uint64
+	for ci, c := range clients {
+		if c.responses.Load() != c.sent.Load() {
+			t.Errorf("client %d: sent %d, got %d responses", ci, c.sent.Load(), c.responses.Load())
+		}
+		sent += c.sent.Load()
+		responses += c.responses.Load()
+		accepted += c.accepted.Load()
+		discarded += c.discarded.Load()
+		epsilon += c.epsilon.Load()
+		rejected += c.rejected.Load()
+	}
+	if responses != sent {
+		t.Fatalf("sent %d frames, received %d responses", sent, responses)
+	}
+
+	// Server-side accounting agrees with what the clients saw.
+	stats := srv.Stats()
+	if stats.Admitted != stats.Scored() {
+		t.Errorf("admitted %d != scored %d: %+v", stats.Admitted, stats.Scored(), stats)
+	}
+	if stats.RejectedUnavailable != 0 || stats.RejectedInternal != 0 {
+		t.Errorf("unexpected rejects: %+v", stats)
+	}
+	if got := accepted + discarded + epsilon; got != stats.Scored() {
+		t.Errorf("clients saw %d scored, server scored %d", got, stats.Scored())
+	}
+	if want := stats.RejectedDraining + stats.RejectedOverload; rejected != want {
+		t.Errorf("clients saw %d rejects, server rejected %d", rejected, want)
+	}
+
+	// Both models actually served, and never inside one batch.
+	batchMu.Lock()
+	defer batchMu.Unlock()
+	if lowBatches == 0 || highBatches == 0 {
+		t.Errorf("model mix not exercised: %d low batches, %d high batches", lowBatches, highBatches)
+	}
+	if accepted == 0 || discarded == 0 {
+		t.Errorf("decision mix not exercised: %d accepted, %d discarded", accepted, discarded)
+	}
+}
+
+// TestE2EMalformedFrameClosesConnection pins the binary front's protocol
+// fault handling: garbage answers one best-effort reject frame, then the
+// connection closes (a desynchronized stream cannot continue).
+func TestE2EMalformedFrameClosesConnection(t *testing.T) {
+	srv := biasServer(t, 0.75, Config{Threshold: 0.5})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	go func() { _ = srv.ServeBinary(ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Write(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	var frame [particle.FrameLen]byte
+	if _, err := io.ReadFull(conn, frame[:]); err != nil {
+		t.Fatalf("reading reject frame: %v", err)
+	}
+	resp, err := DecodeResponse(frame[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Rejected || resp.Reject != RejectProtocol {
+		t.Fatalf("resp = %+v, want protocol reject", resp)
+	}
+	// Then EOF: the server hung up.
+	if _, err := io.ReadFull(conn, frame[:1]); err == nil {
+		t.Fatal("connection still open after protocol fault")
+	}
+}

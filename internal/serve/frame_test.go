@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"cqm/internal/particle"
+)
+
+// sampleRequest is a representative valid request.
+func sampleRequest() Request {
+	return Request{
+		Node:       particle.NodeIDFromString("pen-0042"),
+		Seq:        1234,
+		SentMillis: 567890,
+		ClassID:    2,
+		Cues:       []float64{0.25, -1.5, 3.75},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	want := sampleRequest()
+	data, err := EncodeRequest(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRequestRoundTripCueCounts(t *testing.T) {
+	for n := 1; n <= MaxCues; n++ {
+		req := sampleRequest()
+		req.Cues = make([]float64, n)
+		for i := range req.Cues {
+			req.Cues[i] = float64(i) * 0.125
+		}
+		data, err := EncodeRequest(req)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, err := DecodeRequest(data)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Fatalf("n=%d mismatch", n)
+		}
+	}
+}
+
+// encodeSample returns a valid encoded request for corruption tests.
+func encodeSample(t *testing.T) []byte {
+	t.Helper()
+	data, err := EncodeRequest(sampleRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// reCueCRC recomputes the cue-section CRC of an encoded request after a
+// deliberate mutation, so only the mutation under test is wrong.
+func reCueCRC(data []byte) {
+	tail := len(data) - 2
+	binary.BigEndian.PutUint16(data[tail:], particle.CRC16(data[particle.FrameLen:tail]))
+}
+
+// reHeaderCRC recomputes the particle header CRC after a header mutation.
+func reHeaderCRC(data []byte) {
+	binary.BigEndian.PutUint16(data[20:22], particle.CRC16(data[:20]))
+}
+
+func TestDecodeRequestErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(t *testing.T, data []byte) []byte
+		wantErr error
+	}{
+		{"empty", func(t *testing.T, d []byte) []byte { return nil }, ErrRequestLength},
+		{"header only", func(t *testing.T, d []byte) []byte { return d[:particle.FrameLen] }, ErrRequestLength},
+		{"truncated cues", func(t *testing.T, d []byte) []byte { return d[:len(d)-3] }, ErrRequestLength},
+		{"trailing bytes", func(t *testing.T, d []byte) []byte { return append(d, 0xEE) }, ErrRequestLength},
+		{"bad sync", func(t *testing.T, d []byte) []byte { d[0] = 0; return d }, particle.ErrSync},
+		{"bad version", func(t *testing.T, d []byte) []byte { d[1] = 9; reHeaderCRC(d); return d }, particle.ErrVersion},
+		{"header crc", func(t *testing.T, d []byte) []byte { d[5] ^= 0x10; return d }, particle.ErrCRC},
+		{"wrong type", func(t *testing.T, d []byte) []byte { d[2] = byte(TypeAccepted); reHeaderCRC(d); return d }, ErrRequestType},
+		{"quality annotated", func(t *testing.T, d []byte) []byte {
+			binary.BigEndian.PutUint16(d[18:20], 0x1000)
+			reHeaderCRC(d)
+			return d
+		}, ErrRequestQuality},
+		{"zero cues", func(t *testing.T, d []byte) []byte {
+			d = d[:particle.FrameLen+1+2]
+			d[particle.FrameLen] = 0
+			reCueCRC(d)
+			return d
+		}, ErrCueCount},
+		{"too many cues", func(t *testing.T, d []byte) []byte { d[particle.FrameLen] = MaxCues + 1; return d }, ErrCueCount},
+		{"cue crc", func(t *testing.T, d []byte) []byte { d[particle.FrameLen+3] ^= 0x40; return d }, ErrCueCRC},
+		{"nan cue", func(t *testing.T, d []byte) []byte {
+			binary.BigEndian.PutUint64(d[particle.FrameLen+1:], math.Float64bits(math.NaN()))
+			reCueCRC(d)
+			return d
+		}, ErrCueValue},
+		{"inf cue", func(t *testing.T, d []byte) []byte {
+			binary.BigEndian.PutUint64(d[particle.FrameLen+1:], math.Float64bits(math.Inf(1)))
+			reCueCRC(d)
+			return d
+		}, ErrCueValue},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(t, encodeSample(t))
+			if _, err := DecodeRequest(data); !errors.Is(err, tc.wantErr) {
+				t.Errorf("err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestEncodeRequestValidates(t *testing.T) {
+	req := sampleRequest()
+	req.Cues = nil
+	if _, err := EncodeRequest(req); !errors.Is(err, ErrCueCount) {
+		t.Errorf("no cues: err = %v, want %v", err, ErrCueCount)
+	}
+	req = sampleRequest()
+	req.Cues = make([]float64, MaxCues+1)
+	if _, err := EncodeRequest(req); !errors.Is(err, ErrCueCount) {
+		t.Errorf("too many cues: err = %v, want %v", err, ErrCueCount)
+	}
+	req = sampleRequest()
+	req.Cues[1] = math.NaN()
+	if _, err := EncodeRequest(req); !errors.Is(err, ErrCueValue) {
+		t.Errorf("NaN cue: err = %v, want %v", err, ErrCueValue)
+	}
+}
+
+func TestReadRequestStream(t *testing.T) {
+	a, b := sampleRequest(), sampleRequest()
+	b.Seq = 9999
+	b.Cues = []float64{42}
+	ea, err := EncodeRequest(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := EncodeRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := bytes.NewReader(append(append([]byte(nil), ea...), eb...))
+
+	got, err := ReadRequest(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Errorf("first frame mismatch: %+v", got)
+	}
+	got, err = ReadRequest(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Errorf("second frame mismatch: %+v", got)
+	}
+	// Clean boundary: plain EOF, not an unexpected one.
+	if _, err := ReadRequest(stream); !errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("at boundary: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadRequestTruncation(t *testing.T) {
+	data := encodeSample(t)
+	for _, cut := range []int{1, particle.FrameLen - 1, particle.FrameLen, particle.FrameLen + 1, len(data) - 1} {
+		_, err := ReadRequest(bytes.NewReader(data[:cut]))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("cut=%d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{Node: particle.NodeIDFromString("pen-0001"), Seq: 7, SentMillis: 99, Status: StatusAccepted, Q: 0.75},
+		{Node: particle.NodeIDFromString("pen-0002"), Seq: 8, SentMillis: 100, Status: StatusDiscarded, Q: 0.25},
+		{Node: particle.NodeIDFromString("pen-0003"), Seq: 9, SentMillis: 101, Status: StatusEpsilon},
+		{Node: particle.NodeIDFromString("pen-0004"), Seq: 10, SentMillis: 102, Rejected: true, Reject: RejectOverloaded},
+		{Rejected: true, Reject: RejectDraining},
+		{Rejected: true, Reject: RejectUnavailable},
+		{Rejected: true, Reject: RejectProtocol},
+		{Rejected: true, Reject: RejectInternal},
+	}
+	for _, want := range cases {
+		frame, err := EncodeResponse(want)
+		if err != nil {
+			t.Fatalf("%+v: %v", want, err)
+		}
+		if len(frame) != particle.FrameLen {
+			t.Fatalf("response frame %d bytes, want %d", len(frame), particle.FrameLen)
+		}
+		got, err := DecodeResponse(frame)
+		if err != nil {
+			t.Fatalf("%+v: %v", want, err)
+		}
+		// q crosses the wire quantized; compare within the codec resolution
+		// and the rest exactly.
+		if math.Abs(got.Q-want.Q) > particle.QualityResolution {
+			t.Errorf("q = %v, want %v ± %v", got.Q, want.Q, particle.QualityResolution)
+		}
+		got.Q = want.Q
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestDecodeResponseRejectsUnknownType(t *testing.T) {
+	frame, err := particle.Encode(particle.ContextPacket{Type: 0x42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResponse(frame); !errors.Is(err, ErrRequestType) {
+		t.Errorf("err = %v, want %v", err, ErrRequestType)
+	}
+}
+
+func TestRejectCodeStrings(t *testing.T) {
+	names := map[RejectCode]string{
+		RejectOverloaded:  "overloaded",
+		RejectDraining:    "draining",
+		RejectUnavailable: "unavailable",
+		RejectProtocol:    "protocol",
+		RejectInternal:    "internal",
+	}
+	for code, want := range names {
+		if got := code.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", code, got, want)
+		}
+	}
+	if got := Status(99).String(); got != "Status(99)" {
+		t.Errorf("unknown status = %q", got)
+	}
+}

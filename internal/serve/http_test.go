@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// postJSON drives the handler with one request body.
+func postJSON(t *testing.T, h http.Handler, path, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	h.ServeHTTP(rec, req)
+	var payload map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatalf("%s: non-JSON body %q: %v", path, rec.Body.String(), err)
+	}
+	return rec, payload
+}
+
+func TestHTTPScore(t *testing.T) {
+	s := biasServer(t, 0.75, Config{Threshold: 0.5})
+	h := s.HTTPHandler()
+
+	rec, payload := postJSON(t, h, "/score", `{"source":"pen-1","seq":3,"sent_ms":42,"class":1,"cues":[0.5]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, payload)
+	}
+	if payload["status"] != "accepted" {
+		t.Errorf("status = %v", payload["status"])
+	}
+	q, ok := payload["q"].(float64)
+	if !ok || math.Abs(q-0.75) > 1e-12 {
+		t.Errorf("q = %v, want 0.75", payload["q"])
+	}
+	if payload["source"] != "pen-1" || payload["seq"] != float64(3) || payload["sent_ms"] != float64(42) {
+		t.Errorf("echo mismatch: %v", payload)
+	}
+
+	// ε omits q entirely.
+	rec, payload = postJSON(t, h, "/score", `{"source":"pen-2","class":1,"cues":[1e9]}`)
+	if rec.Code != http.StatusOK || payload["status"] != "epsilon" {
+		t.Fatalf("ε: status %d payload %v", rec.Code, payload)
+	}
+	if _, has := payload["q"]; has {
+		t.Errorf("ε carries q: %v", payload)
+	}
+}
+
+func TestHTTPScoreErrors(t *testing.T) {
+	s := biasServer(t, 0.75, Config{Threshold: 0.5})
+	h := s.HTTPHandler()
+
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"bad json", "/score", `{`, http.StatusBadRequest},
+		{"no cues", "/score", `{"source":"p","class":1}`, http.StatusBadRequest},
+		{"long source", "/score", `{"source":"way-too-long-name","class":1,"cues":[0.5]}`, http.StatusBadRequest},
+		{"class range", "/score", `{"source":"p","class":300,"cues":[0.5]}`, http.StatusBadRequest},
+		{"nan cue", "/score", `{"source":"p","class":1,"cues":["x"]}`, http.StatusBadRequest},
+		{"batch bad json", "/score/batch", `[]`, http.StatusBadRequest},
+		{"batch empty", "/score/batch", `{"requests":[]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec, payload := postJSON(t, h, tc.path, tc.body)
+			if rec.Code != tc.want {
+				t.Errorf("status %d, want %d (%v)", rec.Code, tc.want, payload)
+			}
+		})
+	}
+
+	// Method gate.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/score", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /score: %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/score/batch", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /score/batch: %d", rec.Code)
+	}
+}
+
+func TestHTTPScoreBatch(t *testing.T) {
+	s := biasServer(t, 0.75, Config{Threshold: 0.5, Shards: 2})
+	h := s.HTTPHandler()
+
+	body := `{"requests":[
+		{"source":"pen-1","seq":1,"class":1,"cues":[0.5]},
+		{"source":"a-source-name-too-long","seq":2,"class":1,"cues":[0.5]},
+		{"source":"pen-3","seq":3,"class":1,"cues":[1e9]}
+	]}`
+	rec, payload := postJSON(t, h, "/score/batch", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, payload)
+	}
+	responses, ok := payload["responses"].([]any)
+	if !ok || len(responses) != 3 {
+		t.Fatalf("responses = %v", payload["responses"])
+	}
+	statuses := make([]string, len(responses))
+	for i, r := range responses {
+		m := r.(map[string]any)
+		statuses[i], _ = m["status"].(string)
+		if seq := m["seq"].(float64); int(seq) != i+1 {
+			t.Errorf("response %d out of order: seq %v", i, seq)
+		}
+	}
+	if statuses[0] != "accepted" || statuses[1] != "rejected" || statuses[2] != "epsilon" {
+		t.Errorf("statuses = %v", statuses)
+	}
+	if reject := responses[1].(map[string]any)["reject"]; reject != "protocol" {
+		t.Errorf("per-item reject = %v", reject)
+	}
+}
+
+func TestHTTPDrainingAndUnavailable(t *testing.T) {
+	s := biasServer(t, 0.75, Config{Threshold: 0.5})
+	h := s.HTTPHandler()
+	s.Drain()
+	rec, _ := postJSON(t, h, "/score", `{"source":"p","class":1,"cues":[0.5]}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("draining: status %d, want 503", rec.Code)
+	}
+	rec, payload := postJSON(t, h, "/score/batch", `{"requests":[{"source":"p","class":1,"cues":[0.5]}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch while draining: %d", rec.Code)
+	}
+	item := payload["responses"].([]any)[0].(map[string]any)
+	if item["status"] != "rejected" || item["reject"] != "draining" {
+		t.Errorf("batch item = %v", item)
+	}
+}

@@ -1,0 +1,87 @@
+package serve
+
+import "cqm/internal/obs"
+
+// Metric names of the serving layer.
+const (
+	// MetricAdmitted counts requests accepted into a shard queue.
+	MetricAdmitted = "cqm_serve_admitted_total"
+	// MetricRejected counts explicit rejections, labelled by reason.
+	MetricRejected = "cqm_serve_rejected_total"
+	// MetricScored counts scored requests, labelled by status.
+	MetricScored = "cqm_serve_scored_total"
+	// MetricBatches counts ScoreBatch invocations across all shards.
+	MetricBatches = "cqm_serve_batches_total"
+	// MetricBatchSize is the distribution of frames folded per batch.
+	MetricBatchSize = "cqm_serve_batch_size"
+	// MetricQueueDepth is the current depth of each shard queue.
+	MetricQueueDepth = "cqm_serve_queue_depth"
+)
+
+// batchSizeBuckets cover 1..the largest plausible batch in powers of two.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// serveMetrics are the pre-resolved serving metrics; the zero value is
+// instrumentation off, one nil-check per update.
+type serveMetrics struct {
+	admitted    *obs.Counter
+	rejOverload *obs.Counter
+	rejDraining *obs.Counter
+	rejNoModel  *obs.Counter
+	rejInternal *obs.Counter
+	accepted    *obs.Counter
+	discarded   *obs.Counter
+	epsilon     *obs.Counter
+	batches     *obs.Counter
+	batchSize   *obs.Histogram
+}
+
+// newServeMetrics resolves the server's metrics once.
+func newServeMetrics(reg *obs.Registry) serveMetrics {
+	if reg == nil {
+		return serveMetrics{}
+	}
+	reg.Help(MetricAdmitted, "Requests admitted into a shard queue.")
+	reg.Help(MetricRejected, "Requests explicitly rejected, by reason.")
+	reg.Help(MetricScored, "Requests scored, by decision status.")
+	reg.Help(MetricBatches, "ScoreBatch invocations across all shards.")
+	reg.Help(MetricBatchSize, "Frames folded into each ScoreBatch call.")
+	return serveMetrics{
+		admitted:    reg.Counter(MetricAdmitted),
+		rejOverload: reg.Counter(MetricRejected, "reason", RejectOverloaded.String()),
+		rejDraining: reg.Counter(MetricRejected, "reason", RejectDraining.String()),
+		rejNoModel:  reg.Counter(MetricRejected, "reason", RejectUnavailable.String()),
+		rejInternal: reg.Counter(MetricRejected, "reason", RejectInternal.String()),
+		accepted:    reg.Counter(MetricScored, "status", StatusAccepted.String()),
+		discarded:   reg.Counter(MetricScored, "status", StatusDiscarded.String()),
+		epsilon:     reg.Counter(MetricScored, "status", StatusEpsilon.String()),
+		batches:     reg.Counter(MetricBatches),
+		batchSize:   reg.Histogram(MetricBatchSize, batchSizeBuckets),
+	}
+}
+
+// reject tallies one explicit rejection.
+func (m serveMetrics) reject(code RejectCode) {
+	switch code {
+	case RejectOverloaded:
+		m.rejOverload.Inc()
+	case RejectDraining:
+		m.rejDraining.Inc()
+	case RejectUnavailable:
+		m.rejNoModel.Inc()
+	default:
+		m.rejInternal.Inc()
+	}
+}
+
+// scored tallies one scoring outcome.
+func (m serveMetrics) scored(s Status) {
+	switch s {
+	case StatusAccepted:
+		m.accepted.Inc()
+	case StatusDiscarded:
+		m.discarded.Inc()
+	default:
+		m.epsilon.Inc()
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per shard on the ring.
+// 64 vnodes keep the worst-case shard imbalance within a few percent at
+// the shard counts the server runs (1..64) while the ring stays small
+// enough to sit in cache.
+const DefaultReplicas = 64
+
+// ringPoint is one virtual node: a position on the hash circle owned by a
+// shard.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// Ring maps source identifiers onto shards by consistent hashing: each
+// shard owns DefaultReplicas points on a 64-bit circle, and a source goes
+// to the shard owning the first point at or after the source's hash. The
+// map is a pure function of (shards, replicas), so every process in a
+// deployment computes the same assignment, and changing the shard count
+// moves only ~1/n of the keyspace instead of reshuffling everything.
+type Ring struct {
+	points []ringPoint
+	shards int
+}
+
+// NewRing builds the ring for n shards with the default replica count.
+func NewRing(n int) (*Ring, error) {
+	return NewRingReplicas(n, DefaultReplicas)
+}
+
+// NewRingReplicas builds the ring for n shards with r virtual nodes per
+// shard.
+func NewRingReplicas(n, r int) (*Ring, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("serve: ring needs at least one shard, got %d", n)
+	}
+	if r < 1 {
+		return nil, fmt.Errorf("serve: ring needs at least one replica, got %d", r)
+	}
+	points := make([]ringPoint, 0, n*r)
+	var key []byte
+	for s := 0; s < n; s++ {
+		for v := 0; v < r; v++ {
+			key = key[:0]
+			key = append(key, "shard-"...)
+			key = strconv.AppendInt(key, int64(s), 10)
+			key = append(key, '-')
+			key = strconv.AppendInt(key, int64(v), 10)
+			points = append(points, ringPoint{hash: fnv64a(key), shard: s})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		// Ties (vanishingly rare) break on shard index so the ring is a
+		// deterministic function of its inputs, not of sort stability.
+		return points[i].shard < points[j].shard
+	})
+	return &Ring{points: points, shards: n}, nil
+}
+
+// Shards returns the shard count the ring was built for.
+func (r *Ring) Shards() int { return r.shards }
+
+// Shard returns the shard owning the source identifier.
+//
+// The lookup is allocation-free and lock-free: the ring is immutable
+// after construction.
+func (r *Ring) Shard(source []byte) int {
+	h := fnv64a(source)
+	// First point at or after h, wrapping to the first point.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// fnv64a is the FNV-1a 64-bit hash — stable across processes and
+// architectures, unlike Go's randomized map hash.
+func fnv64a(data []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,420 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cqm/internal/ckpt"
+	"cqm/internal/core"
+	"cqm/internal/obs"
+	"cqm/internal/quality"
+	"cqm/internal/sensor"
+)
+
+// Admission errors returned by Submit. Fronts translate them into 429 /
+// 503 / reject frames; anything else from Submit is a request-validation
+// error (a protocol fault of the caller).
+var (
+	// ErrOverloaded reports a full shard queue — explicit backpressure.
+	ErrOverloaded = errors.New("serve: shard queue full")
+	// ErrDraining reports a server that has stopped admitting work.
+	ErrDraining = errors.New("serve: server draining")
+	// ErrUnavailable reports that no model is currently loaded.
+	ErrUnavailable = errors.New("serve: no model loaded")
+	// ErrInternal reports a scoring failure that is not the ε state.
+	ErrInternal = errors.New("serve: internal scoring failure")
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Shards is the worker-shard count; sources are assigned to shards
+	// by consistent hashing. Default 1.
+	Shards int
+	// QueueDepth bounds each shard's queue; a full queue rejects with
+	// ErrOverloaded. Default 1024.
+	QueueDepth int
+	// BatchSize caps how many queued requests are folded into one
+	// ScoreBatch call. Default 256.
+	BatchSize int
+	// Threshold is the acceptance threshold s applied to q.
+	Threshold float64
+	// Handle supplies the served model; it may be hot-swapped at any
+	// time (ckpt.ModelWatcher). Each batch loads the handle exactly
+	// once, so a swap never mixes two models inside one batch.
+	Handle *ckpt.Handle
+	// Metrics, when non-nil, receives cqm_serve_* series.
+	Metrics *obs.Registry
+	// Quality, when non-nil, receives one engine observation per scored
+	// request (source = the request's node id).
+	Quality *quality.Engine
+	// BatchObserver, when non-nil, is called synchronously after every
+	// batch with the model that scored it and the per-request outcomes
+	// (the slice is reused across batches — copy to retain). Test and
+	// analytics hook; keep it fast.
+	BatchObserver func(m *core.Measure, outs []Outcome)
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 1024
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 256
+	}
+	return c
+}
+
+// Outcome is the scored result of one admitted request.
+type Outcome struct {
+	// Status is the decision: accepted, discarded, or ε.
+	Status Status
+	// Q is the quality value (meaningful unless Status is ε).
+	Q float64
+}
+
+// result travels from a shard back to the submitting goroutine.
+type result struct {
+	out    Outcome
+	reject RejectCode // RejectNone when scored
+}
+
+// task is one admitted request waiting on a shard queue. Tasks are pooled:
+// the done channel is allocated once and reused across requests.
+type task struct {
+	req    Request
+	source string
+	done   chan result
+}
+
+// Stats is a consistent snapshot of the server's accounting counters.
+// After Drain returns, Admitted == Accepted+Discarded+Epsilon+
+// RejectedUnavailable+RejectedInternal: every admitted request was scored
+// or explicitly rejected, never silently dropped.
+type Stats struct {
+	// Admitted counts requests that entered a shard queue.
+	Admitted uint64
+	// Accepted, Discarded, and Epsilon count scoring outcomes.
+	Accepted  uint64
+	Discarded uint64
+	Epsilon   uint64
+	// RejectedOverload counts admissions refused on a full queue.
+	RejectedOverload uint64
+	// RejectedDraining counts admissions refused during drain.
+	RejectedDraining uint64
+	// RejectedUnavailable counts admitted requests rejected because no
+	// model was loaded when their batch ran.
+	RejectedUnavailable uint64
+	// RejectedInternal counts admitted requests rejected on a non-ε
+	// scoring failure.
+	RejectedInternal uint64
+	// Batches counts ScoreBatch invocations across all shards.
+	Batches uint64
+	// MaxBatch is the largest batch folded so far.
+	MaxBatch uint64
+}
+
+// Scored returns the number of admitted requests that produced a decision.
+func (s Stats) Scored() uint64 { return s.Accepted + s.Discarded + s.Epsilon }
+
+// Server is the sharded scoring service: admission control in Submit,
+// per-shard batching workers, and a drain protocol that accounts for
+// every admitted request.
+type Server struct {
+	cfg    Config
+	ring   *Ring
+	shards []*shard
+	met    serveMetrics
+	pool   sync.Pool
+
+	// admission guards the draining flag against in-flight Submits:
+	// admission is under RLock, the drain transition under Lock.
+	admission sync.RWMutex
+	draining  bool
+	inflight  sync.WaitGroup
+	drained   chan struct{} // closed once all shards have exited
+	drainOnce sync.Once
+
+	admitted    atomic.Uint64
+	accepted    atomic.Uint64
+	discarded   atomic.Uint64
+	epsilon     atomic.Uint64
+	rejOverload atomic.Uint64
+	rejDraining atomic.Uint64
+	rejNoModel  atomic.Uint64
+	rejInternal atomic.Uint64
+	batches     atomic.Uint64
+	maxBatch    atomic.Uint64
+}
+
+// shard is one worker: a bounded task queue and reusable batch buffers.
+type shard struct {
+	srv   *Server
+	tasks chan *task
+	batch []*task
+	obs   []core.Observation
+	outs  []Outcome
+	done  chan struct{}
+}
+
+// New validates cfg, builds the shard ring, and starts the shard workers.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Handle == nil {
+		return nil, fmt.Errorf("serve: config needs a model handle")
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("serve: shard count %d < 1", cfg.Shards)
+	}
+	if cfg.QueueDepth < 1 {
+		return nil, fmt.Errorf("serve: queue depth %d < 1", cfg.QueueDepth)
+	}
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("serve: batch size %d < 1", cfg.BatchSize)
+	}
+	if cfg.Threshold < 0 || cfg.Threshold > 1 {
+		return nil, fmt.Errorf("serve: threshold %v outside [0,1]", cfg.Threshold)
+	}
+	ring, err := NewRing(cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		ring:    ring,
+		met:     newServeMetrics(cfg.Metrics),
+		drained: make(chan struct{}),
+	}
+	s.pool.New = func() any { return &task{done: make(chan result, 1)} }
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		sh := &shard{
+			srv:   s,
+			tasks: make(chan *task, cfg.QueueDepth),
+			batch: make([]*task, 0, cfg.BatchSize),
+			obs:   make([]core.Observation, 0, cfg.BatchSize),
+			outs:  make([]Outcome, 0, cfg.BatchSize),
+			done:  make(chan struct{}),
+		}
+		s.shards[i] = sh
+		go sh.run()
+	}
+	return s, nil
+}
+
+// Threshold returns the acceptance threshold the server applies.
+func (s *Server) Threshold() float64 { return s.cfg.Threshold }
+
+// Shards returns the worker-shard count.
+func (s *Server) Shards() int { return s.cfg.Shards }
+
+// ShardOf exposes the shard assignment of a source id (the consistent-hash
+// map the fronts and tests share).
+func (s *Server) ShardOf(source []byte) int { return s.ring.Shard(source) }
+
+// Submit scores one request through its source's shard, blocking until the
+// shard answers. The error is nil for a scored outcome, or one of the
+// admission errors (ErrOverloaded, ErrDraining, ErrUnavailable,
+// ErrInternal); a request failing Validate is returned unscored with the
+// validation error.
+func (s *Server) Submit(req Request) (Outcome, error) {
+	if err := req.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	t := s.pool.Get().(*task)
+	t.req = req
+	t.source = req.Node.String()
+
+	sh := s.shards[s.ring.Shard(req.Node[:])]
+	s.admission.RLock()
+	if s.draining {
+		s.admission.RUnlock()
+		s.pool.Put(t)
+		s.rejDraining.Add(1)
+		s.met.reject(RejectDraining)
+		return Outcome{}, ErrDraining
+	}
+	select {
+	case sh.tasks <- t:
+		s.inflight.Add(1)
+		s.admitted.Add(1)
+		s.admission.RUnlock()
+	default:
+		s.admission.RUnlock()
+		s.pool.Put(t)
+		s.rejOverload.Add(1)
+		s.met.reject(RejectOverloaded)
+		return Outcome{}, ErrOverloaded
+	}
+	s.met.admitted.Inc()
+
+	r := <-t.done
+	s.inflight.Done()
+	t.req.Cues = nil // drop the reference so pooled tasks do not pin cue slices
+	s.pool.Put(t)
+	switch r.reject {
+	case RejectNone:
+		return r.out, nil
+	case RejectUnavailable:
+		return Outcome{}, ErrUnavailable
+	default:
+		return Outcome{}, ErrInternal
+	}
+}
+
+// Drain stops admitting new requests, waits until every already-admitted
+// request has been answered, and stops the shard workers. It is
+// idempotent and safe to call concurrently with Submit: a Submit racing
+// the transition either completes normally or reports ErrDraining.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() {
+		s.admission.Lock()
+		s.draining = true
+		s.admission.Unlock()
+		// Every admitted task has been queued; wait for its answer.
+		s.inflight.Wait()
+		for _, sh := range s.shards {
+			close(sh.tasks)
+		}
+		for _, sh := range s.shards {
+			<-sh.done
+		}
+		close(s.drained)
+	})
+	<-s.drained
+}
+
+// Draining reports whether the server has begun (or finished) draining.
+func (s *Server) Draining() bool {
+	s.admission.RLock()
+	defer s.admission.RUnlock()
+	return s.draining
+}
+
+// Stats snapshots the accounting counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Admitted:            s.admitted.Load(),
+		Accepted:            s.accepted.Load(),
+		Discarded:           s.discarded.Load(),
+		Epsilon:             s.epsilon.Load(),
+		RejectedOverload:    s.rejOverload.Load(),
+		RejectedDraining:    s.rejDraining.Load(),
+		RejectedUnavailable: s.rejNoModel.Load(),
+		RejectedInternal:    s.rejInternal.Load(),
+		Batches:             s.batches.Load(),
+		MaxBatch:            s.maxBatch.Load(),
+	}
+}
+
+// run is the shard worker loop: block for the first task, fold every
+// further queued task up to the batch cap without blocking, score the
+// batch against a single model snapshot, and answer each task. This is
+// the serving hot loop — its buffers are shard-owned and reused, so the
+// steady state performs no allocation beyond ScoreBatch's own accounted
+// buffers.
+//
+//cqm:hotpath
+func (sh *shard) run() {
+	defer close(sh.done)
+	for {
+		t, ok := <-sh.tasks
+		if !ok {
+			return
+		}
+		sh.batch = append(sh.batch[:0], t) //lint:ignore hotpath-alloc shard-owned buffer at fixed cap; append never grows past BatchSize
+	fold:
+		for len(sh.batch) < sh.srv.cfg.BatchSize {
+			select {
+			case t2, ok2 := <-sh.tasks:
+				if !ok2 {
+					break fold
+				}
+				sh.batch = append(sh.batch, t2) //lint:ignore hotpath-alloc shard-owned buffer at fixed cap; append never grows past BatchSize
+			default:
+				break fold
+			}
+		}
+		sh.score()
+	}
+}
+
+// score answers every task in the current batch. The model handle is
+// loaded exactly once per batch: a hot swap lands between batches, never
+// inside one.
+func (sh *shard) score() {
+	srv := sh.srv
+	n := uint64(len(sh.batch))
+	srv.batches.Add(1)
+	for prev := srv.maxBatch.Load(); n > prev && !srv.maxBatch.CompareAndSwap(prev, n); prev = srv.maxBatch.Load() {
+	}
+	srv.met.batches.Inc()
+	srv.met.batchSize.Observe(float64(n))
+
+	m := srv.cfg.Handle.Load()
+	if m == nil {
+		sh.rejectAll(RejectUnavailable)
+		return
+	}
+	sh.obs = sh.obs[:0]
+	for _, t := range sh.batch {
+		sh.obs = append(sh.obs, core.Observation{ //lint:ignore hotpath-alloc shard-owned buffer at fixed cap; append never grows past BatchSize
+			Cues:  t.req.Cues,
+			Class: sensor.ContextByID(int(t.req.ClassID)),
+		})
+	}
+	qs, okv, err := m.ScoreBatch(sh.obs, nil)
+	if err != nil {
+		// ScoreBatch fails as a whole only on an unbuilt system or a
+		// non-ε scoring error; both are explicit rejections, not drops.
+		sh.rejectAll(RejectInternal)
+		return
+	}
+	sh.outs = sh.outs[:0]
+	for i, t := range sh.batch {
+		var out Outcome
+		if !okv[i] {
+			out.Status = StatusEpsilon
+			srv.epsilon.Add(1)
+		} else if out.Q = qs[i]; out.Q > srv.cfg.Threshold {
+			out.Status = StatusAccepted
+			srv.accepted.Add(1)
+		} else {
+			out.Status = StatusDiscarded
+			srv.discarded.Add(1)
+		}
+		srv.met.scored(out.Status)
+		if srv.cfg.Quality != nil {
+			srv.cfg.Quality.Observe(quality.Observation{
+				Source: t.source,
+				At:     float64(t.req.SentMillis) / 1000,
+				Q:      out.Q,
+				HasQ:   out.Status != StatusEpsilon,
+			})
+		}
+		sh.outs = append(sh.outs, out) //lint:ignore hotpath-alloc shard-owned buffer at fixed cap; append never grows past BatchSize
+		t.done <- result{out: out}
+	}
+	if srv.cfg.BatchObserver != nil {
+		srv.cfg.BatchObserver(m, sh.outs)
+	}
+}
+
+// rejectAll answers the whole batch with one explicit rejection code.
+func (sh *shard) rejectAll(code RejectCode) {
+	srv := sh.srv
+	for _, t := range sh.batch {
+		if code == RejectUnavailable {
+			srv.rejNoModel.Add(1)
+		} else {
+			srv.rejInternal.Add(1)
+		}
+		srv.met.reject(code)
+		t.done <- result{reject: code}
+	}
+}

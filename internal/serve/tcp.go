@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+)
+
+// connWorkers is the per-connection submit pool: the number of requests a
+// single pipelined connection may have in flight. It is what lets shard
+// batches form — a connection submitting serially would cap every batch
+// at one frame.
+const connWorkers = 128
+
+// connQueue bounds the decoded-request and encoded-response queues of one
+// connection.
+const connQueue = 512
+
+// ServeBinary accepts connections speaking the binary frame protocol
+// until the listener is closed, then waits for the open connections'
+// in-flight requests to finish. Each connection is fully pipelined:
+// requests are decoded as fast as they arrive, scored concurrently by a
+// bounded worker pool, and answered in completion order (clients match on
+// the echoed node/seq). A malformed frame answers with one best-effort
+// reject frame and closes the connection — a desynchronized byte stream
+// cannot be re-synchronized safely.
+func (s *Server) ServeBinary(ln net.Listener) error {
+	var conns sync.WaitGroup
+	defer conns.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		conns.Add(1)
+		go func() {
+			defer conns.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn runs one connection: a reader decoding frames, a pool of
+// submit workers, and a writer coalescing response frames into large
+// writes.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+
+	reqCh := make(chan Request, connQueue)
+	respCh := make(chan []byte, connQueue)
+
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		writeResponses(conn, respCh)
+	}()
+
+	var workers sync.WaitGroup
+	for i := 0; i < connWorkers; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for req := range reqCh {
+				respCh <- s.answer(req)
+			}
+		}()
+	}
+
+	r := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		req, err := ReadRequest(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Best-effort protocol reject before closing; the client
+				// cannot be answered per-request once framing is lost.
+				if frame, encErr := EncodeResponse(Response{Rejected: true, Reject: RejectProtocol}); encErr == nil {
+					respCh <- frame
+				}
+			}
+			break
+		}
+		reqCh <- req
+	}
+	close(reqCh)
+	workers.Wait()
+	close(respCh)
+	writer.Wait()
+}
+
+// answer scores one request and encodes its response frame.
+func (s *Server) answer(req Request) []byte {
+	out, err := s.Submit(req)
+	resp := Response{Node: req.Node, Seq: req.Seq, SentMillis: req.SentMillis}
+	if err != nil {
+		resp.Rejected = true
+		resp.Reject = rejectCodeFor(err)
+	} else {
+		resp.Status = out.Status
+		resp.Q = out.Q
+	}
+	frame, encErr := EncodeResponse(resp)
+	if encErr != nil {
+		// Unreachable: outcomes are always encodable (q ∈ [0,1]); keep
+		// the connection alive with an internal reject if it ever isn't.
+		frame, _ = EncodeResponse(Response{Node: req.Node, Seq: req.Seq, SentMillis: req.SentMillis, Rejected: true, Reject: RejectInternal})
+	}
+	return frame
+}
+
+// writeResponses drains the response queue into the connection,
+// coalescing bursts into one buffered write and flushing only when the
+// queue momentarily empties.
+func writeResponses(conn net.Conn, respCh <-chan []byte) {
+	w := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		frame, ok := <-respCh
+		if !ok {
+			_ = w.Flush()
+			return
+		}
+		if _, err := w.Write(frame); err != nil {
+			drainFrames(respCh)
+			return
+		}
+	coalesce: // fold everything already queued before paying a flush
+		for {
+			select {
+			case more, ok := <-respCh:
+				if !ok {
+					_ = w.Flush()
+					return
+				}
+				if _, err := w.Write(more); err != nil {
+					drainFrames(respCh)
+					return
+				}
+			default:
+				break coalesce
+			}
+		}
+		if err := w.Flush(); err != nil {
+			drainFrames(respCh)
+			return
+		}
+	}
+}
+
+// drainFrames discards queued responses after a write failure so the
+// submit workers never block on a dead connection.
+func drainFrames(respCh <-chan []byte) {
+	for range respCh {
+	}
+}
