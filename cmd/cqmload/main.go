@@ -13,6 +13,12 @@
 // process, starts a loopback cqmserve core, and loads that — one command
 // produces serving numbers on any machine. Results are written to
 // -out (default BENCH_serve.json) via the crash-safe artifact writer.
+//
+// With -chaos the harness instead routes a resilient client fleet through
+// a seeded fault-injecting proxy (internal/chaos) and writes
+// BENCH_chaos.json: throughput and latency under resets, burst blackholes,
+// slow-loris dribbling, corruption, and injected delay, plus the end-state
+// accounting proving no request was silently lost on either side.
 package main
 
 import (
@@ -47,6 +53,9 @@ type options struct {
 	batch     int
 	threshold float64
 	out       string
+
+	chaos        bool
+	chaosWorkers int
 }
 
 func main() {
@@ -62,10 +71,24 @@ func main() {
 	flag.IntVar(&opts.queue, "queue", 4096, "self-serve per-shard queue depth")
 	flag.IntVar(&opts.batch, "batch", 256, "self-serve batch size cap")
 	flag.Float64Var(&opts.threshold, "threshold", -1, "self-serve threshold (negative = trained)")
-	flag.StringVar(&opts.out, "out", "BENCH_serve.json", "write the JSON report here (empty = skip)")
+	flag.StringVar(&opts.out, "out", "", "write the JSON report here (default BENCH_serve.json, BENCH_chaos.json with -chaos; \"-\" = skip)")
+	flag.BoolVar(&opts.chaos, "chaos", false, "run through a seeded fault-injecting proxy with the resilient client fleet")
+	flag.IntVar(&opts.chaosWorkers, "chaos-workers", 32, "concurrent requests in -chaos mode")
 	flag.Parse()
 
-	if err := run(opts); err != nil {
+	switch {
+	case opts.out == "-":
+		opts.out = ""
+	case opts.out == "" && opts.chaos:
+		opts.out = "BENCH_chaos.json"
+	case opts.out == "":
+		opts.out = "BENCH_serve.json"
+	}
+	runMode := run
+	if opts.chaos {
+		runMode = runChaos
+	}
+	if err := runMode(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "cqmload: %v\n", err)
 		os.Exit(1)
 	}
@@ -192,13 +215,21 @@ func selfServe(opts options) (*serve.Server, net.Listener, error) {
 	if threshold < 0 {
 		threshold = trained
 	}
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Shards:     shards,
 		QueueDepth: opts.queue,
 		BatchSize:  opts.batch,
 		Threshold:  threshold,
 		Handle:     ckpt.NewHandle(m),
-	})
+	}
+	if opts.chaos {
+		// Under chaos the core's own defenses are part of what is being
+		// measured: shedding on sustained queue delay and a short idle
+		// deadline that disconnects dribbling or blackholed peers.
+		cfg.ShedTarget = 25 * time.Millisecond
+		cfg.IdleTimeout = 2 * time.Second
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -19,7 +19,6 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -34,18 +33,21 @@ import (
 )
 
 type options struct {
-	addr       string
-	binary     string
-	shards     int
-	queue      int
-	batch      int
-	model      string
-	watch      time.Duration
-	threshold  float64
-	trainSeed  int64
-	workers    int
-	metricsOut string
-	pprof      bool
+	addr         string
+	binary       string
+	shards       int
+	queue        int
+	batch        int
+	model        string
+	watch        time.Duration
+	threshold    float64
+	trainSeed    int64
+	workers      int
+	metricsOut   string
+	pprof        bool
+	shedTarget   time.Duration
+	shedInterval time.Duration
+	idleTimeout  time.Duration
 }
 
 func main() {
@@ -62,6 +64,9 @@ func main() {
 	flag.IntVar(&opts.workers, "workers", 0, "training worker count (0 = one per CPU); the model is identical at every setting")
 	flag.StringVar(&opts.metricsOut, "metrics-out", "", "flush a final JSON metrics snapshot to this file on shutdown")
 	flag.BoolVar(&opts.pprof, "pprof", false, "serve net/http/pprof handlers at /debug/pprof/")
+	flag.DurationVar(&opts.shedTarget, "shed-target", 25*time.Millisecond, "CoDel load-shedding target queue sojourn (0 = shedding off)")
+	flag.DurationVar(&opts.shedInterval, "shed-interval", 100*time.Millisecond, "CoDel load-shedding observation interval")
+	flag.DurationVar(&opts.idleTimeout, "idle-timeout", 2*time.Minute, "disconnect binary peers idle or dribbling for this long (negative = off)")
 	flag.Parse()
 
 	if err := run(opts); err != nil {
@@ -109,13 +114,16 @@ func run(opts options) error {
 
 	engine := quality.NewEngine(quality.Config{Threshold: threshold, Metrics: reg})
 	srv, err := serve.New(serve.Config{
-		Shards:     opts.shards,
-		QueueDepth: opts.queue,
-		BatchSize:  opts.batch,
-		Threshold:  threshold,
-		Handle:     handle,
-		Metrics:    reg,
-		Quality:    engine,
+		Shards:       opts.shards,
+		QueueDepth:   opts.queue,
+		BatchSize:    opts.batch,
+		Threshold:    threshold,
+		Handle:       handle,
+		Metrics:      reg,
+		Quality:      engine,
+		ShedTarget:   opts.shedTarget,
+		ShedInterval: opts.shedInterval,
+		IdleTimeout:  opts.idleTimeout,
 	})
 	if err != nil {
 		return err
@@ -130,7 +138,7 @@ func run(opts options) error {
 	if err != nil {
 		return fmt.Errorf("http listener: %w", err)
 	}
-	httpSrv := &http.Server{Handler: mux}
+	httpSrv := serve.NewHTTPServer(mux)
 	go func() { _ = httpSrv.Serve(httpLn) }()
 	fmt.Printf("http: http://%s/score (%d shards, queue %d, batch %d, threshold %.3f)\n",
 		httpLn.Addr(), opts.shards, opts.queue, opts.batch, threshold)
@@ -176,10 +184,11 @@ func run(opts options) error {
 	_ = httpSrv.Shutdown(ctx)
 
 	stats := srv.Stats()
-	fmt.Printf("drained: admitted %d, scored %d (accept %d / discard %d / ε %d), rejected %d overload, %d draining, %d no-model, %d internal\n",
+	fmt.Printf("drained: admitted %d, scored %d (accept %d / discard %d / ε %d), rejected %d overload, %d draining, %d no-model, %d internal, %d deadline, %d shed; %d shard restarts\n",
 		stats.Admitted, stats.Scored(), stats.Accepted, stats.Discarded, stats.Epsilon,
-		stats.RejectedOverload, stats.RejectedDraining, stats.RejectedUnavailable, stats.RejectedInternal)
-	if answered := stats.Scored() + stats.RejectedUnavailable + stats.RejectedInternal; answered != stats.Admitted {
+		stats.RejectedOverload, stats.RejectedDraining, stats.RejectedUnavailable, stats.RejectedInternal,
+		stats.RejectedDeadline, stats.RejectedShed, stats.ShardRestarts)
+	if answered := stats.Scored() + stats.AdmittedRejects(); answered != stats.Admitted {
 		return fmt.Errorf("drain accounting violated: admitted %d, answered %d", stats.Admitted, answered)
 	}
 

@@ -1,0 +1,217 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cqm/internal/fault"
+)
+
+// Kind enumerates what the proxy may do to one forwarded chunk.
+type Kind uint8
+
+// Decision kinds, in precedence order (Reset beats Blackhole beats the
+// probabilistic faults beats Forward).
+const (
+	// Forward passes the chunk through untouched.
+	Forward Kind = iota
+	// Delay forwards the chunk after sleeping Arg nanoseconds; the delay
+	// distribution is heavy-tailed (most delays near DelayBase, a few near
+	// DelayMax), mimicking queueing jitter rather than a fixed RTT.
+	Delay
+	// Dribble forwards the chunk in small slices with Arg nanoseconds
+	// between them — the slow-loris pattern that exercises per-frame idle
+	// deadlines on the server.
+	Dribble
+	// Truncate forwards only a prefix of the chunk (Arg is the permille
+	// kept) and then closes the connection, leaving the peer with a
+	// partial frame.
+	Truncate
+	// Corrupt XORs one byte of the chunk (position and mask derived from
+	// Arg) and forwards it, exercising the receiver's CRC path.
+	Corrupt
+	// Blackhole silently swallows the chunk. Blackholes arrive in
+	// Gilbert–Elliott bursts, not as independent coin flips.
+	Blackhole
+	// Reset tears the connection down with an RST (SetLinger(0) + Close).
+	Reset
+)
+
+// kindCount is the number of decision kinds.
+const kindCount = 7
+
+// String names the kind for stats and logs.
+func (k Kind) String() string {
+	switch k {
+	case Forward:
+		return "forward"
+	case Delay:
+		return "delay"
+	case Dribble:
+		return "dribble"
+	case Truncate:
+		return "truncate"
+	case Corrupt:
+		return "corrupt"
+	case Blackhole:
+		return "blackhole"
+	case Reset:
+		return "reset"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Decision is one entry of a chaos schedule: what to do to the next chunk
+// and with what argument. Arg is content-independent (a duration, a
+// fraction, or raw random material) so the schedule is a pure function of
+// the seed — it never depends on what bytes happen to flow.
+type Decision struct {
+	Kind Kind
+	Arg  int64
+}
+
+// Config parameterizes a chaos proxy. All probabilities are per forwarded
+// chunk; the zero value forwards everything untouched.
+type Config struct {
+	// Seed roots every per-stream RNG. Two proxies with equal Config
+	// produce bit-identical decision schedules stream for stream.
+	Seed int64
+	// ResetProb is the per-chunk probability of an RST teardown.
+	ResetProb float64
+	// BlackholeRate is the long-run fraction of chunks swallowed by the
+	// Gilbert–Elliott burst channel (clamped to [0, 0.8] by fault.BurstLoss).
+	BlackholeRate float64
+	// TruncateProb, CorruptProb, DribbleProb, DelayProb select among the
+	// non-fatal faults; their sum must not exceed 1.
+	TruncateProb float64
+	CorruptProb  float64
+	DribbleProb  float64
+	DelayProb    float64
+	// DelayBase and DelayMax bound the heavy-tailed injected latency.
+	DelayBase time.Duration
+	DelayMax  time.Duration
+	// DribbleDelay is the pause between dribbled slices.
+	DribbleDelay time.Duration
+	// IdleTimeout disconnects a proxied stream with no traffic for this
+	// long (0 = a 30s default; negative = unbounded). It keeps blackholed
+	// streams from pinning pump goroutines forever.
+	IdleTimeout time.Duration
+	// Record keeps every stream's decision schedule in memory for replay
+	// comparison (tests only; unbounded growth otherwise).
+	Record bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	for _, p := range []float64{c.ResetProb, c.TruncateProb, c.CorruptProb, c.DribbleProb, c.DelayProb} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("chaos: probability %v outside [0,1]", p)
+		}
+	}
+	if sum := c.TruncateProb + c.CorruptProb + c.DribbleProb + c.DelayProb; sum > 1 {
+		return fmt.Errorf("chaos: fault probabilities sum to %v > 1", sum)
+	}
+	if c.BlackholeRate < 0 {
+		return fmt.Errorf("chaos: negative blackhole rate %v", c.BlackholeRate)
+	}
+	if c.DelayBase < 0 || c.DelayMax < c.DelayBase {
+		return fmt.Errorf("chaos: delay range [%v, %v] invalid", c.DelayBase, c.DelayMax)
+	}
+	if c.DribbleDelay < 0 {
+		return fmt.Errorf("chaos: negative dribble delay %v", c.DribbleDelay)
+	}
+	return nil
+}
+
+// streamSeed mixes the proxy seed with a stream index (SplitMix64 finalizer)
+// so per-stream RNGs are decorrelated but reproducible.
+func streamSeed(seed, stream int64) int64 {
+	z := uint64(seed) + uint64(stream)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Decider draws the chaos schedule of one proxied stream direction. Every
+// Next call consumes exactly five RNG draws (two inside the burst channel,
+// three here) regardless of the outcome, so decision streams from the same
+// seed are bit-identical no matter which faults fire. Not safe for
+// concurrent use; each pump goroutine owns its own Decider.
+type Decider struct {
+	cfg      Config
+	rng      *rand.Rand
+	ge       *fault.GilbertElliott
+	schedule []Decision
+}
+
+// NewDecider returns the decider of stream `stream` under cfg. Stream
+// indices are assigned by the proxy: connection n uses 2n for the
+// client→server direction and 2n+1 for server→client.
+func NewDecider(cfg Config, stream int64) *Decider {
+	return &Decider{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(streamSeed(cfg.Seed, stream))),
+		ge:  fault.BurstLoss(cfg.BlackholeRate),
+	}
+}
+
+// Next draws the decision for the next chunk.
+func (d *Decider) Next() Decision {
+	drop := d.ge.Drop(d.rng)
+	resetDraw := d.rng.Float64()
+	faultDraw := d.rng.Float64()
+	mag := d.rng.Int63()
+
+	var dec Decision
+	switch {
+	case resetDraw < d.cfg.ResetProb:
+		dec = Decision{Kind: Reset}
+	case drop:
+		dec = Decision{Kind: Blackhole}
+	default:
+		dec = d.pick(faultDraw, mag)
+	}
+	if d.cfg.Record {
+		d.schedule = append(d.schedule, dec)
+	}
+	return dec
+}
+
+// pick selects among the non-fatal faults by cumulative probability and
+// derives the decision argument from mag.
+func (d *Decider) pick(p float64, mag int64) Decision {
+	if p < d.cfg.TruncateProb {
+		return Decision{Kind: Truncate, Arg: mag % 1000}
+	}
+	p -= d.cfg.TruncateProb
+	if p < d.cfg.CorruptProb {
+		return Decision{Kind: Corrupt, Arg: mag}
+	}
+	p -= d.cfg.CorruptProb
+	if p < d.cfg.DribbleProb {
+		return Decision{Kind: Dribble, Arg: int64(d.cfg.DribbleDelay)}
+	}
+	p -= d.cfg.DribbleProb
+	if p < d.cfg.DelayProb {
+		return Decision{Kind: Delay, Arg: int64(d.delay(mag))}
+	}
+	return Decision{Kind: Forward}
+}
+
+// delay maps raw random material onto the heavy-tailed latency range:
+// cubing the uniform draw concentrates mass near DelayBase while keeping a
+// thin tail out to DelayMax.
+func (d *Decider) delay(mag int64) time.Duration {
+	u := float64(mag%1_000_000) / 1e6
+	return d.cfg.DelayBase + time.Duration(u*u*u*float64(d.cfg.DelayMax-d.cfg.DelayBase))
+}
+
+// Schedule returns a copy of the recorded decision stream (empty unless
+// Config.Record).
+func (d *Decider) Schedule() []Decision {
+	out := make([]Decision, len(d.schedule))
+	copy(out, d.schedule)
+	return out
+}

@@ -1,0 +1,23 @@
+// Package chaos is a seeded, deterministic fault-injecting TCP proxy for
+// the serving stack: it sits between a client and cqmserve's binary front
+// and subjects the byte stream to the failure modes a radio link or a
+// congested datacenter path exhibits — added latency with a heavy tail,
+// abrupt connection resets, slow-loris byte dribbling, frame truncation
+// and bit corruption, and Gilbert–Elliott burst blackhole windows (reusing
+// internal/fault's two-state channel so blackholes arrive in bursts, not
+// as i.i.d. coin flips).
+//
+// Determinism is the package's contract: every fault decision is drawn
+// from a per-direction RNG seeded by (Config.Seed, stream index) with a
+// fixed number of draws per decision, so the decision stream — the chaos
+// schedule — is a pure function of the seed. Two runs with the same seed
+// replay bit-identical schedules regardless of outcomes, which is what
+// lets the chaos invariant tests assert exact conservation properties
+// under fire. (What a schedule entry is applied to — the chunk a TCP read
+// happens to return — still depends on kernel timing; the schedule itself
+// does not.)
+//
+// The proxy never silently eats accounting: every decision is counted by
+// kind, and a recorded schedule can be dumped per stream for replay
+// comparison.
+package chaos

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	register(&Check{
+		Name: "conn-deadline",
+		Doc:  "network Read/Write loop in internal/ library code with no deadline armed in the enclosing function",
+		Run:  runConnDeadline,
+	})
+}
+
+// deadlineSetters are the methods whose presence anywhere in a function
+// counts as arming a deadline. A mention is enough — both a direct call
+// and a method value handed to a helper (armDeadline(conn.SetReadDeadline,
+// idle)) express the same intent.
+var deadlineSetters = map[string]bool{
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+}
+
+// ioTransferFuncs are the io helpers that block on a reader or writer
+// argument; a deadline-capable argument makes them equivalent to a direct
+// conn.Read/conn.Write at the call site.
+var ioTransferFuncs = map[string]bool{
+	"ReadFull": true, "ReadAtLeast": true,
+	"Copy": true, "CopyN": true, "CopyBuffer": true,
+}
+
+// runConnDeadline enforces the serving stack's liveness contract: a loop
+// that reads from or writes to a deadline-capable connection (anything
+// with a SetReadDeadline method — net.Conn and friends) can be pinned
+// forever by a stalled or dribbling peer unless the enclosing function
+// arms a deadline. The chaos harness proved this is not hypothetical: a
+// one-byte-per-interval client holds a deadline-free reader goroutine for
+// the life of the process. The check is per-function and syntactic on the
+// arming side: any Set{Read,Write,}Deadline mention in the function —
+// called directly or passed as a method value — counts, because the
+// common idiom re-arms inside the loop via a helper. Test files are
+// exempt; they pin liveness through test timeouts instead.
+func runConnDeadline(pass *Pass) {
+	if !pass.Internal {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if mentionsDeadlineSetter(fd.Body) {
+				continue
+			}
+			reportUnboundedConnIO(pass, fd.Body)
+		}
+	}
+}
+
+// mentionsDeadlineSetter reports whether any selector in the body names a
+// deadline setter, as a call or as a bare method value.
+func mentionsDeadlineSetter(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && deadlineSetters[sel.Sel.Name] {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// reportUnboundedConnIO flags every deadline-capable Read/Write (direct or
+// through an io transfer helper) that sits inside a for loop in body.
+func reportUnboundedConnIO(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			loopBody = loop.Body
+		case *ast.RangeStmt:
+			loopBody = loop.Body
+		default:
+			return true
+		}
+		ast.Inspect(loopBody, func(in ast.Node) bool {
+			call, ok := in.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op, conn := connIOCall(pass, call); conn != nil {
+				pass.Reportf(call.Pos(),
+					"%s on a deadline-capable connection inside a loop, but the function never arms Set{Read,Write,}Deadline; a stalled peer pins this goroutine forever", op)
+			}
+			return true
+		})
+		// The inner Inspect already covered nested loops' bodies.
+		return false
+	})
+}
+
+// connIOCall classifies call as blocking connection I/O: a Read/Write
+// method on a deadline-capable value, or an io transfer helper with a
+// deadline-capable argument. It returns a description and the connection
+// expression, or "" and nil.
+func connIOCall(pass *Pass, call *ast.CallExpr) (string, ast.Expr) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		name := sel.Sel.Name
+		if (name == "Read" || name == "Write") && deadlineCapable(pass, sel.X) {
+			return name, sel.X
+		}
+	}
+	if pkg, name := calleePkgFunc(pass, call); pkg == "io" && ioTransferFuncs[name] {
+		for _, arg := range call.Args {
+			if deadlineCapable(pass, arg) {
+				return "io." + name, arg
+			}
+		}
+	}
+	return "", nil
+}
+
+// deadlineCapable reports whether expr's type has a SetReadDeadline
+// method — the duck-typed signature of net.Conn and every stdlib
+// connection type.
+func deadlineCapable(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(tv.Type, true, pass.Pkg, "SetReadDeadline")
+	_, isFunc := obj.(*types.Func)
+	return isFunc
+}

@@ -1,0 +1,41 @@
+// Positive corpus: connection I/O loops with no deadline in sight.
+package sample
+
+import (
+	"io"
+	"net"
+)
+
+func readLoop(conn net.Conn) {
+	buf := make([]byte, 1024)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+func writeLoop(conn *net.TCPConn, frames [][]byte) {
+	for _, f := range frames {
+		if _, err := conn.Write(f); err != nil {
+			return
+		}
+	}
+}
+
+func fullFrameLoop(conn net.Conn) {
+	var frame [64]byte
+	for {
+		if _, err := io.ReadFull(conn, frame[:]); err != nil {
+			return
+		}
+	}
+}
+
+func relay(dst, src net.Conn) {
+	for {
+		if _, err := io.Copy(dst, src); err != nil {
+			return
+		}
+	}
+}

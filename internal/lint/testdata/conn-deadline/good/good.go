@@ -1,0 +1,64 @@
+// Negative corpus: connection loops with deadlines armed, plus shapes the
+// check must leave alone.
+package sample
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"time"
+)
+
+func readLoopArmed(conn net.Conn) {
+	buf := make([]byte, 1024)
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// methodValueArmed re-arms through a helper: the setter appears only as a
+// method value, which must still count.
+func methodValueArmed(conn net.Conn) {
+	var frame [64]byte
+	for {
+		arm(conn.SetReadDeadline, time.Second)
+		if _, err := io.ReadFull(conn, frame[:]); err != nil {
+			return
+		}
+	}
+}
+
+func arm(set func(time.Time) error, d time.Duration) {
+	_ = set(time.Now().Add(d))
+}
+
+// plainReaderLoop reads from a reader with no deadline surface — files and
+// buffers cannot stall on a peer.
+func plainReaderLoop(r *bytes.Reader) {
+	buf := make([]byte, 16)
+	for {
+		if _, err := r.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// singleRead blocks at most once; only loops accumulate unbounded stalls.
+func singleRead(conn net.Conn) {
+	buf := make([]byte, 16)
+	_, _ = conn.Read(buf)
+}
+
+// waived documents why the loop is deliberately unbounded.
+func waived(conn net.Conn) {
+	buf := make([]byte, 16)
+	for {
+		//lint:ignore conn-deadline the caller owns this conn's deadline
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}

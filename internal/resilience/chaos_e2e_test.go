@@ -1,0 +1,240 @@
+package resilience
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cqm/internal/chaos"
+	"cqm/internal/ckpt"
+	"cqm/internal/core"
+	"cqm/internal/fuzzy"
+	"cqm/internal/particle"
+	"cqm/internal/serve"
+)
+
+// chaosTestProfile is hostile enough that every failure mode fires within
+// a few hundred requests while most requests still finish.
+func chaosTestProfile(seed int64) chaos.Config {
+	return chaos.Config{
+		Seed:          seed,
+		ResetProb:     0.05,
+		BlackholeRate: 0.1,
+		TruncateProb:  0.02,
+		CorruptProb:   0.02,
+		DribbleProb:   0.05,
+		DelayProb:     0.2,
+		DelayBase:     time.Millisecond,
+		DelayMax:      10 * time.Millisecond,
+		DribbleDelay:  500 * time.Microsecond,
+		IdleTimeout:   300 * time.Millisecond,
+		Record:        true,
+	}
+}
+
+// constMeasure builds a constant-q model (no training pass needed).
+func constMeasure(t *testing.T, bias float64) *core.Measure {
+	t.Helper()
+	sys, err := fuzzy.NewTSK(2, []fuzzy.Rule{{
+		Antecedent: []fuzzy.Gaussian{{Mu: 0.5, Sigma: 10}, {Mu: 0, Sigma: 10}},
+		Coeffs:     []float64{0, 0, bias},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.MeasureFromSystem(sys)
+}
+
+// chaosScenario is one full-stack run: hardened server, chaos proxy,
+// resilient client fleet, fixed request count.
+type chaosScenario struct {
+	seed     int64
+	shards   int
+	workers  int
+	perWork  int
+	panicky  bool
+	requests uint64
+
+	responses uint64
+	deadline  uint64
+	open      uint64
+	exhausted uint64
+
+	server    serve.Stats
+	schedules map[int64][]chaos.Decision
+	counts    [7]uint64
+}
+
+// run executes the scenario and checks both halves of the chaos invariant:
+// the client half (every request ends in a response or typed error) and
+// the server half (every admitted frame is scored or explicitly rejected).
+func (sc *chaosScenario) run(t *testing.T) {
+	t.Helper()
+	cfg := serve.Config{
+		Shards:      sc.shards,
+		Threshold:   0.5,
+		Handle:      ckpt.NewHandle(constMeasure(t, 0.75)),
+		ShedTarget:  10 * time.Millisecond,
+		IdleTimeout: 500 * time.Millisecond,
+	}
+	if sc.panicky {
+		var batches atomic.Uint64
+		cfg.BatchObserver = func(m *core.Measure, outs []serve.Outcome) {
+			if batches.Add(1)%5 == 0 {
+				panic("chaos: injected shard panic")
+			}
+		}
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.ServeBinary(ln) }()
+
+	proxy, err := chaos.New(chaosTestProfile(sc.seed), ln.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clients := make([]*Client, 4)
+	for i := range clients {
+		clients[i] = New(Config{
+			Addr:             proxy.Addr(),
+			Seed:             sc.seed + int64(i),
+			RequestTimeout:   500 * time.Millisecond,
+			MaxRetries:       3,
+			BackoffBase:      2 * time.Millisecond,
+			BackoffCap:       50 * time.Millisecond,
+			BreakerThreshold: 6,
+			BreakerCooldown:  50 * time.Millisecond,
+		})
+	}
+
+	var responses, deadline, open, exhausted atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < sc.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := clients[w%len(clients)]
+			for i := 0; i < sc.perWork; i++ {
+				req := serve.Request{
+					Node:    particle.NodeIDFromString("pen"),
+					Seq:     uint16(w*sc.perWork + i),
+					ClassID: 1,
+					Cues:    []float64{0.5},
+				}
+				_, err := cl.Do(req)
+				switch {
+				case err == nil:
+					responses.Add(1)
+				case errors.Is(err, ErrBreakerOpen):
+					open.Add(1)
+				case isDeadline(err):
+					deadline.Add(1)
+				case isExhausted(err):
+					exhausted.Add(1)
+				default:
+					t.Errorf("worker %d request %d: untyped error %v", w, i, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for _, cl := range clients {
+		cl.Close()
+	}
+	_ = proxy.Close()
+	_ = ln.Close()
+	if err := <-serveDone; err != nil {
+		t.Fatalf("ServeBinary: %v", err)
+	}
+	srv.Drain()
+
+	sc.requests = uint64(sc.workers * sc.perWork)
+	sc.responses = responses.Load()
+	sc.deadline = deadline.Load()
+	sc.open = open.Load()
+	sc.exhausted = exhausted.Load()
+	sc.server = srv.Stats()
+	sc.schedules = proxy.Schedules()
+	sc.counts = proxy.Counts()
+
+	// Client half of the invariant: exact conservation of requests.
+	if got := sc.responses + sc.deadline + sc.open + sc.exhausted; got != sc.requests {
+		t.Fatalf("client conservation violated: %d requests, %d terminal outcomes", sc.requests, got)
+	}
+	var agg Stats
+	for _, cl := range clients {
+		st := cl.Stats()
+		agg.Requests += st.Requests
+		agg.Responses += st.Responses
+		agg.DeadlineErrors += st.DeadlineErrors
+		agg.BreakerFastFails += st.BreakerFastFails
+		agg.Exhausted += st.Exhausted
+	}
+	if got := agg.Responses + agg.DeadlineErrors + agg.BreakerFastFails + agg.Exhausted; got != agg.Requests {
+		t.Fatalf("client stats conservation violated: %+v", agg)
+	}
+
+	// Server half: nothing admitted went unanswered, across deadline
+	// rejections, shedding, and injected shard panics.
+	if got := sc.server.Scored() + sc.server.AdmittedRejects(); got != sc.server.Admitted {
+		t.Fatalf("server drain invariant violated: admitted %d, answered %d (stats %+v)",
+			sc.server.Admitted, got, sc.server)
+	}
+
+	// Schedule determinism: every recorded per-stream schedule must be
+	// exactly a prefix of the pure decider stream for that (seed, stream)
+	// — bit-identical replay from the seed alone.
+	profile := chaosTestProfile(sc.seed)
+	for stream, got := range sc.schedules {
+		ref := chaos.NewDecider(profile, stream)
+		for i, dec := range got {
+			if want := ref.Next(); dec != want {
+				t.Fatalf("stream %d decision %d = %+v, want %+v", stream, i, dec, want)
+			}
+		}
+	}
+}
+
+func isDeadline(err error) bool  { return errors.Is(err, ErrDeadline) }
+func isExhausted(err error) bool { return errors.Is(err, ErrExhausted) }
+
+func TestChaosInvariantSingleShard(t *testing.T) {
+	sc := &chaosScenario{seed: 42, shards: 1, workers: 8, perWork: 60, panicky: true}
+	sc.run(t)
+	assertChaosFired(t, sc)
+	if sc.server.ShardRestarts == 0 {
+		t.Error("panic injection never restarted a shard")
+	}
+}
+
+func TestChaosInvariantFourShards(t *testing.T) {
+	sc := &chaosScenario{seed: 42, shards: 4, workers: 8, perWork: 60, panicky: true}
+	sc.run(t)
+	assertChaosFired(t, sc)
+}
+
+// assertChaosFired checks the run actually exercised the failure modes the
+// invariant claims to survive.
+func assertChaosFired(t *testing.T, sc *chaosScenario) {
+	t.Helper()
+	for _, k := range []chaos.Kind{chaos.Reset, chaos.Blackhole, chaos.Dribble, chaos.Delay} {
+		if sc.counts[k] == 0 {
+			t.Errorf("chaos kind %s never fired: %v", k, sc.counts)
+		}
+	}
+	if sc.responses == 0 {
+		t.Error("no request survived chaos — the profile is too hostile to prove resilience")
+	}
+}

@@ -1,0 +1,314 @@
+package resilience
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cqm/internal/obs"
+	"cqm/internal/particle"
+	"cqm/internal/serve"
+)
+
+// fakeServer speaks just enough of the binary protocol to script client
+// behavior: for the n-th request overall it answers script(n, req), or
+// closes the connection without answering when ok is false.
+func fakeServer(t *testing.T, script func(n int, req serve.Request) (resp serve.Response, ok bool)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	var count atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer func() { _ = conn.Close() }()
+				r := bufio.NewReader(conn)
+				for {
+					req, err := serve.ReadRequest(r)
+					if err != nil {
+						return
+					}
+					n := int(count.Add(1) - 1)
+					resp, ok := script(n, req)
+					if !ok {
+						return
+					}
+					resp.Node, resp.Seq, resp.SentMillis = req.Node, req.Seq, req.SentMillis
+					frame, err := serve.EncodeResponse(resp)
+					if err != nil {
+						return
+					}
+					if _, err := conn.Write(frame); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// testRequest is a minimal valid request.
+func testRequest(seq uint16) serve.Request {
+	return serve.Request{
+		Node: particle.NodeIDFromString("bench"),
+		Seq:  seq,
+		Cues: []float64{0.5, 0.25},
+	}
+}
+
+// accepted is the canonical happy-path answer.
+func accepted() (serve.Response, bool) {
+	return serve.Response{Status: serve.StatusAccepted, Q: 0.75}, true
+}
+
+func TestDoSuccessAndPoolReuse(t *testing.T) {
+	addr := fakeServer(t, func(n int, req serve.Request) (serve.Response, bool) {
+		if req.DeadlineMillis == 0 {
+			t.Error("request arrived without a deadline budget")
+		}
+		return accepted()
+	})
+	cl := New(Config{Addr: addr, Seed: 1, Metrics: obs.NewRegistry()})
+	defer cl.Close()
+
+	for seq := uint16(0); seq < 3; seq++ {
+		resp, err := cl.Do(testRequest(seq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Rejected || resp.Status != serve.StatusAccepted {
+			t.Fatalf("unexpected response %+v", resp)
+		}
+		if resp.Seq != seq {
+			t.Fatalf("response seq %d, want %d", resp.Seq, seq)
+		}
+	}
+	st := cl.Stats()
+	if st.Dials != 1 {
+		t.Fatalf("serial requests dialed %d times, want pooled reuse (1)", st.Dials)
+	}
+	if st.Requests != 3 || st.Responses != 3 || st.Attempts != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestRetryAfterConnectionDrop(t *testing.T) {
+	addr := fakeServer(t, func(n int, req serve.Request) (serve.Response, bool) {
+		if n == 0 {
+			return serve.Response{}, false // hang up without answering
+		}
+		return accepted()
+	})
+	cl := New(Config{Addr: addr, Seed: 2, BackoffBase: time.Millisecond, BackoffCap: 5 * time.Millisecond})
+	defer cl.Close()
+
+	resp, err := cl.Do(testRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != serve.StatusAccepted {
+		t.Fatalf("response %+v", resp)
+	}
+	st := cl.Stats()
+	if st.TransportErrors != 1 || st.Retries != 1 || st.Attempts != 2 || st.Dials != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestRetryOnOverloadReject(t *testing.T) {
+	addr := fakeServer(t, func(n int, req serve.Request) (serve.Response, bool) {
+		switch n {
+		case 0:
+			return serve.Response{Rejected: true, Reject: serve.RejectOverloaded}, true
+		case 1:
+			return serve.Response{Rejected: true, Reject: serve.RejectShed}, true
+		default:
+			return accepted()
+		}
+	})
+	cl := New(Config{Addr: addr, Seed: 3, BackoffBase: time.Millisecond, BackoffCap: 5 * time.Millisecond})
+	defer cl.Close()
+
+	resp, err := cl.Do(testRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rejected {
+		t.Fatalf("overload rejects should have been retried away: %+v", resp)
+	}
+	st := cl.Stats()
+	if st.Retries != 2 || st.TransportErrors != 0 || st.Dials != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTerminalRejectReturnedToCaller(t *testing.T) {
+	addr := fakeServer(t, func(n int, req serve.Request) (serve.Response, bool) {
+		return serve.Response{Rejected: true, Reject: serve.RejectDraining}, true
+	})
+	cl := New(Config{Addr: addr, Seed: 4})
+	defer cl.Close()
+
+	resp, err := cl.Do(testRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Rejected || resp.Reject != serve.RejectDraining {
+		t.Fatalf("response %+v, want draining reject", resp)
+	}
+	if st := cl.Stats(); st.Retries != 0 {
+		t.Fatalf("terminal reject retried: %+v", st)
+	}
+}
+
+func TestDeadlineExhausted(t *testing.T) {
+	addr := fakeServer(t, func(n int, req serve.Request) (serve.Response, bool) {
+		time.Sleep(5 * time.Second) // never answer within the budget
+		return serve.Response{}, false
+	})
+	cl := New(Config{Addr: addr, Seed: 5, RequestTimeout: 150 * time.Millisecond, MaxRetries: 3})
+	defer cl.Close()
+
+	start := time.Now()
+	_, err := cl.Do(testRequest(1))
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline-bound request took %v", elapsed)
+	}
+	if st := cl.Stats(); st.DeadlineErrors != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestExhaustedAfterMaxRetries(t *testing.T) {
+	addr := fakeServer(t, func(n int, req serve.Request) (serve.Response, bool) {
+		return serve.Response{}, false // always hang up
+	})
+	cl := New(Config{
+		Addr: addr, Seed: 6, MaxRetries: 2,
+		BackoffBase: time.Millisecond, BackoffCap: 2 * time.Millisecond,
+		BreakerThreshold: -1,
+	})
+	defer cl.Close()
+
+	_, err := cl.Do(testRequest(1))
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("want ErrExhausted, got %v", err)
+	}
+	st := cl.Stats()
+	if st.Attempts != 3 || st.TransportErrors != 3 || st.Exhausted != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestBreakerFastFails(t *testing.T) {
+	// Nothing listens on this address: every attempt is a dial failure.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	cl := New(Config{
+		Addr: addr, Seed: 7, MaxRetries: -1,
+		BreakerThreshold: 2, BreakerCooldown: time.Hour,
+		BackoffBase: time.Millisecond, BackoffCap: 2 * time.Millisecond,
+	})
+	defer cl.Close()
+
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Do(testRequest(1)); !errors.Is(err, ErrExhausted) {
+			t.Fatalf("attempt %d: want ErrExhausted, got %v", i, err)
+		}
+	}
+	if _, err := cl.Do(testRequest(1)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("want ErrBreakerOpen, got %v", err)
+	}
+	st := cl.Stats()
+	if st.BreakerOpens != 1 || st.BreakerFastFails != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// The conservation law: every request ended in exactly one bucket.
+	if st.Requests != st.Responses+st.DeadlineErrors+st.BreakerFastFails+st.Exhausted {
+		t.Fatalf("request accounting violated: %+v", st)
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := breaker{threshold: 2, cooldown: 50 * time.Millisecond}
+	now := time.Unix(1000, 0)
+
+	if !b.allow(now) {
+		t.Fatal("closed breaker must allow")
+	}
+	if opened := b.failure(now); opened {
+		t.Fatal("opened below threshold")
+	}
+	if opened := b.failure(now); !opened {
+		t.Fatal("did not open at threshold")
+	}
+	if b.allow(now) {
+		t.Fatal("open breaker allowed inside cooldown")
+	}
+	later := now.Add(60 * time.Millisecond)
+	if !b.allow(later) {
+		t.Fatal("cooldown elapsed but no probe granted")
+	}
+	if b.allow(later) {
+		t.Fatal("second concurrent probe granted in half-open")
+	}
+	// Probe fails: straight back to open, counted.
+	if opened := b.failure(later); !opened {
+		t.Fatal("half-open probe failure did not re-open")
+	}
+	if b.openCount() != 2 {
+		t.Fatalf("open count %d, want 2", b.openCount())
+	}
+	// Next cooldown, probe succeeds: closed again.
+	again := later.Add(60 * time.Millisecond)
+	if !b.allow(again) {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.success()
+	if !b.allow(again) || !b.allow(again) {
+		t.Fatal("closed breaker must allow freely after probe success")
+	}
+
+	off := breaker{threshold: -1}
+	off.success()
+	if off.failure(now) || !off.allow(now) {
+		t.Fatal("disabled breaker must never interfere")
+	}
+}
+
+func TestBudgetMillis(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want uint32
+	}{
+		{time.Nanosecond, 1},
+		{time.Millisecond, 1},
+		{time.Millisecond + 1, 2},
+		{time.Second, 1000},
+		{1 << 62, 1 << 31},
+	}
+	for _, c := range cases {
+		if got := budgetMillis(c.in); got != c.want {
+			t.Errorf("budgetMillis(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

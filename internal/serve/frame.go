@@ -16,8 +16,17 @@ import (
 //	0                 22    particle frame (header: sync, version, type,
 //	                        node, seq, send time, class id, no quality)
 //	22                1     cue count n (1..MaxCues)
-//	23                8n    cues, IEEE-754 float64 big endian
-//	23+8n             2     CRC-16/CCITT over bytes 22..23+8n-1
+//	23                4     deadline budget in milliseconds, big endian
+//	                        (TypeScoreRequestDeadline only; 0 = expired)
+//	23|27             8n    cues, IEEE-754 float64 big endian
+//	…+8n              2     CRC-16/CCITT over every byte after the header
+//
+// A TypeScoreRequest frame has no deadline field: its cue section starts
+// right after the count byte, which keeps the original wire format
+// bit-compatible. A TypeScoreRequestDeadline frame inserts the 4-byte
+// budget between the count and the cues; the budget is relative (time
+// remaining at send), so it survives clock skew between client and server
+// — the server converts it to an absolute expiry on arrival.
 //
 // A response is a bare 22-byte particle frame: the packet type carries the
 // decision, the quality field carries q (quantized to the codec's q15
@@ -38,13 +47,20 @@ const (
 	// TypeRejected reports an unscored request; the class-id field
 	// carries the RejectCode.
 	TypeRejected particle.PacketType = 0x14
+	// TypeScoreRequestDeadline is a score request carrying a per-request
+	// deadline budget; the server rejects it (RejectDeadline) instead of
+	// scoring it once the budget is spent.
+	TypeScoreRequestDeadline particle.PacketType = 0x15
 )
 
 // MaxCues bounds the cue vector a request may carry.
 const MaxCues = 16
 
+// deadlineFieldLen is the width of the deadline budget field.
+const deadlineFieldLen = 4
+
 // maxRequestLen is the longest possible encoded request.
-const maxRequestLen = particle.FrameLen + 1 + 8*MaxCues + 2
+const maxRequestLen = particle.FrameLen + 1 + deadlineFieldLen + 8*MaxCues + 2
 
 // Typed protocol errors of the serving frame codec. Header errors from
 // the particle codec (particle.ErrSync, particle.ErrCRC, …) pass through
@@ -85,6 +101,13 @@ const (
 	RejectProtocol RejectCode = 4
 	// RejectInternal reports a scoring failure that is not ε.
 	RejectInternal RejectCode = 5
+	// RejectDeadline reports an admitted request whose deadline budget
+	// expired before a ScoreBatch slot was spent on it.
+	RejectDeadline RejectCode = 6
+	// RejectShed reports an admitted request dropped by adaptive load
+	// shedding: queue sojourn stayed above the CoDel target for a full
+	// interval, so the server trades this request for queue health.
+	RejectShed RejectCode = 7
 )
 
 // String names the code for logs and JSON payloads.
@@ -100,6 +123,10 @@ func (c RejectCode) String() string {
 		return "protocol"
 	case RejectInternal:
 		return "internal"
+	case RejectDeadline:
+		return "deadline"
+	case RejectShed:
+		return "shed"
 	default:
 		return fmt.Sprintf("RejectCode(%d)", byte(c))
 	}
@@ -118,6 +145,11 @@ type Request struct {
 	ClassID byte
 	// Cues is the classifier input v_C (1..MaxCues finite values).
 	Cues []float64
+	// DeadlineMillis is the request's remaining deadline budget in
+	// milliseconds at send time; 0 means no deadline. A non-zero budget
+	// selects the TypeScoreRequestDeadline wire form and asks the server
+	// to reject (RejectDeadline) rather than score once it is spent.
+	DeadlineMillis uint32
 }
 
 // Validate checks the request against the codec's bounds.
@@ -133,13 +165,20 @@ func (r *Request) Validate() error {
 	return nil
 }
 
-// EncodeRequest serializes a scoring request.
+// EncodeRequest serializes a scoring request; a non-zero DeadlineMillis
+// selects the deadline-carrying wire form.
 func EncodeRequest(r Request) ([]byte, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
+	typ := TypeScoreRequest
+	deadline := 0
+	if r.DeadlineMillis > 0 {
+		typ = TypeScoreRequestDeadline
+		deadline = deadlineFieldLen
+	}
 	header, err := particle.Encode(particle.ContextPacket{
-		Type:       TypeScoreRequest,
+		Type:       typ,
 		Node:       r.Node,
 		Seq:        r.Seq,
 		SentMillis: r.SentMillis,
@@ -148,13 +187,16 @@ func EncodeRequest(r Request) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, particle.FrameLen+1+8*len(r.Cues)+2)
+	out := make([]byte, particle.FrameLen+1+deadline+8*len(r.Cues)+2)
 	copy(out, header)
 	out[particle.FrameLen] = byte(len(r.Cues))
-	for i, c := range r.Cues {
-		binary.BigEndian.PutUint64(out[particle.FrameLen+1+8*i:], math.Float64bits(c))
+	if deadline > 0 {
+		binary.BigEndian.PutUint32(out[particle.FrameLen+1:], r.DeadlineMillis)
 	}
-	tail := particle.FrameLen + 1 + 8*len(r.Cues)
+	for i, c := range r.Cues {
+		binary.BigEndian.PutUint64(out[particle.FrameLen+1+deadline+8*i:], math.Float64bits(c))
+	}
+	tail := particle.FrameLen + 1 + deadline + 8*len(r.Cues)
 	binary.BigEndian.PutUint16(out[tail:], particle.CRC16(out[particle.FrameLen:tail]))
 	return out, nil
 }
@@ -168,52 +210,62 @@ func DecodeRequest(data []byte) (Request, error) {
 	if err != nil {
 		return Request{}, err
 	}
-	req, n, err := requestFromHeader(pkt, data[particle.FrameLen])
+	req, n, deadline, err := requestFromHeader(pkt, data[particle.FrameLen])
 	if err != nil {
 		return Request{}, err
 	}
-	if len(data) != particle.FrameLen+1+8*n+2 {
+	if len(data) != particle.FrameLen+1+deadline+8*n+2 {
 		return Request{}, fmt.Errorf("%w: %d bytes for %d cues", ErrRequestLength, len(data), n)
 	}
-	if err := decodeCues(&req, data[particle.FrameLen:]); err != nil {
+	if err := decodeSection(&req, data[particle.FrameLen:], deadline); err != nil {
 		return Request{}, err
 	}
 	return req, nil
 }
 
 // requestFromHeader validates the decoded header and cue count, returning
-// the partially filled request.
-func requestFromHeader(pkt particle.ContextPacket, count byte) (Request, int, error) {
-	if pkt.Type != TypeScoreRequest {
-		return Request{}, 0, fmt.Errorf("%w: type 0x%02X", ErrRequestType, byte(pkt.Type))
+// the partially filled request and the width of the deadline field (0 for
+// the plain request form).
+func requestFromHeader(pkt particle.ContextPacket, count byte) (Request, int, int, error) {
+	deadline := 0
+	switch pkt.Type {
+	case TypeScoreRequest:
+	case TypeScoreRequestDeadline:
+		deadline = deadlineFieldLen
+	default:
+		return Request{}, 0, 0, fmt.Errorf("%w: type 0x%02X", ErrRequestType, byte(pkt.Type))
 	}
 	if pkt.HasQuality {
-		return Request{}, 0, ErrRequestQuality
+		return Request{}, 0, 0, ErrRequestQuality
 	}
 	n := int(count)
 	if n < 1 || n > MaxCues {
-		return Request{}, 0, fmt.Errorf("%w: %d", ErrCueCount, n)
+		return Request{}, 0, 0, fmt.Errorf("%w: %d", ErrCueCount, n)
 	}
 	return Request{
 		Node:       pkt.Node,
 		Seq:        pkt.Seq,
 		SentMillis: pkt.SentMillis,
 		ClassID:    pkt.ClassID,
-	}, n, nil
+	}, n, deadline, nil
 }
 
-// decodeCues verifies the cue section (count byte, cues, CRC) and fills
-// req.Cues. section starts at the count byte and spans exactly
-// 1+8n+2 bytes.
-func decodeCues(req *Request, section []byte) error {
+// decodeSection verifies the post-header section (count byte, optional
+// deadline budget, cues, CRC) and fills req.Cues and req.DeadlineMillis.
+// section starts at the count byte and spans exactly 1+deadline+8n+2
+// bytes, with deadline the width reported by requestFromHeader.
+func decodeSection(req *Request, section []byte, deadline int) error {
 	n := int(section[0])
-	body := section[:1+8*n]
-	if got, want := binary.BigEndian.Uint16(section[1+8*n:]), particle.CRC16(body); got != want {
+	body := section[:1+deadline+8*n]
+	if got, want := binary.BigEndian.Uint16(section[len(body):]), particle.CRC16(body); got != want {
 		return fmt.Errorf("%w: got 0x%04X, want 0x%04X", ErrCueCRC, got, want)
+	}
+	if deadline > 0 {
+		req.DeadlineMillis = binary.BigEndian.Uint32(body[1:])
 	}
 	cues := make([]float64, n)
 	for i := range cues {
-		c := math.Float64frombits(binary.BigEndian.Uint64(body[1+8*i:]))
+		c := math.Float64frombits(binary.BigEndian.Uint64(body[1+deadline+8*i:]))
 		if math.IsNaN(c) || math.IsInf(c, 0) {
 			return fmt.Errorf("%w: cue %d is %v", ErrCueValue, i, c)
 		}
@@ -224,9 +276,10 @@ func decodeCues(req *Request, section []byte) error {
 }
 
 // ReadRequest reads one self-delimiting request from a byte stream: the
-// fixed header, the cue count, then exactly the declared cue section. It
-// returns the decoded request; io errors pass through (io.EOF at a clean
-// frame boundary, io.ErrUnexpectedEOF inside a frame).
+// fixed header, the cue count, then exactly the declared cue (and, for the
+// deadline form, budget) section. It returns the decoded request; io
+// errors pass through (io.EOF at a clean frame boundary,
+// io.ErrUnexpectedEOF inside a frame).
 func ReadRequest(r io.Reader) (Request, error) {
 	var buf [maxRequestLen]byte
 	if _, err := io.ReadFull(r, buf[:particle.FrameLen+1]); err != nil {
@@ -236,18 +289,18 @@ func ReadRequest(r io.Reader) (Request, error) {
 	if err != nil {
 		return Request{}, err
 	}
-	req, n, err := requestFromHeader(pkt, buf[particle.FrameLen])
+	req, n, deadline, err := requestFromHeader(pkt, buf[particle.FrameLen])
 	if err != nil {
 		return Request{}, err
 	}
-	rest := 8*n + 2
+	rest := deadline + 8*n + 2
 	if _, err := io.ReadFull(r, buf[particle.FrameLen+1:particle.FrameLen+1+rest]); err != nil {
 		if errors.Is(err, io.EOF) {
 			err = io.ErrUnexpectedEOF
 		}
 		return Request{}, err
 	}
-	if err := decodeCues(&req, buf[particle.FrameLen:particle.FrameLen+1+rest]); err != nil {
+	if err := decodeSection(&req, buf[particle.FrameLen:particle.FrameLen+1+rest], deadline); err != nil {
 		return Request{}, err
 	}
 	return req, nil

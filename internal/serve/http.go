@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"cqm/internal/particle"
 )
@@ -27,6 +28,10 @@ type JSONRequest struct {
 	Class int `json:"class"`
 	// Cues is the classifier input v_C.
 	Cues []float64 `json:"cues"`
+	// DeadlineMillis, when non-zero, is the request's remaining deadline
+	// budget in milliseconds: the server rejects rather than scores it
+	// once the budget is spent.
+	DeadlineMillis uint32 `json:"deadline_ms,omitempty"`
 }
 
 // JSONResponse is the HTTP form of a scoring response.
@@ -68,13 +73,40 @@ func (j JSONRequest) toRequest() (Request, error) {
 		return Request{}, fmt.Errorf("%w: %d", ErrClassRange, j.Class)
 	}
 	req := Request{
-		Node:       particle.NodeIDFromString(j.Source),
-		Seq:        j.Seq,
-		SentMillis: j.SentMillis,
-		ClassID:    byte(j.Class),
-		Cues:       j.Cues,
+		Node:           particle.NodeIDFromString(j.Source),
+		Seq:            j.Seq,
+		SentMillis:     j.SentMillis,
+		ClassID:        byte(j.Class),
+		Cues:           j.Cues,
+		DeadlineMillis: j.DeadlineMillis,
 	}
 	return req, req.Validate()
+}
+
+// HTTP front timeouts applied by NewHTTPServer. The header timeout is the
+// slow-loris bound: a client must finish its request headers inside it or
+// lose the connection.
+const (
+	httpReadHeaderTimeout = 10 * time.Second
+	httpReadTimeout       = 30 * time.Second
+	httpWriteTimeout      = 30 * time.Second
+	httpIdleTimeout       = 2 * time.Minute
+)
+
+// NewHTTPServer wraps handler in an http.Server hardened for the open
+// network: ReadHeaderTimeout caps how long a client may dribble request
+// headers (the classic slow-loris hold), ReadTimeout/WriteTimeout bound a
+// whole exchange, and IdleTimeout reclaims keep-alive connections. A bare
+// &http.Server{} has none of these, so one slow client per goroutine can
+// pin the front forever.
+func NewHTTPServer(handler http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: httpReadHeaderTimeout,
+		ReadTimeout:       httpReadTimeout,
+		WriteTimeout:      httpWriteTimeout,
+		IdleTimeout:       httpIdleTimeout,
+	}
 }
 
 // HTTPHandler returns the scoring API: POST /score for one request,
@@ -187,10 +219,12 @@ func rejectJSON(jreq JSONRequest, code RejectCode) JSONResponse {
 // admissionStatus maps a Submit error onto an HTTP status.
 func admissionStatus(err error) int {
 	switch {
-	case errors.Is(err, ErrOverloaded):
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrShed):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrUnavailable):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDeadline):
+		return http.StatusGatewayTimeout
 	case errors.Is(err, ErrInternal):
 		return http.StatusInternalServerError
 	default:
@@ -207,6 +241,10 @@ func rejectCodeFor(err error) RejectCode {
 		return RejectDraining
 	case errors.Is(err, ErrUnavailable):
 		return RejectUnavailable
+	case errors.Is(err, ErrDeadline):
+		return RejectDeadline
+	case errors.Is(err, ErrShed):
+		return RejectShed
 	case errors.Is(err, ErrInternal):
 		return RejectInternal
 	default:

@@ -3,8 +3,10 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cqm/internal/ckpt"
 	"cqm/internal/core"
@@ -25,6 +27,14 @@ var (
 	ErrUnavailable = errors.New("serve: no model loaded")
 	// ErrInternal reports a scoring failure that is not the ε state.
 	ErrInternal = errors.New("serve: internal scoring failure")
+	// ErrDeadline reports an admitted request whose deadline budget
+	// expired while it waited on a shard queue; the server rejects it
+	// instead of spending a ScoreBatch slot on an answer nobody wants.
+	ErrDeadline = errors.New("serve: deadline expired before scoring")
+	// ErrShed reports an admitted request dropped by the CoDel-style
+	// adaptive load shedder: queue sojourn stayed above the target for a
+	// full interval, so the shard traded this request for queue health.
+	ErrShed = errors.New("serve: shed on sustained queue delay")
 )
 
 // Config parameterizes a Server.
@@ -54,6 +64,23 @@ type Config struct {
 	// (the slice is reused across batches — copy to retain). Test and
 	// analytics hook; keep it fast.
 	BatchObserver func(m *core.Measure, outs []Outcome)
+	// ShedTarget enables CoDel-style adaptive load shedding: when the
+	// queue sojourn of dequeued requests stays above this target for a
+	// full ShedInterval, shards start rejecting (RejectShed) at an
+	// inverse-sqrt-accelerating rate until sojourn drops back under the
+	// target. Zero disables shedding (only the fixed queue bound
+	// applies).
+	ShedTarget time.Duration
+	// ShedInterval is the CoDel observation interval. Default 100ms.
+	ShedInterval time.Duration
+	// IdleTimeout bounds how long a binary connection may go without
+	// completing a frame in either direction before the server hangs up —
+	// the defence against stalled and byte-dribbling (slow-loris) peers.
+	// Zero means the 2-minute default; negative disables the deadlines.
+	IdleTimeout time.Duration
+	// Clock overrides the time source (admission stamps, deadline and
+	// shedding decisions). Test hook; nil means time.Now.
+	Clock func() time.Time
 }
 
 // withDefaults fills zero fields.
@@ -66,6 +93,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchSize == 0 {
 		c.BatchSize = 256
+	}
+	if c.ShedInterval == 0 {
+		c.ShedInterval = 100 * time.Millisecond
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
 	}
 	return c
 }
@@ -90,12 +126,18 @@ type task struct {
 	req    Request
 	source string
 	done   chan result
+	// enqueued is the admission stamp feeding the sojourn-time shedder.
+	enqueued time.Time
+	// deadline is the absolute expiry derived from the request's budget;
+	// the zero value means no deadline.
+	deadline time.Time
 }
 
 // Stats is a consistent snapshot of the server's accounting counters.
-// After Drain returns, Admitted == Accepted+Discarded+Epsilon+
-// RejectedUnavailable+RejectedInternal: every admitted request was scored
-// or explicitly rejected, never silently dropped.
+// After Drain returns, Admitted == Scored() + AdmittedRejects(): every
+// admitted request was scored or explicitly rejected with a typed reason,
+// never silently dropped — the invariant holds across shard panics,
+// deadline expiry, and load shedding.
 type Stats struct {
 	// Admitted counts requests that entered a shard queue.
 	Admitted uint64
@@ -111,8 +153,16 @@ type Stats struct {
 	// model was loaded when their batch ran.
 	RejectedUnavailable uint64
 	// RejectedInternal counts admitted requests rejected on a non-ε
-	// scoring failure.
+	// scoring failure (including requests orphaned by a shard panic).
 	RejectedInternal uint64
+	// RejectedDeadline counts admitted requests whose deadline budget
+	// expired before their batch ran.
+	RejectedDeadline uint64
+	// RejectedShed counts admitted requests dropped by the adaptive
+	// queue-delay shedder.
+	RejectedShed uint64
+	// ShardRestarts counts shard workers restarted after a panic.
+	ShardRestarts uint64
 	// Batches counts ScoreBatch invocations across all shards.
 	Batches uint64
 	// MaxBatch is the largest batch folded so far.
@@ -121,6 +171,13 @@ type Stats struct {
 
 // Scored returns the number of admitted requests that produced a decision.
 func (s Stats) Scored() uint64 { return s.Accepted + s.Discarded + s.Epsilon }
+
+// AdmittedRejects returns the admitted requests answered with an explicit
+// rejection instead of a score. Admitted == Scored() + AdmittedRejects()
+// once the server has drained.
+func (s Stats) AdmittedRejects() uint64 {
+	return s.RejectedUnavailable + s.RejectedInternal + s.RejectedDeadline + s.RejectedShed
+}
 
 // Server is the sharded scoring service: admission control in Submit,
 // per-shard batching workers, and a drain protocol that accounts for
@@ -148,17 +205,24 @@ type Server struct {
 	rejDraining atomic.Uint64
 	rejNoModel  atomic.Uint64
 	rejInternal atomic.Uint64
+	rejDeadline atomic.Uint64
+	rejShed     atomic.Uint64
+	restarts    atomic.Uint64
 	batches     atomic.Uint64
 	maxBatch    atomic.Uint64
 }
 
 // shard is one worker: a bounded task queue and reusable batch buffers.
+// Entries of batch are nilled as they are answered, so the panic
+// supervisor can tell which tasks of an interrupted batch still owe a
+// response.
 type shard struct {
 	srv   *Server
 	tasks chan *task
 	batch []*task
 	obs   []core.Observation
 	outs  []Outcome
+	shed  codel
 	done  chan struct{}
 }
 
@@ -180,6 +244,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Threshold < 0 || cfg.Threshold > 1 {
 		return nil, fmt.Errorf("serve: threshold %v outside [0,1]", cfg.Threshold)
 	}
+	if cfg.ShedTarget < 0 {
+		return nil, fmt.Errorf("serve: shed target %v negative", cfg.ShedTarget)
+	}
+	if cfg.ShedInterval < 0 {
+		return nil, fmt.Errorf("serve: shed interval %v negative", cfg.ShedInterval)
+	}
 	ring, err := NewRing(cfg.Shards)
 	if err != nil {
 		return nil, err
@@ -199,10 +269,11 @@ func New(cfg Config) (*Server, error) {
 			batch: make([]*task, 0, cfg.BatchSize),
 			obs:   make([]core.Observation, 0, cfg.BatchSize),
 			outs:  make([]Outcome, 0, cfg.BatchSize),
+			shed:  codel{target: cfg.ShedTarget, interval: cfg.ShedInterval},
 			done:  make(chan struct{}),
 		}
 		s.shards[i] = sh
-		go sh.run()
+		go sh.supervise()
 	}
 	return s, nil
 }
@@ -229,6 +300,11 @@ func (s *Server) Submit(req Request) (Outcome, error) {
 	t := s.pool.Get().(*task)
 	t.req = req
 	t.source = req.Node.String()
+	t.enqueued = s.cfg.Clock()
+	t.deadline = time.Time{}
+	if req.DeadlineMillis > 0 {
+		t.deadline = t.enqueued.Add(time.Duration(req.DeadlineMillis) * time.Millisecond)
+	}
 
 	sh := s.shards[s.ring.Shard(req.Node[:])]
 	s.admission.RLock()
@@ -262,6 +338,10 @@ func (s *Server) Submit(req Request) (Outcome, error) {
 		return r.out, nil
 	case RejectUnavailable:
 		return Outcome{}, ErrUnavailable
+	case RejectDeadline:
+		return Outcome{}, ErrDeadline
+	case RejectShed:
+		return Outcome{}, ErrShed
 	default:
 		return Outcome{}, ErrInternal
 	}
@@ -307,9 +387,68 @@ func (s *Server) Stats() Stats {
 		RejectedDraining:    s.rejDraining.Load(),
 		RejectedUnavailable: s.rejNoModel.Load(),
 		RejectedInternal:    s.rejInternal.Load(),
+		RejectedDeadline:    s.rejDeadline.Load(),
+		RejectedShed:        s.rejShed.Load(),
+		ShardRestarts:       s.restarts.Load(),
 		Batches:             s.batches.Load(),
 		MaxBatch:            s.maxBatch.Load(),
 	}
+}
+
+// supervise keeps the shard worker alive: a panic anywhere in the scoring
+// path (a hostile model, an observer hook) answers the interrupted batch's
+// unanswered tasks with RejectInternal — the drain invariant survives the
+// crash — then restarts the worker loop. The done channel closes only on
+// the worker's normal exit (tasks channel closed by Drain).
+func (sh *shard) supervise() {
+	defer close(sh.done)
+	for !sh.runRecovering() {
+		sh.srv.restarts.Add(1)
+		sh.srv.met.restarts.Inc()
+	}
+}
+
+// runRecovering runs the worker loop once, converting a panic into
+// explicit rejections of the unanswered remainder of the current batch.
+// It reports whether the loop exited normally.
+func (sh *shard) runRecovering() (normal bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.answerUnanswered(RejectInternal)
+		}
+	}()
+	sh.run()
+	return true
+}
+
+// answerUnanswered rejects every batch entry not yet nilled by an answer,
+// then empties the batch so a later crash cannot double-answer.
+func (sh *shard) answerUnanswered(code RejectCode) {
+	for i, t := range sh.batch {
+		if t == nil {
+			continue
+		}
+		sh.batch[i] = nil
+		sh.answerReject(t, code)
+	}
+	sh.batch = sh.batch[:0]
+}
+
+// answerReject counts and answers one explicit per-task rejection.
+func (sh *shard) answerReject(t *task, code RejectCode) {
+	srv := sh.srv
+	switch code {
+	case RejectUnavailable:
+		srv.rejNoModel.Add(1)
+	case RejectDeadline:
+		srv.rejDeadline.Add(1)
+	case RejectShed:
+		srv.rejShed.Add(1)
+	default:
+		srv.rejInternal.Add(1)
+	}
+	srv.met.reject(code)
+	t.done <- result{reject: code}
 }
 
 // run is the shard worker loop: block for the first task, fold every
@@ -321,7 +460,6 @@ func (s *Server) Stats() Stats {
 //
 //cqm:hotpath
 func (sh *shard) run() {
-	defer close(sh.done)
 	for {
 		t, ok := <-sh.tasks
 		if !ok {
@@ -344,9 +482,10 @@ func (sh *shard) run() {
 	}
 }
 
-// score answers every task in the current batch. The model handle is
-// loaded exactly once per batch: a hot swap lands between batches, never
-// inside one.
+// score answers every task in the current batch: expired and shed tasks
+// with typed rejections before a ScoreBatch slot is spent, the rest with
+// scoring outcomes. The model handle is loaded exactly once per batch: a
+// hot swap lands between batches, never inside one.
 func (sh *shard) score() {
 	srv := sh.srv
 	n := uint64(len(sh.batch))
@@ -356,9 +495,34 @@ func (sh *shard) score() {
 	srv.met.batches.Inc()
 	srv.met.batchSize.Observe(float64(n))
 
+	// Dequeue-time admission: one clock read covers the whole batch.
+	// Expired deadlines answer RejectDeadline, the CoDel shedder answers
+	// RejectShed, and the batch compacts in place to the live remainder
+	// (the tail is nilled so the panic supervisor sees answered slots).
+	now := srv.cfg.Clock()
+	live := sh.batch[:0]
+	for _, t := range sh.batch {
+		srv.met.sojourn(now.Sub(t.enqueued))
+		switch {
+		case !t.deadline.IsZero() && now.After(t.deadline):
+			sh.answerReject(t, RejectDeadline)
+		case sh.shed.drop(now, now.Sub(t.enqueued)):
+			sh.answerReject(t, RejectShed)
+		default:
+			live = append(live, t) //lint:ignore hotpath-alloc in-place filter over the shard-owned batch; capacity never grows
+		}
+	}
+	for i := len(live); i < len(sh.batch); i++ {
+		sh.batch[i] = nil
+	}
+	sh.batch = live
+	if len(sh.batch) == 0 {
+		return
+	}
+
 	m := srv.cfg.Handle.Load()
 	if m == nil {
-		sh.rejectAll(RejectUnavailable)
+		sh.answerUnanswered(RejectUnavailable)
 		return
 	}
 	sh.obs = sh.obs[:0]
@@ -372,7 +536,7 @@ func (sh *shard) score() {
 	if err != nil {
 		// ScoreBatch fails as a whole only on an unbuilt system or a
 		// non-ε scoring error; both are explicit rejections, not drops.
-		sh.rejectAll(RejectInternal)
+		sh.answerUnanswered(RejectInternal)
 		return
 	}
 	sh.outs = sh.outs[:0]
@@ -398,23 +562,69 @@ func (sh *shard) score() {
 			})
 		}
 		sh.outs = append(sh.outs, out) //lint:ignore hotpath-alloc shard-owned buffer at fixed cap; append never grows past BatchSize
+		sh.batch[i] = nil
 		t.done <- result{out: out}
 	}
+	sh.batch = sh.batch[:0]
 	if srv.cfg.BatchObserver != nil {
 		srv.cfg.BatchObserver(m, sh.outs)
 	}
 }
 
-// rejectAll answers the whole batch with one explicit rejection code.
-func (sh *shard) rejectAll(code RejectCode) {
-	srv := sh.srv
-	for _, t := range sh.batch {
-		if code == RejectUnavailable {
-			srv.rejNoModel.Add(1)
-		} else {
-			srv.rejInternal.Add(1)
-		}
-		srv.met.reject(code)
-		t.done <- result{reject: code}
+// codel is the per-shard CoDel-style shedding state (Nichols & Jacobson's
+// controlled-delay AQM, transplanted from packet queues to the shard task
+// queue). The signal is queue sojourn time at dequeue — the only statistic
+// that directly measures what a client feels — rather than queue length,
+// which a bursty arrival process renders meaningless. Sojourn below target
+// resets the controller; sojourn above target for a full interval enters
+// the dropping state, where every drop advances the next one by
+// interval/sqrt(count), the control law that nudges the queue back to the
+// target delay without collapsing goodput.
+type codel struct {
+	target   time.Duration
+	interval time.Duration
+
+	firstAbove time.Time // when the current above-target excursion ends its grace interval
+	dropNext   time.Time // next scheduled drop while dropping
+	dropping   bool
+	count      int // drops in the current dropping episode
+}
+
+// drop decides whether the task dequeued at now after the given sojourn
+// is shed. A zero target disables the controller.
+func (c *codel) drop(now time.Time, sojourn time.Duration) bool {
+	if c.target <= 0 {
+		return false
 	}
+	if sojourn < c.target {
+		// Below target: leave dropping state, forget the excursion.
+		c.firstAbove = time.Time{}
+		c.dropping = false
+		return false
+	}
+	if c.firstAbove.IsZero() {
+		// First above-target observation: grace of one interval.
+		c.firstAbove = now.Add(c.interval)
+		return false
+	}
+	if !c.dropping {
+		if now.Before(c.firstAbove) {
+			return false
+		}
+		c.dropping = true
+		// Resume the drop cadence near where the last episode left off
+		// (CoDel's hysteresis) rather than from scratch.
+		if c.count > 2 {
+			c.count -= 2
+		} else {
+			c.count = 1
+		}
+		c.dropNext = now
+	}
+	if now.Before(c.dropNext) {
+		return false
+	}
+	c.count++
+	c.dropNext = now.Add(time.Duration(float64(c.interval) / math.Sqrt(float64(c.count))))
+	return true
 }

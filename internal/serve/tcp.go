@@ -5,7 +5,9 @@ import (
 	"errors"
 	"io"
 	"net"
+	"os"
 	"sync"
+	"time"
 )
 
 // connWorkers is the per-connection submit pool: the number of requests a
@@ -25,7 +27,9 @@ const connQueue = 512
 // bounded worker pool, and answered in completion order (clients match on
 // the echoed node/seq). A malformed frame answers with one best-effort
 // reject frame and closes the connection — a desynchronized byte stream
-// cannot be re-synchronized safely.
+// cannot be re-synchronized safely. A peer that stalls mid-frame or
+// dribbles bytes slower than Config.IdleTimeout per frame is disconnected
+// rather than allowed to pin its serving goroutines forever.
 func (s *Server) ServeBinary(ln net.Listener) error {
 	var conns sync.WaitGroup
 	defer conns.Wait()
@@ -45,11 +49,21 @@ func (s *Server) ServeBinary(ln net.Listener) error {
 	}
 }
 
+// armDeadline pushes conn's read or write deadline idle seconds into the
+// future; a non-positive idle leaves the connection unbounded.
+func armDeadline(set func(time.Time) error, idle time.Duration) {
+	if idle <= 0 {
+		return
+	}
+	_ = set(time.Now().Add(idle)) //lint:ignore nondeterminism connection deadlines are wall-clock by definition
+}
+
 // serveConn runs one connection: a reader decoding frames, a pool of
 // submit workers, and a writer coalescing response frames into large
 // writes.
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
+	idle := s.cfg.IdleTimeout
 
 	reqCh := make(chan Request, connQueue)
 	respCh := make(chan []byte, connQueue)
@@ -58,7 +72,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	writer.Add(1)
 	go func() {
 		defer writer.Done()
-		writeResponses(conn, respCh)
+		writeResponses(conn, respCh, idle)
 	}()
 
 	var workers sync.WaitGroup
@@ -74,9 +88,13 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	r := bufio.NewReaderSize(conn, 64<<10)
 	for {
+		// The deadline is re-armed per frame: a whole frame must land
+		// within the idle window, so a byte-dribbling client cannot hold
+		// the reader beyond one window.
+		armDeadline(conn.SetReadDeadline, idle)
 		req, err := ReadRequest(r)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
 				// Best-effort protocol reject before closing; the client
 				// cannot be answered per-request once framing is lost.
 				if frame, encErr := EncodeResponse(Response{Rejected: true, Reject: RejectProtocol}); encErr == nil {
@@ -115,15 +133,18 @@ func (s *Server) answer(req Request) []byte {
 
 // writeResponses drains the response queue into the connection,
 // coalescing bursts into one buffered write and flushing only when the
-// queue momentarily empties.
-func writeResponses(conn net.Conn, respCh <-chan []byte) {
+// queue momentarily empties. Each burst re-arms the write deadline, so a
+// peer that stops reading cannot park the writer goroutine forever.
+func writeResponses(conn net.Conn, respCh <-chan []byte, idle time.Duration) {
 	w := bufio.NewWriterSize(conn, 64<<10)
 	for {
 		frame, ok := <-respCh
 		if !ok {
+			armDeadline(conn.SetWriteDeadline, idle)
 			_ = w.Flush()
 			return
 		}
+		armDeadline(conn.SetWriteDeadline, idle)
 		if _, err := w.Write(frame); err != nil {
 			drainFrames(respCh)
 			return
