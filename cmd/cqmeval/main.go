@@ -5,7 +5,7 @@
 // Usage:
 //
 //	cqmeval [-seed N] [-experiment fig5|fig6|probs|improvement|agnostic|balance|sizes|camera|ablations|all]
-//	        [-metrics-out metrics.json] [-workers N] [-faults] [-retransmit]
+//	        [-metrics-out metrics.json] [-workers N] [-faults] [-retransmit] [-adapt]
 //
 // -metrics-out instruments the canonical pipeline (training counters,
 // scoring and ε-rate counters, the quality histogram) and writes a JSON
@@ -21,6 +21,11 @@
 // intensity, reporting raw and CQM-filtered accuracy, ε rates, and the
 // camera's surviving event intake. -retransmit additionally turns on the
 // bus's ack/retransmit reliability layer for the sweep.
+//
+// -adapt runs the self-healing lifecycle demo (shorthand for -experiment
+// adapt): the adaptation supervisor's heal, quarantine, and rollback
+// scenarios plus a bit-identity replay check, exiting nonzero on any
+// journal-invariant or determinism violation.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"fmt"
 	"os"
 
+	"cqm/internal/adapt"
 	"cqm/internal/core"
 	"cqm/internal/eval"
 	"cqm/internal/obs"
@@ -35,12 +41,13 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", eval.DefaultSeed, "random seed for the evaluation pipeline")
-	experiment := flag.String("experiment", "all", "experiment to run: fig5, fig6, probs, improvement, agnostic, balance, sizes, camera, predict, fusion, confidence, crossval, cues, noise, faults, resume, ablations, all")
+	experiment := flag.String("experiment", "all", "experiment to run: fig5, fig6, probs, improvement, agnostic, balance, sizes, camera, predict, fusion, confidence, crossval, cues, noise, faults, resume, adapt, ablations, all")
 	report := flag.Bool("report", false, "write the consolidated report (all experiments, DESIGN.md order) to stdout")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on exit")
 	workers := flag.Int("workers", 1, "worker count for parallelized stages (0 = one per CPU, 1 = serial); results are identical at every setting")
 	faults := flag.Bool("faults", false, "run the fault-intensity robustness sweep (shorthand for -experiment faults)")
 	retransmit := flag.Bool("retransmit", false, "enable the bus ack/retransmit reliability layer in the faults sweep")
+	adaptDemo := flag.Bool("adapt", false, "run the self-healing lifecycle demo (shorthand for -experiment adapt)")
 	flag.Parse()
 
 	if *report {
@@ -53,6 +60,9 @@ func main() {
 	exp := *experiment
 	if *faults {
 		exp = "faults"
+	}
+	if *adaptDemo {
+		exp = "adapt"
 	}
 	if err := run(*seed, exp, *metricsOut, *workers, *retransmit); err != nil {
 		fmt.Fprintln(os.Stderr, "cqmeval:", err)
@@ -171,6 +181,24 @@ func run(seed int64, experiment, metricsOut string, workers int, retransmit bool
 			return err
 		}
 		fmt.Print(res.Render())
+		ran = true
+	}
+	if experiment == "adapt" {
+		dir, err := os.MkdirTemp("", "cqm-adapt-demo-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		out, err := adapt.RunDemo(adapt.DemoConfig{
+			Dir:     dir,
+			Seed:    seed,
+			Workers: max(workers, 1),
+			Metrics: reg,
+		})
+		fmt.Print(out)
+		if err != nil {
+			return err
+		}
 		ran = true
 	}
 	if all || experiment == "resume" {

@@ -11,6 +11,14 @@
 // in-process training pass (-train-seed). SIGINT/SIGTERM triggers a
 // graceful drain: admission stops, every already-admitted frame is
 // answered, then the process exits 0.
+//
+// -adapt DIR turns on the self-healing model lifecycle: quality-engine
+// drift triggers feed an adaptation supervisor that shadow-retrains on a
+// pseudo-labelled window, gates the candidate on held-out validation,
+// hot-promotes it through the model watcher, watches a post-promotion
+// canary window, and rolls back to the last-good model on regression.
+// DIR holds the served model copy, the last-good artifact, and the
+// crash-safe adaptation journal; /adapt serves the supervisor status.
 package main
 
 import (
@@ -21,14 +29,18 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
+	"cqm/internal/adapt"
 	"cqm/internal/ckpt"
+	"cqm/internal/core"
 	"cqm/internal/obs"
 	"cqm/internal/particle"
 	"cqm/internal/quality"
+	"cqm/internal/sensor"
 	"cqm/internal/serve"
 )
 
@@ -48,6 +60,7 @@ type options struct {
 	shedTarget   time.Duration
 	shedInterval time.Duration
 	idleTimeout  time.Duration
+	adaptDir     string
 }
 
 func main() {
@@ -67,6 +80,7 @@ func main() {
 	flag.DurationVar(&opts.shedTarget, "shed-target", 25*time.Millisecond, "CoDel load-shedding target queue sojourn (0 = shedding off)")
 	flag.DurationVar(&opts.shedInterval, "shed-interval", 100*time.Millisecond, "CoDel load-shedding observation interval")
 	flag.DurationVar(&opts.idleTimeout, "idle-timeout", 2*time.Minute, "disconnect binary peers idle or dribbling for this long (negative = off)")
+	flag.StringVar(&opts.adaptDir, "adapt", "", "enable the self-healing model lifecycle with this state directory (model copy, last-good, adaptation journal)")
 	flag.Parse()
 
 	if err := run(opts); err != nil {
@@ -84,9 +98,18 @@ func run(opts options) error {
 
 	var watcher *ckpt.ModelWatcher
 	threshold := opts.threshold
+	modelPath := opts.model
 	if opts.model != "" {
 		var err error
-		watcher, err = ckpt.NewModelWatcher(ckpt.WatchConfig{Path: opts.model, Metrics: reg}, handle)
+		watcher, err = ckpt.NewModelWatcher(ckpt.WatchConfig{
+			Path: opts.model,
+			// Under the adaptation lifecycle, last-good persistence is the
+			// supervisor's decision (after a canary pass), not the
+			// watcher's: a reload during an open canary must not clobber
+			// the rollback target.
+			DeferLastGood: opts.adaptDir != "",
+			Metrics:       reg,
+		}, handle)
 		if err != nil {
 			return err
 		}
@@ -110,10 +133,60 @@ func run(opts options) error {
 			threshold = trained
 		}
 		fmt.Printf("trained: %d rules, threshold %.3f\n", m.Rules(), trained)
+		if opts.adaptDir != "" {
+			// The lifecycle promotes by rewriting the served artifact, so
+			// the in-process model needs a home on disk.
+			if err := os.MkdirAll(opts.adaptDir, 0o755); err != nil {
+				return err
+			}
+			modelPath = filepath.Join(opts.adaptDir, "model.json")
+			if err := ckpt.WriteArtifact(modelPath, ckpt.Manifest{Kind: ckpt.KindMeasure}, m); err != nil {
+				return err
+			}
+			var werr error
+			watcher, werr = ckpt.NewModelWatcher(ckpt.WatchConfig{
+				Path:          modelPath,
+				DeferLastGood: true,
+				Metrics:       reg,
+			}, handle)
+			if werr != nil {
+				return werr
+			}
+			if _, werr := watcher.Poll(); werr != nil {
+				return fmt.Errorf("loading adaptation model copy: %w", werr)
+			}
+		}
 	}
 
-	engine := quality.NewEngine(quality.Config{Threshold: threshold, Metrics: reg})
-	srv, err := serve.New(serve.Config{
+	var sup *adapt.Supervisor
+	if opts.adaptDir != "" {
+		var build core.BuildConfig
+		build.Metrics = reg
+		build.Clustering.Workers = opts.workers
+		build.Hybrid.Workers = opts.workers
+		build.Hybrid.DivergenceRetries = 2
+		var err error
+		sup, err = adapt.New(adapt.Config{
+			Dir:       filepath.Join(opts.adaptDir, "state"),
+			ModelPath: modelPath,
+			Watcher:   watcher,
+			Handle:    handle,
+			Threshold: threshold,
+			Build:     build,
+			Metrics:   reg,
+		})
+		if err != nil {
+			return fmt.Errorf("adaptation supervisor: %w", err)
+		}
+		defer sup.Close()
+	}
+
+	qcfg := quality.Config{Threshold: threshold, Metrics: reg}
+	if sup != nil {
+		qcfg.OnTrigger = func(t quality.Trigger) { sup.Trigger(t) }
+	}
+	engine := quality.NewEngine(qcfg)
+	scfg := serve.Config{
 		Shards:       opts.shards,
 		QueueDepth:   opts.queue,
 		BatchSize:    opts.batch,
@@ -124,7 +197,21 @@ func run(opts options) error {
 		ShedTarget:   opts.shedTarget,
 		ShedInterval: opts.shedInterval,
 		IdleTimeout:  opts.idleTimeout,
-	})
+	}
+	if sup != nil {
+		scfg.DecisionObserver = func(source string, at float64, cues []float64, classID int, out serve.Outcome) {
+			sup.Decide(adapt.Decision{
+				Source:   source,
+				At:       at,
+				Cues:     cues,
+				Class:    sensor.ContextByID(classID),
+				Q:        out.Q,
+				HasQ:     out.Status != serve.StatusEpsilon,
+				Accepted: out.Status == serve.StatusAccepted,
+			})
+		}
+	}
+	srv, err := serve.New(scfg)
 	if err != nil {
 		return err
 	}
@@ -133,6 +220,9 @@ func run(opts options) error {
 	score := srv.HTTPHandler()
 	mux.Handle("/score", score)
 	mux.Handle("/score/batch", score)
+	if sup != nil {
+		mux.Handle("/adapt", sup.Handler())
+	}
 
 	httpLn, err := net.Listen("tcp", opts.addr)
 	if err != nil {
@@ -157,6 +247,26 @@ func run(opts options) error {
 			fmt.Fprintf(os.Stderr, "cqmserve: model watch: %v\n", err)
 		})
 	}
+	adaptStop := make(chan struct{})
+	adaptDone := make(chan struct{})
+	if sup != nil {
+		fmt.Printf("adaptation: state in %s, status at /adapt\n", opts.adaptDir)
+		go func() {
+			defer close(adaptDone)
+			tick := time.NewTicker(2 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-adaptStop:
+					return
+				case <-tick.C:
+					if err := sup.Drain(); err != nil {
+						fmt.Fprintf(os.Stderr, "cqmserve: adaptation: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -174,6 +284,13 @@ func run(opts options) error {
 		_ = binLn.Close()
 	}
 	srv.Drain()
+	if sup != nil {
+		close(adaptStop)
+		<-adaptDone
+		st := sup.Status()
+		fmt.Printf("adaptation: %d triggers, %d retrains, %d quarantined, %d promotions, %d rollbacks, %d canary passes\n",
+			st.Triggers, st.Retrains, st.Quarantined, st.Promotions, st.Rollbacks, st.CanaryPass)
+	}
 	if binLn != nil {
 		if err := <-binDone; err != nil {
 			fmt.Fprintf(os.Stderr, "cqmserve: binary front: %v\n", err)

@@ -1,0 +1,123 @@
+package adapt
+
+import (
+	"math"
+
+	"cqm/internal/core"
+)
+
+// Gate decision constants for the accept/discard agreement comparison.
+const (
+	// decideAccept: the model scored the observation above the threshold.
+	decideAccept int8 = 1
+	// decideDiscard: scored at or below the threshold.
+	decideDiscard int8 = 0
+	// decideEpsilon: the model could not score the observation.
+	decideEpsilon int8 = -1
+)
+
+// validationStride picks every strideth buffered observation as held-out
+// validation; the rest train. Deterministic, interleaved so both slices
+// cover the whole drifted window.
+const validationStride = 4
+
+// splitWindow partitions the snapshotted window into train and held-out
+// validation slices: index i goes to validation when
+// i%validationStride == validationStride-1.
+func splitWindow(window []core.Observation) (train, validation []core.Observation) {
+	train = make([]core.Observation, 0, len(window))
+	validation = make([]core.Observation, 0, len(window)/validationStride+1)
+	for i, o := range window {
+		if i%validationStride == validationStride-1 {
+			validation = append(validation, o)
+		} else {
+			train = append(train, o)
+		}
+	}
+	return train, validation
+}
+
+// evalModel scores m over the validation slice: the RMSE against the
+// pseudo-label targets (1 for accepted, 0 for discarded; an ε score
+// contributes the worst-case error of 1, mirroring anfis.RMSE), and the
+// per-observation accept/discard/ε decision at threshold.
+func evalModel(m *core.Measure, validation []core.Observation, threshold float64) (rmse float64, decisions []int8) {
+	decisions = make([]int8, len(validation))
+	var ss float64
+	for i, o := range validation {
+		q, err := m.Score(o.Cues, o.Class)
+		if err != nil {
+			decisions[i] = decideEpsilon
+			ss += 1
+			continue
+		}
+		if q > threshold {
+			decisions[i] = decideAccept
+		} else {
+			decisions[i] = decideDiscard
+		}
+		target := 0.0
+		if o.Correct {
+			target = 1
+		}
+		d := q - target
+		ss += d * d
+	}
+	if len(validation) > 0 {
+		rmse = math.Sqrt(ss / float64(len(validation)))
+	}
+	return rmse, decisions
+}
+
+// agreementOf returns the fraction of validation observations on which two
+// models made the same operational decision (accept, discard, or ε).
+func agreementOf(a, b []int8) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	match := 0
+	for i := range a {
+		if a[i] == b[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(a))
+}
+
+// gateVerdict is the validation gate's structured outcome.
+type gateVerdict struct {
+	pass          bool
+	reason        string // empty on pass
+	candidateRMSE float64
+	incumbentRMSE float64
+	agreement     float64
+}
+
+// gate compares candidate against incumbent on the held-out validation
+// slice. The pseudo-label targets come from the incumbent's own accept
+// decisions, so demanding a strict RMSE win would be self-defeating — the
+// incumbent is near-optimal on its own binarization by construction.
+// Instead the RMSE check is a regression guard (the candidate must stay
+// within rmseSlack of the incumbent; a diverged or garbage retrain fails
+// it by a wide margin) and the agreement floor catches candidates whose
+// operational decisions departed from the incumbent — the signature of a
+// poisoned label channel. The post-promotion canary, not this gate, rules
+// on live outcomes.
+func gate(candidate, incumbent *core.Measure, validation []core.Observation, threshold, minAgreement, rmseSlack float64) gateVerdict {
+	candRMSE, candDec := evalModel(candidate, validation, threshold)
+	incRMSE, incDec := evalModel(incumbent, validation, threshold)
+	v := gateVerdict{
+		candidateRMSE: candRMSE,
+		incumbentRMSE: incRMSE,
+		agreement:     agreementOf(candDec, incDec),
+	}
+	switch {
+	case candRMSE > incRMSE+rmseSlack:
+		v.reason = "candidate validation RMSE regressed past incumbent plus slack"
+	case v.agreement < minAgreement:
+		v.reason = "accept/discard agreement below floor"
+	default:
+		v.pass = true
+	}
+	return v
+}

@@ -1,0 +1,147 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"cqm/internal/core"
+)
+
+// labelObs builds a minimal validation observation with the given
+// pseudo-label.
+func labelObs(correct bool) core.Observation {
+	return core.Observation{Cues: []float64{0.5}, Class: 0, Correct: correct}
+}
+
+func labelObsN(n int, correct bool) []core.Observation {
+	out := make([]core.Observation, n)
+	for i := range out {
+		out[i] = labelObs(correct)
+	}
+	return out
+}
+
+func TestSplitWindowStride(t *testing.T) {
+	window := make([]core.Observation, 9)
+	for i := range window {
+		window[i] = labelObs(i%validationStride == validationStride-1)
+	}
+	train, validation := splitWindow(window)
+	if len(train) != 7 || len(validation) != 2 {
+		t.Fatalf("split 9 → %d train, %d validation; want 7, 2", len(train), len(validation))
+	}
+	// Indices 3 and 7 are the held-out ones, and they were marked Correct.
+	for i, o := range validation {
+		if !o.Correct {
+			t.Errorf("validation[%d] is not a stride pick", i)
+		}
+	}
+	for i, o := range train {
+		if o.Correct {
+			t.Errorf("train[%d] is a stride pick that leaked into training", i)
+		}
+	}
+}
+
+func TestEvalModel(t *testing.T) {
+	validation := labelObsN(4, true)
+
+	rmse, dec := evalModel(biasMeasure(t, 0.9), validation, 0.5)
+	if math.Abs(rmse-0.1) > 1e-9 {
+		t.Errorf("RMSE = %v, want 0.1", rmse)
+	}
+	for i, d := range dec {
+		if d != decideAccept {
+			t.Errorf("decision[%d] = %d, want accept", i, d)
+		}
+	}
+
+	rmse, dec = evalModel(biasMeasure(t, 0.2), validation, 0.5)
+	if math.Abs(rmse-0.8) > 1e-9 {
+		t.Errorf("RMSE = %v, want 0.8", rmse)
+	}
+	for i, d := range dec {
+		if d != decideDiscard {
+			t.Errorf("decision[%d] = %d, want discard", i, d)
+		}
+	}
+
+	// Raw output 3 is outside the normalizable range: every score is ε,
+	// each contributing the worst-case error of 1.
+	rmse, dec = evalModel(biasMeasure(t, 3), validation, 0.5)
+	if math.Abs(rmse-1) > 1e-9 {
+		t.Errorf("ε RMSE = %v, want 1", rmse)
+	}
+	for i, d := range dec {
+		if d != decideEpsilon {
+			t.Errorf("decision[%d] = %d, want ε", i, d)
+		}
+	}
+
+	if rmse, _ := evalModel(biasMeasure(t, 0.9), nil, 0.5); rmse != 0 {
+		t.Errorf("empty validation RMSE = %v, want 0", rmse)
+	}
+}
+
+func TestAgreementOf(t *testing.T) {
+	if got := agreementOf([]int8{1, 0, -1, 1}, []int8{1, 0, 1, 1}); got != 0.75 {
+		t.Errorf("agreement = %v, want 0.75", got)
+	}
+	if got := agreementOf(nil, nil); got != 0 {
+		t.Errorf("empty agreement = %v, want 0", got)
+	}
+	if got := agreementOf([]int8{1}, []int8{1, 0}); got != 0 {
+		t.Errorf("length-mismatch agreement = %v, want 0", got)
+	}
+}
+
+func TestGateVerdicts(t *testing.T) {
+	const threshold, minAgreement, slack = 0.5, 0.5, 0.15
+
+	t.Run("pass", func(t *testing.T) {
+		// Candidate a bit worse on RMSE (0.2 vs 0.1) but within slack, and
+		// in full operational agreement.
+		v := gate(biasMeasure(t, 0.8), biasMeasure(t, 0.9), labelObsN(8, true), threshold, minAgreement, slack)
+		if !v.pass {
+			t.Fatalf("gate failed: %q", v.reason)
+		}
+		if v.agreement != 1 {
+			t.Errorf("agreement = %v, want 1", v.agreement)
+		}
+		if math.Abs(v.candidateRMSE-0.2) > 1e-9 || math.Abs(v.incumbentRMSE-0.1) > 1e-9 {
+			t.Errorf("RMSEs = %v vs %v, want 0.2 vs 0.1", v.candidateRMSE, v.incumbentRMSE)
+		}
+	})
+
+	t.Run("rmse-regression", func(t *testing.T) {
+		// A diverged candidate scores ε everywhere: RMSE 1 against the
+		// incumbent's 0.1, far past the slack.
+		v := gate(biasMeasure(t, 3), biasMeasure(t, 0.9), labelObsN(8, true), threshold, minAgreement, slack)
+		if v.pass {
+			t.Fatal("diverged candidate passed the gate")
+		}
+		if v.reason != "candidate validation RMSE regressed past incumbent plus slack" {
+			t.Errorf("reason = %q", v.reason)
+		}
+	})
+
+	t.Run("agreement-floor", func(t *testing.T) {
+		// Mixed labels make the two models' RMSEs identical (0.4/0.6
+		// errors mirrored), so the regression guard passes — but the
+		// candidate discards everything the incumbent accepts.
+		validation := append(labelObsN(4, true), labelObsN(4, false)...)
+		v := gate(biasMeasure(t, 0.4), biasMeasure(t, 0.6), validation, threshold, minAgreement, slack)
+		if v.pass {
+			t.Fatal("disagreeing candidate passed the gate")
+		}
+		if v.reason != "accept/discard agreement below floor" {
+			t.Errorf("reason = %q", v.reason)
+		}
+		if v.agreement != 0 {
+			t.Errorf("agreement = %v, want 0", v.agreement)
+		}
+		if math.Abs(v.candidateRMSE-v.incumbentRMSE) > 1e-9 {
+			t.Errorf("RMSEs differ: %v vs %v", v.candidateRMSE, v.incumbentRMSE)
+		}
+	})
+}

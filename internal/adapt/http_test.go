@@ -1,0 +1,62 @@
+package adapt
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"cqm/internal/quality"
+)
+
+func TestStatusAndHandler(t *testing.T) {
+	h := newHarness(t, t.TempDir(), smallConfig(), biasMeasure(t, 0.9), stubTrain(biasMeasure(t, 0.8)))
+	defer h.sup.Close()
+
+	st := h.sup.Status()
+	if st.State != "idle" || st.Triggers != 0 || st.LastRecord != nil {
+		t.Fatalf("fresh status = %+v, want idle with no history", st)
+	}
+
+	// One full heal cycle: trigger → retrain → gate → promote → canary.
+	for i := 0; i < 20; i++ {
+		at := float64(i)
+		if i == 10 {
+			h.sup.Trigger(quality.Trigger{Source: "pen", Kind: quality.TriggerPH, At: at})
+		}
+		h.sup.Decide(mkDecision(at, 0.9, 0.5))
+		if err := h.sup.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st = h.sup.Status()
+	if st.State != "idle" {
+		t.Errorf("state = %q, want idle after completed cycle", st.State)
+	}
+	if st.Triggers != 1 || st.Retrains != 1 || st.Promotions != 1 || st.CanaryPass != 1 {
+		t.Errorf("counters = %+v, want one trigger/retrain/promotion/canary pass", st)
+	}
+	if st.Quarantined != 0 || st.Rollbacks != 0 {
+		t.Errorf("counters = %+v, want no quarantines or rollbacks", st)
+	}
+	if st.LastRecord == nil || st.LastRecord.Kind != KindCanaryPass {
+		t.Errorf("last record = %+v, want canary-pass", st.LastRecord)
+	}
+	if st.CooldownUntil <= 0 {
+		t.Errorf("cooldown until = %v, want positive after a closed cycle", st.CooldownUntil)
+	}
+
+	// The /adapt endpoint serves the same snapshot as JSON.
+	rec := httptest.NewRecorder()
+	h.sup.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/adapt", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var got Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("decoding /adapt body: %v", err)
+	}
+	if got.Triggers != st.Triggers || got.Promotions != st.Promotions || got.State != st.State {
+		t.Errorf("served status %+v, want %+v", got, st)
+	}
+}

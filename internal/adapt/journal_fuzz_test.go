@@ -1,0 +1,45 @@
+package adapt
+
+import "testing"
+
+// FuzzAdaptJournalDecode pins the decoder's two contracts: DecodeRecord
+// never panics whatever the input, and any line it accepts round-trips
+// through EncodeRecord to an identical record. A decoder that panics on a
+// torn tail would turn a crash-recovery path into a second crash.
+func FuzzAdaptJournalDecode(f *testing.F) {
+	for _, r := range fullCycleRecords() {
+		line, err := EncodeRecord(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(line)
+	}
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"record":{},"crc32c":""}`))
+	f.Add([]byte(`{"record":{"seq":1},"crc32c":"00000000"}`))
+	f.Add([]byte(`{"record":[1,2,3],"crc32c":"deadbeef"}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte("{\"record\":{\"seq\":1,\"cycle\":1,\"kind\":\"trigger\",\"at\":1e308},\"crc32c\":\"ffffffff\"}"))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		r, err := DecodeRecord(line)
+		if err != nil {
+			return
+		}
+		reencoded, err := EncodeRecord(r)
+		if err != nil {
+			t.Fatalf("decoded record refuses to re-encode: %v", err)
+		}
+		r2, err := DecodeRecord(reencoded)
+		if err != nil {
+			t.Fatalf("re-encoded record refuses to decode: %v", err)
+		}
+		// Accepted non-canonical spellings (whitespace, field order) must
+		// still carry the same checksum-verified payload; record equality
+		// across the round trip pins that.
+		if r != r2 {
+			t.Fatalf("round trip changed the record: %+v vs %+v", r, r2)
+		}
+	})
+}

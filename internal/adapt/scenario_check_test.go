@@ -1,0 +1,94 @@
+package adapt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestStateString(t *testing.T) {
+	for want, s := range map[string]State{
+		"idle": StateIdle, "retraining": StateRetraining, "gated": StateGated,
+		"promoting": StatePromoting, "canary": StateCanary,
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+	if got := State(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown state String() = %q, want the numeric fallback", got)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := rate(3, 4); got != 0.75 {
+		t.Errorf("rate(3,4) = %v", got)
+	}
+	if got := rate(0, 0); got != 0 {
+		t.Errorf("rate(0,0) = %v, want 0", got)
+	}
+}
+
+// TestCheckScenarioPolarity pins the acceptance criteria themselves: a
+// result telling the wrong story for its mode must be rejected, so a
+// regression in the lifecycle cannot hide behind a green smoke.
+func TestCheckScenarioPolarity(t *testing.T) {
+	healRecords := func() []Record {
+		return fullCycleRecords()
+	}
+	quarantineRecords := []Record{
+		{Seq: 1, Cycle: 1, Kind: KindTrigger, At: 10},
+		{Seq: 2, Cycle: 1, Kind: KindRetrainDone, At: 10},
+		{Seq: 3, Cycle: 1, Kind: KindQuarantine, At: 10, Reason: "agreement"},
+	}
+	rollbackRecords := []Record{
+		{Seq: 1, Cycle: 1, Kind: KindTrigger, At: 10},
+		{Seq: 2, Cycle: 1, Kind: KindRetrainDone, At: 10},
+		{Seq: 3, Cycle: 1, Kind: KindGatePass, At: 10},
+		{Seq: 4, Cycle: 1, Kind: KindPromoted, At: 10},
+		{Seq: 5, Cycle: 1, Kind: KindRollback, At: 14},
+	}
+	goodHeal := &ScenarioResult{
+		Mode: ModeHeal, Records: healRecords(),
+		AcceptHealthy: 0.9, AcceptDrift: 0.7, AcceptAfter: 0.85,
+		ModelCRC: "aa", LastGoodCRC: "aa",
+	}
+	if err := CheckScenario(goodHeal); err != nil {
+		t.Fatalf("valid heal result rejected: %v", err)
+	}
+	if err := CheckScenario(&ScenarioResult{Mode: ModeQuarantine, Records: quarantineRecords}); err != nil {
+		t.Fatalf("valid quarantine result rejected: %v", err)
+	}
+	if err := CheckScenario(&ScenarioResult{
+		Mode: ModeRollback, Records: rollbackRecords, ModelCRC: "aa", LastGoodCRC: "aa",
+	}); err != nil {
+		t.Fatalf("valid rollback result rejected: %v", err)
+	}
+
+	bad := []*ScenarioResult{
+		// Heal journal that never promoted.
+		{Mode: ModeHeal, Records: quarantineRecords, AcceptDrift: 0.7, AcceptAfter: 0.85, ModelCRC: "aa", LastGoodCRC: "aa"},
+		// Heal that did not restore accept quality.
+		{Mode: ModeHeal, Records: healRecords(), AcceptDrift: 0.8, AcceptAfter: 0.8, ModelCRC: "aa", LastGoodCRC: "aa"},
+		// Heal whose last-good was never advanced to the promoted model.
+		{Mode: ModeHeal, Records: healRecords(), AcceptDrift: 0.7, AcceptAfter: 0.85, ModelCRC: "aa", LastGoodCRC: "bb"},
+		// Quarantine journal that promoted anyway.
+		{Mode: ModeQuarantine, Records: healRecords()},
+		// Rollback journal whose canary passed.
+		{Mode: ModeRollback, Records: healRecords(), ModelCRC: "aa", LastGoodCRC: "aa"},
+		// Rollback that left the bad model serving.
+		{Mode: ModeRollback, Records: rollbackRecords, ModelCRC: "aa", LastGoodCRC: "bb"},
+	}
+	for i, res := range bad {
+		if err := CheckScenario(res); err == nil {
+			t.Errorf("bad result %d accepted", i)
+		}
+	}
+
+	// An invalid journal fails before any mode-specific criterion.
+	broken := healRecords()
+	broken[1].Seq = 9
+	if err := CheckScenario(&ScenarioResult{Mode: ModeHeal, Records: broken}); !errors.Is(err, ErrJournalInvariant) {
+		t.Errorf("invalid journal: err = %v, want ErrJournalInvariant", err)
+	}
+}

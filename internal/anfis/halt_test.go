@@ -1,0 +1,73 @@
+package anfis
+
+import (
+	"testing"
+
+	"cqm/internal/cluster"
+)
+
+// TestHaltStopsTraining asserts the Halt hook ends training before the
+// named epoch runs, records StopHalted, and keeps the best snapshot.
+func TestHaltStopsTraining(t *testing.T) {
+	train := sineData(60, 72, 0.02)
+	sys, err := Build(train, BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var consulted []int
+	hist, err := Train(sys, train, nil, Config{
+		Epochs:       50,
+		LearningRate: 0.02,
+		Tol:          1e-300, // keep convergence from stopping first
+		Halt: func(epoch int) bool {
+			consulted = append(consulted, epoch)
+			return epoch >= 7
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Reason != StopHalted {
+		t.Fatalf("reason = %q, want %q", hist.Reason, StopHalted)
+	}
+	if got := len(hist.TrainRMSE); got != 7 {
+		t.Fatalf("ran %d epochs, want 7 (halt consulted before epoch 7 ran)", got)
+	}
+	if len(consulted) != 8 || consulted[len(consulted)-1] != 7 {
+		t.Fatalf("halt consultations = %v, want epochs 0..7", consulted)
+	}
+	// The returned system must be the best snapshot among completed epochs.
+	if hist.BestEpoch < 0 || hist.BestEpoch >= 7 {
+		t.Fatalf("best epoch %d outside completed range [0,7)", hist.BestEpoch)
+	}
+	if rm := RMSE(sys, train); rm != hist.TrainRMSE[hist.BestEpoch] {
+		t.Fatalf("returned system RMSE %v != best epoch RMSE %v", rm, hist.TrainRMSE[hist.BestEpoch])
+	}
+}
+
+// TestHaltImmediately asserts a hook that halts at epoch 0 yields an
+// untrained run with StopHalted and no history.
+func TestHaltImmediately(t *testing.T) {
+	train := sineData(40, 73, 0.02)
+	sys, err := Build(train, BuildConfig{Clustering: cluster.SubtractiveConfig{Radius: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := RMSE(sys, train)
+	hist, err := Train(sys, train, nil, Config{
+		Epochs: 50,
+		Halt:   func(int) bool { return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Reason != StopHalted {
+		t.Fatalf("reason = %q, want %q", hist.Reason, StopHalted)
+	}
+	if len(hist.TrainRMSE) != 0 {
+		t.Fatalf("history has %d epochs, want 0", len(hist.TrainRMSE))
+	}
+	if after := RMSE(sys, train); after != before {
+		t.Fatalf("system changed across an immediately-halted run: %v -> %v", before, after)
+	}
+}

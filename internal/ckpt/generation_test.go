@@ -1,0 +1,139 @@
+package ckpt
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cqm/internal/obs"
+)
+
+// bumpMTime forces the watcher's change detection even when two writes
+// land within the filesystem timestamp resolution.
+func bumpMTime(t *testing.T, path string, s int64) {
+	t.Helper()
+	at := time.Unix(1_700_000_000+s, 0)
+	if err := os.Chtimes(path, at, at); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatcherGeneration asserts the swap counter increments exactly once
+// per accepted swap, stays flat on no-change polls and rejections, and is
+// mirrored on the cqm_reload_generation gauge.
+func TestWatcherGeneration(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	reg := obs.NewRegistry()
+	h := NewHandle(nil)
+	w, err := NewModelWatcher(WatchConfig{Path: path, Metrics: reg}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := w.Generation(); g != 0 {
+		t.Fatalf("initial generation = %d, want 0", g)
+	}
+
+	writeMeasureArtifact(t, path, testMeasure(t, 0.7), 1)
+	bumpMTime(t, path, 1)
+	if _, err := w.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if g := w.Generation(); g != 1 {
+		t.Fatalf("after first accept: generation = %d, want 1", g)
+	}
+
+	// Unchanged file: no swap.
+	if _, err := w.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if g := w.Generation(); g != 1 {
+		t.Fatalf("after no-change poll: generation = %d, want 1", g)
+	}
+
+	// Rejected candidate: no swap.
+	if err := os.WriteFile(path, []byte("not an artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bumpMTime(t, path, 2)
+	if _, err := w.Poll(); err == nil {
+		t.Fatal("expected rejection error")
+	}
+	if g := w.Generation(); g != 1 {
+		t.Fatalf("after rejection: generation = %d, want 1", g)
+	}
+
+	// Second accepted candidate: exactly one more swap.
+	writeMeasureArtifact(t, path, testMeasure(t, 0.8), 2)
+	bumpMTime(t, path, 3)
+	if _, err := w.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if g := w.Generation(); g != 2 {
+		t.Fatalf("after second accept: generation = %d, want 2", g)
+	}
+	if v := reg.Gauge(MetricReloadGeneration).Value(); v != 2 {
+		t.Errorf("gauge %s = %v, want 2", MetricReloadGeneration, v)
+	}
+}
+
+// TestWatcherDeferLastGood asserts DeferLastGood keeps the last-good file
+// holding the previous incumbent across an accepted swap until MarkGood,
+// so a canary supervisor retains its rollback target.
+func TestWatcherDeferLastGood(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	h := NewHandle(nil)
+	w, err := NewModelWatcher(WatchConfig{Path: path, DeferLastGood: true}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.LastGoodPath(), filepath.Join(dir, LastGoodName); got != want {
+		t.Fatalf("LastGoodPath = %q, want %q", got, want)
+	}
+
+	// Incumbent accepted; under DeferLastGood nothing is persisted until
+	// the caller marks it good.
+	writeMeasureArtifact(t, path, testMeasure(t, 0.7), 1)
+	bumpMTime(t, path, 1)
+	if _, err := w.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(w.LastGoodPath()); !os.IsNotExist(err) {
+		t.Fatalf("last-good exists before MarkGood (err=%v)", err)
+	}
+	w.MarkGood()
+	incumbent, err := os.ReadFile(w.LastGoodPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Candidate promoted; last-good must still hold the incumbent.
+	writeMeasureArtifact(t, path, testMeasure(t, 0.2), 2)
+	bumpMTime(t, path, 2)
+	if _, err := w.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(w.LastGoodPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(incumbent) {
+		t.Fatal("last-good changed across deferred promotion; rollback target lost")
+	}
+	if q := scoreThrough(t, h); math.Abs(q-0.2) > 1e-9 {
+		t.Fatalf("served model q = %v, want promoted 0.2", q)
+	}
+
+	// Canary pass: MarkGood adopts the promoted artifact.
+	w.MarkGood()
+	final, err := os.ReadFile(w.LastGoodPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(final) == string(incumbent) {
+		t.Fatal("MarkGood did not adopt the promoted artifact")
+	}
+}

@@ -32,6 +32,9 @@ const (
 	// MetricReloadModelEpoch is the training epoch of the currently served
 	// model, from its manifest.
 	MetricReloadModelEpoch = "cqm_reload_model_epoch"
+	// MetricReloadGeneration is the watcher's monotonic swap count — how
+	// many times the served model handle has been replaced.
+	MetricReloadGeneration = "cqm_reload_generation"
 )
 
 // ckptMetrics are the pre-resolved checkpointing counters; the zero value
@@ -70,6 +73,7 @@ type reloadMetrics struct {
 	rejected   *obs.Counter
 	rollbacks  *obs.Counter
 	modelEpoch *obs.Gauge
+	generation *obs.Gauge
 }
 
 // newReloadMetrics resolves the hot-reload metrics once.
@@ -82,11 +86,13 @@ func newReloadMetrics(reg *obs.Registry) reloadMetrics {
 	reg.Help(MetricReloadRejected, "Candidate models refused by validation or smoke-score.")
 	reg.Help(MetricReloadRollbacks, "Last-good model loads after a rejected candidate.")
 	reg.Help(MetricReloadModelEpoch, "Training epoch of the currently served model.")
+	reg.Help(MetricReloadGeneration, "Monotonic count of served-model handle swaps.")
 	return reloadMetrics{
 		attempts:   reg.Counter(MetricReloadAttempts),
 		success:    reg.Counter(MetricReloadSuccess),
 		rejected:   reg.Counter(MetricReloadRejected),
 		rollbacks:  reg.Counter(MetricReloadRollbacks),
 		modelEpoch: reg.Gauge(MetricReloadModelEpoch),
+		generation: reg.Gauge(MetricReloadGeneration),
 	}
 }

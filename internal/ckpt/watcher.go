@@ -60,6 +60,12 @@ type WatchConfig struct {
 	// Metrics, when non-nil, counts reload attempts, successes, rejections,
 	// and rollbacks on this registry.
 	Metrics *obs.Registry
+	// DeferLastGood stops Poll from copying an accepted candidate to the
+	// last-good file automatically. A promotion supervisor sets this so the
+	// last-good copy keeps holding the pre-promotion incumbent — the
+	// rollback target — until the canary watch passes and it calls
+	// MarkGood explicitly.
+	DeferLastGood bool
 }
 
 // ModelWatcher polls a model artifact and hot-swaps the served measure
@@ -72,6 +78,10 @@ type ModelWatcher struct {
 	cfg    WatchConfig
 	handle *Handle
 	met    reloadMetrics
+
+	// generation counts handle swaps performed by this watcher (accepted
+	// candidates and last-good fallbacks alike), monotonically.
+	generation atomic.Int64
 
 	mu       sync.Mutex
 	seenMod  time.Time
@@ -138,7 +148,10 @@ func (w *ModelWatcher) Poll() (swapped bool, err error) {
 			w.handle.Store(m)
 			w.met.success.Inc()
 			w.met.modelEpoch.Set(float64(man.Epoch))
-			w.persistLastGood()
+			w.met.generation.Set(float64(w.generation.Add(1)))
+			if !w.cfg.DeferLastGood {
+				w.persistLastGood()
+			}
 			return true, nil
 		}
 		w.met.rejected.Inc()
@@ -152,10 +165,33 @@ func (w *ModelWatcher) Poll() (swapped bool, err error) {
 			w.handle.Store(m)
 			w.met.rollbacks.Inc()
 			w.met.modelEpoch.Set(float64(man.Epoch))
+			w.met.generation.Set(float64(w.generation.Add(1)))
 			return true, err
 		}
 	}
 	return false, err
+}
+
+// Generation returns the number of handle swaps this watcher has performed
+// (monotonic). Tests and the canary watcher compare generations around an
+// operation to assert "exactly one swap happened" instead of sleeping.
+func (w *ModelWatcher) Generation() int64 {
+	return w.generation.Load()
+}
+
+// LastGoodPath returns the resolved last-good file path.
+func (w *ModelWatcher) LastGoodPath() string {
+	return w.cfg.LastGood
+}
+
+// MarkGood copies the currently watched artifact to the last-good file.
+// Under DeferLastGood this is the explicit accept step a supervisor calls
+// after its canary watch passes; without DeferLastGood it is a no-op
+// convenience (Poll already persisted).
+func (w *ModelWatcher) MarkGood() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.persistLastGood()
 }
 
 // persistLastGood copies the just-accepted artifact bytes to the last-good

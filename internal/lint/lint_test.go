@@ -35,6 +35,8 @@ var goldenCases = []struct {
 	{dir: "seeded-rand/good", checks: []string{"seeded-rand"}, internal: true},
 	{dir: "atomic-artifact/bad", checks: []string{"atomic-artifact"}, internal: true},
 	{dir: "atomic-artifact/good", checks: []string{"atomic-artifact"}, internal: true},
+	{dir: "adapt-journal/bad", checks: []string{"adapt-journal"}, internal: true},
+	{dir: "adapt-journal/good", checks: []string{"adapt-journal"}, internal: true},
 	{dir: "conn-deadline/bad", checks: []string{"conn-deadline"}, internal: true},
 	{dir: "conn-deadline/good", checks: []string{"conn-deadline"}, internal: true},
 	{dir: "directive/suppressed", internal: true},

@@ -1,0 +1,26 @@
+// Positive corpus: write paths that can rewrite committed journal records.
+package sample
+
+import (
+	"os"
+	"path/filepath"
+)
+
+const journalName = "journal.log"
+
+func rewriteWholesale(data []byte) error {
+	return os.WriteFile("state/journal.log", data, 0o644)
+}
+
+func createTruncates(dir string) (*os.File, error) {
+	return os.Create(filepath.Join(dir, journalName))
+}
+
+func openTruncating(dir string) (*os.File, error) {
+	return os.OpenFile(filepath.Join(dir, "journal.log"), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+func openSeekable(dir string) (*os.File, error) {
+	// No O_APPEND: a Seek+Write can land inside committed records.
+	return os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_WRONLY, 0o644)
+}

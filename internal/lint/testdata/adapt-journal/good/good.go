@@ -1,0 +1,33 @@
+// Negative corpus: the sanctioned journal access patterns stay quiet.
+package sample
+
+import (
+	"os"
+	"path/filepath"
+)
+
+const journalName = "journal.log"
+
+func openAppendOnly(dir string) (*os.File, error) {
+	return os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func openReadOnly(dir string) (*os.File, error) {
+	return os.OpenFile(filepath.Join(dir, journalName), os.O_RDONLY, 0)
+}
+
+func repairTornTail(dir string, goodLen int64) error {
+	// Torn-tail repair discards an uncommitted suffix, never committed
+	// records; os.Truncate is the sanctioned tool for it.
+	return os.Truncate(filepath.Join(dir, journalName), goodLen)
+}
+
+func writeUnrelated(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, "report.txt"), data, 0o644)
+}
+
+func writeOpaque(path string, data []byte) error {
+	// An opaque path may be a journal, but the call site cannot prove it;
+	// flagging every opaque write would drown the signal.
+	return os.WriteFile(path, data, 0o644)
+}

@@ -33,6 +33,13 @@ type Config struct {
 	KS KSConfig
 	// Metrics, when non-nil, receives cqm_quality_* series.
 	Metrics *obs.Registry
+	// OnTrigger, when non-nil, receives one structured Trigger per
+	// detector firing (a Page–Hinkley alarm, or a KS test newly turning
+	// drifting), synchronously from Observe while the engine lock is
+	// held — the hook must be fast and must not call back into the
+	// engine. This is the typed feed the adaptation supervisor consumes
+	// instead of parsing report Recommendation strings.
+	OnTrigger func(Trigger)
 }
 
 // Observation is one scoring decision fed to the engine.
@@ -113,6 +120,7 @@ func (e *Engine) Observe(o Observation) {
 	}
 	if fired {
 		s.met.driftPH.Inc()
+		e.fireTrigger(s, TriggerPH, o)
 	}
 	// KS runs on a stride so its amortized cost stays O(1)-ish per
 	// observation; a fresh evaluation also happens at report time.
@@ -121,6 +129,7 @@ func (e *Engine) Observe(o Observation) {
 		s.ks = KSAgainst(e.cfg.Reference, s.windowQs(), e.cfg.KS)
 		if s.ks.Evaluated && s.ks.Drifting && !prev {
 			s.met.driftKS.Inc()
+			e.fireTrigger(s, TriggerKS, o)
 		}
 	}
 	// O(1) windowed gauges refresh on every observation; velocity (O(W))
@@ -132,6 +141,25 @@ func (e *Engine) Observe(o Observation) {
 		s.met.acceptRate.Set(float64(s.wAccept) / n)
 		s.met.epsilonRate.Set(float64(s.wEpsilon) / n)
 	}
+}
+
+// fireTrigger counts one detector firing and hands the structured event to
+// the OnTrigger hook. Called with the engine lock held; the per-source
+// observation index of the firing observation is s.observed-1 (add already
+// folded it in).
+func (e *Engine) fireTrigger(s *source, kind string, o Observation) {
+	s.triggers++
+	if e.cfg.OnTrigger == nil {
+		return
+	}
+	e.cfg.OnTrigger(Trigger{
+		Source:   o.Source,
+		Kind:     kind,
+		Severity: SeverityError,
+		At:       o.At,
+		Index:    s.observed - 1,
+		Window:   windowStatsOf(s),
+	})
 }
 
 // Report assembles the current QualityReport: per-source statistics,
@@ -159,7 +187,6 @@ func (e *Engine) Report() *Report {
 		}
 		vel := sanitize(s.velocity())
 		std := sanitize(s.windowStdDev())
-		n := float64(s.n)
 		sr := SourceReport{
 			Name:           name,
 			Observed:       s.observed,
@@ -167,17 +194,13 @@ func (e *Engine) Report() *Report {
 			Discarded:      s.discarded,
 			Epsilons:       s.epsilons,
 			Degraded:       s.degraded,
+			Triggers:       s.triggers,
 			FirstAt:        sanitize(s.firstAt),
 			LastAt:         sanitize(s.lastAt),
 			LifetimeMean:   sanitize(s.lifetime.Mean()),
 			LifetimeStdDev: sanitize(s.lifetime.StdDev()),
-			Window: WindowStats{
-				Count:       s.n,
-				WithQuality: s.wWithQ,
-				Mean:        sanitize(s.windowMean()),
-				StdDev:      std,
-			},
-			Trends: trendsOf(vel, std),
+			Window:         windowStatsOf(s),
+			Trends:         trendsOf(vel, std),
 			PageHinkley: PHState{
 				Stat:   sanitize(s.ph.Stat()),
 				Count:  s.ph.Count(),
@@ -188,11 +211,6 @@ func (e *Engine) Report() *Report {
 		}
 		sr.KS.Stat = sanitize(sr.KS.Stat)
 		sr.KS.Critical = sanitize(sr.KS.Critical)
-		if s.n > 0 {
-			sr.Window.AcceptRate = sanitize(float64(s.wAccept) / n)
-			sr.Window.EpsilonRate = sanitize(float64(s.wEpsilon) / n)
-			sr.Window.DegradedRate = sanitize(float64(s.wDegraded) / n)
-		}
 		rep.Alerts = append(rep.Alerts, alertsFor(&sr)...)
 		rep.Sources = append(rep.Sources, sr)
 		s.met.velocity.Set(vel)

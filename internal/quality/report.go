@@ -157,6 +157,9 @@ type SourceReport struct {
 	Epsilons int64 `json:"epsilons"`
 	// Degraded is documented with Observed.
 	Degraded int64 `json:"degraded"`
+	// Triggers is the lifetime count of structured drift triggers emitted
+	// for this source (Page–Hinkley alarms plus new KS drift onsets).
+	Triggers int64 `json:"triggers"`
 	// FirstAt and LastAt bound the observed virtual-time span.
 	FirstAt float64 `json:"first_at"`
 	// LastAt is documented with FirstAt.

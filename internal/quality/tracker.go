@@ -55,6 +55,9 @@ type source struct {
 	phFired  int64
 	phEpochs []DriftEpoch
 	ks       KSResult
+	// triggers counts lifetime detector firings (PH alarms plus new KS
+	// drift onsets) — the events handed to the OnTrigger hook.
+	triggers int64
 
 	met sourceMetrics
 }

@@ -1,0 +1,126 @@
+package quality
+
+import (
+	"testing"
+
+	"cqm/internal/stat"
+)
+
+// collapseStream returns a stream that starts healthy then collapses, so
+// the Page–Hinkley detector is guaranteed to fire.
+func collapseStream(source string, healthy, collapsed int) []Observation {
+	out := make([]Observation, 0, healthy+collapsed)
+	for i := 0; i < healthy; i++ {
+		out = append(out, Observation{Source: source, At: float64(i), HasQ: true, Q: 0.9})
+	}
+	for i := 0; i < collapsed; i++ {
+		out = append(out, Observation{Source: source, At: float64(healthy + i), HasQ: true, Q: 0.05})
+	}
+	return out
+}
+
+// TestTriggerPHFields asserts the OnTrigger hook receives a structured
+// Page–Hinkley trigger whose fields match the firing observation and the
+// source window state, and that the report's trigger count agrees.
+func TestTriggerPHFields(t *testing.T) {
+	var got []Trigger
+	e := NewEngine(Config{
+		Window:    8,
+		Threshold: 0.6,
+		OnTrigger: func(tr Trigger) { got = append(got, tr) },
+	})
+	stream := collapseStream("pen", 20, 30)
+	for _, o := range stream {
+		e.Observe(o)
+	}
+	if len(got) == 0 {
+		t.Fatal("expected at least one PH trigger on a collapsed stream")
+	}
+	tr := got[0]
+	if tr.Source != "pen" {
+		t.Errorf("Source = %q, want pen", tr.Source)
+	}
+	if tr.Kind != TriggerPH {
+		t.Errorf("Kind = %q, want %q", tr.Kind, TriggerPH)
+	}
+	if tr.Severity != SeverityError {
+		t.Errorf("Severity = %q, want %q", tr.Severity, SeverityError)
+	}
+	// The firing observation is at index tr.Index of the stream, and its
+	// virtual time must match.
+	if tr.Index < 0 || tr.Index >= int64(len(stream)) {
+		t.Fatalf("Index = %d out of stream range", tr.Index)
+	}
+	if stream[tr.Index].At != tr.At {
+		t.Errorf("At = %v, but stream[%d].At = %v", tr.At, tr.Index, stream[tr.Index].At)
+	}
+	if tr.Window.Count == 0 {
+		t.Error("Window.Count = 0, want populated window stats")
+	}
+	rep := e.Report()
+	if rep.Sources[0].Triggers != int64(len(got)) {
+		t.Errorf("report Triggers = %d, want %d (hook invocations)", rep.Sources[0].Triggers, len(got))
+	}
+	// PH metrics counter and trigger count agree for a PH-only engine
+	// (no Reference, so KS never fires).
+	if rep.Sources[0].PageHinkley.Fired != int64(len(got)) {
+		t.Errorf("PH fired = %d, want %d", rep.Sources[0].PageHinkley.Fired, len(got))
+	}
+}
+
+// TestTriggerKSOnNewDrift asserts a KS trigger fires exactly when the KS
+// test newly turns drifting on its evaluation stride, not on every stride
+// while drift persists.
+func TestTriggerKSOnNewDrift(t *testing.T) {
+	ref := referenceFor(t)
+	var kinds []string
+	e := NewEngine(Config{
+		Window:    32,
+		Threshold: 0.6,
+		Reference: ref,
+		KS:        KSConfig{Every: 8, MinCount: 8},
+		// Detune PH so only KS can fire.
+		PH:        PHConfig{Delta: 10, Lambda: 1e9, MinCount: 1 << 30},
+		OnTrigger: func(tr Trigger) { kinds = append(kinds, tr.Kind) },
+	})
+	// A stream far from the reference mixture: constant mid-scale q.
+	for i := 0; i < 128; i++ {
+		e.Observe(Observation{Source: "pen", At: float64(i), HasQ: true, Q: 0.45 + 0.001*float64(i%7)})
+	}
+	var ks int
+	for _, k := range kinds {
+		if k != TriggerKS {
+			t.Fatalf("unexpected trigger kind %q", k)
+		}
+		ks++
+	}
+	if ks != 1 {
+		t.Errorf("KS triggers = %d, want exactly 1 (fires on onset, not every stride)", ks)
+	}
+}
+
+// TestTriggerNilHook asserts the engine counts triggers but never panics
+// when no hook is configured.
+func TestTriggerNilHook(t *testing.T) {
+	e := NewEngine(Config{Window: 8, Threshold: 0.6})
+	for _, o := range collapseStream("pen", 20, 30) {
+		e.Observe(o)
+	}
+	rep := e.Report()
+	if rep.Sources[0].Triggers == 0 {
+		t.Error("Triggers = 0, want counted firings even without a hook")
+	}
+}
+
+// referenceFor builds a small training-time reference with well-separated
+// right/wrong quality distributions.
+func referenceFor(t *testing.T) *Reference {
+	t.Helper()
+	r := &Reference{
+		Right:       stat.Gaussian{Mu: 0.9, Sigma: 0.05},
+		Wrong:       stat.Gaussian{Mu: 0.2, Sigma: 0.1},
+		WeightRight: 0.8,
+		Threshold:   0.6,
+	}
+	return r
+}

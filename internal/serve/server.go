@@ -64,6 +64,12 @@ type Config struct {
 	// (the slice is reused across batches — copy to retain). Test and
 	// analytics hook; keep it fast.
 	BatchObserver func(m *core.Measure, outs []Outcome)
+	// DecisionObserver, when non-nil, is called synchronously per scored
+	// request with the source, the request's virtual time in seconds, its
+	// cues and class id, and the outcome — the adaptation supervisor's
+	// decision feed. The cues slice is the request's own; copy to retain.
+	// Keep it fast: it runs on the shard's scoring path.
+	DecisionObserver func(source string, at float64, cues []float64, classID int, out Outcome)
 	// ShedTarget enables CoDel-style adaptive load shedding: when the
 	// queue sojourn of dequeued requests stays above this target for a
 	// full ShedInterval, shards start rejecting (RejectShed) at an
@@ -560,6 +566,10 @@ func (sh *shard) score() {
 				Q:      out.Q,
 				HasQ:   out.Status != StatusEpsilon,
 			})
+		}
+		if srv.cfg.DecisionObserver != nil {
+			srv.cfg.DecisionObserver(t.source, float64(t.req.SentMillis)/1000,
+				t.req.Cues, int(t.req.ClassID), out)
 		}
 		sh.outs = append(sh.outs, out) //lint:ignore hotpath-alloc shard-owned buffer at fixed cap; append never grows past BatchSize
 		sh.batch[i] = nil
