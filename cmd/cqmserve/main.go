@@ -71,7 +71,7 @@ func main() {
 	flag.IntVar(&opts.queue, "queue", 1024, "per-shard admission queue depth")
 	flag.IntVar(&opts.batch, "batch", 256, "max frames folded into one ScoreBatch call")
 	flag.StringVar(&opts.model, "model", "", "serve this ckpt measure artifact (default: train in process)")
-	flag.DurationVar(&opts.watch, "model-watch", 0, "poll -model for hot reloads at this interval (0 = off)")
+	flag.DurationVar(&opts.watch, "model-watch", 0, "poll the served model artifact for hot reloads at this interval (0 = off; with -adapt, the copy in DIR is what is watched)")
 	flag.Float64Var(&opts.threshold, "threshold", -1, "acceptance threshold s (negative = trained threshold, or 0.5 with -model)")
 	flag.Int64Var(&opts.trainSeed, "train-seed", 1, "seed of the in-process training pass when no -model is given")
 	flag.IntVar(&opts.workers, "workers", 0, "training worker count (0 = one per CPU); the model is identical at every setting")
@@ -100,9 +100,26 @@ func run(opts options) error {
 	threshold := opts.threshold
 	modelPath := opts.model
 	if opts.model != "" {
+		if opts.adaptDir != "" {
+			// The lifecycle promotes and rolls back by rewriting the watched
+			// artifact, and it must never mutate the operator's -model file:
+			// copy it into the state directory and serve the copy, so every
+			// write the loop makes stays inside DIR.
+			if err := os.MkdirAll(opts.adaptDir, 0o755); err != nil {
+				return err
+			}
+			data, err := os.ReadFile(opts.model)
+			if err != nil {
+				return fmt.Errorf("-adapt needs a readable -model artifact to copy: %w", err)
+			}
+			modelPath = filepath.Join(opts.adaptDir, "model.json")
+			if err := ckpt.AtomicWriteFile(modelPath, data, 0o644); err != nil {
+				return err
+			}
+		}
 		var err error
 		watcher, err = ckpt.NewModelWatcher(ckpt.WatchConfig{
-			Path: opts.model,
+			Path: modelPath,
 			// Under the adaptation lifecycle, last-good persistence is the
 			// supervisor's decision (after a canary pass), not the
 			// watcher's: a reload during an open canary must not clobber
@@ -117,7 +134,7 @@ func run(opts options) error {
 			fmt.Fprintf(os.Stderr, "cqmserve: initial model load: %v\n", err)
 		}
 		if handle.Load() == nil {
-			fmt.Fprintf(os.Stderr, "cqmserve: no model yet at %s; serving 503 until one appears\n", opts.model)
+			fmt.Fprintf(os.Stderr, "cqmserve: no model yet at %s; serving 503 until one appears\n", modelPath)
 		}
 		if threshold < 0 {
 			threshold = 0.5

@@ -26,6 +26,10 @@ type Status struct {
 	CanaryPass  int `json:"canary_passes"`
 	// LastRecord is the newest journal record, if any.
 	LastRecord *Record `json:"last_record,omitempty"`
+	// LastError is the newest internal error that had no caller to return
+	// to (journal append or last-good persistence failing during the
+	// canary close) — non-empty means journal and disk may diverge.
+	LastError string `json:"last_error,omitempty"`
 }
 
 // Status assembles the current status snapshot.
@@ -38,6 +42,7 @@ func (s *Supervisor) Status() Status {
 		CooldownUntil:  s.cooldownUntil,
 		FailStreak:     s.failStreak,
 		WindowBuffered: s.windowN,
+		LastError:      s.lastErr,
 	}
 	records := s.jr.Records()
 	for _, r := range records {

@@ -33,6 +33,10 @@ const (
 	// MetricWindowSize is the number of pseudo-labelled observations
 	// currently buffered for the next retrain window.
 	MetricWindowSize = "cqm_adapt_window_size"
+	// MetricErrors counts internal errors on paths with no caller to
+	// return them to (journal append or last-good persistence failing
+	// inside the canary close) — journal/disk divergence signals.
+	MetricErrors = "cqm_adapt_errors_total"
 )
 
 // adaptMetrics are the pre-resolved supervisor metrics; the zero value (no
@@ -47,6 +51,7 @@ type adaptMetrics struct {
 	promotions      *obs.Counter
 	rollbacks       *obs.Counter
 	canaryPasses    *obs.Counter
+	errors          *obs.Counter
 	state           *obs.Gauge
 	cooldownUntil   *obs.Gauge
 	cycle           *obs.Gauge
@@ -71,6 +76,7 @@ func newAdaptMetrics(reg *obs.Registry) adaptMetrics {
 	reg.Help(MetricCooldownUntil, "Virtual time before which new triggers are ignored.")
 	reg.Help(MetricCycle, "Current or last adaptation cycle number.")
 	reg.Help(MetricWindowSize, "Pseudo-labelled observations buffered for the next retrain window.")
+	reg.Help(MetricErrors, "Internal adaptation errors with no caller to surface them (journal/disk divergence).")
 	return adaptMetrics{
 		triggers:        reg.Counter(MetricTriggers),
 		triggersIgnored: reg.Counter(MetricTriggersIgnored),
@@ -81,6 +87,7 @@ func newAdaptMetrics(reg *obs.Registry) adaptMetrics {
 		promotions:      reg.Counter(MetricPromotions),
 		rollbacks:       reg.Counter(MetricRollbacks),
 		canaryPasses:    reg.Counter(MetricCanaryPasses),
+		errors:          reg.Counter(MetricErrors),
 		state:           reg.Gauge(MetricState),
 		cooldownUntil:   reg.Gauge(MetricCooldownUntil),
 		cycle:           reg.Gauge(MetricCycle),

@@ -168,7 +168,9 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		return nil, err
 	}
 	// The incumbent is the rollback target from the start.
-	watcher.MarkGood()
+	if err := watcher.MarkGood(); err != nil {
+		return nil, err
+	}
 
 	sup, err := New(Config{
 		Dir:             filepath.Join(cfg.Dir, "adapt"),

@@ -241,6 +241,14 @@ type Supervisor struct {
 	pending       *quality.Trigger
 	cooldownUntil float64
 	failStreak    int
+	// training is true while a shadow retrain runs with the lock released;
+	// it makes concurrent Step calls no-ops so only one retrain is in
+	// flight.
+	training bool
+	// lastErr is the newest swallowed internal error (journal append or
+	// last-good persistence failing on a path with no caller to return
+	// to), exposed in Status so journal/disk divergence is visible.
+	lastErr string
 
 	// trainFn is the shadow-retrain implementation; tests stub it to avoid
 	// real training in flap-storm and transition tests.
@@ -393,6 +401,11 @@ func (s *Supervisor) Step() (bool, error) {
 		}
 		worked, err = true, s.beginCycle()
 	case StateRetraining:
+		if s.training {
+			// Another Step released the lock mid-retrain; the cycle
+			// advances when that call commits its outcome.
+			return false, nil
+		}
 		worked, err = true, s.retrain()
 	case StateGated:
 		worked, err = true, s.gateStep()
@@ -499,15 +512,30 @@ func (s *Supervisor) loadWindow() (windowPayload, error) {
 // retrain runs the shadow retrain on the snapshotted window and commits
 // the outcome: a candidate artifact plus a retrain-done record, or a
 // terminal retrain-failed record with back-off.
+//
+// Training is the one slow transition, so the supervisor lock is released
+// for the duration of the trainFn call — Decide and Trigger are on the
+// serving hot path and must never wait out a retrain. The inputs are
+// snapshotted under the lock first (the persisted window artifact, not the
+// live ring, is the training input anyway), and the state machine cannot
+// move while unlocked: the state stays StateRetraining and s.training
+// makes concurrent Step calls no-ops.
 func (s *Supervisor) retrain() error {
 	payload, err := s.loadWindow()
 	if err != nil {
 		return err
 	}
 	train, validation := splitWindow(payload.Observations)
-	dir := filepath.Join(s.cfg.Dir, CycleDirName(s.cur.cycle))
+	cycle := s.cur.cycle
+	windowHash := s.cur.windowHash
+	dir := filepath.Join(s.cfg.Dir, CycleDirName(cycle))
 	s.met.retrainsStarted.Inc()
-	candidate, info, trainErr := s.trainFn(train, validation, dir, s.cur.windowHash)
+	s.training = true
+	trainFn := s.trainFn
+	s.mu.Unlock()
+	candidate, info, trainErr := trainFn(train, validation, dir, windowHash)
+	s.mu.Lock()
+	s.training = false
 	if trainErr != nil {
 		s.met.retrainsFailed.Inc()
 		return s.closeCycle(Record{
@@ -517,12 +545,12 @@ func (s *Supervisor) retrain() error {
 		}, true)
 	}
 	if err := ckpt.WriteArtifact(filepath.Join(dir, CandidateArtifactName),
-		ckpt.Manifest{Kind: ckpt.KindMeasure, ConfigHash: s.cur.windowHash, Epoch: int(s.cur.cycle)},
+		ckpt.Manifest{Kind: ckpt.KindMeasure, ConfigHash: windowHash, Epoch: int(cycle)},
 		candidate); err != nil {
 		return err
 	}
 	rec := Record{
-		Cycle:      s.cur.cycle,
+		Cycle:      cycle,
 		Kind:       KindRetrainDone,
 		At:         s.cur.at,
 		Candidate:  CandidateArtifactName,
@@ -637,9 +665,14 @@ func (s *Supervisor) gateStep() error {
 // rules. Re-running after a crash is idempotent — the same bytes land and
 // the watcher swaps the same model.
 func (s *Supervisor) promote() error {
-	// The rollback target must exist before the incumbent is overwritten.
+	// The rollback target must exist before the incumbent is overwritten;
+	// promoting without one would make a later rollback a no-op, so a
+	// failed persist aborts the transition (state stays StatePromoting and
+	// the next Step retries).
 	if _, err := os.Stat(s.cfg.Watcher.LastGoodPath()); err != nil {
-		s.cfg.Watcher.MarkGood()
+		if mgErr := s.cfg.Watcher.MarkGood(); mgErr != nil {
+			return fmt.Errorf("adapt: persisting rollback target before promotion: %w", mgErr)
+		}
 	}
 	candPath := filepath.Join(s.cfg.Dir, CycleDirName(s.cur.cycle), s.cur.candidateName)
 	data, err := os.ReadFile(candPath)
@@ -701,38 +734,59 @@ func (s *Supervisor) finishCanary(at float64) {
 			reason += "; last-good unreadable: " + err.Error()
 		}
 		s.met.rollbacks.Inc()
-		_ = s.closeCycle(Record{
+		if err := s.closeCycle(Record{
 			Kind:           KindRollback,
 			At:             at,
 			Reason:         reason,
 			BaselineAccept: s.cur.baselineAccept,
 			CanaryAccept:   canaryAccept,
-		}, true)
+		}, true); err != nil {
+			// The rollback bytes are on disk but the journal still shows the
+			// cycle in canary: surface the divergence (the canary stays open
+			// in memory, so the next decision retries the idempotent close).
+			s.recordErr(fmt.Errorf("adapt: journaling rollback: %w", err))
+		}
 		s.publishState()
 		return
 	}
-	s.cfg.Watcher.MarkGood()
+	if err := s.cfg.Watcher.MarkGood(); err != nil {
+		// Not fatal — the previous incumbent stays the rollback target,
+		// which is stale but valid — yet it must not pass silently.
+		s.recordErr(fmt.Errorf("adapt: adopting canary survivor as last-good: %w", err))
+	}
 	s.met.canaryPasses.Inc()
-	_ = s.closeCycle(Record{
+	if err := s.closeCycle(Record{
 		Kind:           KindCanaryPass,
 		At:             at,
 		BaselineAccept: s.cur.baselineAccept,
 		CanaryAccept:   canaryAccept,
-	}, false)
+	}, false); err != nil {
+		s.recordErr(fmt.Errorf("adapt: journaling canary pass: %w", err))
+	}
 	s.publishState()
+}
+
+// recordErr surfaces an error from a path with no caller to return it to:
+// stderr, the error counter, and Status.LastError. Called with the lock
+// held.
+func (s *Supervisor) recordErr(err error) {
+	s.lastErr = err.Error()
+	s.met.errors.Inc()
+	fmt.Fprintf(os.Stderr, "%v\n", err)
 }
 
 // closeCycle commits a terminal record with the cool-down for the outcome:
 // bad outcomes (failed) grow the exponential back-off, good ones reset it
 // to the refractory base.
 func (s *Supervisor) closeCycle(rec Record, failed bool) error {
+	// The streak commits only with the record: a failed append leaves it
+	// untouched so a retried close doesn't double-count the back-off.
+	streak := 0
 	if failed {
-		s.failStreak++
-	} else {
-		s.failStreak = 0
+		streak = s.failStreak + 1
 	}
 	cooldown := s.cfg.CooldownBase
-	for i := 1; i < s.failStreak && cooldown < s.cfg.CooldownMax; i++ {
+	for i := 1; i < streak && cooldown < s.cfg.CooldownMax; i++ {
 		cooldown *= 2
 	}
 	if cooldown > s.cfg.CooldownMax {
@@ -743,6 +797,7 @@ func (s *Supervisor) closeCycle(rec Record, failed bool) error {
 	if err := s.jr.Append(rec); err != nil {
 		return err
 	}
+	s.failStreak = streak
 	s.cooldownUntil = rec.CooldownUntil
 	s.state = StateIdle
 	return nil

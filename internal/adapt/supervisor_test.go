@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"cqm/internal/ckpt"
 	"cqm/internal/core"
@@ -288,6 +289,80 @@ func TestFlapStormCooldown(t *testing.T) {
 	}
 }
 
+// TestHotPathNonBlockingDuringRetrain pins the locking contract behind
+// "Trigger and Decide are the fast inputs": while the shadow retrain runs,
+// the supervisor mutex is released, so Decide, Trigger, and Status return
+// immediately and a concurrent Step is a no-op rather than a second
+// retrain.
+func TestHotPathNonBlockingDuringRetrain(t *testing.T) {
+	incumbent := biasMeasure(t, 0.7)
+	candidate := biasMeasure(t, 0.8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	h := newHarness(t, t.TempDir(), smallConfig(), incumbent,
+		func(_, _ []core.Observation, _, _ string) (*core.Measure, retrainInfo, error) {
+			close(started)
+			<-release
+			return candidate, retrainInfo{epochs: 3, stopReason: "stub"}, nil
+		})
+	for i := 0; i < 10; i++ {
+		h.sup.Decide(mkDecision(float64(i), 0.9, 0.5))
+	}
+	h.sup.Trigger(quality.Trigger{Source: "pen", Kind: quality.TriggerPH, At: 10})
+	if _, err := h.sup.Step(); err != nil { // opens the cycle
+		t.Fatal(err)
+	}
+	stepDone := make(chan error, 1)
+	go func() {
+		_, err := h.sup.Step() // runs the blocked retrain
+		stepDone <- err
+	}()
+	<-started
+
+	hotDone := make(chan struct{})
+	go func() {
+		defer close(hotDone)
+		h.sup.Decide(mkDecision(11, 0.9, 0.5))
+		h.sup.Trigger(quality.Trigger{Source: "pen", Kind: quality.TriggerPH, At: 11})
+		_ = h.sup.Status()
+		if st := h.sup.State(); st != StateRetraining {
+			t.Errorf("state %v during retrain, want retraining", st)
+		}
+		worked, err := h.sup.Step()
+		if err != nil {
+			t.Errorf("concurrent Step during retrain: %v", err)
+		}
+		if worked {
+			t.Error("concurrent Step reported a transition while a retrain was in flight")
+		}
+	}()
+	select {
+	case <-hotDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("hot-path calls blocked behind the in-flight retrain")
+	}
+	close(release)
+	if err := <-stepDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := h.sup.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if st := h.sup.State(); st != StateCanary {
+		t.Fatalf("state %v after drained cycle, want canary", st)
+	}
+	wantKinds := []string{KindTrigger, KindRetrainDone, KindGatePass, KindPromoted}
+	recs := h.sup.Journal()
+	if len(recs) != len(wantKinds) {
+		t.Fatalf("journal has %d records, want %d: %+v", len(recs), len(wantKinds), recs)
+	}
+	for i, k := range wantKinds {
+		if recs[i].Kind != k {
+			t.Errorf("record %d kind %q, want %q", i, recs[i].Kind, k)
+		}
+	}
+}
+
 // TestTriggerIgnoredStates verifies Trigger's admission rules: staged only
 // when idle, nothing already staged, and outside cool-down.
 func TestTriggerIgnoredStates(t *testing.T) {
@@ -312,6 +387,42 @@ func TestTriggerIgnoredStates(t *testing.T) {
 	}
 	if h.sup.Trigger(quality.Trigger{Source: "pen", Kind: quality.TriggerPH, At: 12}) {
 		t.Fatal("trigger staged while cycle open")
+	}
+}
+
+// TestCanaryPassSurfacesLastGoodError forces the canary-pass MarkGood to
+// fail (the watched artifact vanishes mid-canary) and asserts the cycle
+// still closes as a pass while the failure is surfaced through
+// Status.LastError instead of vanishing.
+func TestCanaryPassSurfacesLastGoodError(t *testing.T) {
+	incumbent := biasMeasure(t, 0.7)
+	h := newHarness(t, t.TempDir(), smallConfig(), incumbent, stubTrain(biasMeasure(t, 0.8)))
+	for i := 0; i < 10; i++ {
+		h.sup.Decide(mkDecision(float64(i), 0.9, 0.5))
+	}
+	h.sup.Trigger(quality.Trigger{Source: "pen", Kind: quality.TriggerPH, At: 10})
+	if err := h.sup.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if h.sup.State() != StateCanary {
+		t.Fatalf("state %v after drain, want canary", h.sup.State())
+	}
+	if err := os.Remove(h.modelPath); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		h.sup.Decide(mkDecision(float64(11+i), 0.9, 0.5))
+	}
+	recs := h.sup.Journal()
+	if len(recs) == 0 || recs[len(recs)-1].Kind != KindCanaryPass {
+		t.Fatalf("journal %+v, want terminal canary-pass", recs)
+	}
+	st := h.sup.Status()
+	if st.LastError == "" {
+		t.Fatal("Status.LastError empty after failed last-good adoption")
+	}
+	if h.sup.State() != StateIdle {
+		t.Fatalf("state %v after canary pass, want idle", h.sup.State())
 	}
 }
 

@@ -35,6 +35,9 @@ const (
 	// MetricReloadGeneration is the watcher's monotonic swap count — how
 	// many times the served model handle has been replaced.
 	MetricReloadGeneration = "cqm_reload_generation"
+	// MetricReloadLastGoodErrors counts failed copies of an accepted model
+	// to the last-good file — each one means the rollback target is stale.
+	MetricReloadLastGoodErrors = "cqm_reload_lastgood_errors_total"
 )
 
 // ckptMetrics are the pre-resolved checkpointing counters; the zero value
@@ -68,12 +71,13 @@ func newCkptMetrics(reg *obs.Registry) ckptMetrics {
 
 // reloadMetrics are the pre-resolved hot-reload counters.
 type reloadMetrics struct {
-	attempts   *obs.Counter
-	success    *obs.Counter
-	rejected   *obs.Counter
-	rollbacks  *obs.Counter
-	modelEpoch *obs.Gauge
-	generation *obs.Gauge
+	attempts     *obs.Counter
+	success      *obs.Counter
+	rejected     *obs.Counter
+	rollbacks    *obs.Counter
+	lastGoodErrs *obs.Counter
+	modelEpoch   *obs.Gauge
+	generation   *obs.Gauge
 }
 
 // newReloadMetrics resolves the hot-reload metrics once.
@@ -87,12 +91,14 @@ func newReloadMetrics(reg *obs.Registry) reloadMetrics {
 	reg.Help(MetricReloadRollbacks, "Last-good model loads after a rejected candidate.")
 	reg.Help(MetricReloadModelEpoch, "Training epoch of the currently served model.")
 	reg.Help(MetricReloadGeneration, "Monotonic count of served-model handle swaps.")
+	reg.Help(MetricReloadLastGoodErrors, "Failed last-good copies (stale rollback target).")
 	return reloadMetrics{
-		attempts:   reg.Counter(MetricReloadAttempts),
-		success:    reg.Counter(MetricReloadSuccess),
-		rejected:   reg.Counter(MetricReloadRejected),
-		rollbacks:  reg.Counter(MetricReloadRollbacks),
-		modelEpoch: reg.Gauge(MetricReloadModelEpoch),
-		generation: reg.Gauge(MetricReloadGeneration),
+		attempts:     reg.Counter(MetricReloadAttempts),
+		success:      reg.Counter(MetricReloadSuccess),
+		rejected:     reg.Counter(MetricReloadRejected),
+		rollbacks:    reg.Counter(MetricReloadRollbacks),
+		lastGoodErrs: reg.Counter(MetricReloadLastGoodErrors),
+		modelEpoch:   reg.Gauge(MetricReloadModelEpoch),
+		generation:   reg.Gauge(MetricReloadGeneration),
 	}
 }

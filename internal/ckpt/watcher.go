@@ -150,7 +150,11 @@ func (w *ModelWatcher) Poll() (swapped bool, err error) {
 			w.met.modelEpoch.Set(float64(man.Epoch))
 			w.met.generation.Set(float64(w.generation.Add(1)))
 			if !w.cfg.DeferLastGood {
-				w.persistLastGood()
+				// Non-fatal — the model is already serving — but counted:
+				// a failed copy means the rollback target is stale.
+				if lgErr := w.persistLastGood(); lgErr != nil {
+					w.met.lastGoodErrs.Inc()
+				}
 			}
 			return true, nil
 		}
@@ -184,26 +188,32 @@ func (w *ModelWatcher) LastGoodPath() string {
 	return w.cfg.LastGood
 }
 
-// MarkGood copies the currently watched artifact to the last-good file.
-// Under DeferLastGood this is the explicit accept step a supervisor calls
-// after its canary watch passes; without DeferLastGood it is a no-op
-// convenience (Poll already persisted).
-func (w *ModelWatcher) MarkGood() {
+// MarkGood copies the currently watched artifact to the last-good file and
+// reports whether the copy landed. Under DeferLastGood this is the
+// explicit accept step a supervisor calls after its canary watch passes;
+// a promotion supervisor must treat an error as "no rollback target" and
+// refuse to overwrite the incumbent.
+func (w *ModelWatcher) MarkGood() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.persistLastGood()
+	if err := w.persistLastGood(); err != nil {
+		w.met.lastGoodErrs.Inc()
+		return err
+	}
+	return nil
 }
 
-// persistLastGood copies the just-accepted artifact bytes to the last-good
-// path atomically. Failure is not fatal — the model is already serving —
-// but it is surfaced as a rejected-write on the error counter path via a
-// best-effort retry on the next accepted model.
-func (w *ModelWatcher) persistLastGood() {
+// persistLastGood copies the watched artifact bytes to the last-good path
+// atomically.
+func (w *ModelWatcher) persistLastGood() error {
 	data, err := os.ReadFile(w.cfg.Path)
 	if err != nil {
-		return
+		return fmt.Errorf("ckpt: reading %s for last-good copy: %w", w.cfg.Path, err)
 	}
-	_ = AtomicWriteFile(w.cfg.LastGood, data, 0o644)
+	if err := AtomicWriteFile(w.cfg.LastGood, data, 0o644); err != nil {
+		return fmt.Errorf("ckpt: persisting last-good %s: %w", w.cfg.LastGood, err)
+	}
+	return nil
 }
 
 // loadMeasure reads a measure artifact and runs the smoke check.

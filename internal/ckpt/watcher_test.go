@@ -221,6 +221,37 @@ func TestWatcherLastGoodFallback(t *testing.T) {
 	}
 }
 
+// TestMarkGoodReportsError pins the promotion-safety contract: MarkGood
+// must report a failed last-good copy (here: no watched artifact to copy)
+// so a supervisor can refuse to overwrite the incumbent without a rollback
+// target, and the failure lands on the error counter.
+func TestMarkGoodReportsError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	reg := obs.NewRegistry()
+	w, err := NewModelWatcher(WatchConfig{Path: path, DeferLastGood: true, Metrics: reg}, NewHandle(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.MarkGood(); err == nil {
+		t.Fatal("MarkGood reported success with no watched artifact")
+	}
+	if _, err := os.Stat(w.LastGoodPath()); err == nil {
+		t.Fatal("last-good file exists after failed MarkGood")
+	}
+	if got := reg.Counter(MetricReloadLastGoodErrors).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricReloadLastGoodErrors, got)
+	}
+
+	writeMeasureArtifact(t, path, testMeasure(t, 0.5), 1)
+	if err := w.MarkGood(); err != nil {
+		t.Fatalf("MarkGood with a readable artifact: %v", err)
+	}
+	if _, err := os.Stat(w.LastGoodPath()); err != nil {
+		t.Errorf("last-good copy missing after MarkGood: %v", err)
+	}
+}
+
 func TestWatcherValidation(t *testing.T) {
 	if _, err := NewModelWatcher(WatchConfig{}, NewHandle(nil)); err == nil {
 		t.Error("empty path accepted")
